@@ -1,0 +1,100 @@
+// Baseline comparison (extension bench, paper §2).
+//
+// The paper positions its equilibrium model against Chandra et al.'s
+// contention models, arguing the baselines need co-run steady-state
+// access frequencies that cannot be obtained a priori. This bench
+// quantifies that argument: on the same 36 pairwise combinations as
+// Table 1, with identical profiled feature vectors, it compares SPI
+// and MPA prediction error for
+//   FOA       (alone-frequency proportional sharing),
+//   SDC       (stack-distance competition),
+//   FOA-iter  (FOA with the frequency loop closed through Eq. 3),
+//   Equilibrium (this paper's model).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "repro/baseline/chandra.hpp"
+#include "repro/common/table.hpp"
+
+namespace repro::bench {
+namespace {
+
+struct ModelErrors {
+  std::vector<double> mpa_pts;
+  std::vector<double> spi_pct;
+};
+
+void record(ModelErrors& e, const core::ProcessPrediction& pred,
+            double mpa_meas, double spi_meas) {
+  e.mpa_pts.push_back(100.0 * std::fabs(pred.mpa - mpa_meas));
+  e.spi_pct.push_back(100.0 * std::fabs(pred.spi - spi_meas) / spi_meas);
+}
+
+double mean(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+int run() {
+  const Platform platform = server_platform();
+  const std::vector<core::ProcessProfile> profiles =
+      get_profiles(platform, suite8());
+  const core::EquilibriumSolver solver(platform.machine.l2.ways);
+
+  ModelErrors foa, sdc, foa_iter, equilibrium;
+  std::uint64_t seed = 0xba5e;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i; j < profiles.size(); ++j) {
+      const std::vector<core::FeatureVector> fvs{profiles[i].features,
+                                                 profiles[j].features};
+      const auto p_foa = baseline::predict_foa(fvs, platform.machine.l2.ways);
+      const auto p_sdc = baseline::predict_sdc(fvs, platform.machine.l2.ways);
+      const auto p_it =
+          baseline::predict_foa_iterated(fvs, platform.machine.l2.ways);
+      const auto p_eq = solver.solve(fvs);
+
+      core::Assignment a = core::Assignment::empty(platform.machine.cores);
+      a.per_core[0].push_back(i);
+      a.per_core[1].push_back(j);
+      const sim::RunResult run =
+          simulate_assignment(platform, a, profiles, 0.05, 0.12, seed++);
+
+      for (int side = 0; side < 2; ++side) {
+        if (i == j && side == 1) continue;
+        const sim::ProcessReport& r = run.process(side);
+        record(foa, p_foa[side], r.mpa(), r.spi());
+        record(sdc, p_sdc[side], r.mpa(), r.spi());
+        record(foa_iter, p_it[side], r.mpa(), r.spi());
+        record(equilibrium, p_eq[side], r.mpa(), r.spi());
+      }
+    }
+  }
+
+  Table table(
+      "Baseline comparison on the Table-1 pairs (same profiles, same "
+      "measured runs): this paper's equilibrium model vs Chandra-style "
+      "baselines");
+  table.set_header({"Model", "Avg MPA error (pts)", "Avg SPI error (%)",
+                    "Max SPI error (%)"});
+  auto add = [&](const char* name, const ModelErrors& e) {
+    table.add_row({name, Table::num(mean(e.mpa_pts), 2),
+                   Table::num(mean(e.spi_pct), 2),
+                   Table::num(*std::max_element(e.spi_pct.begin(),
+                                                e.spi_pct.end()),
+                              2)});
+  };
+  add("FOA (alone frequencies)", foa);
+  add("SDC (stack-distance competition)", sdc);
+  add("FOA-iter (Eq. 3 feedback)", foa_iter);
+  add("Equilibrium (this paper)", equilibrium);
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::run(); }

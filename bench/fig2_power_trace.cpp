@@ -1,0 +1,85 @@
+// Reproduces Figure 2: sample-based power model validation on the
+// 4-core server (paper §6.3).
+//
+// Among a pool of candidate assignments, the ones with the maximum and
+// minimum measured average power are traced: estimated (Eq. 9 on the
+// live HPC rates) vs measured power per 30 ms sample. The paper's
+// figure shows the two curves overlapping, with 2.46% / 2.51% average
+// error for the max-/min-power scenario; we print the two series
+// (time, estimated, measured) and the same summary statistics.
+#include <cstdio>
+#include <iostream>
+
+#include "harness.hpp"
+#include "repro/common/table.hpp"
+
+namespace repro::bench {
+namespace {
+
+struct Candidate {
+  core::Assignment assignment;
+  Watts mean_power = 0.0;
+  std::string label;
+};
+
+int run() {
+  const Platform platform = server_platform();
+  const core::PowerModel model = get_power_model(platform);
+  const std::vector<core::ProcessProfile> profiles =
+      get_profiles(platform, suite8());
+
+  // Candidate pool: random 1-proc/core assignments, scouted briefly.
+  std::vector<Candidate> pool;
+  Rng rng(0xf162);
+  for (std::size_t n = 0; n < 10; ++n) {
+    Candidate c;
+    c.assignment = random_assignment(rng, platform.machine.cores,
+                                     {0, 1, 2, 3}, 4, profiles.size());
+    std::string label;
+    for (const auto& q : c.assignment.per_core)
+      for (std::size_t idx : q)
+        label += (label.empty() ? "" : "+") + profiles[idx].name;
+    c.label = label;
+    const sim::RunResult scout =
+        simulate_assignment(platform, c.assignment, profiles, 0.05, 0.15,
+                            0xf000 + n);
+    c.mean_power = scout.mean_measured_power();
+    pool.push_back(std::move(c));
+  }
+
+  const Candidate* max_c = &pool[0];
+  const Candidate* min_c = &pool[0];
+  for (const Candidate& c : pool) {
+    if (c.mean_power > max_c->mean_power) max_c = &c;
+    if (c.mean_power < min_c->mean_power) min_c = &c;
+  }
+
+  auto trace = [&](const Candidate& c, const char* which,
+                   std::uint64_t seed) {
+    const sim::RunResult run =
+        simulate_assignment(platform, c.assignment, profiles, 0.05, 1.2,
+                            seed);
+    std::printf("\nFigure 2 (%s-power assignment: %s)\n", which,
+                c.label.c_str());
+    std::printf("%-10s %-14s %-14s\n", "t (s)", "estimated (W)",
+                "measured (W)");
+    ErrorAccumulator err;
+    for (const sim::Sample& s : run.samples) {
+      const double est = model.predict(s.core_rates);
+      err.add(est, s.measured_power);
+      std::printf("%-10.3f %-14.2f %-14.2f\n", s.time, est,
+                  s.measured_power);
+    }
+    std::printf("average estimation error: %.2f%%  (paper: %s)\n",
+                err.avg_pct(), which == std::string("max") ? "2.46%"
+                                                           : "2.51%");
+  };
+  trace(*max_c, "max", 0xf201);
+  trace(*min_c, "min", 0xf202);
+  return 0;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::run(); }

@@ -1,0 +1,156 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "repro/common/ensure.hpp"
+#include "repro/workload/generator.hpp"
+
+namespace repro::bench {
+
+namespace {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("REPRO_CACHE_DIR")) return env;
+  return "repro_cache";
+}
+
+std::string store_path(const Platform& platform) {
+  return cache_dir() + "/" + platform.id + ".store";
+}
+
+core::ModelStore load_or_empty(const Platform& platform) {
+  if (auto store = core::load_store(store_path(platform))) return *store;
+  return {};
+}
+
+void persist(const Platform& platform, const core::ModelStore& store) {
+  std::filesystem::create_directories(cache_dir());
+  core::save_store(store_path(platform), store);
+}
+
+}  // namespace
+
+Platform server_platform() {
+  return {"server4", sim::four_core_server(),
+          power::oracle_for_four_core_server()};
+}
+
+Platform workstation_platform() {
+  return {"workstation2", sim::two_core_workstation(),
+          power::oracle_for_two_core_workstation()};
+}
+
+Platform laptop_platform() {
+  return {"laptop2", sim::core2_duo_laptop(),
+          power::oracle_for_core2_duo_laptop()};
+}
+
+const std::vector<std::string>& suite8() {
+  static const std::vector<std::string> names{
+      "gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake", "ammp"};
+  return names;
+}
+
+const std::vector<std::string>& suite10() {
+  static const std::vector<std::string> names{
+      "gzip", "vpr",    "mcf",  "bzip2", "twolf",
+      "art",  "equake", "ammp", "gcc",   "parser"};
+  return names;
+}
+
+std::vector<core::ProcessProfile> get_profiles(
+    const Platform& platform, const std::vector<std::string>& names) {
+  core::ModelStore store = load_or_empty(platform);
+  bool dirty = false;
+  const core::StressmarkProfiler profiler(platform.machine, platform.oracle);
+  std::vector<core::ProcessProfile> out;
+  for (const std::string& name : names) {
+    if (const core::ProcessProfile* cached = store.find(name)) {
+      out.push_back(*cached);
+      continue;
+    }
+    std::fprintf(stderr, "[harness] profiling %s on %s...\n", name.c_str(),
+                 platform.id.c_str());
+    core::ProcessProfile p = profiler.profile(workload::find_spec(name));
+    store.profiles.push_back(p);
+    out.push_back(std::move(p));
+    dirty = true;
+  }
+  if (dirty) persist(platform, store);
+  return out;
+}
+
+core::PowerModel get_power_model(const Platform& platform) {
+  core::ModelStore store = load_or_empty(platform);
+  if (store.power_model) return *store.power_model;
+  std::fprintf(stderr, "[harness] training power model on %s...\n",
+               platform.id.c_str());
+  core::PowerTrainerOptions options;
+  options.warmup = 0.02;
+  options.run_per_workload = 0.3;
+  options.run_per_microbench = 0.12;
+  options.run_idle = 0.45;
+  core::PowerModel model =
+      core::PowerModel::train(platform.machine, platform.oracle, suite8(),
+                              options);
+  store.power_model = model;
+  persist(platform, store);
+  return model;
+}
+
+sim::RunResult simulate_assignment(
+    const Platform& platform, const core::Assignment& assignment,
+    const std::vector<core::ProcessProfile>& profiles, Seconds warmup,
+    Seconds measure, std::uint64_t seed) {
+  assignment.validate(platform.machine.cores, profiles.size());
+  sim::SystemConfig cfg;
+  cfg.machine = platform.machine;
+  sim::System system(cfg, platform.oracle, seed);
+  for (CoreId c = 0; c < platform.machine.cores; ++c)
+    for (std::size_t idx : assignment.per_core[c]) {
+      const workload::WorkloadSpec& spec =
+          workload::find_spec(profiles[idx].name);
+      system.add_process(spec.name, c, spec.mix,
+                         std::make_unique<workload::StackDistanceGenerator>(
+                             spec, platform.machine.l2.sets));
+    }
+  if (warmup > 0.0) system.warm_up(warmup);
+  return system.run(measure);
+}
+
+core::Assignment random_assignment(Rng& rng, std::uint32_t total_cores,
+                                   const std::vector<CoreId>& cores,
+                                   std::size_t processes,
+                                   std::size_t profile_count) {
+  REPRO_ENSURE(!cores.empty() && processes > 0 && profile_count > 0,
+               "bad random_assignment request");
+  core::Assignment a = core::Assignment::empty(total_cores);
+  for (std::size_t p = 0; p < processes; ++p) {
+    const CoreId core = cores[p % cores.size()];  // balanced spread
+    a.per_core[core].push_back(rng.uniform_index(profile_count));
+  }
+  return a;
+}
+
+void ErrorAccumulator::add(double estimated, double measured) {
+  REPRO_ENSURE(measured != 0.0, "measured value of zero");
+  errors_.push_back(100.0 * std::fabs(estimated - measured) /
+                    std::fabs(measured));
+}
+
+double ErrorAccumulator::avg_pct() const {
+  REPRO_ENSURE(!errors_.empty(), "no errors accumulated");
+  double sum = 0.0;
+  for (double e : errors_) sum += e;
+  return sum / static_cast<double>(errors_.size());
+}
+
+double ErrorAccumulator::max_pct() const {
+  REPRO_ENSURE(!errors_.empty(), "no errors accumulated");
+  return *std::max_element(errors_.begin(), errors_.end());
+}
+
+}  // namespace repro::bench

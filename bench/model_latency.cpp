@@ -1,0 +1,130 @@
+// Model-evaluation latency microbenchmarks (google-benchmark).
+//
+// The paper's central claim is that the framework is *fast enough for
+// on-line use* during process assignment: pricing one of the 2^k − 1
+// co-schedule subsets must cost microseconds, not simulation hours.
+// These benchmarks quantify the costs that claim rests on: MPA curve
+// evaluation, fill-curve construction, the equilibrium solve (both
+// solver variants), the §5 combined power estimate, and assignment
+// enumeration.
+#include <benchmark/benchmark.h>
+
+#include "repro/core/analytic.hpp"
+#include "repro/core/assignment.hpp"
+#include "repro/core/combined.hpp"
+#include "repro/core/perf_model.hpp"
+#include "repro/sim/machine.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::bench {
+namespace {
+
+const sim::MachineConfig& machine() {
+  static const sim::MachineConfig m = sim::four_core_server();
+  return m;
+}
+
+std::vector<core::FeatureVector> features(std::size_t k) {
+  const auto& suite = workload::spec_suite();
+  std::vector<core::FeatureVector> out;
+  for (std::size_t i = 0; i < k; ++i)
+    out.push_back(core::analytic_features(suite[i % suite.size()],
+                                          machine()));
+  return out;
+}
+
+std::vector<core::ProcessProfile> synthetic_profiles(std::size_t k) {
+  std::vector<core::ProcessProfile> out;
+  const auto fvs = features(k);
+  for (const core::FeatureVector& fv : fvs) {
+    core::ProcessProfile p;
+    p.name = fv.name;
+    p.features = fv;
+    p.alone.l1rpi = 0.33;
+    p.alone.l2rpi = fv.api;
+    p.alone.brpi = 0.15;
+    p.alone.fppi = 0.05;
+    p.alone.l2mpr = fv.histogram.mpa(machine().l2.ways);
+    p.alone.spi = fv.spi_at(p.alone.l2mpr);
+    p.power_alone = 50.0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+core::PowerModel power_model() {
+  return core::PowerModel(45.0,
+                          {6.0e-9, 2.2e-8, -3.0e-7, 4.5e-9, 5.5e-9}, 4);
+}
+
+void BM_MpaCurveEval(benchmark::State& state) {
+  const core::FeatureVector fv = features(1)[0];
+  double s = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fv.histogram.mpa(s));
+    s = s < 15.0 ? s + 0.37 : 0.1;
+  }
+}
+BENCHMARK(BM_MpaCurveEval);
+
+void BM_FillCurveBuild(benchmark::State& state) {
+  const core::FeatureVector fv = features(1)[0];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::fill_curve(fv.histogram, machine().l2.ways));
+}
+BENCHMARK(BM_FillCurveBuild);
+
+void BM_EquilibriumSolve(benchmark::State& state) {
+  const auto fvs = features(static_cast<std::size_t>(state.range(0)));
+  const core::EquilibriumSolver solver(machine().l2.ways);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(fvs));
+}
+BENCHMARK(BM_EquilibriumSolve)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_EquilibriumSolveNewton(benchmark::State& state) {
+  const auto fvs = features(static_cast<std::size_t>(state.range(0)));
+  const core::EquilibriumSolver solver(machine().l2.ways);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve_newton(fvs));
+}
+BENCHMARK(BM_EquilibriumSolveNewton)->Arg(2)->Arg(4);
+
+void BM_CombinedEstimate(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto profiles = synthetic_profiles(k);
+  const core::CombinedEstimator estimator(power_model(), machine());
+  core::Assignment a = core::Assignment::empty(machine().cores);
+  for (std::size_t p = 0; p < k; ++p)
+    a.per_core[p % machine().cores].push_back(p);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(estimator.estimate(profiles, a));
+}
+BENCHMARK(BM_CombinedEstimate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExhaustiveAssignmentSearch(benchmark::State& state) {
+  const auto profiles =
+      synthetic_profiles(static_cast<std::size_t>(state.range(0)));
+  const core::CombinedEstimator estimator(power_model(), machine());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::optimize_assignment(estimator, profiles));
+}
+BENCHMARK(BM_ExhaustiveAssignmentSearch)->Arg(2)->Arg(4);
+
+void BM_PowerModelPredict(benchmark::State& state) {
+  const core::PowerModel model = power_model();
+  std::vector<hpc::EventRates> rates(4);
+  for (auto& r : rates) {
+    r.l1rps = 7e8;
+    r.l2rps = 2e7;
+    r.l2mps = 3e6;
+    r.brps = 3e8;
+    r.fpps = 1e8;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict(rates));
+}
+BENCHMARK(BM_PowerModelPredict);
+
+}  // namespace
+}  // namespace repro::bench
+
+BENCHMARK_MAIN();

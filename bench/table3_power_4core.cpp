@@ -1,0 +1,110 @@
+// Reproduces Table 3: power model validation on the 4-core server
+// (paper §6.3).
+//
+// Same methodology as Table 2 on the dual-die machine: 24 random
+// assignments with one process per core, 3 with two processes per
+// core, and 10 with four processes packed onto 2–3 cores (1 or 2
+// cores left idle) — the scenario mix the paper reports.
+#include <iostream>
+
+#include "harness.hpp"
+#include "repro/common/table.hpp"
+
+namespace repro::bench {
+namespace {
+
+struct ScenarioResult {
+  std::size_t assignments = 0;
+  ErrorAccumulator sample_err;
+  ErrorAccumulator avg_err;
+};
+
+void evaluate(const Platform& platform, const core::PowerModel& model,
+              const std::vector<core::ProcessProfile>& profiles,
+              const core::Assignment& a, std::uint64_t seed,
+              ScenarioResult* result) {
+  const sim::RunResult run =
+      simulate_assignment(platform, a, profiles, 0.05, 0.24, seed);
+  double est_sum = 0.0;
+  double meas_sum = 0.0;
+  for (const sim::Sample& s : run.samples) {
+    const double est = model.predict(s.core_rates);
+    result->sample_err.add(est, s.measured_power);
+    est_sum += est;
+    meas_sum += s.measured_power;
+  }
+  const double count = static_cast<double>(run.samples.size());
+  result->avg_err.add(est_sum / count, meas_sum / count);
+  ++result->assignments;
+}
+
+int run() {
+  const Platform platform = server_platform();
+  const core::PowerModel model = get_power_model(platform);
+  const std::vector<core::ProcessProfile> profiles =
+      get_profiles(platform, suite8());
+  const std::uint32_t n_cores = platform.machine.cores;
+
+  ScenarioResult one_per_core;
+  {
+    Rng rng(0x3a61);
+    for (std::size_t n = 0; n < 24; ++n)
+      evaluate(platform, model, profiles,
+               random_assignment(rng, n_cores, {0, 1, 2, 3}, 4,
+                                 profiles.size()),
+               0x9000 + n, &one_per_core);
+  }
+
+  ScenarioResult two_per_core;
+  {
+    Rng rng(0x3b62);
+    for (std::size_t n = 0; n < 3; ++n)
+      evaluate(platform, model, profiles,
+               random_assignment(rng, n_cores, {0, 1, 2, 3}, 8,
+                                 profiles.size()),
+               0x9100 + n, &two_per_core);
+  }
+
+  ScenarioResult with_unused;
+  {
+    Rng rng(0x3c63);
+    for (std::size_t n = 0; n < 10; ++n) {
+      // Alternate between one idle core (4 procs on 3 cores) and two
+      // idle cores (4 procs on 2 cores), idle cores rotating.
+      std::vector<CoreId> cores;
+      if (n % 2 == 0) {
+        for (CoreId c = 0; c < n_cores; ++c)
+          if (c != n % n_cores) cores.push_back(c);
+      } else {
+        cores = {static_cast<CoreId>(n % n_cores),
+                 static_cast<CoreId>((n + 2) % n_cores)};
+      }
+      evaluate(platform, model, profiles,
+               random_assignment(rng, n_cores, cores, 4, profiles.size()),
+               0x9200 + n, &with_unused);
+    }
+  }
+
+  Table table(
+      "Table 3: Power Model Validation on a 4-Core Server "
+      "(paper: 4.09/8.52 & 3.26/7.71; 5.51/6.25 & 4.47/5.95; "
+      "3.39/4.73 & 2.54/4.14)");
+  table.set_header({"Scenario", "Number of assignments",
+                    "Avg./max. error for power samples (%)",
+                    "Avg./max. error for avg. power (%)"});
+  auto add = [&](const char* label, const ScenarioResult& r) {
+    table.add_row({label, std::to_string(r.assignments),
+                   Table::pair(r.sample_err.avg_pct(), r.sample_err.max_pct()),
+                   Table::pair(r.avg_err.avg_pct(), r.avg_err.max_pct())});
+  };
+  add("1 proc./core", one_per_core);
+  add("2 proc./core", two_per_core);
+  add("4 proc. with unused cores", with_unused);
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::run(); }

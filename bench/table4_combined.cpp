@@ -1,0 +1,109 @@
+// Reproduces Table 4: combined model validation on the 4-core server
+// (paper §6.4).
+//
+// The combined estimator prices each tentative assignment from
+// *profiling information only* (feature vectors + PF vectors — no
+// runtime HPC values), and the estimate is compared with the
+// simulator-measured average power. Scenario mix as in the paper:
+// 32 assignments with 1 process/core, 10 with 2 processes/core, and
+// 16/16/9 with four processes packed onto 3/2/1 cores.
+#include <iostream>
+
+#include "harness.hpp"
+#include "repro/common/table.hpp"
+#include "repro/core/combined.hpp"
+
+namespace repro::bench {
+namespace {
+
+struct ScenarioResult {
+  std::size_t assignments = 0;
+  ErrorAccumulator avg_err;
+};
+
+void evaluate(const Platform& platform,
+              const core::CombinedEstimator& paper_mode,
+              const core::CombinedEstimator& die_wide_mode,
+              const std::vector<core::ProcessProfile>& profiles,
+              const core::Assignment& a, std::uint64_t seed,
+              ScenarioResult* paper_result, ScenarioResult* die_wide_result) {
+  const Watts est_paper = paper_mode.estimate(profiles, a);
+  const Watts est_die_wide = die_wide_mode.estimate(profiles, a);
+  const sim::RunResult run =
+      simulate_assignment(platform, a, profiles, 0.05, 0.24, seed);
+  paper_result->avg_err.add(est_paper, run.mean_measured_power());
+  die_wide_result->avg_err.add(est_die_wide, run.mean_measured_power());
+  ++paper_result->assignments;
+  ++die_wide_result->assignments;
+}
+
+int run() {
+  const Platform platform = server_platform();
+  const std::vector<core::ProcessProfile> profiles =
+      get_profiles(platform, suite8());
+  const core::PowerModel model = get_power_model(platform);
+  const core::CombinedEstimator estimator(model, platform.machine);
+  const core::CombinedEstimator die_wide(
+      model, platform.machine, core::EquilibriumOptions{},
+      core::EstimatorMode::kDieWideEquilibrium);
+  const std::uint32_t n_cores = platform.machine.cores;
+
+  struct Scenario {
+    const char* label;
+    std::size_t count;
+    std::size_t processes;
+    std::size_t cores_used;
+    const char* paper;
+  };
+  const Scenario scenarios[] = {
+      {"1 proc./core", 32, 4, 4, "2.84 / 5.78"},
+      {"2 proc./core", 10, 8, 4, "1.92 / 6.29"},
+      {"4 proc., 1 core unused", 16, 4, 3, "2.68 / 5.48"},
+      {"4 proc., 2 core unused", 16, 4, 2, "2.53 / 5.99"},
+      {"4 proc., 3 core unused", 9, 4, 1, "0.49 / 1.95"},
+  };
+
+  Table table(
+      "Table 4: Validating the Combined Model on a 4-Core Server "
+      "(profiling information only)");
+  table.set_header({"Scenario", "Number of assignments",
+                    "Avg./max. error for avg. power (%)",
+                    "Die-wide variant avg./max. (%)", "Paper"});
+
+  std::uint64_t scenario_seed = 0x4a71;
+  for (const Scenario& sc : scenarios) {
+    ScenarioResult result;
+    ScenarioResult result_die_wide;
+    Rng rng(scenario_seed);
+    for (std::size_t n = 0; n < sc.count; ++n) {
+      // Rotate which cores stay idle so both dies are exercised.
+      std::vector<CoreId> cores;
+      for (std::uint32_t k = 0; k < sc.cores_used; ++k)
+        cores.push_back(static_cast<CoreId>((n + k) % n_cores));
+      evaluate(platform, estimator, die_wide, profiles,
+               random_assignment(rng, n_cores, cores, sc.processes,
+                                 profiles.size()),
+               scenario_seed * 131 + n, &result, &result_die_wide);
+    }
+    table.add_row({sc.label, std::to_string(result.assignments),
+                   Table::pair(result.avg_err.avg_pct(),
+                               result.avg_err.max_pct()),
+                   Table::pair(result_die_wide.avg_err.avg_pct(),
+                               result_die_wide.avg_err.max_pct()),
+                   sc.paper});
+    scenario_seed += 0x101;
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe die-wide column prices time-shared processes in one "
+      "CPU-share-weighted equilibrium (their lines contend across "
+      "timeslices) — on this scaled substrate, where combined working "
+      "sets exceed the cache, that is the dominant effect the paper's "
+      "combination averaging misses.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::run(); }

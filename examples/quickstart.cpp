@@ -1,0 +1,75 @@
+// Quickstart: profile two processes, predict how they interact.
+//
+// This walks the paper's §3 pipeline end to end on the 2-core
+// workstation:
+//   1. extract each process's feature vector with the stressmark
+//      profiler (reuse-distance histogram, API, SPI = α·MPA + β),
+//   2. solve the equilibrium system for their shared-cache steady
+//      state (effective sizes, MPA, SPI),
+//   3. check the prediction against a real co-run on the simulator.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "repro/core/perf_model.hpp"
+#include "repro/core/profiler.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+int main() {
+  using namespace repro;
+
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const power::OracleConfig oracle = power::oracle_for_two_core_workstation();
+
+  // --- 1. Profile (O(A) stressmark co-runs per process, §3.4). ---
+  std::printf("Profiling gzip and mcf on \"%s\"...\n", machine.name.c_str());
+  const core::StressmarkProfiler profiler(machine, oracle);
+  const core::ProcessProfile gzip =
+      profiler.profile(workload::find_spec("gzip"));
+  const core::ProcessProfile mcf =
+      profiler.profile(workload::find_spec("mcf"));
+
+  for (const core::ProcessProfile* p : {&gzip, &mcf}) {
+    std::printf(
+        "  %-6s API=%.4f  alpha=%.3g  beta=%.3g  MPA(alone)=%.3f  "
+        "P(alone)=%.1f W\n",
+        p->name.c_str(), p->features.api, p->features.alpha,
+        p->features.beta, p->alone.l2mpr, p->power_alone);
+  }
+
+  // --- 2. Predict the co-run steady state (§3.3, Eq. 1 + Eq. 7). ---
+  const core::EquilibriumSolver solver(machine.l2.ways);
+  const auto pred = solver.solve({gzip.features, mcf.features});
+  std::printf("\nPredicted steady state sharing the %u-way L2:\n",
+              machine.l2.ways);
+  const char* names[] = {"gzip", "mcf"};
+  for (int i = 0; i < 2; ++i)
+    std::printf("  %-6s S=%5.2f ways  MPA=%.3f  SPI=%.3f ns\n", names[i],
+                pred[i].effective_size, pred[i].mpa, pred[i].spi * 1e9);
+
+  // --- 3. Verify against an actual co-run. ---
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, oracle, /*seed=*/42);
+  for (int i = 0; i < 2; ++i) {
+    const workload::WorkloadSpec& spec = workload::find_spec(names[i]);
+    system.add_process(spec.name, static_cast<CoreId>(i), spec.mix,
+                       std::make_unique<workload::StackDistanceGenerator>(
+                           spec, machine.l2.sets));
+  }
+  system.warm_up(0.05);
+  const sim::RunResult run = system.run(0.2);
+
+  std::printf("\nMeasured on the simulator:\n");
+  for (ProcessId pid = 0; pid < 2; ++pid) {
+    const sim::ProcessReport& r = run.process(pid);
+    std::printf(
+        "  %-6s S=%5.2f ways  MPA=%.3f  SPI=%.3f ns   (SPI error %.1f%%)\n",
+        r.name.c_str(), r.mean_occupancy, r.mpa(), r.spi() * 1e9,
+        100.0 * (pred[pid].spi - r.spi()) / r.spi());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Baseline inter-thread cache contention models (Chandra et al.,
+// HPCA 2005) — the paper's closest related work (§2).
+//
+// Chandra et al. predict each co-scheduled thread's share of a shared
+// cache from per-thread stack-distance profiles plus cache access
+// frequencies. Chen et al.'s critique, which this library's
+// equilibrium model answers, is that two of the inputs (the *co-run
+// steady-state* access frequencies) are unobtainable without running
+// the combination. These baselines therefore come in the practically
+// deployable form — fed with stand-alone access frequencies — plus an
+// iterated variant that closes the frequency↔miss-rate loop through
+// the Eq. 3 SPI law (isolating how much of the full model's accuracy
+// comes from that feedback vs from the fill-time equilibrium):
+//
+//   FOA  (frequency of access): S_i = A · f_i / Σ_j f_j.
+//   SDC  (stack distance competition): merge the per-thread reuse
+//        histograms, weighted by access frequency, and give each
+//        thread the ways it wins among the top A merged positions.
+//   FOA-iter: FOA with f_i recomputed from the predicted MPA via
+//        SPI = α·MPA + β until fixed point.
+//
+// All three reuse this library's FeatureVector as input, so they are
+// directly comparable with EquilibriumSolver on identical profiles.
+#pragma once
+
+#include <vector>
+
+#include "repro/core/perf_model.hpp"
+
+namespace repro::baseline {
+
+/// Frequency-of-access model. Frequencies are the stand-alone APS
+/// values API/ SPI(MPA at full cache).
+std::vector<core::ProcessPrediction> predict_foa(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways);
+
+/// Stack-distance-competition model.
+std::vector<core::ProcessPrediction> predict_sdc(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways);
+
+/// FOA with the access frequencies iterated to a fixed point through
+/// the SPI law (damped; converges for all suite inputs).
+std::vector<core::ProcessPrediction> predict_foa_iterated(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways,
+    int max_iterations = 100, double damping = 0.5);
+
+}  // namespace repro::baseline

@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking.
+//
+// The library reports broken preconditions and internal invariants by
+// throwing repro::Error, carrying the failed expression and its source
+// location. This keeps model code free of error-code plumbing while
+// remaining easy to test (EXPECT_THROW) and to handle at tool level.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Exception type thrown by all REPRO_ENSURE failures in this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void ensure_fail(const char* expr, const std::string& msg,
+                                     const std::source_location& loc) {
+  std::string out = "ensure failed: ";
+  out += expr;
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  out += " [";
+  out += loc.file_name();
+  out += ':';
+  out += std::to_string(loc.line());
+  out += ']';
+  throw Error(out);
+}
+
+}  // namespace detail
+
+}  // namespace repro
+
+/// Check a precondition or invariant; throws repro::Error on failure.
+/// Usage: REPRO_ENSURE(x > 0) or REPRO_ENSURE(x > 0, "x is a way count").
+#define REPRO_ENSURE(expr, ...)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::repro::detail::ensure_fail(#expr, ::std::string{__VA_ARGS__}, \
+                                   ::std::source_location::current()); \
+    }                                                                 \
+  } while (false)

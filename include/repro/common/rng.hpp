@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in the library (workload generators, the
+// power oracle's measurement noise, random assignment selection in the
+// benches) draw from repro::Rng. The generator is xoshiro256**, seeded
+// through SplitMix64, implemented here so results are bit-reproducible
+// across standard libraries and platforms — std::mt19937 distributions
+// are not portable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with explicit-seed construction and a
+/// convenience `fork` for decorrelated child streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x2010'06'13ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    REPRO_ENSURE(n > 0, "uniform_index needs a nonempty range");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the range sizes used here (< 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state small
+  /// and sequences independent of call interleaving).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Child generator with a decorrelated stream; `salt` distinguishes
+  /// children forked from the same parent state.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64(mix)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Sampler for a fixed discrete distribution over {0, …, n−1} using the
+/// alias method: O(n) build, O(1) draw. Used on the hot path of the
+/// synthetic workload generators (one draw per cache access).
+class DiscreteSampler {
+ public:
+  /// Weights need not be normalized; they must be nonnegative with a
+  /// positive sum.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const {
+    const std::size_t slot = rng.uniform_index(prob_.size());
+    return rng.uniform() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace repro

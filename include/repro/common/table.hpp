@@ -1,0 +1,45 @@
+// Console table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables or figures
+// and prints it in a layout matching the paper's, so Table renders
+// fixed-width ASCII tables with a caption, column headers, and
+// formatted numeric cells. It can also emit CSV for downstream
+// plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class Table {
+ public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  /// Set the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells. Must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);  // v in percent already
+  static std::string pair(double a, double b, int precision = 2);  // "a / b"
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (caption as a comment line).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro

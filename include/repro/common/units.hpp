@@ -1,0 +1,48 @@
+// Thin unit vocabulary for the quantities the models trade in.
+//
+// The models mix several per-second and per-instruction rates whose
+// confusion caused real bugs in early drafts of this library, so the
+// quantities that cross module boundaries get named types or named
+// aliases here. The arithmetic-heavy inner loops use plain double.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// Virtual time in seconds (simulation clock).
+using Seconds = double;
+
+/// Power in watts.
+using Watts = double;
+
+/// Electric current in amperes.
+using Amperes = double;
+
+/// Clock frequency in hertz.
+using Hertz = double;
+
+/// Seconds per instruction — the paper's throughput metric (Eq. 3).
+using Spi = double;
+
+/// Misses per (L2) access — the paper's MPA (Eq. 2).
+using Mpa = double;
+
+/// Effective cache size in ways of one set; continuous because the
+/// equilibrium solver relaxes it to a real number.
+using Ways = double;
+
+/// Identifier vocabulary.
+using ProcessId = std::uint32_t;
+using CoreId = std::uint32_t;
+using DieId = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess = 0xffffffffu;
+
+/// Commonly used constants from the paper's experimental setup.
+inline constexpr Seconds kHpcSamplePeriod = 30e-3;  // PAPI sampling period
+inline constexpr Seconds kTimeslice = 20e-3;        // OS scheduling quantum
+inline constexpr double kRegulatorEfficiency = 0.9;
+inline constexpr double kSupplyVolts = 12.0;
+
+}  // namespace repro

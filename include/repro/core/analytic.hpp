@@ -1,0 +1,24 @@
+// Analytic ("oracle") feature vectors.
+//
+// In the real system a feature vector can only come from stressmark
+// profiling; in this reproduction the synthetic workload's generative
+// parameters imply the exact histogram and SPI law:
+//   • the reuse pmf is the normalized reuse weights, with new-line and
+//     stream mass as the always-miss tail;
+//   • SPI(MPA) follows the simulator timing identity
+//       SPI = (base_cpi + API·(l2_hit + MPA·(mem − l2_hit))) / f.
+// Comparing predictions made from analytic vs profiled features
+// separates profiling error from model error (an ablation the paper
+// could not run on real hardware).
+#pragma once
+
+#include "repro/core/perf_model.hpp"
+#include "repro/sim/machine.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::core {
+
+FeatureVector analytic_features(const workload::WorkloadSpec& spec,
+                                const sim::MachineConfig& machine);
+
+}  // namespace repro::core

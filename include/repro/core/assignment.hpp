@@ -1,0 +1,47 @@
+// Power-aware process assignment on top of the combined model.
+//
+// The paper's motivating application (§1, §5): with O(k) profiling,
+// the combined model prices any of the exponential number of
+// process-to-core mappings in closed form, so an assigner can search
+// the mapping space for minimum power. This module provides exhaustive
+// search (exact for the small k of the paper's machines) and a greedy
+// incremental assigner built on the Fig. 1 estimator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/core/combined.hpp"
+
+namespace repro::core {
+
+enum class AssignmentObjective {
+  kPower,                 // minimize mean processor watts
+  kEnergyPerInstruction,  // minimize predicted J/instruction
+};
+
+struct AssignmentSearchResult {
+  Assignment assignment;
+  Watts predicted_power = 0.0;
+  double predicted_throughput_ips = 0.0;
+  double objective_value = 0.0;  // value of the chosen objective
+  std::size_t evaluated = 0;     // mappings priced
+};
+
+/// Exhaustive minimum-objective assignment of all `profiles` (every
+/// process placed on exactly one core; cores may time-share).
+/// Complexity N^k — intended for the paper-scale k ≤ ~8.
+AssignmentSearchResult optimize_assignment(
+    const CombinedEstimator& estimator,
+    std::span<const ProcessProfile> profiles,
+    AssignmentObjective objective = AssignmentObjective::kPower);
+
+/// Greedy one-process-at-a-time assignment using estimate(); places
+/// each process on the core minimizing the running estimate. O(k·N)
+/// model evaluations.
+AssignmentSearchResult greedy_assignment(
+    const CombinedEstimator& estimator,
+    std::span<const ProcessProfile> profiles);
+
+}  // namespace repro::core

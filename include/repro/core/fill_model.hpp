@@ -1,0 +1,59 @@
+// Effective-cache-size growth models (paper §3.2, Eq. 4–5).
+//
+// Starting from an empty cache set, each access either hits (occupancy
+// unchanged) or misses (occupancy grows by one line). The paper models
+// this as the Markov recursion Eq. 4 over P_{i,n} — the probability of
+// occupying i ways after n accesses — with expected occupancy
+// G(n) = Σ i·P_{i,n} (Eq. 5). The equilibrium solver needs the inverse
+// G⁻¹(S) as a continuous function, for which the mean-field limit of
+// the same chain,   dS/dn = MPA(S)  ⇒  G⁻¹(S) = ∫₀^S dx / MPA(x),
+// is used. Both forms are provided; tests verify they agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/core/reuse_histogram.hpp"
+#include "repro/math/piecewise.hpp"
+
+namespace repro::core {
+
+/// Exact chain state after n accesses: element i is P(occupancy = i),
+/// i = 0..max_ways. Implements Eq. 4 with the miss probability taken
+/// from the histogram's MPA curve, capped at `max_ways` (a process
+/// cannot exceed the associativity).
+class FillMarkovChain {
+ public:
+  FillMarkovChain(const ReuseHistogram& hist, std::uint32_t max_ways);
+
+  /// Advance by one access (Eq. 4).
+  void step();
+
+  /// Advance by `n` accesses.
+  void run(std::uint64_t n);
+
+  /// Eq. 5: expected occupancy G(n) for the accesses so far.
+  Ways expected_occupancy() const;
+
+  /// Full distribution (index = ways occupied).
+  const std::vector<double>& distribution() const { return p_; }
+
+  std::uint64_t accesses() const { return n_; }
+
+ private:
+  std::vector<double> mpa_at_;  // MPA(i) for i = 0..max_ways
+  std::vector<double> p_;       // P(occupancy = i)
+  std::uint64_t n_ = 0;
+};
+
+/// Continuous fill curve n = G⁻¹(S) from the mean-field ODE. The
+/// returned interpolant maps S ∈ [0, max_ways] to the expected number
+/// of per-set accesses needed to reach occupancy S from empty. MPA is
+/// floored at `mpa_floor` so the integral stays finite when the
+/// histogram has (numerically) zero tail.
+math::PiecewiseLinear fill_curve(const ReuseHistogram& hist,
+                                 std::uint32_t max_ways,
+                                 double mpa_floor = 1e-6,
+                                 std::uint32_t steps_per_way = 64);
+
+}  // namespace repro::core

@@ -1,0 +1,44 @@
+// Mattson stack-distance analysis over recorded access traces.
+//
+// The paper's §3.4 extracts reuse-distance histograms *without* traces
+// (stressmark co-runs + Eq. 8) because tracing is expensive on real
+// hardware. Offline, the classical alternative is Mattson's stack
+// algorithm over an address trace — one pass yields the exact per-set
+// reuse-distance histogram and hence (Eq. 2) the miss-rate curve for
+// every cache size at once. This module provides that reference
+// implementation; it serves as (a) an independent cross-check of the
+// stressmark profiler, (b) the engine of the Dinero-style cachesim
+// tool (related work [1]), and (c) the RapidMRC-style trace-sampling
+// path (related work [10]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/core/reuse_histogram.hpp"
+#include "repro/sim/cache.hpp"
+
+namespace repro::core {
+
+struct MattsonResult {
+  ReuseHistogram histogram{std::vector<double>{1.0}, 0.0};
+  std::uint64_t accesses = 0;
+  std::uint64_t cold_accesses = 0;  // first touches (infinite distance)
+};
+
+/// One pass of Mattson's algorithm over a single process's trace.
+/// Distances are per-set (the paper's definition); distances beyond
+/// `max_depth` and cold misses land in the histogram's tail mass.
+MattsonResult mattson_histogram(std::span<const sim::MemoryAccess> trace,
+                                std::uint32_t sets, std::uint32_t max_depth);
+
+/// Sampled variant (RapidMRC-style): every access updates the stacks,
+/// but only every `sample_period`-th access contributes a distance to
+/// the histogram — an unbiased subsample of the distance distribution
+/// at a fraction of the counting cost.
+MattsonResult mattson_histogram_sampled(
+    std::span<const sim::MemoryAccess> trace, std::uint32_t sets,
+    std::uint32_t max_depth, std::uint32_t sample_period);
+
+}  // namespace repro::core

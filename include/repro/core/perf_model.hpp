@@ -1,0 +1,91 @@
+// The performance model: feature vectors and the equilibrium solver
+// (paper §3.1–§3.3, Eq. 1, 3, 6, 7).
+//
+// A process's feature vector is (reuse-distance histogram, API, α, β):
+// everything the model needs to predict its behaviour under any
+// co-schedule on a shared cache. Given k feature vectors sharing an
+// A-way cache, the steady state satisfies, for a common horizon τ,
+//
+//     G_i⁻¹(S_i) = APS_i(S_i)·τ,   APS_i(S) = API_i / (α_i·MPA_i(S)+β_i)
+//     Σ S_i = A                                            (Eq. 1, 6)
+//
+// equivalent to the paper's Eq. 7 after eliminating τ. Two solvers are
+// provided: the paper's Newton–Raphson on (Eq. 1 + Eq. 7), and a
+// globally robust nested bisection on the τ-parametrization (outer
+// bisection drives Σ S_i(τ) → A; each S_i(τ) is a bracketed scalar
+// root). They agree on every well-posed instance; the bisection form
+// is the default because Newton can stall on nearly-flat MPA curves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repro/core/fill_model.hpp"
+#include "repro/core/reuse_histogram.hpp"
+#include "repro/math/roots.hpp"
+
+namespace repro::core {
+
+/// The §3.4 feature vector, extracted by the stressmark profiler.
+struct FeatureVector {
+  std::string name;
+  ReuseHistogram histogram{std::vector<double>{1.0}, 0.0};
+  double api = 0.0;    // L2 accesses per instruction
+  double alpha = 0.0;  // SPI = alpha·MPA + beta (Eq. 3)
+  double beta = 0.0;
+
+  Spi spi_at(Mpa mpa) const { return alpha * mpa + beta; }
+  void validate() const;
+};
+
+/// Steady-state prediction for one process in a co-schedule.
+struct ProcessPrediction {
+  Ways effective_size = 0.0;  // S_i
+  Mpa mpa = 0.0;              // MPA_i(S_i)
+  Spi spi = 0.0;              // α_i·MPA_i + β_i
+  double aps = 0.0;           // accesses per second = API/SPI
+};
+
+struct EquilibriumOptions {
+  double min_ways = 1e-3;    // lower clamp on any S_i
+  double tolerance = 1e-9;   // on Σ S_i − A
+  double mpa_floor = 1e-6;   // floor inside G⁻¹ integrals
+};
+
+class EquilibriumSolver {
+ public:
+  /// `ways` is the shared cache associativity A.
+  EquilibriumSolver(std::uint32_t ways, EquilibriumOptions options = {});
+
+  /// Predict the steady state of `processes` sharing the cache, one
+  /// process per cache-sharing core (k = processes.size() >= 1).
+  /// k = 1 returns the full-cache operating point.
+  std::vector<ProcessPrediction> solve(
+      const std::vector<FeatureVector>& processes) const;
+
+  /// Weighted variant: `cpu_share[i]` ∈ (0, 1] scales process i's
+  /// access rate (a process time-sharing a core with k−1 others only
+  /// fills the cache 1/k of the time, but its lines stay resident and
+  /// contend continuously). Reported SPI/MPA are per-running-time;
+  /// only the fill rate is scaled. solve() is the all-ones case.
+  std::vector<ProcessPrediction> solve_weighted(
+      const std::vector<FeatureVector>& processes,
+      const std::vector<double>& cpu_share) const;
+
+  /// The paper's formulation: damped Newton–Raphson on Eq. 1 + Eq. 7.
+  /// Throws if Newton fails to converge (the robust solve() does not).
+  std::vector<ProcessPrediction> solve_newton(
+      const std::vector<FeatureVector>& processes) const;
+
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  std::vector<math::PiecewiseLinear> fill_curves(
+      const std::vector<FeatureVector>& processes) const;
+  ProcessPrediction predict_at(const FeatureVector& fv, Ways s) const;
+
+  std::uint32_t ways_;
+  EquilibriumOptions options_;
+};
+
+}  // namespace repro::core

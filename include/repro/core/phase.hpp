@@ -1,0 +1,57 @@
+// Program-phase detection over HPC sample series.
+//
+// §6.1 of the paper records phase information for each benchmark
+// during profiling and models only the dominant phase (following Tam
+// et al.'s RapidMRC): the performance model's single-phase assumption
+// (§3.1) requires distinct phases to be profiled separately. This
+// detector segments a per-window metric series (any HPC-derived
+// signal: MPA, SPI, L2MPS…) into phases with a two-pass algorithm:
+// change-point marking on smoothed windows, then merging of segments
+// whose means are statistically indistinguishable or too short to be
+// "significant" phases.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro::core {
+
+struct Phase {
+  std::size_t begin = 0;  // first window index
+  std::size_t end = 0;    // one past last window index
+  double mean = 0.0;      // metric mean over the phase
+
+  std::size_t length() const { return end - begin; }
+};
+
+struct PhaseDetectorOptions {
+  /// Smoothing half-width (windows) applied before change detection.
+  std::size_t smooth_radius = 2;
+  /// Relative mean change that constitutes a phase boundary.
+  double relative_threshold = 0.25;
+  /// Absolute change floor (guards near-zero metrics).
+  double absolute_threshold = 1e-3;
+  /// Segments shorter than this are merged into a neighbour. Must
+  /// exceed the smoothing smear (≈ 2·smooth_radius + transient) so
+  /// brief blips don't register as phases.
+  std::size_t min_phase_windows = 8;
+};
+
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(PhaseDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Segment a metric series into phases (ordered, covering the whole
+  /// series). A constant series yields one phase.
+  std::vector<Phase> detect(std::span<const double> series) const;
+
+  /// The longest phase (the paper's choice for art and mcf).
+  static const Phase& dominant(const std::vector<Phase>& phases);
+
+ private:
+  PhaseDetectorOptions options_;
+};
+
+}  // namespace repro::core

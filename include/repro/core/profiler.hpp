@@ -1,0 +1,82 @@
+// Automated performance profiling via the stressmark (paper §3.4).
+//
+// For each process of interest, the profiler:
+//   1. runs it alone on an otherwise idle machine, recording its API,
+//      instruction-related event rates (L1RPI, L2RPI, BRPI, FPPI), its
+//      stand-alone MPA/SPI operating point, and its stand-alone power
+//      (the paper's P_alone, recorded for the combined model, §5);
+//   2. co-runs it with the stressmark at every occupancy W = 1..A−1,
+//      recording MPA and SPI at the implied effective size S = A − W;
+//   3. differences the MPA curve into the reuse-distance histogram
+//      (Eq. 8) and fits SPI = α·MPA + β by linear regression (Eq. 3).
+//
+// The result is a ProcessProfile: the feature vector (for the
+// performance model) plus the profiling vector PF (for the combined
+// power estimator). Profiling is O(A) runs per process — this is the
+// linear-vs-exponential win the paper claims over exhaustive
+// co-simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/core/perf_model.hpp"
+#include "repro/hpc/counters.hpp"
+#include "repro/power/oracle.hpp"
+#include "repro/sim/machine.hpp"
+#include "repro/sim/process.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::core {
+
+/// Everything recorded for one process during profiling: the §3.4
+/// feature vector plus the §5 profiling vector PF.
+struct ProcessProfile {
+  std::string name;
+  FeatureVector features;
+
+  // Instruction-related event rates (fixed process properties) and the
+  // stand-alone operating point.
+  hpc::PerInstructionRates alone;
+
+  // Mean processor power while running alone on an idle machine.
+  Watts power_alone = 0.0;
+
+  // Raw profiling curve, kept for diagnostics/tests: entry j is the
+  // measured (MPA, SPI) at effective size j+1 ways.
+  std::vector<Mpa> mpa_at_ways;
+  std::vector<Spi> spi_at_ways;
+};
+
+struct ProfilerOptions {
+  Seconds warmup = 0.02;
+  Seconds measure = 0.06;
+  /// Core hosting the profiled process; the stressmark runs on the
+  /// first core sharing its die's cache.
+  CoreId target_core = 0;
+  std::uint64_t seed = 0x9f01ULL;
+};
+
+class StressmarkProfiler {
+ public:
+  StressmarkProfiler(const sim::MachineConfig& machine,
+                     const power::OracleConfig& oracle,
+                     ProfilerOptions options = {});
+
+  /// Profile one workload (O(A) simulator runs).
+  ProcessProfile profile(const workload::WorkloadSpec& spec) const;
+
+  /// Profile a list of workloads.
+  std::vector<ProcessProfile> profile_all(
+      const std::vector<workload::WorkloadSpec>& specs) const;
+
+ private:
+  sim::MachineConfig machine_;
+  power::OracleConfig oracle_;
+  ProfilerOptions options_;
+  CoreId stress_core_;
+};
+
+}  // namespace repro::core

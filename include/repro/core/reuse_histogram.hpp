@@ -1,0 +1,62 @@
+// Reuse-distance histograms and MPA curves (paper §3.1, Eq. 2).
+//
+// The reuse distance of a cache line is the number of distinct lines
+// in the same set touched between consecutive accesses to it; a
+// process's reuse-distance histogram determines its miss ratio at any
+// effective cache size S: every access with reuse distance > S misses,
+// so MPA(S) is the histogram's upper tail (Eq. 2). The histogram can
+// be built directly (tests, synthetic truth) or from a measured MPA
+// curve by differencing (Eq. 8 — the stressmark profiling identity
+// hist(S) ≈ MPA(S+1) − MPA(S) read in reverse).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/math/piecewise.hpp"
+
+namespace repro::core {
+
+class ReuseHistogram {
+ public:
+  /// Build from distance probabilities: pmf[d-1] = P(distance = d) for
+  /// d = 1..D, tail_mass = P(distance > D) (streaming/compulsory).
+  /// Probabilities must be nonnegative and sum to 1 (±1e-6); they are
+  /// renormalized exactly.
+  ReuseHistogram(std::vector<double> pmf, double tail_mass);
+
+  /// Build from an MPA curve sampled at integer effective sizes:
+  /// mpa_at_ways[s-1] = MPA(S = s) for s = 1..A. Requires a weakly
+  /// decreasing curve in [0, 1] (enforced by clamping measurement
+  /// noise, which the stressmark procedure inevitably produces).
+  static ReuseHistogram from_mpa_curve(std::span<const double> mpa_at_ways);
+
+  /// Eq. 2: probability that an access misses given effective size S
+  /// (continuous S; linear between integer knots; MPA(0) = 1).
+  Mpa mpa(Ways s) const { return mpa_curve_(s); }
+
+  /// P(distance = d), d >= 1.
+  double probability(std::uint32_t distance) const;
+
+  /// P(distance > max_depth()).
+  double tail_mass() const { return tail_mass_; }
+
+  /// Largest depth with explicit probability mass.
+  std::uint32_t max_depth() const {
+    return static_cast<std::uint32_t>(pmf_.size());
+  }
+
+  /// The continuous MPA interpolant (knots at S = 0..max_depth()).
+  const math::PiecewiseLinear& mpa_curve() const { return mpa_curve_; }
+
+ private:
+  void build_curve();
+
+  std::vector<double> pmf_;
+  double tail_mass_ = 0.0;
+  math::PiecewiseLinear mpa_curve_;
+};
+
+}  // namespace repro::core

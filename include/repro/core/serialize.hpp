@@ -1,0 +1,49 @@
+// Persistence for profiles and power models.
+//
+// Profiling (§3.4) and power-model training (§4.1) are the expensive,
+// once-per-machine steps of the framework — on real hardware hours of
+// stressmark runs and clamp measurements. This module stores their
+// results in a line-oriented text format so tools and benches can
+// profile once and reuse: exactly how the paper's system would deploy
+// (profile a new application once, keep its feature vector).
+//
+// Format (one record per line group, '#' comments allowed):
+//   profile v1 <name>
+//   api/alpha/beta/power_alone <value>
+//   alone <l1rpi> <l2rpi> <brpi> <fppi> <l2mpr> <spi>
+//   hist <tail_mass> <p1> <p2> …
+//   mpa_curve <m1> … ; spi_curve <s1> …
+//   end
+//   power_model v1 <cores> <idle_total> <c1> … <c5>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repro/core/power_model.hpp"
+#include "repro/core/profiler.hpp"
+
+namespace repro::core {
+
+void write_profile(std::ostream& os, const ProcessProfile& profile);
+void write_profiles(std::ostream& os,
+                    const std::vector<ProcessProfile>& profiles);
+void write_power_model(std::ostream& os, const PowerModel& model);
+
+/// Parse every record in the stream. Throws repro::Error on malformed
+/// input. Returns all profiles plus the last power model, if any.
+struct ModelStore {
+  std::vector<ProcessProfile> profiles;
+  std::optional<PowerModel> power_model;
+
+  const ProcessProfile* find(const std::string& name) const;
+};
+ModelStore read_store(std::istream& is);
+
+/// File-level convenience. save_store overwrites.
+void save_store(const std::string& path, const ModelStore& store);
+std::optional<ModelStore> load_store(const std::string& path);
+
+}  // namespace repro::core

@@ -1,0 +1,37 @@
+// Multi-variable linear regression (MVLR).
+//
+// The paper's power model (Eq. 9) is an intercepted linear model over
+// five HPC event rates, fitted by MVLR against measured power samples.
+// This class owns the fit and the quality metrics quoted in §4.1
+// (the "96.2% accuracy" comparison against the neural network).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "repro/math/matrix.hpp"
+
+namespace repro::math {
+
+class Mvlr {
+ public:
+  struct Fit {
+    double intercept = 0.0;
+    Vector coefficients;   // one per regressor
+    double r2 = 0.0;       // coefficient of determination on training data
+    double accuracy = 0.0; // 100 − mean abs pct error on training data
+  };
+
+  /// Fit y ≈ intercept + X·c by least squares (Householder QR).
+  /// `rows(X)` are observations; every observation must have the same
+  /// number of regressors; at least regressors+1 observations required.
+  static Fit fit(const Matrix& x, std::span<const double> y);
+
+  /// Evaluate a fit on one observation.
+  static double predict(const Fit& f, std::span<const double> regressors);
+
+  /// Evaluate a fit on a batch of observations.
+  static Vector predict(const Fit& f, const Matrix& x);
+};
+
+}  // namespace repro::math

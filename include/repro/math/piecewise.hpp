@@ -1,0 +1,44 @@
+// Piecewise-linear interpolation with inverse evaluation.
+//
+// The equilibrium solver (paper §3.3) relaxes the discrete per-way
+// quantities MPA(S) and G⁻¹(S) to continuous functions of the
+// effective cache size S. PiecewiseLinear holds sampled knots and
+// provides continuous evaluation, clamped extrapolation, and — for
+// monotone data — inverse lookup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace repro::math {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Knots must be strictly increasing in x; at least one knot.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Linear interpolation between knots; clamps to the end values
+  /// outside the knot range (the natural behaviour for MPA curves,
+  /// which are flat beyond the sampled ways).
+  double operator()(double x) const;
+
+  /// Derivative of the interpolant (piecewise constant; at a knot the
+  /// right-segment slope is returned, 0 outside the range).
+  double derivative(double x) const;
+
+  /// Inverse lookup y → x. Requires the y knots to be monotone
+  /// (either direction); clamps outside the y range.
+  double inverse(double y) const;
+
+  bool empty() const { return xs_.empty(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace repro::math

@@ -1,0 +1,45 @@
+// Root finding: scalar bracketing and multidimensional Newton–Raphson.
+//
+// The paper solves the k-process equilibrium system (Eq. 1 + Eq. 7)
+// with Newton–Raphson iteration. We provide that solver (numeric
+// Jacobian, damped steps) plus a guarded scalar solver used both by the
+// robust nested-bisection formulation of the same system and by G⁻¹
+// evaluation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace repro::math {
+
+/// Find x in [lo, hi] with f(x) = 0 for continuous f with f(lo), f(hi)
+/// of opposite sign (or zero at an endpoint). Bisection with a secant
+/// acceleration step; always converges for a valid bracket.
+double solve_bracketed(const std::function<double(double)>& f, double lo,
+                       double hi, double x_tol = 1e-10, int max_iter = 200);
+
+struct NewtonOptions {
+  int max_iter = 100;
+  double f_tol = 1e-10;       // stop when ‖F‖∞ < f_tol
+  double step_tol = 1e-12;    // stop when the damped step is this small
+  double jacobian_eps = 1e-6; // relative finite-difference perturbation
+};
+
+struct NewtonResult {
+  std::vector<double> x;
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Damped Newton–Raphson for F(x) = 0, F: R^n → R^n, with a numeric
+/// forward-difference Jacobian and backtracking line search on ‖F‖.
+/// An optional `project` callback constrains iterates to the feasible
+/// region (the equilibrium solver keeps every S_i in (0, A)).
+NewtonResult newton_raphson(
+    const std::function<std::vector<double>(const std::vector<double>&)>& f,
+    std::vector<double> x0,
+    const std::function<void(std::vector<double>&)>& project = nullptr,
+    const NewtonOptions& options = {});
+
+}  // namespace repro::math

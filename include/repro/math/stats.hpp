@@ -1,0 +1,48 @@
+// Summary statistics and error metrics used across model validation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace repro::math {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / sample stddev / extrema of a series. Empty input is an error.
+Summary summarize(std::span<const double> xs);
+
+/// Mean of |est − ref| (absolute error).
+double mean_abs_error(std::span<const double> est, std::span<const double> ref);
+
+/// Mean of |est − ref| / |ref| in percent. Reference entries of zero are
+/// rejected: relative error is undefined there.
+double mean_abs_pct_error(std::span<const double> est,
+                          std::span<const double> ref);
+
+/// Max of |est − ref| / |ref| in percent.
+double max_abs_pct_error(std::span<const double> est,
+                         std::span<const double> ref);
+
+/// Pearson correlation coefficient between two equal-length series.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares fit y ≈ slope·x + intercept with the
+/// coefficient of determination R². Used for the SPI = α·MPA + β law.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Accuracy metric matching the paper's usage: 100% − mean absolute
+/// percentage error, floored at 0.
+double accuracy_pct(std::span<const double> est, std::span<const double> ref);
+
+}  // namespace repro::math

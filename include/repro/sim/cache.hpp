@@ -1,0 +1,152 @@
+// Shared set-associative last-level cache with LRU replacement.
+//
+// This is the contention substrate the paper's models describe: k
+// processes mapped to cache-sharing cores contend for the ways of each
+// set. The cache tracks ownership of every line so experiments can
+// observe each process's *effective cache size* (average ways per set,
+// the paper's S_i) as ground truth, and keeps per-process demand
+// reference/miss counts for MPA measurement.
+//
+// An optional next-line stream prefetcher is included for the §3.1
+// prefetching ablation: the paper argues prefetching is of limited
+// value on bandwidth-constrained CMPs (avg 3.25% speedup over 10
+// benchmarks, only equake significant) and the models assume it off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::sim {
+
+struct CacheGeometry {
+  std::uint32_t sets = 1024;
+  std::uint32_t ways = 16;
+  std::uint32_t line_bytes = 64;  // flavor only; timing is cycle-based
+
+  std::size_t total_lines() const {
+    return static_cast<std::size_t>(sets) * ways;
+  }
+};
+
+/// Sentinel for accesses that are not part of a sequential stream.
+inline constexpr std::uint64_t kNoStreamAddr = ~0ull;
+
+/// One L2 access issued by a process: `set` selects the cache set,
+/// `line` identifies the block uniquely within the issuing process
+/// (the cache namespaces by process id). `stream_addr` carries the
+/// global address for sequential accesses so the prefetcher can detect
+/// streams; kNoStreamAddr otherwise.
+struct MemoryAccess {
+  std::uint32_t set = 0;
+  std::uint64_t line = 0;
+  std::uint64_t stream_addr = kNoStreamAddr;
+};
+
+/// Canonical mapping from a global sequential address to a cache
+/// access. Shared between the workload generators (which emit stream
+/// accesses) and the prefetcher (which must predict the next one):
+/// consecutive addresses walk consecutive sets, wrapping into a new
+/// line index, exactly like consecutive physical lines do.
+inline constexpr std::uint64_t kStreamLineBit = 1ull << 40;
+
+inline MemoryAccess stream_access(std::uint64_t stream_addr,
+                                  std::uint32_t sets) {
+  MemoryAccess a;
+  a.set = static_cast<std::uint32_t>(stream_addr % sets);
+  a.line = kStreamLineBit | (stream_addr / sets);
+  a.stream_addr = stream_addr;
+  return a;
+}
+
+class SharedCache {
+ public:
+  struct Stats {
+    double demand_refs = 0.0;
+    double demand_misses = 0.0;
+    double prefetch_issues = 0.0;
+    double prefetch_hits = 0.0;  // demand hits on prefetched lines
+
+    Mpa mpa() const {
+      return demand_refs > 0.0 ? demand_misses / demand_refs : 0.0;
+    }
+  };
+
+  SharedCache(const CacheGeometry& geometry, bool prefetch_enabled,
+              std::uint32_t max_processes);
+
+  /// Perform one demand access for `pid`. Returns true on hit. On miss
+  /// the line is installed at MRU, evicting the set's LRU line (or,
+  /// under way partitioning, the owner's own LRU line once its quota
+  /// is reached).
+  bool access(const MemoryAccess& access, ProcessId pid);
+
+  /// Enable way partitioning: process `pid` may occupy at most
+  /// `quotas[pid]` ways per set (0 = may not allocate). Quota sum may
+  /// not exceed the associativity. Pass an empty vector to return to
+  /// unrestricted shared LRU. Partitioning only constrains future
+  /// installs; call purge() per process to re-balance immediately.
+  void set_partition(std::vector<std::uint32_t> quotas);
+  bool partitioned() const { return !quotas_.empty(); }
+
+  /// Evict all lines owned by `pid` (process exit).
+  void purge(ProcessId pid);
+
+  /// Average ways per set currently owned by `pid` — the measured
+  /// effective cache size S_i.
+  Ways occupancy_ways(ProcessId pid) const;
+
+  const Stats& stats(ProcessId pid) const;
+  void reset_stats();
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  bool prefetch_enabled() const { return prefetch_enabled_; }
+
+ private:
+  // One cache line packed into a word for fast scans and shifts:
+  //   bits [0, 42)  line id (workload line counters and stream ids
+  //                 both fit: kStreamLineBit is bit 40),
+  //   bits [42, 56) owner pid,
+  //   bit 62        prefetched (not yet demand-touched),
+  //   bit 63        valid.
+  // Equality on the low 56 bits is exactly (line, owner) identity.
+  using Line = std::uint64_t;
+  static constexpr int kOwnerShift = 42;
+  static constexpr Line kPrefetchedBit = 1ull << 62;
+  static constexpr Line kValidBit = 1ull << 63;
+  static constexpr Line kIdentityMask = (1ull << 56) - 1;
+
+  static Line pack(std::uint64_t line, ProcessId pid, bool prefetched) {
+    return line | (static_cast<Line>(pid) << kOwnerShift) | kValidBit |
+           (prefetched ? kPrefetchedBit : 0ull);
+  }
+  static ProcessId owner_of(Line l) {
+    return static_cast<ProcessId>((l & kIdentityMask) >> kOwnerShift);
+  }
+
+  Line* set_begin(std::uint32_t set) {
+    return lines_.data() + static_cast<std::size_t>(set) * geometry_.ways;
+  }
+
+  /// Install (set, line) for pid at MRU, evicting LRU if needed.
+  void install(std::uint32_t set, std::uint64_t line, ProcessId pid,
+               bool prefetched);
+
+  /// Look up a line; moves it to MRU position on hit and returns the
+  /// way slot, or geometry_.ways on miss.
+  std::uint32_t lookup_and_touch(std::uint32_t set, std::uint64_t line,
+                                 ProcessId pid, bool* was_prefetched);
+
+  CacheGeometry geometry_;
+  bool prefetch_enabled_;
+  std::vector<std::uint32_t> quotas_;  // empty = shared LRU
+  // Per set: lines in MRU-first order (slot 0 = most recent).
+  std::vector<Line> lines_;
+  std::vector<Stats> stats_;             // indexed by pid
+  std::vector<double> resident_lines_;   // per pid, for occupancy
+  std::vector<std::uint64_t> last_stream_addr_;  // per pid
+};
+
+}  // namespace repro::sim

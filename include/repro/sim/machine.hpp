@@ -1,0 +1,61 @@
+// Machine topologies mirroring the paper's three validation platforms.
+//
+// The paper validates on (a) an Intel Core 2 Quad Q6600 "4-core
+// server" — two dies, two cores per die, each die pair sharing a 4 MB
+// 16-way L2 (8 MB total); (b) a Pentium Dual-Core E2220 "2-core
+// workstation" with a shared 1 MB L2; and (c) a Core 2 Duo "laptop"
+// with a shared 3 MB 12-way L2. Only the *geometry that the models see*
+// matters — associativity, sharing topology, timing ratios — so the
+// presets keep real associativities and sharing but scale the set
+// count down (statistically equivalent set sampling: workload
+// generators draw sets uniformly and i.i.d., so fewer sets only reduces
+// simulation cost, not fidelity per set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/sim/cache.hpp"
+
+namespace repro::sim {
+
+struct MachineConfig {
+  std::string name;
+  std::uint32_t cores = 0;
+  std::vector<DieId> core_to_die;  // cores sharing a die share its L2
+  std::uint32_t dies = 0;
+  CacheGeometry l2;                 // per-die last-level cache
+  Hertz frequency = 2.4e9;
+  /// Optional per-core clock overrides for heterogeneous processors
+  /// (§1: the models "accommodate heterogeneous tasks and
+  /// processors"). Empty = every core runs at `frequency`.
+  std::vector<Hertz> core_frequency;
+  double l2_hit_cycles = 14.0;      // L2 access latency on an L1 miss
+  double memory_cycles = 220.0;     // main-memory latency on an L2 miss
+  bool prefetch_enabled = false;    // §3.1: the models assume it off
+
+  Hertz frequency_of(CoreId core) const {
+    return core_frequency.empty() ? frequency : core_frequency.at(core);
+  }
+  std::vector<CoreId> cores_on_die(DieId die) const;
+  /// Cores sharing the last-level cache with `core`, excluding it —
+  /// the paper's partner set PS_C.
+  std::vector<CoreId> partner_set(CoreId core) const;
+  void validate() const;
+};
+
+/// Core 2 Quad Q6600 class: 4 cores, 2 dies × 2 cores, 16-way L2 per
+/// die, 2.4 GHz ("4-core server").
+MachineConfig four_core_server();
+
+/// Pentium Dual-Core E2220 class: 2 cores, one die, 8-way L2, 2.4 GHz
+/// ("2-core workstation").
+MachineConfig two_core_workstation();
+
+/// Core 2 Duo class: 2 cores, one die, 12-way L2, 2.13 GHz (the second
+/// performance-validation machine).
+MachineConfig core2_duo_laptop();
+
+}  // namespace repro::sim

@@ -1,0 +1,56 @@
+// Process abstraction: instruction mix + memory access stream.
+//
+// The simulator models a process as (a) an InstructionMix — the
+// per-instruction event densities that the paper treats as fixed
+// process properties (§5) plus a base CPI — and (b) an AccessGenerator
+// producing its L2 access stream. Concrete generators live in the
+// workload module; the simulator only consumes this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "repro/common/rng.hpp"
+#include "repro/common/units.hpp"
+#include "repro/sim/cache.hpp"
+
+namespace repro::sim {
+
+/// Per-instruction event densities and pipeline baseline. The timing
+/// model derives from these:
+///   cycles = instructions · base_cpi
+///          + l2_refs · l2_hit_cycles  (+ memory penalty on L2 miss)
+/// so SPI is linear in MPA at fixed mix — the empirical Eq. 3 law the
+/// paper relies on emerges from the substrate rather than being
+/// assumed by it.
+struct InstructionMix {
+  double l2_api = 0.01;   // L2 accesses per instruction (paper's API)
+  double l1_rpi = 0.33;   // L1 data refs per instruction
+  double branch_pi = 0.15;
+  double fp_pi = 0.05;
+  double base_cpi = 1.0;  // CPI excluding L2/memory stalls
+
+  void validate() const {
+    REPRO_ENSURE(l2_api > 0.0 && l2_api <= 1.0, "API out of range");
+    REPRO_ENSURE(l1_rpi >= l2_api, "L1 refs must dominate L2 refs");
+    REPRO_ENSURE(branch_pi >= 0.0 && fp_pi >= 0.0, "negative densities");
+    REPRO_ENSURE(base_cpi > 0.0, "base CPI must be positive");
+  }
+};
+
+/// Produces the L2 access stream of one process. Implementations hold
+/// all address-stream state (LRU stacks, stream cursors) and must be
+/// deterministic given the Rng passed in.
+class AccessGenerator {
+ public:
+  virtual ~AccessGenerator() = default;
+
+  /// Next L2 access. `rng` is the process's private stream.
+  virtual MemoryAccess next(Rng& rng) = 0;
+
+  /// Clone with fresh (cold) state — used to run the same workload in
+  /// multiple scenarios or instances.
+  virtual std::unique_ptr<AccessGenerator> clone() const = 0;
+};
+
+}  // namespace repro::sim

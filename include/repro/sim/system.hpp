@@ -1,0 +1,143 @@
+// Full-system multi-programmed multi-core simulator.
+//
+// System glues the substrate together: per-die shared L2 caches,
+// in-order cores with a miss-penalty timing model, a round-robin
+// timeslice scheduler (the paper's multi-programmed environment), the
+// HPC sampling grid (30 ms, matching PAPI usage in §6.1), and the
+// power measurement chain (oracle → current clamp → reconstructed
+// watts). Experiments construct a System per scenario, add processes,
+// optionally warm up, then run() to collect a RunResult: the "measured"
+// side of every validation in the paper.
+//
+// The engine is event-driven at L2-access granularity: the busy core
+// with the smallest local clock advances by one L2 access at a time,
+// so cross-core cache interleaving is faithful to the relative access
+// rates that emerge from each process's (contention-dependent) timing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repro/common/rng.hpp"
+#include "repro/common/units.hpp"
+#include "repro/hpc/counters.hpp"
+#include "repro/power/oracle.hpp"
+#include "repro/sim/cache.hpp"
+#include "repro/sim/machine.hpp"
+#include "repro/sim/process.hpp"
+
+namespace repro::sim {
+
+struct SystemConfig {
+  MachineConfig machine;
+  Seconds timeslice = kTimeslice;          // §4.2: 20 ms quantum
+  Seconds sample_period = kHpcSamplePeriod;  // §6.1: 30 ms HPC sampling
+  std::uint32_t max_processes = 32;
+};
+
+/// One HPC + power sample (a 30 ms window).
+struct Sample {
+  Seconds time = 0.0;  // window end, virtual time
+  std::vector<hpc::EventRates> core_rates;  // per core; zeros when idle
+  Watts true_power = 0.0;      // oracle output (never shown to models)
+  Watts measured_power = 0.0;  // via the simulated clamp + DAQ
+  std::vector<Ways> occupancy;  // per process, ways/set at window end
+};
+
+/// Per-process measurements over one run() window.
+struct ProcessReport {
+  ProcessId pid = kNoProcess;
+  std::string name;
+  CoreId core = 0;
+  hpc::Counters counters;  // deltas over the run window
+  Seconds cpu_time = 0.0;  // scheduled time over the window
+  Ways mean_occupancy = 0.0;
+
+  Mpa mpa() const {
+    return counters.l2_refs > 0.0 ? counters.l2_misses / counters.l2_refs
+                                  : 0.0;
+  }
+  Spi spi() const {
+    REPRO_ENSURE(counters.instructions > 0.0, "no instructions in window");
+    return cpu_time / counters.instructions;
+  }
+  hpc::PerInstructionRates per_instruction() const {
+    return hpc::PerInstructionRates::from(counters, cpu_time);
+  }
+};
+
+struct RunResult {
+  Seconds duration = 0.0;
+  std::vector<Sample> samples;
+  std::vector<ProcessReport> processes;
+
+  Watts mean_true_power() const;
+  Watts mean_measured_power() const;
+  const ProcessReport& process(ProcessId pid) const;
+};
+
+class System {
+ public:
+  System(const SystemConfig& config, const power::OracleConfig& oracle,
+         std::uint64_t seed);
+
+  /// Add a process to `core`'s run queue (round-robin time sharing when
+  /// a core has several). Returns its pid (dense, starting at 0).
+  ProcessId add_process(std::string name, CoreId core, InstructionMix mix,
+                        std::unique_ptr<AccessGenerator> generator);
+
+  /// Way-partition a die's L2 among the processes (quotas indexed by
+  /// pid; see SharedCache::set_partition).
+  void set_partition(DieId die, std::vector<std::uint32_t> quotas);
+
+  /// Advance without recording (cache warm-up before measurement).
+  void warm_up(Seconds duration);
+
+  /// Advance `duration` of virtual time, recording HPC samples, power
+  /// samples, and per-process statistics over exactly this window.
+  RunResult run(Seconds duration);
+
+  const SharedCache& l2(DieId die) const;
+  const SystemConfig& config() const { return config_; }
+  Seconds now() const { return now_; }
+  std::uint32_t process_count() const {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+
+ private:
+  struct Process {
+    std::string name;
+    CoreId core = 0;
+    InstructionMix mix;
+    std::unique_ptr<AccessGenerator> generator;
+    Rng rng;
+    hpc::Counters totals;    // lifetime
+    Seconds cpu_time = 0.0;  // lifetime
+  };
+
+  struct Core {
+    Seconds clock = 0.0;
+    std::vector<ProcessId> run_queue;
+    std::size_t current = 0;
+    Seconds slice_end = 0.0;
+    hpc::Counters totals;  // lifetime, all processes that ran here
+  };
+
+  void advance_one_access(Core& core);
+  void advance_to(Seconds target);  // event loop until all clocks >= target
+  Sample take_sample(Seconds window_end, Seconds window_len,
+                     const std::vector<hpc::Counters>& core_start);
+
+  SystemConfig config_;
+  power::PowerOracle oracle_;
+  power::CurrentClamp clamp_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SharedCache>> l2_;  // per die
+  std::vector<Core> cores_;
+  std::vector<Process> processes_;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,70 @@
+// Stack-distance access generator.
+//
+// Turns a WorkloadSpec's reuse-distance distribution into a concrete
+// L2 access stream with exactly that per-set self-reuse behaviour:
+// each access picks a set uniformly and then either
+//   • revisits its own d-th most-recently-used line in that set
+//     (drawn stack depth d — per-set reuse distance d by construction),
+//   • touches a brand-new line (compulsory miss), or
+//   • advances a global sequential stream (compulsory miss coverable
+//     by a next-line prefetcher).
+//
+// The generator tracks the process's *address pattern*, not cache
+// state: whether a revisited line is still resident is decided by the
+// shared cache under contention, which is precisely the phenomenon the
+// paper models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "repro/common/rng.hpp"
+#include "repro/sim/process.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::workload {
+
+class StackDistanceGenerator final : public sim::AccessGenerator {
+ public:
+  /// `sets` must match the geometry of the cache the process will run
+  /// against. `stack_cap` bounds the per-set MRU stack; 0 (default)
+  /// sizes it to the deepest reuse weight, which is exact: depths
+  /// beyond the deepest drawn weight are never requested, and new
+  /// lines falling off the ring were unreachable anyway.
+  StackDistanceGenerator(const WorkloadSpec& spec, std::uint32_t sets,
+                         std::uint32_t stack_cap = 0);
+
+  sim::MemoryAccess next(Rng& rng) override;
+  std::unique_ptr<sim::AccessGenerator> clone() const override;
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  sim::MemoryAccess reuse_access(std::uint32_t set, std::uint32_t depth);
+  sim::MemoryAccess new_line_access(std::uint32_t set);
+
+  WorkloadSpec spec_;
+  std::uint32_t sets_;
+  std::uint32_t stack_cap_;
+  DiscreteSampler outcome_;  // depths 1..D, then NEW, then STREAM
+  std::size_t new_outcome_;
+  std::size_t stream_outcome_;
+
+  // Per-set MRU stacks of this process's own line ids, stored as ring
+  // buffers in one flat allocation: head_[s] indexes the MRU slot of
+  // set s inside stack_buf_[s·cap .. (s+1)·cap). Rings make the common
+  // operations cheap: a new line is an O(1) head decrement; moving a
+  // reused line to the front shifts only the d−1 younger entries.
+  std::vector<std::uint64_t> stack_buf_;
+  std::vector<std::uint16_t> head_;
+  std::vector<std::uint16_t> size_;
+  std::uint64_t next_line_id_ = 0;
+  std::uint64_t stream_cursor_;
+};
+
+/// Convenience: generator for a named suite workload.
+std::unique_ptr<sim::AccessGenerator> make_generator(
+    const std::string& name, std::uint32_t sets);
+
+}  // namespace repro::workload

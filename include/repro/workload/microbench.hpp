@@ -1,0 +1,38 @@
+// The power-model training micro-benchmark.
+//
+// §4.1 of the paper uses a 6-phase micro-benchmark for power-model
+// construction: phase 0 records idle power, and each of the following
+// five phases explicitly exercises one architectural block (L1, L2,
+// L2-miss path, branch unit, FP unit) at 8 stepped access frequencies
+// (highest first, reduced every 10 s). This module provides the same
+// coverage as a family of WorkloadSpecs: one spec per
+// (component, level) cell. The trainer runs each cell and harvests
+// (HPC rates, measured power) samples, which is what stepping the
+// frequencies inside one long process achieves on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/workload/spec.hpp"
+
+namespace repro::workload {
+
+enum class MicrobenchComponent : std::uint8_t {
+  kL1,      // L1 data references
+  kL2,      // L2 references (hits)
+  kL2Miss,  // L2 misses (streaming, all-compulsory)
+  kBranch,  // branch instructions
+  kFp,      // floating point instructions
+};
+
+inline constexpr int kMicrobenchLevels = 8;  // stepped frequencies/phase
+
+/// Spec for one (component, level) cell; level 0 is the highest access
+/// frequency, level 7 the lowest, matching the paper's 10 s steps.
+WorkloadSpec microbench_spec(MicrobenchComponent component, int level);
+
+/// All 5 × 8 cells in phase order.
+std::vector<WorkloadSpec> microbench_all_phases();
+
+}  // namespace repro::workload

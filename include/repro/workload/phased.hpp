@@ -1,0 +1,52 @@
+// Multi-phase workloads.
+//
+// The paper's performance model assumes single-phased processes
+// (§3.1): "in the case of multiple non-repeating phases with distinct
+// memory access patterns, non-repeating phases should be modeled
+// separately", and §6.1 records phase information during profiling
+// (only art and mcf had more than one significant phase; the longest
+// phase was used). PhasedGenerator builds workloads that violate the
+// single-phase assumption on purpose: it plays a sequence of reuse
+// profiles, switching after a configured number of accesses, so phase
+// detection (core/phase.hpp) and the models' robustness can be
+// exercised.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "repro/sim/process.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::workload {
+
+struct PhaseSegment {
+  WorkloadSpec spec;
+  std::uint64_t accesses = 0;  // length of this phase, in L2 accesses
+};
+
+class PhasedGenerator final : public sim::AccessGenerator {
+ public:
+  /// Plays `segments` in order; after the last segment it stays in the
+  /// final phase (non-repeating phases, like SPEC program stages).
+  /// All segments must share one instruction mix (the mix is a process
+  /// property in the simulator); pass it at System::add_process time.
+  PhasedGenerator(std::vector<PhaseSegment> segments, std::uint32_t sets);
+
+  sim::MemoryAccess next(Rng& rng) override;
+  std::unique_ptr<sim::AccessGenerator> clone() const override;
+
+  std::size_t current_phase() const { return phase_; }
+  std::size_t phase_count() const { return segments_.size(); }
+
+ private:
+  std::vector<PhaseSegment> segments_;
+  std::uint32_t sets_;
+  std::size_t phase_ = 0;
+  std::uint64_t accesses_in_phase_ = 0;
+  std::unique_ptr<StackDistanceGenerator> active_;
+};
+
+}  // namespace repro::workload

@@ -1,0 +1,57 @@
+// Workload specifications — the SPEC CPU2000 substitute suite.
+//
+// The paper's testsuite is 8–10 SPEC CPU2000 benchmarks (gzip, vpr,
+// gcc, mcf, bzip2, twolf, parser, art, equake, ammp) spanning
+// CPU-intensive to memory-intensive behaviour. SPEC sources and inputs
+// are licensed, so this module defines *synthetic* workloads with the
+// properties the models actually consume:
+//
+//   • a per-set reuse-distance distribution (the paper's histogram,
+//     §3.1) — a weight per stack depth plus weights for compulsory
+//     ("new line") and sequential-stream accesses,
+//   • an InstructionMix (API, L1RPI, BRPI, FPPI, base CPI) — the fixed
+//     per-instruction process properties of §5.
+//
+// Parameters are chosen so the suite covers the same qualitative
+// spread: small hot working sets (gzip), cache-sized sets sensitive to
+// contention (vpr, twolf, art), streaming memory-bound behaviour
+// (mcf, equake), and FP-heavy mixes (art, equake, ammp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repro/sim/process.hpp"
+
+namespace repro::workload {
+
+struct WorkloadSpec {
+  std::string name;
+  /// reuse_weights[d-1] is the (unnormalized) weight of stack depth d:
+  /// "access the d-th most recently used of my own lines in this set".
+  std::vector<double> reuse_weights;
+  /// Weight of accesses to brand-new lines (compulsory misses that are
+  /// not part of a detectable stream).
+  double new_line_weight = 0.0;
+  /// Weight of sequential-stream accesses (compulsory misses that a
+  /// next-line prefetcher can cover).
+  double stream_weight = 0.0;
+  sim::InstructionMix mix;
+
+  void validate() const;
+};
+
+/// The ten-workload suite named after its SPEC CPU2000 inspirations.
+/// The first eight (gzip, vpr, mcf, bzip2, twolf, art, equake, ammp)
+/// are the paper's main testsuite; gcc and parser extend it to the ten
+/// used on the second performance-validation machine.
+const std::vector<WorkloadSpec>& spec_suite();
+
+/// Look up a suite workload by name; throws if unknown.
+const WorkloadSpec& find_spec(const std::string& name);
+
+/// Weight-vector builders for custom workloads.
+std::vector<double> geometric_weights(double ratio, std::size_t depths);
+std::vector<double> uniform_weights(std::size_t depths);
+
+}  // namespace repro::workload

@@ -1,0 +1,28 @@
+// The stressmark — a benchmark with configurable cache contention.
+//
+// §3.4 of the paper extracts reuse-distance histograms by co-running
+// the process of interest with "a carefully designed benchmark with
+// configurable cache contention characteristics". Our stressmark with
+// parameter W cycles through exactly W distinct lines per set (every
+// access has per-set reuse distance W), with an access rate high
+// enough to dominate the shared LRU cache and pin its effective size
+// at ≈ W ways, leaving A − W ways to the profiled process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "repro/sim/process.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::workload {
+
+/// Stressmark spec occupying `ways` ways of every set.
+WorkloadSpec make_stressmark_spec(std::uint32_t ways);
+
+/// Generator + mix for a stressmark targeting `ways` ways, against a
+/// cache with `sets` sets.
+std::unique_ptr<sim::AccessGenerator> make_stressmark(std::uint32_t ways,
+                                                      std::uint32_t sets);
+
+}  // namespace repro::workload

@@ -1,0 +1,126 @@
+#include "repro/baseline/chandra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::baseline {
+
+namespace {
+
+core::ProcessPrediction at_size(const core::FeatureVector& fv, double s,
+                                std::uint32_t ways) {
+  core::ProcessPrediction p;
+  p.effective_size = std::clamp(s, 0.0, static_cast<double>(ways));
+  p.mpa = fv.histogram.mpa(p.effective_size);
+  p.spi = fv.spi_at(p.mpa);
+  p.aps = fv.api / p.spi;
+  return p;
+}
+
+/// Stand-alone accesses per second (full cache → lowest MPA).
+double alone_aps(const core::FeatureVector& fv, std::uint32_t ways) {
+  return fv.api / fv.spi_at(fv.histogram.mpa(static_cast<double>(ways)));
+}
+
+std::vector<core::ProcessPrediction> share_by_frequency(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways,
+    const std::vector<double>& freq) {
+  double total = 0.0;
+  for (double f : freq) total += f;
+  REPRO_ENSURE(total > 0.0, "degenerate frequencies");
+  std::vector<core::ProcessPrediction> out;
+  out.reserve(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i)
+    out.push_back(at_size(processes[i],
+                          static_cast<double>(ways) * freq[i] / total,
+                          ways));
+  return out;
+}
+
+}  // namespace
+
+std::vector<core::ProcessPrediction> predict_foa(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways) {
+  REPRO_ENSURE(!processes.empty() && ways > 0, "bad FOA inputs");
+  for (const core::FeatureVector& fv : processes) fv.validate();
+  if (processes.size() == 1)
+    return {at_size(processes[0], ways, ways)};
+  std::vector<double> freq;
+  freq.reserve(processes.size());
+  for (const core::FeatureVector& fv : processes)
+    freq.push_back(alone_aps(fv, ways));
+  return share_by_frequency(processes, ways, freq);
+}
+
+std::vector<core::ProcessPrediction> predict_sdc(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways) {
+  REPRO_ENSURE(!processes.empty() && ways > 0, "bad SDC inputs");
+  for (const core::FeatureVector& fv : processes) fv.validate();
+  const std::size_t k = processes.size();
+  if (k == 1) return {at_size(processes[0], ways, ways)};
+
+  // Per-thread stack-distance counters, scaled to access rates:
+  // c_t(d) = rate_t · P_t(distance = d). SDC's merge walks the A ways
+  // of the merged profile, at each step granting the next way to the
+  // thread whose current head counter is largest, then advancing that
+  // thread's depth pointer.
+  std::vector<double> rate(k);
+  for (std::size_t t = 0; t < k; ++t)
+    rate[t] = alone_aps(processes[t], ways);
+
+  std::vector<std::uint32_t> depth(k, 1);   // next histogram position
+  std::vector<std::uint32_t> granted(k, 0);  // ways won
+  for (std::uint32_t slot = 0; slot < ways; ++slot) {
+    std::size_t best = 0;
+    double best_value = -1.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      const double value =
+          rate[t] * processes[t].histogram.probability(depth[t]);
+      if (value > best_value) {
+        best_value = value;
+        best = t;
+      }
+    }
+    ++granted[best];
+    ++depth[best];
+  }
+
+  std::vector<core::ProcessPrediction> out;
+  out.reserve(k);
+  for (std::size_t t = 0; t < k; ++t)
+    out.push_back(at_size(processes[t], granted[t], ways));
+  return out;
+}
+
+std::vector<core::ProcessPrediction> predict_foa_iterated(
+    const std::vector<core::FeatureVector>& processes, std::uint32_t ways,
+    int max_iterations, double damping) {
+  REPRO_ENSURE(!processes.empty() && ways > 0, "bad FOA-iter inputs");
+  REPRO_ENSURE(damping > 0.0 && damping <= 1.0, "bad damping");
+  for (const core::FeatureVector& fv : processes) fv.validate();
+  const std::size_t k = processes.size();
+  if (k == 1) return {at_size(processes[0], ways, ways)};
+
+  std::vector<double> freq(k);
+  for (std::size_t t = 0; t < k; ++t)
+    freq[t] = alone_aps(processes[t], ways);
+
+  std::vector<core::ProcessPrediction> pred;
+  for (int it = 0; it < max_iterations; ++it) {
+    pred = share_by_frequency(processes, ways, freq);
+    double delta = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      const double updated =
+          damping * pred[t].aps + (1.0 - damping) * freq[t];
+      delta = std::max(delta, std::fabs(updated - freq[t]) /
+                                  std::max(freq[t], 1.0));
+      freq[t] = updated;
+    }
+    if (delta < 1e-9) break;
+  }
+  return share_by_frequency(processes, ways, freq);
+}
+
+}  // namespace repro::baseline

@@ -1,0 +1,45 @@
+#include "repro/common/rng.hpp"
+
+#include <numeric>
+
+namespace repro {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  REPRO_ENSURE(!weights.empty(), "discrete distribution needs >= 1 outcome");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    REPRO_ENSURE(w >= 0.0, "discrete weights must be nonnegative");
+    total += w;
+  }
+  REPRO_ENSURE(total > 0.0, "discrete weights must have a positive sum");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's alias method. Scale so the mean bucket weight is 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+}  // namespace repro

@@ -1,0 +1,32 @@
+#include "repro/core/analytic.hpp"
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+FeatureVector analytic_features(const workload::WorkloadSpec& spec,
+                                const sim::MachineConfig& machine) {
+  spec.validate();
+  machine.validate();
+
+  double total = spec.new_line_weight + spec.stream_weight;
+  for (double w : spec.reuse_weights) total += w;
+  std::vector<double> pmf(spec.reuse_weights.size());
+  for (std::size_t d = 0; d < pmf.size(); ++d)
+    pmf[d] = spec.reuse_weights[d] / total;
+  const double tail = (spec.new_line_weight + spec.stream_weight) / total;
+
+  FeatureVector fv;
+  fv.name = spec.name;
+  fv.histogram = ReuseHistogram(std::move(pmf), tail);
+  fv.api = spec.mix.l2_api;
+  fv.beta = (spec.mix.base_cpi + spec.mix.l2_api * machine.l2_hit_cycles) /
+            machine.frequency;
+  fv.alpha = spec.mix.l2_api *
+             (machine.memory_cycles - machine.l2_hit_cycles) /
+             machine.frequency;
+  fv.validate();
+  return fv;
+}
+
+}  // namespace repro::core

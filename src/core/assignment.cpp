@@ -1,0 +1,77 @@
+#include "repro/core/assignment.hpp"
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+AssignmentSearchResult optimize_assignment(
+    const CombinedEstimator& estimator,
+    std::span<const ProcessProfile> profiles,
+    AssignmentObjective objective) {
+  const std::uint32_t cores = estimator.machine().cores;
+  const std::size_t k = profiles.size();
+  REPRO_ENSURE(k > 0, "nothing to assign");
+
+  AssignmentSearchResult best;
+  std::vector<std::uint32_t> placement(k, 0);
+  bool have_best = false;
+
+  while (true) {
+    Assignment a = Assignment::empty(cores);
+    for (std::size_t p = 0; p < k; ++p)
+      a.per_core[placement[p]].push_back(p);
+    const CombinedEstimator::Detailed detail =
+        estimator.estimate_detailed(profiles, a);
+    const double value = objective == AssignmentObjective::kPower
+                             ? detail.power
+                             : detail.energy_per_instruction();
+    ++best.evaluated;
+    if (!have_best || value < best.objective_value) {
+      best.objective_value = value;
+      best.predicted_power = detail.power;
+      best.predicted_throughput_ips = detail.throughput_ips;
+      best.assignment = std::move(a);
+      have_best = true;
+    }
+
+    // Odometer over core choices.
+    std::size_t p = 0;
+    while (p < k && ++placement[p] == cores) {
+      placement[p] = 0;
+      ++p;
+    }
+    if (p == k) break;
+  }
+  return best;
+}
+
+AssignmentSearchResult greedy_assignment(
+    const CombinedEstimator& estimator,
+    std::span<const ProcessProfile> profiles) {
+  const std::uint32_t cores = estimator.machine().cores;
+  REPRO_ENSURE(!profiles.empty(), "nothing to assign");
+
+  AssignmentSearchResult result;
+  result.assignment = Assignment::empty(cores);
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    Watts best_power = 0.0;
+    CoreId best_core = 0;
+    bool have = false;
+    for (CoreId c = 0; c < cores; ++c) {
+      Assignment trial = result.assignment;
+      trial.per_core[c].push_back(p);
+      const Watts power = estimator.estimate(profiles, trial);
+      ++result.evaluated;
+      if (!have || power < best_power) {
+        best_power = power;
+        best_core = c;
+        have = true;
+      }
+    }
+    result.assignment.per_core[best_core].push_back(p);
+    result.predicted_power = best_power;
+  }
+  return result;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,79 @@
+#include "repro/core/mattson.hpp"
+
+#include <algorithm>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+namespace {
+
+MattsonResult run_mattson(std::span<const sim::MemoryAccess> trace,
+                          std::uint32_t sets, std::uint32_t max_depth,
+                          std::uint32_t sample_period) {
+  REPRO_ENSURE(sets > 0 && max_depth > 0 && sample_period > 0,
+               "bad mattson arguments");
+
+  // Per-set LRU stacks, capped: any line deeper than max_depth would
+  // only ever contribute to the tail, so it can be dropped.
+  const std::uint32_t cap = max_depth + 1;
+  std::vector<std::vector<std::uint64_t>> stacks(sets);
+  std::vector<double> counts(max_depth, 0.0);
+  double tail = 0.0;
+  std::uint64_t cold = 0;
+  std::uint64_t sampled = 0;
+
+  std::uint64_t index = 0;
+  for (const sim::MemoryAccess& access : trace) {
+    REPRO_ENSURE(access.set < sets, "trace access outside set range");
+    std::vector<std::uint64_t>& stack = stacks[access.set];
+    const bool counted = (index++ % sample_period) == 0;
+
+    const auto it = std::find(stack.begin(), stack.end(), access.line);
+    if (it == stack.end()) {
+      if (counted) {
+        ++cold;
+        tail += 1.0;  // infinite distance: misses at every size
+        ++sampled;
+      }
+      stack.insert(stack.begin(), access.line);
+      if (stack.size() > cap) stack.pop_back();
+      continue;
+    }
+    const std::uint32_t distance =
+        static_cast<std::uint32_t>(it - stack.begin()) + 1;
+    stack.erase(it);
+    stack.insert(stack.begin(), access.line);
+    if (!counted) continue;
+    ++sampled;
+    if (distance <= max_depth)
+      counts[distance - 1] += 1.0;
+    else
+      tail += 1.0;
+  }
+
+  MattsonResult result;
+  result.accesses = trace.size();
+  result.cold_accesses = cold;
+  REPRO_ENSURE(sampled > 0, "trace too short for the sampling period");
+  const double total = static_cast<double>(sampled);
+  for (double& c : counts) c /= total;
+  result.histogram = ReuseHistogram(std::move(counts), tail / total);
+  return result;
+}
+
+}  // namespace
+
+MattsonResult mattson_histogram(std::span<const sim::MemoryAccess> trace,
+                                std::uint32_t sets,
+                                std::uint32_t max_depth) {
+  return run_mattson(trace, sets, max_depth, 1);
+}
+
+MattsonResult mattson_histogram_sampled(
+    std::span<const sim::MemoryAccess> trace, std::uint32_t sets,
+    std::uint32_t max_depth, std::uint32_t sample_period) {
+  return run_mattson(trace, sets, max_depth, sample_period);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,180 @@
+#include "repro/core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+void FeatureVector::validate() const {
+  REPRO_ENSURE(api > 0.0, "API must be positive");
+  REPRO_ENSURE(beta > 0.0, "beta (zero-miss SPI) must be positive");
+  REPRO_ENSURE(alpha > -beta, "SPI law must stay positive on [0, 1]");
+}
+
+EquilibriumSolver::EquilibriumSolver(std::uint32_t ways,
+                                     EquilibriumOptions options)
+    : ways_(ways), options_(options) {
+  REPRO_ENSURE(ways_ > 0, "cache needs ways");
+  REPRO_ENSURE(options_.min_ways > 0.0 &&
+                   options_.min_ways < static_cast<double>(ways_),
+               "bad min_ways");
+}
+
+std::vector<math::PiecewiseLinear> EquilibriumSolver::fill_curves(
+    const std::vector<FeatureVector>& processes) const {
+  std::vector<math::PiecewiseLinear> curves;
+  curves.reserve(processes.size());
+  for (const FeatureVector& fv : processes)
+    curves.push_back(fill_curve(fv.histogram, ways_, options_.mpa_floor));
+  return curves;
+}
+
+ProcessPrediction EquilibriumSolver::predict_at(const FeatureVector& fv,
+                                                Ways s) const {
+  ProcessPrediction p;
+  p.effective_size = std::clamp(s, 0.0, static_cast<double>(ways_));
+  p.mpa = fv.histogram.mpa(p.effective_size);
+  p.spi = fv.spi_at(p.mpa);
+  REPRO_ENSURE(p.spi > 0.0, "non-positive predicted SPI");
+  p.aps = fv.api / p.spi;
+  return p;
+}
+
+std::vector<ProcessPrediction> EquilibriumSolver::solve(
+    const std::vector<FeatureVector>& processes) const {
+  return solve_weighted(processes,
+                        std::vector<double>(processes.size(), 1.0));
+}
+
+std::vector<ProcessPrediction> EquilibriumSolver::solve_weighted(
+    const std::vector<FeatureVector>& processes,
+    const std::vector<double>& cpu_share) const {
+  const std::size_t k = processes.size();
+  REPRO_ENSURE(k >= 1, "need at least one process");
+  REPRO_ENSURE(cpu_share.size() == k, "one share per process");
+  for (double w : cpu_share)
+    REPRO_ENSURE(w > 0.0 && w <= 1.0, "shares must be in (0, 1]");
+  for (const FeatureVector& fv : processes) fv.validate();
+
+  const double a = static_cast<double>(ways_);
+  if (k == 1) return {predict_at(processes[0], a)};
+  REPRO_ENSURE(options_.min_ways * static_cast<double>(k) < a,
+               "too many processes for the associativity");
+
+  const std::vector<math::PiecewiseLinear> fill = fill_curves(processes);
+
+  // Share-weighted APS_i at effective size S (Eq. 6 right-hand side):
+  // a time-shared process issues accesses only while scheduled, so its
+  // fill rate over wall time scales by its CPU share.
+  auto aps_at = [&](std::size_t i, double s) {
+    const Mpa mpa = processes[i].histogram.mpa(s);
+    return cpu_share[i] * processes[i].api / processes[i].spi_at(mpa);
+  };
+
+  // S_i(τ): the unique bracketed root of g_i(S) = APS_i(S)·τ in
+  // [min_ways, A], saturating at either end.
+  auto size_at = [&](std::size_t i, double tau) {
+    auto h = [&](double s) { return fill[i](s) - tau * aps_at(i, s); };
+    const double lo = options_.min_ways;
+    if (h(lo) >= 0.0) return lo;   // even the floor fills slower than τ
+    if (h(a) <= 0.0) return a;     // still filling at full associativity
+    return math::solve_bracketed(h, lo, a, 1e-10);
+  };
+
+  auto excess = [&](double tau) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += size_at(i, tau);
+    return sum - a;
+  };
+
+  // Bracket the horizon τ: excess(0) = k·min − A < 0; for large τ all
+  // processes saturate and excess → (k−1)·A > 0.
+  double tau_lo = 0.0;
+  double tau_hi = 1e-9;
+  int guard = 0;
+  while (excess(tau_hi) < 0.0) {
+    tau_lo = tau_hi;
+    tau_hi *= 4.0;
+    REPRO_ENSURE(++guard < 200, "equilibrium horizon failed to bracket");
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (tau_lo + tau_hi);
+    if (excess(mid) < 0.0)
+      tau_lo = mid;
+    else
+      tau_hi = mid;
+    if (std::fabs(excess(0.5 * (tau_lo + tau_hi))) < options_.tolerance)
+      break;
+  }
+  const double tau = 0.5 * (tau_lo + tau_hi);
+
+  // Renormalize the solution onto the Σ S_i = A simplex (the bisection
+  // leaves a residual below tolerance; scaling keeps Eq. 1 exact).
+  std::vector<double> sizes(k);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sizes[i] = size_at(i, tau);
+    total += sizes[i];
+  }
+  REPRO_ENSURE(total > 0.0, "degenerate equilibrium");
+  std::vector<ProcessPrediction> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    out.push_back(predict_at(processes[i], sizes[i] * a / total));
+  return out;
+}
+
+std::vector<ProcessPrediction> EquilibriumSolver::solve_newton(
+    const std::vector<FeatureVector>& processes) const {
+  const std::size_t k = processes.size();
+  REPRO_ENSURE(k >= 1, "need at least one process");
+  for (const FeatureVector& fv : processes) fv.validate();
+  const double a = static_cast<double>(ways_);
+  if (k == 1) return {predict_at(processes[0], a)};
+
+  const std::vector<math::PiecewiseLinear> fill = fill_curves(processes);
+  auto spi_at_size = [&](std::size_t i, double s) {
+    return processes[i].spi_at(processes[i].histogram.mpa(s));
+  };
+
+  // Unknowns: S_1..S_k. Equation 0 is Eq. 1 (normalized by A); for
+  // i >= 1, Eq. 7 in cross-multiplied, relative form.
+  auto residuals = [&](const std::vector<double>& s) {
+    std::vector<double> f(k);
+    double sum = 0.0;
+    for (double v : s) sum += v;
+    f[0] = (sum - a) / a;
+    for (std::size_t i = 1; i < k; ++i) {
+      const double lhs =
+          fill[0](s[0]) * processes[i].api * spi_at_size(0, s[0]);
+      const double rhs =
+          fill[i](s[i]) * processes[0].api * spi_at_size(i, s[i]);
+      const double scale = 0.5 * (std::fabs(lhs) + std::fabs(rhs)) + 1e-300;
+      f[i] = (lhs - rhs) / scale;
+    }
+    return f;
+  };
+
+  const double floor = std::max(options_.min_ways, 0.05);
+  auto project = [&](std::vector<double>& s) {
+    for (double& v : s) v = std::clamp(v, floor, a);
+  };
+
+  std::vector<double> start(k, a / static_cast<double>(k));
+  math::NewtonOptions opt;
+  opt.f_tol = 1e-8;
+  opt.max_iter = 200;
+  const math::NewtonResult res =
+      math::newton_raphson(residuals, start, project, opt);
+  REPRO_ENSURE(res.converged, "Newton equilibrium failed to converge");
+
+  std::vector<ProcessPrediction> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    out.push_back(predict_at(processes[i], res.x[i]));
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,123 @@
+#include "repro/core/phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+namespace {
+
+double segment_mean(std::span<const double> series, std::size_t begin,
+                    std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += series[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+std::vector<Phase> PhaseDetector::detect(
+    std::span<const double> series) const {
+  REPRO_ENSURE(!series.empty(), "empty series");
+  const std::size_t n = series.size();
+
+  // Pass 0: moving-average smoothing.
+  std::vector<double> smooth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo =
+        i >= options_.smooth_radius ? i - options_.smooth_radius : 0;
+    const std::size_t hi = std::min(n, i + options_.smooth_radius + 1);
+    smooth[i] = segment_mean(series, lo, hi);
+  }
+
+  // Pass 1: change-point marking — a boundary wherever the smoothed
+  // value jumps relative to the running mean of the current segment.
+  std::vector<std::size_t> boundaries{0};
+  double run_sum = smooth[0];
+  std::size_t run_len = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double run_mean = run_sum / static_cast<double>(run_len);
+    const double jump = std::fabs(smooth[i] - run_mean);
+    const double threshold = std::max(
+        options_.absolute_threshold,
+        options_.relative_threshold * std::fabs(run_mean));
+    if (jump > threshold) {
+      boundaries.push_back(i);
+      run_sum = smooth[i];
+      run_len = 1;
+    } else {
+      run_sum += smooth[i];
+      ++run_len;
+    }
+  }
+  boundaries.push_back(n);
+
+  // Pass 2: build segments; merge short ones into the more similar
+  // neighbour; merge adjacent segments whose means are within the
+  // threshold of each other.
+  std::vector<Phase> phases;
+  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    Phase p;
+    p.begin = boundaries[b];
+    p.end = boundaries[b + 1];
+    p.mean = segment_mean(series, p.begin, p.end);
+    phases.push_back(p);
+  }
+
+  auto merge_at = [&](std::size_t i) {
+    // Merge phases[i] and phases[i+1].
+    Phase merged;
+    merged.begin = phases[i].begin;
+    merged.end = phases[i + 1].end;
+    merged.mean = segment_mean(series, merged.begin, merged.end);
+    phases[i] = merged;
+    phases.erase(phases.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  };
+
+  bool changed = true;
+  while (changed && phases.size() > 1) {
+    changed = false;
+    // Merge statistically indistinguishable neighbours.
+    for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+      const double scale =
+          std::max({std::fabs(phases[i].mean), std::fabs(phases[i + 1].mean),
+                    options_.absolute_threshold});
+      if (std::fabs(phases[i].mean - phases[i + 1].mean) <=
+          options_.relative_threshold * scale) {
+        merge_at(i);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    // Merge too-short segments into the closer-mean neighbour.
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (phases[i].length() >= options_.min_phase_windows) continue;
+      if (phases.size() == 1) break;
+      if (i == 0) {
+        merge_at(0);
+      } else if (i + 1 == phases.size()) {
+        merge_at(i - 1);
+      } else {
+        const double d_prev = std::fabs(phases[i].mean - phases[i - 1].mean);
+        const double d_next = std::fabs(phases[i].mean - phases[i + 1].mean);
+        merge_at(d_prev <= d_next ? i - 1 : i);
+      }
+      changed = true;
+      break;
+    }
+  }
+  return phases;
+}
+
+const Phase& PhaseDetector::dominant(const std::vector<Phase>& phases) {
+  REPRO_ENSURE(!phases.empty(), "no phases");
+  const Phase* best = &phases[0];
+  for (const Phase& p : phases)
+    if (p.length() > best->length()) best = &p;
+  return *best;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,68 @@
+#include "repro/core/reuse_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+ReuseHistogram::ReuseHistogram(std::vector<double> pmf, double tail_mass)
+    : pmf_(std::move(pmf)), tail_mass_(tail_mass) {
+  REPRO_ENSURE(tail_mass_ >= -1e-12, "negative tail mass");
+  tail_mass_ = std::max(0.0, tail_mass_);
+  double total = tail_mass_;
+  for (double p : pmf_) {
+    REPRO_ENSURE(p >= -1e-12, "negative probability");
+    total += p;
+  }
+  REPRO_ENSURE(std::fabs(total - 1.0) < 1e-6,
+               "histogram must sum to 1 (got " + std::to_string(total) + ")");
+  for (double& p : pmf_) p = std::max(0.0, p) / total;
+  tail_mass_ /= total;
+  build_curve();
+}
+
+ReuseHistogram ReuseHistogram::from_mpa_curve(
+    std::span<const double> mpa_at_ways) {
+  REPRO_ENSURE(!mpa_at_ways.empty(), "need at least one MPA point");
+  // Clamp measurement noise into a valid weakly-decreasing curve in
+  // [0, 1], starting from MPA(0) = 1.
+  std::vector<double> mpa(mpa_at_ways.begin(), mpa_at_ways.end());
+  double prev = 1.0;
+  for (double& m : mpa) {
+    m = std::clamp(m, 0.0, prev);
+    prev = m;
+  }
+  // Eq. 8: hist(d) = MPA(d−1) − MPA(d).
+  std::vector<double> pmf(mpa.size());
+  prev = 1.0;
+  for (std::size_t d = 0; d < mpa.size(); ++d) {
+    pmf[d] = prev - mpa[d];
+    prev = mpa[d];
+  }
+  return ReuseHistogram(std::move(pmf), /*tail_mass=*/prev);
+}
+
+double ReuseHistogram::probability(std::uint32_t distance) const {
+  REPRO_ENSURE(distance >= 1, "distances start at 1");
+  if (distance > pmf_.size()) return 0.0;
+  return pmf_[distance - 1];
+}
+
+void ReuseHistogram::build_curve() {
+  // Knots at S = 0, 1, …, D with MPA(S) = P(distance > S).
+  std::vector<double> xs(pmf_.size() + 1);
+  std::vector<double> ys(pmf_.size() + 1);
+  double tail = 1.0;
+  xs[0] = 0.0;
+  ys[0] = 1.0;
+  for (std::size_t d = 0; d < pmf_.size(); ++d) {
+    tail -= pmf_[d];
+    xs[d + 1] = static_cast<double>(d + 1);
+    ys[d + 1] = std::max(0.0, tail);
+  }
+  mpa_curve_ = math::PiecewiseLinear(std::move(xs), std::move(ys));
+}
+
+}  // namespace repro::core

@@ -1,0 +1,172 @@
+#include "repro/core/serialize.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+
+namespace {
+
+void write_doubles(std::ostream& os, const char* key,
+                   std::span<const double> values) {
+  os << key;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (double v : values) os << ' ' << v;
+  os << '\n';
+}
+
+std::vector<double> parse_doubles(std::istringstream& is,
+                                  const std::string& context) {
+  std::vector<double> out;
+  double v;
+  while (is >> v) out.push_back(v);
+  REPRO_ENSURE(is.eof(), "trailing garbage in " + context);
+  return out;
+}
+
+}  // namespace
+
+void write_profile(std::ostream& os, const ProcessProfile& p) {
+  REPRO_ENSURE(p.name.find_first_of(" \n") == std::string::npos,
+               "profile names must not contain whitespace");
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "profile v1 " << p.name << '\n';
+  os << "api " << p.features.api << '\n';
+  os << "alpha " << p.features.alpha << '\n';
+  os << "beta " << p.features.beta << '\n';
+  os << "power_alone " << p.power_alone << '\n';
+  os << "alone " << p.alone.l1rpi << ' ' << p.alone.l2rpi << ' '
+     << p.alone.brpi << ' ' << p.alone.fppi << ' ' << p.alone.l2mpr << ' '
+     << p.alone.spi << '\n';
+  std::vector<double> hist{p.features.histogram.tail_mass()};
+  for (std::uint32_t d = 1; d <= p.features.histogram.max_depth(); ++d)
+    hist.push_back(p.features.histogram.probability(d));
+  write_doubles(os, "hist", hist);
+  write_doubles(os, "mpa_curve", p.mpa_at_ways);
+  write_doubles(os, "spi_curve", p.spi_at_ways);
+  os << "end\n";
+}
+
+void write_profiles(std::ostream& os,
+                    const std::vector<ProcessProfile>& profiles) {
+  for (const ProcessProfile& p : profiles) write_profile(os, p);
+}
+
+void write_power_model(std::ostream& os, const PowerModel& model) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "power_model v1 " << model.cores() << ' ' << model.idle_total();
+  for (double c : model.coefficients()) os << ' ' << c;
+  os << '\n';
+}
+
+const ProcessProfile* ModelStore::find(const std::string& name) const {
+  for (const ProcessProfile& p : profiles)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+ModelStore read_store(std::istream& is) {
+  ModelStore store;
+  std::string line;
+  std::optional<ProcessProfile> current;
+  bool have_hist = false;
+
+  auto require_open = [&](const std::string& key) {
+    REPRO_ENSURE(current.has_value(), "'" + key + "' outside a profile");
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+
+    if (key == "profile") {
+      REPRO_ENSURE(!current, "nested profile record");
+      std::string version, name;
+      ls >> version >> name;
+      REPRO_ENSURE(version == "v1" && !name.empty(),
+                   "bad profile header: " + line);
+      current.emplace();
+      current->name = name;
+      current->features.name = name;
+      have_hist = false;
+    } else if (key == "api" || key == "alpha" || key == "beta" ||
+               key == "power_alone") {
+      require_open(key);
+      double v;
+      REPRO_ENSURE(static_cast<bool>(ls >> v), "bad value for " + key);
+      if (key == "api") current->features.api = v;
+      else if (key == "alpha") current->features.alpha = v;
+      else if (key == "beta") current->features.beta = v;
+      else current->power_alone = v;
+    } else if (key == "alone") {
+      require_open(key);
+      const std::vector<double> v = parse_doubles(ls, "alone");
+      REPRO_ENSURE(v.size() == 6, "alone expects 6 values");
+      current->alone.l1rpi = v[0];
+      current->alone.l2rpi = v[1];
+      current->alone.brpi = v[2];
+      current->alone.fppi = v[3];
+      current->alone.l2mpr = v[4];
+      current->alone.spi = v[5];
+    } else if (key == "hist") {
+      require_open(key);
+      std::vector<double> v = parse_doubles(ls, "hist");
+      REPRO_ENSURE(!v.empty(), "hist expects tail + pmf");
+      const double tail = v.front();
+      v.erase(v.begin());
+      current->features.histogram = ReuseHistogram(std::move(v), tail);
+      have_hist = true;
+    } else if (key == "mpa_curve") {
+      require_open(key);
+      current->mpa_at_ways = parse_doubles(ls, "mpa_curve");
+    } else if (key == "spi_curve") {
+      require_open(key);
+      current->spi_at_ways = parse_doubles(ls, "spi_curve");
+    } else if (key == "end") {
+      require_open(key);
+      REPRO_ENSURE(have_hist, "profile missing histogram: " + current->name);
+      current->features.validate();
+      store.profiles.push_back(std::move(*current));
+      current.reset();
+    } else if (key == "power_model") {
+      std::string version;
+      ls >> version;
+      REPRO_ENSURE(version == "v1", "bad power_model header: " + line);
+      const std::vector<double> v = parse_doubles(ls, "power_model");
+      REPRO_ENSURE(v.size() == 7, "power_model expects cores idle c1..c5");
+      const auto cores = static_cast<std::uint32_t>(v[0]);
+      REPRO_ENSURE(static_cast<double>(cores) == v[0] && cores > 0,
+                   "bad core count");
+      std::array<double, 5> c{};
+      for (int j = 0; j < 5; ++j) c[j] = v[2 + j];
+      store.power_model.emplace(v[1], c, cores);
+    } else {
+      REPRO_ENSURE(false, "unknown record key: " + key);
+    }
+  }
+  REPRO_ENSURE(!current, "unterminated profile record");
+  return store;
+}
+
+void save_store(const std::string& path, const ModelStore& store) {
+  std::ofstream os(path);
+  REPRO_ENSURE(os.good(), "cannot open for writing: " + path);
+  os << "# cmp_models store — profiles and power model\n";
+  write_profiles(os, store.profiles);
+  if (store.power_model) write_power_model(os, *store.power_model);
+  REPRO_ENSURE(os.good(), "write failed: " + path);
+}
+
+std::optional<ModelStore> load_store(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;
+  return read_store(is);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,51 @@
+#include "repro/math/mvlr.hpp"
+
+#include "repro/math/stats.hpp"
+
+namespace repro::math {
+
+Mvlr::Fit Mvlr::fit(const Matrix& x, std::span<const double> y) {
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  REPRO_ENSURE(y.size() == m, "observation count mismatch");
+  REPRO_ENSURE(m >= n + 1, "need more observations than regressors");
+
+  // Augment with an all-ones column for the intercept.
+  Matrix design(m, n + 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    design(r, 0) = 1.0;
+    for (std::size_t c = 0; c < n; ++c) design(r, c + 1) = x(r, c);
+  }
+  const Vector beta = solve_least_squares(design, Vector(y.begin(), y.end()));
+
+  Fit f;
+  f.intercept = beta[0];
+  f.coefficients.assign(beta.begin() + 1, beta.end());
+
+  const Vector pred = predict(f, x);
+  f.accuracy = accuracy_pct(pred, y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  const Summary sy = summarize(y);
+  for (std::size_t i = 0; i < m; ++i) {
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+    ss_tot += (y[i] - sy.mean) * (y[i] - sy.mean);
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double Mvlr::predict(const Fit& f, std::span<const double> regressors) {
+  REPRO_ENSURE(regressors.size() == f.coefficients.size(),
+               "regressor count mismatch");
+  return f.intercept + dot(f.coefficients, regressors);
+}
+
+Vector Mvlr::predict(const Fit& f, const Matrix& x) {
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    out[r] = predict(f, x.row(r));
+  return out;
+}
+
+}  // namespace repro::math

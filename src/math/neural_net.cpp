@@ -1,0 +1,147 @@
+#include "repro/math/neural_net.hpp"
+
+#include <cmath>
+
+#include "repro/math/stats.hpp"
+
+namespace repro::math {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+NeuralNet NeuralNet::train(const Matrix& x, std::span<const double> y,
+                           const Options& options) {
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  REPRO_ENSURE(y.size() == m && m >= 2, "bad training set");
+  REPRO_ENSURE(options.hidden_units > 0 && options.epochs > 0,
+               "bad NN options");
+
+  NeuralNet net;
+  net.inputs_ = n;
+  net.hidden_ = options.hidden_units;
+
+  // Standardize inputs and targets (constant columns get scale 1).
+  net.in_mean_.assign(n, 0.0);
+  net.in_scale_.assign(n, 1.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> col(m);
+    for (std::size_t r = 0; r < m; ++r) col[r] = x(r, c);
+    const Summary s = summarize(col);
+    net.in_mean_[c] = s.mean;
+    net.in_scale_[c] = s.stddev > 1e-12 ? s.stddev : 1.0;
+  }
+  {
+    const Summary s = summarize(y);
+    net.out_mean_ = s.mean;
+    net.out_scale_ = s.stddev > 1e-12 ? s.stddev : 1.0;
+  }
+
+  Matrix xs(m, n);
+  std::vector<double> ys(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c)
+      xs(r, c) = (x(r, c) - net.in_mean_[c]) / net.in_scale_[c];
+    ys[r] = (y[r] - net.out_mean_) / net.out_scale_;
+  }
+
+  const std::size_t h = net.hidden_;
+  Rng rng(options.seed);
+  auto init = [&](std::size_t fan_in) {
+    return rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(fan_in)));
+  };
+  net.w1_.resize(h * n);
+  net.b1_.assign(h, 0.0);
+  net.w2_.resize(h);
+  for (auto& w : net.w1_) w = init(n);
+  for (auto& w : net.w2_) w = init(h);
+  net.b2_ = 0.0;
+
+  std::vector<double> vw1(h * n, 0.0), vb1(h, 0.0), vw2(h, 0.0);
+  double vb2 = 0.0;
+
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+
+  std::vector<double> hid(h), gw1(h * n), gb1(h), gw2(h);
+  const std::size_t batch = std::max<std::size_t>(1, options.batch_size);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher–Yates shuffle with the library RNG for determinism.
+    for (std::size_t i = m; i-- > 1;) {
+      const std::size_t j = rng.uniform_index(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t start = 0; start < m; start += batch) {
+      const std::size_t end = std::min(m, start + batch);
+      std::fill(gw1.begin(), gw1.end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      std::fill(gw2.begin(), gw2.end(), 0.0);
+      double gb2 = 0.0;
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t r = order[k];
+        // Forward.
+        double out = net.b2_;
+        for (std::size_t j = 0; j < h; ++j) {
+          double z = net.b1_[j];
+          for (std::size_t c = 0; c < n; ++c)
+            z += net.w1_[j * n + c] * xs(r, c);
+          hid[j] = sigmoid(z);
+          out += net.w2_[j] * hid[j];
+        }
+        // Backward (squared error, linear output).
+        const double delta = out - ys[r];
+        gb2 += delta;
+        for (std::size_t j = 0; j < h; ++j) {
+          gw2[j] += delta * hid[j];
+          const double dh = delta * net.w2_[j] * hid[j] * (1.0 - hid[j]);
+          gb1[j] += dh;
+          for (std::size_t c = 0; c < n; ++c)
+            gw1[j * n + c] += dh * xs(r, c);
+        }
+      }
+
+      const double scale =
+          options.learning_rate / static_cast<double>(end - start);
+      auto update = [&](double& w, double& v, double g) {
+        v = options.momentum * v - scale * g;
+        w += v;
+      };
+      for (std::size_t i = 0; i < h * n; ++i) update(net.w1_[i], vw1[i], gw1[i]);
+      for (std::size_t j = 0; j < h; ++j) {
+        update(net.b1_[j], vb1[j], gb1[j]);
+        update(net.w2_[j], vw2[j], gw2[j]);
+      }
+      update(net.b2_, vb2, gb2);
+    }
+  }
+  return net;
+}
+
+double NeuralNet::predict(std::span<const double> input) const {
+  REPRO_ENSURE(input.size() == inputs_, "input width mismatch");
+  double out = b2_;
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    double z = b1_[j];
+    for (std::size_t c = 0; c < inputs_; ++c)
+      z += w1_[j * inputs_ + c] * (input[c] - in_mean_[c]) / in_scale_[c];
+    out += w2_[j] * sigmoid(z);
+  }
+  return out * out_scale_ + out_mean_;
+}
+
+Vector NeuralNet::predict(const Matrix& x) const {
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+double NeuralNet::accuracy(const Matrix& x, std::span<const double> y) const {
+  return accuracy_pct(predict(x), y);
+}
+
+}  // namespace repro::math

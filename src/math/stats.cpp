@@ -1,0 +1,104 @@
+#include "repro/math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::math {
+
+Summary summarize(std::span<const double> xs) {
+  REPRO_ENSURE(!xs.empty(), "summarize needs data");
+  Summary s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double mean_abs_error(std::span<const double> est,
+                      std::span<const double> ref) {
+  REPRO_ENSURE(est.size() == ref.size() && !est.empty(), "series mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i)
+    sum += std::fabs(est[i] - ref[i]);
+  return sum / static_cast<double>(est.size());
+}
+
+double mean_abs_pct_error(std::span<const double> est,
+                          std::span<const double> ref) {
+  REPRO_ENSURE(est.size() == ref.size() && !est.empty(), "series mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    REPRO_ENSURE(ref[i] != 0.0, "relative error undefined at ref == 0");
+    sum += std::fabs(est[i] - ref[i]) / std::fabs(ref[i]);
+  }
+  return 100.0 * sum / static_cast<double>(est.size());
+}
+
+double max_abs_pct_error(std::span<const double> est,
+                         std::span<const double> ref) {
+  REPRO_ENSURE(est.size() == ref.size() && !est.empty(), "series mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    REPRO_ENSURE(ref[i] != 0.0, "relative error undefined at ref == 0");
+    worst = std::max(worst, std::fabs(est[i] - ref[i]) / std::fabs(ref[i]));
+  }
+  return 100.0 * worst;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  REPRO_ENSURE(xs.size() == ys.size() && xs.size() > 1, "series mismatch");
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  REPRO_ENSURE(sx.stddev > 0.0 && sy.stddev > 0.0,
+               "correlation undefined for constant series");
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  cov /= static_cast<double>(xs.size() - 1);
+  return cov / (sx.stddev * sy.stddev);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  REPRO_ENSURE(xs.size() == ys.size() && xs.size() >= 2, "need >= 2 points");
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - sx.mean) * (xs[i] - sx.mean);
+    sxy += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  }
+  REPRO_ENSURE(sxx > 0.0, "fit_line needs varying x");
+  LineFit f;
+  f.slope = sxy / sxx;
+  f.intercept = sy.mean - f.slope * sx.mean;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - sy.mean) * (ys[i] - sy.mean);
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double accuracy_pct(std::span<const double> est, std::span<const double> ref) {
+  return std::max(0.0, 100.0 - mean_abs_pct_error(est, ref));
+}
+
+}  // namespace repro::math

@@ -1,0 +1,162 @@
+#include "repro/sim/cache.hpp"
+
+namespace repro::sim {
+
+SharedCache::SharedCache(const CacheGeometry& geometry, bool prefetch_enabled,
+                         std::uint32_t max_processes)
+    : geometry_(geometry),
+      prefetch_enabled_(prefetch_enabled),
+      lines_(geometry.total_lines(), 0ull),
+      stats_(max_processes),
+      resident_lines_(max_processes, 0.0),
+      last_stream_addr_(max_processes, kNoStreamAddr) {
+  REPRO_ENSURE(geometry.sets > 0 && geometry.ways > 0, "empty cache");
+  REPRO_ENSURE(max_processes > 0 && max_processes < (1u << 14),
+               "bad process slot count");
+}
+
+std::uint32_t SharedCache::lookup_and_touch(std::uint32_t set,
+                                            std::uint64_t line, ProcessId pid,
+                                            bool* was_prefetched) {
+  Line* base = set_begin(set);
+  const Line wanted = pack(line, pid, false) & kIdentityMask;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    Line candidate = base[w];
+    if (!(candidate & kValidBit) || (candidate & kIdentityMask) != wanted)
+      continue;
+    *was_prefetched = (candidate & kPrefetchedBit) != 0;
+    candidate &= ~kPrefetchedBit;
+    // Move to MRU (slot 0), shifting the younger lines down.
+    for (std::uint32_t i = w; i > 0; --i) base[i] = base[i - 1];
+    base[0] = candidate;
+    return w;
+  }
+  return geometry_.ways;
+}
+
+void SharedCache::install(std::uint32_t set, std::uint64_t line, ProcessId pid,
+                          bool prefetched) {
+  Line* base = set_begin(set);
+
+  // Choose the victim slot: globally LRU by default; under way
+  // partitioning, the owner's own LRU line once it has used up its
+  // quota in this set (invalid slots always come first).
+  std::uint32_t victim_slot = geometry_.ways - 1;
+  if (!quotas_.empty()) {
+    std::uint32_t owned = 0;
+    std::uint32_t own_lru = geometry_.ways;  // deepest own line
+    std::uint32_t invalid = geometry_.ways;  // deepest invalid slot
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (!(base[w] & kValidBit)) {
+        invalid = w;
+        continue;
+      }
+      if (owner_of(base[w]) == pid) {
+        ++owned;
+        own_lru = w;
+      }
+    }
+    const std::uint32_t quota = pid < quotas_.size() ? quotas_[pid] : 0;
+    if (owned >= quota) {
+      REPRO_ENSURE(own_lru < geometry_.ways,
+                   "process over quota with no own lines");
+      victim_slot = own_lru;
+    } else if (invalid < geometry_.ways) {
+      victim_slot = invalid;
+    }
+    // else: under quota and set full of others' lines — evict global
+    // LRU (partitioning guarantees victims are over-quota owners only
+    // when all quotas are saturated; during warm-up this evicts the
+    // oldest line, converging to the configured split).
+  }
+
+  const Line victim = base[victim_slot];
+  if (victim & kValidBit) {
+    const ProcessId prev = owner_of(victim);
+    REPRO_ENSURE(prev < resident_lines_.size(), "corrupt owner");
+    resident_lines_[prev] -= 1.0;
+  }
+  for (std::uint32_t i = victim_slot; i > 0; --i) base[i] = base[i - 1];
+  base[0] = pack(line, pid, prefetched);
+  resident_lines_[pid] += 1.0;
+}
+
+void SharedCache::set_partition(std::vector<std::uint32_t> quotas) {
+  if (!quotas.empty()) {
+    REPRO_ENSURE(quotas.size() <= stats_.size(),
+                 "quota list longer than process slots");
+    std::uint64_t total = 0;
+    for (std::uint32_t q : quotas) total += q;
+    REPRO_ENSURE(total <= geometry_.ways,
+                 "quota sum exceeds associativity");
+  }
+  quotas_ = std::move(quotas);
+}
+
+bool SharedCache::access(const MemoryAccess& access, ProcessId pid) {
+  REPRO_ENSURE(pid < stats_.size(), "pid out of range");
+  REPRO_ENSURE(access.set < geometry_.sets, "set out of range");
+  Stats& stats = stats_[pid];
+  stats.demand_refs += 1.0;
+
+  bool was_prefetched = false;
+  const std::uint32_t slot =
+      lookup_and_touch(access.set, access.line, pid, &was_prefetched);
+  const bool hit = slot < geometry_.ways;
+  if (hit) {
+    if (was_prefetched) stats.prefetch_hits += 1.0;
+  } else {
+    stats.demand_misses += 1.0;
+    install(access.set, access.line, pid, /*prefetched=*/false);
+  }
+
+  if (prefetch_enabled_ && access.stream_addr != kNoStreamAddr) {
+    const std::uint64_t prev = last_stream_addr_[pid];
+    last_stream_addr_[pid] = access.stream_addr;
+    if (prev != kNoStreamAddr && access.stream_addr == prev + 1) {
+      // Detected an ascending stream: pull in the next line.
+      const MemoryAccess next =
+          stream_access(access.stream_addr + 1, geometry_.sets);
+      bool ignored = false;
+      if (lookup_and_touch(next.set, next.line, pid, &ignored) >=
+          geometry_.ways) {
+        install(next.set, next.line, pid, /*prefetched=*/true);
+        stats.prefetch_issues += 1.0;
+      }
+    }
+  }
+  return hit;
+}
+
+void SharedCache::purge(ProcessId pid) {
+  REPRO_ENSURE(pid < stats_.size(), "pid out of range");
+  for (std::uint32_t set = 0; set < geometry_.sets; ++set) {
+    Line* base = set_begin(set);
+    // Compact surviving lines toward the MRU end, preserving order.
+    std::uint32_t out = 0;
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if ((base[w] & kValidBit) && owner_of(base[w]) == pid) continue;
+      if (out != w) base[out] = base[w];
+      ++out;
+    }
+    for (; out < geometry_.ways; ++out) base[out] = 0ull;
+  }
+  resident_lines_[pid] = 0.0;
+  last_stream_addr_[pid] = kNoStreamAddr;
+}
+
+Ways SharedCache::occupancy_ways(ProcessId pid) const {
+  REPRO_ENSURE(pid < resident_lines_.size(), "pid out of range");
+  return resident_lines_[pid] / static_cast<double>(geometry_.sets);
+}
+
+const SharedCache::Stats& SharedCache::stats(ProcessId pid) const {
+  REPRO_ENSURE(pid < stats_.size(), "pid out of range");
+  return stats_[pid];
+}
+
+void SharedCache::reset_stats() {
+  for (Stats& s : stats_) s = Stats{};
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,80 @@
+#include "repro/sim/machine.hpp"
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::sim {
+
+std::vector<CoreId> MachineConfig::cores_on_die(DieId die) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < cores; ++c)
+    if (core_to_die[c] == die) out.push_back(c);
+  return out;
+}
+
+std::vector<CoreId> MachineConfig::partner_set(CoreId core) const {
+  REPRO_ENSURE(core < cores, "core out of range");
+  std::vector<CoreId> out;
+  for (CoreId c : cores_on_die(core_to_die[core]))
+    if (c != core) out.push_back(c);
+  return out;
+}
+
+void MachineConfig::validate() const {
+  REPRO_ENSURE(cores > 0, "machine needs cores");
+  REPRO_ENSURE(core_to_die.size() == cores, "core_to_die size mismatch");
+  for (DieId d : core_to_die) REPRO_ENSURE(d < dies, "die id out of range");
+  REPRO_ENSURE(l2.sets > 0 && l2.ways > 0, "empty L2");
+  REPRO_ENSURE(frequency > 0.0, "bad frequency");
+  if (!core_frequency.empty()) {
+    REPRO_ENSURE(core_frequency.size() == cores,
+                 "core_frequency size mismatch");
+    for (Hertz f : core_frequency)
+      REPRO_ENSURE(f > 0.0, "bad per-core frequency");
+  }
+  REPRO_ENSURE(l2_hit_cycles > 0.0 && memory_cycles > l2_hit_cycles,
+               "memory must be slower than L2");
+}
+
+MachineConfig four_core_server() {
+  MachineConfig m;
+  m.name = "4-core server (Core 2 Quad Q6600 class)";
+  m.cores = 4;
+  m.dies = 2;
+  m.core_to_die = {0, 0, 1, 1};
+  m.l2 = CacheGeometry{512, 16, 64};
+  m.frequency = 2.4e9;
+  m.l2_hit_cycles = 14.0;
+  m.memory_cycles = 220.0;
+  m.validate();
+  return m;
+}
+
+MachineConfig two_core_workstation() {
+  MachineConfig m;
+  m.name = "2-core workstation (Pentium Dual-Core E2220 class)";
+  m.cores = 2;
+  m.dies = 1;
+  m.core_to_die = {0, 0};
+  m.l2 = CacheGeometry{512, 8, 64};
+  m.frequency = 2.4e9;
+  m.l2_hit_cycles = 12.0;
+  m.memory_cycles = 210.0;
+  m.validate();
+  return m;
+}
+
+MachineConfig core2_duo_laptop() {
+  MachineConfig m;
+  m.name = "2-core laptop (Core 2 Duo class, 12-way L2)";
+  m.cores = 2;
+  m.dies = 1;
+  m.core_to_die = {0, 0};
+  m.l2 = CacheGeometry{512, 12, 64};
+  m.frequency = 2.13e9;
+  m.l2_hit_cycles = 14.0;
+  m.memory_cycles = 240.0;
+  m.validate();
+  return m;
+}
+
+}  // namespace repro::sim

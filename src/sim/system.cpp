@@ -1,0 +1,201 @@
+#include "repro/sim/system.hpp"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+Watts RunResult::mean_true_power() const {
+  REPRO_ENSURE(!samples.empty(), "no samples recorded");
+  double sum = 0.0;
+  for (const Sample& s : samples) sum += s.true_power;
+  return sum / static_cast<double>(samples.size());
+}
+
+Watts RunResult::mean_measured_power() const {
+  REPRO_ENSURE(!samples.empty(), "no samples recorded");
+  double sum = 0.0;
+  for (const Sample& s : samples) sum += s.measured_power;
+  return sum / static_cast<double>(samples.size());
+}
+
+const ProcessReport& RunResult::process(ProcessId pid) const {
+  for (const ProcessReport& p : processes)
+    if (p.pid == pid) return p;
+  REPRO_ENSURE(false, "unknown pid in RunResult");
+  __builtin_unreachable();
+}
+
+System::System(const SystemConfig& config, const power::OracleConfig& oracle,
+               std::uint64_t seed)
+    : config_(config),
+      oracle_(oracle),
+      clamp_(power::CurrentClamp::Config{}, Rng{seed ^ 0xc1a3bULL}),
+      rng_(seed) {
+  config_.machine.validate();
+  REPRO_ENSURE(config_.timeslice > 0.0 && config_.sample_period > 0.0,
+               "bad scheduling configuration");
+  for (DieId d = 0; d < config_.machine.dies; ++d)
+    l2_.push_back(std::make_unique<SharedCache>(
+        config_.machine.l2, config_.machine.prefetch_enabled,
+        config_.max_processes));
+  cores_.resize(config_.machine.cores);
+}
+
+ProcessId System::add_process(std::string name, CoreId core,
+                              InstructionMix mix,
+                              std::unique_ptr<AccessGenerator> generator) {
+  REPRO_ENSURE(core < config_.machine.cores, "core out of range");
+  REPRO_ENSURE(generator != nullptr, "null generator");
+  REPRO_ENSURE(processes_.size() < config_.max_processes,
+               "too many processes for this System");
+  mix.validate();
+
+  const ProcessId pid = static_cast<ProcessId>(processes_.size());
+  Process p;
+  p.name = std::move(name);
+  p.core = core;
+  p.mix = mix;
+  p.generator = std::move(generator);
+  p.rng = rng_.fork(pid);
+  processes_.push_back(std::move(p));
+
+  Core& c = cores_[core];
+  c.run_queue.push_back(pid);
+  if (c.run_queue.size() == 1) c.slice_end = c.clock + config_.timeslice;
+  return pid;
+}
+
+void System::advance_one_access(Core& core) {
+  Process& p = processes_[core.run_queue[core.current]];
+  const ProcessId pid = core.run_queue[core.current];
+  const MemoryAccess access = p.generator->next(p.rng);
+
+  SharedCache& cache = *l2_[config_.machine.core_to_die[p.core]];
+  const bool hit = cache.access(access, pid);
+
+  const InstructionMix& mix = p.mix;
+  const double d_instr = 1.0 / mix.l2_api;
+  const double d_cycles =
+      d_instr * mix.base_cpi +
+      (hit ? config_.machine.l2_hit_cycles : config_.machine.memory_cycles);
+  const Seconds d_t = d_cycles / config_.machine.frequency_of(p.core);
+
+  core.clock += d_t;
+  p.cpu_time += d_t;
+
+  hpc::Counters delta;
+  delta.instructions = d_instr;
+  delta.cycles = d_cycles;
+  delta.l1_refs = d_instr * mix.l1_rpi;
+  delta.l2_refs = 1.0;
+  delta.l2_misses = hit ? 0.0 : 1.0;
+  delta.branches = d_instr * mix.branch_pi;
+  delta.fp_ops = d_instr * mix.fp_pi;
+  p.totals += delta;
+  core.totals += delta;
+
+  if (core.clock >= core.slice_end) {
+    core.current = (core.current + 1) % core.run_queue.size();
+    core.slice_end = core.clock + config_.timeslice;
+  }
+}
+
+void System::advance_to(Seconds target) {
+  // Advance the busiest-behind core one access at a time so that
+  // cross-core interleaving tracks each core's actual access rate.
+  while (true) {
+    Core* next = nullptr;
+    for (Core& c : cores_) {
+      if (c.run_queue.empty()) continue;
+      if (c.clock >= target) continue;
+      if (next == nullptr || c.clock < next->clock) next = &c;
+    }
+    if (next == nullptr) break;
+    advance_one_access(*next);
+  }
+  for (Core& c : cores_)
+    if (c.run_queue.empty()) c.clock = target;
+  now_ = target;
+}
+
+Sample System::take_sample(Seconds window_end, Seconds window_len,
+                           const std::vector<hpc::Counters>& core_start) {
+  Sample s;
+  s.time = window_end;
+  s.core_rates.resize(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c)
+    s.core_rates[c] =
+        hpc::EventRates::from(cores_[c].totals - core_start[c], window_len);
+  s.true_power = oracle_.true_power(s.core_rates);
+  s.measured_power = clamp_.measure(s.true_power, window_len);
+  s.occupancy.resize(processes_.size());
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid)
+    s.occupancy[pid] =
+        l2_[config_.machine.core_to_die[processes_[pid].core]]
+            ->occupancy_ways(pid);
+  return s;
+}
+
+void System::set_partition(DieId die, std::vector<std::uint32_t> quotas) {
+  REPRO_ENSURE(die < l2_.size(), "die out of range");
+  l2_[die]->set_partition(std::move(quotas));
+}
+
+void System::warm_up(Seconds duration) {
+  REPRO_ENSURE(duration >= 0.0, "negative warm-up");
+  advance_to(now_ + duration);
+}
+
+RunResult System::run(Seconds duration) {
+  REPRO_ENSURE(duration > 0.0, "run needs a positive duration");
+  const Seconds start = now_;
+
+  // Snapshot lifetime statistics so the result reports window deltas.
+  std::vector<hpc::Counters> proc_start(processes_.size());
+  std::vector<Seconds> cpu_start(processes_.size());
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    proc_start[pid] = processes_[pid].totals;
+    cpu_start[pid] = processes_[pid].cpu_time;
+  }
+
+  RunResult result;
+  result.duration = duration;
+  std::vector<double> occupancy_sum(processes_.size(), 0.0);
+
+  Seconds t = start;
+  const Seconds end = start + duration;
+  while (t < end - 1e-12) {
+    const Seconds window_end = std::min(end, t + config_.sample_period);
+    std::vector<hpc::Counters> core_start(cores_.size());
+    for (std::size_t c = 0; c < cores_.size(); ++c)
+      core_start[c] = cores_[c].totals;
+    advance_to(window_end);
+    Sample s = take_sample(window_end, window_end - t, core_start);
+    for (ProcessId pid = 0; pid < processes_.size(); ++pid)
+      occupancy_sum[pid] += s.occupancy[pid];
+    result.samples.push_back(std::move(s));
+    t = window_end;
+  }
+
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    ProcessReport r;
+    r.pid = pid;
+    r.name = processes_[pid].name;
+    r.core = processes_[pid].core;
+    r.counters = processes_[pid].totals - proc_start[pid];
+    r.cpu_time = processes_[pid].cpu_time - cpu_start[pid];
+    r.mean_occupancy =
+        result.samples.empty()
+            ? 0.0
+            : occupancy_sum[pid] / static_cast<double>(result.samples.size());
+    result.processes.push_back(std::move(r));
+  }
+  return result;
+}
+
+const SharedCache& System::l2(DieId die) const {
+  REPRO_ENSURE(die < l2_.size(), "die out of range");
+  return *l2_[die];
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,36 @@
+#include "repro/workload/phased.hpp"
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::workload {
+
+PhasedGenerator::PhasedGenerator(std::vector<PhaseSegment> segments,
+                                 std::uint32_t sets)
+    : segments_(std::move(segments)), sets_(sets) {
+  REPRO_ENSURE(!segments_.empty(), "need at least one phase");
+  for (const PhaseSegment& s : segments_) {
+    s.spec.validate();
+    REPRO_ENSURE(s.accesses > 0, "phase must contain accesses");
+  }
+  active_ = std::make_unique<StackDistanceGenerator>(segments_[0].spec,
+                                                     sets_);
+}
+
+sim::MemoryAccess PhasedGenerator::next(Rng& rng) {
+  if (accesses_in_phase_ >= segments_[phase_].accesses &&
+      phase_ + 1 < segments_.size()) {
+    ++phase_;
+    accesses_in_phase_ = 0;
+    // A new program stage touches new data: fresh generator state.
+    active_ = std::make_unique<StackDistanceGenerator>(
+        segments_[phase_].spec, sets_);
+  }
+  ++accesses_in_phase_;
+  return active_->next(rng);
+}
+
+std::unique_ptr<sim::AccessGenerator> PhasedGenerator::clone() const {
+  return std::make_unique<PhasedGenerator>(segments_, sets_);
+}
+
+}  // namespace repro::workload

@@ -1,0 +1,144 @@
+#include "repro/workload/spec.hpp"
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::workload {
+
+void WorkloadSpec::validate() const {
+  REPRO_ENSURE(!name.empty(), "workload needs a name");
+  REPRO_ENSURE(new_line_weight >= 0.0 && stream_weight >= 0.0,
+               "negative weights");
+  double total = new_line_weight + stream_weight;
+  for (double w : reuse_weights) {
+    REPRO_ENSURE(w >= 0.0, "negative reuse weight");
+    total += w;
+  }
+  REPRO_ENSURE(total > 0.0, "workload needs positive access weight");
+  mix.validate();
+}
+
+std::vector<double> geometric_weights(double ratio, std::size_t depths) {
+  REPRO_ENSURE(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+  REPRO_ENSURE(depths > 0, "need at least one depth");
+  std::vector<double> w(depths);
+  double v = 1.0;
+  for (std::size_t d = 0; d < depths; ++d) {
+    w[d] = v;
+    v *= ratio;
+  }
+  return w;
+}
+
+std::vector<double> uniform_weights(std::size_t depths) {
+  REPRO_ENSURE(depths > 0, "need at least one depth");
+  return std::vector<double>(depths, 1.0);
+}
+
+namespace {
+
+WorkloadSpec make(std::string name, std::vector<double> reuse, double nw,
+                  double sw, sim::InstructionMix mix) {
+  WorkloadSpec s;
+  s.name = std::move(name);
+  s.reuse_weights = std::move(reuse);
+  s.new_line_weight = nw;
+  s.stream_weight = sw;
+  s.mix = mix;
+  s.validate();
+  return s;
+}
+
+std::vector<WorkloadSpec> build_suite() {
+  std::vector<WorkloadSpec> suite;
+
+  // gzip — integer compression; small hot working set, almost all
+  // reuse within a few ways; very low L2 traffic.
+  suite.push_back(make(
+      "gzip", geometric_weights(0.45, 8), 0.04, 0.02,
+      {.l2_api = 0.004, .l1_rpi = 0.35, .branch_pi = 0.18, .fp_pi = 0.02,
+       .base_cpi = 0.9}));
+
+  // vpr — place & route; working set comparable to a cache share, so
+  // its MPA curve keeps falling across many ways (contention-
+  // sensitive, like the paper's high SPI error for vpr).
+  suite.push_back(make(
+      "vpr", geometric_weights(0.86, 24), 0.06, 0.02,
+      {.l2_api = 0.012, .l1_rpi = 0.32, .branch_pi = 0.12, .fp_pi = 0.10,
+       .base_cpi = 1.1}));
+
+  // mcf — pointer chasing over a huge graph; heavy compulsory traffic
+  // and deep reuse: the classic memory-bound victim.
+  suite.push_back(make(
+      "mcf", geometric_weights(0.90, 32), 0.42, 0.03,
+      {.l2_api = 0.055, .l1_rpi = 0.30, .branch_pi = 0.19, .fp_pi = 0.0,
+       .base_cpi = 1.4}));
+
+  // bzip2 — block compression; bimodal reuse (hot dictionary + block
+  // sweeps around 10–14 ways deep).
+  {
+    std::vector<double> w = geometric_weights(0.5, 16);
+    for (std::size_t d = 9; d <= 13; ++d) w[d] += 0.35;
+    suite.push_back(make(
+        "bzip2", std::move(w), 0.08, 0.04,
+        {.l2_api = 0.007, .l1_rpi = 0.33, .branch_pi = 0.15, .fp_pi = 0.01,
+         .base_cpi = 1.0}));
+  }
+
+  // twolf — placement; mid-size working set with spread reuse.
+  suite.push_back(make(
+      "twolf", geometric_weights(0.84, 24), 0.05, 0.01,
+      {.l2_api = 0.015, .l1_rpi = 0.30, .branch_pi = 0.14, .fp_pi = 0.05,
+       .base_cpi = 1.15}));
+
+  // art — neural-net FP; working set slightly exceeding a fair cache
+  // share (near-uniform reuse over ~20 ways), highly contention-
+  // sensitive.
+  suite.push_back(make(
+      "art", uniform_weights(20), 0.18, 0.02,
+      {.l2_api = 0.045, .l1_rpi = 0.28, .branch_pi = 0.10, .fp_pi = 0.30,
+       .base_cpi = 1.3}));
+
+  // equake — FP stencil; dominated by sequential sweeps (the one
+  // benchmark the paper found benefits significantly from hardware
+  // prefetching).
+  suite.push_back(make(
+      "equake", geometric_weights(0.4, 8), 0.05, 0.30,
+      {.l2_api = 0.020, .l1_rpi = 0.30, .branch_pi = 0.08, .fp_pi = 0.35,
+       .base_cpi = 1.1}));
+
+  // ammp — molecular dynamics FP; deep but decaying reuse.
+  suite.push_back(make(
+      "ammp", geometric_weights(0.88, 28), 0.10, 0.05,
+      {.l2_api = 0.025, .l1_rpi = 0.31, .branch_pi = 0.09, .fp_pi = 0.28,
+       .base_cpi = 1.25}));
+
+  // gcc — compiler; many small structures, moderate compulsory churn.
+  suite.push_back(make(
+      "gcc", geometric_weights(0.75, 16), 0.12, 0.03,
+      {.l2_api = 0.008, .l1_rpi = 0.38, .branch_pi = 0.20, .fp_pi = 0.01,
+       .base_cpi = 1.2}));
+
+  // parser — dictionary walking; shallow reuse, some churn.
+  suite.push_back(make(
+      "parser", geometric_weights(0.70, 12), 0.10, 0.02,
+      {.l2_api = 0.007, .l1_rpi = 0.36, .branch_pi = 0.21, .fp_pi = 0.0,
+       .base_cpi = 1.05}));
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& spec_suite() {
+  static const std::vector<WorkloadSpec> suite = build_suite();
+  return suite;
+}
+
+const WorkloadSpec& find_spec(const std::string& name) {
+  for (const WorkloadSpec& s : spec_suite())
+    if (s.name == name) return s;
+  REPRO_ENSURE(false, "unknown workload: " + name);
+  __builtin_unreachable();
+}
+
+}  // namespace repro::workload

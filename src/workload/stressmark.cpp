@@ -1,0 +1,37 @@
+#include "repro/workload/stressmark.hpp"
+
+#include "repro/common/ensure.hpp"
+#include "repro/workload/generator.hpp"
+
+namespace repro::workload {
+
+WorkloadSpec make_stressmark_spec(std::uint32_t ways) {
+  REPRO_ENSURE(ways > 0, "stressmark needs at least one way");
+  WorkloadSpec s;
+  s.name = "stressmark-" + std::to_string(ways);
+  // All weight at depth W: the access pattern cycles through W lines
+  // per set. (Until the stack has grown to W lines, a depth-W draw
+  // degrades to a new-line access, which is exactly the fill phase.)
+  s.reuse_weights.assign(ways, 0.0);
+  s.reuse_weights[ways - 1] = 1.0;
+  s.new_line_weight = 0.0;
+  s.stream_weight = 0.0;
+  // Very high access rate and trivial compute so the stressmark
+  // re-establishes its occupancy faster than any suite workload can
+  // erode it.
+  s.mix = sim::InstructionMix{.l2_api = 0.12,
+                              .l1_rpi = 0.30,
+                              .branch_pi = 0.1,
+                              .fp_pi = 0.0,
+                              .base_cpi = 0.72};
+  s.validate();
+  return s;
+}
+
+std::unique_ptr<sim::AccessGenerator> make_stressmark(std::uint32_t ways,
+                                                      std::uint32_t sets) {
+  return std::make_unique<StackDistanceGenerator>(make_stressmark_spec(ways),
+                                                  sets);
+}
+
+}  // namespace repro::workload

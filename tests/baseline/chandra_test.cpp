@@ -1,0 +1,106 @@
+#include "repro/baseline/chandra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::baseline {
+namespace {
+
+core::FeatureVector fv(std::string name, core::ReuseHistogram hist,
+                       double api, double alpha, double beta) {
+  core::FeatureVector f;
+  f.name = std::move(name);
+  f.histogram = std::move(hist);
+  f.api = api;
+  f.alpha = alpha;
+  f.beta = beta;
+  return f;
+}
+
+core::FeatureVector small_ws() {
+  return fv("small", core::ReuseHistogram({0.7, 0.2, 0.05}, 0.05), 0.005,
+            5e-10, 4e-10);
+}
+
+core::FeatureVector big_ws() {
+  return fv("big", core::ReuseHistogram(std::vector<double>(12, 0.07), 0.16),
+            0.05, 4e-9, 6e-10);
+}
+
+TEST(Foa, SingleProcessGetsWholeCache) {
+  const auto pred = predict_foa({big_ws()}, 16);
+  EXPECT_DOUBLE_EQ(pred[0].effective_size, 16.0);
+}
+
+TEST(Foa, SharesProportionallyToAloneFrequency) {
+  const auto pred = predict_foa({small_ws(), big_ws()}, 16);
+  EXPECT_NEAR(pred[0].effective_size + pred[1].effective_size, 16.0, 1e-9);
+  // big_ws has ~10x the API: FOA gives it most of the cache.
+  EXPECT_GT(pred[1].effective_size, 10.0);
+}
+
+TEST(Foa, IdenticalProcessesSplitEvenly) {
+  const auto pred = predict_foa({big_ws(), big_ws()}, 16);
+  EXPECT_NEAR(pred[0].effective_size, 8.0, 1e-9);
+}
+
+TEST(Sdc, SingleProcessGetsWholeCache) {
+  const auto pred = predict_sdc({small_ws()}, 8);
+  EXPECT_DOUBLE_EQ(pred[0].effective_size, 8.0);
+}
+
+TEST(Sdc, GrantsIntegerWaysSummingToA) {
+  const auto pred = predict_sdc({small_ws(), big_ws()}, 16);
+  const double total = pred[0].effective_size + pred[1].effective_size;
+  EXPECT_DOUBLE_EQ(total, 16.0);
+  for (const auto& p : pred)
+    EXPECT_DOUBLE_EQ(p.effective_size, std::floor(p.effective_size));
+}
+
+TEST(Sdc, HotShallowProfileWinsEarlyWays) {
+  // small_ws concentrates mass at depth 1-2, so despite lower
+  // frequency it should win at least one way.
+  const auto pred = predict_sdc({small_ws(), big_ws()}, 16);
+  EXPECT_GE(pred[0].effective_size, 1.0);
+}
+
+TEST(FoaIterated, ConvergesAndSumsToA) {
+  const auto pred = predict_foa_iterated({small_ws(), big_ws()}, 16);
+  EXPECT_NEAR(pred[0].effective_size + pred[1].effective_size, 16.0, 1e-6);
+}
+
+TEST(FoaIterated, FeedbackShrinksTheHogsShare) {
+  // Iterating the frequency loop slows the thrashing process (its MPA
+  // stays high → SPI grows → frequency drops), so its share shrinks
+  // vs plain FOA.
+  const auto plain = predict_foa({small_ws(), big_ws()}, 16);
+  const auto iter = predict_foa_iterated({small_ws(), big_ws()}, 16);
+  EXPECT_LT(iter[1].effective_size, plain[1].effective_size + 1e-9);
+}
+
+TEST(Baselines, AllPredictionsPhysical) {
+  for (const auto& pred :
+       {predict_foa({small_ws(), big_ws(), big_ws()}, 16),
+        predict_sdc({small_ws(), big_ws(), big_ws()}, 16),
+        predict_foa_iterated({small_ws(), big_ws(), big_ws()}, 16)}) {
+    for (const auto& p : pred) {
+      EXPECT_GE(p.effective_size, 0.0);
+      EXPECT_LE(p.effective_size, 16.0);
+      EXPECT_GE(p.mpa, 0.0);
+      EXPECT_LE(p.mpa, 1.0);
+      EXPECT_GT(p.spi, 0.0);
+    }
+  }
+}
+
+TEST(Baselines, RejectEmptyInput) {
+  EXPECT_THROW(predict_foa({}, 16), Error);
+  EXPECT_THROW(predict_sdc({}, 16), Error);
+  EXPECT_THROW(predict_foa_iterated({}, 16), Error);
+}
+
+}  // namespace
+}  // namespace repro::baseline

@@ -1,0 +1,40 @@
+#include "repro/common/ensure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace repro {
+namespace {
+
+TEST(Ensure, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(REPRO_ENSURE(1 + 1 == 2));
+}
+
+TEST(Ensure, FailingConditionThrowsError) {
+  EXPECT_THROW(REPRO_ENSURE(false), Error);
+}
+
+TEST(Ensure, MessageCarriesExpressionAndNote) {
+  try {
+    REPRO_ENSURE(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("ensure_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Ensure, ErrorIsARuntimeError) {
+  try {
+    REPRO_ENSURE(false);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,134 @@
+#include "repro/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace repro {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiffersForDifferentSeeds) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.5);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCloseToHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(13);
+  std::array<int, 8> counts{};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(8)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 8, kN / 80);
+}
+
+TEST(Rng, UniformIndexRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(29);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  DiscreteSampler sampler(w);
+  Rng rng(31);
+  std::array<int, 4> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, w[i] / 10.0, 0.01)
+        << "outcome " << i;
+}
+
+TEST(DiscreteSampler, HandlesZeroWeightOutcomes) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  DiscreteSampler sampler(w);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, SingleOutcome) {
+  const std::vector<double> w{2.5};
+  DiscreteSampler sampler(w);
+  Rng rng(41);
+  EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), Error);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}), Error);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{1.0, -1.0}), Error);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,63 @@
+#include "repro/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Table X: demo");
+  t.set_header({"Benchmark", "Err (%)"});
+  t.add_row({"gzip", Table::pct(0.16)});
+  t.add_row({"mcf", Table::pct(1.33)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(out.find("Benchmark"), std::string::npos);
+  EXPECT_NE(out.find("gzip"), std::string::npos);
+  EXPECT_NE(out.find("0.16%"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t("bad");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+}
+
+TEST(Table, PairFormatsBothValues) {
+  EXPECT_EQ(Table::pair(5.32, 14.12), "5.32 / 14.12");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("csv");
+  t.set_header({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, TracksRowCount) {
+  Table t("rows");
+  t.set_header({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace repro

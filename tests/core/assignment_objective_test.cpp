@@ -1,0 +1,122 @@
+// Assignment-objective tests on synthetic profiles (no simulation):
+// exercises CombinedEstimator::estimate_detailed and the energy-per-
+// instruction objective of optimize_assignment.
+#include <gtest/gtest.h>
+
+#include "repro/core/assignment.hpp"
+#include "repro/core/combined.hpp"
+#include "repro/sim/machine.hpp"
+
+namespace repro::core {
+namespace {
+
+PowerModel model() {
+  return PowerModel(45.0, {6.0e-9, 2.2e-8, -1.0e-7, 4.5e-9, 5.5e-9}, 4);
+}
+
+ProcessProfile synthetic(const std::string& name, ReuseHistogram hist,
+                         double api, double alpha, double beta,
+                         double fppi) {
+  ProcessProfile p;
+  p.name = name;
+  p.features.name = name;
+  p.features.histogram = std::move(hist);
+  p.features.api = api;
+  p.features.alpha = alpha;
+  p.features.beta = beta;
+  p.alone.l1rpi = 0.33;
+  p.alone.l2rpi = api;
+  p.alone.brpi = 0.15;
+  p.alone.fppi = fppi;
+  p.alone.l2mpr = p.features.histogram.mpa(16.0);
+  p.alone.spi = p.features.spi_at(p.alone.l2mpr);
+  p.power_alone = 55.0;
+  return p;
+}
+
+std::vector<ProcessProfile> fleet() {
+  return {
+      synthetic("cpu", ReuseHistogram({0.8, 0.15}, 0.05), 0.004, 5e-10,
+                4e-10, 0.2),
+      synthetic("mem", ReuseHistogram(std::vector<double>(14, 0.06), 0.16),
+                0.05, 4e-9, 6e-10, 0.0),
+      synthetic("mid", ReuseHistogram({0.3, 0.25, 0.2, 0.1}, 0.15), 0.015,
+                1.5e-9, 5e-10, 0.1),
+  };
+}
+
+TEST(DetailedEstimate, IdleMachineHasZeroThroughput) {
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  const auto d = est.estimate_detailed(
+      profiles, Assignment::empty(4));
+  EXPECT_DOUBLE_EQ(d.power, 45.0);
+  EXPECT_DOUBLE_EQ(d.throughput_ips, 0.0);
+  EXPECT_TRUE(std::isinf(d.energy_per_instruction()));
+}
+
+TEST(DetailedEstimate, ThroughputSumsOverBusyCores) {
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  Assignment one = Assignment::empty(4);
+  one.per_core[0].push_back(0);
+  const auto d1 = est.estimate_detailed(profiles, one);
+  Assignment two = one;
+  two.per_core[2].push_back(0);  // same process class on the other die
+  const auto d2 = est.estimate_detailed(profiles, two);
+  EXPECT_NEAR(d2.throughput_ips, 2.0 * d1.throughput_ips, 1e-6);
+}
+
+TEST(DetailedEstimate, EnergyPerInstructionIsConsistent) {
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  Assignment a = Assignment::empty(4);
+  a.per_core[0].push_back(0);
+  a.per_core[1].push_back(1);
+  const auto d = est.estimate_detailed(profiles, a);
+  EXPECT_GT(d.throughput_ips, 0.0);
+  EXPECT_NEAR(d.energy_per_instruction(), d.power / d.throughput_ips,
+              1e-15);
+}
+
+TEST(DetailedEstimate, PowerAgreesWithPlainEstimate) {
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  Assignment a = Assignment::empty(4);
+  a.per_core[0] = {0, 1};
+  a.per_core[1] = {2};
+  EXPECT_DOUBLE_EQ(est.estimate(profiles, a),
+                   est.estimate_detailed(profiles, a).power);
+}
+
+TEST(OptimizeAssignment, EnergyObjectiveReportsItsValue) {
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  const AssignmentSearchResult r = optimize_assignment(
+      est, profiles, AssignmentObjective::kEnergyPerInstruction);
+  EXPECT_EQ(r.evaluated, 64u);  // 4^3
+  EXPECT_GT(r.predicted_throughput_ips, 0.0);
+  EXPECT_NEAR(r.objective_value,
+              r.predicted_power / r.predicted_throughput_ips, 1e-12);
+}
+
+TEST(OptimizeAssignment, ObjectivesCanDisagree) {
+  // Min-power and min-energy need not coincide: spreading work can
+  // cost more watts but finish instructions faster. At minimum the two
+  // searches must each be optimal for their own metric.
+  const CombinedEstimator est(model(), sim::four_core_server());
+  const auto profiles = fleet();
+  const auto by_power =
+      optimize_assignment(est, profiles, AssignmentObjective::kPower);
+  const auto by_energy = optimize_assignment(
+      est, profiles, AssignmentObjective::kEnergyPerInstruction);
+  const auto energy_of = [&](const Assignment& a) {
+    return est.estimate_detailed(profiles, a).energy_per_instruction();
+  };
+  EXPECT_LE(by_power.predicted_power, by_energy.predicted_power + 1e-9);
+  EXPECT_LE(energy_of(by_energy.assignment),
+            energy_of(by_power.assignment) + 1e-15);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,120 @@
+#include "repro/core/mattson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/rng.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::core {
+namespace {
+
+std::vector<sim::MemoryAccess> record(workload::StackDistanceGenerator& gen,
+                                      std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sim::MemoryAccess> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trace.push_back(gen.next(rng));
+  return trace;
+}
+
+TEST(Mattson, SingleLineTraceIsAllDepthOneAfterColdMiss) {
+  std::vector<sim::MemoryAccess> trace(100, sim::MemoryAccess{0, 7});
+  const MattsonResult r = mattson_histogram(trace, 1, 8);
+  EXPECT_EQ(r.cold_accesses, 1u);
+  EXPECT_NEAR(r.histogram.probability(1), 0.99, 1e-9);
+  EXPECT_NEAR(r.histogram.tail_mass(), 0.01, 1e-9);
+}
+
+TEST(Mattson, CyclicPatternHasDistanceEqualToCycleLength) {
+  // Cycling 3 lines in one set: every non-cold access has distance 3.
+  std::vector<sim::MemoryAccess> trace;
+  for (int rep = 0; rep < 40; ++rep)
+    for (std::uint64_t line = 0; line < 3; ++line)
+      trace.push_back({0, line});
+  const MattsonResult r = mattson_histogram(trace, 1, 8);
+  EXPECT_EQ(r.cold_accesses, 3u);
+  EXPECT_NEAR(r.histogram.probability(3), (120.0 - 3.0) / 120.0, 1e-9);
+}
+
+TEST(Mattson, StreamingTraceIsAllCold) {
+  std::vector<sim::MemoryAccess> trace;
+  for (std::uint64_t i = 0; i < 500; ++i)
+    trace.push_back({static_cast<std::uint32_t>(i % 4), i});
+  const MattsonResult r = mattson_histogram(trace, 4, 8);
+  EXPECT_EQ(r.cold_accesses, 500u);
+  EXPECT_DOUBLE_EQ(r.histogram.tail_mass(), 1.0);
+}
+
+TEST(Mattson, SetsAreIndependent) {
+  // Alternating between two sets must not inflate distances.
+  std::vector<sim::MemoryAccess> trace;
+  for (int rep = 0; rep < 50; ++rep) {
+    trace.push_back({0, 1});
+    trace.push_back({1, 2});
+  }
+  const MattsonResult r = mattson_histogram(trace, 2, 8);
+  EXPECT_NEAR(r.histogram.probability(1), 98.0 / 100.0, 1e-9);
+}
+
+TEST(Mattson, RecoversGeneratorDistribution) {
+  // The generator draws per-set depths from a known pmf; Mattson over
+  // its trace must recover that pmf (up to cold-start effects).
+  workload::WorkloadSpec spec = workload::find_spec("gzip");
+  spec.reuse_weights = {4.0, 2.0, 2.0, 1.0, 1.0};
+  spec.new_line_weight = 2.0;
+  spec.stream_weight = 0.0;
+  workload::StackDistanceGenerator gen(spec, 32);
+  const auto trace = record(gen, 200000, 11);
+  const MattsonResult r = mattson_histogram(trace, 32, 16);
+  const double total = 12.0;
+  EXPECT_NEAR(r.histogram.probability(1), 4.0 / total, 0.01);
+  EXPECT_NEAR(r.histogram.probability(3), 2.0 / total, 0.01);
+  EXPECT_NEAR(r.histogram.probability(5), 1.0 / total, 0.01);
+  EXPECT_NEAR(r.histogram.tail_mass(), 2.0 / total, 0.02);
+}
+
+TEST(Mattson, Eq2CrossValidatesAgainstRealCaches) {
+  // Eq. 2 ground truth: the Mattson MPA curve evaluated at w ways must
+  // match a direct cache simulation with associativity w.
+  const std::uint32_t sets = 64;
+  const workload::WorkloadSpec& spec = workload::find_spec("vpr");
+  workload::StackDistanceGenerator gen(spec, sets);
+  const auto trace = record(gen, 400000, 13);
+  const MattsonResult mattson = mattson_histogram(trace, sets, 32);
+
+  for (std::uint32_t ways : {2u, 4u, 8u}) {
+    sim::SharedCache cache(sim::CacheGeometry{sets, ways, 64}, false, 1);
+    for (const sim::MemoryAccess& a : trace) cache.access(a, 0);
+    EXPECT_NEAR(cache.stats(0).mpa(), mattson.histogram.mpa(ways), 0.015)
+        << "ways = " << ways;
+  }
+}
+
+TEST(Mattson, SampledMatchesExactWithinNoise) {
+  const std::uint32_t sets = 32;
+  const workload::WorkloadSpec& spec = workload::find_spec("twolf");
+  workload::StackDistanceGenerator gen(spec, sets);
+  const auto trace = record(gen, 300000, 17);
+  const MattsonResult exact = mattson_histogram(trace, sets, 24);
+  const MattsonResult sampled =
+      mattson_histogram_sampled(trace, sets, 24, 16);
+  for (double s = 1.0; s <= 24.0; s += 1.0)
+    EXPECT_NEAR(sampled.histogram.mpa(s), exact.histogram.mpa(s), 0.02)
+        << "S = " << s;
+}
+
+TEST(Mattson, RejectsBadInput) {
+  std::vector<sim::MemoryAccess> trace{{0, 1}};
+  EXPECT_THROW(mattson_histogram(trace, 0, 8), Error);
+  EXPECT_THROW(mattson_histogram(trace, 1, 0), Error);
+  EXPECT_THROW(mattson_histogram_sampled(trace, 1, 8, 0), Error);
+  std::vector<sim::MemoryAccess> bad{{5, 1}};
+  EXPECT_THROW(mattson_histogram(bad, 2, 8), Error);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,180 @@
+#include "repro/core/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "repro/core/analytic.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::core {
+namespace {
+
+FeatureVector fv(std::string name, ReuseHistogram hist, double api,
+                 double alpha, double beta) {
+  FeatureVector f;
+  f.name = std::move(name);
+  f.histogram = std::move(hist);
+  f.api = api;
+  f.alpha = alpha;
+  f.beta = beta;
+  return f;
+}
+
+FeatureVector cache_friendly() {
+  return fv("friendly", ReuseHistogram({0.7, 0.2, 0.05}, 0.05), 0.004,
+            4e-10, 4e-10);
+}
+
+FeatureVector cache_hungry() {
+  // Reuse mass spread over 15 depths: every extra way keeps helping.
+  return fv("hungry", ReuseHistogram(std::vector<double>(15, 0.062), 0.07),
+            0.04, 4e-9, 6e-10);
+}
+
+FeatureVector streaming() {
+  return fv("stream", ReuseHistogram({0.05}, 0.95), 0.03, 3e-9, 5e-10);
+}
+
+TEST(PredictPartitioned, UsesQuotaAsEffectiveSize) {
+  const auto pred =
+      predict_partitioned({cache_friendly(), cache_hungry()}, {4, 12});
+  EXPECT_DOUBLE_EQ(pred[0].effective_size, 4.0);
+  EXPECT_DOUBLE_EQ(pred[1].effective_size, 12.0);
+  EXPECT_NEAR(pred[0].mpa, cache_friendly().histogram.mpa(4.0), 1e-12);
+}
+
+TEST(PredictPartitioned, RejectsZeroQuota) {
+  EXPECT_THROW(predict_partitioned({cache_friendly()}, {0}), Error);
+  EXPECT_THROW(predict_partitioned({cache_friendly()}, {1, 2}), Error);
+}
+
+TEST(OptimalPartition, QuotasSumToWays) {
+  const PartitionResult r =
+      optimal_partition({cache_friendly(), cache_hungry()}, 16);
+  std::uint32_t total = 0;
+  for (std::uint32_t q : r.quotas) total += q;
+  EXPECT_EQ(total, 16u);
+  for (std::uint32_t q : r.quotas) EXPECT_GE(q, 1u);
+}
+
+TEST(OptimalPartition, StarvesStreamingProcess) {
+  // A streaming process gains nothing from cache: the optimum gives it
+  // the minimum and the reuse-heavy process the rest.
+  const PartitionResult r =
+      optimal_partition({streaming(), cache_hungry()}, 16);
+  EXPECT_EQ(r.quotas[0], 1u);
+  EXPECT_EQ(r.quotas[1], 15u);
+}
+
+TEST(OptimalPartition, IdenticalDiminishingProcessesSplitEvenly) {
+  // With diminishing returns (geometrically decaying reuse), per-way
+  // utility is concave and identical processes split evenly. (With a
+  // *uniform* histogram the utility is convex and throughput-optimal
+  // partitioning deliberately starves one copy — the classic
+  // throughput/fairness tension.)
+  std::vector<double> w = workload::geometric_weights(0.6, 12);
+  double total = 0.2;  // tail weight
+  for (double v : w) total += v;
+  for (double& v : w) v /= total;
+  const FeatureVector fv_dim =
+      fv("dim", ReuseHistogram(std::move(w), 0.2 / total), 0.03, 3e-9,
+         5e-10);
+  const PartitionResult r = optimal_partition({fv_dim, fv_dim}, 16);
+  EXPECT_EQ(r.quotas[0], 8u);
+  EXPECT_EQ(r.quotas[1], 8u);
+}
+
+TEST(OptimalPartition, BeatsOrMatchesEverySingleAlternative) {
+  // Exhaustive check of DP optimality for k = 2.
+  const std::vector<FeatureVector> procs{cache_friendly(), cache_hungry()};
+  const PartitionResult best = optimal_partition(procs, 16);
+  for (std::uint32_t s0 = 1; s0 <= 15; ++s0) {
+    const auto pred = predict_partitioned(procs, {s0, 16 - s0});
+    const double value = 1.0 / pred[0].spi + 1.0 / pred[1].spi;
+    EXPECT_LE(value, best.objective_value + 1e-6) << "s0 = " << s0;
+  }
+}
+
+TEST(OptimalPartition, ThreeProcessesFeasible) {
+  const PartitionResult r = optimal_partition(
+      {cache_friendly(), cache_hungry(), streaming()}, 16,
+      PartitionObjective::kWeightedSpeedup);
+  std::uint32_t total = 0;
+  for (std::uint32_t q : r.quotas) total += q;
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(OptimalPartition, MissRateObjectiveFavorsTheHungry) {
+  const PartitionResult r = optimal_partition(
+      {cache_friendly(), cache_hungry()}, 16, PartitionObjective::kMissRate);
+  EXPECT_GT(r.quotas[1], r.quotas[0]);
+}
+
+TEST(OptimalPartition, RejectsInfeasible) {
+  EXPECT_THROW(optimal_partition({cache_friendly(), cache_hungry()}, 1),
+               Error);
+  EXPECT_THROW(optimal_partition({}, 8), Error);
+}
+
+// --- Simulator cross-validation. --------------------------------------
+
+TEST(PartitionedCache, QuotasHoldUnderContention) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  sim::SharedCache cache(machine.l2, false, 2);
+  cache.set_partition({2, 6});
+
+  Rng rng(3);
+  auto gen_a = workload::make_generator("mcf", machine.l2.sets);
+  auto gen_b = workload::make_generator("art", machine.l2.sets);
+  Rng ra = rng.fork(0), rb = rng.fork(1);
+  for (int i = 0; i < 400000; ++i) {
+    cache.access(gen_a->next(ra), 0);
+    cache.access(gen_b->next(rb), 1);
+  }
+  EXPECT_LE(cache.occupancy_ways(0), 2.05);
+  EXPECT_LE(cache.occupancy_ways(1), 6.05);
+  EXPECT_GT(cache.occupancy_ways(0), 1.5);
+  EXPECT_GT(cache.occupancy_ways(1), 5.0);
+}
+
+TEST(PartitionedCache, PredictionMatchesSimulatedPartition) {
+  // Confine vpr to s ways in the simulator via a partition and check
+  // the predicted MPA at quota s.
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const workload::WorkloadSpec& vpr = workload::find_spec("vpr");
+  const FeatureVector truth = analytic_features(vpr, machine);
+
+  for (std::uint32_t s : {2u, 4u, 6u}) {
+    sim::SharedCache cache(machine.l2, false, 2);
+    cache.set_partition({s, machine.l2.ways - s});
+    auto gen = workload::make_generator("vpr", machine.l2.sets);
+    auto filler = workload::make_generator("mcf", machine.l2.sets);
+    Rng rng(4);
+    Rng rg = rng.fork(0), rf = rng.fork(1);
+    for (int i = 0; i < 300000; ++i) {
+      cache.access(gen->next(rg), 0);
+      cache.access(filler->next(rf), 1);
+    }
+    cache.reset_stats();
+    for (int i = 0; i < 300000; ++i) {
+      cache.access(gen->next(rg), 0);
+      cache.access(filler->next(rf), 1);
+    }
+    const auto pred = predict_partitioned(
+        {truth, analytic_features(workload::find_spec("mcf"), machine)},
+        {s, machine.l2.ways - s});
+    EXPECT_NEAR(cache.stats(0).mpa(), pred[0].mpa, 0.06) << "quota " << s;
+  }
+}
+
+TEST(PartitionedCache, RejectsOverCommittedQuotas) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  sim::SharedCache cache(machine.l2, false, 2);
+  EXPECT_THROW(cache.set_partition({6, 6}), Error);  // 12 > 8 ways
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,204 @@
+#include "repro/core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "repro/core/analytic.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+
+namespace repro::core {
+namespace {
+
+FeatureVector make_fv(std::string name, ReuseHistogram hist, double api,
+                      double alpha, double beta) {
+  FeatureVector fv;
+  fv.name = std::move(name);
+  fv.histogram = std::move(hist);
+  fv.api = api;
+  fv.alpha = alpha;
+  fv.beta = beta;
+  return fv;
+}
+
+FeatureVector light_process() {
+  // Shallow working set, low API.
+  return make_fv("light", ReuseHistogram({0.6, 0.25, 0.1}, 0.05), 0.005,
+                 4.0e-10, 4.0e-10);
+}
+
+FeatureVector heavy_process() {
+  // Deep reuse, high API: a cache hog.
+  return make_fv("heavy",
+                 ReuseHistogram(std::vector<double>(12, 0.07), 0.16), 0.05,
+                 4.0e-9, 6.0e-10);
+}
+
+TEST(FeatureVector, ValidatesPhysicalRanges) {
+  EXPECT_NO_THROW(light_process().validate());
+  FeatureVector bad = light_process();
+  bad.api = 0.0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = light_process();
+  bad.beta = 0.0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = light_process();
+  bad.alpha = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(FeatureVector, SpiLawIsLinear) {
+  const FeatureVector fv = light_process();
+  EXPECT_DOUBLE_EQ(fv.spi_at(0.0), fv.beta);
+  EXPECT_DOUBLE_EQ(fv.spi_at(0.5), fv.alpha * 0.5 + fv.beta);
+}
+
+TEST(EquilibriumSolver, SingleProcessGetsWholeCache) {
+  const EquilibriumSolver solver(16);
+  const auto pred = solver.solve({heavy_process()});
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_DOUBLE_EQ(pred[0].effective_size, 16.0);
+  EXPECT_NEAR(pred[0].mpa, heavy_process().histogram.mpa(16.0), 1e-12);
+}
+
+TEST(EquilibriumSolver, IdenticalProcessesSplitEvenly) {
+  const EquilibriumSolver solver(16);
+  const auto pred = solver.solve({heavy_process(), heavy_process()});
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_NEAR(pred[0].effective_size, 8.0, 1e-6);
+  EXPECT_NEAR(pred[1].effective_size, 8.0, 1e-6);
+}
+
+TEST(EquilibriumSolver, SizesSumToAssociativity) {
+  const EquilibriumSolver solver(16);
+  for (const auto& pair :
+       {std::pair{light_process(), heavy_process()},
+        std::pair{heavy_process(), heavy_process()},
+        std::pair{light_process(), light_process()}}) {
+    const auto pred = solver.solve({pair.first, pair.second});
+    EXPECT_NEAR(pred[0].effective_size + pred[1].effective_size, 16.0, 1e-6);
+  }
+}
+
+TEST(EquilibriumSolver, CacheHogTakesLargerShare) {
+  const EquilibriumSolver solver(16);
+  const auto pred = solver.solve({light_process(), heavy_process()});
+  EXPECT_GT(pred[1].effective_size, pred[0].effective_size + 2.0);
+}
+
+TEST(EquilibriumSolver, ContentionNeverImprovesMpa) {
+  const EquilibriumSolver solver(16);
+  const auto alone = solver.solve({heavy_process()});
+  const auto pair = solver.solve({heavy_process(), light_process()});
+  EXPECT_GE(pair[0].mpa, alone[0].mpa - 1e-9);
+}
+
+TEST(EquilibriumSolver, ThreeWayContentionSumsToA) {
+  const EquilibriumSolver solver(16);
+  const auto pred =
+      solver.solve({light_process(), heavy_process(), heavy_process()});
+  double sum = 0.0;
+  for (const auto& p : pred) sum += p.effective_size;
+  EXPECT_NEAR(sum, 16.0, 1e-6);
+  // The two identical heavy processes must get equal shares.
+  EXPECT_NEAR(pred[1].effective_size, pred[2].effective_size, 1e-6);
+}
+
+TEST(EquilibriumSolver, FourWayContentionIsStable) {
+  const EquilibriumSolver solver(16);
+  const auto pred = solver.solve(
+      {light_process(), heavy_process(), light_process(), heavy_process()});
+  double sum = 0.0;
+  for (const auto& p : pred) {
+    EXPECT_GT(p.effective_size, 0.0);
+    EXPECT_GT(p.spi, 0.0);
+    sum += p.effective_size;
+  }
+  EXPECT_NEAR(sum, 16.0, 1e-6);
+}
+
+TEST(EquilibriumSolver, NewtonAgreesWithBisection) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{light_process(), heavy_process()};
+  const auto robust = solver.solve(procs);
+  const auto newton = solver.solve_newton(procs);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    EXPECT_NEAR(newton[i].effective_size, robust[i].effective_size, 0.05);
+    EXPECT_NEAR(newton[i].mpa, robust[i].mpa, 0.005);
+  }
+}
+
+TEST(EquilibriumSolver, PredictionsSatisfyEq7) {
+  // Check the paper's equilibrium condition directly on the solution:
+  // G⁻¹(S_i) / APS_i must be equal across processes.
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{light_process(), heavy_process()};
+  const auto pred = solver.solve(procs);
+  std::vector<double> horizon(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const math::PiecewiseLinear g = fill_curve(procs[i].histogram, 16);
+    horizon[i] = g(pred[i].effective_size) / pred[i].aps;
+  }
+  EXPECT_NEAR(horizon[0] / horizon[1], 1.0, 0.02);
+}
+
+TEST(EquilibriumSolver, RejectsDegenerateInputs) {
+  const EquilibriumSolver solver(16);
+  EXPECT_THROW(solver.solve({}), Error);
+  EXPECT_THROW(EquilibriumSolver(0), Error);
+}
+
+// --- Integration: predictions vs. simulated ground truth. -------------
+
+struct PairCase {
+  const char* a;
+  const char* b;
+};
+
+class EquilibriumVsSimulation : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(EquilibriumVsSimulation, PredictsPairedMpaAndSpi) {
+  const PairCase param = GetParam();
+  const sim::MachineConfig machine = sim::four_core_server();
+  const workload::WorkloadSpec& wa = workload::find_spec(param.a);
+  const workload::WorkloadSpec& wb = workload::find_spec(param.b);
+
+  // Model side: analytic feature vectors → equilibrium prediction.
+  const EquilibriumSolver solver(machine.l2.ways);
+  const auto pred = solver.solve({analytic_features(wa, machine),
+                                  analytic_features(wb, machine)});
+
+  // Measured side: co-run on two cache-sharing cores.
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, power::oracle_for_four_core_server(), 77);
+  system.add_process(wa.name, 0, wa.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         wa, machine.l2.sets));
+  system.add_process(wb.name, 1, wb.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         wb, machine.l2.sets));
+  system.warm_up(0.05);
+  const sim::RunResult run = system.run(0.1);
+
+  for (ProcessId pid : {0u, 1u}) {
+    const sim::ProcessReport& report = run.process(pid);
+    EXPECT_NEAR(pred[pid].mpa, report.mpa(), 0.06)
+        << report.name << " MPA (pred " << pred[pid].mpa << ")";
+    EXPECT_NEAR(pred[pid].spi / report.spi(), 1.0, 0.12)
+        << report.name << " SPI";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuitePairs, EquilibriumVsSimulation,
+    ::testing::Values(PairCase{"gzip", "mcf"}, PairCase{"vpr", "art"},
+                      PairCase{"mcf", "art"}, PairCase{"twolf", "equake"},
+                      PairCase{"ammp", "bzip2"}),
+    [](const ::testing::TestParamInfo<PairCase>& info) {
+      return std::string(info.param.a) + "_" + info.param.b;
+    });
+
+}  // namespace
+}  // namespace repro::core

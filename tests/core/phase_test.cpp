@@ -1,0 +1,153 @@
+#include "repro/core/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/rng.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/phased.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace repro::core {
+namespace {
+
+std::vector<double> constant(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+TEST(PhaseDetector, ConstantSeriesIsOnePhase) {
+  const PhaseDetector det;
+  const auto phases = det.detect(constant(50, 0.3));
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[0].end, 50u);
+  EXPECT_NEAR(phases[0].mean, 0.3, 1e-12);
+}
+
+TEST(PhaseDetector, TwoLevelSeriesSplitsAtStep) {
+  std::vector<double> series = constant(30, 0.1);
+  const std::vector<double> high = constant(30, 0.6);
+  series.insert(series.end(), high.begin(), high.end());
+  const PhaseDetector det;
+  const auto phases = det.detect(series);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_NEAR(phases[0].mean, 0.1, 0.05);
+  EXPECT_NEAR(phases[1].mean, 0.6, 0.05);
+  EXPECT_NEAR(static_cast<double>(phases[0].end), 30.0, 3.0);
+}
+
+TEST(PhaseDetector, ThreePhases) {
+  std::vector<double> series;
+  for (double level : {0.2, 0.8, 0.4})
+    for (int i = 0; i < 25; ++i) series.push_back(level);
+  const auto phases = PhaseDetector().detect(series);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_NEAR(phases[1].mean, 0.8, 0.08);
+}
+
+TEST(PhaseDetector, NoiseDoesNotFragment) {
+  Rng rng(5);
+  std::vector<double> series;
+  for (int i = 0; i < 60; ++i) series.push_back(0.4 + rng.normal(0.0, 0.01));
+  const auto phases = PhaseDetector().detect(series);
+  EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST(PhaseDetector, NoisyStepStillDetected) {
+  Rng rng(6);
+  std::vector<double> series;
+  for (int i = 0; i < 40; ++i) series.push_back(0.2 + rng.normal(0.0, 0.015));
+  for (int i = 0; i < 40; ++i) series.push_back(0.5 + rng.normal(0.0, 0.015));
+  const auto phases = PhaseDetector().detect(series);
+  ASSERT_EQ(phases.size(), 2u);
+}
+
+TEST(PhaseDetector, ShortBlipIsMergedAway) {
+  std::vector<double> series = constant(40, 0.3);
+  for (int i = 18; i < 20; ++i) series[i] = 0.9;  // 2-window blip
+  const auto phases = PhaseDetector().detect(series);
+  EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST(PhaseDetector, DominantPicksLongest) {
+  std::vector<Phase> phases{{0, 10, 0.1}, {10, 50, 0.5}, {50, 60, 0.2}};
+  EXPECT_EQ(&PhaseDetector::dominant(phases), &phases[1]);
+  EXPECT_THROW(PhaseDetector::dominant({}), Error);
+}
+
+TEST(PhaseDetector, CoverageIsGaplessAndOrdered) {
+  Rng rng(7);
+  std::vector<double> series;
+  for (int p = 0; p < 4; ++p)
+    for (int i = 0; i < 20; ++i)
+      series.push_back(0.15 * (p + 1) + rng.normal(0.0, 0.005));
+  const auto phases = PhaseDetector().detect(series);
+  EXPECT_EQ(phases.front().begin, 0u);
+  EXPECT_EQ(phases.back().end, series.size());
+  for (std::size_t i = 1; i < phases.size(); ++i)
+    EXPECT_EQ(phases[i].begin, phases[i - 1].end);
+}
+
+TEST(PhaseDetector, RejectsEmptySeries) {
+  EXPECT_THROW(PhaseDetector().detect(std::vector<double>{}), Error);
+}
+
+// --- End to end: a deliberately two-phase process through the
+// simulator, detected from its windowed MPA signal. -------------------
+
+TEST(PhasedWorkload, GeneratorSwitchesPhases) {
+  workload::PhaseSegment a{workload::find_spec("gzip"), 1000};
+  workload::PhaseSegment b{workload::find_spec("mcf"), 1000};
+  workload::PhasedGenerator gen({a, b}, 64);
+  Rng rng(1);
+  EXPECT_EQ(gen.current_phase(), 0u);
+  for (int i = 0; i < 1500; ++i) gen.next(rng);
+  EXPECT_EQ(gen.current_phase(), 1u);
+  EXPECT_EQ(gen.phase_count(), 2u);
+}
+
+TEST(PhasedWorkload, DetectedFromSimulatedMpaSeries) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  cfg.sample_period = 5e-3;  // fine-grained windows for detection
+  sim::System system(cfg, power::oracle_for_two_core_workstation(), 9);
+
+  // Phase 1: cache-friendly (gzip pattern); phase 2: thrashing (mcf
+  // pattern). Same instruction mix, as PhasedGenerator requires.
+  workload::WorkloadSpec p1 = workload::find_spec("gzip");
+  workload::WorkloadSpec p2 = workload::find_spec("mcf");
+  p2.mix = p1.mix;
+  const std::uint64_t phase_len = 600000;
+  system.add_process(
+      "two-phase", 0, p1.mix,
+      std::make_unique<workload::PhasedGenerator>(
+          std::vector<workload::PhaseSegment>{{p1, phase_len},
+                                              {p2, phase_len}},
+          machine.l2.sets));
+
+  // Collect a windowed miss-rate series spanning both phases.
+  std::vector<double> mpa_series;
+  sim::RunResult run = system.run(0.12);
+  double prev_refs = 0.0, prev_miss = 0.0;
+  for (const sim::Sample& s : run.samples) (void)s;
+  // Windowed MPA from core rates: misses/refs per window.
+  for (const sim::Sample& s : run.samples) {
+    const double refs = s.core_rates[0].l2rps;
+    const double miss = s.core_rates[0].l2mps;
+    if (refs > 0.0) mpa_series.push_back(miss / refs);
+    (void)prev_refs;
+    (void)prev_miss;
+  }
+  ASSERT_GT(mpa_series.size(), 10u);
+
+  const auto phases = PhaseDetector().detect(mpa_series);
+  ASSERT_GE(phases.size(), 2u) << "two program phases expected";
+  EXPECT_LT(phases.front().mean, phases.back().mean);
+}
+
+}  // namespace
+}  // namespace repro::core

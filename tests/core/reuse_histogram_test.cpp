@@ -1,0 +1,111 @@
+#include "repro/core/reuse_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(ReuseHistogram, MpaIsUpperTailAtIntegerSizes) {
+  // P(d=1)=0.5, P(d=2)=0.3, tail 0.2.
+  const ReuseHistogram h({0.5, 0.3}, 0.2);
+  EXPECT_DOUBLE_EQ(h.mpa(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.mpa(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.mpa(2.0), 0.2);
+  EXPECT_DOUBLE_EQ(h.mpa(10.0), 0.2);  // flat beyond max depth
+}
+
+TEST(ReuseHistogram, MpaInterpolatesBetweenWays) {
+  const ReuseHistogram h({0.5, 0.3}, 0.2);
+  EXPECT_DOUBLE_EQ(h.mpa(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(h.mpa(1.5), 0.35);
+}
+
+TEST(ReuseHistogram, MpaIsMonotoneDecreasing) {
+  const ReuseHistogram h({0.1, 0.2, 0.3, 0.1, 0.05}, 0.25);
+  double prev = 1.0;
+  for (double s = 0.0; s <= 6.0; s += 0.25) {
+    EXPECT_LE(h.mpa(s), prev + 1e-12) << "s = " << s;
+    prev = h.mpa(s);
+  }
+}
+
+TEST(ReuseHistogram, NormalizesSmallDeviations) {
+  const ReuseHistogram h({0.5, 0.5000004}, 0.0);
+  EXPECT_NEAR(h.probability(1) + h.probability(2) + h.tail_mass(), 1.0,
+              1e-12);
+}
+
+TEST(ReuseHistogram, RejectsNonDistributions) {
+  EXPECT_THROW(ReuseHistogram({0.5, 0.2}, 0.0), Error);   // sums to 0.7
+  EXPECT_THROW(ReuseHistogram({0.5, -0.1}, 0.6), Error);  // negative
+  EXPECT_THROW(ReuseHistogram({0.9}, -0.2), Error);
+}
+
+TEST(ReuseHistogram, ProbabilityLookup) {
+  const ReuseHistogram h({0.4, 0.35}, 0.25);
+  EXPECT_DOUBLE_EQ(h.probability(1), 0.4);
+  EXPECT_DOUBLE_EQ(h.probability(2), 0.35);
+  EXPECT_DOUBLE_EQ(h.probability(3), 0.0);  // beyond max depth
+  EXPECT_THROW(h.probability(0), Error);
+}
+
+TEST(ReuseHistogram, FromMpaCurveInvertsEq8) {
+  // hist(d) = MPA(d−1) − MPA(d): feed a curve, recover the pmf.
+  const std::vector<double> mpa{0.6, 0.3, 0.1, 0.1};
+  const ReuseHistogram h = ReuseHistogram::from_mpa_curve(mpa);
+  EXPECT_NEAR(h.probability(1), 0.4, 1e-12);
+  EXPECT_NEAR(h.probability(2), 0.3, 1e-12);
+  EXPECT_NEAR(h.probability(3), 0.2, 1e-12);
+  EXPECT_NEAR(h.probability(4), 0.0, 1e-12);
+  EXPECT_NEAR(h.tail_mass(), 0.1, 1e-12);
+}
+
+TEST(ReuseHistogram, RoundTripHistToMpaCurveAndBack) {
+  const ReuseHistogram original({0.3, 0.25, 0.2, 0.05}, 0.2);
+  std::vector<double> mpa;
+  for (int s = 1; s <= 4; ++s) mpa.push_back(original.mpa(s));
+  const ReuseHistogram recovered = ReuseHistogram::from_mpa_curve(mpa);
+  for (int d = 1; d <= 4; ++d)
+    EXPECT_NEAR(recovered.probability(d), original.probability(d), 1e-12);
+  EXPECT_NEAR(recovered.tail_mass(), original.tail_mass(), 1e-12);
+}
+
+TEST(ReuseHistogram, FromMpaCurveClampsMeasurementNoise) {
+  // A noisy curve that briefly increases must still produce a valid
+  // (weakly decreasing MPA) histogram.
+  const std::vector<double> noisy{0.5, 0.52, 0.2, 0.21, 0.1};
+  const ReuseHistogram h = ReuseHistogram::from_mpa_curve(noisy);
+  double sum = h.tail_mass();
+  for (std::uint32_t d = 1; d <= 5; ++d) {
+    EXPECT_GE(h.probability(d), 0.0);
+    sum += h.probability(d);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  double prev = 1.0;
+  for (double s = 0.0; s <= 5.0; s += 0.5) {
+    EXPECT_LE(h.mpa(s), prev + 1e-12);
+    prev = h.mpa(s);
+  }
+}
+
+TEST(ReuseHistogram, FromMpaCurveHandlesAllMissWorkload) {
+  // A pure-streaming process: MPA stays 1 at every size.
+  const std::vector<double> mpa{1.0, 1.0, 1.0};
+  const ReuseHistogram h = ReuseHistogram::from_mpa_curve(mpa);
+  EXPECT_DOUBLE_EQ(h.tail_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(h.mpa(2.0), 1.0);
+}
+
+TEST(ReuseHistogram, FromMpaCurveHandlesAllHitWorkload) {
+  const std::vector<double> mpa{0.0, 0.0};
+  const ReuseHistogram h = ReuseHistogram::from_mpa_curve(mpa);
+  EXPECT_DOUBLE_EQ(h.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.mpa(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::core

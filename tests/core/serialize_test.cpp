@@ -1,0 +1,136 @@
+#include "repro/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::core {
+namespace {
+
+ProcessProfile sample_profile(const std::string& name) {
+  ProcessProfile p;
+  p.name = name;
+  p.features.name = name;
+  p.features.histogram = ReuseHistogram({0.5, 0.25, 0.1}, 0.15);
+  p.features.api = 0.012;
+  p.features.alpha = 1.1e-9;
+  p.features.beta = 4.7e-10;
+  p.power_alone = 31.25;
+  p.alone.l1rpi = 0.32;
+  p.alone.l2rpi = 0.012;
+  p.alone.brpi = 0.12;
+  p.alone.fppi = 0.10;
+  p.alone.l2mpr = 0.17;
+  p.alone.spi = 5.0e-10;
+  p.mpa_at_ways = {0.6, 0.4, 0.25, 0.15};
+  p.spi_at_ways = {1.1e-9, 9.0e-10, 7.4e-10, 6.3e-10};
+  return p;
+}
+
+TEST(Serialize, ProfileRoundTripsExactly) {
+  const ProcessProfile original = sample_profile("vpr");
+  std::stringstream ss;
+  write_profile(ss, original);
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), 1u);
+  const ProcessProfile& p = store.profiles[0];
+  EXPECT_EQ(p.name, "vpr");
+  EXPECT_DOUBLE_EQ(p.features.api, original.features.api);
+  EXPECT_DOUBLE_EQ(p.features.alpha, original.features.alpha);
+  EXPECT_DOUBLE_EQ(p.features.beta, original.features.beta);
+  EXPECT_DOUBLE_EQ(p.power_alone, original.power_alone);
+  EXPECT_DOUBLE_EQ(p.alone.l2mpr, original.alone.l2mpr);
+  EXPECT_DOUBLE_EQ(p.alone.spi, original.alone.spi);
+  for (std::uint32_t d = 1; d <= 3; ++d)
+    EXPECT_DOUBLE_EQ(p.features.histogram.probability(d),
+                     original.features.histogram.probability(d));
+  EXPECT_DOUBLE_EQ(p.features.histogram.tail_mass(),
+                   original.features.histogram.tail_mass());
+  ASSERT_EQ(p.mpa_at_ways.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.mpa_at_ways[2], 0.25);
+  EXPECT_DOUBLE_EQ(p.spi_at_ways[3], 6.3e-10);
+}
+
+TEST(Serialize, MultipleProfilesAndModelRoundTrip) {
+  ModelStore original;
+  original.profiles = {sample_profile("gzip"), sample_profile("mcf")};
+  original.power_model.emplace(
+      45.0, std::array<double, 5>{6e-9, 2e-8, -3e-7, 4e-9, 5e-9}, 4);
+  std::stringstream ss;
+  write_profiles(ss, original.profiles);
+  write_power_model(ss, *original.power_model);
+
+  const ModelStore store = read_store(ss);
+  EXPECT_EQ(store.profiles.size(), 2u);
+  EXPECT_NE(store.find("gzip"), nullptr);
+  EXPECT_NE(store.find("mcf"), nullptr);
+  EXPECT_EQ(store.find("nope"), nullptr);
+  ASSERT_TRUE(store.power_model.has_value());
+  EXPECT_DOUBLE_EQ(store.power_model->idle_total(), 45.0);
+  EXPECT_EQ(store.power_model->cores(), 4u);
+  EXPECT_DOUBLE_EQ(store.power_model->coefficients()[2], -3e-7);
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# comment\n\n";
+  write_profile(ss, sample_profile("art"));
+  ss << "\n# trailing comment\n";
+  const ModelStore store = read_store(ss);
+  EXPECT_EQ(store.profiles.size(), 1u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  {
+    std::stringstream ss("api 0.5\n");  // field outside profile
+    EXPECT_THROW(read_store(ss), Error);
+  }
+  {
+    std::stringstream ss("profile v1 x\napi 0.1\n");  // unterminated
+    EXPECT_THROW(read_store(ss), Error);
+  }
+  {
+    std::stringstream ss("profile v2 x\nend\n");  // bad version
+    EXPECT_THROW(read_store(ss), Error);
+  }
+  {
+    std::stringstream ss("wibble 1 2 3\n");
+    EXPECT_THROW(read_store(ss), Error);
+  }
+  {
+    std::stringstream ss("power_model v1 4 45.0 1 2 3\n");  // too few
+    EXPECT_THROW(read_store(ss), Error);
+  }
+}
+
+TEST(Serialize, RejectsProfileWithoutHistogram) {
+  std::stringstream ss(
+      "profile v1 x\napi 0.1\nalpha 1e-9\nbeta 1e-10\nend\n");
+  EXPECT_THROW(read_store(ss), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  ModelStore original;
+  original.profiles = {sample_profile("twolf")};
+  const std::string path = ::testing::TempDir() + "/store_test.txt";
+  save_store(path, original);
+  const auto loaded = load_store(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->profiles.size(), 1u);
+  EXPECT_EQ(loaded->profiles[0].name, "twolf");
+}
+
+TEST(Serialize, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_store("/nonexistent/path/store.txt").has_value());
+}
+
+TEST(Serialize, RejectsWhitespaceInProfileName) {
+  ProcessProfile p = sample_profile("bad name");
+  std::stringstream ss;
+  EXPECT_THROW(write_profile(ss, p), Error);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,133 @@
+// Tests for the CPU-share-weighted equilibrium (time-sharing-aware
+// contention) and the die-wide estimator mode.
+#include <gtest/gtest.h>
+
+#include "repro/core/combined.hpp"
+#include "repro/core/perf_model.hpp"
+#include "repro/sim/machine.hpp"
+
+namespace repro::core {
+namespace {
+
+FeatureVector fv(std::string name, ReuseHistogram hist, double api,
+                 double alpha, double beta) {
+  FeatureVector f;
+  f.name = std::move(name);
+  f.histogram = std::move(hist);
+  f.api = api;
+  f.alpha = alpha;
+  f.beta = beta;
+  return f;
+}
+
+FeatureVector worker() {
+  return fv("worker", ReuseHistogram(std::vector<double>(12, 0.07), 0.16),
+            0.04, 4e-9, 6e-10);
+}
+
+FeatureVector sprinter() {
+  return fv("sprinter", ReuseHistogram({0.6, 0.25, 0.1}, 0.05), 0.01,
+            8e-10, 4e-10);
+}
+
+TEST(WeightedEquilibrium, UnitSharesMatchPlainSolve) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+  const auto plain = solver.solve(procs);
+  const auto weighted = solver.solve_weighted(procs, {1.0, 1.0});
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    EXPECT_NEAR(plain[i].effective_size, weighted[i].effective_size, 1e-9);
+}
+
+TEST(WeightedEquilibrium, SmallerShareShrinksCacheFootprint) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+  const auto full = solver.solve_weighted(procs, {1.0, 1.0});
+  const auto quartered = solver.solve_weighted(procs, {0.25, 1.0});
+  EXPECT_LT(quartered[0].effective_size, full[0].effective_size - 0.3);
+  EXPECT_GT(quartered[1].effective_size, full[1].effective_size + 0.3);
+}
+
+TEST(WeightedEquilibrium, SizesStillSumToAssociativity) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), worker(), sprinter()};
+  const auto pred = solver.solve_weighted(procs, {0.5, 0.5, 1.0});
+  double total = 0.0;
+  for (const auto& p : pred) total += p.effective_size;
+  EXPECT_NEAR(total, 16.0, 1e-6);
+  // The two half-share workers are symmetric.
+  EXPECT_NEAR(pred[0].effective_size, pred[1].effective_size, 1e-6);
+}
+
+TEST(WeightedEquilibrium, RejectsBadShares) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+  EXPECT_THROW(solver.solve_weighted(procs, {1.0}), Error);
+  EXPECT_THROW(solver.solve_weighted(procs, {0.0, 1.0}), Error);
+  EXPECT_THROW(solver.solve_weighted(procs, {1.5, 1.0}), Error);
+}
+
+// --- Die-wide estimator mode. ------------------------------------------
+
+ProcessProfile profile_of(const FeatureVector& f) {
+  ProcessProfile p;
+  p.name = f.name;
+  p.features = f;
+  p.alone.l1rpi = 0.33;
+  p.alone.l2rpi = f.api;
+  p.alone.brpi = 0.15;
+  p.alone.fppi = 0.05;
+  p.alone.l2mpr = f.histogram.mpa(16.0);
+  p.alone.spi = f.spi_at(p.alone.l2mpr);
+  p.power_alone = 55.0;
+  return p;
+}
+
+PowerModel model() {
+  return PowerModel(45.0, {6.0e-9, 2.2e-8, -1.0e-7, 4.5e-9, 5.5e-9}, 4);
+}
+
+TEST(DieWideMode, MatchesPaperModeWhenNoTimeSharing) {
+  // One process per core: both modes solve the same equilibrium.
+  const CombinedEstimator paper(model(), sim::four_core_server());
+  const CombinedEstimator wide(model(), sim::four_core_server(),
+                               EquilibriumOptions{},
+                               EstimatorMode::kDieWideEquilibrium);
+  const std::vector<ProcessProfile> profiles{profile_of(worker()),
+                                             profile_of(sprinter())};
+  Assignment a = Assignment::empty(4);
+  a.per_core[0].push_back(0);
+  a.per_core[1].push_back(1);
+  EXPECT_NEAR(paper.estimate(profiles, a), wide.estimate(profiles, a),
+              0.02);
+}
+
+TEST(DieWideMode, TimeSharedHogsPredictHigherMissRatesThanPaperMode) {
+  // Four cache-hungry processes on ONE core: the paper mode prices
+  // each at the full-cache point; the die-wide mode splits the cache
+  // four ways, predicting slower, lower-powered execution.
+  const CombinedEstimator paper(model(), sim::four_core_server());
+  const CombinedEstimator wide(model(), sim::four_core_server(),
+                               EquilibriumOptions{},
+                               EstimatorMode::kDieWideEquilibrium);
+  std::vector<ProcessProfile> profiles;
+  for (int i = 0; i < 4; ++i) profiles.push_back(profile_of(worker()));
+  Assignment a = Assignment::empty(4);
+  for (std::size_t p = 0; p < 4; ++p) a.per_core[0].push_back(p);
+
+  const auto d_paper = paper.estimate_detailed(profiles, a);
+  const auto d_wide = wide.estimate_detailed(profiles, a);
+  EXPECT_LT(d_wide.throughput_ips, d_paper.throughput_ips);
+  EXPECT_LT(d_wide.power, d_paper.power);
+}
+
+TEST(DieWideMode, IdleMachineUnchanged) {
+  const CombinedEstimator wide(model(), sim::four_core_server(),
+                               EquilibriumOptions{},
+                               EstimatorMode::kDieWideEquilibrium);
+  const std::vector<ProcessProfile> profiles{profile_of(worker())};
+  EXPECT_DOUBLE_EQ(wide.estimate(profiles, Assignment::empty(4)), 45.0);
+}
+
+}  // namespace
+}  // namespace repro::core

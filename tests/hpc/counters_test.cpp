@@ -1,0 +1,93 @@
+#include "repro/hpc/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::hpc {
+namespace {
+
+Counters sample_counters() {
+  Counters c;
+  c.instructions = 1e9;
+  c.cycles = 1.2e9;
+  c.l1_refs = 3.5e8;
+  c.l2_refs = 1e7;
+  c.l2_misses = 2e6;
+  c.branches = 1.5e8;
+  c.fp_ops = 5e7;
+  return c;
+}
+
+TEST(Counters, AdditionAndSubtractionRoundTrip) {
+  const Counters a = sample_counters();
+  Counters b = a;
+  b += a;
+  const Counters d = b - a;
+  EXPECT_DOUBLE_EQ(d.instructions, a.instructions);
+  EXPECT_DOUBLE_EQ(d.l2_misses, a.l2_misses);
+  EXPECT_DOUBLE_EQ(d.fp_ops, a.fp_ops);
+}
+
+TEST(EventRates, FromCountersDividesByWindow) {
+  const EventRates r = EventRates::from(sample_counters(), 0.5);
+  EXPECT_DOUBLE_EQ(r.l1rps, 7e8);
+  EXPECT_DOUBLE_EQ(r.l2rps, 2e7);
+  EXPECT_DOUBLE_EQ(r.l2mps, 4e6);
+  EXPECT_DOUBLE_EQ(r.brps, 3e8);
+  EXPECT_DOUBLE_EQ(r.fpps, 1e8);
+  EXPECT_DOUBLE_EQ(r.ips, 2e9);
+}
+
+TEST(EventRates, RejectsNonPositiveWindow) {
+  EXPECT_THROW(EventRates::from(sample_counters(), 0.0), Error);
+}
+
+TEST(EventRates, RegressorOrderMatchesEq9) {
+  const EventRates r = EventRates::from(sample_counters(), 1.0);
+  const auto reg = r.regressors();
+  EXPECT_DOUBLE_EQ(reg[0], r.l1rps);
+  EXPECT_DOUBLE_EQ(reg[1], r.l2rps);
+  EXPECT_DOUBLE_EQ(reg[2], r.l2mps);
+  EXPECT_DOUBLE_EQ(reg[3], r.brps);
+  EXPECT_DOUBLE_EQ(reg[4], r.fpps);
+}
+
+TEST(EventRates, AccumulateSumsFields) {
+  const EventRates r = EventRates::from(sample_counters(), 1.0);
+  EventRates t = r;
+  t += r;
+  EXPECT_DOUBLE_EQ(t.l2mps, 2.0 * r.l2mps);
+}
+
+TEST(PerInstructionRates, DerivesRatiosFromTotals) {
+  const PerInstructionRates p =
+      PerInstructionRates::from(sample_counters(), 0.4);
+  EXPECT_DOUBLE_EQ(p.l1rpi, 0.35);
+  EXPECT_DOUBLE_EQ(p.l2rpi, 0.01);
+  EXPECT_DOUBLE_EQ(p.brpi, 0.15);
+  EXPECT_DOUBLE_EQ(p.fppi, 0.05);
+  EXPECT_DOUBLE_EQ(p.l2mpr, 0.2);
+  EXPECT_DOUBLE_EQ(p.spi, 0.4 / 1e9);
+}
+
+TEST(PerInstructionRates, RoundTripsToEventRates) {
+  // §5 identity: rate = per-instruction density / SPI.
+  const Counters c = sample_counters();
+  const Seconds cpu = 0.4;
+  const PerInstructionRates p = PerInstructionRates::from(c, cpu);
+  const EventRates r = p.to_event_rates();
+  const EventRates direct = EventRates::from(c, cpu);
+  EXPECT_NEAR(r.l1rps, direct.l1rps, 1e-3);
+  EXPECT_NEAR(r.l2rps, direct.l2rps, 1e-3);
+  EXPECT_NEAR(r.l2mps, direct.l2mps, 1e-3);
+  EXPECT_NEAR(r.brps, direct.brps, 1e-3);
+  EXPECT_NEAR(r.fpps, direct.fpps, 1e-3);
+}
+
+TEST(PerInstructionRates, RejectsDegenerateInputs) {
+  Counters c;
+  EXPECT_THROW(PerInstructionRates::from(c, 1.0), Error);
+  EXPECT_THROW(PerInstructionRates::from(sample_counters(), 0.0), Error);
+}
+
+}  // namespace
+}  // namespace repro::hpc

@@ -1,0 +1,143 @@
+#include "repro/math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/rng.hpp"
+
+namespace repro::math {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  const Matrix a{{2.0, -1.0}, {0.5, 3.0}};
+  const Matrix i = Matrix::identity(2);
+  const Matrix ai = a * i;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+}
+
+TEST(Matrix, MatVecProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v{1.0, -1.0};
+  const Vector out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, MultiplyRejectsShapeMismatch) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.0, 2.0}};
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(SolveSpd, RecoversKnownSolution) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Vector b{1.0, 2.0};
+  const Vector x = solve_spd(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 1.0 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1.0 * x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpd, RejectsIndefiniteMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, −1
+  EXPECT_THROW(solve_spd(a, Vector{1.0, 1.0}), Error);
+}
+
+TEST(SolveLu, SolvesGeneralSystem) {
+  const Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const Vector b{-8.0, 0.0, 3.0};
+  const Vector x = solve_lu(a, b);
+  const Vector check = a * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
+}
+
+TEST(SolveLu, RejectsSingularMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_lu(a, Vector{1.0, 2.0}), Error);
+}
+
+TEST(LeastSquares, ExactForSquareFullRank) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{3.0, 5.0};
+  const Vector x = solve_least_squares(a, b);
+  const Vector check = a * x;
+  EXPECT_NEAR(check[0], 3.0, 1e-10);
+  EXPECT_NEAR(check[1], 5.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualForOverdetermined) {
+  // y = 2x + 1 with a perturbed point: LS solution stays close.
+  Matrix a(4, 2);
+  Vector b(4);
+  const double xs[4] = {0.0, 1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = xs[i];
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * xs[i] + 1.0;
+  }
+  b[2] += 0.1;
+  const Vector coef = solve_least_squares(a, b);
+  EXPECT_NEAR(coef[0], 2.0, 0.1);
+  EXPECT_NEAR(coef[1], 1.0, 0.1);
+}
+
+TEST(LeastSquares, MatchesNormalEquationsOnRandomProblem) {
+  Rng rng(99);
+  const std::size_t m = 40, n = 5;
+  Matrix a(m, n);
+  Vector b(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    b[r] = rng.normal();
+  }
+  const Vector x_qr = solve_least_squares(a, b);
+  const Matrix at = a.transpose();
+  const Vector x_ne = solve_spd(at * a, at * b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-8);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  const Matrix a{{1.0, 2.0, 3.0}};
+  EXPECT_THROW(solve_least_squares(a, Vector{1.0}), Error);
+}
+
+TEST(VectorOps, NormAndDot) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  const Vector b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+}
+
+}  // namespace
+}  // namespace repro::math

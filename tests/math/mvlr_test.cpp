@@ -1,0 +1,79 @@
+#include "repro/math/mvlr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/rng.hpp"
+
+namespace repro::math {
+namespace {
+
+Matrix random_design(Rng& rng, std::size_t m, std::size_t n) {
+  Matrix x(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) x(r, c) = rng.uniform(0.0, 10.0);
+  return x;
+}
+
+TEST(Mvlr, RecoversExactLinearModel) {
+  Rng rng(5);
+  const Matrix x = random_design(rng, 50, 3);
+  const Vector truth{2.0, -1.5, 0.25};
+  Vector y(50);
+  for (std::size_t r = 0; r < 50; ++r)
+    y[r] = 7.0 + dot(truth, x.row(r));
+  const Mvlr::Fit f = Mvlr::fit(x, y);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-8);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_NEAR(f.coefficients[c], truth[c], 1e-8);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_GT(f.accuracy, 99.999);
+}
+
+TEST(Mvlr, ToleratesNoise) {
+  Rng rng(6);
+  const Matrix x = random_design(rng, 500, 5);
+  const Vector truth{1.0, 2.0, 3.0, -4.0, 0.5};
+  Vector y(500);
+  for (std::size_t r = 0; r < 500; ++r)
+    y[r] = 10.0 + dot(truth, x.row(r)) + rng.normal(0.0, 0.5);
+  const Mvlr::Fit f = Mvlr::fit(x, y);
+  EXPECT_NEAR(f.intercept, 10.0, 0.5);
+  for (std::size_t c = 0; c < 5; ++c)
+    EXPECT_NEAR(f.coefficients[c], truth[c], 0.1) << "coefficient " << c;
+  EXPECT_GT(f.r2, 0.98);
+}
+
+TEST(Mvlr, PredictSingleObservation) {
+  Mvlr::Fit f;
+  f.intercept = 1.0;
+  f.coefficients = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mvlr::predict(f, Vector{1.0, 1.0}), 6.0);
+}
+
+TEST(Mvlr, PredictRejectsWidthMismatch) {
+  Mvlr::Fit f;
+  f.coefficients = {1.0, 2.0};
+  EXPECT_THROW(Mvlr::predict(f, Vector{1.0}), Error);
+}
+
+TEST(Mvlr, RejectsTooFewObservations) {
+  const Matrix x{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW(Mvlr::fit(x, Vector{1.0, 2.0}), Error);
+}
+
+TEST(Mvlr, NegativeCoefficientRecovered) {
+  // The paper notes c3 (L2 misses/s) is negative: stalled cores burn
+  // less power. MVLR must recover negative coefficients cleanly.
+  Rng rng(8);
+  const Matrix x = random_design(rng, 100, 2);
+  Vector y(100);
+  for (std::size_t r = 0; r < 100; ++r)
+    y[r] = 50.0 + 3.0 * x(r, 0) - 2.0 * x(r, 1);
+  const Mvlr::Fit f = Mvlr::fit(x, y);
+  EXPECT_LT(f.coefficients[1], 0.0);
+  EXPECT_NEAR(f.coefficients[1], -2.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace repro::math

@@ -1,0 +1,96 @@
+#include "repro/math/neural_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "repro/common/rng.hpp"
+#include "repro/math/mvlr.hpp"
+
+namespace repro::math {
+namespace {
+
+TEST(NeuralNet, LearnsLinearFunction) {
+  Rng rng(3);
+  const std::size_t m = 200;
+  Matrix x(m, 2);
+  Vector y(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    x(r, 0) = rng.uniform(0.0, 1.0);
+    x(r, 1) = rng.uniform(0.0, 1.0);
+    y[r] = 5.0 + 2.0 * x(r, 0) - 3.0 * x(r, 1);
+  }
+  const NeuralNet net = NeuralNet::train(x, y);
+  EXPECT_GT(net.accuracy(x, y), 98.0);
+}
+
+TEST(NeuralNet, LearnsMildNonlinearity) {
+  Rng rng(4);
+  const std::size_t m = 400;
+  Matrix x(m, 1);
+  Vector y(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    x(r, 0) = rng.uniform(0.0, 3.0);
+    y[r] = 10.0 + 4.0 * (1.0 - std::exp(-x(r, 0)));  // saturating
+  }
+  NeuralNet::Options opt;
+  opt.epochs = 800;
+  const NeuralNet net = NeuralNet::train(x, y, opt);
+  EXPECT_GT(net.accuracy(x, y), 99.0);
+}
+
+TEST(NeuralNet, BeatsMvlrOnSaturatingTarget) {
+  // The shape behind the paper's 96.8% (NN) vs 96.2% (MVLR): with a
+  // mildly nonlinear power response, the NN fits slightly better.
+  Rng rng(5);
+  const std::size_t m = 600;
+  Matrix x(m, 2);
+  Vector y(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    x(r, 0) = rng.uniform(0.0, 2.0);
+    x(r, 1) = rng.uniform(0.0, 2.0);
+    y[r] = 20.0 + 6.0 * (1.0 - std::exp(-1.5 * x(r, 0))) + 2.0 * x(r, 1) +
+           rng.normal(0.0, 0.05);
+  }
+  NeuralNet::Options opt;
+  opt.epochs = 600;
+  const NeuralNet net = NeuralNet::train(x, y, opt);
+  const Mvlr::Fit lin = Mvlr::fit(x, y);
+  EXPECT_GT(net.accuracy(x, y), lin.accuracy);
+}
+
+TEST(NeuralNet, DeterministicForFixedSeed) {
+  Rng rng(6);
+  Matrix x(50, 1);
+  Vector y(50);
+  for (std::size_t r = 0; r < 50; ++r) {
+    x(r, 0) = rng.uniform();
+    y[r] = 2.0 * x(r, 0);
+  }
+  const NeuralNet a = NeuralNet::train(x, y);
+  const NeuralNet b = NeuralNet::train(x, y);
+  for (double probe : {0.1, 0.5, 0.9})
+    EXPECT_DOUBLE_EQ(a.predict(Vector{probe}), b.predict(Vector{probe}));
+}
+
+TEST(NeuralNet, PredictRejectsWidthMismatch) {
+  Matrix x(10, 2);
+  Vector y(10, 1.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    x(r, 0) = static_cast<double>(r);
+    x(r, 1) = static_cast<double>(r % 3);
+  }
+  const NeuralNet net = NeuralNet::train(x, y);
+  EXPECT_THROW(net.predict(Vector{1.0}), Error);
+}
+
+TEST(NeuralNet, RejectsBadOptions) {
+  Matrix x(10, 1);
+  Vector y(10, 0.0);
+  NeuralNet::Options opt;
+  opt.hidden_units = 0;
+  EXPECT_THROW(NeuralNet::train(x, y, opt), Error);
+}
+
+}  // namespace
+}  // namespace repro::math

@@ -1,0 +1,102 @@
+#include "repro/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::math {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, SummarizeSingleElement) {
+  const std::vector<double> xs{7.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarizeRejectsEmpty) {
+  EXPECT_THROW(summarize(std::vector<double>{}), Error);
+}
+
+TEST(Stats, MeanAbsError) {
+  const std::vector<double> est{1.0, 2.0, 3.0};
+  const std::vector<double> ref{1.5, 2.0, 2.0};
+  EXPECT_NEAR(mean_abs_error(est, ref), 0.5, 1e-12);
+}
+
+TEST(Stats, MeanAbsPctError) {
+  const std::vector<double> est{110.0, 90.0};
+  const std::vector<double> ref{100.0, 100.0};
+  EXPECT_NEAR(mean_abs_pct_error(est, ref), 10.0, 1e-12);
+}
+
+TEST(Stats, MaxAbsPctError) {
+  const std::vector<double> est{110.0, 95.0};
+  const std::vector<double> ref{100.0, 100.0};
+  EXPECT_NEAR(max_abs_pct_error(est, ref), 10.0, 1e-12);
+}
+
+TEST(Stats, PctErrorRejectsZeroReference) {
+  const std::vector<double> est{1.0};
+  const std::vector<double> ref{0.0};
+  EXPECT_THROW(mean_abs_pct_error(est, ref), Error);
+}
+
+TEST(Stats, CorrelationOfPerfectLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfAnticorrelatedSeries) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationRejectsConstantSeries) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(xs, ys), Error);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  // The SPI = α·MPA + β law in miniature.
+  const std::vector<double> mpa{0.01, 0.02, 0.05, 0.1};
+  std::vector<double> spi;
+  spi.reserve(mpa.size());
+  for (double m : mpa) spi.push_back(3.0e-9 * 1.0 + 2.0 * m);  // β + α·m
+  const LineFit f = fit_line(mpa, spi);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 3.0e-9, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineR2DropsWithNoise) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.0, 2.5, 1.5, 4.0, 3.0};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_GT(f.r2, 0.0);
+  EXPECT_LT(f.r2, 1.0);
+}
+
+TEST(Stats, AccuracyPctComplementOfMape) {
+  const std::vector<double> est{104.0};
+  const std::vector<double> ref{100.0};
+  EXPECT_NEAR(accuracy_pct(est, ref), 96.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace repro::math

@@ -1,0 +1,152 @@
+#include "repro/power/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace repro::power {
+namespace {
+
+hpc::EventRates busy_rates() {
+  hpc::EventRates r;
+  r.l1rps = 7e8;
+  r.l2rps = 2e7;
+  r.l2mps = 2e6;
+  r.brps = 3e8;
+  r.fpps = 1e8;
+  r.ips = 2e9;
+  return r;
+}
+
+TEST(ComponentResponse, NearlyLinearBelowSaturation) {
+  const ComponentResponse c{2.0e-9, 1e12};
+  EXPECT_NEAR(c.respond(1e6), 2.0e-3, 2.0e-6);
+}
+
+TEST(ComponentResponse, BendsTowardSaturation) {
+  const ComponentResponse c{1.0, 100.0};
+  EXPECT_LT(c.respond(100.0), 100.0);
+  EXPECT_GT(c.respond(100.0), 60.0);  // 100·(1−e⁻¹) ≈ 63.2
+}
+
+TEST(ComponentResponse, ZeroForIdle) {
+  const ComponentResponse c{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(c.respond(0.0), 0.0);
+}
+
+TEST(ComponentResponse, NegativeWeightReducesPower) {
+  const ComponentResponse c{-1.0e-7, 6.0e7};
+  EXPECT_LT(c.respond(1e6), 0.0);
+}
+
+TEST(PowerOracle, IdleMachineDrawsIdlePower) {
+  const PowerOracle oracle(oracle_for_four_core_server());
+  const std::vector<hpc::EventRates> rates(4);  // all zero
+  EXPECT_DOUBLE_EQ(oracle.true_power(rates), oracle.idle_watts());
+}
+
+TEST(PowerOracle, BusyCoresAddDynamicPower) {
+  const PowerOracle oracle(oracle_for_four_core_server());
+  std::vector<hpc::EventRates> one(4);
+  one[0] = busy_rates();
+  const Watts p1 = oracle.true_power(one);
+  EXPECT_GT(p1, oracle.idle_watts() + 1.0);
+
+  std::vector<hpc::EventRates> four(4, busy_rates());
+  const Watts p4 = oracle.true_power(four);
+  EXPECT_NEAR(p4 - oracle.idle_watts(), 4.0 * (p1 - oracle.idle_watts()),
+              1e-9);
+}
+
+TEST(PowerOracle, L2MissesReduceCorePower) {
+  const PowerOracle oracle(oracle_for_four_core_server());
+  std::vector<hpc::EventRates> low(1, busy_rates());
+  std::vector<hpc::EventRates> high(1, busy_rates());
+  high[0].l2mps = 2e7;
+  EXPECT_LT(oracle.true_power(high), oracle.true_power(low));
+}
+
+TEST(PowerOracle, MachineClassesAreOrdered) {
+  const std::vector<hpc::EventRates> rates(2, busy_rates());
+  const PowerOracle server(oracle_for_four_core_server());
+  const PowerOracle workstation(oracle_for_two_core_workstation());
+  const PowerOracle laptop(oracle_for_core2_duo_laptop());
+  EXPECT_GT(server.true_power(rates), workstation.true_power(rates));
+  EXPECT_GT(workstation.true_power(rates), laptop.true_power(rates));
+}
+
+CurrentClamp::Config drift_free() {
+  CurrentClamp::Config c;
+  c.wander_sigma = 0.0;
+  return c;
+}
+
+TEST(CurrentClamp, ReconstructsPowerWithinNoise) {
+  CurrentClamp clamp(drift_free(), Rng{7});
+  const Watts truth = 60.0;
+  double sum = 0.0;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) sum += clamp.measure(truth, 30e-3);
+  EXPECT_NEAR(sum / kN, truth, 0.05);
+}
+
+TEST(CurrentClamp, NoiseShrinksWithWindowLength) {
+  CurrentClamp clamp_short(drift_free(), Rng{8});
+  CurrentClamp clamp_long(drift_free(), Rng{8});
+  double var_short = 0.0, var_long = 0.0;
+  constexpr int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    const double a = clamp_short.measure(50.0, 1e-3) - 50.0;
+    const double b = clamp_long.measure(50.0, 100e-3) - 50.0;
+    var_short += a * a;
+    var_long += b * b;
+  }
+  EXPECT_GT(var_short, 5.0 * var_long);
+}
+
+TEST(CurrentClamp, DriftIsCorrelatedAcrossWindows) {
+  // Consecutive 30 ms windows share the OU drift state: neighbouring
+  // errors must correlate strongly; distant ones must not.
+  CurrentClamp clamp(CurrentClamp::Config{}, Rng{9});
+  std::vector<double> errors;
+  for (int i = 0; i < 4000; ++i)
+    errors.push_back(clamp.measure(60.0, 30e-3) - 60.0);
+  auto corr_at_lag = [&](int lag) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i + lag < errors.size(); ++i) {
+      num += errors[i] * errors[i + lag];
+      den += errors[i] * errors[i];
+    }
+    return num / den;
+  };
+  EXPECT_GT(corr_at_lag(1), 0.7);    // τ = 0.3 s ≫ 30 ms window
+  EXPECT_LT(corr_at_lag(400), 0.3);  // 12 s ≫ τ
+}
+
+TEST(CurrentClamp, DriftHasStationaryRelativeScale) {
+  CurrentClamp clamp(CurrentClamp::Config{}, Rng{10});
+  double var = 0.0;
+  constexpr int kN = 6000;
+  for (int i = 0; i < kN; ++i) {
+    const double e = clamp.measure(100.0, 30e-3) - 100.0;
+    var += e * e;
+  }
+  const double sigma = std::sqrt(var / kN);
+  EXPECT_NEAR(sigma, 3.0, 0.8);  // 3% of 100 W
+}
+
+TEST(CurrentClamp, IsDeterministicPerSeed) {
+  CurrentClamp a(CurrentClamp::Config{}, Rng{9});
+  CurrentClamp b(CurrentClamp::Config{}, Rng{9});
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.measure(42.0, 30e-3), b.measure(42.0, 30e-3));
+}
+
+TEST(CurrentClamp, RejectsBadConfig) {
+  CurrentClamp::Config bad;
+  bad.regulator_efficiency = 0.0;
+  EXPECT_THROW(CurrentClamp(bad, Rng{1}), Error);
+}
+
+}  // namespace
+}  // namespace repro::power

@@ -1,0 +1,134 @@
+#include "repro/sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+CacheGeometry tiny() { return CacheGeometry{4, 4, 64}; }
+
+TEST(SharedCache, ColdAccessesMiss) {
+  SharedCache cache(tiny(), false, 2);
+  for (std::uint64_t line = 0; line < 4; ++line)
+    EXPECT_FALSE(cache.access({0, line}, 0));
+  EXPECT_DOUBLE_EQ(cache.stats(0).demand_refs, 4.0);
+  EXPECT_DOUBLE_EQ(cache.stats(0).demand_misses, 4.0);
+}
+
+TEST(SharedCache, RepeatAccessHits) {
+  SharedCache cache(tiny(), false, 1);
+  cache.access({1, 42}, 0);
+  EXPECT_TRUE(cache.access({1, 42}, 0));
+  EXPECT_DOUBLE_EQ(cache.stats(0).mpa(), 0.5);
+}
+
+TEST(SharedCache, LruEvictsOldestWithinSet) {
+  SharedCache cache(tiny(), false, 1);  // 4 ways
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access({0, line}, 0);
+  cache.access({0, 100}, 0);            // evicts line 0
+  EXPECT_FALSE(cache.access({0, 0}, 0));  // line 0 gone
+  EXPECT_TRUE(cache.access({0, 100}, 0));
+}
+
+TEST(SharedCache, TouchRefreshesLruPosition) {
+  SharedCache cache(tiny(), false, 1);
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access({0, line}, 0);
+  cache.access({0, 0}, 0);    // line 0 becomes MRU
+  cache.access({0, 200}, 0);  // evicts line 1, not 0
+  EXPECT_TRUE(cache.access({0, 0}, 0));
+  EXPECT_FALSE(cache.access({0, 1}, 0));
+}
+
+TEST(SharedCache, SetsAreIndependent) {
+  SharedCache cache(tiny(), false, 1);
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access({0, line}, 0);
+  cache.access({1, 7}, 0);
+  // Set 0 is untouched by traffic to set 1.
+  for (std::uint64_t line = 0; line < 4; ++line)
+    EXPECT_TRUE(cache.access({0, line}, 0)) << "line " << line;
+}
+
+TEST(SharedCache, ProcessesDoNotShareLines) {
+  SharedCache cache(tiny(), false, 2);
+  cache.access({2, 5}, 0);
+  EXPECT_FALSE(cache.access({2, 5}, 1));  // same (set, line), other pid
+}
+
+TEST(SharedCache, ContentionEvictsAcrossProcesses) {
+  SharedCache cache(tiny(), false, 2);
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access({3, line}, 0);
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(0), 1.0);  // 4 lines / 4 sets
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access({3, line}, 1);
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(0), 0.0);
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(1), 1.0);
+}
+
+TEST(SharedCache, OccupancyTracksResidentLines) {
+  SharedCache cache(tiny(), false, 2);
+  cache.access({0, 1}, 0);
+  cache.access({1, 2}, 0);
+  cache.access({2, 3}, 1);
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(0), 0.5);   // 2 lines / 4 sets
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(1), 0.25);  // 1 line / 4 sets
+}
+
+TEST(SharedCache, PurgeRemovesProcessLines) {
+  SharedCache cache(tiny(), false, 2);
+  for (std::uint64_t line = 0; line < 8; ++line)
+    cache.access({static_cast<std::uint32_t>(line % 4), line}, 0);
+  cache.access({0, 99}, 1);
+  cache.purge(0);
+  EXPECT_DOUBLE_EQ(cache.occupancy_ways(0), 0.0);
+  EXPECT_TRUE(cache.access({0, 99}, 1));  // survivor intact
+}
+
+TEST(SharedCache, ResetStatsKeepsContents) {
+  SharedCache cache(tiny(), false, 1);
+  cache.access({0, 1}, 0);
+  cache.reset_stats();
+  EXPECT_DOUBLE_EQ(cache.stats(0).demand_refs, 0.0);
+  EXPECT_TRUE(cache.access({0, 1}, 0));  // line still cached
+}
+
+TEST(SharedCache, PrefetcherCoversAscendingStream) {
+  SharedCache with(tiny(), true, 1);
+  SharedCache without(tiny(), false, 1);
+  for (std::uint64_t addr = 0; addr < 64; ++addr) {
+    const MemoryAccess a = stream_access(addr, tiny().sets);
+    with.access(a, 0);
+    without.access(a, 0);
+  }
+  // Without prefetch every stream access is a compulsory miss; with
+  // prefetch all but the first few hit.
+  EXPECT_DOUBLE_EQ(without.stats(0).mpa(), 1.0);
+  EXPECT_LT(with.stats(0).mpa(), 0.1);
+  EXPECT_GT(with.stats(0).prefetch_hits, 50.0);
+}
+
+TEST(SharedCache, PrefetcherIgnoresNonStreamAccesses) {
+  SharedCache cache(tiny(), true, 1);
+  for (std::uint64_t line = 0; line < 16; ++line)
+    cache.access({static_cast<std::uint32_t>(line % 4), line}, 0);
+  EXPECT_DOUBLE_EQ(cache.stats(0).prefetch_issues, 0.0);
+}
+
+TEST(SharedCache, StreamAccessMappingWalksSets) {
+  const std::uint32_t sets = 4;
+  const MemoryAccess a0 = stream_access(0, sets);
+  const MemoryAccess a1 = stream_access(1, sets);
+  const MemoryAccess a4 = stream_access(4, sets);
+  EXPECT_EQ(a0.set, 0u);
+  EXPECT_EQ(a1.set, 1u);
+  EXPECT_EQ(a4.set, 0u);
+  EXPECT_NE(a0.line, a4.line);  // wrapped into a new line
+}
+
+TEST(SharedCache, RejectsOutOfRangeInputs) {
+  SharedCache cache(tiny(), false, 1);
+  EXPECT_THROW(cache.access({99, 0}, 0), Error);
+  EXPECT_THROW(cache.access({0, 0}, 5), Error);
+  EXPECT_THROW(cache.occupancy_ways(9), Error);
+}
+
+}  // namespace
+}  // namespace repro::sim

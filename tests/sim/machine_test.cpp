@@ -1,0 +1,86 @@
+#include "repro/sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+
+namespace repro::sim {
+namespace {
+
+TEST(MachineConfig, ServerTopologyMatchesQ6600) {
+  const MachineConfig m = four_core_server();
+  EXPECT_EQ(m.cores, 4u);
+  EXPECT_EQ(m.dies, 2u);
+  EXPECT_EQ(m.l2.ways, 16u);  // 16-way per-die L2
+  EXPECT_EQ(m.cores_on_die(0), (std::vector<CoreId>{0, 1}));
+  EXPECT_EQ(m.cores_on_die(1), (std::vector<CoreId>{2, 3}));
+}
+
+TEST(MachineConfig, PartnerSetExcludesSelfAndOtherDies) {
+  const MachineConfig m = four_core_server();
+  EXPECT_EQ(m.partner_set(0), (std::vector<CoreId>{1}));
+  EXPECT_EQ(m.partner_set(1), (std::vector<CoreId>{0}));
+  EXPECT_EQ(m.partner_set(2), (std::vector<CoreId>{3}));
+  EXPECT_THROW(m.partner_set(9), Error);
+}
+
+TEST(MachineConfig, WorkstationAndLaptopAreSingleDie) {
+  EXPECT_EQ(two_core_workstation().dies, 1u);
+  EXPECT_EQ(core2_duo_laptop().dies, 1u);
+  EXPECT_EQ(core2_duo_laptop().l2.ways, 12u);  // 12-way, §6.2
+}
+
+TEST(MachineConfig, ValidateCatchesInconsistencies) {
+  MachineConfig m = two_core_workstation();
+  m.core_to_die = {0};
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_core_workstation();
+  m.memory_cycles = m.l2_hit_cycles;  // memory must be slower
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_core_workstation();
+  m.core_to_die = {0, 5};  // die id out of range
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_core_workstation();
+  m.core_frequency = {2.4e9};  // wrong length
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MachineConfig, HeterogeneousFrequencyLookup) {
+  MachineConfig m = two_core_workstation();
+  EXPECT_DOUBLE_EQ(m.frequency_of(0), m.frequency);
+  m.core_frequency = {3.0e9, 1.5e9};
+  m.validate();
+  EXPECT_DOUBLE_EQ(m.frequency_of(0), 3.0e9);
+  EXPECT_DOUBLE_EQ(m.frequency_of(1), 1.5e9);
+}
+
+TEST(HeterogeneousMachine, SlowCoreScalesSpiProportionally) {
+  // The same workload alone on a half-speed core must show ~2x the
+  // SPI, with identical (frequency-independent) cache behaviour.
+  auto run_alone = [](CoreId core, Hertz f0, Hertz f1) {
+    MachineConfig m = two_core_workstation();
+    m.core_frequency = {f0, f1};
+    SystemConfig cfg;
+    cfg.machine = m;
+    System system(cfg, power::oracle_for_two_core_workstation(), 21);
+    const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+    system.add_process("gzip", core, spec.mix,
+                       std::make_unique<workload::StackDistanceGenerator>(
+                           spec, m.l2.sets));
+    system.warm_up(0.05);
+    return system.run(0.2).process(0);
+  };
+  const ProcessReport fast = run_alone(0, 2.4e9, 1.2e9);
+  const ProcessReport slow = run_alone(1, 2.4e9, 1.2e9);
+  EXPECT_NEAR(slow.spi() / fast.spi(), 2.0, 0.02);
+  EXPECT_NEAR(slow.mpa(), fast.mpa(), 0.01);
+}
+
+}  // namespace
+}  // namespace repro::sim

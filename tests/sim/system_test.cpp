@@ -1,0 +1,201 @@
+#include "repro/sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "repro/workload/generator.hpp"
+#include "repro/workload/stressmark.hpp"
+
+namespace repro::sim {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.machine = two_core_workstation();
+  return cfg;
+}
+
+std::unique_ptr<AccessGenerator> gen(const std::string& name,
+                                     const MachineConfig& m) {
+  return workload::make_generator(name, m.l2.sets);
+}
+
+TEST(System, IdleMachineProducesIdlePowerSamples) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 1);
+  const RunResult run = system.run(0.3);
+  ASSERT_EQ(run.samples.size(), 10u);  // 0.3 s / 30 ms
+  EXPECT_NEAR(run.mean_true_power(), 26.0, 1e-9);
+  // Measured power carries the clamp chain's slow drift (±3%).
+  EXPECT_NEAR(run.mean_measured_power(), 26.0, 2.5);
+}
+
+TEST(System, SingleProcessTimingMatchesAnalyticModel) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 2);
+  const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+  system.add_process("gzip", 0, spec.mix, gen("gzip", cfg.machine));
+  system.warm_up(0.05);
+  const RunResult run = system.run(0.3);
+  const ProcessReport& p = run.process(0);
+
+  // SPI must equal the timing identity
+  //   (base_cpi + API·(hit_lat + MPA·(mem − hit))) / f
+  const double mpa = p.mpa();
+  const double expected_spi =
+      (spec.mix.base_cpi +
+       spec.mix.l2_api * (cfg.machine.l2_hit_cycles +
+                          mpa * (cfg.machine.memory_cycles -
+                                 cfg.machine.l2_hit_cycles))) /
+      cfg.machine.frequency;
+  EXPECT_NEAR(p.spi() / expected_spi, 1.0, 1e-6);
+  EXPECT_GT(p.counters.instructions, 1e6);
+}
+
+TEST(System, PerInstructionRatesMatchMix) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 3);
+  const workload::WorkloadSpec& spec = workload::find_spec("vpr");
+  system.add_process("vpr", 0, spec.mix, gen("vpr", cfg.machine));
+  const RunResult run = system.run(0.2);
+  const hpc::PerInstructionRates r = run.process(0).per_instruction();
+  EXPECT_NEAR(r.l2rpi, spec.mix.l2_api, 1e-9);
+  EXPECT_NEAR(r.l1rpi, spec.mix.l1_rpi, 1e-9);
+  EXPECT_NEAR(r.brpi, spec.mix.branch_pi, 1e-9);
+  EXPECT_NEAR(r.fppi, spec.mix.fp_pi, 1e-9);
+}
+
+TEST(System, TimeSharingSplitsCpuTimeEvenly) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 4);
+  system.add_process("a", 0, workload::find_spec("gzip").mix,
+                     gen("gzip", cfg.machine));
+  system.add_process("b", 0, workload::find_spec("parser").mix,
+                     gen("parser", cfg.machine));
+  const RunResult run = system.run(1.0);
+  const Seconds ta = run.process(0).cpu_time;
+  const Seconds tb = run.process(1).cpu_time;
+  EXPECT_NEAR(ta + tb, 1.0, 0.01);
+  EXPECT_NEAR(ta / (ta + tb), 0.5, 0.05);
+}
+
+TEST(System, ProcessesOnDifferentDiesDoNotContend) {
+  SystemConfig cfg;
+  cfg.machine = four_core_server();
+  // mcf thrashes its die's cache; gzip on the *other* die must keep
+  // its tiny stand-alone MPA.
+  System alone(cfg, power::oracle_for_four_core_server(), 5);
+  alone.add_process("gzip", 0, workload::find_spec("gzip").mix,
+                    gen("gzip", cfg.machine));
+  alone.warm_up(0.05);
+  const double mpa_alone = alone.run(0.2).process(0).mpa();
+
+  System paired(cfg, power::oracle_for_four_core_server(), 5);
+  paired.add_process("gzip", 0, workload::find_spec("gzip").mix,
+                     gen("gzip", cfg.machine));
+  paired.add_process("mcf", 2, workload::find_spec("mcf").mix,
+                     gen("mcf", cfg.machine));
+  paired.warm_up(0.05);
+  const double mpa_paired = paired.run(0.2).process(0).mpa();
+  EXPECT_NEAR(mpa_paired, mpa_alone, 0.02);
+}
+
+TEST(System, SameDieContentionRaisesMpa) {
+  SystemConfig cfg;
+  cfg.machine = four_core_server();
+  System alone(cfg, power::oracle_for_four_core_server(), 6);
+  alone.add_process("vpr", 0, workload::find_spec("vpr").mix,
+                    gen("vpr", cfg.machine));
+  alone.warm_up(0.05);
+  const double mpa_alone = alone.run(0.2).process(0).mpa();
+
+  System paired(cfg, power::oracle_for_four_core_server(), 6);
+  paired.add_process("vpr", 0, workload::find_spec("vpr").mix,
+                     gen("vpr", cfg.machine));
+  paired.add_process("mcf", 1, workload::find_spec("mcf").mix,
+                     gen("mcf", cfg.machine));
+  paired.warm_up(0.05);
+  const double mpa_paired = paired.run(0.2).process(0).mpa();
+  EXPECT_GT(mpa_paired, mpa_alone + 0.02);
+}
+
+TEST(System, StressmarkPinsItsOccupancy) {
+  const SystemConfig cfg = small_system();
+  const std::uint32_t a = cfg.machine.l2.ways;
+  for (std::uint32_t w : {2u, 4u, 6u}) {
+    System system(cfg, power::oracle_for_two_core_workstation(), 7);
+    system.add_process("vpr", 0, workload::find_spec("vpr").mix,
+                       gen("vpr", cfg.machine));
+    system.add_process("stress", 1, workload::make_stressmark_spec(w).mix,
+                       workload::make_stressmark(w, cfg.machine.l2.sets));
+    system.warm_up(0.1);
+    const RunResult run = system.run(0.2);
+    EXPECT_NEAR(run.process(1).mean_occupancy, static_cast<double>(w), 0.6)
+        << "stressmark ways = " << w;
+    EXPECT_LT(run.process(0).mean_occupancy, a - w + 0.6);
+  }
+}
+
+TEST(System, OccupanciesNeverExceedAssociativity) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 8);
+  system.add_process("mcf", 0, workload::find_spec("mcf").mix,
+                     gen("mcf", cfg.machine));
+  system.add_process("art", 1, workload::find_spec("art").mix,
+                     gen("art", cfg.machine));
+  system.warm_up(0.05);
+  const RunResult run = system.run(0.2);
+  for (const Sample& s : run.samples) {
+    double total = 0.0;
+    for (Ways w : s.occupancy) total += w;
+    EXPECT_LE(total, static_cast<double>(cfg.machine.l2.ways) + 1e-9);
+  }
+}
+
+TEST(System, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    const SystemConfig cfg = small_system();
+    System system(cfg, power::oracle_for_two_core_workstation(), 99);
+    system.add_process("twolf", 0, workload::find_spec("twolf").mix,
+                       gen("twolf", cfg.machine));
+    system.add_process("art", 1, workload::find_spec("art").mix,
+                       gen("art", cfg.machine));
+    return system.run(0.2);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.process(0).counters.instructions,
+                   b.process(0).counters.instructions);
+  EXPECT_DOUBLE_EQ(a.mean_measured_power(), b.mean_measured_power());
+}
+
+TEST(System, BusyPowerExceedsIdlePower) {
+  const SystemConfig cfg = small_system();
+  System idle(cfg, power::oracle_for_two_core_workstation(), 10);
+  const Watts p_idle = idle.run(0.2).mean_measured_power();
+
+  System busy(cfg, power::oracle_for_two_core_workstation(), 10);
+  busy.add_process("gzip", 0, workload::find_spec("gzip").mix,
+                   gen("gzip", cfg.machine));
+  busy.add_process("equake", 1, workload::find_spec("equake").mix,
+                   gen("equake", cfg.machine));
+  busy.warm_up(0.05);
+  const Watts p_busy = busy.run(0.2).mean_measured_power();
+  EXPECT_GT(p_busy, p_idle + 1.0);
+}
+
+TEST(System, RejectsBadConfiguration) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 11);
+  EXPECT_THROW(system.add_process("x", 9, workload::find_spec("gzip").mix,
+                                  gen("gzip", cfg.machine)),
+               Error);
+  EXPECT_THROW(system.run(0.0), Error);
+  EXPECT_THROW(system.add_process("x", 0, workload::find_spec("gzip").mix,
+                                  nullptr),
+               Error);
+}
+
+}  // namespace
+}  // namespace repro::sim

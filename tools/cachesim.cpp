@@ -1,0 +1,103 @@
+// cachesim — Dinero-style trace-driven cache analysis.
+//
+// The paper contrasts its on-line approach with offline trace-driven
+// simulation (Dinero IV, related work [1]): exhaustive offline
+// simulation of all co-schedules is intractable, but per-process MRC
+// extraction from traces is the classical baseline. This tool
+// demonstrates both offline techniques on a workload's access trace:
+//
+//   • an associativity sweep — simulate the trace against caches of
+//     1..A ways and print the measured miss ratio per size, and
+//   • a single-pass Mattson MRC — one stack pass yields the same
+//     curve at every size simultaneously (with optional RapidMRC-style
+//     sampling),
+//
+// and checks them against each other (Eq. 2: MPA(S) is the histogram
+// tail).
+//
+// Usage: cachesim --workload mcf [--sets 64] [--ways 16]
+//                 [--accesses 300000] [--sample 1]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/core/mattson.hpp"
+#include "repro/sim/cache.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+std::map<std::string, std::string> parse(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    REPRO_ENSURE(key.rfind("--", 0) == 0 && i + 1 < argc,
+                 "expected --key value");
+    options[key.substr(2)] = argv[++i];
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    auto options = parse(argc, argv);
+    auto get = [&](const char* key, const std::string& fallback) {
+      const auto it = options.find(key);
+      return it == options.end() ? fallback : it->second;
+    };
+    const std::string name = get("workload", "mcf");
+    const auto sets = static_cast<std::uint32_t>(std::stoul(get("sets", "64")));
+    const auto ways = static_cast<std::uint32_t>(std::stoul(get("ways", "16")));
+    const auto n = std::stoul(get("accesses", "300000"));
+    const auto sample =
+        static_cast<std::uint32_t>(std::stoul(get("sample", "1")));
+
+    // Record the trace once.
+    const workload::WorkloadSpec& spec = workload::find_spec(name);
+    workload::StackDistanceGenerator gen(spec, sets);
+    Rng rng(1);
+    std::vector<sim::MemoryAccess> trace;
+    trace.reserve(n);
+    for (unsigned long i = 0; i < n; ++i) trace.push_back(gen.next(rng));
+    std::printf("workload %s: %zu accesses over %u sets\n", name.c_str(),
+                trace.size(), sets);
+
+    // Single-pass Mattson MRC.
+    const core::MattsonResult mrc =
+        sample > 1
+            ? core::mattson_histogram_sampled(trace, sets, ways, sample)
+            : core::mattson_histogram(trace, sets, ways);
+    std::printf("cold accesses: %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(mrc.cold_accesses),
+                100.0 * static_cast<double>(mrc.cold_accesses) /
+                    static_cast<double>(trace.size()));
+
+    // Associativity sweep: one full cache simulation per size.
+    std::printf("\n%-6s %-18s %-18s %-8s\n", "ways", "miss ratio (sim)",
+                "miss ratio (MRC)", "delta");
+    for (std::uint32_t w = 1; w <= ways; ++w) {
+      sim::SharedCache cache(sim::CacheGeometry{sets, w, 64}, false, 1);
+      for (const sim::MemoryAccess& a : trace) cache.access(a, 0);
+      const double simulated = cache.stats(0).mpa();
+      const double predicted = mrc.histogram.mpa(w);
+      std::printf("%-6u %-18.4f %-18.4f %+8.4f\n", w, simulated, predicted,
+                  predicted - simulated);
+    }
+    std::printf(
+        "\nOne Mattson pass priced all %u sizes; the sweep needed %u full "
+        "simulations — the offline-cost asymmetry the paper's on-line "
+        "method avoids entirely.\n",
+        ways, ways);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,312 @@
+// cmpmodel — command-line front end for the modeling framework.
+//
+// Drives the paper's deployment workflow from a shell:
+//
+//   cmpmodel profile  --machine server --workloads gzip,mcf --store s.txt
+//   cmpmodel train    --machine server --store s.txt
+//   cmpmodel predict  --machine server --store s.txt --procs gzip,mcf
+//   cmpmodel estimate --machine server --store s.txt \
+//                     --assign "gzip,mcf;vpr;;equake"
+//   cmpmodel assign   --machine server --store s.txt \
+//                     --jobs gzip,mcf,art,equake
+//   cmpmodel simulate --machine server --assign "gzip;mcf" [--seconds 0.3]
+//
+// Machines: server (4-core/2-die), workstation (2-core), laptop
+// (2-core 12-way). --assign lists per-core run queues separated by
+// ';' (empty = idle core), processes within a core separated by ','.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repro/core/assignment.hpp"
+#include "repro/core/combined.hpp"
+#include "repro/core/perf_model.hpp"
+#include "repro/core/power_model.hpp"
+#include "repro/core/profiler.hpp"
+#include "repro/core/serialize.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct MachineChoice {
+  sim::MachineConfig machine;
+  power::OracleConfig oracle;
+};
+
+MachineChoice machine_by_name(const std::string& name) {
+  if (name == "server")
+    return {sim::four_core_server(), power::oracle_for_four_core_server()};
+  if (name == "workstation")
+    return {sim::two_core_workstation(),
+            power::oracle_for_two_core_workstation()};
+  if (name == "laptop")
+    return {sim::core2_duo_laptop(), power::oracle_for_core2_duo_laptop()};
+  throw Error("unknown machine: " + name +
+              " (expected server|workstation|laptop)");
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    out.push_back(text.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const std::string& require(const std::string& key) const {
+    const auto it = options.find(key);
+    REPRO_ENSURE(it != options.end(), "missing --" + key);
+    return it->second;
+  }
+  std::string get(const std::string& key, std::string fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  REPRO_ENSURE(argc >= 2, "usage: cmpmodel <command> [--key value]...");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    REPRO_ENSURE(key.rfind("--", 0) == 0 && i + 1 < argc,
+                 "expected --key value, got: " + key);
+    args.options[key.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+core::ModelStore load_store_or_die(const std::string& path) {
+  auto store = core::load_store(path);
+  REPRO_ENSURE(store.has_value(), "cannot read store: " + path);
+  return *store;
+}
+
+std::vector<core::ProcessProfile> lookup_profiles(
+    const core::ModelStore& store, const std::vector<std::string>& names) {
+  std::vector<core::ProcessProfile> out;
+  for (const std::string& name : names) {
+    const core::ProcessProfile* p = store.find(name);
+    REPRO_ENSURE(p != nullptr, "no profile for '" + name +
+                                   "' in store — run `cmpmodel profile`");
+    out.push_back(*p);
+  }
+  return out;
+}
+
+/// Parse "gzip,mcf;vpr;;equake" into an Assignment plus the profile
+/// list it references.
+core::Assignment parse_assignment(const std::string& text,
+                                  std::uint32_t cores,
+                                  std::vector<std::string>* names) {
+  const std::vector<std::string> per_core = split(text, ';');
+  REPRO_ENSURE(per_core.size() <= cores,
+               "assignment names more cores than the machine has");
+  core::Assignment a = core::Assignment::empty(cores);
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    if (per_core[c].empty()) continue;
+    for (const std::string& name : split(per_core[c], ',')) {
+      REPRO_ENSURE(!name.empty(), "empty process name in assignment");
+      a.per_core[c].push_back(names->size());
+      names->push_back(name);
+    }
+  }
+  return a;
+}
+
+int cmd_profile(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const std::string path = args.require("store");
+  core::ModelStore store;
+  if (auto existing = core::load_store(path)) store = *existing;
+
+  const core::StressmarkProfiler profiler(m.machine, m.oracle);
+  for (const std::string& name : split(args.require("workloads"), ',')) {
+    if (store.find(name) != nullptr) {
+      std::printf("%-8s already in store, skipping\n", name.c_str());
+      continue;
+    }
+    std::printf("profiling %s...\n", name.c_str());
+    store.profiles.push_back(profiler.profile(workload::find_spec(name)));
+  }
+  core::save_store(path, store);
+  std::printf("wrote %zu profiles to %s\n", store.profiles.size(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const std::string path = args.require("store");
+  core::ModelStore store;
+  if (auto existing = core::load_store(path)) store = *existing;
+
+  std::printf("training Eq. 9 power model on %s...\n",
+              m.machine.name.c_str());
+  core::PowerTrainerOptions options;
+  options.run_per_workload = 0.3;
+  options.run_per_microbench = 0.12;
+  store.power_model = core::PowerModel::train(
+      m.machine, m.oracle,
+      {"gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake", "ammp"},
+      options);
+  core::save_store(path, store);
+  const core::PowerModel& pm = *store.power_model;
+  std::printf("idle %.2f W; c = [%.3g %.3g %.3g %.3g %.3g]\n",
+              pm.idle_total(), pm.coefficients()[0], pm.coefficients()[1],
+              pm.coefficients()[2], pm.coefficients()[3],
+              pm.coefficients()[4]);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const core::ModelStore store = load_store_or_die(args.require("store"));
+  const std::vector<std::string> names =
+      split(args.require("procs"), ',');
+  const std::vector<core::ProcessProfile> profiles =
+      lookup_profiles(store, names);
+
+  std::vector<core::FeatureVector> fvs;
+  for (const auto& p : profiles) fvs.push_back(p.features);
+  const core::EquilibriumSolver solver(m.machine.l2.ways);
+  const auto pred = solver.solve(fvs);
+
+  std::printf("%-10s %8s %8s %12s %14s\n", "process", "S(ways)", "MPA",
+              "SPI (ns)", "IPC-equivalent");
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    std::printf("%-10s %8.2f %8.3f %12.3f %14.2f\n", names[i].c_str(),
+                pred[i].effective_size, pred[i].mpa, pred[i].spi * 1e9,
+                1.0 / (pred[i].spi * m.machine.frequency));
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const core::ModelStore store = load_store_or_die(args.require("store"));
+  REPRO_ENSURE(store.power_model.has_value(),
+               "store has no power model — run `cmpmodel train`");
+  std::vector<std::string> names;
+  const core::Assignment a =
+      parse_assignment(args.require("assign"), m.machine.cores, &names);
+  const std::vector<core::ProcessProfile> profiles =
+      lookup_profiles(store, names);
+
+  const core::CombinedEstimator estimator(*store.power_model, m.machine);
+  std::printf("estimated processor power: %.2f W (idle %.2f W)\n",
+              estimator.estimate(profiles, a),
+              store.power_model->idle_total());
+  return 0;
+}
+
+int cmd_assign(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const core::ModelStore store = load_store_or_die(args.require("store"));
+  REPRO_ENSURE(store.power_model.has_value(),
+               "store has no power model — run `cmpmodel train`");
+  const std::vector<std::string> names = split(args.require("jobs"), ',');
+  const std::vector<core::ProcessProfile> profiles =
+      lookup_profiles(store, names);
+
+  const std::string objective_name = args.get("objective", "power");
+  core::AssignmentObjective objective;
+  if (objective_name == "power") {
+    objective = core::AssignmentObjective::kPower;
+  } else if (objective_name == "energy") {
+    objective = core::AssignmentObjective::kEnergyPerInstruction;
+  } else {
+    throw Error("unknown --objective (expected power|energy)");
+  }
+
+  const core::CombinedEstimator estimator(*store.power_model, m.machine);
+  const core::AssignmentSearchResult best =
+      core::optimize_assignment(estimator, profiles, objective);
+  std::printf(
+      "searched %zu mappings; best by %s: %.2f W at %.2f Ginstr/s "
+      "(%.3f nJ/instr)\n",
+      best.evaluated, objective_name.c_str(), best.predicted_power,
+      best.predicted_throughput_ips / 1e9,
+      1e9 * best.predicted_power / best.predicted_throughput_ips);
+  for (std::size_t c = 0; c < best.assignment.per_core.size(); ++c) {
+    std::printf("  core %zu:", c);
+    if (best.assignment.per_core[c].empty()) std::printf(" (idle)");
+    for (std::size_t idx : best.assignment.per_core[c])
+      std::printf(" %s", names[idx].c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  std::vector<std::string> names;
+  const core::Assignment a =
+      parse_assignment(args.require("assign"), m.machine.cores, &names);
+  const double seconds = std::stod(args.get("seconds", "0.3"));
+
+  sim::SystemConfig cfg;
+  cfg.machine = m.machine;
+  sim::System system(cfg, m.oracle, 1);
+  for (CoreId c = 0; c < m.machine.cores; ++c)
+    for (std::size_t idx : a.per_core[c]) {
+      const workload::WorkloadSpec& spec = workload::find_spec(names[idx]);
+      system.add_process(spec.name, c, spec.mix,
+                         std::make_unique<workload::StackDistanceGenerator>(
+                             spec, m.machine.l2.sets));
+    }
+  system.warm_up(0.05);
+  const sim::RunResult run = system.run(seconds);
+
+  std::printf("measured power: %.2f W (mean over %zu samples)\n",
+              run.mean_measured_power(), run.samples.size());
+  std::printf("%-10s %6s %8s %8s %12s %10s\n", "process", "core", "S(ways)",
+              "MPA", "SPI (ns)", "CPU time");
+  for (const sim::ProcessReport& p : run.processes)
+    std::printf("%-10s %6u %8.2f %8.3f %12.3f %9.3fs\n", p.name.c_str(),
+                p.core, p.mean_occupancy, p.mpa(), p.spi() * 1e9,
+                p.cpu_time);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cmpmodel <profile|train|predict|estimate|assign|"
+               "simulate> [--key value]...\n"
+               "see the header comment of tools/cmpmodel.cpp for examples\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const Args args = parse(argc, argv);
+    if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "estimate") return cmd_estimate(args);
+    if (args.command == "assign") return cmd_assign(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

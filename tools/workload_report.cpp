@@ -1,0 +1,96 @@
+// workload_report — characterize the synthetic SPEC-like suite.
+//
+// Prints, per workload and machine, the stand-alone operating point
+// (API, MPA, SPI, IPC, power) and the MPA-vs-ways curve from the
+// generative histogram — the equivalent of the benchmark
+// characterization tables SPEC papers lead with, and a quick way to
+// see the suite's memory-intensity spread (§6.1: "both memory-
+// intensive and CPU-intensive benchmarks").
+//
+// Usage: workload_report [--machine server|workstation|laptop]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/table.hpp"
+#include "repro/core/analytic.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct MachineChoice {
+  sim::MachineConfig machine;
+  power::OracleConfig oracle;
+};
+
+MachineChoice machine_by_name(const std::string& name) {
+  if (name == "server")
+    return {sim::four_core_server(), power::oracle_for_four_core_server()};
+  if (name == "workstation")
+    return {sim::two_core_workstation(),
+            power::oracle_for_two_core_workstation()};
+  if (name == "laptop")
+    return {sim::core2_duo_laptop(), power::oracle_for_core2_duo_laptop()};
+  throw Error("unknown machine: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string machine_name = "server";
+    for (int i = 1; i + 1 < argc; i += 2) {
+      REPRO_ENSURE(std::string(argv[i]) == "--machine", "unknown option");
+      machine_name = argv[i + 1];
+    }
+    const MachineChoice m = machine_by_name(machine_name);
+
+    Table table("Suite characterization on " + m.machine.name +
+                " (stand-alone runs)");
+    table.set_header({"Workload", "API", "MPA alone", "SPI (ns)", "IPC",
+                      "FPPI", "Power (W)"});
+
+    Table curves("Analytic MPA at effective size S (ways)");
+    std::vector<std::string> header{"Workload"};
+    for (std::uint32_t s = 1; s <= m.machine.l2.ways; s += 2)
+      header.push_back("S=" + std::to_string(s));
+    curves.set_header(header);
+
+    for (const workload::WorkloadSpec& spec : workload::spec_suite()) {
+      sim::SystemConfig cfg;
+      cfg.machine = m.machine;
+      sim::System system(cfg, m.oracle, 5);
+      system.add_process(spec.name, 0, spec.mix,
+                         std::make_unique<workload::StackDistanceGenerator>(
+                             spec, m.machine.l2.sets));
+      system.warm_up(0.05);
+      const sim::RunResult run = system.run(0.2);
+      const sim::ProcessReport& p = run.process(0);
+      table.add_row(
+          {spec.name, Table::num(spec.mix.l2_api, 4),
+           Table::num(p.mpa(), 3), Table::num(p.spi() * 1e9, 3),
+           Table::num(1.0 / (p.spi() * m.machine.frequency_of(0)), 2),
+           Table::num(spec.mix.fp_pi, 2),
+           Table::num(run.mean_measured_power(), 1)});
+
+      const core::FeatureVector fv =
+          core::analytic_features(spec, m.machine);
+      std::vector<std::string> row{spec.name};
+      for (std::uint32_t s = 1; s <= m.machine.l2.ways; s += 2)
+        row.push_back(Table::num(fv.histogram.mpa(s), 3));
+      curves.add_row(row);
+    }
+    table.print(std::cout);
+    curves.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
