@@ -85,7 +85,9 @@ BENCHMARK(BM_EquilibriumSolve)->Arg(2)->Arg(3)->Arg(4);
 void BM_EquilibriumSolveNewton(benchmark::State& state) {
   const auto fvs = features(static_cast<std::size_t>(state.range(0)));
   const core::EquilibriumSolver solver(machine().l2.ways);
-  for (auto _ : state) benchmark::DoNotOptimize(solver.solve_newton(fvs));
+  const core::SolveOptions newton{.method =
+                                      core::SolveOptions::Method::kNewton};
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(fvs, newton));
 }
 BENCHMARK(BM_EquilibriumSolveNewton)->Arg(2)->Arg(4);
 

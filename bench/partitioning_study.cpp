@@ -1,9 +1,12 @@
 // Cache-partitioning study (extension; Xu et al. [11] lineage).
 //
 // The feature vectors that drive the paper's contention model equally
-// drive *partitioning* decisions: predict_partitioned prices any way
-// allocation, and optimal_partition searches for the best one. This
-// bench, for a set of benchmark pairs on the 2-core workstation:
+// drive *partitioning* decisions: optimal_partition searches for the
+// best way allocation, and the ModelEngine facade prices both the
+// shared-LRU equilibrium and the enforced partition — the whole suite
+// is registered once and every pair is two CoScheduleQuery candidates
+// in one batch. This bench, for a set of benchmark pairs on the 2-core
+// workstation:
 //   1. measures throughput under free-for-all shared LRU,
 //   2. computes the model's optimal partition from profiles alone,
 //   3. enforces that partition in the simulator and measures again,
@@ -14,6 +17,7 @@
 #include "harness.hpp"
 #include "repro/common/table.hpp"
 #include "repro/core/partitioning.hpp"
+#include "repro/engine/model_engine.hpp"
 #include "repro/workload/generator.hpp"
 
 namespace repro::bench {
@@ -52,10 +56,17 @@ int run() {
   const Platform platform = workstation_platform();
   const std::vector<core::ProcessProfile> profiles =
       get_profiles(platform, suite8());
+
+  // One engine for the whole study: the suite registers once and the
+  // memoized fill curves are shared by every pair's queries.
+  engine::ModelEngine eng(platform.machine);
+  std::vector<engine::ProcessHandle> handles;
+  for (const core::ProcessProfile& p : profiles)
+    handles.push_back(eng.register_process(p));
   auto index = [&](const char* name) -> std::size_t {
-    for (std::size_t i = 0; i < profiles.size(); ++i)
-      if (profiles[i].name == name) return i;
-    throw Error("missing profile");
+    const auto h = eng.find(name);
+    if (!h) throw Error("missing profile");
+    return *h;
   };
 
   Table table(
@@ -73,16 +84,22 @@ int run() {
     const std::size_t i = index(a), j = index(b);
     const std::vector<core::FeatureVector> fvs{profiles[i].features,
                                                profiles[j].features};
-
-    // Model: predicted shared equilibrium and optimal partition.
-    const core::EquilibriumSolver solver(platform.machine.l2.ways);
-    const auto shared_pred = solver.solve(fvs);
     const core::PartitionResult best =
         core::optimal_partition(fvs, platform.machine.l2.ways);
-    const double pred_shared_ips =
-        1.0 / shared_pred[0].spi + 1.0 / shared_pred[1].spi;
-    const double pred_gain =
-        100.0 * (best.objective_value - pred_shared_ips) / pred_shared_ips;
+
+    // Model: the shared equilibrium and the enforced partition are two
+    // queries over the same assignment, priced in one batch.
+    core::Assignment pair_assign =
+        core::Assignment::empty(platform.machine.cores);
+    pair_assign.per_core[0].push_back(handles[i]);
+    pair_assign.per_core[1].push_back(handles[j]);
+    const std::vector<engine::CoScheduleQuery> queries{
+        {pair_assign, {}}, {pair_assign, {best.quotas}}};
+    const std::vector<engine::SystemPrediction> pred =
+        eng.predict_batch(queries);
+    const double pred_gain = 100.0 *
+                             (pred[1].throughput_ips - pred[0].throughput_ips) /
+                             pred[0].throughput_ips;
 
     // Simulator: measured shared vs enforced partition.
     const Throughput shared =

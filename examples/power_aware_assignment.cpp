@@ -1,19 +1,20 @@
 // Power-aware assignment: the paper's motivating application (§5).
 //
-// Given a batch of profiled processes, the combined model prices every
-// process-to-core mapping from profiles alone — no trial runs — and an
-// exhaustive search picks the minimum-power assignment. We then run
-// the best and worst mappings on the simulator to show the predicted
-// gap is real.
+// Given a batch of profiled processes, the model prices every
+// process-to-core mapping from profiles alone — no trial runs. Here
+// the ModelEngine facade does the sweep: all k^cores placements become
+// CoScheduleQuery candidates and one predict_batch call prices them in
+// parallel, memoizing each process's fill curve across the batch. We
+// then run the best and worst mappings on the simulator to show the
+// predicted gap is real.
 //
 // Build & run:  ./build/examples/power_aware_assignment
 #include <cstdio>
 #include <memory>
 
-#include "repro/core/assignment.hpp"
-#include "repro/core/combined.hpp"
 #include "repro/core/power_model.hpp"
 #include "repro/core/profiler.hpp"
+#include "repro/engine/model_engine.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
 
@@ -76,24 +77,23 @@ int main() {
       {"gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake", "ammp"},
       train);
 
-  // Price every mapping and search.
-  const core::CombinedEstimator estimator(model, machine);
-  const core::AssignmentSearchResult best =
-      core::optimize_assignment(estimator, profiles);
+  // Register the batch once; every candidate below reuses the memoized
+  // fill curves.
+  engine::ModelEngine eng(machine, model);
+  std::vector<engine::ProcessHandle> handles;
+  for (const core::ProcessProfile& p : profiles)
+    handles.push_back(eng.register_process(p));
 
-  // Also find the *worst* mapping for contrast.
-  core::AssignmentSearchResult worst = best;
+  // Enumerate every process-to-core placement as a query batch.
+  std::vector<engine::CoScheduleQuery> candidates;
   {
     std::vector<std::uint32_t> placement(profiles.size(), 0);
     while (true) {
-      core::Assignment a = core::Assignment::empty(machine.cores);
+      engine::CoScheduleQuery q;
+      q.assignment = core::Assignment::empty(machine.cores);
       for (std::size_t p = 0; p < profiles.size(); ++p)
-        a.per_core[placement[p]].push_back(p);
-      const Watts power = estimator.estimate(profiles, a);
-      if (power > worst.predicted_power) {
-        worst.predicted_power = power;
-        worst.assignment = a;
-      }
+        q.assignment.per_core[placement[p]].push_back(handles[p]);
+      candidates.push_back(std::move(q));
       std::size_t p = 0;
       while (p < profiles.size() && ++placement[p] == machine.cores) {
         placement[p] = 0;
@@ -102,26 +102,41 @@ int main() {
       if (p == profiles.size()) break;
     }
   }
+  const std::vector<engine::SystemPrediction> predictions =
+      eng.predict_batch(candidates);
 
-  std::printf("\nSearched %zu mappings from profiles alone.\n",
-              best.evaluated);
-  std::printf("\n  Min-power mapping (predicted %.1f W):\n",
-              best.predicted_power);
-  describe(best.assignment, profiles);
-  std::printf("\n  Max-power mapping (predicted %.1f W):\n",
-              worst.predicted_power);
-  describe(worst.assignment, profiles);
+  std::size_t best = 0, worst = 0;
+  for (std::size_t i = 1; i < predictions.size(); ++i) {
+    if (predictions[i].total_power < predictions[best].total_power) best = i;
+    if (predictions[i].total_power > predictions[worst].total_power) worst = i;
+  }
+
+  const engine::ModelEngine::CacheStats stats = eng.cache_stats();
+  std::printf("\nPriced %zu mappings from profiles alone "
+              "(fill-curve cache: %llu hits / %llu builds).\n",
+              candidates.size(),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+  std::printf("\n  Min-power mapping (predicted %.1f W, %.2f GIPS):\n",
+              predictions[best].total_power,
+              predictions[best].throughput_ips / 1e9);
+  describe(candidates[best].assignment, profiles);
+  std::printf("\n  Max-power mapping (predicted %.1f W, %.2f GIPS):\n",
+              predictions[worst].total_power,
+              predictions[worst].throughput_ips / 1e9);
+  describe(candidates[worst].assignment, profiles);
 
   // Ground truth.
   const Watts best_meas =
-      run_assignment(machine, oracle, best.assignment, profiles);
+      run_assignment(machine, oracle, candidates[best].assignment, profiles);
   const Watts worst_meas =
-      run_assignment(machine, oracle, worst.assignment, profiles);
+      run_assignment(machine, oracle, candidates[worst].assignment, profiles);
   std::printf("\nMeasured:  min-power mapping %.1f W,  max-power mapping "
               "%.1f W\n",
               best_meas, worst_meas);
   std::printf("Prediction errors: %.1f%% and %.1f%%\n",
-              100.0 * (best.predicted_power - best_meas) / best_meas,
-              100.0 * (worst.predicted_power - worst_meas) / worst_meas);
+              100.0 * (predictions[best].total_power - best_meas) / best_meas,
+              100.0 * (predictions[worst].total_power - worst_meas) /
+                  worst_meas);
   return 0;
 }

@@ -1,11 +1,13 @@
-// What-if migration analysis with the Fig. 1 incremental estimator.
+// What-if migration analysis on the ModelEngine facade.
 //
-// A running system wants to place an incoming process: for each
-// candidate core, the Fig. 1 algorithm combines the *current* per-core
-// powers (from live HPC rates through the Eq. 9 model) with predicted
-// powers for the combinations the newcomer would join (Eq. 11). This
-// is the on-line decision loop the paper targets: no trial placement,
-// no perturbation of running work.
+// A running system wants to place an incoming process: every candidate
+// core yields one co-schedule query, and a single predict_batch call
+// prices them all — per-process operating points, per-core power, and
+// the package total — from profiles alone. The paper's incremental
+// Fig. 1 estimator (reusing *measured* per-core powers for the
+// combinations the newcomer does not touch) is run alongside for
+// comparison: the two agree wherever the newcomer lands on an idle
+// core, and the engine needs no live HPC snapshot at all.
 //
 // Build & run:  ./build/examples/whatif_scheduler
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include "repro/core/combined.hpp"
 #include "repro/core/power_model.hpp"
 #include "repro/core/profiler.hpp"
+#include "repro/engine/model_engine.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
 
@@ -28,7 +31,6 @@ int main() {
   std::vector<core::ProcessProfile> profiles;
   for (const char* name : {"vpr", "twolf", "mcf"})
     profiles.push_back(profiler.profile(workload::find_spec(name)));
-  const std::size_t vpr = 0, twolf = 1, mcf = 2;
 
   std::printf("Training power model...\n");
   core::PowerTrainerOptions train;
@@ -38,14 +40,19 @@ int main() {
       machine, oracle,
       {"gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake", "ammp"},
       train);
-  const core::CombinedEstimator estimator(model, machine);
+
+  // The engine owns the profiles; candidates only reference handles.
+  engine::ModelEngine eng(machine, model);
+  const engine::ProcessHandle vpr = eng.register_process(profiles[0]);
+  const engine::ProcessHandle twolf = eng.register_process(profiles[1]);
+  const engine::ProcessHandle mcf = eng.register_process(profiles[2]);
 
   // Current state: vpr on core 0, twolf on core 2 (different dies).
   core::Assignment current = core::Assignment::empty(machine.cores);
   current.per_core[0].push_back(vpr);
   current.per_core[2].push_back(twolf);
 
-  // Live system: read current per-core powers from HPC rates.
+  // Live system snapshot, kept only to feed the Fig. 1 comparison.
   sim::SystemConfig cfg;
   cfg.machine = machine;
   sim::System live(cfg, oracle, 11);
@@ -69,29 +76,37 @@ int main() {
   std::printf("\nCurrent state: vpr@core0, twolf@core2;  measured %.1f W\n",
               snapshot.mean_measured_power());
 
-  // What if mcf lands on each core?
+  // One query per candidate core; one batch call prices them all.
+  std::vector<engine::CoScheduleQuery> candidates;
+  for (CoreId c = 0; c < machine.cores; ++c) {
+    engine::CoScheduleQuery q;
+    q.assignment = current;
+    q.assignment.per_core[c].push_back(mcf);
+    candidates.push_back(std::move(q));
+  }
+  const std::vector<engine::SystemPrediction> predictions =
+      eng.predict_batch(candidates);
+
+  const core::CombinedEstimator fig1(model, machine);
   std::printf("\nWhat-if: assign incoming mcf to...\n");
-  Watts best_power = 0.0;
   CoreId best_core = 0;
   for (CoreId c = 0; c < machine.cores; ++c) {
-    const Watts predicted = estimator.estimate_after_assign(
+    const Watts incremental = fig1.estimate_after_assign(
         profiles, current, mcf, c, core_power);
-    std::printf("  core %u -> predicted %.1f W%s\n", c, predicted,
+    std::printf("  core %u -> engine %.1f W, Fig. 1 incremental %.1f W%s\n",
+                c, predictions[c].total_power, incremental,
                 current.per_core[c].empty() ? "" : "  (time-shared)");
-    if (c == 0 || predicted < best_power) {
-      best_power = predicted;
+    if (predictions[c].total_power < predictions[best_core].total_power)
       best_core = c;
-    }
   }
+  const Watts best_power = predictions[best_core].total_power;
   std::printf("\nDecision: place mcf on core %u (predicted %.1f W).\n",
               best_core, best_power);
 
   // Verify the chosen placement.
-  core::Assignment chosen = current;
-  chosen.per_core[best_core].push_back(mcf);
   sim::System verify(cfg, oracle, 12);
   for (CoreId c = 0; c < machine.cores; ++c)
-    for (std::size_t idx : chosen.per_core[c]) {
+    for (std::size_t idx : candidates[best_core].assignment.per_core[c]) {
       const workload::WorkloadSpec& spec =
           workload::find_spec(profiles[idx].name);
       verify.add_process(spec.name, c, spec.mix,

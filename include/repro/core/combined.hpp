@@ -43,6 +43,15 @@ struct Assignment {
   void validate(std::uint32_t cores, std::size_t profile_count) const;
 };
 
+/// §5 decomposition of one process's dynamic (above-idle) core power at
+/// a predicted operating point: P1 covers the contention-invariant
+/// per-instruction events, P2 the L2 misses, both scaled by 1/SPI.
+/// Shared by CombinedEstimator and the ModelEngine facade so the two
+/// paths stay bit-identical.
+Watts process_dynamic_power(const PowerModel& model,
+                            const hpc::PerInstructionRates& pf, Spi spi,
+                            Mpa l2mpr);
+
 /// How the estimator prices cache contention for an assignment.
 enum class EstimatorMode {
   /// The paper's §5 algorithm: enumerate process combinations (one per

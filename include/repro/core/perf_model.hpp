@@ -17,6 +17,7 @@
 // is the default because Newton can stall on nearly-flat MPA curves.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,36 @@ struct EquilibriumOptions {
   double mpa_floor = 1e-6;   // floor inside G⁻¹ integrals
 };
 
+/// Per-call options for EquilibriumSolver::solve — the single entry
+/// point that subsumes the historical solve / solve_weighted /
+/// solve_newton triple.
+struct SolveOptions {
+  enum class Method {
+    /// Globally robust nested bisection on the τ-parametrization (the
+    /// default; never fails on well-posed instances).
+    kBisection,
+    /// The paper's damped Newton–Raphson on Eq. 1 + Eq. 7. Throws if
+    /// it fails to converge.
+    kNewton,
+  };
+  Method method = Method::kBisection;
+
+  /// CPU share per process, each ∈ (0, 1]; empty = all ones. A process
+  /// time-sharing a core with k−1 others only fills the cache 1/k of
+  /// the time, but its lines stay resident and contend continuously,
+  /// so only the fill rate is scaled; reported SPI/MPA remain
+  /// per-running-time.
+  std::vector<double> cpu_share = {};
+
+  /// Optional precomputed fill curves G⁻¹, one pointer per process,
+  /// each exactly as built by fill_curve(fv.histogram, ways,
+  /// equilibrium.mpa_floor). Lets callers (the ModelEngine) amortize
+  /// curve construction across many solves without copying; results
+  /// are bit-identical either way because fill_curve is deterministic.
+  /// Empty = compute internally.
+  std::span<const math::PiecewiseLinear* const> fill = {};
+};
+
 class EquilibriumSolver {
  public:
   /// `ways` is the shared cache associativity A.
@@ -59,29 +90,46 @@ class EquilibriumSolver {
 
   /// Predict the steady state of `processes` sharing the cache, one
   /// process per cache-sharing core (k = processes.size() >= 1).
-  /// k = 1 returns the full-cache operating point.
+  /// k = 1 returns the full-cache operating point. See SolveOptions
+  /// for method selection, CPU-share weighting, and memoized curves.
   std::vector<ProcessPrediction> solve(
-      const std::vector<FeatureVector>& processes) const;
+      const std::vector<FeatureVector>& processes,
+      const SolveOptions& options = {}) const;
 
-  /// Weighted variant: `cpu_share[i]` ∈ (0, 1] scales process i's
-  /// access rate (a process time-sharing a core with k−1 others only
-  /// fills the cache 1/k of the time, but its lines stay resident and
-  /// contend continuously). Reported SPI/MPA are per-running-time;
-  /// only the fill rate is scaled. solve() is the all-ones case.
+  /// Deprecated spelling of solve(processes, {.cpu_share = cpu_share}).
+  [[deprecated("use solve(processes, SolveOptions{.cpu_share = ...})")]]
   std::vector<ProcessPrediction> solve_weighted(
       const std::vector<FeatureVector>& processes,
-      const std::vector<double>& cpu_share) const;
+      const std::vector<double>& cpu_share) const {
+    SolveOptions options;
+    options.cpu_share = cpu_share;
+    return solve(processes, options);
+  }
 
-  /// The paper's formulation: damped Newton–Raphson on Eq. 1 + Eq. 7.
-  /// Throws if Newton fails to converge (the robust solve() does not).
+  /// Deprecated spelling of
+  /// solve(processes, {.method = SolveOptions::Method::kNewton}).
+  [[deprecated(
+      "use solve(processes, SolveOptions{.method = Method::kNewton})")]]
   std::vector<ProcessPrediction> solve_newton(
-      const std::vector<FeatureVector>& processes) const;
+      const std::vector<FeatureVector>& processes) const {
+    SolveOptions options;
+    options.method = SolveOptions::Method::kNewton;
+    return solve(processes, options);
+  }
 
   std::uint32_t ways() const { return ways_; }
 
  private:
   std::vector<math::PiecewiseLinear> fill_curves(
       const std::vector<FeatureVector>& processes) const;
+  std::vector<ProcessPrediction> solve_bisection(
+      const std::vector<FeatureVector>& processes,
+      const std::vector<double>& cpu_share,
+      std::span<const math::PiecewiseLinear* const> fill) const;
+  std::vector<ProcessPrediction> solve_newton_impl(
+      const std::vector<FeatureVector>& processes,
+      const std::vector<double>& cpu_share,
+      std::span<const math::PiecewiseLinear* const> fill) const;
   ProcessPrediction predict_at(const FeatureVector& fv, Ways s) const;
 
   std::uint32_t ways_;

@@ -1,0 +1,197 @@
+// ModelEngine — the batched, thread-pool-parallel prediction facade.
+//
+// The paper's headline use case (§7) is *on-line* what-if analysis:
+// enumerate candidate co-schedules / partitions / core assignments and
+// predict SPI and power for each before committing to any of them.
+// Hand-wiring EquilibriumSolver + PowerModel per candidate, as the
+// tools and examples historically did, recomputes each process's fill
+// curve G⁻¹ for every candidate — by far the most expensive part of a
+// prediction — and evaluates candidates serially.
+//
+// ModelEngine owns a registry of profiled processes, memoizes each
+// process's derived artifacts (the fill curve G⁻¹, its inverse
+// tabulation G, and the MPA curve) in a thread-safe cache, and exposes
+// a batch API that fans candidate co-schedules out across a small
+// work-stealing thread pool. Per-candidate results are bit-identical
+// to the direct single-threaded EquilibriumSolver + PowerModel
+// composition, independent of thread count — candidates are pure
+// functions of the registered profiles.
+//
+// Contention semantics: one CPU-share-weighted equilibrium per die over
+// all of the die's processes (a time-shared process's lines stay
+// resident between timeslices). For co-schedules with at most one
+// process per core — the common sweep case — this coincides with the
+// paper's per-combination formulation. Queries may also pin an
+// explicit way partition per die (Xu et al. [11] lineage), priced via
+// predict_partitioned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/thread_pool.hpp"
+#include "repro/common/units.hpp"
+#include "repro/core/combined.hpp"
+#include "repro/core/perf_model.hpp"
+#include "repro/core/power_model.hpp"
+#include "repro/core/profiler.hpp"
+#include "repro/math/piecewise.hpp"
+#include "repro/sim/machine.hpp"
+
+namespace repro::engine {
+
+/// Stable identifier of a registered process. Handles index the
+/// engine's registry and double as the process indices inside a
+/// query's Assignment. Re-registering a profile under an existing name
+/// keeps the handle and invalidates the cached artifacts.
+using ProcessHandle = std::uint32_t;
+
+struct EngineOptions {
+  core::EquilibriumOptions equilibrium{};
+  core::SolveOptions::Method method = core::SolveOptions::Method::kBisection;
+  /// Worker threads for predict_batch: 0 = one per hardware thread,
+  /// 1 = run the batch inline on the calling thread (no pool).
+  std::size_t threads = 0;
+};
+
+/// One candidate co-schedule: a process-to-core mapping whose indices
+/// are ProcessHandles, plus an optional explicit way partition.
+struct CoScheduleQuery {
+  core::Assignment assignment;
+
+  /// Optional per-die way quotas. Empty = every die shares its cache
+  /// freely (LRU). Otherwise one vector per die; an empty inner vector
+  /// leaves that die shared, a non-empty one lists the way quota of
+  /// each of the die's processes in (core, slot) order and must sum to
+  /// at most the cache ways.
+  std::vector<std::vector<std::uint32_t>> partition;
+};
+
+/// One process's predicted steady state inside a SystemPrediction.
+struct ProcessOperatingPoint {
+  ProcessHandle handle = 0;
+  CoreId core = 0;
+  double cpu_share = 1.0;              // 1/(run-queue length) on its core
+  core::ProcessPrediction prediction;  // S, MPA, SPI, APS
+  Watts dynamic_power = 0.0;           // §5 decomposition; 0 w/o power model
+};
+
+/// Per-candidate result: per-process operating points in (core, slot)
+/// order plus the §4/§5 power assembly.
+struct SystemPrediction {
+  std::vector<ProcessOperatingPoint> processes;
+  /// Per-core power (idle share + time-averaged dynamic); empty when
+  /// the engine was built without a power model.
+  std::vector<Watts> core_power;
+  /// Whole-package power; 0 when the engine has no power model.
+  Watts total_power = 0.0;
+  /// Σ share-weighted instructions/s over all processes.
+  double throughput_ips = 0.0;
+
+  double energy_per_instruction() const {
+    return throughput_ips > 0.0
+               ? total_power / throughput_ips
+               : std::numeric_limits<double>::infinity();
+  }
+};
+
+class ModelEngine {
+ public:
+  /// Performance-only engine: predictions carry SPI/MPA/occupancy and
+  /// throughput; power fields stay zero.
+  explicit ModelEngine(sim::MachineConfig machine, EngineOptions options = {});
+
+  /// Full engine: also assembles per-core and total power from the
+  /// Eq. 9 model via the §5 decomposition.
+  ModelEngine(sim::MachineConfig machine, core::PowerModel power,
+              EngineOptions options = {});
+
+  ~ModelEngine();
+  ModelEngine(const ModelEngine&) = delete;
+  ModelEngine& operator=(const ModelEngine&) = delete;
+
+  /// Register (or, under an existing name, replace) a profiled
+  /// process. Validates the feature vector on registration — a broken
+  /// histogram or SPI law fails here, naming the process, instead of
+  /// deep inside a later fill-curve integral. Replacement keeps the
+  /// handle and invalidates the memoized artifacts.
+  ProcessHandle register_process(core::ProcessProfile profile);
+
+  /// Handle of a registered process, if any.
+  std::optional<ProcessHandle> find(const std::string& name) const;
+
+  /// The registered profile behind a handle.
+  core::ProcessProfile profile(ProcessHandle handle) const;
+
+  std::size_t process_count() const;
+
+  /// Predict one candidate co-schedule.
+  SystemPrediction predict(const CoScheduleQuery& query) const;
+
+  /// Predict a batch of candidates, fanned out over the thread pool
+  /// (options.threads != 1). Results are positionally aligned with
+  /// `queries` and bit-identical to issuing the same predict() calls
+  /// serially, regardless of thread count.
+  std::vector<SystemPrediction> predict_batch(
+      std::span<const CoScheduleQuery> queries) const;
+
+  /// Memoization counters for the derived-artifact cache.
+  struct CacheStats {
+    std::uint64_t hits = 0;           // artifact reuses across predictions
+    std::uint64_t misses = 0;         // artifact builds
+    std::uint64_t invalidations = 0;  // re-registrations that dropped one
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  CacheStats cache_stats() const;
+
+  const sim::MachineConfig& machine() const { return machine_; }
+  std::uint32_t ways() const { return machine_.l2.ways; }
+  bool has_power_model() const { return power_.has_value(); }
+  const core::PowerModel& power_model() const;
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Derived per-process artifacts, built once per registration and
+  /// shared by every prediction thread.
+  struct Artifacts {
+    math::PiecewiseLinear fill;    // G⁻¹: occupancy S → accesses n
+    math::PiecewiseLinear growth;  // G: accesses n → occupancy S
+  };
+  struct Entry {
+    explicit Entry(core::ProcessProfile p) : profile(std::move(p)) {}
+    core::ProcessProfile profile;
+    mutable std::once_flag once;
+    mutable Artifacts artifacts;
+  };
+
+  const Artifacts& artifacts_of(const Entry& entry) const;
+  SystemPrediction predict_locked(const CoScheduleQuery& query) const;
+
+  sim::MachineConfig machine_;
+  std::optional<core::PowerModel> power_;
+  EngineOptions options_;
+  core::EquilibriumSolver solver_;
+  std::unique_ptr<common::ThreadPool> pool_;  // null when threads == 1
+
+  mutable std::shared_mutex registry_mutex_;
+  std::vector<std::unique_ptr<Entry>> registry_;
+  std::unordered_map<std::string, ProcessHandle> by_name_;
+
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_invalidations_{0};
+};
+
+}  // namespace repro::engine

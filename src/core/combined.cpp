@@ -33,17 +33,22 @@ CombinedEstimator::CombinedEstimator(PowerModel model,
                "power model trained for a different core count");
 }
 
-Watts CombinedEstimator::process_dynamic_power(const ProcessProfile& profile,
-                                               Spi spi, Mpa l2mpr) const {
+Watts process_dynamic_power(const PowerModel& model,
+                            const hpc::PerInstructionRates& pf, Spi spi,
+                            Mpa l2mpr) {
   REPRO_ENSURE(spi > 0.0, "SPI must be positive");
-  const std::array<double, 5>& c = model_.coefficients();
-  const hpc::PerInstructionRates& pf = profile.alone;
+  const std::array<double, 5>& c = model.coefficients();
   // §5: P1 covers the contention-invariant events; P2 the L2 misses.
   const double p1 =
       (c[0] * pf.l1rpi + c[1] * pf.l2rpi + c[3] * pf.brpi + c[4] * pf.fppi) /
       spi;
   const double p2 = c[2] * pf.l2rpi * l2mpr / spi;
   return p1 + p2;
+}
+
+Watts CombinedEstimator::process_dynamic_power(const ProcessProfile& profile,
+                                               Spi spi, Mpa l2mpr) const {
+  return core::process_dynamic_power(model_, profile.alone, spi, l2mpr);
 }
 
 CombinedEstimator::ComboEstimate CombinedEstimator::combination_estimate(
@@ -121,8 +126,10 @@ CombinedEstimator::ComboEstimate CombinedEstimator::die_estimate_die_wide(
   }
   if (features.empty()) return {};
 
+  SolveOptions solve_options;
+  solve_options.cpu_share = std::move(shares);
   const std::vector<ProcessPrediction> eq =
-      solver_.solve_weighted(features, shares);
+      solver_.solve(features, solve_options);
 
   ComboEstimate out;
   std::size_t cursor = 0;

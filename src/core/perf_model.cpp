@@ -8,9 +8,14 @@
 namespace repro::core {
 
 void FeatureVector::validate() const {
-  REPRO_ENSURE(api > 0.0, "API must be positive");
-  REPRO_ENSURE(beta > 0.0, "beta (zero-miss SPI) must be positive");
-  REPRO_ENSURE(alpha > -beta, "SPI law must stay positive on [0, 1]");
+  // Carry the process identity: a bad histogram or SPI law otherwise
+  // only surfaces deep inside a fill-curve integral with no hint of
+  // which of the co-scheduled processes is broken.
+  const std::string who =
+      name.empty() ? std::string("feature vector") : "process '" + name + "'";
+  REPRO_ENSURE(api > 0.0, who + ": API must be positive");
+  REPRO_ENSURE(beta > 0.0, who + ": beta (zero-miss SPI) must be positive");
+  REPRO_ENSURE(alpha > -beta, who + ": SPI law must stay positive on [0, 1]");
 }
 
 EquilibriumSolver::EquilibriumSolver(std::uint32_t ways,
@@ -43,27 +48,51 @@ ProcessPrediction EquilibriumSolver::predict_at(const FeatureVector& fv,
 }
 
 std::vector<ProcessPrediction> EquilibriumSolver::solve(
-    const std::vector<FeatureVector>& processes) const {
-  return solve_weighted(processes,
-                        std::vector<double>(processes.size(), 1.0));
-}
-
-std::vector<ProcessPrediction> EquilibriumSolver::solve_weighted(
     const std::vector<FeatureVector>& processes,
-    const std::vector<double>& cpu_share) const {
+    const SolveOptions& options) const {
   const std::size_t k = processes.size();
   REPRO_ENSURE(k >= 1, "need at least one process");
+  std::vector<double> unit_shares;
+  const std::vector<double>* share_ptr = &options.cpu_share;
+  if (options.cpu_share.empty()) {
+    unit_shares.assign(k, 1.0);
+    share_ptr = &unit_shares;
+  }
+  const std::vector<double>& cpu_share = *share_ptr;
   REPRO_ENSURE(cpu_share.size() == k, "one share per process");
   for (double w : cpu_share)
     REPRO_ENSURE(w > 0.0 && w <= 1.0, "shares must be in (0, 1]");
   for (const FeatureVector& fv : processes) fv.validate();
+  if (!options.fill.empty())
+    REPRO_ENSURE(options.fill.size() == k, "one fill curve per process");
 
+  if (k == 1) return {predict_at(processes[0], static_cast<double>(ways_))};
+
+  // Materialize curves only when the caller did not memoize them.
+  std::vector<math::PiecewiseLinear> own_fill;
+  std::vector<const math::PiecewiseLinear*> own_ptrs;
+  std::span<const math::PiecewiseLinear* const> fill = options.fill;
+  if (fill.empty()) {
+    own_fill = fill_curves(processes);
+    own_ptrs.reserve(k);
+    for (const math::PiecewiseLinear& curve : own_fill)
+      own_ptrs.push_back(&curve);
+    fill = own_ptrs;
+  }
+
+  return options.method == SolveOptions::Method::kNewton
+             ? solve_newton_impl(processes, cpu_share, fill)
+             : solve_bisection(processes, cpu_share, fill);
+}
+
+std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
+    const std::vector<FeatureVector>& processes,
+    const std::vector<double>& cpu_share,
+    std::span<const math::PiecewiseLinear* const> fill) const {
+  const std::size_t k = processes.size();
   const double a = static_cast<double>(ways_);
-  if (k == 1) return {predict_at(processes[0], a)};
   REPRO_ENSURE(options_.min_ways * static_cast<double>(k) < a,
                "too many processes for the associativity");
-
-  const std::vector<math::PiecewiseLinear> fill = fill_curves(processes);
 
   // Share-weighted APS_i at effective size S (Eq. 6 right-hand side):
   // a time-shared process issues accesses only while scheduled, so its
@@ -76,7 +105,7 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_weighted(
   // S_i(τ): the unique bracketed root of g_i(S) = APS_i(S)·τ in
   // [min_ways, A], saturating at either end.
   auto size_at = [&](std::size_t i, double tau) {
-    auto h = [&](double s) { return fill[i](s) - tau * aps_at(i, s); };
+    auto h = [&](double s) { return (*fill[i])(s) - tau * aps_at(i, s); };
     const double lo = options_.min_ways;
     if (h(lo) >= 0.0) return lo;   // even the floor fills slower than τ
     if (h(a) <= 0.0) return a;     // still filling at full associativity
@@ -126,31 +155,30 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_weighted(
   return out;
 }
 
-std::vector<ProcessPrediction> EquilibriumSolver::solve_newton(
-    const std::vector<FeatureVector>& processes) const {
+std::vector<ProcessPrediction> EquilibriumSolver::solve_newton_impl(
+    const std::vector<FeatureVector>& processes,
+    const std::vector<double>& cpu_share,
+    std::span<const math::PiecewiseLinear* const> fill) const {
   const std::size_t k = processes.size();
-  REPRO_ENSURE(k >= 1, "need at least one process");
-  for (const FeatureVector& fv : processes) fv.validate();
   const double a = static_cast<double>(ways_);
-  if (k == 1) return {predict_at(processes[0], a)};
 
-  const std::vector<math::PiecewiseLinear> fill = fill_curves(processes);
   auto spi_at_size = [&](std::size_t i, double s) {
     return processes[i].spi_at(processes[i].histogram.mpa(s));
   };
 
   // Unknowns: S_1..S_k. Equation 0 is Eq. 1 (normalized by A); for
-  // i >= 1, Eq. 7 in cross-multiplied, relative form.
+  // i >= 1, Eq. 7 in cross-multiplied, relative form. CPU shares scale
+  // each process's access rate, so API enters as cpu_share·API.
   auto residuals = [&](const std::vector<double>& s) {
     std::vector<double> f(k);
     double sum = 0.0;
     for (double v : s) sum += v;
     f[0] = (sum - a) / a;
     for (std::size_t i = 1; i < k; ++i) {
-      const double lhs =
-          fill[0](s[0]) * processes[i].api * spi_at_size(0, s[0]);
-      const double rhs =
-          fill[i](s[i]) * processes[0].api * spi_at_size(i, s[i]);
+      const double lhs = (*fill[0])(s[0]) * cpu_share[i] * processes[i].api *
+                         spi_at_size(0, s[0]);
+      const double rhs = (*fill[i])(s[i]) * cpu_share[0] * processes[0].api *
+                         spi_at_size(i, s[i]);
       const double scale = 0.5 * (std::fabs(lhs) + std::fabs(rhs)) + 1e-300;
       f[i] = (lhs - rhs) / scale;
     }

@@ -1,0 +1,216 @@
+#include "repro/engine/model_engine.hpp"
+
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+#include "repro/core/fill_model.hpp"
+#include "repro/core/partitioning.hpp"
+
+namespace repro::engine {
+
+ModelEngine::ModelEngine(sim::MachineConfig machine, EngineOptions options)
+    : machine_(std::move(machine)),
+      options_(options),
+      solver_(machine_.l2.ways, options_.equilibrium) {
+  machine_.validate();
+  if (options_.threads != 1)
+    pool_ = std::make_unique<common::ThreadPool>(options_.threads);
+}
+
+ModelEngine::ModelEngine(sim::MachineConfig machine, core::PowerModel power,
+                         EngineOptions options)
+    : ModelEngine(std::move(machine), options) {
+  REPRO_ENSURE(power.cores() == machine_.cores,
+               "power model trained for a different core count");
+  power_.emplace(std::move(power));
+}
+
+ModelEngine::~ModelEngine() = default;
+
+const core::PowerModel& ModelEngine::power_model() const {
+  REPRO_ENSURE(power_.has_value(), "engine built without a power model");
+  return *power_;
+}
+
+ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
+  REPRO_ENSURE(!profile.name.empty(), "process needs a name");
+  if (profile.features.name.empty()) profile.features.name = profile.name;
+  // Validate up front: a bad histogram or SPI law fails here with the
+  // process named, not deep inside a later fill-curve integral.
+  profile.features.validate();
+
+  std::unique_lock lock(registry_mutex_);
+  const auto it = by_name_.find(profile.name);
+  if (it != by_name_.end()) {
+    // Replacement: same handle, fresh Entry — the embedded once_flag is
+    // what invalidates the memoized artifacts.
+    registry_[it->second] = std::make_unique<Entry>(std::move(profile));
+    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  const ProcessHandle handle = static_cast<ProcessHandle>(registry_.size());
+  by_name_.emplace(profile.name, handle);
+  registry_.push_back(std::make_unique<Entry>(std::move(profile)));
+  return handle;
+}
+
+std::optional<ProcessHandle> ModelEngine::find(const std::string& name) const {
+  std::shared_lock lock(registry_mutex_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+core::ProcessProfile ModelEngine::profile(ProcessHandle handle) const {
+  std::shared_lock lock(registry_mutex_);
+  REPRO_ENSURE(handle < registry_.size(), "unknown process handle");
+  return registry_[handle]->profile;
+}
+
+std::size_t ModelEngine::process_count() const {
+  std::shared_lock lock(registry_mutex_);
+  return registry_.size();
+}
+
+const ModelEngine::Artifacts& ModelEngine::artifacts_of(
+    const Entry& entry) const {
+  bool built_now = false;
+  std::call_once(entry.once, [&] {
+    Artifacts a;
+    a.fill = core::fill_curve(entry.profile.features.histogram,
+                              machine_.l2.ways,
+                              options_.equilibrium.mpa_floor);
+    // The fill curve is strictly increasing (each Δn = ΔS / MPA(S) is
+    // positive), so swapping the axes tabulates G = (G⁻¹)⁻¹.
+    a.growth = math::PiecewiseLinear(
+        std::vector<double>(a.fill.ys().begin(), a.fill.ys().end()),
+        std::vector<double>(a.fill.xs().begin(), a.fill.xs().end()));
+    entry.artifacts = std::move(a);
+    built_now = true;
+  });
+  (built_now ? cache_misses_ : cache_hits_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return entry.artifacts;
+}
+
+SystemPrediction ModelEngine::predict_locked(
+    const CoScheduleQuery& query) const {
+  query.assignment.validate(machine_.cores, registry_.size());
+  if (!query.partition.empty())
+    REPRO_ENSURE(query.partition.size() == machine_.dies,
+                 "partition needs one quota list per die");
+
+  SystemPrediction out;
+  out.processes.reserve(query.assignment.process_count());
+  if (power_.has_value()) {
+    out.core_power.assign(machine_.cores, power_->idle_core());
+    out.total_power = power_->idle_total();
+  }
+
+  for (DieId die = 0; die < machine_.dies; ++die) {
+    // Gather the die's processes in (core, slot) order, with the CPU
+    // share of their run queue and their memoized fill curves.
+    struct Slot {
+      ProcessHandle handle;
+      CoreId core;
+    };
+    std::vector<Slot> slots;
+    std::vector<core::FeatureVector> features;
+    std::vector<double> shares;
+    std::vector<const math::PiecewiseLinear*> fill;
+    for (CoreId c : machine_.cores_on_die(die)) {
+      const std::size_t q = query.assignment.per_core[c].size();
+      for (std::size_t idx : query.assignment.per_core[c]) {
+        const Entry& entry = *registry_[idx];
+        slots.push_back({static_cast<ProcessHandle>(idx), c});
+        features.push_back(entry.profile.features);
+        shares.push_back(1.0 / static_cast<double>(q));
+        fill.push_back(&artifacts_of(entry).fill);
+      }
+    }
+    if (slots.empty()) continue;
+
+    std::vector<core::ProcessPrediction> eq;
+    const bool partitioned =
+        !query.partition.empty() && !query.partition[die].empty();
+    if (partitioned) {
+      const std::vector<std::uint32_t>& quotas = query.partition[die];
+      REPRO_ENSURE(quotas.size() == slots.size(),
+                   "one way quota per process on the die");
+      std::uint32_t claimed = 0;
+      for (std::uint32_t w : quotas) claimed += w;
+      REPRO_ENSURE(claimed <= machine_.l2.ways,
+                   "partition exceeds the cache ways");
+      eq = core::predict_partitioned(features, quotas);
+    } else {
+      core::SolveOptions solve_options;
+      solve_options.method = options_.method;
+      solve_options.cpu_share = shares;
+      solve_options.fill = fill;
+      eq = solver_.solve(features, solve_options);
+    }
+
+    // Assemble §4/§5: core power is the time average over the run
+    // queue; the package total adds each busy core's dynamic power.
+    std::size_t cursor = 0;
+    for (CoreId c : machine_.cores_on_die(die)) {
+      const std::size_t q = query.assignment.per_core[c].size();
+      if (q == 0) continue;
+      Watts dyn = 0.0;
+      double ips = 0.0;
+      for (std::size_t slot = 0; slot < q; ++slot, ++cursor) {
+        ProcessOperatingPoint point;
+        point.handle = slots[cursor].handle;
+        point.core = c;
+        point.cpu_share = shares[cursor];
+        point.prediction = eq[cursor];
+        if (power_.has_value())
+          point.dynamic_power = core::process_dynamic_power(
+              *power_, registry_[point.handle]->profile.alone,
+              eq[cursor].spi, eq[cursor].mpa);
+        dyn += point.dynamic_power;
+        ips += 1.0 / eq[cursor].spi;
+        out.processes.push_back(std::move(point));
+      }
+      const double avg_dyn = dyn / static_cast<double>(q);
+      if (power_.has_value()) {
+        out.core_power[c] += avg_dyn;
+        out.total_power += avg_dyn;
+      }
+      out.throughput_ips += ips / static_cast<double>(q);
+    }
+  }
+  return out;
+}
+
+SystemPrediction ModelEngine::predict(const CoScheduleQuery& query) const {
+  std::shared_lock lock(registry_mutex_);
+  return predict_locked(query);
+}
+
+std::vector<SystemPrediction> ModelEngine::predict_batch(
+    std::span<const CoScheduleQuery> queries) const {
+  std::vector<SystemPrediction> out(queries.size());
+  // One reader lock for the whole batch: writers (register_process)
+  // are excluded while pool workers read the registry lock-free.
+  std::shared_lock lock(registry_mutex_);
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      out[i] = predict_locked(queries[i]);
+  } else {
+    pool_->parallel_for(queries.size(), [&](std::size_t i) {
+      out[i] = predict_locked(queries[i]);
+    });
+  }
+  return out;
+}
+
+ModelEngine::CacheStats ModelEngine::cache_stats() const {
+  CacheStats s;
+  s.hits = cache_hits_.load(std::memory_order_relaxed);
+  s.misses = cache_misses_.load(std::memory_order_relaxed);
+  s.invalidations = cache_invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace repro::engine

@@ -1,0 +1,88 @@
+// Tests for the work-stealing thread pool behind ModelEngine batches.
+#include "repro/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace repro::common {
+namespace {
+
+TEST(ThreadPool, ReportsRequestedSize) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+  EXPECT_GE(ThreadPool(0).size(), 1u);  // 0 = hardware concurrency
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelForOnEmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 500;
+  std::atomic<int> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i)
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard lock(m);
+        cv.notify_one();
+      }
+    });
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done.load() == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 13) throw std::runtime_error("boom at 13");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 13");
+  }
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerDoesNotDeadlock) {
+  std::atomic<int> inner_done{0};
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(8, [&](std::size_t) {
+      // Workers may enqueue follow-up work onto their own pool.
+      pool.submit([&] { inner_done.fetch_add(1); });
+    });
+  }  // the destructor drains queued tasks before joining
+  EXPECT_EQ(inner_done.load(), 8);
+}
+
+}  // namespace
+}  // namespace repro::common

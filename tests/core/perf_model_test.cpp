@@ -122,7 +122,8 @@ TEST(EquilibriumSolver, NewtonAgreesWithBisection) {
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{light_process(), heavy_process()};
   const auto robust = solver.solve(procs);
-  const auto newton = solver.solve_newton(procs);
+  const auto newton = solver.solve(
+      procs, SolveOptions{.method = SolveOptions::Method::kNewton});
   for (std::size_t i = 0; i < procs.size(); ++i) {
     EXPECT_NEAR(newton[i].effective_size, robust[i].effective_size, 0.05);
     EXPECT_NEAR(newton[i].mpa, robust[i].mpa, 0.005);

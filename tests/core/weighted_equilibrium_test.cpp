@@ -34,7 +34,8 @@ TEST(WeightedEquilibrium, UnitSharesMatchPlainSolve) {
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{worker(), sprinter()};
   const auto plain = solver.solve(procs);
-  const auto weighted = solver.solve_weighted(procs, {1.0, 1.0});
+  const auto weighted =
+      solver.solve(procs, SolveOptions{.cpu_share = {1.0, 1.0}});
   for (std::size_t i = 0; i < procs.size(); ++i)
     EXPECT_NEAR(plain[i].effective_size, weighted[i].effective_size, 1e-9);
 }
@@ -42,8 +43,9 @@ TEST(WeightedEquilibrium, UnitSharesMatchPlainSolve) {
 TEST(WeightedEquilibrium, SmallerShareShrinksCacheFootprint) {
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{worker(), sprinter()};
-  const auto full = solver.solve_weighted(procs, {1.0, 1.0});
-  const auto quartered = solver.solve_weighted(procs, {0.25, 1.0});
+  const auto full = solver.solve(procs, SolveOptions{.cpu_share = {1.0, 1.0}});
+  const auto quartered =
+      solver.solve(procs, SolveOptions{.cpu_share = {0.25, 1.0}});
   EXPECT_LT(quartered[0].effective_size, full[0].effective_size - 0.3);
   EXPECT_GT(quartered[1].effective_size, full[1].effective_size + 0.3);
 }
@@ -51,7 +53,8 @@ TEST(WeightedEquilibrium, SmallerShareShrinksCacheFootprint) {
 TEST(WeightedEquilibrium, SizesStillSumToAssociativity) {
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{worker(), worker(), sprinter()};
-  const auto pred = solver.solve_weighted(procs, {0.5, 0.5, 1.0});
+  const auto pred =
+      solver.solve(procs, SolveOptions{.cpu_share = {0.5, 0.5, 1.0}});
   double total = 0.0;
   for (const auto& p : pred) total += p.effective_size;
   EXPECT_NEAR(total, 16.0, 1e-6);
@@ -62,9 +65,33 @@ TEST(WeightedEquilibrium, SizesStillSumToAssociativity) {
 TEST(WeightedEquilibrium, RejectsBadShares) {
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{worker(), sprinter()};
-  EXPECT_THROW(solver.solve_weighted(procs, {1.0}), Error);
-  EXPECT_THROW(solver.solve_weighted(procs, {0.0, 1.0}), Error);
-  EXPECT_THROW(solver.solve_weighted(procs, {1.5, 1.0}), Error);
+  EXPECT_THROW(solver.solve(procs, SolveOptions{.cpu_share = {1.0}}), Error);
+  EXPECT_THROW(solver.solve(procs, SolveOptions{.cpu_share = {0.0, 1.0}}),
+               Error);
+  EXPECT_THROW(solver.solve(procs, SolveOptions{.cpu_share = {1.5, 1.0}}),
+               Error);
+}
+
+TEST(WeightedEquilibrium, DeprecatedWrappersMatchNewEntryPoint) {
+  // The pre-SolveOptions names survive as thin inline wrappers; they
+  // must produce bit-identical results to the new single entry point.
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto old_weighted = solver.solve_weighted(procs, {0.5, 1.0});
+  const auto old_newton = solver.solve_newton(procs);
+#pragma GCC diagnostic pop
+  const auto new_weighted =
+      solver.solve(procs, SolveOptions{.cpu_share = {0.5, 1.0}});
+  const auto new_newton = solver.solve(
+      procs, SolveOptions{.method = SolveOptions::Method::kNewton});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    EXPECT_EQ(old_weighted[i].effective_size, new_weighted[i].effective_size);
+    EXPECT_EQ(old_weighted[i].spi, new_weighted[i].spi);
+    EXPECT_EQ(old_newton[i].effective_size, new_newton[i].effective_size);
+    EXPECT_EQ(old_newton[i].spi, new_newton[i].spi);
+  }
 }
 
 // --- Die-wide estimator mode. ------------------------------------------

@@ -1,0 +1,366 @@
+// Tests for the ModelEngine facade: registry semantics, memoization,
+// bit-exact parity with the direct solver composition, and determinism
+// of batched prediction under the thread pool.
+#include "repro/engine/model_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "repro/core/partitioning.hpp"
+#include "repro/sim/machine.hpp"
+
+namespace repro::engine {
+namespace {
+
+core::FeatureVector fv(std::string name, core::ReuseHistogram hist,
+                       double api, double alpha, double beta) {
+  core::FeatureVector f;
+  f.name = std::move(name);
+  f.histogram = std::move(hist);
+  f.api = api;
+  f.alpha = alpha;
+  f.beta = beta;
+  return f;
+}
+
+core::ProcessProfile profile_of(core::FeatureVector f) {
+  core::ProcessProfile p;
+  p.name = f.name;
+  p.alone.l1rpi = 0.33;
+  p.alone.l2rpi = f.api;
+  p.alone.brpi = 0.15;
+  p.alone.fppi = 0.05;
+  p.alone.l2mpr = f.histogram.mpa(16.0);
+  p.alone.spi = f.spi_at(p.alone.l2mpr);
+  p.power_alone = 55.0;
+  p.features = std::move(f);
+  return p;
+}
+
+std::vector<core::ProcessProfile> suite() {
+  return {
+      profile_of(fv("worker",
+                    core::ReuseHistogram(std::vector<double>(12, 0.07), 0.16),
+                    0.04, 4e-9, 6e-10)),
+      profile_of(fv("sprinter",
+                    core::ReuseHistogram({0.6, 0.25, 0.1}, 0.05), 0.01,
+                    8e-10, 4e-10)),
+      profile_of(fv("streamer",
+                    core::ReuseHistogram({0.1, 0.1, 0.1}, 0.7), 0.08,
+                    2e-9, 5e-10)),
+      profile_of(fv("midfield",
+                    core::ReuseHistogram(std::vector<double>(6, 0.12), 0.28),
+                    0.02, 3e-9, 5e-10)),
+      profile_of(fv("hog",
+                    core::ReuseHistogram(std::vector<double>(14, 0.065), 0.09),
+                    0.06, 5e-9, 7e-10)),
+  };
+}
+
+core::PowerModel model() {
+  return core::PowerModel(45.0, {6.0e-9, 2.2e-8, -1.0e-7, 4.5e-9, 5.5e-9}, 4);
+}
+
+std::vector<CoScheduleQuery> random_queries(std::size_t count,
+                                            std::size_t processes,
+                                            std::uint32_t cores,
+                                            std::uint32_t seed) {
+  // Each process lands on a random core or stays off the machine;
+  // multiple processes on one core exercise the time-sharing path.
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> place(0, cores);
+  std::vector<CoScheduleQuery> queries;
+  for (std::size_t q = 0; q < count; ++q) {
+    CoScheduleQuery query;
+    query.assignment = core::Assignment::empty(cores);
+    bool any = false;
+    for (std::size_t p = 0; p < processes; ++p) {
+      const std::uint32_t c = place(rng);
+      if (c == cores) continue;  // not scheduled
+      query.assignment.per_core[c].push_back(p);
+      any = true;
+    }
+    if (!any) query.assignment.per_core[0].push_back(0);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+/// The hand-wired composition ModelEngine replaces: per-die
+/// share-weighted equilibrium + §5 power assembly, in the engine's
+/// exact accumulation order (floating-point addition is not
+/// associative, so parity at the bit level requires the same order).
+SystemPrediction direct_prediction(
+    const sim::MachineConfig& machine, const core::PowerModel* power,
+    const std::vector<core::ProcessProfile>& profiles,
+    const CoScheduleQuery& query) {
+  const core::EquilibriumSolver solver(machine.l2.ways);
+  SystemPrediction out;
+  if (power != nullptr) {
+    out.core_power.assign(machine.cores, power->idle_core());
+    out.total_power = power->idle_total();
+  }
+  for (DieId die = 0; die < machine.dies; ++die) {
+    std::vector<std::size_t> slots;
+    std::vector<core::FeatureVector> features;
+    std::vector<double> shares;
+    for (CoreId c : machine.cores_on_die(die)) {
+      const std::size_t q = query.assignment.per_core[c].size();
+      for (std::size_t idx : query.assignment.per_core[c]) {
+        slots.push_back(idx);
+        features.push_back(profiles[idx].features);
+        shares.push_back(1.0 / static_cast<double>(q));
+      }
+    }
+    if (slots.empty()) continue;
+    core::SolveOptions options;
+    options.cpu_share = shares;
+    const auto eq = solver.solve(features, options);
+
+    std::size_t cursor = 0;
+    for (CoreId c : machine.cores_on_die(die)) {
+      const std::size_t q = query.assignment.per_core[c].size();
+      if (q == 0) continue;
+      Watts dyn = 0.0;
+      double ips = 0.0;
+      for (std::size_t slot = 0; slot < q; ++slot, ++cursor) {
+        ProcessOperatingPoint point;
+        point.handle = static_cast<ProcessHandle>(slots[cursor]);
+        point.core = c;
+        point.cpu_share = shares[cursor];
+        point.prediction = eq[cursor];
+        if (power != nullptr)
+          point.dynamic_power = core::process_dynamic_power(
+              *power, profiles[point.handle].alone, eq[cursor].spi,
+              eq[cursor].mpa);
+        dyn += point.dynamic_power;
+        ips += 1.0 / eq[cursor].spi;
+        out.processes.push_back(point);
+      }
+      const double avg_dyn = dyn / static_cast<double>(q);
+      if (power != nullptr) {
+        out.core_power[c] += avg_dyn;
+        out.total_power += avg_dyn;
+      }
+      out.throughput_ips += ips / static_cast<double>(q);
+    }
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const SystemPrediction& a,
+                          const SystemPrediction& b) {
+  ASSERT_EQ(a.processes.size(), b.processes.size());
+  for (std::size_t i = 0; i < a.processes.size(); ++i) {
+    EXPECT_EQ(a.processes[i].handle, b.processes[i].handle);
+    EXPECT_EQ(a.processes[i].core, b.processes[i].core);
+    EXPECT_EQ(a.processes[i].cpu_share, b.processes[i].cpu_share);
+    EXPECT_EQ(a.processes[i].prediction.effective_size,
+              b.processes[i].prediction.effective_size);
+    EXPECT_EQ(a.processes[i].prediction.mpa, b.processes[i].prediction.mpa);
+    EXPECT_EQ(a.processes[i].prediction.spi, b.processes[i].prediction.spi);
+    EXPECT_EQ(a.processes[i].dynamic_power, b.processes[i].dynamic_power);
+  }
+  ASSERT_EQ(a.core_power.size(), b.core_power.size());
+  for (std::size_t c = 0; c < a.core_power.size(); ++c)
+    EXPECT_EQ(a.core_power[c], b.core_power[c]);
+  EXPECT_EQ(a.total_power, b.total_power);
+  EXPECT_EQ(a.throughput_ips, b.throughput_ips);
+}
+
+TEST(ModelEngine, RegistryRoundTrip) {
+  ModelEngine eng(sim::four_core_server());
+  const auto profiles = suite();
+  EXPECT_EQ(eng.process_count(), 0u);
+  const ProcessHandle h0 = eng.register_process(profiles[0]);
+  const ProcessHandle h1 = eng.register_process(profiles[1]);
+  EXPECT_EQ(h0, 0u);
+  EXPECT_EQ(h1, 1u);
+  EXPECT_EQ(eng.process_count(), 2u);
+  EXPECT_EQ(eng.find("worker"), std::optional<ProcessHandle>(h0));
+  EXPECT_EQ(eng.find("absent"), std::nullopt);
+  EXPECT_EQ(eng.profile(h1).name, "sprinter");
+  EXPECT_THROW(eng.profile(99), Error);
+}
+
+TEST(ModelEngine, RegistrationValidatesAndNamesTheProcess) {
+  ModelEngine eng(sim::four_core_server());
+  core::ProcessProfile broken = suite()[0];
+  broken.name = "broken-hog";
+  broken.features.name.clear();
+  broken.features.api = 0.0;  // physically impossible
+  try {
+    eng.register_process(broken);
+    FAIL() << "expected registration to reject api = 0";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken-hog"), std::string::npos)
+        << "error must name the process: " << e.what();
+  }
+  core::ProcessProfile anonymous = suite()[0];
+  anonymous.name.clear();
+  EXPECT_THROW(eng.register_process(anonymous), Error);
+  EXPECT_EQ(eng.process_count(), 0u);
+}
+
+TEST(ModelEngine, MatchesDirectCompositionBitForBit) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const core::PowerModel power = model();
+  const auto profiles = suite();
+  ModelEngine eng(machine, power);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  const auto queries = random_queries(20, profiles.size(), machine.cores,
+                                      0xC0FFEE);
+  for (const CoScheduleQuery& q : queries) {
+    const SystemPrediction direct =
+        direct_prediction(machine, &power, profiles, q);
+    expect_bitwise_equal(eng.predict(q), direct);
+  }
+}
+
+TEST(ModelEngine, BatchIsDeterministicAcrossThreadCounts) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  const auto queries = random_queries(40, profiles.size(), machine.cores,
+                                      0xBEEF);
+
+  std::vector<std::vector<SystemPrediction>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{5}}) {
+    EngineOptions options;
+    options.threads = threads;
+    ModelEngine eng(machine, model(), options);
+    for (const auto& p : profiles) eng.register_process(p);
+    runs.push_back(eng.predict_batch(queries));
+    // Batched results also match the engine's own serial predict().
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      expect_bitwise_equal(runs.back()[i], eng.predict(queries[i]));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[r].size(); ++i)
+      expect_bitwise_equal(runs[r][i], runs[0][i]);
+  }
+}
+
+TEST(ModelEngine, ReRegistrationInvalidatesMemoizedArtifacts) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  ModelEngine eng(machine, model());
+  const ProcessHandle worker = eng.register_process(profiles[0]);
+  eng.register_process(profiles[1]);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  q.assignment.per_core[1].push_back(1);
+  const SystemPrediction before = eng.predict(q);
+
+  // Replace "worker" with a much lighter histogram under the same name:
+  // same handle, fresh artifacts, different equilibrium.
+  core::ProcessProfile lighter = profiles[0];
+  lighter.features.histogram = core::ReuseHistogram({0.7, 0.2}, 0.1);
+  const ProcessHandle again = eng.register_process(lighter);
+  EXPECT_EQ(again, worker);
+  EXPECT_EQ(eng.cache_stats().invalidations, 1u);
+
+  const SystemPrediction after = eng.predict(q);
+  EXPECT_NE(after.processes[0].prediction.mpa,
+            before.processes[0].prediction.mpa)
+      << "stale fill curve survived re-registration";
+
+  // A fresh engine registered directly with the replacement profile
+  // must agree bit-for-bit: no residue of the old artifacts.
+  ModelEngine fresh(machine, model());
+  fresh.register_process(lighter);
+  fresh.register_process(profiles[1]);
+  expect_bitwise_equal(fresh.predict(q), after);
+}
+
+TEST(ModelEngine, PartitionedQueryMatchesPredictPartitioned) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  ModelEngine eng(machine);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);  // die 0: partitioned
+  q.assignment.per_core[1].push_back(2);
+  q.assignment.per_core[2].push_back(1);  // die 1: left shared
+  q.partition = {{10, 6}, {}};
+  const SystemPrediction pred = eng.predict(q);
+
+  const auto expected = core::predict_partitioned(
+      {profiles[0].features, profiles[2].features}, {10, 6});
+  ASSERT_EQ(pred.processes.size(), 3u);
+  EXPECT_EQ(pred.processes[0].prediction.spi, expected[0].spi);
+  EXPECT_EQ(pred.processes[0].prediction.mpa, expected[0].mpa);
+  EXPECT_EQ(pred.processes[1].prediction.spi, expected[1].spi);
+
+  // Over-committed or miscounted partitions are rejected.
+  q.partition = {{10, 12}, {}};
+  EXPECT_THROW(eng.predict(q), Error);
+  q.partition = {{16}, {}};
+  EXPECT_THROW(eng.predict(q), Error);
+  q.partition = {{10, 6}};
+  EXPECT_THROW(eng.predict(q), Error);
+}
+
+TEST(ModelEngine, PerformanceOnlyEngineLeavesPowerZero) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng(machine);
+  EXPECT_FALSE(eng.has_power_model());
+  EXPECT_THROW(eng.power_model(), Error);
+  eng.register_process(suite()[0]);
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  const SystemPrediction pred = eng.predict(q);
+  EXPECT_TRUE(pred.core_power.empty());
+  EXPECT_EQ(pred.total_power, 0.0);
+  EXPECT_EQ(pred.processes[0].dynamic_power, 0.0);
+  EXPECT_GT(pred.throughput_ips, 0.0);
+  EXPECT_EQ(pred.energy_per_instruction(), 0.0);
+}
+
+TEST(ModelEngine, CacheStatsCountHitsAndMisses) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.threads = 1;  // deterministic counter accounting
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  for (std::uint32_t c = 0; c < machine.cores; ++c)
+    q.assignment.per_core[c].push_back(c);
+
+  eng.predict(q);
+  const auto first = eng.cache_stats();
+  EXPECT_EQ(first.misses, 4u);  // one fill-curve build per process used
+  EXPECT_EQ(first.hits, 0u);
+
+  const std::vector<CoScheduleQuery> batch(8, q);
+  eng.predict_batch(batch);
+  const auto second = eng.cache_stats();
+  EXPECT_EQ(second.misses, 4u);  // nothing rebuilt
+  EXPECT_EQ(second.hits, 32u);
+  EXPECT_GT(second.hit_rate(), 0.8);
+}
+
+TEST(ModelEngine, RejectsMismatchedPowerModelAndBadQueries) {
+  EXPECT_THROW(ModelEngine(sim::two_core_workstation(), model()), Error);
+
+  ModelEngine eng(sim::four_core_server());
+  eng.register_process(suite()[0]);
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(4);
+  q.assignment.per_core[0].push_back(7);  // unknown handle
+  EXPECT_THROW(eng.predict(q), Error);
+}
+
+}  // namespace
+}  // namespace repro::engine

@@ -5,19 +5,26 @@
 //   cmpmodel profile  --machine server --workloads gzip,mcf --store s.txt
 //   cmpmodel train    --machine server --store s.txt
 //   cmpmodel predict  --machine server --store s.txt --procs gzip,mcf
-//   cmpmodel estimate --machine server --store s.txt \
+//   cmpmodel estimate --machine server --store s.txt
 //                     --assign "gzip,mcf;vpr;;equake"
-//   cmpmodel assign   --machine server --store s.txt \
+//   cmpmodel assign   --machine server --store s.txt
 //                     --jobs gzip,mcf,art,equake
 //   cmpmodel simulate --machine server --assign "gzip;mcf" [--seconds 0.3]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
 // ';' (empty = idle core), processes within a core separated by ','.
+//
+// predict and estimate run on the ModelEngine facade: predict places
+// the named processes one per core starting at core 0 (so on the
+// 4-core server the first two share die 0's cache), estimate prices a
+// full assignment — per-process operating points, per-core power, and
+// total power in one prediction.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +34,7 @@
 #include "repro/core/power_model.hpp"
 #include "repro/core/profiler.hpp"
 #include "repro/core/serialize.hpp"
+#include "repro/engine/model_engine.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
 #include "repro/workload/spec.hpp"
@@ -175,25 +183,53 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// ModelEngine over the store: registers the named profiles (deduped)
+/// and returns the engine plus one handle per name.
+std::unique_ptr<engine::ModelEngine> make_engine(
+    const MachineChoice& m, const core::ModelStore& store,
+    const std::vector<std::string>& names,
+    std::vector<engine::ProcessHandle>* handles) {
+  auto eng = store.power_model.has_value()
+                 ? std::make_unique<engine::ModelEngine>(m.machine,
+                                                         *store.power_model)
+                 : std::make_unique<engine::ModelEngine>(m.machine);
+  for (const core::ProcessProfile& p : lookup_profiles(store, names))
+    eng->register_process(p);
+  for (const std::string& name : names) handles->push_back(*eng->find(name));
+  return eng;
+}
+
 int cmd_predict(const Args& args) {
   const MachineChoice m = machine_by_name(args.require("machine"));
   const core::ModelStore store = load_store_or_die(args.require("store"));
   const std::vector<std::string> names =
       split(args.require("procs"), ',');
-  const std::vector<core::ProcessProfile> profiles =
-      lookup_profiles(store, names);
+  REPRO_ENSURE(names.size() <= m.machine.cores,
+               "more processes than cores — use `cmpmodel estimate` with "
+               "an explicit --assign for time sharing");
 
-  std::vector<core::FeatureVector> fvs;
-  for (const auto& p : profiles) fvs.push_back(p.features);
-  const core::EquilibriumSolver solver(m.machine.l2.ways);
-  const auto pred = solver.solve(fvs);
+  std::vector<engine::ProcessHandle> handles;
+  const auto eng_ptr = make_engine(m, store, names, &handles);
+  const engine::ModelEngine& eng = *eng_ptr;
+  engine::CoScheduleQuery query;
+  query.assignment = core::Assignment::empty(m.machine.cores);
+  for (std::size_t i = 0; i < handles.size(); ++i)
+    query.assignment.per_core[i].push_back(handles[i]);
+  const engine::SystemPrediction pred = eng.predict(query);
 
-  std::printf("%-10s %8s %8s %12s %14s\n", "process", "S(ways)", "MPA",
-              "SPI (ns)", "IPC-equivalent");
-  for (std::size_t i = 0; i < pred.size(); ++i)
-    std::printf("%-10s %8.2f %8.3f %12.3f %14.2f\n", names[i].c_str(),
-                pred[i].effective_size, pred[i].mpa, pred[i].spi * 1e9,
-                1.0 / (pred[i].spi * m.machine.frequency));
+  std::printf("%-10s %6s %8s %8s %12s %14s\n", "process", "core", "S(ways)",
+              "MPA", "SPI (ns)", "IPC-equivalent");
+  for (const engine::ProcessOperatingPoint& p : pred.processes)
+    std::printf("%-10s %6u %8.2f %8.3f %12.3f %14.2f\n",
+                eng.profile(p.handle).name.c_str(), p.core,
+                p.prediction.effective_size, p.prediction.mpa,
+                p.prediction.spi * 1e9,
+                1.0 / (p.prediction.spi * m.machine.frequency));
+  std::printf("aggregate throughput: %.3f Ginstr/s\n",
+              pred.throughput_ips / 1e9);
+  if (eng.has_power_model())
+    std::printf("predicted processor power: %.2f W (idle %.2f W)\n",
+                pred.total_power, eng.power_model().idle_total());
   return 0;
 }
 
@@ -203,15 +239,30 @@ int cmd_estimate(const Args& args) {
   REPRO_ENSURE(store.power_model.has_value(),
                "store has no power model — run `cmpmodel train`");
   std::vector<std::string> names;
-  const core::Assignment a =
+  const core::Assignment slots =
       parse_assignment(args.require("assign"), m.machine.cores, &names);
-  const std::vector<core::ProcessProfile> profiles =
-      lookup_profiles(store, names);
 
-  const core::CombinedEstimator estimator(*store.power_model, m.machine);
+  std::vector<engine::ProcessHandle> handles;
+  const auto eng_ptr = make_engine(m, store, names, &handles);
+  const engine::ModelEngine& eng = *eng_ptr;
+  engine::CoScheduleQuery query;
+  query.assignment = core::Assignment::empty(m.machine.cores);
+  for (std::size_t c = 0; c < slots.per_core.size(); ++c)
+    for (std::size_t idx : slots.per_core[c])
+      query.assignment.per_core[c].push_back(handles[idx]);
+  const engine::SystemPrediction pred = eng.predict(query);
+
+  std::printf("%-10s %6s %8s %8s %8s %12s\n", "process", "core", "share",
+              "S(ways)", "MPA", "SPI (ns)");
+  for (const engine::ProcessOperatingPoint& p : pred.processes)
+    std::printf("%-10s %6u %8.2f %8.2f %8.3f %12.3f\n",
+                eng.profile(p.handle).name.c_str(), p.core, p.cpu_share,
+                p.prediction.effective_size, p.prediction.mpa,
+                p.prediction.spi * 1e9);
+  for (CoreId c = 0; c < m.machine.cores; ++c)
+    std::printf("core %u power: %.2f W\n", c, pred.core_power[c]);
   std::printf("estimated processor power: %.2f W (idle %.2f W)\n",
-              estimator.estimate(profiles, a),
-              store.power_model->idle_total());
+              pred.total_power, store.power_model->idle_total());
   return 0;
 }
 
