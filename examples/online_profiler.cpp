@@ -1,71 +1,177 @@
-// On-line profiling of a "new" application (§1, §3.4).
+// On-line profiling, streamed end to end (§1, §3.4 + the streaming
+// pipeline layer).
 //
-// The paper's deployment story: when a new application becomes a
-// significant part of the workload, force it to run alone on an idle
-// machine, co-run it with the stressmark at each occupancy, and save
-// its feature vector for future assignment decisions. This example
-// profiles a custom (non-suite) workload, prints the recovered
-// reuse-distance histogram against the generative truth, and saves the
-// profile to disk for later sessions.
+// The original deployment story forced a new application onto an idle
+// machine and swept the stressmark against it. This example shows the
+// *streaming* alternative: two never-before-seen processes run under
+// normal multi-programmed contention while their HPC windows flow
+// through SampleStream → ProfileBuilder → ModelEngine. Confirmed phase
+// changes and periodic refits emit versioned profile revisions; each
+// revision invalidates exactly that process's memoized artifacts and
+// re-prices the running co-schedule with a warm-started Newton solve
+// seeded from the previous equilibrium. The example prints the
+// revision/phase trace with per-phase SPI and power predictions, then
+// checks the final prediction against the simulator's measurement and
+// saves the latest revisions to a store.
 //
 // Build & run:  ./build/examples/online_profiler [store-path]
+#include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 
-#include "repro/core/analytic.hpp"
-#include "repro/core/profiler.hpp"
+#include "repro/core/power_model.hpp"
 #include "repro/core/serialize.hpp"
+#include "repro/engine/model_engine.hpp"
+#include "repro/online/pipeline.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/phased.hpp"
 #include "repro/workload/spec.hpp"
+#include "repro/workload/stressmark.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   const std::string store_path =
       argc > 1 ? argv[1] : "online_profiler.store";
 
-  // A "new application" not in the shipped suite: a streaming scan
-  // with a hot index — say, a database table scan.
-  workload::WorkloadSpec scan;
-  scan.name = "tablescan";
-  scan.reuse_weights = workload::geometric_weights(0.6, 6);  // hot index
-  scan.new_line_weight = 0.30;                               // the scan
-  scan.stream_weight = 0.10;
-  scan.mix = sim::InstructionMix{.l2_api = 0.03,
-                                 .l1_rpi = 0.34,
-                                 .branch_pi = 0.12,
-                                 .fp_pi = 0.02,
-                                 .base_cpi = 1.1};
-
   const sim::MachineConfig machine = sim::two_core_workstation();
   const power::OracleConfig oracle = power::oracle_for_two_core_workstation();
 
-  std::printf("Profiling new application \"%s\" (%u stressmark co-runs)...\n",
-              scan.name.c_str(), machine.l2.ways);
-  const core::StressmarkProfiler profiler(machine, oracle);
-  const core::ProcessProfile profile = profiler.profile(scan);
+  // Train the Eq. 9 power model once (short runs; §4.1).
+  std::printf("Training the power model...\n");
+  core::PowerTrainerOptions train;
+  train.run_per_workload = 0.15;
+  train.run_per_microbench = 0.06;
+  const core::PowerModel power_model = core::PowerModel::train(
+      machine, oracle, {"gzip", "mcf", "art", "equake"}, train);
 
-  // Compare the recovered MPA curve with the generative truth.
-  const core::FeatureVector truth = core::analytic_features(scan, machine);
-  std::printf("\n%-4s %-14s %-14s\n", "S", "MPA profiled", "MPA true");
-  for (std::uint32_t s = 1; s <= machine.l2.ways; ++s)
-    std::printf("%-4u %-14.4f %-14.4f\n", s,
-                profile.features.histogram.mpa(s), truth.histogram.mpa(s));
+  // The engine re-solves with Newton so warm starts pay off.
+  engine::EngineOptions eng_options;
+  eng_options.method = core::SolveOptions::Method::kNewton;
+  eng_options.threads = 1;
+  engine::ModelEngine eng(machine, power_model, eng_options);
 
-  std::printf("\nSPI law: profiled SPI = %.3g·MPA + %.3g   "
-              "(true %.3g·MPA + %.3g)\n",
-              profile.features.alpha, profile.features.beta, truth.alpha,
-              truth.beta);
-  std::printf("P(alone) = %.2f W,  API = %.4f\n", profile.power_alone,
-              profile.features.api);
+  // Two phased processes the engine has never seen, sharing the die's
+  // L2: "appserver" flips from a cache-friendly to a thrashing phase;
+  // "batchjob" steps through three footprints, pushing appserver
+  // through different occupancy points (the on-line stand-in for the
+  // stressmark sweep).
+  const std::uint32_t sets = machine.l2.sets;
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, oracle, /*seed=*/0x5eedULL);
 
-  // Persist for future assignment decisions.
+  const workload::WorkloadSpec friendly = workload::find_spec("gzip");
+  const workload::WorkloadSpec thrashy = workload::find_spec("art");
+  std::vector<workload::PhaseSegment> app_phases;
+  app_phases.push_back({friendly, 6'000'000});
+  app_phases.push_back({thrashy, 6'000'000});
+  const ProcessId app = system.add_process(
+      "appserver", 0, friendly.mix,
+      std::make_unique<workload::PhasedGenerator>(app_phases, sets));
+
+  std::vector<workload::PhaseSegment> batch_phases;
+  batch_phases.push_back({workload::make_stressmark_spec(2), 5'000'000});
+  batch_phases.push_back({workload::make_stressmark_spec(6), 5'000'000});
+  batch_phases.push_back({workload::make_stressmark_spec(4), 5'000'000});
+  const ProcessId batch = system.add_process(
+      "batchjob", 1, batch_phases.front().spec.mix,
+      std::make_unique<workload::PhasedGenerator>(batch_phases, sets));
+
+  // The streaming pipeline: cold-start monitoring (no prior profiles).
+  online::OnlinePipelineOptions pipe_options;
+  pipe_options.builder.phase.min_phase_windows = 5;
+  pipe_options.builder.refit_interval = 8;
+  pipe_options.builder.min_fit_windows = 4;
+  online::OnlinePipeline pipe(eng, pipe_options);
+  pipe.monitor(app, "appserver");
+  pipe.monitor(batch, "batchjob");
+
+  std::printf("Streaming %u ms HPC windows through the pipeline...\n\n",
+              static_cast<unsigned>(cfg.sample_period * 1000.0));
+  std::printf("%-8s %-10s %-4s %-7s %-11s %-9s %-7s\n", "t [s]", "process",
+              "rev", "phases", "SPI(app)", "P [W]", "iters");
+
+  // Once both processes have registered themselves (first revisions),
+  // re-price the running co-schedule after every further revision.
+  bool query_set = false;
+  auto sink = pipe.sink();
+  const sim::RunResult run = system.run(1.5, [&](const sim::Sample& s) {
+    const std::size_t seen = pipe.history().size();
+    sink(s);
+    if (!query_set && pipe.handle_of(app) && pipe.handle_of(batch)) {
+      engine::CoScheduleQuery q;
+      q.assignment = core::Assignment::empty(machine.cores);
+      q.assignment.per_core[0].push_back(*pipe.handle_of(app));
+      q.assignment.per_core[1].push_back(*pipe.handle_of(batch));
+      pipe.set_query(q);
+      query_set = true;
+    }
+    for (std::size_t i = seen; i < pipe.history().size(); ++i) {
+      const online::RevisionEvent& e = pipe.history()[i];
+      const core::ProcessProfile p = eng.profile(e.handle);
+      double app_spi = 0.0;
+      double watts = 0.0;
+      if (e.resolved) {
+        for (const auto& pt : e.prediction.processes)
+          if (pt.handle == *pipe.handle_of(app))
+            app_spi = pt.prediction.spi;
+        watts = e.prediction.total_power;
+      }
+      std::printf("%-8.3f %-10s %-4llu %-7llu %-11.3e %-9.2f %-7d\n", e.time,
+                  p.name.c_str(),
+                  static_cast<unsigned long long>(e.revision),
+                  static_cast<unsigned long long>(pipe.stats().phase_changes),
+                  app_spi, watts, e.solver_iterations);
+    }
+  });
+  pipe.finish();
+
+  const online::OnlinePipeline::Stats stats = pipe.stats();
+  std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
+              "%llu warm re-solves (%.1f Newton iterations each)\n",
+              static_cast<unsigned long long>(stats.windows),
+              static_cast<unsigned long long>(stats.revisions),
+              static_cast<unsigned long long>(stats.phase_changes),
+              static_cast<unsigned long long>(stats.resolves),
+              stats.resolves > 0
+                  ? static_cast<double>(stats.solver_iterations) /
+                        static_cast<double>(stats.resolves)
+                  : 0.0);
+
+  // Check the last prediction against what the simulator measured over
+  // the tail windows (the final phase pair).
+  if (pipe.latest().has_value()) {
+    double measured_spi = 0.0;
+    std::size_t tail = 0;
+    for (std::size_t i = run.samples.size() >= 10 ? run.samples.size() - 10
+                                                  : 0;
+         i < run.samples.size(); ++i) {
+      const sim::Sample& s = run.samples[i];
+      if (s.process_delta[app].instructions > 0.0) {
+        measured_spi += s.process_cpu[app] / s.process_delta[app].instructions;
+        ++tail;
+      }
+    }
+    measured_spi /= static_cast<double>(tail);
+    double predicted_spi = 0.0;
+    for (const auto& pt : pipe.latest()->processes)
+      if (pt.handle == *pipe.handle_of(app)) predicted_spi = pt.prediction.spi;
+    std::printf("appserver final phase: predicted SPI %.3e, measured %.3e "
+                "(%.1f%% error)\n",
+                predicted_spi, measured_spi,
+                100.0 * std::abs(predicted_spi - measured_spi) / measured_spi);
+  }
+
+  // Persist the freshest revisions for later sessions.
   core::ModelStore store;
-  store.profiles.push_back(profile);
+  for (ProcessId pid : {app, batch})
+    if (auto h = pipe.handle_of(pid)) store.profiles.push_back(eng.profile(*h));
   core::save_store(store_path, store);
-  std::printf("\nSaved feature vector to %s — future sessions can load it "
-              "instead of re-profiling.\n", store_path.c_str());
+  std::printf("Saved %zu streamed profile revisions to %s\n",
+              store.profiles.size(), store_path.c_str());
 
   const auto reloaded = core::load_store(store_path);
   std::printf("Reload check: %s\n",
-              reloaded && reloaded->find("tablescan") ? "OK" : "FAILED");
+              reloaded && reloaded->find("appserver") ? "OK" : "FAILED");
   return 0;
 }

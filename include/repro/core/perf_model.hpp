@@ -53,6 +53,14 @@ struct EquilibriumOptions {
   double mpa_floor = 1e-6;   // floor inside G⁻¹ integrals
 };
 
+/// Per-call diagnostics written by EquilibriumSolver::solve when the
+/// caller passes a SolveStats out-pointer. `iterations` counts outer
+/// bisection steps or Newton steps — the quantity the warm-start path
+/// is designed to shrink.
+struct SolveStats {
+  int iterations = 0;
+};
+
 /// Per-call options for EquilibriumSolver::solve — the single entry
 /// point that subsumes the historical solve / solve_weighted /
 /// solve_newton triple.
@@ -81,6 +89,18 @@ struct SolveOptions {
   /// are bit-identical either way because fill_curve is deterministic.
   /// Empty = compute internally.
   std::span<const math::PiecewiseLinear* const> fill = {};
+
+  /// Optional warm start: one S_i seed per process, typically the
+  /// previous equilibrium before a small profile delta (the on-line
+  /// pipeline's steady state). Newton starts from these (projected
+  /// into the feasible region) instead of the uniform A/k split and
+  /// converges in 1–2 iterations when the seed is close; bisection
+  /// uses the implied horizon τ to tighten its initial bracket. Empty
+  /// = cold start.
+  std::span<const double> warm_start = {};
+
+  /// Optional out-parameter for solver diagnostics (iteration counts).
+  SolveStats* stats = nullptr;
 };
 
 class EquilibriumSolver {
@@ -96,27 +116,6 @@ class EquilibriumSolver {
       const std::vector<FeatureVector>& processes,
       const SolveOptions& options = {}) const;
 
-  /// Deprecated spelling of solve(processes, {.cpu_share = cpu_share}).
-  [[deprecated("use solve(processes, SolveOptions{.cpu_share = ...})")]]
-  std::vector<ProcessPrediction> solve_weighted(
-      const std::vector<FeatureVector>& processes,
-      const std::vector<double>& cpu_share) const {
-    SolveOptions options;
-    options.cpu_share = cpu_share;
-    return solve(processes, options);
-  }
-
-  /// Deprecated spelling of
-  /// solve(processes, {.method = SolveOptions::Method::kNewton}).
-  [[deprecated(
-      "use solve(processes, SolveOptions{.method = Method::kNewton})")]]
-  std::vector<ProcessPrediction> solve_newton(
-      const std::vector<FeatureVector>& processes) const {
-    SolveOptions options;
-    options.method = SolveOptions::Method::kNewton;
-    return solve(processes, options);
-  }
-
   std::uint32_t ways() const { return ways_; }
 
  private:
@@ -125,11 +124,13 @@ class EquilibriumSolver {
   std::vector<ProcessPrediction> solve_bisection(
       const std::vector<FeatureVector>& processes,
       const std::vector<double>& cpu_share,
-      std::span<const math::PiecewiseLinear* const> fill) const;
+      std::span<const math::PiecewiseLinear* const> fill,
+      std::span<const double> warm_start, SolveStats* stats) const;
   std::vector<ProcessPrediction> solve_newton_impl(
       const std::vector<FeatureVector>& processes,
       const std::vector<double>& cpu_share,
-      std::span<const math::PiecewiseLinear* const> fill) const;
+      std::span<const math::PiecewiseLinear* const> fill,
+      std::span<const double> warm_start, SolveStats* stats) const;
   ProcessPrediction predict_at(const FeatureVector& fv, Ways s) const;
 
   std::uint32_t ways_;

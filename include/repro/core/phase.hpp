@@ -44,7 +44,11 @@ class PhaseDetector {
       : options_(options) {}
 
   /// Segment a metric series into phases (ordered, covering the whole
-  /// series). A constant series yields one phase.
+  /// series). A constant series yields one phase. Edge cases are
+  /// well-defined rather than caller-checked: an empty series yields
+  /// an empty result, and a series shorter than min_phase_windows is
+  /// one phase covering the whole series (too little data to claim a
+  /// significant phase change).
   std::vector<Phase> detect(std::span<const double> series) const;
 
   /// The longest phase (the paper's choice for art and mcf).

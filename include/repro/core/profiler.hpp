@@ -35,6 +35,14 @@ namespace repro::core {
 /// feature vector plus the §5 profiling vector PF.
 struct ProcessProfile {
   std::string name;
+
+  /// Monotone revision counter for on-line re-profiling: the streaming
+  /// ProfileBuilder (repro/online) emits a new revision whenever fresh
+  /// windows or a phase change refit the feature vector, and the
+  /// ModelEngine's per-entry invalidation keys off profile identity.
+  /// Batch (stressmark) profiles are revision 0.
+  std::uint64_t revision = 0;
+
   FeatureVector features;
 
   // Instruction-related event rates (fixed process properties) and the

@@ -59,4 +59,15 @@ class ReuseHistogram {
   math::PiecewiseLinear mpa_curve_;
 };
 
+/// Resample a scattered (S, MPA) observation cloud onto the integer
+/// grid S = 1..ways, for from_mpa_curve. Points are sorted by S (exact
+/// x-ties nudged apart by an epsilon) and linearly interpolated;
+/// outside the observed S range the curve extends flat. Shared by the
+/// stressmark profiler (whose co-run sweep lands near, not on, integer
+/// sizes) and the on-line profile builder (whose occupancy samples
+/// land wherever contention pushes them).
+std::vector<double> resample_mpa_curve(std::span<const double> s_points,
+                                       std::span<const double> mpa_points,
+                                       std::uint32_t ways);
+
 }  // namespace repro::core

@@ -9,6 +9,7 @@
 //
 // Format (one record per line group, '#' comments allowed):
 //   profile v1 <name>
+//   revision <n>            (optional; 0 = batch profile, omitted)
 //   api/alpha/beta/power_alone <value>
 //   alone <l1rpi> <l2rpi> <brpi> <fppi> <l2mpr> <spi>
 //   hist <tail_mass> <p1> <p2> …

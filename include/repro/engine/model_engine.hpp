@@ -57,6 +57,11 @@ using ProcessHandle = std::uint32_t;
 
 struct EngineOptions {
   core::EquilibriumOptions equilibrium{};
+  /// kNewton is the right choice for the on-line pipeline (a warm
+  /// start near the fixed point converges in 1–2 iterations); if a
+  /// Newton solve fails to converge — typical for *cold* starts on
+  /// nearly-flat MPA curves — the engine transparently re-solves that
+  /// query with the robust bisection method.
   core::SolveOptions::Method method = core::SolveOptions::Method::kBisection;
   /// Worker threads for predict_batch: 0 = one per hardware thread,
   /// 1 = run the batch inline on the calling thread (no pool).
@@ -74,6 +79,13 @@ struct CoScheduleQuery {
   /// each of the die's processes in (core, slot) order and must sum to
   /// at most the cache ways.
   std::vector<std::vector<std::uint32_t>> partition;
+
+  /// Optional warm start for the equilibrium solve: one S_i seed per
+  /// scheduled process in (core, slot) order — typically the previous
+  /// prediction's effective sizes before a small profile revision.
+  /// With Method::kNewton a close seed converges in 1–2 iterations.
+  /// Empty = cold solve (bit-identical to the pre-warm-start engine).
+  std::vector<double> warm_start;
 };
 
 /// One process's predicted steady state inside a SystemPrediction.
@@ -96,6 +108,10 @@ struct SystemPrediction {
   Watts total_power = 0.0;
   /// Σ share-weighted instructions/s over all processes.
   double throughput_ips = 0.0;
+  /// Equilibrium solver iterations summed over the candidate's dies —
+  /// the warm-start effectiveness signal (1–2 per die when seeded near
+  /// the fixed point, ~hundreds for a cold bisection).
+  int solver_iterations = 0;
 
   double energy_per_instruction() const {
     return throughput_ips > 0.0
@@ -125,6 +141,16 @@ class ModelEngine {
   /// deep inside a later fill-curve integral. Replacement keeps the
   /// handle and invalidates the memoized artifacts.
   ProcessHandle register_process(core::ProcessProfile profile);
+
+  /// Replace the profile behind an existing handle — the on-line
+  /// pipeline's revision sink. Validates the new profile, installs it
+  /// atomically under the registry lock, and drops the handle's
+  /// memoized artifacts so the next prediction rebuilds them. If the
+  /// revision renames the process, the name index follows (a rename
+  /// colliding with a different handle's name is an error). In-flight
+  /// predict_batch() calls observe either the old or the new profile
+  /// uniformly across their whole batch, never a mix.
+  void update_process(ProcessHandle handle, core::ProcessProfile profile);
 
   /// Handle of a registered process, if any.
   std::optional<ProcessHandle> find(const std::string& name) const;

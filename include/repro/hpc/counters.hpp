@@ -31,6 +31,13 @@ struct Counters {
   Counters& operator+=(const Counters& o);
   friend Counters operator+(Counters a, const Counters& b) { return a += b; }
   friend Counters operator-(const Counters& a, const Counters& b);
+
+  /// Miss ratio (the paper's MPA) over this block; 0 with no L2 refs.
+  /// The on-line pipeline's per-window phase signal.
+  double mpa() const { return l2_refs > 0.0 ? l2_misses / l2_refs : 0.0; }
+
+  /// Instructions per cycle over this block; 0 with no cycles.
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
 };
 
 /// The five per-second event rates of the paper's power model (Eq. 9),

@@ -1,0 +1,124 @@
+// OnlinePipeline — the end-to-end streaming loop:
+//
+//   hpc windows ──► SampleStream ──► ProfileBuilder (per process)
+//                                        │  versioned ProcessProfile
+//                                        ▼
+//                              ModelEngine::update_process
+//                                        │  per-entry invalidation
+//                                        ▼
+//                       warm-started equilibrium re-solve (1–2 Newton
+//                       iterations seeded from the previous S_i)
+//
+// Wire `sink()` as System::run's sample callback and the model tracks
+// the running workload: every confirmed phase change or periodic refit
+// flows through as a profile revision, invalidates exactly that
+// process's memoized artifacts, and re-prices the current co-schedule
+// from the previous equilibrium instead of from scratch. The history()
+// log is the per-phase SPI/power trace the tools and examples report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repro/engine/model_engine.hpp"
+#include "repro/online/profile_builder.hpp"
+#include "repro/online/sample_stream.hpp"
+
+namespace repro::online {
+
+struct OnlinePipelineOptions {
+  /// Per-process builder configuration; `ways` is filled in from the
+  /// engine's machine when left 0.
+  ProfileBuilderOptions builder{};
+};
+
+/// One profile revision as it flowed through the engine, plus the
+/// re-solved operating point (when a query was active).
+struct RevisionEvent {
+  Seconds time = 0.0;                  // window end that triggered it
+  engine::ProcessHandle handle = 0;
+  std::uint64_t revision = 0;
+  bool resolved = false;               // a re-solve followed
+  int solver_iterations = 0;           // of that re-solve
+  engine::SystemPrediction prediction; // valid when resolved
+};
+
+class OnlinePipeline {
+ public:
+  OnlinePipeline(engine::ModelEngine& engine,
+                 OnlinePipelineOptions options = {});
+
+  /// Monitor a process already registered with the engine: its current
+  /// profile seeds the builder's baseline (power_alone, revision
+  /// numbering) and revisions flow to update_process(handle).
+  void monitor(ProcessId pid, engine::ProcessHandle handle);
+
+  /// Monitor a process the engine has never seen — the cold-start
+  /// path. The first emitted revision registers it; until then it has
+  /// no handle and any active query is not re-solved.
+  void monitor(ProcessId pid, std::string name);
+
+  /// Handle of a monitored process, once known.
+  std::optional<engine::ProcessHandle> handle_of(ProcessId pid) const;
+
+  /// Co-schedule to re-price after every revision. Until set, revisions
+  /// still update the engine registry but nothing is solved.
+  void set_query(engine::CoScheduleQuery query);
+
+  /// Ingest one sample window (System::run callback).
+  void push(const sim::Sample& sample);
+
+  /// Convenience adapter for System::run.
+  sim::System::SampleCallback sink() {
+    return [this](const sim::Sample& s) { push(s); };
+  }
+
+  /// Flush every builder's current phase and re-solve once more.
+  void finish();
+
+  /// Most recent re-solved prediction, if any.
+  const std::optional<engine::SystemPrediction>& latest() const {
+    return latest_;
+  }
+  /// Every revision that flowed through, in stream order.
+  const std::vector<RevisionEvent>& history() const { return history_; }
+
+  struct Stats {
+    std::uint64_t windows = 0;            // sample windows ingested
+    std::uint64_t revisions = 0;          // profile revisions applied
+    std::uint64_t resolves = 0;           // equilibrium re-solves
+    std::uint64_t solver_iterations = 0;  // summed over re-solves
+    std::uint64_t phase_changes = 0;      // confirmed across builders
+  };
+  Stats stats() const;
+
+  const engine::ModelEngine& engine() const { return engine_; }
+
+ private:
+  struct Monitored {
+    ProcessId pid = 0;
+    std::string name;
+    std::optional<engine::ProcessHandle> handle;
+    std::unique_ptr<ProfileBuilder> builder;
+  };
+
+  void apply_revision(Monitored& m, core::ProcessProfile profile,
+                      Seconds time);
+  std::vector<double> warm_seeds() const;
+
+  engine::ModelEngine& engine_;
+  OnlinePipelineOptions options_;
+  SampleStream stream_;
+  std::vector<std::unique_ptr<Monitored>> monitored_;
+  std::optional<engine::CoScheduleQuery> query_;
+  std::optional<engine::SystemPrediction> latest_;
+  std::vector<RevisionEvent> history_;
+  std::uint64_t revisions_ = 0;
+  std::uint64_t resolves_ = 0;
+  std::uint64_t solver_iterations_ = 0;
+};
+
+}  // namespace repro::online

@@ -1,0 +1,107 @@
+// ProfileBuilder — incremental feature-vector extraction from a window
+// stream (the on-line counterpart of core::StressmarkProfiler).
+//
+// The stressmark profiler *creates* the occupancy sweep it needs by
+// co-running a tunable antagonist; an on-line builder has to make do
+// with whatever operating points contention pushes the process
+// through. Each window contributes one (S = occupancy, MPA) point to a
+// scattered cloud and one (MPA, SPI) point to an incremental
+// least-squares fit of Eq. 3. Whenever enough windows accumulate — or
+// the embedded StreamingPhaseDetector confirms a phase change, which
+// resets the accumulators to the new phase's windows — the builder
+// resamples the cloud onto the integer grid (the same
+// core::resample_mpa_curve the batch profiler uses), differences it
+// into the Eq. 8 histogram, and emits a *versioned*
+// core::ProcessProfile revision for the ModelEngine to swap in.
+//
+// What a revision carries: the performance feature vector (histogram,
+// API, α, β), per-instruction rates, and the raw curves. power_alone
+// cannot be measured on-line on a busy machine (package power is not
+// attributable per process), so it is inherited from an optional
+// baseline profile (set_baseline) and otherwise stays 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repro/core/profiler.hpp"
+#include "repro/online/sample_stream.hpp"
+#include "repro/online/streaming_phase.hpp"
+
+namespace repro::online {
+
+struct ProfileBuilderOptions {
+  /// Shared-cache associativity A (the MPA-curve grid size).
+  std::uint32_t ways = 0;
+  /// Change-point detection over the per-window MPA signal.
+  core::PhaseDetectorOptions phase{};
+  /// Emit a refreshed revision every `refit_interval` ingested windows
+  /// even without a phase change; 0 disables periodic refits (emit on
+  /// phase changes and finish() only).
+  std::size_t refit_interval = 16;
+  /// Minimum usable windows (instructions and L2 refs both nonzero)
+  /// accumulated in the current phase before a revision can be fit.
+  std::size_t min_fit_windows = 4;
+};
+
+class ProfileBuilder {
+ public:
+  ProfileBuilder(std::string name, ProfileBuilderOptions options);
+
+  /// Ingest one window. Returns a fresh profile revision when one is
+  /// due (periodic refit, or first fit of a newly confirmed phase);
+  /// std::nullopt otherwise.
+  std::optional<core::ProcessProfile> push(const WindowObservation& obs);
+
+  /// Flush: fit whatever the current phase has accumulated, even below
+  /// refit_interval. std::nullopt if too few usable windows arrived.
+  std::optional<core::ProcessProfile> finish();
+
+  /// Inherit the fields an on-line builder cannot observe (power_alone)
+  /// from a batch profile, and start revision numbering above it.
+  void set_baseline(const core::ProcessProfile& baseline);
+
+  const std::string& name() const { return name_; }
+  /// Revisions emitted so far; the next revision is revisions()+1
+  /// above the baseline's number.
+  std::uint64_t revisions() const { return revisions_; }
+  std::uint64_t windows() const { return windows_; }
+  /// Phase changes confirmed so far.
+  std::size_t phase_changes() const { return phases_.confirmed_phases(); }
+  const StreamingPhaseDetector& phase_detector() const { return phases_; }
+
+ private:
+  /// One usable window of the current phase, kept so the accumulators
+  /// can be rebuilt when a confirmed phase boundary splits them.
+  struct Rec {
+    std::uint64_t index = 0;  // stream window index
+    double s = 0.0;           // occupancy at window end
+    double mpa = 0.0;
+    double spi = 0.0;
+    hpc::Counters delta;
+    Seconds cpu = 0.0;
+  };
+
+  void restart_phase(std::size_t boundary_index);
+  std::optional<core::ProcessProfile> fit();
+
+  std::string name_;
+  ProfileBuilderOptions options_;
+  StreamingPhaseDetector phases_;
+
+  std::vector<Rec> recs_;  // usable windows of the current phase
+  hpc::Counters totals_;   // over recs_
+  Seconds cpu_total_ = 0.0;
+  // Incremental least squares for SPI = α·MPA + β over recs_.
+  double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0;
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t since_emit_ = 0;
+  std::uint64_t revisions_ = 0;
+  std::uint64_t base_revision_ = 0;
+  Watts power_alone_ = 0.0;
+};
+
+}  // namespace repro::online

@@ -1,0 +1,79 @@
+// SampleStream — the on-line pipeline's ingestion point.
+//
+// The batch pipeline hands the modeling layer a finished RunResult; the
+// on-line pipeline (ISSUE: streaming sample ingestion) instead consumes
+// HPC windows the moment they close. SampleStream adapts the
+// system-wide sim::Sample (per-core rates, per-process counter deltas)
+// into per-process WindowObservations and fans each one out to the
+// consumer attached to that process — typically a ProfileBuilder, but
+// tests attach plain lambdas. Wire `push` as System::run's sample
+// callback and windows flow through continuously:
+//
+//   system.run(duration, [&](const sim::Sample& s) { stream.push(s); });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/hpc/counters.hpp"
+#include "repro/sim/system.hpp"
+
+namespace repro::online {
+
+/// One process's view of one HPC sample window: exactly what a per-task
+/// virtualized counter file descriptor would deliver every 30 ms.
+struct WindowObservation {
+  std::uint64_t index = 0;     // 0-based window number within the stream
+  Seconds time = 0.0;          // window end, virtual time
+  Seconds duration = 0.0;      // window length
+  hpc::Counters delta;         // this process's counters over the window
+  Seconds cpu_time = 0.0;      // scheduled time inside the window
+  Ways occupancy = 0.0;        // L2 ways held at window end
+
+  /// Window miss ratio — the phase-detection signal.
+  double mpa() const { return delta.mpa(); }
+  /// Window seconds-per-instruction on a CPU-time basis; 0 if the
+  /// process never ran this window.
+  Spi spi() const {
+    return delta.instructions > 0.0 ? cpu_time / delta.instructions : 0.0;
+  }
+};
+
+class SampleStream {
+ public:
+  using Sink = std::function<void(const WindowObservation&)>;
+
+  /// Route process `pid`'s slice of every pushed sample to `sink`.
+  /// Multiple sinks per pid are allowed (observer + builder).
+  void attach(ProcessId pid, Sink sink) {
+    sinks_.emplace_back(pid, std::move(sink));
+  }
+
+  /// Ingest one system-wide sample window; slices it per process and
+  /// invokes the attached sinks in attachment order.
+  void push(const sim::Sample& sample) {
+    for (auto& [pid, sink] : sinks_) {
+      if (pid >= sample.process_delta.size()) continue;
+      WindowObservation obs;
+      obs.index = windows_;
+      obs.time = sample.time;
+      obs.duration = sample.duration;
+      obs.delta = sample.process_delta[pid];
+      obs.cpu_time = sample.process_cpu[pid];
+      obs.occupancy = sample.occupancy[pid];
+      sink(obs);
+    }
+    ++windows_;
+  }
+
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  std::vector<std::pair<ProcessId, Sink>> sinks_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace repro::online

@@ -1,0 +1,80 @@
+// Incremental (streaming) program-phase detection.
+//
+// core::PhaseDetector segments a *finished* series — fine for post-hoc
+// profiling, useless on-line, where each window must be classified as
+// it arrives. StreamingPhaseDetector keeps the batch detector's
+// vocabulary (core::Phase, core::PhaseDetectorOptions) but works one
+// push() at a time with O(1) state: a current segment and, once a
+// window jumps beyond the change thresholds, a candidate segment. The
+// candidate is confirmed as a genuine phase change after
+// min_phase_windows consistent windows (finalizing the previous phase)
+// or folded back into the current segment as a blip if the signal
+// returns. Confirmation latency is therefore exactly min_phase_windows
+// windows — the price of never seeing the future. Boundary placement
+// can differ from the batch detector's smoothed two-pass result by up
+// to the smoothing radius; phase *count* and means agree on clean
+// signals (see streaming_phase_test).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "repro/core/phase.hpp"
+
+namespace repro::online {
+
+class StreamingPhaseDetector {
+ public:
+  explicit StreamingPhaseDetector(core::PhaseDetectorOptions options = {});
+
+  /// Ingest the next window's metric. Returns the just-*finalized*
+  /// phase when this window confirms a change-point (the new current
+  /// phase then starts at the returned phase's `end`); std::nullopt
+  /// otherwise.
+  std::optional<core::Phase> push(double x);
+
+  /// Close the stream: folds any unconfirmed candidate back into the
+  /// current segment and returns it as the final phase. std::nullopt
+  /// on an empty stream. The detector is reset afterwards.
+  std::optional<core::Phase> finish();
+
+  /// Windows ingested so far.
+  std::size_t windows() const { return n_; }
+  /// First window index of the current (open) phase.
+  std::size_t current_begin() const { return current_.begin; }
+  /// Running mean of the current phase (candidate windows excluded);
+  /// 0 before the first push.
+  double current_mean() const { return current_.mean(); }
+  /// True while a potential change-point awaits confirmation.
+  bool tentative() const { return candidate_.has_value(); }
+  /// Phases finalized so far (the open phase not included).
+  std::size_t confirmed_phases() const { return confirmed_; }
+
+  const core::PhaseDetectorOptions& options() const { return options_; }
+
+ private:
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    double sum = 0.0;
+
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    void add(double x) {
+      sum += x;
+      ++count;
+    }
+  };
+
+  bool breaks_from(const Segment& seg, double x) const;
+  void fold_candidate();
+
+  core::PhaseDetectorOptions options_;
+  Segment current_;
+  std::optional<Segment> candidate_;
+  std::size_t n_ = 0;
+  std::size_t confirmed_ = 0;
+};
+
+}  // namespace repro::online

@@ -15,6 +15,7 @@
 // rates that emerge from each process's (contention-dependent) timing.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,11 +40,18 @@ struct SystemConfig {
 
 /// One HPC + power sample (a 30 ms window).
 struct Sample {
-  Seconds time = 0.0;  // window end, virtual time
+  Seconds time = 0.0;      // window end, virtual time
+  Seconds duration = 0.0;  // window length (last window may be short)
   std::vector<hpc::EventRates> core_rates;  // per core; zeros when idle
   Watts true_power = 0.0;      // oracle output (never shown to models)
   Watts measured_power = 0.0;  // via the simulated clamp + DAQ
   std::vector<Ways> occupancy;  // per process, ways/set at window end
+  /// Per-process counter deltas over this window — the per-task
+  /// virtualized HPC view an OS exposes (perf per-task counters /
+  /// PAPI attached to a pid). The on-line pipeline consumes these.
+  std::vector<hpc::Counters> process_delta;
+  /// Per-process scheduled CPU time inside this window.
+  std::vector<Seconds> process_cpu;
 };
 
 /// Per-process measurements over one run() window.
@@ -99,6 +107,18 @@ class System {
   /// samples, and per-process statistics over exactly this window.
   RunResult run(Seconds duration);
 
+  /// Streaming observer: invoked after every completed sample window
+  /// while the machine's sample clock advances. This is the on-line
+  /// pipeline's ingestion point — samples flow out as execution
+  /// proceeds instead of arriving in one batch at the end.
+  using SampleCallback = std::function<void(const Sample&)>;
+
+  /// Like run(), but delivers each window to `on_sample` the moment it
+  /// closes (the returned RunResult still carries everything). The
+  /// callback runs on the simulation thread; it may inspect the System
+  /// through const methods but must not mutate it.
+  RunResult run(Seconds duration, const SampleCallback& on_sample);
+
   const SharedCache& l2(DieId die) const;
   const SystemConfig& config() const { return config_; }
   Seconds now() const { return now_; }
@@ -128,7 +148,9 @@ class System {
   void advance_one_access(Core& core);
   void advance_to(Seconds target);  // event loop until all clocks >= target
   Sample take_sample(Seconds window_end, Seconds window_len,
-                     const std::vector<hpc::Counters>& core_start);
+                     const std::vector<hpc::Counters>& core_start,
+                     const std::vector<hpc::Counters>& proc_start,
+                     const std::vector<Seconds>& cpu_start);
 
   SystemConfig config_;
   power::PowerOracle oracle_;

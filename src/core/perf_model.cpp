@@ -65,6 +65,10 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve(
   for (const FeatureVector& fv : processes) fv.validate();
   if (!options.fill.empty())
     REPRO_ENSURE(options.fill.size() == k, "one fill curve per process");
+  if (!options.warm_start.empty())
+    REPRO_ENSURE(options.warm_start.size() == k,
+                 "one warm-start seed per process");
+  if (options.stats != nullptr) *options.stats = SolveStats{};
 
   if (k == 1) return {predict_at(processes[0], static_cast<double>(ways_))};
 
@@ -81,14 +85,17 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve(
   }
 
   return options.method == SolveOptions::Method::kNewton
-             ? solve_newton_impl(processes, cpu_share, fill)
-             : solve_bisection(processes, cpu_share, fill);
+             ? solve_newton_impl(processes, cpu_share, fill,
+                                 options.warm_start, options.stats)
+             : solve_bisection(processes, cpu_share, fill,
+                               options.warm_start, options.stats);
 }
 
 std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
     const std::vector<FeatureVector>& processes,
     const std::vector<double>& cpu_share,
-    std::span<const math::PiecewiseLinear* const> fill) const {
+    std::span<const math::PiecewiseLinear* const> fill,
+    std::span<const double> warm_start, SolveStats* stats) const {
   const std::size_t k = processes.size();
   const double a = static_cast<double>(ways_);
   REPRO_ENSURE(options_.min_ways * static_cast<double>(k) < a,
@@ -119,13 +126,25 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
   };
 
   // Bracket the horizon τ: excess(0) = k·min − A < 0; for large τ all
-  // processes saturate and excess → (k−1)·A > 0.
+  // processes saturate and excess → (k−1)·A > 0. A warm start implies
+  // a horizon estimate τ̂ = mean_i G_i⁻¹(Ŝ_i)/APS_i(Ŝ_i); seeding the
+  // bracket there skips the geometric search from 1 ns.
+  int iterations = 0;
   double tau_lo = 0.0;
   double tau_hi = 1e-9;
+  if (!warm_start.empty()) {
+    double tau_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double s = std::clamp(warm_start[i], options_.min_ways, a);
+      tau_sum += (*fill[i])(s) / std::max(aps_at(i, s), 1e-300);
+    }
+    tau_hi = std::max(tau_sum / static_cast<double>(k), 1e-12);
+  }
   int guard = 0;
   while (excess(tau_hi) < 0.0) {
     tau_lo = tau_hi;
     tau_hi *= 4.0;
+    ++iterations;
     REPRO_ENSURE(++guard < 200, "equilibrium horizon failed to bracket");
   }
   for (int it = 0; it < 200; ++it) {
@@ -134,10 +153,12 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
       tau_lo = mid;
     else
       tau_hi = mid;
+    ++iterations;
     if (std::fabs(excess(0.5 * (tau_lo + tau_hi))) < options_.tolerance)
       break;
   }
   const double tau = 0.5 * (tau_lo + tau_hi);
+  if (stats != nullptr) stats->iterations = iterations;
 
   // Renormalize the solution onto the Σ S_i = A simplex (the bisection
   // leaves a residual below tolerance; scaling keeps Eq. 1 exact).
@@ -158,7 +179,8 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
 std::vector<ProcessPrediction> EquilibriumSolver::solve_newton_impl(
     const std::vector<FeatureVector>& processes,
     const std::vector<double>& cpu_share,
-    std::span<const math::PiecewiseLinear* const> fill) const {
+    std::span<const math::PiecewiseLinear* const> fill,
+    std::span<const double> warm_start, SolveStats* stats) const {
   const std::size_t k = processes.size();
   const double a = static_cast<double>(ways_);
 
@@ -190,13 +212,22 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_newton_impl(
     for (double& v : s) v = std::clamp(v, floor, a);
   };
 
+  // Seed from the previous equilibrium when the caller has one: after
+  // a small profile delta the old steady state is inside Newton's
+  // quadratic-convergence basin, so the re-solve lands in 1–2 damped
+  // steps instead of marching in from the uniform A/k split.
   std::vector<double> start(k, a / static_cast<double>(k));
+  if (!warm_start.empty()) {
+    start.assign(warm_start.begin(), warm_start.end());
+    project(start);
+  }
   math::NewtonOptions opt;
   opt.f_tol = 1e-8;
   opt.max_iter = 200;
   const math::NewtonResult res =
       math::newton_raphson(residuals, start, project, opt);
   REPRO_ENSURE(res.converged, "Newton equilibrium failed to converge");
+  if (stats != nullptr) stats->iterations = res.iterations;
 
   std::vector<ProcessPrediction> out;
   out.reserve(k);

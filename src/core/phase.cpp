@@ -20,8 +20,18 @@ double segment_mean(std::span<const double> series, std::size_t begin,
 
 std::vector<Phase> PhaseDetector::detect(
     std::span<const double> series) const {
-  REPRO_ENSURE(!series.empty(), "empty series");
+  if (series.empty()) return {};
   const std::size_t n = series.size();
+  if (n < options_.min_phase_windows) {
+    // Too little data to claim any significant phase change: the whole
+    // series is one phase (merging would converge here anyway, but the
+    // contract should not depend on the merge loop's path).
+    Phase whole;
+    whole.begin = 0;
+    whole.end = n;
+    whole.mean = segment_mean(series, 0, n);
+    return {whole};
+  }
 
   // Pass 0: moving-average smoothing.
   std::vector<double> smooth(n);

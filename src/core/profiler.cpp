@@ -88,31 +88,14 @@ ProcessProfile StressmarkProfiler::profile(
     spi_points.push_back(report.spi());
   }
 
-  // Resample the (S, MPA) cloud onto the integer grid 1..A. Points are
-  // sorted by S; exact x-ties are nudged apart by an epsilon.
+  // Resample the (S, MPA) cloud onto the integer grid 1..A.
   {
-    std::vector<std::size_t> order(s_points.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-      return s_points[x] < s_points[y];
-    });
-    std::vector<double> xs, ys;
-    xs.reserve(order.size());
-    ys.reserve(order.size());
-    for (std::size_t idx : order) {
-      double x = s_points[idx];
-      if (!xs.empty() && x <= xs.back()) x = xs.back() + 1e-6;
-      xs.push_back(x);
-      ys.push_back(mpa_points[idx]);
-    }
-    const math::PiecewiseLinear curve(std::move(xs), std::move(ys));
+    profile.mpa_at_ways = resample_mpa_curve(s_points, mpa_points, a);
     const math::LineFit spi_on_mpa = math::fit_line(mpa_points, spi_points);
-    for (std::uint32_t s = 1; s <= a; ++s) {
-      profile.mpa_at_ways[s - 1] = curve(static_cast<double>(s));
+    for (std::uint32_t s = 1; s <= a; ++s)
       profile.spi_at_ways[s - 1] =
           spi_on_mpa.slope * profile.mpa_at_ways[s - 1] +
           spi_on_mpa.intercept;
-    }
   }
 
   // --- Feature vector: Eq. 8 histogram + Eq. 3 regression. ---

@@ -50,6 +50,38 @@ double ReuseHistogram::probability(std::uint32_t distance) const {
   return pmf_[distance - 1];
 }
 
+std::vector<double> resample_mpa_curve(std::span<const double> s_points,
+                                       std::span<const double> mpa_points,
+                                       std::uint32_t ways) {
+  REPRO_ENSURE(!s_points.empty() && s_points.size() == mpa_points.size(),
+               "resample needs matching, non-empty S and MPA points");
+  REPRO_ENSURE(ways > 0, "resample needs a positive way count");
+  std::vector<std::size_t> order(s_points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return s_points[x] < s_points[y];
+  });
+  std::vector<double> xs, ys;
+  xs.reserve(order.size());
+  ys.reserve(order.size());
+  for (std::size_t idx : order) {
+    double x = s_points[idx];
+    if (!xs.empty() && x <= xs.back()) x = xs.back() + 1e-6;
+    xs.push_back(x);
+    ys.push_back(mpa_points[idx]);
+  }
+  std::vector<double> out(ways);
+  if (xs.size() == 1) {
+    // One observed size: the best available estimate everywhere.
+    std::fill(out.begin(), out.end(), ys[0]);
+    return out;
+  }
+  const math::PiecewiseLinear curve(std::move(xs), std::move(ys));
+  for (std::uint32_t s = 1; s <= ways; ++s)
+    out[s - 1] = curve(static_cast<double>(s));
+  return out;
+}
+
 void ReuseHistogram::build_curve() {
   // Knots at S = 0, 1, …, D with MPA(S) = P(distance > S).
   std::vector<double> xs(pmf_.size() + 1);

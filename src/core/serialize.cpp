@@ -35,6 +35,9 @@ void write_profile(std::ostream& os, const ProcessProfile& p) {
                "profile names must not contain whitespace");
   os.precision(std::numeric_limits<double>::max_digits10);
   os << "profile v1 " << p.name << '\n';
+  // Revision 0 (batch profiles) is the default, so seed-era stores
+  // stay byte-identical and older readers never see the key.
+  if (p.revision != 0) os << "revision " << p.revision << '\n';
   os << "api " << p.features.api << '\n';
   os << "alpha " << p.features.alpha << '\n';
   os << "beta " << p.features.beta << '\n';
@@ -95,6 +98,11 @@ ModelStore read_store(std::istream& is) {
       current->name = name;
       current->features.name = name;
       have_hist = false;
+    } else if (key == "revision") {
+      require_open(key);
+      std::uint64_t v = 0;
+      REPRO_ENSURE(static_cast<bool>(ls >> v), "bad value for revision");
+      current->revision = v;
     } else if (key == "api" || key == "alpha" || key == "beta" ||
                key == "power_alone") {
       require_open(key);

@@ -54,6 +54,28 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
   return handle;
 }
 
+void ModelEngine::update_process(ProcessHandle handle,
+                                 core::ProcessProfile profile) {
+  REPRO_ENSURE(!profile.name.empty(), "process needs a name");
+  if (profile.features.name.empty()) profile.features.name = profile.name;
+  profile.features.validate();
+
+  std::unique_lock lock(registry_mutex_);
+  REPRO_ENSURE(handle < registry_.size(), "unknown process handle");
+  const std::string old_name = registry_[handle]->profile.name;
+  if (profile.name != old_name) {
+    const auto it = by_name_.find(profile.name);
+    REPRO_ENSURE(it == by_name_.end() || it->second == handle,
+                 "rename collides with another registered process");
+    by_name_.erase(old_name);
+    by_name_.emplace(profile.name, handle);
+  }
+  // Fresh Entry = fresh once_flag: the next prediction that touches
+  // this handle rebuilds the fill/growth curves from the new revision.
+  registry_[handle] = std::make_unique<Entry>(std::move(profile));
+  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::optional<ProcessHandle> ModelEngine::find(const std::string& name) const {
   std::shared_lock lock(registry_mutex_);
   const auto it = by_name_.find(name);
@@ -99,6 +121,16 @@ SystemPrediction ModelEngine::predict_locked(
   if (!query.partition.empty())
     REPRO_ENSURE(query.partition.size() == machine_.dies,
                  "partition needs one quota list per die");
+  if (!query.warm_start.empty())
+    REPRO_ENSURE(query.warm_start.size() == query.assignment.process_count(),
+                 "warm start needs one seed per scheduled process");
+
+  // Global (core, slot) position of each core's first process, so a
+  // die's warm-start seeds can be sliced out of the flat vector even
+  // when the machine maps cores to dies non-contiguously.
+  std::vector<std::size_t> slot_offset(machine_.cores + 1, 0);
+  for (CoreId c = 0; c < machine_.cores; ++c)
+    slot_offset[c + 1] = slot_offset[c] + query.assignment.per_core[c].size();
 
   SystemPrediction out;
   out.processes.reserve(query.assignment.process_count());
@@ -118,14 +150,18 @@ SystemPrediction ModelEngine::predict_locked(
     std::vector<core::FeatureVector> features;
     std::vector<double> shares;
     std::vector<const math::PiecewiseLinear*> fill;
+    std::vector<double> seeds;
     for (CoreId c : machine_.cores_on_die(die)) {
       const std::size_t q = query.assignment.per_core[c].size();
-      for (std::size_t idx : query.assignment.per_core[c]) {
+      for (std::size_t slot = 0; slot < q; ++slot) {
+        const std::size_t idx = query.assignment.per_core[c][slot];
         const Entry& entry = *registry_[idx];
         slots.push_back({static_cast<ProcessHandle>(idx), c});
         features.push_back(entry.profile.features);
         shares.push_back(1.0 / static_cast<double>(q));
         fill.push_back(&artifacts_of(entry).fill);
+        if (!query.warm_start.empty())
+          seeds.push_back(query.warm_start[slot_offset[c] + slot]);
       }
     }
     if (slots.empty()) continue;
@@ -147,7 +183,24 @@ SystemPrediction ModelEngine::predict_locked(
       solve_options.method = options_.method;
       solve_options.cpu_share = shares;
       solve_options.fill = fill;
-      eq = solver_.solve(features, solve_options);
+      solve_options.warm_start = seeds;  // empty = cold, bit-identical
+      core::SolveStats stats;
+      solve_options.stats = &stats;
+      if (options_.method == core::SolveOptions::Method::kNewton) {
+        try {
+          eq = solver_.solve(features, solve_options);
+        } catch (const Error&) {
+          // Newton stalls on nearly-flat MPA curves — the reason
+          // bisection is the repo-wide default. A Newton-mode engine
+          // (chosen for cheap warm-started re-solves) falls back to
+          // the robust method instead of failing the query.
+          solve_options.method = core::SolveOptions::Method::kBisection;
+          eq = solver_.solve(features, solve_options);
+        }
+      } else {
+        eq = solver_.solve(features, solve_options);
+      }
+      out.solver_iterations += stats.iterations;
     }
 
     // Assemble §4/§5: core power is the time average over the run

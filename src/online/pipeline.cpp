@@ -1,0 +1,138 @@
+#include "repro/online/pipeline.hpp"
+
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::online {
+
+OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
+                               OnlinePipelineOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.builder.ways == 0) options_.builder.ways = engine_.ways();
+  REPRO_ENSURE(options_.builder.ways == engine_.ways(),
+               "builder grid must match the engine's cache ways");
+}
+
+void OnlinePipeline::monitor(ProcessId pid,
+                             engine::ProcessHandle handle) {
+  const core::ProcessProfile baseline = engine_.profile(handle);
+  auto m = std::make_unique<Monitored>();
+  m->pid = pid;
+  m->name = baseline.name;
+  m->handle = handle;
+  m->builder = std::make_unique<ProfileBuilder>(baseline.name,
+                                                options_.builder);
+  m->builder->set_baseline(baseline);
+  Monitored* raw = m.get();
+  monitored_.push_back(std::move(m));
+  stream_.attach(pid, [this, raw](const WindowObservation& obs) {
+    if (auto revision = raw->builder->push(obs))
+      apply_revision(*raw, std::move(*revision), obs.time);
+  });
+}
+
+void OnlinePipeline::monitor(ProcessId pid, std::string name) {
+  auto m = std::make_unique<Monitored>();
+  m->pid = pid;
+  m->name = name;
+  m->builder = std::make_unique<ProfileBuilder>(std::move(name),
+                                                options_.builder);
+  Monitored* raw = m.get();
+  monitored_.push_back(std::move(m));
+  stream_.attach(pid, [this, raw](const WindowObservation& obs) {
+    if (auto revision = raw->builder->push(obs))
+      apply_revision(*raw, std::move(*revision), obs.time);
+  });
+}
+
+std::optional<engine::ProcessHandle> OnlinePipeline::handle_of(
+    ProcessId pid) const {
+  for (const auto& m : monitored_)
+    if (m->pid == pid) return m->handle;
+  return std::nullopt;
+}
+
+void OnlinePipeline::set_query(engine::CoScheduleQuery query) {
+  query_ = std::move(query);
+  latest_.reset();  // stale seeds would belong to the previous query
+}
+
+void OnlinePipeline::push(const sim::Sample& sample) {
+  stream_.push(sample);
+}
+
+void OnlinePipeline::finish() {
+  for (auto& m : monitored_) {
+    if (auto revision = m->builder->finish()) {
+      // finish() has no window timestamp; reuse the last event's (the
+      // trace stays ordered).
+      const Seconds t = history_.empty() ? 0.0 : history_.back().time;
+      apply_revision(*m, std::move(*revision), t);
+    }
+  }
+}
+
+std::vector<double> OnlinePipeline::warm_seeds() const {
+  if (!latest_.has_value()) return {};
+  // Regroup the previous operating points per core (predict preserves
+  // slot order within a core), then flatten in (core, slot) order —
+  // the CoScheduleQuery::warm_start convention.
+  std::vector<std::vector<double>> per_core(engine_.machine().cores);
+  for (const engine::ProcessOperatingPoint& pt : latest_->processes)
+    per_core[pt.core].push_back(pt.prediction.effective_size);
+  std::vector<double> seeds;
+  for (CoreId c = 0; c < engine_.machine().cores; ++c) {
+    if (per_core[c].size() != query_->assignment.per_core[c].size())
+      return {};  // query changed shape since the last solve: cold
+    for (double s : per_core[c]) seeds.push_back(s);
+  }
+  return seeds;
+}
+
+void OnlinePipeline::apply_revision(Monitored& m,
+                                    core::ProcessProfile profile,
+                                    Seconds time) {
+  if (m.handle.has_value()) {
+    engine_.update_process(*m.handle, std::move(profile));
+  } else {
+    m.handle = engine_.register_process(std::move(profile));
+  }
+  ++revisions_;
+
+  RevisionEvent event;
+  event.time = time;
+  event.handle = *m.handle;
+  event.revision = engine_.profile(*m.handle).revision;
+
+  if (query_.has_value()) {
+    bool all_registered = true;
+    for (const auto& mon : monitored_)
+      if (!mon->handle.has_value()) all_registered = false;
+    if (all_registered) {
+      engine::CoScheduleQuery q = *query_;
+      q.warm_start = warm_seeds();
+      engine::SystemPrediction prediction = engine_.predict(q);
+      ++resolves_;
+      solver_iterations_ +=
+          static_cast<std::uint64_t>(prediction.solver_iterations);
+      event.resolved = true;
+      event.solver_iterations = prediction.solver_iterations;
+      event.prediction = prediction;
+      latest_ = std::move(prediction);
+    }
+  }
+  history_.push_back(std::move(event));
+}
+
+OnlinePipeline::Stats OnlinePipeline::stats() const {
+  Stats s;
+  s.windows = stream_.windows();
+  s.revisions = revisions_;
+  s.resolves = resolves_;
+  s.solver_iterations = solver_iterations_;
+  for (const auto& m : monitored_) s.phase_changes += m->builder->phase_changes();
+  return s;
+}
+
+}  // namespace repro::online

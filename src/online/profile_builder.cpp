@@ -1,0 +1,144 @@
+#include "repro/online/profile_builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+#include "repro/core/reuse_histogram.hpp"
+
+namespace repro::online {
+
+ProfileBuilder::ProfileBuilder(std::string name, ProfileBuilderOptions options)
+    : name_(std::move(name)), options_(options), phases_(options.phase) {
+  REPRO_ENSURE(!name_.empty(), "profile builder needs a process name");
+  REPRO_ENSURE(options_.ways > 0, "profile builder needs the cache ways");
+  REPRO_ENSURE(options_.min_fit_windows >= 2,
+               "fitting needs at least two windows");
+}
+
+void ProfileBuilder::set_baseline(const core::ProcessProfile& baseline) {
+  power_alone_ = baseline.power_alone;
+  base_revision_ = baseline.revision;
+}
+
+void ProfileBuilder::restart_phase(std::size_t boundary_index) {
+  // Windows at or past the boundary belong to the new phase: they were
+  // the candidate that just got confirmed. Rebuild the accumulators
+  // from them.
+  std::vector<Rec> kept;
+  for (Rec& r : recs_)
+    if (r.index >= boundary_index) kept.push_back(std::move(r));
+  recs_ = std::move(kept);
+  totals_ = hpc::Counters{};
+  cpu_total_ = 0.0;
+  sum_x_ = sum_y_ = sum_xx_ = sum_xy_ = 0.0;
+  for (const Rec& r : recs_) {
+    totals_ += r.delta;
+    cpu_total_ += r.cpu;
+    sum_x_ += r.mpa;
+    sum_y_ += r.spi;
+    sum_xx_ += r.mpa * r.mpa;
+    sum_xy_ += r.mpa * r.spi;
+  }
+  since_emit_ = 0;
+}
+
+std::optional<core::ProcessProfile> ProfileBuilder::push(
+    const WindowObservation& obs) {
+  ++windows_;
+  ++since_emit_;
+
+  // Every window feeds the phase signal, usable or not: an idle window
+  // reports MPA 0, which genuinely is a behaviour change.
+  const std::optional<core::Phase> ended = phases_.push(obs.mpa());
+
+  const bool usable = obs.delta.instructions > 0.0 &&
+                      obs.delta.l2_refs > 0.0 && obs.cpu_time > 0.0;
+  if (usable) {
+    Rec r;
+    r.index = obs.index;
+    r.s = std::clamp(static_cast<double>(obs.occupancy), 0.0,
+                     static_cast<double>(options_.ways));
+    r.mpa = obs.mpa();
+    r.spi = obs.spi();
+    r.delta = obs.delta;
+    r.cpu = obs.cpu_time;
+    recs_.push_back(r);
+    totals_ += obs.delta;
+    cpu_total_ += obs.cpu_time;
+    sum_x_ += r.mpa;
+    sum_y_ += r.spi;
+    sum_xx_ += r.mpa * r.mpa;
+    sum_xy_ += r.mpa * r.spi;
+  }
+
+  if (ended.has_value()) {
+    restart_phase(phases_.current_begin());
+    return fit();  // first revision of the new phase, if already fittable
+  }
+  if (options_.refit_interval > 0 && since_emit_ >= options_.refit_interval)
+    return fit();
+  return std::nullopt;
+}
+
+std::optional<core::ProcessProfile> ProfileBuilder::finish() {
+  return fit();
+}
+
+std::optional<core::ProcessProfile> ProfileBuilder::fit() {
+  if (recs_.size() < options_.min_fit_windows) return std::nullopt;
+  if (totals_.instructions <= 0.0 || totals_.l2_refs <= 0.0 ||
+      cpu_total_ <= 0.0)
+    return std::nullopt;
+
+  core::ProcessProfile p;
+  p.name = name_;
+  p.alone = hpc::PerInstructionRates::from(totals_, cpu_total_);
+  p.power_alone = power_alone_;
+
+  // Resample the phase's (occupancy, MPA) cloud onto the integer grid;
+  // Eq. 8 differences it into the histogram.
+  std::vector<double> s_points, mpa_points;
+  s_points.reserve(recs_.size());
+  mpa_points.reserve(recs_.size());
+  for (const Rec& r : recs_) {
+    s_points.push_back(r.s);
+    mpa_points.push_back(r.mpa);
+  }
+  p.mpa_at_ways = core::resample_mpa_curve(s_points, mpa_points,
+                                           options_.ways);
+
+  // Eq. 3 by incremental least squares over (MPA, SPI); a degenerate
+  // spread (constant MPA) or a non-physical fit falls back to the
+  // phase-mean SPI, exactly like the batch profiler's guard.
+  const double n = static_cast<double>(recs_.size());
+  const double var = sum_xx_ - sum_x_ * sum_x_ / n;
+  double alpha = 0.0;
+  double beta = sum_y_ / n;
+  if (var > 1e-12) {
+    alpha = (sum_xy_ - sum_x_ * sum_y_ / n) / var;
+    beta = (sum_y_ - alpha * sum_x_) / n;
+  }
+  if (beta <= 0.0 || alpha <= -beta) {
+    alpha = 0.0;
+    beta = sum_y_ / n;
+  }
+  if (beta <= 0.0) return std::nullopt;  // pathological phase; wait
+
+  p.features.name = name_;
+  p.features.histogram = core::ReuseHistogram::from_mpa_curve(p.mpa_at_ways);
+  p.features.api = totals_.l2_refs / totals_.instructions;
+  p.features.alpha = alpha;
+  p.features.beta = beta;
+  p.features.validate();
+
+  p.spi_at_ways.resize(options_.ways);
+  for (std::uint32_t s = 1; s <= options_.ways; ++s)
+    p.spi_at_ways[s - 1] = alpha * p.mpa_at_ways[s - 1] + beta;
+
+  p.revision = base_revision_ + ++revisions_;
+  since_emit_ = 0;
+  return p;
+}
+
+}  // namespace repro::online

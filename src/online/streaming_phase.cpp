@@ -1,0 +1,100 @@
+#include "repro/online/streaming_phase.hpp"
+
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::online {
+
+StreamingPhaseDetector::StreamingPhaseDetector(
+    core::PhaseDetectorOptions options)
+    : options_(options) {
+  REPRO_ENSURE(options_.min_phase_windows >= 1,
+               "min_phase_windows must be at least 1");
+  REPRO_ENSURE(options_.relative_threshold > 0.0 &&
+                   options_.absolute_threshold >= 0.0,
+               "bad phase thresholds");
+}
+
+bool StreamingPhaseDetector::breaks_from(const Segment& seg, double x) const {
+  const double mean = seg.mean();
+  const double threshold = std::max(options_.absolute_threshold,
+                                    options_.relative_threshold *
+                                        std::abs(mean));
+  return std::abs(x - mean) > threshold;
+}
+
+void StreamingPhaseDetector::fold_candidate() {
+  current_.sum += candidate_->sum;
+  current_.count += candidate_->count;
+  candidate_.reset();
+}
+
+std::optional<core::Phase> StreamingPhaseDetector::push(double x) {
+  const std::size_t index = n_++;
+  if (current_.count == 0 && !candidate_.has_value()) {
+    current_.begin = index;
+    current_.add(x);
+    return std::nullopt;
+  }
+
+  if (!candidate_.has_value()) {
+    if (breaks_from(current_, x)) {
+      candidate_.emplace();
+      candidate_->begin = index;
+      candidate_->add(x);
+    } else {
+      current_.add(x);
+    }
+    return std::nullopt;
+  }
+
+  // A candidate is open: does this window continue the new level, fall
+  // back to the old one, or jump somewhere else entirely?
+  if (!breaks_from(*candidate_, x)) {
+    candidate_->add(x);
+    if (candidate_->count >= options_.min_phase_windows) {
+      // Confirmed: the current phase ended where the candidate began.
+      core::Phase finished;
+      finished.begin = current_.begin;
+      finished.end = candidate_->begin;
+      finished.mean = current_.mean();
+      current_ = *candidate_;
+      candidate_.reset();
+      ++confirmed_;
+      return finished;
+    }
+    return std::nullopt;
+  }
+  if (!breaks_from(current_, x)) {
+    // The signal came back: the excursion was a blip, not a phase.
+    fold_candidate();
+    current_.add(x);
+    return std::nullopt;
+  }
+  // Consistent with neither level — restart the candidate here.
+  fold_candidate();
+  candidate_.emplace();
+  candidate_->begin = index;
+  candidate_->add(x);
+  return std::nullopt;
+}
+
+std::optional<core::Phase> StreamingPhaseDetector::finish() {
+  if (candidate_.has_value()) fold_candidate();
+  std::optional<core::Phase> out;
+  if (current_.count > 0) {
+    core::Phase last;
+    last.begin = current_.begin;
+    last.end = n_;
+    last.mean = current_.mean();
+    out = last;
+  }
+  current_ = Segment{};
+  candidate_.reset();
+  n_ = 0;
+  confirmed_ = 0;
+  return out;
+}
+
+}  // namespace repro::online

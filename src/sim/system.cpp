@@ -119,9 +119,12 @@ void System::advance_to(Seconds target) {
 }
 
 Sample System::take_sample(Seconds window_end, Seconds window_len,
-                           const std::vector<hpc::Counters>& core_start) {
+                           const std::vector<hpc::Counters>& core_start,
+                           const std::vector<hpc::Counters>& proc_start,
+                           const std::vector<Seconds>& cpu_start) {
   Sample s;
   s.time = window_end;
+  s.duration = window_len;
   s.core_rates.resize(cores_.size());
   for (std::size_t c = 0; c < cores_.size(); ++c)
     s.core_rates[c] =
@@ -129,10 +132,15 @@ Sample System::take_sample(Seconds window_end, Seconds window_len,
   s.true_power = oracle_.true_power(s.core_rates);
   s.measured_power = clamp_.measure(s.true_power, window_len);
   s.occupancy.resize(processes_.size());
-  for (ProcessId pid = 0; pid < processes_.size(); ++pid)
+  s.process_delta.resize(processes_.size());
+  s.process_cpu.resize(processes_.size());
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
     s.occupancy[pid] =
         l2_[config_.machine.core_to_die[processes_[pid].core]]
             ->occupancy_ways(pid);
+    s.process_delta[pid] = processes_[pid].totals - proc_start[pid];
+    s.process_cpu[pid] = processes_[pid].cpu_time - cpu_start[pid];
+  }
   return s;
 }
 
@@ -146,16 +154,18 @@ void System::warm_up(Seconds duration) {
   advance_to(now_ + duration);
 }
 
-RunResult System::run(Seconds duration) {
+RunResult System::run(Seconds duration) { return run(duration, nullptr); }
+
+RunResult System::run(Seconds duration, const SampleCallback& on_sample) {
   REPRO_ENSURE(duration > 0.0, "run needs a positive duration");
   const Seconds start = now_;
 
   // Snapshot lifetime statistics so the result reports window deltas.
-  std::vector<hpc::Counters> proc_start(processes_.size());
-  std::vector<Seconds> cpu_start(processes_.size());
+  std::vector<hpc::Counters> run_proc_start(processes_.size());
+  std::vector<Seconds> run_cpu_start(processes_.size());
   for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
-    proc_start[pid] = processes_[pid].totals;
-    cpu_start[pid] = processes_[pid].cpu_time;
+    run_proc_start[pid] = processes_[pid].totals;
+    run_cpu_start[pid] = processes_[pid].cpu_time;
   }
 
   RunResult result;
@@ -169,10 +179,19 @@ RunResult System::run(Seconds duration) {
     std::vector<hpc::Counters> core_start(cores_.size());
     for (std::size_t c = 0; c < cores_.size(); ++c)
       core_start[c] = cores_[c].totals;
+    std::vector<hpc::Counters> proc_start(processes_.size());
+    std::vector<Seconds> cpu_start(processes_.size());
+    for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+      proc_start[pid] = processes_[pid].totals;
+      cpu_start[pid] = processes_[pid].cpu_time;
+    }
     advance_to(window_end);
-    Sample s = take_sample(window_end, window_end - t, core_start);
+    Sample s =
+        take_sample(window_end, window_end - t, core_start, proc_start,
+                    cpu_start);
     for (ProcessId pid = 0; pid < processes_.size(); ++pid)
       occupancy_sum[pid] += s.occupancy[pid];
+    if (on_sample) on_sample(s);
     result.samples.push_back(std::move(s));
     t = window_end;
   }
@@ -182,8 +201,8 @@ RunResult System::run(Seconds duration) {
     r.pid = pid;
     r.name = processes_[pid].name;
     r.core = processes_[pid].core;
-    r.counters = processes_[pid].totals - proc_start[pid];
-    r.cpu_time = processes_[pid].cpu_time - cpu_start[pid];
+    r.counters = processes_[pid].totals - run_proc_start[pid];
+    r.cpu_time = processes_[pid].cpu_time - run_cpu_start[pid];
     r.mean_occupancy =
         result.samples.empty()
             ? 0.0

@@ -91,8 +91,43 @@ TEST(PhaseDetector, CoverageIsGaplessAndOrdered) {
     EXPECT_EQ(phases[i].begin, phases[i - 1].end);
 }
 
-TEST(PhaseDetector, RejectsEmptySeries) {
-  EXPECT_THROW(PhaseDetector().detect(std::vector<double>{}), Error);
+// --- Edge cases: well-defined results instead of caller checks. ------
+
+TEST(PhaseDetector, EmptySeriesYieldsNoPhases) {
+  EXPECT_TRUE(PhaseDetector().detect(std::vector<double>{}).empty());
+}
+
+TEST(PhaseDetector, SingleWindowIsOnePhase) {
+  const auto phases = PhaseDetector().detect(std::vector<double>{0.7});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[0].end, 1u);
+  EXPECT_NEAR(phases[0].mean, 0.7, 1e-12);
+}
+
+TEST(PhaseDetector, SeriesShorterThanMinPhaseIsOnePhase) {
+  PhaseDetectorOptions options;
+  options.min_phase_windows = 8;
+  const PhaseDetector det(options);
+  // A hard step that would split a longer series: still one phase,
+  // because no segment could reach the significance floor.
+  const std::vector<double> series{0.1, 0.1, 0.1, 0.9, 0.9};
+  const auto phases = det.detect(series);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[0].end, series.size());
+  EXPECT_NEAR(phases[0].mean, 0.42, 1e-12);
+}
+
+TEST(PhaseDetector, ExactlyMinPhaseWindowsStillSegments) {
+  PhaseDetectorOptions options;
+  options.min_phase_windows = 4;
+  options.smooth_radius = 0;
+  const PhaseDetector det(options);
+  const std::vector<double> series{0.1, 0.1, 0.1, 0.1, 0.9, 0.9, 0.9, 0.9};
+  const auto phases = det.detect(series);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].end, 4u);
 }
 
 // --- End to end: a deliberately two-phase process through the

@@ -73,6 +73,34 @@ TEST(Serialize, MultipleProfilesAndModelRoundTrip) {
   EXPECT_DOUBLE_EQ(store.power_model->coefficients()[2], -3e-7);
 }
 
+TEST(Serialize, VersionedRevisionsRoundTrip) {
+  // The on-line pipeline persists successive revisions of the same
+  // process; each must survive a round trip with its version intact.
+  ModelStore original;
+  for (std::uint64_t rev : {0ull, 1ull, 7ull, 123456789ull}) {
+    ProcessProfile p = sample_profile("phased_rev" + std::to_string(rev));
+    p.revision = rev;
+    original.profiles.push_back(std::move(p));
+  }
+  std::stringstream ss;
+  write_profiles(ss, original.profiles);
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), original.profiles.size());
+  for (std::size_t i = 0; i < original.profiles.size(); ++i)
+    EXPECT_EQ(store.profiles[i].revision, original.profiles[i].revision);
+}
+
+TEST(Serialize, MissingRevisionReadsAsBatchProfile) {
+  // Seed-era stores predate the revision key; they parse as rev 0.
+  std::stringstream ss;
+  write_profile(ss, sample_profile("legacy"));
+  EXPECT_EQ(ss.str().find("revision"), std::string::npos)
+      << "revision 0 must not be written (byte-compat with old stores)";
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), 1u);
+  EXPECT_EQ(store.profiles[0].revision, 0u);
+}
+
 TEST(Serialize, IgnoresCommentsAndBlankLines) {
   std::stringstream ss;
   ss << "# comment\n\n";

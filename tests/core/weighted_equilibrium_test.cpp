@@ -72,26 +72,84 @@ TEST(WeightedEquilibrium, RejectsBadShares) {
                Error);
 }
 
-TEST(WeightedEquilibrium, DeprecatedWrappersMatchNewEntryPoint) {
-  // The pre-SolveOptions names survive as thin inline wrappers; they
-  // must produce bit-identical results to the new single entry point.
+TEST(WeightedEquilibrium, MethodsAgreeOnWellPosedInstances) {
+  // The solve_weighted / solve_newton wrappers are gone; the two
+  // methods behind the single entry point must still agree.
   const EquilibriumSolver solver(16);
   const std::vector<FeatureVector> procs{worker(), sprinter()};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto old_weighted = solver.solve_weighted(procs, {0.5, 1.0});
-  const auto old_newton = solver.solve_newton(procs);
-#pragma GCC diagnostic pop
-  const auto new_weighted =
+  const auto bisect =
       solver.solve(procs, SolveOptions{.cpu_share = {0.5, 1.0}});
-  const auto new_newton = solver.solve(
-      procs, SolveOptions{.method = SolveOptions::Method::kNewton});
+  const auto newton = solver.solve(
+      procs, SolveOptions{.method = SolveOptions::Method::kNewton,
+                          .cpu_share = {0.5, 1.0}});
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    EXPECT_EQ(old_weighted[i].effective_size, new_weighted[i].effective_size);
-    EXPECT_EQ(old_weighted[i].spi, new_weighted[i].spi);
-    EXPECT_EQ(old_newton[i].effective_size, new_newton[i].effective_size);
-    EXPECT_EQ(old_newton[i].spi, new_newton[i].spi);
+    EXPECT_NEAR(bisect[i].effective_size, newton[i].effective_size, 1e-4);
+    EXPECT_NEAR(bisect[i].spi, newton[i].spi, bisect[i].spi * 1e-4);
   }
+}
+
+TEST(WarmStart, SeededNewtonMatchesColdAndConvergesFaster) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+
+  SolveStats cold_stats;
+  SolveOptions cold;
+  cold.method = SolveOptions::Method::kNewton;
+  cold.stats = &cold_stats;
+  const auto cold_solution = solver.solve(procs, cold);
+  ASSERT_GT(cold_stats.iterations, 0);
+
+  // Perturb one process slightly (a small profile delta) and re-solve
+  // seeded from the previous equilibrium.
+  std::vector<FeatureVector> nudged = procs;
+  nudged[0].beta *= 1.02;
+  const std::vector<double> seed{cold_solution[0].effective_size,
+                                 cold_solution[1].effective_size};
+  SolveStats warm_stats;
+  SolveOptions warm;
+  warm.method = SolveOptions::Method::kNewton;
+  warm.warm_start = seed;
+  warm.stats = &warm_stats;
+  const auto warm_solution = solver.solve(nudged, warm);
+
+  SolveStats renudged_cold_stats;
+  SolveOptions renudged_cold;
+  renudged_cold.method = SolveOptions::Method::kNewton;
+  renudged_cold.stats = &renudged_cold_stats;
+  const auto cold_again = solver.solve(nudged, renudged_cold);
+
+  // Same fixed point, fewer iterations.
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    EXPECT_NEAR(warm_solution[i].effective_size,
+                cold_again[i].effective_size, 1e-4);
+  EXPECT_LE(warm_stats.iterations, renudged_cold_stats.iterations);
+  EXPECT_LE(warm_stats.iterations, 3);
+}
+
+TEST(WarmStart, BisectionAcceptsSeedsAndStats) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs{worker(), sprinter()};
+  SolveStats cold_stats;
+  SolveOptions cold;
+  cold.stats = &cold_stats;
+  const auto cold_solution = solver.solve(procs, cold);
+
+  const std::vector<double> seed{cold_solution[0].effective_size,
+                                 cold_solution[1].effective_size};
+  SolveStats warm_stats;
+  SolveOptions warm;
+  warm.warm_start = seed;
+  warm.stats = &warm_stats;
+  const auto warm_solution = solver.solve(procs, warm);
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    EXPECT_NEAR(warm_solution[i].effective_size,
+                cold_solution[i].effective_size, 1e-6);
+  EXPECT_LE(warm_stats.iterations, cold_stats.iterations);
+
+  // Seed-count mismatches are rejected.
+  SolveOptions bad;
+  bad.warm_start = std::span<const double>(seed.data(), 1);
+  EXPECT_THROW(solver.solve(procs, bad), Error);
 }
 
 // --- Die-wide estimator mode. ------------------------------------------

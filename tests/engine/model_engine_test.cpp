@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
 
 #include "repro/core/partitioning.hpp"
 #include "repro/sim/machine.hpp"
@@ -276,6 +278,137 @@ TEST(ModelEngine, ReRegistrationInvalidatesMemoizedArtifacts) {
   fresh.register_process(lighter);
   fresh.register_process(profiles[1]);
   expect_bitwise_equal(fresh.predict(q), after);
+}
+
+TEST(ModelEngine, UpdateProcessSwapsProfileBehindTheHandle) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  ModelEngine eng(machine, model());
+  const ProcessHandle worker = eng.register_process(profiles[0]);
+  eng.register_process(profiles[1]);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  q.assignment.per_core[1].push_back(1);
+  const SystemPrediction before = eng.predict(q);
+
+  // A revision under the same name: handle survives, artifacts don't.
+  core::ProcessProfile revised = profiles[0];
+  revised.revision = 7;
+  revised.features.histogram = core::ReuseHistogram({0.7, 0.2}, 0.1);
+  eng.update_process(worker, revised);
+  EXPECT_EQ(eng.cache_stats().invalidations, 1u);
+  EXPECT_EQ(eng.profile(worker).revision, 7u);
+  EXPECT_EQ(eng.find("worker"), std::optional<ProcessHandle>(worker));
+  EXPECT_EQ(eng.process_count(), 2u);
+
+  const SystemPrediction after = eng.predict(q);
+  EXPECT_NE(after.processes[0].prediction.mpa,
+            before.processes[0].prediction.mpa)
+      << "stale artifacts survived update_process";
+  ModelEngine fresh(machine, model());
+  fresh.register_process(revised);
+  fresh.register_process(profiles[1]);
+  expect_bitwise_equal(fresh.predict(q), after);
+
+  // A renaming revision moves the name index with the handle...
+  core::ProcessProfile renamed = revised;
+  renamed.name = "worker-v2";
+  renamed.features.name = "worker-v2";
+  eng.update_process(worker, renamed);
+  EXPECT_EQ(eng.find("worker"), std::nullopt);
+  EXPECT_EQ(eng.find("worker-v2"), std::optional<ProcessHandle>(worker));
+
+  // ...but may not steal another process's name, and the handle must
+  // exist.
+  core::ProcessProfile thief = renamed;
+  thief.name = "sprinter";
+  EXPECT_THROW(eng.update_process(worker, thief), Error);
+  EXPECT_THROW(eng.update_process(99, revised), Error);
+}
+
+TEST(ModelEngine, WarmStartedQueryReachesTheColdFixedPoint) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.method = core::SolveOptions::Method::kNewton;
+  options.threads = 1;
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  CoScheduleQuery cold;
+  cold.assignment = core::Assignment::empty(machine.cores);
+  cold.assignment.per_core[0].push_back(0);
+  cold.assignment.per_core[1].push_back(2);
+  cold.assignment.per_core[2].push_back(1);
+  cold.assignment.per_core[3].push_back(3);
+  const SystemPrediction ref = eng.predict(cold);
+  EXPECT_GT(ref.solver_iterations, 0);
+
+  CoScheduleQuery warm = cold;
+  for (const ProcessOperatingPoint& pt : ref.processes)
+    warm.warm_start.push_back(pt.prediction.effective_size);
+  const SystemPrediction seeded = eng.predict(warm);
+
+  ASSERT_EQ(seeded.processes.size(), ref.processes.size());
+  for (std::size_t i = 0; i < ref.processes.size(); ++i) {
+    EXPECT_NEAR(seeded.processes[i].prediction.effective_size,
+                ref.processes[i].prediction.effective_size, 1e-4);
+    EXPECT_NEAR(seeded.processes[i].prediction.spi,
+                ref.processes[i].prediction.spi,
+                1e-6 * ref.processes[i].prediction.spi);
+  }
+  EXPECT_LE(seeded.solver_iterations, ref.solver_iterations);
+  EXPECT_LE(seeded.solver_iterations, 2 * static_cast<int>(machine.dies))
+      << "a seed at the fixed point should converge in 1-2 Newton "
+         "iterations per die";
+
+  CoScheduleQuery wrong = cold;
+  wrong.warm_start = {8.0};  // one seed for four processes
+  EXPECT_THROW(eng.predict(wrong), Error);
+}
+
+TEST(ModelEngine, ConcurrentUpdatesNeverTearABatch) {
+  // predict_batch takes one reader lock for the whole batch, so a
+  // concurrent update_process must never produce a batch whose
+  // identical queries mix old- and new-profile answers. Run with TSan
+  // in CI to also certify the locking discipline.
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.threads = 2;
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  core::ProcessProfile variant = profiles[0];
+  variant.features.histogram = core::ReuseHistogram({0.7, 0.2}, 0.1);
+  variant.revision = 1;
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  q.assignment.per_core[1].push_back(2);
+  const std::vector<CoScheduleQuery> batch(16, q);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    bool flip = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      eng.update_process(0, flip ? variant : profiles[0]);
+      flip = !flip;
+    }
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<SystemPrediction> out = eng.predict_batch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 1; i < out.size(); ++i)
+      expect_bitwise_equal(out[i], out[0]);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(eng.cache_stats().invalidations, 0u);
 }
 
 TEST(ModelEngine, PartitionedQueryMatchesPredictPartitioned) {

@@ -1,0 +1,177 @@
+#include "repro/online/profile_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "repro/core/profiler.hpp"
+#include "repro/online/sample_stream.hpp"
+
+namespace repro::online {
+namespace {
+
+constexpr std::uint32_t kWays = 8;
+constexpr double kApi = 0.02;        // L2 refs per instruction
+constexpr double kAlpha = 4.0e-9;    // SPI = kAlpha·MPA + kBeta
+constexpr double kBeta = 1.0e-9;
+
+/// Ground-truth MPA(S) for the synthetic process: linear, decreasing.
+double mpa_of(double s) { return 0.5 - 0.05 * s; }
+
+/// A usable window at occupancy `s` whose counters embody the
+/// synthetic process exactly (no noise).
+WindowObservation window_at(std::uint64_t index, double s,
+                            double mpa, double spi) {
+  WindowObservation obs;
+  obs.index = index;
+  obs.duration = 0.03;
+  obs.time = 0.03 * static_cast<double>(index + 1);
+  obs.delta.instructions = 1.0e6;
+  obs.delta.l2_refs = kApi * obs.delta.instructions;
+  obs.delta.l2_misses = mpa * obs.delta.l2_refs;
+  obs.delta.cycles = 2.0e6;
+  obs.delta.l1_refs = 0.3e6;
+  obs.delta.branches = 0.1e6;
+  obs.delta.fp_ops = 0.05e6;
+  obs.cpu_time = spi * obs.delta.instructions;
+  obs.occupancy = s;
+  return obs;
+}
+
+WindowObservation window_at(std::uint64_t index, double s) {
+  const double mpa = mpa_of(s);
+  return window_at(index, s, mpa, kAlpha * mpa + kBeta);
+}
+
+ProfileBuilderOptions quiet_options() {
+  ProfileBuilderOptions o;
+  o.ways = kWays;
+  // The MPA sweep below is deliberate signal, not a phase change.
+  o.phase.relative_threshold = 10.0;
+  o.phase.absolute_threshold = 10.0;
+  o.refit_interval = 0;
+  o.min_fit_windows = 4;
+  return o;
+}
+
+TEST(ProfileBuilder, RecoversTheFeatureVectorFromAnOccupancySweep) {
+  ProfileBuilder builder("synthetic", quiet_options());
+  std::uint64_t index = 0;
+  for (int round = 0; round < 2; ++round)
+    for (std::uint32_t s = 1; s <= kWays; ++s)
+      EXPECT_EQ(builder.push(window_at(index++, s)), std::nullopt);
+
+  const std::optional<core::ProcessProfile> p = builder.finish();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->name, "synthetic");
+  EXPECT_EQ(p->revision, 1u);
+  EXPECT_EQ(builder.revisions(), 1u);
+  EXPECT_EQ(builder.windows(), 16u);
+
+  EXPECT_NEAR(p->features.api, kApi, 1e-12);
+  EXPECT_NEAR(p->features.alpha, kAlpha, 1e-12);
+  EXPECT_NEAR(p->features.beta, kBeta, 1e-15);
+  ASSERT_EQ(p->mpa_at_ways.size(), kWays);
+  for (std::uint32_t s = 1; s <= kWays; ++s) {
+    EXPECT_NEAR(p->mpa_at_ways[s - 1], mpa_of(s), 1e-12) << "S=" << s;
+    EXPECT_NEAR(p->spi_at_ways[s - 1],
+                kAlpha * mpa_of(s) + kBeta, 1e-15);
+  }
+  for (std::uint32_t s = 1; s < kWays; ++s)
+    EXPECT_GE(p->mpa_at_ways[s - 1], p->mpa_at_ways[s]) << "monotone";
+  EXPECT_NEAR(p->alone.l2rpi, kApi, 1e-12);
+  EXPECT_GT(p->alone.spi, 0.0);
+}
+
+TEST(ProfileBuilder, RevisionNumberingContinuesAboveTheBaseline) {
+  ProfileBuilder builder("synthetic", quiet_options());
+  core::ProcessProfile baseline;
+  baseline.revision = 5;
+  baseline.power_alone = 41.5;
+  builder.set_baseline(baseline);
+
+  std::uint64_t index = 0;
+  for (std::uint32_t s = 1; s <= kWays; ++s)
+    builder.push(window_at(index++, s));
+  const auto first = builder.finish();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->revision, 6u);
+  EXPECT_DOUBLE_EQ(first->power_alone, 41.5);
+
+  for (std::uint32_t s = 1; s <= kWays; ++s)
+    builder.push(window_at(index++, s));
+  const auto second = builder.finish();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->revision, 7u);
+}
+
+TEST(ProfileBuilder, PeriodicRefitEmitsEveryIntervalWindows) {
+  ProfileBuilderOptions options = quiet_options();
+  options.refit_interval = 4;
+  ProfileBuilder builder("synthetic", options);
+
+  std::uint64_t index = 0;
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(builder.push(window_at(index++, 1.0 + i)), std::nullopt);
+  const auto first = builder.push(window_at(index++, 5.0));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->revision, 1u);
+
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(builder.push(window_at(index++, 2.0 + i)), std::nullopt);
+  const auto second = builder.push(window_at(index++, 6.0));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->revision, 2u);
+}
+
+TEST(ProfileBuilder, TooFewUsableWindowsYieldNothing) {
+  ProfileBuilder builder("synthetic", quiet_options());
+  std::uint64_t index = 0;
+  for (std::uint32_t s = 1; s <= 3; ++s)
+    builder.push(window_at(index++, s));
+  for (int i = 0; i < 5; ++i) {
+    WindowObservation idle;  // descheduled window: nothing ran
+    idle.index = index++;
+    EXPECT_EQ(builder.push(idle), std::nullopt);
+  }
+  // 3 usable < min_fit_windows = 4, however many idle windows passed.
+  EXPECT_EQ(builder.finish(), std::nullopt);
+}
+
+TEST(ProfileBuilder, ConfirmedPhaseChangeRefitsFromTheNewPhaseOnly) {
+  ProfileBuilderOptions options;
+  options.ways = kWays;
+  options.phase.min_phase_windows = 3;
+  options.phase.relative_threshold = 0.25;
+  options.phase.absolute_threshold = 1e-3;
+  options.refit_interval = 0;
+  options.min_fit_windows = 3;
+  ProfileBuilder builder("twophase", options);
+
+  // Phase 1: low, constant MPA / SPI.
+  const double mpa1 = 0.1, spi1 = 2.0e-9;
+  std::uint64_t index = 0;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(builder.push(window_at(index++, 4.0, mpa1, spi1)),
+              std::nullopt);
+
+  // Phase 2: MPA jumps several-fold. The revision emitted at
+  // confirmation must be fit from the candidate windows alone —
+  // constant MPA degenerates to the α=0 / β=mean-SPI fallback, so a
+  // blended fit would betray itself through β.
+  const double mpa2 = 0.6, spi2 = 6.0e-9;
+  std::optional<core::ProcessProfile> at_change;
+  for (int i = 0; i < 3; ++i) {
+    auto r = builder.push(window_at(index++, 2.0, mpa2, spi2));
+    if (r.has_value()) at_change = std::move(r);
+  }
+  EXPECT_EQ(builder.phase_changes(), 1u);
+  ASSERT_TRUE(at_change.has_value());
+  EXPECT_DOUBLE_EQ(at_change->features.alpha, 0.0);
+  EXPECT_NEAR(at_change->features.beta, spi2, 1e-15);
+  EXPECT_NEAR(at_change->alone.l2mpr, mpa2, 1e-12);
+}
+
+}  // namespace
+}  // namespace repro::online

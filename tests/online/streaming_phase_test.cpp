@@ -1,0 +1,119 @@
+#include "repro/online/streaming_phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repro/core/phase.hpp"
+
+namespace repro::online {
+namespace {
+
+core::PhaseDetectorOptions quick() {
+  core::PhaseDetectorOptions o;
+  o.min_phase_windows = 3;
+  o.relative_threshold = 0.25;
+  o.absolute_threshold = 1e-3;
+  return o;
+}
+
+TEST(StreamingPhaseDetector, CleanStepConfirmsAfterExactlyMinPhaseWindows) {
+  StreamingPhaseDetector det(quick());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(det.push(0.1), std::nullopt) << "window " << i;
+  EXPECT_FALSE(det.tentative());
+  EXPECT_DOUBLE_EQ(det.current_mean(), 0.1);
+
+  // The step opens a candidate; confirmation lands on the
+  // min_phase_windows-th consistent window, finalizing the old phase.
+  EXPECT_EQ(det.push(0.5), std::nullopt);
+  EXPECT_TRUE(det.tentative());
+  EXPECT_EQ(det.push(0.5), std::nullopt);
+  const std::optional<core::Phase> ended = det.push(0.5);
+  ASSERT_TRUE(ended.has_value());
+  EXPECT_EQ(ended->begin, 0u);
+  EXPECT_EQ(ended->end, 10u);
+  EXPECT_DOUBLE_EQ(ended->mean, 0.1);
+
+  EXPECT_EQ(det.confirmed_phases(), 1u);
+  EXPECT_EQ(det.current_begin(), 10u);
+  EXPECT_DOUBLE_EQ(det.current_mean(), 0.5);
+  EXPECT_FALSE(det.tentative());
+
+  const std::optional<core::Phase> last = det.finish();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->begin, 10u);
+  EXPECT_EQ(last->end, 13u);
+  EXPECT_DOUBLE_EQ(last->mean, 0.5);
+}
+
+TEST(StreamingPhaseDetector, BlipShorterThanMinPhaseWindowsIsFoldedBack) {
+  StreamingPhaseDetector det(quick());
+  for (int i = 0; i < 10; ++i) det.push(0.1);
+  EXPECT_EQ(det.push(0.5), std::nullopt);  // candidate opens...
+  EXPECT_TRUE(det.tentative());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(det.push(0.1), std::nullopt);  // ...signal returns
+  EXPECT_FALSE(det.tentative());
+  EXPECT_EQ(det.confirmed_phases(), 0u);
+
+  const std::optional<core::Phase> only = det.finish();
+  ASSERT_TRUE(only.has_value());
+  EXPECT_EQ(only->begin, 0u);
+  EXPECT_EQ(only->end, 16u);
+  // The blip's value stays in the mean — it happened.
+  EXPECT_NEAR(only->mean, (15 * 0.1 + 0.5) / 16.0, 1e-12);
+}
+
+TEST(StreamingPhaseDetector, ConstantSeriesIsOnePhase) {
+  StreamingPhaseDetector det(quick());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(det.push(0.2), std::nullopt);
+  EXPECT_EQ(det.confirmed_phases(), 0u);
+  const std::optional<core::Phase> only = det.finish();
+  ASSERT_TRUE(only.has_value());
+  EXPECT_EQ(only->begin, 0u);
+  EXPECT_EQ(only->end, 20u);
+  EXPECT_DOUBLE_EQ(only->mean, 0.2);
+  // finish() resets: the detector is reusable.
+  EXPECT_EQ(det.windows(), 0u);
+  EXPECT_EQ(det.finish(), std::nullopt);
+}
+
+TEST(StreamingPhaseDetector, EmptyStreamFinishesToNothing) {
+  StreamingPhaseDetector det(quick());
+  EXPECT_EQ(det.finish(), std::nullopt);
+  EXPECT_EQ(det.windows(), 0u);
+}
+
+TEST(StreamingPhaseDetector, AgreesWithBatchDetectorOnACleanSignal) {
+  core::PhaseDetectorOptions options;  // batch defaults
+  std::vector<double> series;
+  for (int i = 0; i < 30; ++i) series.push_back(0.1);
+  for (int i = 0; i < 30; ++i) series.push_back(0.6);
+
+  const std::vector<core::Phase> batch =
+      core::PhaseDetector(options).detect(series);
+
+  StreamingPhaseDetector det(options);
+  std::vector<core::Phase> streamed;
+  for (double x : series)
+    if (auto p = det.push(x)) streamed.push_back(*p);
+  if (auto p = det.finish()) streamed.push_back(*p);
+
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_EQ(streamed.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    // Boundary placement may differ by up to the batch smoothing
+    // radius; the phase structure (count + means) must agree.
+    EXPECT_NEAR(streamed[i].mean, batch[i].mean, 0.05) << "phase " << i;
+    EXPECT_LE(
+        static_cast<std::size_t>(std::abs(
+            static_cast<long>(streamed[i].begin) -
+            static_cast<long>(batch[i].begin))),
+        options.smooth_radius + 1)
+        << "phase " << i;
+  }
+}
+
+}  // namespace
+}  // namespace repro::online

@@ -10,10 +10,21 @@
 //   cmpmodel assign   --machine server --store s.txt
 //                     --jobs gzip,mcf,art,equake
 //   cmpmodel simulate --machine server --assign "gzip;mcf" [--seconds 0.3]
+//   cmpmodel watch    --machine workstation --assign "gzip>art;mcf"
+//                     [--seconds 1.5] [--store s.txt]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
 // ';' (empty = idle core), processes within a core separated by ','.
+//
+// watch runs the *streaming* pipeline end to end: the named processes
+// execute in the simulator while their 30 ms HPC windows flow through
+// SampleStream → ProfileBuilder → ModelEngine, emitting versioned
+// profile revisions on confirmed phase changes and periodic refits,
+// each followed by a warm-started re-solve of the running co-schedule.
+// A process name may chain specs with '>' (e.g. "gzip>art") to play
+// phases back to back. With --store, the freshest revisions are saved
+// (and an existing store's power model prices each re-solve).
 //
 // predict and estimate run on the ModelEngine facade: predict places
 // the named processes one per core starting at core 0 (so on the
@@ -35,8 +46,10 @@
 #include "repro/core/profiler.hpp"
 #include "repro/core/serialize.hpp"
 #include "repro/engine/model_engine.hpp"
+#include "repro/online/pipeline.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
+#include "repro/workload/phased.hpp"
 #include "repro/workload/spec.hpp"
 
 namespace {
@@ -335,10 +348,131 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_watch(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  std::vector<std::string> names;
+  const core::Assignment slots =
+      parse_assignment(args.require("assign"), m.machine.cores, &names);
+  REPRO_ENSURE(!names.empty(), "watch needs at least one process");
+  const double seconds = std::stod(args.get("seconds", "1.5"));
+  const std::uint64_t phase_accesses =
+      static_cast<std::uint64_t>(std::stod(args.get("phase-accesses", "6e6")));
+  const std::string store_path = args.get("store", "");
+
+  // An existing store contributes its power model (prices re-solves);
+  // profiles always come from the stream — that is the point.
+  core::ModelStore store;
+  if (!store_path.empty())
+    if (auto existing = core::load_store(store_path)) store = *existing;
+
+  engine::EngineOptions eng_options;
+  eng_options.method = core::SolveOptions::Method::kNewton;
+  eng_options.threads = 1;
+  auto eng = store.power_model.has_value()
+                 ? std::make_unique<engine::ModelEngine>(
+                       m.machine, *store.power_model, eng_options)
+                 : std::make_unique<engine::ModelEngine>(m.machine,
+                                                         eng_options);
+
+  // Build the simulated workload: each name is a '>'-chained spec list
+  // played as consecutive phases.
+  sim::SystemConfig cfg;
+  cfg.machine = m.machine;
+  sim::System system(cfg, m.oracle, 1);
+  std::vector<ProcessId> pids(names.size());
+  for (CoreId c = 0; c < m.machine.cores; ++c)
+    for (std::size_t idx : slots.per_core[c]) {
+      std::vector<workload::PhaseSegment> segments;
+      for (const std::string& spec_name : split(names[idx], '>'))
+        segments.push_back({workload::find_spec(spec_name), phase_accesses});
+      const sim::InstructionMix mix = segments.front().spec.mix;
+      pids[idx] = system.add_process(
+          names[idx], c, mix,
+          std::make_unique<workload::PhasedGenerator>(std::move(segments),
+                                                      m.machine.l2.sets));
+    }
+
+  online::OnlinePipelineOptions pipe_options;
+  pipe_options.builder.phase.min_phase_windows = 5;
+  pipe_options.builder.refit_interval = 8;
+  pipe_options.builder.min_fit_windows = 4;
+  online::OnlinePipeline pipe(*eng, pipe_options);
+  for (std::size_t idx = 0; idx < names.size(); ++idx)
+    pipe.monitor(pids[idx], names[idx]);
+
+  std::printf("watching %zu processes for %.2fs of virtual time...\n\n",
+              names.size(), seconds);
+  std::printf("%-8s %-12s %-4s %-9s %-9s %-7s\n", "t [s]", "process", "rev",
+              "SPI (ns)", "P [W]", "iters");
+
+  bool query_set = false;
+  auto sink = pipe.sink();
+  system.run(seconds, [&](const sim::Sample& s) {
+    const std::size_t seen = pipe.history().size();
+    sink(s);
+    if (!query_set) {
+      bool all = true;
+      for (ProcessId pid : pids)
+        if (!pipe.handle_of(pid)) all = false;
+      if (all) {
+        engine::CoScheduleQuery q;
+        q.assignment = core::Assignment::empty(m.machine.cores);
+        for (CoreId c = 0; c < m.machine.cores; ++c)
+          for (std::size_t idx : slots.per_core[c])
+            q.assignment.per_core[c].push_back(*pipe.handle_of(pids[idx]));
+        pipe.set_query(q);
+        query_set = true;
+      }
+    }
+    for (std::size_t i = seen; i < pipe.history().size(); ++i) {
+      const online::RevisionEvent& e = pipe.history()[i];
+      double spi = 0.0;
+      if (e.resolved)
+        for (const auto& pt : e.prediction.processes)
+          if (pt.handle == e.handle) spi = pt.prediction.spi;
+      std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d\n", e.time,
+                  eng->profile(e.handle).name.c_str(),
+                  static_cast<unsigned long long>(e.revision), spi * 1e9,
+                  e.resolved ? e.prediction.total_power : 0.0,
+                  e.solver_iterations);
+    }
+  });
+  pipe.finish();
+
+  const online::OnlinePipeline::Stats stats = pipe.stats();
+  std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
+              "%llu re-solves (mean %.1f solver iterations)\n",
+              static_cast<unsigned long long>(stats.windows),
+              static_cast<unsigned long long>(stats.revisions),
+              static_cast<unsigned long long>(stats.phase_changes),
+              static_cast<unsigned long long>(stats.resolves),
+              stats.resolves > 0
+                  ? static_cast<double>(stats.solver_iterations) /
+                        static_cast<double>(stats.resolves)
+                  : 0.0);
+
+  if (!store_path.empty()) {
+    for (std::size_t idx = 0; idx < names.size(); ++idx)
+      if (auto h = pipe.handle_of(pids[idx])) {
+        const core::ProcessProfile fresh = eng->profile(*h);
+        bool replaced = false;
+        for (core::ProcessProfile& p : store.profiles)
+          if (p.name == fresh.name) {
+            p = fresh;
+            replaced = true;
+          }
+        if (!replaced) store.profiles.push_back(fresh);
+      }
+    core::save_store(store_path, store);
+    std::printf("saved streamed revisions to %s\n", store_path.c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: cmpmodel <profile|train|predict|estimate|assign|"
-               "simulate> [--key value]...\n"
+               "simulate|watch> [--key value]...\n"
                "see the header comment of tools/cmpmodel.cpp for examples\n");
   return 2;
 }
@@ -355,6 +489,7 @@ int main(int argc, char** argv) {
     if (args.command == "estimate") return cmd_estimate(args);
     if (args.command == "assign") return cmd_assign(args);
     if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "watch") return cmd_watch(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
