@@ -93,7 +93,8 @@ int main() {
   std::vector<core::ProcessProfile> revisions;
   online::SampleStream stream;
   stream.attach(target, [&](const online::WindowObservation& obs) {
-    if (auto rev = builder.push(obs)) revisions.push_back(std::move(*rev));
+    if (auto rev = builder.push(obs))
+      revisions.push_back(std::move(rev->profile));
   });
   system.run(1.8, [&](const sim::Sample& s) { stream.push(s); });
 
@@ -122,7 +123,8 @@ int main() {
     std::fprintf(stderr, "FAIL: too few windows to refit on-line\n");
     return 1;
   }
-  const engine::ProcessHandle target_h = eng.register_process(*fresh);
+  const engine::ProcessHandle target_h =
+      eng.register_process(fresh->profile);
   const engine::ProcessHandle contender_h =
       eng.register_process(contender_profile);
 
@@ -138,7 +140,7 @@ int main() {
   // Timed on-line reaction: swap the revision in (per-entry
   // invalidation) and re-solve from the previous equilibrium's seeds.
   const auto t_react = std::chrono::steady_clock::now();
-  eng.update_process(target_h, *fresh);
+  eng.update_process(target_h, fresh->profile);
   engine::CoScheduleQuery warm_query = query;
   for (const auto& pt : cold_ref.processes)
     warm_query.warm_start.push_back(pt.prediction.effective_size);

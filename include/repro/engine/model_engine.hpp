@@ -112,6 +112,10 @@ struct SystemPrediction {
   /// the warm-start effectiveness signal (1–2 per die when seeded near
   /// the fixed point, ~hundreds for a cold bisection).
   int solver_iterations = 0;
+  /// Set by OnlinePipeline when this prediction is a carried-forward
+  /// last-good operating point rather than a fresh re-solve (the
+  /// degradation policy); the engine itself always leaves it false.
+  bool degraded = false;
 
   double energy_per_instruction() const {
     return throughput_ips > 0.0
@@ -151,6 +155,12 @@ class ModelEngine {
   /// predict_batch() calls observe either the old or the new profile
   /// uniformly across their whole batch, never a mix.
   void update_process(ProcessHandle handle, core::ProcessProfile profile);
+
+  /// Non-throwing update_process: returns false (and leaves the
+  /// registry, name index, and memoized artifacts untouched) when the
+  /// revision fails validation, instead of propagating repro::Error.
+  /// The hardened pipeline's keep-last-good revision sink.
+  bool try_update_process(ProcessHandle handle, core::ProcessProfile profile);
 
   /// Handle of a registered process, if any.
   std::optional<ProcessHandle> find(const std::string& name) const;

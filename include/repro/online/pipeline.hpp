@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +27,7 @@
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/profile_builder.hpp"
 #include "repro/online/sample_stream.hpp"
+#include "repro/online/sanitizer.hpp"
 
 namespace repro::online {
 
@@ -33,6 +35,21 @@ struct OnlinePipelineOptions {
   /// Per-process builder configuration; `ways` is filled in from the
   /// engine's machine when left 0.
   ProfileBuilderOptions builder{};
+
+  /// Fault tolerance (ISSUE 3). On: a SampleSanitizer screens every
+  /// window before the stream, revisions are gated on quality, and a
+  /// failed re-solve degrades to the last-good prediction instead of
+  /// throwing out of sink(). Off: the pre-hardening pipeline — the
+  /// chaos bench's control arm, and bit-identical on clean streams.
+  bool harden = true;
+  /// Sanitizer tuning; `ways` is filled in from the engine when 0.
+  SampleSanitizerOptions sanitizer{};
+  /// Reject a revision whose Eq. 3 fit has a relative RMS residual
+  /// above this and keep the last-good profile; 0 disables the gate.
+  double max_fit_rms = 0.75;
+  /// history() ring capacity — the oldest RevisionEvent is evicted
+  /// beyond it (stats() counters stay monotonic). 0 = unbounded.
+  std::size_t history_capacity = 4096;
 };
 
 /// One profile revision as it flowed through the engine, plus the
@@ -41,9 +58,24 @@ struct RevisionEvent {
   Seconds time = 0.0;                  // window end that triggered it
   engine::ProcessHandle handle = 0;
   std::uint64_t revision = 0;
+  RevisionQuality quality;             // the fit behind this revision
   bool resolved = false;               // a re-solve followed
+  bool degraded = false;               // ...which fell back to last-good
   int solver_iterations = 0;           // of that re-solve
   engine::SystemPrediction prediction; // valid when resolved
+};
+
+/// Fault-path observability: everything the hardened pipeline dropped,
+/// repaired, or refused, surfaced through OnlinePipeline::stats() and
+/// `cmpmodel watch`. All counters are monotonic over a pipeline's life.
+struct PipelineHealth {
+  std::uint64_t windows_seen = 0;         // raw windows offered to push()
+  std::uint64_t windows_forwarded = 0;    // passed sanitization
+  std::uint64_t windows_repaired = 0;     // forwarded after a wrap repair
+  std::uint64_t windows_quarantined = 0;  // withheld from the stream
+  std::uint64_t revisions_rejected = 0;   // failed validation/quality gate
+  std::uint64_t degraded_resolves = 0;    // re-solves served last-good
+  std::uint64_t history_evicted = 0;      // RevisionEvents aged out
 };
 
 class OnlinePipeline {
@@ -83,17 +115,22 @@ class OnlinePipeline {
   const std::optional<engine::SystemPrediction>& latest() const {
     return latest_;
   }
-  /// Every revision that flowed through, in stream order.
-  const std::vector<RevisionEvent>& history() const { return history_; }
+  /// Revisions that flowed through, in stream order — the most recent
+  /// history_capacity of them (older events are evicted).
+  const std::deque<RevisionEvent>& history() const { return history_; }
 
   struct Stats {
-    std::uint64_t windows = 0;            // sample windows ingested
+    std::uint64_t windows = 0;            // sample windows ingested (raw)
     std::uint64_t revisions = 0;          // profile revisions applied
-    std::uint64_t resolves = 0;           // equilibrium re-solves
+    std::uint64_t resolves = 0;           // successful equilibrium re-solves
     std::uint64_t solver_iterations = 0;  // summed over re-solves
     std::uint64_t phase_changes = 0;      // confirmed across builders
+    PipelineHealth health;                // fault-path counters
   };
   Stats stats() const;
+
+  /// The sanitizer's own verdict counters; zeros when harden is off.
+  SanitizerStats sanitizer_stats() const;
 
   const engine::ModelEngine& engine() const { return engine_; }
 
@@ -105,20 +142,24 @@ class OnlinePipeline {
     std::unique_ptr<ProfileBuilder> builder;
   };
 
-  void apply_revision(Monitored& m, core::ProcessProfile profile,
-                      Seconds time);
+  void apply_revision(Monitored& m, ProfileRevision revision, Seconds time);
+  void record_event(RevisionEvent event);
   std::vector<double> warm_seeds() const;
 
   engine::ModelEngine& engine_;
   OnlinePipelineOptions options_;
   SampleStream stream_;
+  std::optional<SampleSanitizer> sanitizer_;  // engaged when harden
   std::vector<std::unique_ptr<Monitored>> monitored_;
   std::optional<engine::CoScheduleQuery> query_;
   std::optional<engine::SystemPrediction> latest_;
-  std::vector<RevisionEvent> history_;
+  std::deque<RevisionEvent> history_;
   std::uint64_t revisions_ = 0;
   std::uint64_t resolves_ = 0;
   std::uint64_t solver_iterations_ = 0;
+  std::uint64_t revisions_rejected_ = 0;
+  std::uint64_t degraded_resolves_ = 0;
+  std::uint64_t history_evicted_ = 0;
 };
 
 }  // namespace repro::online

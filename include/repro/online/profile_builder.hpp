@@ -46,6 +46,27 @@ struct ProfileBuilderOptions {
   std::size_t min_fit_windows = 4;
 };
 
+/// Fit-quality telemetry attached to every emitted revision; the
+/// pipeline's degradation policy gates on it before the profile is
+/// allowed to replace the last-good one.
+struct RevisionQuality {
+  /// Usable windows behind this fit.
+  std::size_t windows = 0;
+  /// Relative RMS residual of the Eq. 3 fit: sqrt(SSE/n) / mean(SPI).
+  /// Near 0 for a coherent phase; large when the (MPA, SPI) cloud the
+  /// fit saw was really several phases or corrupted windows.
+  double fit_rms = 0.0;
+  /// Eq. 8 histogram mass resolved within the A-way grid (1 − tail).
+  /// Informational: a legitimately thrashy process has low mass.
+  double histogram_mass = 0.0;
+};
+
+/// A versioned profile plus the quality of the fit that produced it.
+struct ProfileRevision {
+  core::ProcessProfile profile;
+  RevisionQuality quality;
+};
+
 class ProfileBuilder {
  public:
   ProfileBuilder(std::string name, ProfileBuilderOptions options);
@@ -53,11 +74,11 @@ class ProfileBuilder {
   /// Ingest one window. Returns a fresh profile revision when one is
   /// due (periodic refit, or first fit of a newly confirmed phase);
   /// std::nullopt otherwise.
-  std::optional<core::ProcessProfile> push(const WindowObservation& obs);
+  std::optional<ProfileRevision> push(const WindowObservation& obs);
 
   /// Flush: fit whatever the current phase has accumulated, even below
   /// refit_interval. std::nullopt if too few usable windows arrived.
-  std::optional<core::ProcessProfile> finish();
+  std::optional<ProfileRevision> finish();
 
   /// Inherit the fields an on-line builder cannot observe (power_alone)
   /// from a batch profile, and start revision numbering above it.
@@ -76,16 +97,19 @@ class ProfileBuilder {
   /// One usable window of the current phase, kept so the accumulators
   /// can be rebuilt when a confirmed phase boundary splits them.
   struct Rec {
-    std::uint64_t index = 0;  // stream window index
-    double s = 0.0;           // occupancy at window end
+    /// The builder's own push ordinal (== the phase detector's window
+    /// index), NOT the stream index: quarantined windows leave gaps in
+    /// stream indices, and phase boundaries are detector ordinals.
+    std::uint64_t ordinal = 0;
+    double s = 0.0;  // occupancy at window end
     double mpa = 0.0;
     double spi = 0.0;
     hpc::Counters delta;
     Seconds cpu = 0.0;
   };
 
-  void restart_phase(std::size_t boundary_index);
-  std::optional<core::ProcessProfile> fit();
+  void restart_phase(std::size_t boundary_ordinal);
+  std::optional<ProfileRevision> fit();
 
   std::string name_;
   ProfileBuilderOptions options_;
@@ -94,8 +118,10 @@ class ProfileBuilder {
   std::vector<Rec> recs_;  // usable windows of the current phase
   hpc::Counters totals_;   // over recs_
   Seconds cpu_total_ = 0.0;
-  // Incremental least squares for SPI = α·MPA + β over recs_.
+  // Incremental least squares for SPI = α·MPA + β over recs_; sum_yy_
+  // additionally funds the fit's residual (RevisionQuality::fit_rms).
   double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0;
+  double sum_yy_ = 0.0;
 
   std::uint64_t windows_ = 0;
   std::uint64_t since_emit_ = 0;

@@ -1,0 +1,111 @@
+// SampleSanitizer — the hardened pipeline's ingestion filter.
+//
+// The on-line pipeline (ISSUE 3) must survive the stream a real
+// monitoring daemon delivers: wrapped counters, duplicated or
+// out-of-order windows, multiplexing scale error, spike readings, and
+// zeroed blocks. SampleSanitizer sits in front of SampleStream and
+// gives every sim::Sample one of three verdicts:
+//
+//   repair      a negative counter delta that a 2^32/2^48 wrap explains
+//               is repaired exactly (delta + 2^B) — monotonicity repair;
+//   quarantine  windows that are implausible (non-finite values, MPA
+//               outside [0, 1], API > 1, counter rates beyond physical
+//               bounds, CPU time exceeding the window) or that a rolling
+//               median-absolute-deviation filter flags as spike outliers
+//               are withheld from the stream entirely;
+//   forward     everything else passes through bit-identical — a clean
+//               stream sees no change whatsoever (the parity guarantee
+//               pipeline_test locks in).
+//
+// The outlier filter is deliberately conservative: a genuine phase
+// change moves the per-window MPA/SPI by a few-fold and must pass, so a
+// window is only quarantined when it deviates from the rolling median
+// by BOTH a large robust z-score and a large ratio, and a run of
+// consecutive "outliers" is accepted as a level shift (escape hatch) so
+// the filter can never starve a new phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/sim/system.hpp"
+
+namespace repro::online {
+
+struct SampleSanitizerOptions {
+  /// Counter widths tried (ascending) when repairing a negative delta.
+  std::vector<int> wrap_bits = {32, 48};
+
+  // --- Plausibility bounds (violations quarantine the window). ---
+  /// Max L2 references per instruction (the paper's API is << 1).
+  double max_api = 1.0;
+  /// Max L1 references per instruction.
+  double max_l1_per_instruction = 8.0;
+  /// Any counter advancing faster than this is a broken reading.
+  double max_events_per_second = 1e12;
+  /// CPU time may exceed the window length by at most this factor
+  /// (scheduler accounting jitter).
+  double cpu_slack = 1.05;
+  /// Shared-cache associativity for the occupancy bound; 0 disables.
+  std::uint32_t ways = 0;
+
+  // --- Rolling robust outlier filter (per process, MPA and SPI). ---
+  /// Rolling history length per signal.
+  std::size_t outlier_window = 16;
+  /// No filtering until this much history exists.
+  std::size_t outlier_min_history = 8;
+  /// Robust z threshold: |x − median| > z · 1.4826 · MAD.
+  double outlier_z = 8.0;
+  /// ...and the deviation must also exceed ratio × median...
+  double outlier_ratio = 16.0;
+  /// ...and this absolute floor (in the signal's own units), so noise
+  /// around a near-zero median never flags.
+  double outlier_floor_mpa = 0.05;
+  /// After this many consecutive outlier verdicts the shift is accepted
+  /// as genuine and the history resets (phase-change escape hatch).
+  std::size_t outlier_escape = 6;
+};
+
+struct SanitizerStats {
+  std::uint64_t windows = 0;      // sanitize() calls
+  std::uint64_t forwarded = 0;    // clean or repaired pass-throughs
+  std::uint64_t repaired = 0;     // forwarded after a wrap repair
+  std::uint64_t quarantined = 0;  // withheld (sum of the three below)
+  std::uint64_t quarantined_order = 0;        // duplicate / out-of-order
+  std::uint64_t quarantined_implausible = 0;  // bound violations
+  std::uint64_t quarantined_outlier = 0;      // MAD filter
+};
+
+class SampleSanitizer {
+ public:
+  explicit SampleSanitizer(SampleSanitizerOptions options = {});
+
+  /// Inspect one window. Returns the window to forward — bit-identical
+  /// to the input unless a wrap was repaired — or false (and updates
+  /// stats) when it is quarantined. `out` is only written on success.
+  bool sanitize(const sim::Sample& sample, sim::Sample* out);
+
+  const SanitizerStats& stats() const { return stats_; }
+  const SampleSanitizerOptions& options() const { return options_; }
+
+ private:
+  /// Rolling per-process signal history for the MAD filter.
+  struct History {
+    std::vector<double> mpa;
+    std::vector<double> spi;
+    std::size_t consecutive_outliers = 0;
+  };
+
+  bool repair_wraps(sim::Sample& s, bool* repaired) const;
+  bool plausible(const sim::Sample& s) const;
+  bool outlier(const sim::Sample& s);
+
+  SampleSanitizerOptions options_;
+  SanitizerStats stats_;
+  double last_time_ = -1.0;
+  bool any_seen_ = false;
+  std::vector<History> history_;  // indexed by pid
+};
+
+}  // namespace repro::online

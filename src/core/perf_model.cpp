@@ -13,6 +13,9 @@ void FeatureVector::validate() const {
   // which of the co-scheduled processes is broken.
   const std::string who =
       name.empty() ? std::string("feature vector") : "process '" + name + "'";
+  REPRO_ENSURE(std::isfinite(api) && std::isfinite(alpha) &&
+                   std::isfinite(beta),
+               who + ": API/alpha/beta must be finite");
   REPRO_ENSURE(api > 0.0, who + ": API must be positive");
   REPRO_ENSURE(beta > 0.0, who + ": beta (zero-miss SPI) must be positive");
   REPRO_ENSURE(alpha > -beta, who + ": SPI law must stay positive on [0, 1]");
@@ -65,9 +68,18 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve(
   for (const FeatureVector& fv : processes) fv.validate();
   if (!options.fill.empty())
     REPRO_ENSURE(options.fill.size() == k, "one fill curve per process");
-  if (!options.warm_start.empty())
-    REPRO_ENSURE(options.warm_start.size() == k,
-                 "one warm-start seed per process");
+  std::span<const double> warm_start = options.warm_start;
+  if (!warm_start.empty()) {
+    REPRO_ENSURE(warm_start.size() == k, "one warm-start seed per process");
+    // A non-finite seed would poison the τ bracket / Newton start
+    // (clamp(NaN) is NaN); a warm start is only ever an optimization,
+    // so degrade to a cold solve instead of failing the query.
+    for (double s : warm_start)
+      if (!std::isfinite(s)) {
+        warm_start = {};
+        break;
+      }
+  }
   if (options.stats != nullptr) *options.stats = SolveStats{};
 
   if (k == 1) return {predict_at(processes[0], static_cast<double>(ways_))};
@@ -85,10 +97,10 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve(
   }
 
   return options.method == SolveOptions::Method::kNewton
-             ? solve_newton_impl(processes, cpu_share, fill,
-                                 options.warm_start, options.stats)
-             : solve_bisection(processes, cpu_share, fill,
-                               options.warm_start, options.stats);
+             ? solve_newton_impl(processes, cpu_share, fill, warm_start,
+                                 options.stats)
+             : solve_bisection(processes, cpu_share, fill, warm_start,
+                               options.stats);
 }
 
 std::vector<ProcessPrediction> EquilibriumSolver::solve_bisection(
@@ -224,8 +236,17 @@ std::vector<ProcessPrediction> EquilibriumSolver::solve_newton_impl(
   math::NewtonOptions opt;
   opt.f_tol = 1e-8;
   opt.max_iter = 200;
-  const math::NewtonResult res =
+  math::NewtonResult res =
       math::newton_raphson(residuals, start, project, opt);
+  if (!res.converged && !warm_start.empty()) {
+    // A warm start is only ever an optimization; a seed far from the
+    // fixed point (e.g. projected in from outside [0, A]) must not turn
+    // a solvable instance into a failure. Retry cold.
+    const int warm_iterations = res.iterations;
+    start.assign(k, a / static_cast<double>(k));
+    res = math::newton_raphson(residuals, start, project, opt);
+    res.iterations += warm_iterations;
+  }
   REPRO_ENSURE(res.converged, "Newton equilibrium failed to converge");
   if (stats != nullptr) stats->iterations = res.iterations;
 

@@ -107,10 +107,11 @@ ProcessProfile StressmarkProfiler::profile(
   profile.features.alpha = fit.slope;
   profile.features.beta = fit.intercept;
   // Measurement noise on a nearly-flat MPA curve can produce a
-  // (slightly) non-physical fit; fall back to the stand-alone
-  // operating point with the timing-model slope sign convention.
-  if (profile.features.beta <= 0.0 ||
-      profile.features.alpha <= -profile.features.beta) {
+  // (slightly) non-physical fit — SPI must not decrease with MPA; fall
+  // back to the stand-alone operating point with the timing-model
+  // slope sign convention. Keeping alpha >= 0 also matches what the
+  // store format accepts back on load.
+  if (profile.features.beta <= 0.0 || profile.features.alpha < 0.0) {
     profile.features.alpha = 0.0;
     profile.features.beta = profile.alone.spi;
   }

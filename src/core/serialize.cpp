@@ -77,23 +77,46 @@ ModelStore read_store(std::istream& is) {
   std::string line;
   std::optional<ProcessProfile> current;
   bool have_hist = false;
+  std::size_t lineno = 0;
 
+  // Every rejection names the offending line: a corrupted store (bit
+  // rot, truncated copy, hand edit) should point at itself, not fail
+  // later inside a fill-curve integral.
+  auto fail = [&](const std::string& why) -> void {
+    throw Error("store line " + std::to_string(lineno) + ": " + why);
+  };
+  auto require = [&](bool ok, const std::string& why) {
+    if (!ok) fail(why);
+  };
   auto require_open = [&](const std::string& key) {
-    REPRO_ENSURE(current.has_value(), "'" + key + "' outside a profile");
+    require(current.has_value(), "'" + key + "' outside a profile");
+  };
+  auto finite = [&](std::span<const double> values, const std::string& key) {
+    for (double v : values)
+      require(std::isfinite(v), key + " contains a non-finite value");
+  };
+  auto parse_list = [&](std::istringstream& ls, const std::string& key) {
+    try {
+      return parse_doubles(ls, key);
+    } catch (const Error& e) {
+      fail(e.what());
+      return std::vector<double>{};  // unreachable; fail() throws
+    }
   };
 
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string key;
     ls >> key;
 
     if (key == "profile") {
-      REPRO_ENSURE(!current, "nested profile record");
+      require(!current, "nested profile record");
       std::string version, name;
       ls >> version >> name;
-      REPRO_ENSURE(version == "v1" && !name.empty(),
-                   "bad profile header: " + line);
+      require(version == "v1" && !name.empty(),
+              "bad profile header: " + line);
       current.emplace();
       current->name = name;
       current->features.name = name;
@@ -101,21 +124,33 @@ ModelStore read_store(std::istream& is) {
     } else if (key == "revision") {
       require_open(key);
       std::uint64_t v = 0;
-      REPRO_ENSURE(static_cast<bool>(ls >> v), "bad value for revision");
+      require(static_cast<bool>(ls >> v), "bad value for revision");
       current->revision = v;
     } else if (key == "api" || key == "alpha" || key == "beta" ||
                key == "power_alone") {
       require_open(key);
       double v;
-      REPRO_ENSURE(static_cast<bool>(ls >> v), "bad value for " + key);
-      if (key == "api") current->features.api = v;
-      else if (key == "alpha") current->features.alpha = v;
-      else if (key == "beta") current->features.beta = v;
-      else current->power_alone = v;
+      require(static_cast<bool>(ls >> v), "bad value for " + key);
+      require(std::isfinite(v), key + " must be finite");
+      if (key == "api") {
+        require(v > 0.0, "api must be positive");
+        current->features.api = v;
+      } else if (key == "alpha") {
+        require(v >= 0.0, "alpha must be nonnegative");
+        current->features.alpha = v;
+      } else if (key == "beta") {
+        require(v > 0.0, "beta must be positive");
+        current->features.beta = v;
+      } else {
+        require(v >= 0.0, "power_alone must be nonnegative");
+        current->power_alone = v;
+      }
     } else if (key == "alone") {
       require_open(key);
-      const std::vector<double> v = parse_doubles(ls, "alone");
-      REPRO_ENSURE(v.size() == 6, "alone expects 6 values");
+      const std::vector<double> v = parse_list(ls, "alone");
+      require(v.size() == 6, "alone expects 6 values");
+      finite(v, "alone");
+      for (double x : v) require(x >= 0.0, "alone rates must be nonnegative");
       current->alone.l1rpi = v[0];
       current->alone.l2rpi = v[1];
       current->alone.brpi = v[2];
@@ -124,38 +159,56 @@ ModelStore read_store(std::istream& is) {
       current->alone.spi = v[5];
     } else if (key == "hist") {
       require_open(key);
-      std::vector<double> v = parse_doubles(ls, "hist");
-      REPRO_ENSURE(!v.empty(), "hist expects tail + pmf");
+      std::vector<double> v = parse_list(ls, "hist");
+      require(v.size() >= 2, "hist expects tail + at least one pmf bin");
+      finite(v, "hist");
+      for (double x : v)
+        require(x >= 0.0, "hist probabilities must be nonnegative");
       const double tail = v.front();
       v.erase(v.begin());
-      current->features.histogram = ReuseHistogram(std::move(v), tail);
+      try {
+        current->features.histogram = ReuseHistogram(std::move(v), tail);
+      } catch (const Error& e) {
+        fail(std::string("bad histogram: ") + e.what());
+      }
       have_hist = true;
     } else if (key == "mpa_curve") {
       require_open(key);
-      current->mpa_at_ways = parse_doubles(ls, "mpa_curve");
+      current->mpa_at_ways = parse_list(ls, "mpa_curve");
+      finite(current->mpa_at_ways, "mpa_curve");
+      for (double x : current->mpa_at_ways)
+        require(x >= 0.0 && x <= 1.0, "mpa_curve values must be in [0, 1]");
     } else if (key == "spi_curve") {
       require_open(key);
-      current->spi_at_ways = parse_doubles(ls, "spi_curve");
+      current->spi_at_ways = parse_list(ls, "spi_curve");
+      finite(current->spi_at_ways, "spi_curve");
+      for (double x : current->spi_at_ways)
+        require(x > 0.0, "spi_curve values must be positive");
     } else if (key == "end") {
       require_open(key);
-      REPRO_ENSURE(have_hist, "profile missing histogram: " + current->name);
-      current->features.validate();
+      require(have_hist, "profile missing histogram: " + current->name);
+      try {
+        current->features.validate();
+      } catch (const Error& e) {
+        fail(e.what());
+      }
       store.profiles.push_back(std::move(*current));
       current.reset();
     } else if (key == "power_model") {
       std::string version;
       ls >> version;
-      REPRO_ENSURE(version == "v1", "bad power_model header: " + line);
-      const std::vector<double> v = parse_doubles(ls, "power_model");
-      REPRO_ENSURE(v.size() == 7, "power_model expects cores idle c1..c5");
+      require(version == "v1", "bad power_model header: " + line);
+      const std::vector<double> v = parse_list(ls, "power_model");
+      require(v.size() == 7, "power_model expects cores idle c1..c5");
+      finite(v, "power_model");
       const auto cores = static_cast<std::uint32_t>(v[0]);
-      REPRO_ENSURE(static_cast<double>(cores) == v[0] && cores > 0,
-                   "bad core count");
+      require(static_cast<double>(cores) == v[0] && cores > 0,
+              "bad core count");
       std::array<double, 5> c{};
       for (int j = 0; j < 5; ++j) c[j] = v[2 + j];
       store.power_model.emplace(v[1], c, cores);
     } else {
-      REPRO_ENSURE(false, "unknown record key: " + key);
+      fail("unknown record key: " + key);
     }
   }
   REPRO_ENSURE(!current, "unterminated profile record");

@@ -76,6 +76,19 @@ void ModelEngine::update_process(ProcessHandle handle,
   cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool ModelEngine::try_update_process(ProcessHandle handle,
+                                     core::ProcessProfile profile) {
+  // update_process validates before taking the registry lock or
+  // mutating anything, so a throw here leaves the registry, the name
+  // index, and every memoized artifact exactly as they were.
+  try {
+    update_process(handle, std::move(profile));
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
 std::optional<ProcessHandle> ModelEngine::find(const std::string& name) const {
   std::shared_lock lock(registry_mutex_);
   const auto it = by_name_.find(name);

@@ -8,10 +8,14 @@ namespace repro::online {
 
 OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
                                OnlinePipelineOptions options)
-    : engine_(engine), options_(options) {
+    : engine_(engine), options_(std::move(options)) {
   if (options_.builder.ways == 0) options_.builder.ways = engine_.ways();
   REPRO_ENSURE(options_.builder.ways == engine_.ways(),
                "builder grid must match the engine's cache ways");
+  if (options_.harden) {
+    if (options_.sanitizer.ways == 0) options_.sanitizer.ways = engine_.ways();
+    sanitizer_.emplace(options_.sanitizer);
+  }
 }
 
 void OnlinePipeline::monitor(ProcessId pid,
@@ -59,7 +63,12 @@ void OnlinePipeline::set_query(engine::CoScheduleQuery query) {
 }
 
 void OnlinePipeline::push(const sim::Sample& sample) {
-  stream_.push(sample);
+  if (!sanitizer_.has_value()) {
+    stream_.push(sample);
+    return;
+  }
+  sim::Sample clean;
+  if (sanitizer_->sanitize(sample, &clean)) stream_.push(clean);
 }
 
 void OnlinePipeline::finish() {
@@ -90,13 +99,40 @@ std::vector<double> OnlinePipeline::warm_seeds() const {
   return seeds;
 }
 
-void OnlinePipeline::apply_revision(Monitored& m,
-                                    core::ProcessProfile profile,
+void OnlinePipeline::apply_revision(Monitored& m, ProfileRevision revision,
                                     Seconds time) {
+  // Degradation gate 1: a revision whose Eq. 3 fit barely explains its
+  // own windows (mixed phases, residual corruption) must not replace a
+  // working profile. Skipped while the process has no profile at all —
+  // any model beats none for cold start.
+  if (options_.harden && m.handle.has_value() && options_.max_fit_rms > 0.0 &&
+      !(revision.quality.fit_rms <= options_.max_fit_rms)) {
+    ++revisions_rejected_;
+    return;
+  }
+
+  // Degradation gate 2: validation. update_process/register_process
+  // validate before touching the registry, so a refusal here leaves the
+  // engine's registry and memoized artifacts exactly as they were.
   if (m.handle.has_value()) {
-    engine_.update_process(*m.handle, std::move(profile));
+    if (options_.harden) {
+      if (!engine_.try_update_process(*m.handle,
+                                      std::move(revision.profile))) {
+        ++revisions_rejected_;
+        return;
+      }
+    } else {
+      engine_.update_process(*m.handle, std::move(revision.profile));
+    }
+  } else if (options_.harden) {
+    try {
+      m.handle = engine_.register_process(std::move(revision.profile));
+    } catch (const Error&) {
+      ++revisions_rejected_;
+      return;
+    }
   } else {
-    m.handle = engine_.register_process(std::move(profile));
+    m.handle = engine_.register_process(std::move(revision.profile));
   }
   ++revisions_;
 
@@ -104,6 +140,7 @@ void OnlinePipeline::apply_revision(Monitored& m,
   event.time = time;
   event.handle = *m.handle;
   event.revision = engine_.profile(*m.handle).revision;
+  event.quality = revision.quality;
 
   if (query_.has_value()) {
     bool all_registered = true;
@@ -112,27 +149,68 @@ void OnlinePipeline::apply_revision(Monitored& m,
     if (all_registered) {
       engine::CoScheduleQuery q = *query_;
       q.warm_start = warm_seeds();
-      engine::SystemPrediction prediction = engine_.predict(q);
-      ++resolves_;
-      solver_iterations_ +=
-          static_cast<std::uint64_t>(prediction.solver_iterations);
-      event.resolved = true;
-      event.solver_iterations = prediction.solver_iterations;
-      event.prediction = prediction;
-      latest_ = std::move(prediction);
+      try {
+        engine::SystemPrediction prediction = engine_.predict(q);
+        ++resolves_;
+        solver_iterations_ +=
+            static_cast<std::uint64_t>(prediction.solver_iterations);
+        event.resolved = true;
+        event.solver_iterations = prediction.solver_iterations;
+        event.prediction = prediction;
+        latest_ = std::move(prediction);
+      } catch (const Error&) {
+        // Degradation gate 3: a failed re-solve (Newton AND its
+        // bisection fallback) must not escape sink(). Re-price from
+        // the last-good equilibrium when there is one.
+        if (!options_.harden) throw;
+        ++degraded_resolves_;
+        event.degraded = true;
+        if (latest_.has_value()) {
+          engine::SystemPrediction carried = *latest_;
+          carried.degraded = true;
+          carried.solver_iterations = 0;
+          event.resolved = true;
+          event.prediction = carried;
+          latest_ = std::move(carried);
+        }
+      }
     }
   }
+  record_event(std::move(event));
+}
+
+void OnlinePipeline::record_event(RevisionEvent event) {
   history_.push_back(std::move(event));
+  if (options_.history_capacity > 0 &&
+      history_.size() > options_.history_capacity) {
+    history_.pop_front();
+    ++history_evicted_;
+  }
 }
 
 OnlinePipeline::Stats OnlinePipeline::stats() const {
   Stats s;
-  s.windows = stream_.windows();
+  const SanitizerStats sani = sanitizer_stats();
+  // `windows` counts raw ingested windows whether or not they survived
+  // sanitization, so it stays monotonic and comparable across modes.
+  s.windows = sanitizer_.has_value() ? sani.windows : stream_.windows();
   s.revisions = revisions_;
   s.resolves = resolves_;
   s.solver_iterations = solver_iterations_;
   for (const auto& m : monitored_) s.phase_changes += m->builder->phase_changes();
+  s.health.windows_seen = s.windows;
+  s.health.windows_forwarded =
+      sanitizer_.has_value() ? sani.forwarded : stream_.windows();
+  s.health.windows_repaired = sani.repaired;
+  s.health.windows_quarantined = sani.quarantined;
+  s.health.revisions_rejected = revisions_rejected_;
+  s.health.degraded_resolves = degraded_resolves_;
+  s.health.history_evicted = history_evicted_;
   return s;
+}
+
+SanitizerStats OnlinePipeline::sanitizer_stats() const {
+  return sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
 }
 
 }  // namespace repro::online

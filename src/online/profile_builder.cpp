@@ -1,6 +1,7 @@
 #include "repro/online/profile_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "repro/common/ensure.hpp"
@@ -21,17 +22,19 @@ void ProfileBuilder::set_baseline(const core::ProcessProfile& baseline) {
   base_revision_ = baseline.revision;
 }
 
-void ProfileBuilder::restart_phase(std::size_t boundary_index) {
+void ProfileBuilder::restart_phase(std::size_t boundary_ordinal) {
   // Windows at or past the boundary belong to the new phase: they were
   // the candidate that just got confirmed. Rebuild the accumulators
-  // from them.
+  // from them. The comparison is in detector ordinals (Rec::ordinal),
+  // which stay dense even when upstream quarantine leaves gaps in the
+  // stream indices — a dropped window must not shift the boundary.
   std::vector<Rec> kept;
   for (Rec& r : recs_)
-    if (r.index >= boundary_index) kept.push_back(std::move(r));
+    if (r.ordinal >= boundary_ordinal) kept.push_back(std::move(r));
   recs_ = std::move(kept);
   totals_ = hpc::Counters{};
   cpu_total_ = 0.0;
-  sum_x_ = sum_y_ = sum_xx_ = sum_xy_ = 0.0;
+  sum_x_ = sum_y_ = sum_xx_ = sum_xy_ = sum_yy_ = 0.0;
   for (const Rec& r : recs_) {
     totals_ += r.delta;
     cpu_total_ += r.cpu;
@@ -39,11 +42,12 @@ void ProfileBuilder::restart_phase(std::size_t boundary_index) {
     sum_y_ += r.spi;
     sum_xx_ += r.mpa * r.mpa;
     sum_xy_ += r.mpa * r.spi;
+    sum_yy_ += r.spi * r.spi;
   }
   since_emit_ = 0;
 }
 
-std::optional<core::ProcessProfile> ProfileBuilder::push(
+std::optional<ProfileRevision> ProfileBuilder::push(
     const WindowObservation& obs) {
   ++windows_;
   ++since_emit_;
@@ -56,7 +60,7 @@ std::optional<core::ProcessProfile> ProfileBuilder::push(
                       obs.delta.l2_refs > 0.0 && obs.cpu_time > 0.0;
   if (usable) {
     Rec r;
-    r.index = obs.index;
+    r.ordinal = windows_ - 1;  // == the detector index of this window
     r.s = std::clamp(static_cast<double>(obs.occupancy), 0.0,
                      static_cast<double>(options_.ways));
     r.mpa = obs.mpa();
@@ -70,6 +74,7 @@ std::optional<core::ProcessProfile> ProfileBuilder::push(
     sum_y_ += r.spi;
     sum_xx_ += r.mpa * r.mpa;
     sum_xy_ += r.mpa * r.spi;
+    sum_yy_ += r.spi * r.spi;
   }
 
   if (ended.has_value()) {
@@ -81,11 +86,11 @@ std::optional<core::ProcessProfile> ProfileBuilder::push(
   return std::nullopt;
 }
 
-std::optional<core::ProcessProfile> ProfileBuilder::finish() {
+std::optional<ProfileRevision> ProfileBuilder::finish() {
   return fit();
 }
 
-std::optional<core::ProcessProfile> ProfileBuilder::fit() {
+std::optional<ProfileRevision> ProfileBuilder::fit() {
   if (recs_.size() < options_.min_fit_windows) return std::nullopt;
   if (totals_.instructions <= 0.0 || totals_.l2_refs <= 0.0 ||
       cpu_total_ <= 0.0)
@@ -119,7 +124,10 @@ std::optional<core::ProcessProfile> ProfileBuilder::fit() {
     alpha = (sum_xy_ - sum_x_ * sum_y_ / n) / var;
     beta = (sum_y_ - alpha * sum_x_) / n;
   }
-  if (beta <= 0.0 || alpha <= -beta) {
+  // SPI must not decrease with MPA (and the store format rejects
+  // negative alpha on load); a noise-driven negative slope falls back
+  // to the phase-mean SPI, exactly like the batch profiler's guard.
+  if (beta <= 0.0 || alpha < 0.0) {
     alpha = 0.0;
     beta = sum_y_ / n;
   }
@@ -138,7 +146,20 @@ std::optional<core::ProcessProfile> ProfileBuilder::fit() {
 
   p.revision = base_revision_ + ++revisions_;
   since_emit_ = 0;
-  return p;
+
+  ProfileRevision rev;
+  rev.profile = std::move(p);
+  rev.quality.windows = recs_.size();
+  // Residual of the line actually emitted (incl. the fallback): SSE =
+  // Σ(y − αx − β)² expanded in the running sums, relative to mean SPI.
+  const double sse = sum_yy_ - 2.0 * alpha * sum_xy_ - 2.0 * beta * sum_y_ +
+                     alpha * alpha * sum_xx_ + 2.0 * alpha * beta * sum_x_ +
+                     n * beta * beta;
+  const double mean_spi = sum_y_ / n;
+  rev.quality.fit_rms = std::sqrt(std::max(sse, 0.0) / n) / mean_spi;
+  rev.quality.histogram_mass =
+      1.0 - rev.profile.features.histogram.tail_mass();
+  return rev;
 }
 
 }  // namespace repro::online

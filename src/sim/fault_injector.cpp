@@ -1,0 +1,162 @@
+#include "repro/sim/fault_injector.hpp"
+
+#include <array>
+#include <cmath>
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::sim {
+
+namespace {
+
+/// The counter block's fields, addressable for random corruption.
+constexpr std::array<double hpc::Counters::*, 7> kCounterFields = {
+    &hpc::Counters::instructions, &hpc::Counters::cycles,
+    &hpc::Counters::l1_refs,      &hpc::Counters::l2_refs,
+    &hpc::Counters::l2_misses,    &hpc::Counters::branches,
+    &hpc::Counters::fp_ops,
+};
+
+}  // namespace
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kDrop: return "drop";
+    case FaultClass::kDuplicate: return "dup";
+    case FaultClass::kReorder: return "reorder";
+    case FaultClass::kWrap: return "wrap";
+    case FaultClass::kScaleNoise: return "scale";
+    case FaultClass::kSpike: return "spike";
+    case FaultClass::kZero: return "zero";
+  }
+  return "?";
+}
+
+std::optional<FaultClass> parse_fault_class(const std::string& name) {
+  for (FaultClass c : {FaultClass::kDrop, FaultClass::kDuplicate,
+                       FaultClass::kReorder, FaultClass::kWrap,
+                       FaultClass::kScaleNoise, FaultClass::kSpike,
+                       FaultClass::kZero})
+    if (name == fault_class_name(c)) return c;
+  return std::nullopt;
+}
+
+double& FaultInjectorOptions::rate_of(FaultClass c) {
+  switch (c) {
+    case FaultClass::kDrop: return drop;
+    case FaultClass::kDuplicate: return duplicate;
+    case FaultClass::kReorder: return reorder;
+    case FaultClass::kWrap: return wrap;
+    case FaultClass::kScaleNoise: return scale_noise;
+    case FaultClass::kSpike: return spike;
+    case FaultClass::kZero: return zero;
+  }
+  return drop;
+}
+
+FaultInjector::FaultInjector(System::SampleCallback downstream,
+                             FaultInjectorOptions options)
+    : downstream_(std::move(downstream)),
+      options_(options),
+      rng_(options.seed) {
+  REPRO_ENSURE(downstream_ != nullptr, "fault injector needs a downstream");
+  REPRO_ENSURE(options_.wrap_bits == 32 || options_.wrap_bits == 48,
+               "wrap_bits must be 32 or 48");
+  REPRO_ENSURE(options_.scale_lo > 0.0 &&
+                   options_.scale_hi >= options_.scale_lo,
+               "bad scale-noise range");
+  REPRO_ENSURE(options_.spike_factor > 1.0, "spike factor must exceed 1");
+}
+
+void FaultInjector::deliver(const Sample& s) {
+  ++stats_.windows_delivered;
+  downstream_(s);
+}
+
+void FaultInjector::corrupt_wrap(Sample& s) {
+  if (s.process_delta.empty()) return;
+  const std::size_t pid = rng_.uniform_index(s.process_delta.size());
+  const std::size_t field = rng_.uniform_index(kCounterFields.size());
+  // A monitor differencing a wrapped 2^B cumulative counter reads
+  // delta − 2^B: a hugely negative delta whose exact repair is +2^B.
+  s.process_delta[pid].*kCounterFields[field] -=
+      std::ldexp(1.0, options_.wrap_bits);
+  ++stats_.wrapped;
+}
+
+void FaultInjector::corrupt_scale(Sample& s) {
+  if (s.process_delta.empty()) return;
+  const std::size_t pid = rng_.uniform_index(s.process_delta.size());
+  // Multiplexed counters are extrapolated from fractional coverage;
+  // each event group gets its own (wrong) scale factor.
+  for (auto field : kCounterFields)
+    s.process_delta[pid].*field *=
+        rng_.uniform(options_.scale_lo, options_.scale_hi);
+  ++stats_.scaled;
+}
+
+void FaultInjector::corrupt_spike(Sample& s) {
+  if (s.process_delta.empty()) return;
+  const std::size_t pid = rng_.uniform_index(s.process_delta.size());
+  const std::size_t field = rng_.uniform_index(kCounterFields.size());
+  s.process_delta[pid].*kCounterFields[field] *= options_.spike_factor;
+  ++stats_.spiked;
+}
+
+void FaultInjector::corrupt_zero(Sample& s) {
+  if (s.process_delta.empty()) return;
+  // The counter file read back zeros while the process was scheduled:
+  // the block is cleared but the CPU-time accounting is intact.
+  const std::size_t pid = rng_.uniform_index(s.process_delta.size());
+  s.process_delta[pid] = hpc::Counters{};
+  ++stats_.zeroed;
+}
+
+void FaultInjector::push(const Sample& sample) {
+  ++stats_.windows_seen;
+
+  // Draw every class in a fixed order so the fault pattern depends only
+  // on (seed, window ordinal), not on which faults happened to fire.
+  const bool do_drop = rng_.bernoulli(options_.drop);
+  const bool do_dup = rng_.bernoulli(options_.duplicate);
+  const bool do_reorder = rng_.bernoulli(options_.reorder);
+  const bool do_wrap = rng_.bernoulli(options_.wrap);
+  const bool do_scale = rng_.bernoulli(options_.scale_noise);
+  const bool do_spike = rng_.bernoulli(options_.spike);
+  const bool do_zero = rng_.bernoulli(options_.zero);
+
+  Sample s = sample;
+  if (do_wrap) corrupt_wrap(s);
+  if (do_scale) corrupt_scale(s);
+  if (do_spike) corrupt_spike(s);
+  if (do_zero) corrupt_zero(s);
+
+  if (do_drop) {
+    ++stats_.dropped;
+  } else if (do_reorder && !held_.has_value()) {
+    // Hold this window; it is released right after its successor, so
+    // the downstream sees the two swapped.
+    held_ = std::move(s);
+    ++stats_.reordered;
+    return;
+  } else {
+    deliver(s);
+    if (do_dup) {
+      deliver(s);
+      ++stats_.duplicated;
+    }
+  }
+  if (held_.has_value()) {
+    deliver(*held_);
+    held_.reset();
+  }
+}
+
+void FaultInjector::flush() {
+  if (!held_.has_value()) return;
+  deliver(*held_);
+  held_.reset();
+}
+
+}  // namespace repro::sim

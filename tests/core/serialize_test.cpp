@@ -160,5 +160,107 @@ TEST(Serialize, RejectsWhitespaceInProfileName) {
   EXPECT_THROW(write_profile(ss, p), Error);
 }
 
+// --- Corrupt-file corpus (ISSUE 3): every corruption class a store can
+// plausibly suffer must be rejected with a line-numbered message, never
+// loaded into the engine to fail later inside a fill-curve integral. ---
+
+/// A known-good store text with fixed line numbers (1-based).
+std::string valid_store_text() {
+  return
+      "profile v1 x\n"                                // 1
+      "api 0.012\n"                                   // 2
+      "alpha 1.1e-09\n"                               // 3
+      "beta 4.7e-10\n"                                // 4
+      "power_alone 31.25\n"                           // 5
+      "alone 0.32 0.012 0.12 0.10 0.17 5e-10\n"       // 6
+      "hist 0.15 0.5 0.25 0.1\n"                      // 7
+      "mpa_curve 0.6 0.4 0.25 0.15\n"                 // 8
+      "spi_curve 1.1e-09 9e-10 7.4e-10 6.3e-10\n"     // 9
+      "end\n";                                        // 10
+}
+
+/// The valid text with line `lineno` (1-based) replaced.
+std::string corrupt(std::size_t lineno, const std::string& replacement) {
+  std::istringstream in(valid_store_text());
+  std::ostringstream out;
+  std::string line;
+  for (std::size_t n = 1; std::getline(in, line); ++n)
+    out << (n == lineno ? replacement : line) << '\n';
+  return out.str();
+}
+
+TEST(Serialize, CorpusBaselineParses) {
+  std::istringstream ss(valid_store_text());
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), 1u);
+  // ...and what it parsed round-trips.
+  std::stringstream again;
+  write_profile(again, store.profiles[0]);
+  EXPECT_EQ(read_store(again).profiles.size(), 1u);
+}
+
+TEST(Serialize, CorruptStoreCorpusIsRejectedWithLineNumbers) {
+  struct Case {
+    const char* label;
+    std::size_t lineno;
+    const char* replacement;
+  };
+  const Case corpus[] = {
+      {"non-numeric api", 2, "api oops"},
+      {"negative api", 2, "api -0.5"},
+      {"infinite api", 2, "api inf"},
+      {"negative alpha", 3, "alpha -1e-9"},
+      {"zero beta", 4, "beta 0"},
+      {"NaN beta", 4, "beta nan"},
+      {"negative power", 5, "power_alone -2"},
+      {"truncated alone", 6, "alone 0.32 0.012 0.12"},
+      {"negative alone rate", 6, "alone 0.32 -0.012 0.12 0.10 0.17 5e-10"},
+      {"trailing garbage", 6, "alone 0.32 0.012 0.12 0.10 0.17 5e-10 huh"},
+      {"empty histogram", 7, "hist 0.15"},
+      {"negative hist bin", 7, "hist 0.15 -0.5 0.25 0.1"},
+      {"hist mass not 1", 7, "hist 0.15 0.5"},
+      {"MPA above 1", 8, "mpa_curve 0.6 1.4 0.25 0.15"},
+      {"negative MPA", 8, "mpa_curve 0.6 -0.4 0.25 0.15"},
+      {"non-positive SPI", 9, "spi_curve 0 9e-10 7.4e-10 6.3e-10"},
+      {"unknown key", 9, "spl_curve 1.1e-09 9e-10 7.4e-10 6.3e-10"},
+      {"missing api at end", 2, "# api line lost"},  // reported at 'end'
+  };
+  for (const Case& c : corpus) {
+    std::istringstream ss(corrupt(c.lineno, c.replacement));
+    try {
+      read_store(ss);
+      FAIL() << c.label << " was accepted";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      // The commented-out-api case fails where validate() runs: line 10.
+      const std::size_t expect_line =
+          std::string(c.label) == "missing api at end" ? 10 : c.lineno;
+      const std::string tag =
+          "store line " + std::to_string(expect_line) + ":";
+      EXPECT_NE(what.find(tag), std::string::npos)
+          << c.label << ": message lacks '" << tag << "': " << what;
+    }
+  }
+}
+
+TEST(Serialize, CorruptPowerModelIsRejectedWithLineNumbers) {
+  for (const char* bad :
+       {"power_model v1 4 45.0 1 2 3",        // too few coefficients
+        "power_model v2 4 45.0 1 2 3 4 5",    // bad version
+        "power_model v1 4 inf 1 2 3 4 5",     // non-finite idle
+        "power_model v1 4.5 45.0 1 2 3 4 5",  // fractional core count
+        "power_model v1 4 45.0 1 2 x 4 5"}) { // non-numeric coefficient
+    std::istringstream ss(valid_store_text() + bad + "\n");
+    try {
+      read_store(ss);
+      FAIL() << "accepted: " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("store line 11:"),
+                std::string::npos)
+          << bad << " → " << e.what();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace repro::core

@@ -1,0 +1,183 @@
+// Degenerate-input behaviour of EquilibriumSolver (ISSUE 3): the
+// hardened pipeline feeds the solver profiles refit from noisy streams,
+// so ill-posed instances must be *reported* — a repro::Error with a
+// usable message — never a hang, a crash, or silently wrong sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/core/perf_model.hpp"
+
+namespace repro::core {
+namespace {
+
+FeatureVector make_fv(std::string name, ReuseHistogram hist, double api,
+                      double alpha, double beta) {
+  FeatureVector fv;
+  fv.name = std::move(name);
+  fv.histogram = std::move(hist);
+  fv.api = api;
+  fv.alpha = alpha;
+  fv.beta = beta;
+  return fv;
+}
+
+FeatureVector normal_process() {
+  return make_fv("normal", ReuseHistogram({0.6, 0.25, 0.1}, 0.05), 0.01,
+                 2.0e-9, 5.0e-10);
+}
+
+/// All reuse at distance 1: MPA(S) is flat (~0) for every S >= 1 —
+/// exactly the shape that stalls an undamped Newton iteration.
+FeatureVector flat_process(const std::string& name) {
+  return make_fv(name, ReuseHistogram({1.0}, 0.0), 0.01, 2.0e-9, 5.0e-10);
+}
+
+/// Deep reuse, high API: well-conditioned for both solver methods.
+FeatureVector heavy_process() {
+  return make_fv("heavy",
+                 ReuseHistogram(std::vector<double>(12, 0.07), 0.16), 0.05,
+                 4.0e-9, 6.0e-10);
+}
+
+TEST(SolverDegenerate, ZeroApiIsRejectedUpFrontWithTheProcessName) {
+  const EquilibriumSolver solver(16);
+  FeatureVector bad = normal_process();
+  bad.api = 0.0;
+  try {
+    solver.solve({normal_process(), bad});
+    FAIL() << "zero API must not reach the solver core";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("normal"), std::string::npos)
+        << "the error must name the offending process";
+  }
+}
+
+TEST(SolverDegenerate, NonFiniteFeaturesAreRejectedUpFront) {
+  const EquilibriumSolver solver(16);
+  for (double poison : {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity()}) {
+    FeatureVector bad = normal_process();
+    bad.alpha = poison;
+    EXPECT_THROW(solver.solve({normal_process(), bad}), Error);
+    bad = normal_process();
+    bad.beta = poison;
+    EXPECT_THROW(solver.solve({normal_process(), bad}), Error);
+    bad = normal_process();
+    bad.api = poison;
+    EXPECT_THROW(solver.solve({normal_process(), bad}), Error);
+  }
+}
+
+TEST(SolverDegenerate, TooManyProcessesForTheAssociativityIsReported) {
+  // 3 processes x min_ways 0.9 cannot fit in a 2-way cache: Eq. 1 has
+  // no feasible point. The solver must say so, not spin.
+  EquilibriumOptions opts;
+  opts.min_ways = 0.9;
+  const EquilibriumSolver solver(2, opts);
+  const std::vector<FeatureVector> crowd = {
+      normal_process(), normal_process(), normal_process()};
+  EXPECT_THROW(solver.solve(crowd), Error);
+}
+
+TEST(SolverDegenerate, FlatMpaCurvesConvergeOrReportNotHang) {
+  // Flat MPA makes Eq. 7's Jacobian nearly singular. Bisection is
+  // globally robust and must converge; Newton may legitimately fail,
+  // but only by *throwing* — and when it does converge it must agree.
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> flats = {flat_process("a"),
+                                            flat_process("b")};
+  const auto bis = solver.solve(flats);
+  ASSERT_EQ(bis.size(), 2u);
+  EXPECT_NEAR(bis[0].effective_size + bis[1].effective_size, 16.0, 1e-6);
+  EXPECT_NEAR(bis[0].effective_size, 8.0, 1e-3) << "identical flats split";
+
+  SolveOptions newton;
+  newton.method = SolveOptions::Method::kNewton;
+  try {
+    const auto nwt = solver.solve(flats, newton);
+    EXPECT_NEAR(nwt[0].effective_size + nwt[1].effective_size, 16.0, 1e-4);
+  } catch (const Error&) {
+    // Non-convergence reported, not swallowed: acceptable for Newton
+    // on a singular instance.
+  }
+}
+
+TEST(SolverDegenerate, ConstantSpiFallbackProfilesSolve) {
+  // The on-line builder's degenerate-phase fallback emits alpha = 0
+  // (SPI independent of MPA). That is a legal feature vector and the
+  // equilibrium is still well-posed.
+  const EquilibriumSolver solver(16);
+  FeatureVector constant = normal_process();
+  constant.alpha = 0.0;
+  const auto pred = solver.solve({constant, normal_process()});
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_NEAR(pred[0].effective_size + pred[1].effective_size, 16.0, 1e-6);
+  EXPECT_DOUBLE_EQ(pred[0].spi, constant.beta);
+}
+
+TEST(SolverDegenerate, WarmSeedsOutsideTheFeasibleRangeAreClamped) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs = {normal_process(),
+                                            heavy_process()};
+  const auto cold = solver.solve(procs);
+
+  for (auto method : {SolveOptions::Method::kBisection,
+                      SolveOptions::Method::kNewton}) {
+    const std::vector<double> wild = {-5.0, 1.0e3};  // far outside [0, A]
+    SolveOptions opts;
+    opts.method = method;
+    opts.warm_start = wild;
+    const auto warm = solver.solve(procs, opts);
+    ASSERT_EQ(warm.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(warm[i].effective_size, cold[i].effective_size, 2e-2);
+      EXPECT_NEAR(warm[i].spi, cold[i].spi, 1e-3 * cold[i].spi);
+    }
+  }
+}
+
+TEST(SolverDegenerate, NonFiniteWarmSeedsDegradeToAColdSolve) {
+  // clamp(NaN) is NaN: a poisoned seed must not reach the bracketing /
+  // Newton start. The solver falls back to a cold solve — bit-identical
+  // to passing no warm start at all.
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs = {normal_process(),
+                                            heavy_process()};
+  for (double poison : {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity()}) {
+    for (auto method : {SolveOptions::Method::kBisection,
+                        SolveOptions::Method::kNewton}) {
+      SolveOptions cold_opts;
+      cold_opts.method = method;
+      const auto cold = solver.solve(procs, cold_opts);
+
+      const std::vector<double> seeds = {poison, 8.0};
+      SolveOptions warm_opts;
+      warm_opts.method = method;
+      warm_opts.warm_start = seeds;
+      const auto warm = solver.solve(procs, warm_opts);
+      ASSERT_EQ(warm.size(), cold.size());
+      for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_DOUBLE_EQ(warm[i].effective_size, cold[i].effective_size);
+        EXPECT_DOUBLE_EQ(warm[i].spi, cold[i].spi);
+      }
+    }
+  }
+}
+
+TEST(SolverDegenerate, MismatchedWarmSeedCountIsReported) {
+  const EquilibriumSolver solver(16);
+  const std::vector<FeatureVector> procs = {normal_process(),
+                                            heavy_process()};
+  const std::vector<double> one_seed = {8.0};
+  SolveOptions opts;
+  opts.warm_start = one_seed;
+  EXPECT_THROW(solver.solve(procs, opts), Error);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "repro/core/profiler.hpp"
 #include "repro/engine/model_engine.hpp"
@@ -22,6 +26,48 @@ OnlinePipelineOptions fast_options() {
   o.builder.refit_interval = 4;
   o.builder.min_fit_windows = 3;
   return o;
+}
+
+/// A synthetic but fully valid profile, registered so a query can be
+/// posed without running the stressmark profiler.
+core::ProcessProfile handmade_profile(const std::string& name,
+                                      std::uint32_t ways) {
+  core::ProcessProfile p;
+  p.name = name;
+  p.features.name = name;
+  p.features.histogram = core::ReuseHistogram({0.5, 0.25, 0.1}, 0.15);
+  p.features.api = 0.02;
+  p.features.alpha = 4.0e-9;
+  p.features.beta = 1.0e-9;
+  p.power_alone = 30.0;
+  p.alone.l2rpi = 0.02;
+  p.alone.spi = 2.0e-9;
+  for (std::uint32_t s = 1; s <= ways; ++s) {
+    const double mpa = 0.5 - 0.05 * s;
+    p.mpa_at_ways.push_back(mpa);
+    p.spi_at_ways.push_back(p.features.alpha * mpa + p.features.beta);
+  }
+  return p;
+}
+
+/// A single-process sample window for feeding a pipeline directly.
+sim::Sample synth_sample(double t, double occ, double mpa, double spi) {
+  sim::Sample s;
+  s.time = t;
+  s.duration = 0.03;
+  s.core_rates.resize(2);
+  s.occupancy.assign(1, occ);
+  s.process_delta.resize(1);
+  hpc::Counters& d = s.process_delta[0];
+  d.instructions = 1.0e6;
+  d.cycles = 2.0e6;
+  d.l1_refs = 3.0e5;
+  d.l2_refs = 0.02 * d.instructions;
+  d.l2_misses = mpa * d.l2_refs;
+  d.branches = 1.0e5;
+  d.fp_ops = 5.0e4;
+  s.process_cpu.assign(1, spi * d.instructions);
+  return s;
 }
 
 TEST(OnlinePipeline, ColdStartRegistersOnTheFirstRevision) {
@@ -129,6 +175,219 @@ TEST(OnlinePipeline, RevisionsReSolveTheActiveQueryWarmStarted) {
     iters += static_cast<std::uint64_t>(history[i].solver_iterations);
   }
   EXPECT_EQ(stats.solver_iterations, iters);
+}
+
+TEST(OnlinePipeline, CleanStreamParityWithAndWithoutHardening) {
+  // The acceptance bar for the sanitizer: on a clean stream the
+  // hardened pipeline is bit-identical to the pre-hardening path —
+  // same revisions, same predictions, down to the last bit.
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+
+  // One real simulator run, recorded, replayed into both pipelines.
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, power::oracle_for_two_core_workstation(),
+                     /*seed=*/42);
+  const workload::WorkloadSpec spec = workload::find_spec("gzip");
+  const ProcessId pid = system.add_process(
+      "gzip", 0, spec.mix,
+      workload::make_generator("gzip", machine.l2.sets));
+  const workload::WorkloadSpec rival_spec =
+      workload::make_stressmark_spec(ways / 2);
+  system.add_process("rival", 1, rival_spec.mix,
+                     workload::make_stressmark(ways / 2, machine.l2.sets));
+  std::vector<sim::Sample> samples;
+  system.run(0.5, [&](const sim::Sample& s) { samples.push_back(s); });
+  ASSERT_GE(samples.size(), 10u);
+
+  auto run_pipeline = [&](bool harden) {
+    auto eng = std::make_unique<engine::ModelEngine>(machine);
+    const engine::ProcessHandle target_h =
+        eng->register_process(handmade_profile("gzip", ways));
+    const engine::ProcessHandle rival_h =
+        eng->register_process(handmade_profile("rival", ways));
+    OnlinePipelineOptions options = fast_options();
+    options.harden = harden;
+    auto pipe = std::make_unique<OnlinePipeline>(*eng, options);
+    pipe->monitor(pid, target_h);
+    engine::CoScheduleQuery query;
+    query.assignment = core::Assignment::empty(machine.cores);
+    query.assignment.per_core[0].push_back(target_h);
+    query.assignment.per_core[1].push_back(rival_h);
+    pipe->set_query(query);
+    for (const sim::Sample& s : samples) pipe->push(s);
+    pipe->finish();
+    return std::pair{std::move(eng), std::move(pipe)};
+  };
+
+  const auto [eng_on, pipe_on] = run_pipeline(true);
+  const auto [eng_off, pipe_off] = run_pipeline(false);
+
+  // The sanitizer let the entire clean stream through untouched...
+  const SanitizerStats sani = pipe_on->sanitizer_stats();
+  EXPECT_EQ(sani.forwarded, samples.size());
+  EXPECT_EQ(sani.quarantined, 0u);
+  EXPECT_EQ(sani.repaired, 0u);
+
+  // ...so both pipelines computed the exact same thing.
+  const auto on = pipe_on->stats();
+  const auto off = pipe_off->stats();
+  EXPECT_EQ(on.windows, off.windows);
+  EXPECT_EQ(on.revisions, off.revisions);
+  EXPECT_EQ(on.resolves, off.resolves);
+  EXPECT_EQ(on.solver_iterations, off.solver_iterations);
+  ASSERT_EQ(pipe_on->history().size(), pipe_off->history().size());
+  ASSERT_GE(pipe_on->history().size(), 2u);
+  for (std::size_t i = 0; i < pipe_on->history().size(); ++i) {
+    const RevisionEvent& a = pipe_on->history()[i];
+    const RevisionEvent& b = pipe_off->history()[i];
+    EXPECT_EQ(a.time, b.time) << "event " << i;
+    EXPECT_EQ(a.revision, b.revision);
+    EXPECT_EQ(a.resolved, b.resolved);
+    EXPECT_FALSE(a.degraded);
+    EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+    EXPECT_EQ(a.quality.windows, b.quality.windows);
+    EXPECT_EQ(a.quality.fit_rms, b.quality.fit_rms);
+    ASSERT_EQ(a.prediction.processes.size(), b.prediction.processes.size());
+    for (std::size_t j = 0; j < a.prediction.processes.size(); ++j) {
+      EXPECT_EQ(a.prediction.processes[j].prediction.effective_size,
+                b.prediction.processes[j].prediction.effective_size);
+      EXPECT_EQ(a.prediction.processes[j].prediction.spi,
+                b.prediction.processes[j].prediction.spi);
+    }
+  }
+  ASSERT_TRUE(pipe_on->latest().has_value());
+  ASSERT_TRUE(pipe_off->latest().has_value());
+  EXPECT_EQ(pipe_on->latest()->throughput_ips,
+            pipe_off->latest()->throughput_ips);
+  EXPECT_EQ(eng_on->profile(0).revision, eng_off->profile(0).revision);
+}
+
+TEST(OnlinePipeline, RejectedRevisionsLeaveTheEngineUntouched) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  engine::ModelEngine eng(machine);
+  const engine::ProcessHandle handle =
+      eng.register_process(handmade_profile("target", ways));
+  const std::uint64_t base_revision = eng.profile(handle).revision;
+
+  OnlinePipelineOptions options = fast_options();
+  options.max_fit_rms = 1e-12;  // any real residual fails the gate
+  OnlinePipeline pipe(eng, options);
+  pipe.monitor(/*pid=*/0, handle);
+
+  // Constant MPA with alternating SPI: every fit falls back to the
+  // phase-mean line and carries a large relative residual.
+  double t = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    const double spi = (i % 2 == 0) ? 2.0e-9 : 3.0e-9;
+    pipe.push(synth_sample(t += 0.03, 4.0, 0.3, spi));
+  }
+  pipe.finish();
+
+  const OnlinePipeline::Stats stats = pipe.stats();
+  EXPECT_GE(stats.health.revisions_rejected, 2u);
+  EXPECT_EQ(stats.revisions, 0u);
+  EXPECT_TRUE(pipe.history().empty()) << "rejected revisions leave no event";
+  // The registry entry and its memoized artifacts were never touched.
+  EXPECT_EQ(eng.profile(handle).revision, base_revision);
+  EXPECT_EQ(eng.cache_stats().invalidations, 0u);
+}
+
+TEST(OnlinePipeline, FailedReSolvesDegradeInsteadOfThrowingOutOfSink) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  // min_ways = A/2 makes any 2-process equilibrium on the shared die
+  // infeasible: every re-solve throws inside the engine. The hardened
+  // pipeline must absorb that; the profile updates still land.
+  engine::EngineOptions eng_options;
+  eng_options.equilibrium.min_ways = static_cast<double>(ways) / 2.0;
+  engine::ModelEngine eng(machine, eng_options);
+  const engine::ProcessHandle target_h =
+      eng.register_process(handmade_profile("target", ways));
+  const engine::ProcessHandle rival_h =
+      eng.register_process(handmade_profile("rival", ways));
+
+  engine::CoScheduleQuery query;
+  query.assignment = core::Assignment::empty(machine.cores);
+  query.assignment.per_core[0].push_back(target_h);
+  query.assignment.per_core[1].push_back(rival_h);
+
+  auto feed = [&](OnlinePipeline& pipe) {
+    double t = 0.0;
+    for (int i = 0; i < 8; ++i)
+      pipe.push(synth_sample(t += 0.03, 1.0 + 0.5 * i, 0.4 - 0.02 * i,
+                             2.0e-9 + 1.0e-11 * i));
+    pipe.finish();
+  };
+
+  OnlinePipeline pipe(eng, fast_options());
+  pipe.monitor(/*pid=*/0, target_h);
+  pipe.set_query(query);
+  EXPECT_NO_THROW(feed(pipe));
+
+  const OnlinePipeline::Stats stats = pipe.stats();
+  EXPECT_GE(stats.revisions, 1u);
+  EXPECT_EQ(stats.resolves, 0u);
+  EXPECT_GE(stats.health.degraded_resolves, 1u);
+  EXPECT_EQ(stats.health.degraded_resolves, stats.revisions)
+      << "every re-solve attempt degraded";
+  EXPECT_FALSE(pipe.latest().has_value()) << "no last-good exists yet";
+  for (const RevisionEvent& e : pipe.history()) {
+    EXPECT_TRUE(e.degraded);
+    EXPECT_FALSE(e.resolved);
+  }
+  // The revisions themselves were applied — only the pricing degraded.
+  EXPECT_EQ(eng.profile(target_h).revision, stats.revisions);
+
+  // The unhardened pipeline propagates the same failure out of push(),
+  // which is exactly what ISSUE 3 retires.
+  engine::ModelEngine eng2(machine, eng_options);
+  const engine::ProcessHandle t2 =
+      eng2.register_process(handmade_profile("target", ways));
+  const engine::ProcessHandle r2 =
+      eng2.register_process(handmade_profile("rival", ways));
+  engine::CoScheduleQuery query2;
+  query2.assignment = core::Assignment::empty(machine.cores);
+  query2.assignment.per_core[0].push_back(t2);
+  query2.assignment.per_core[1].push_back(r2);
+  OnlinePipelineOptions soft = fast_options();
+  soft.harden = false;
+  OnlinePipeline unhardened(eng2, soft);
+  unhardened.monitor(/*pid=*/0, t2);
+  unhardened.set_query(query2);
+  EXPECT_THROW(feed(unhardened), Error);
+}
+
+TEST(OnlinePipeline, BoundedHistoryEvictsOldestAndKeepsCountersMonotonic) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  engine::ModelEngine eng(machine);
+  const engine::ProcessHandle handle =
+      eng.register_process(handmade_profile("target", ways));
+
+  OnlinePipelineOptions options = fast_options();
+  options.builder.refit_interval = 2;
+  options.history_capacity = 2;
+  OnlinePipeline pipe(eng, options);
+  pipe.monitor(/*pid=*/0, handle);
+
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i)
+    pipe.push(synth_sample(t += 0.03, 1.0 + 0.5 * i, 0.4 - 0.02 * i,
+                           2.0e-9 + 1.0e-11 * i));
+  pipe.finish();
+
+  const OnlinePipeline::Stats stats = pipe.stats();
+  ASSERT_GE(stats.revisions, 4u);
+  EXPECT_EQ(pipe.history().size(), 2u);
+  EXPECT_EQ(stats.health.history_evicted, stats.revisions - 2);
+  // The ring keeps the most recent events; the stats stay monotonic
+  // (revision counts are not rolled back by eviction).
+  EXPECT_EQ(pipe.history().back().revision, stats.revisions);
+  EXPECT_EQ(pipe.history().front().revision, stats.revisions - 1);
+  EXPECT_EQ(eng.profile(handle).revision, stats.revisions);
 }
 
 }  // namespace

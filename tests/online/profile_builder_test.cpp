@@ -62,26 +62,33 @@ TEST(ProfileBuilder, RecoversTheFeatureVectorFromAnOccupancySweep) {
     for (std::uint32_t s = 1; s <= kWays; ++s)
       EXPECT_EQ(builder.push(window_at(index++, s)), std::nullopt);
 
-  const std::optional<core::ProcessProfile> p = builder.finish();
-  ASSERT_TRUE(p.has_value());
-  EXPECT_EQ(p->name, "synthetic");
-  EXPECT_EQ(p->revision, 1u);
+  const std::optional<ProfileRevision> rev = builder.finish();
+  ASSERT_TRUE(rev.has_value());
+  const core::ProcessProfile& p = rev->profile;
+  EXPECT_EQ(p.name, "synthetic");
+  EXPECT_EQ(p.revision, 1u);
   EXPECT_EQ(builder.revisions(), 1u);
   EXPECT_EQ(builder.windows(), 16u);
 
-  EXPECT_NEAR(p->features.api, kApi, 1e-12);
-  EXPECT_NEAR(p->features.alpha, kAlpha, 1e-12);
-  EXPECT_NEAR(p->features.beta, kBeta, 1e-15);
-  ASSERT_EQ(p->mpa_at_ways.size(), kWays);
+  EXPECT_NEAR(p.features.api, kApi, 1e-12);
+  EXPECT_NEAR(p.features.alpha, kAlpha, 1e-12);
+  EXPECT_NEAR(p.features.beta, kBeta, 1e-15);
+  ASSERT_EQ(p.mpa_at_ways.size(), kWays);
   for (std::uint32_t s = 1; s <= kWays; ++s) {
-    EXPECT_NEAR(p->mpa_at_ways[s - 1], mpa_of(s), 1e-12) << "S=" << s;
-    EXPECT_NEAR(p->spi_at_ways[s - 1],
+    EXPECT_NEAR(p.mpa_at_ways[s - 1], mpa_of(s), 1e-12) << "S=" << s;
+    EXPECT_NEAR(p.spi_at_ways[s - 1],
                 kAlpha * mpa_of(s) + kBeta, 1e-15);
   }
   for (std::uint32_t s = 1; s < kWays; ++s)
-    EXPECT_GE(p->mpa_at_ways[s - 1], p->mpa_at_ways[s]) << "monotone";
-  EXPECT_NEAR(p->alone.l2rpi, kApi, 1e-12);
-  EXPECT_GT(p->alone.spi, 0.0);
+    EXPECT_GE(p.mpa_at_ways[s - 1], p.mpa_at_ways[s]) << "monotone";
+  EXPECT_NEAR(p.alone.l2rpi, kApi, 1e-12);
+  EXPECT_GT(p.alone.spi, 0.0);
+
+  // An exact synthetic stream fits perfectly: the quality score should
+  // say so (every window used, ~zero residual, meaningful mass).
+  EXPECT_EQ(rev->quality.windows, 16u);
+  EXPECT_LT(rev->quality.fit_rms, 1e-6);
+  EXPECT_GT(rev->quality.histogram_mass, 0.0);
 }
 
 TEST(ProfileBuilder, RevisionNumberingContinuesAboveTheBaseline) {
@@ -96,14 +103,14 @@ TEST(ProfileBuilder, RevisionNumberingContinuesAboveTheBaseline) {
     builder.push(window_at(index++, s));
   const auto first = builder.finish();
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->revision, 6u);
-  EXPECT_DOUBLE_EQ(first->power_alone, 41.5);
+  EXPECT_EQ(first->profile.revision, 6u);
+  EXPECT_DOUBLE_EQ(first->profile.power_alone, 41.5);
 
   for (std::uint32_t s = 1; s <= kWays; ++s)
     builder.push(window_at(index++, s));
   const auto second = builder.finish();
   ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->revision, 7u);
+  EXPECT_EQ(second->profile.revision, 7u);
 }
 
 TEST(ProfileBuilder, PeriodicRefitEmitsEveryIntervalWindows) {
@@ -116,13 +123,13 @@ TEST(ProfileBuilder, PeriodicRefitEmitsEveryIntervalWindows) {
     EXPECT_EQ(builder.push(window_at(index++, 1.0 + i)), std::nullopt);
   const auto first = builder.push(window_at(index++, 5.0));
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->revision, 1u);
+  EXPECT_EQ(first->profile.revision, 1u);
 
   for (int i = 0; i < 3; ++i)
     EXPECT_EQ(builder.push(window_at(index++, 2.0 + i)), std::nullopt);
   const auto second = builder.push(window_at(index++, 6.0));
   ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->revision, 2u);
+  EXPECT_EQ(second->profile.revision, 2u);
 }
 
 TEST(ProfileBuilder, TooFewUsableWindowsYieldNothing) {
@@ -161,16 +168,57 @@ TEST(ProfileBuilder, ConfirmedPhaseChangeRefitsFromTheNewPhaseOnly) {
   // constant MPA degenerates to the α=0 / β=mean-SPI fallback, so a
   // blended fit would betray itself through β.
   const double mpa2 = 0.6, spi2 = 6.0e-9;
-  std::optional<core::ProcessProfile> at_change;
+  std::optional<ProfileRevision> at_change;
   for (int i = 0; i < 3; ++i) {
     auto r = builder.push(window_at(index++, 2.0, mpa2, spi2));
     if (r.has_value()) at_change = std::move(r);
   }
   EXPECT_EQ(builder.phase_changes(), 1u);
   ASSERT_TRUE(at_change.has_value());
-  EXPECT_DOUBLE_EQ(at_change->features.alpha, 0.0);
-  EXPECT_NEAR(at_change->features.beta, spi2, 1e-15);
-  EXPECT_NEAR(at_change->alone.l2mpr, mpa2, 1e-12);
+  EXPECT_DOUBLE_EQ(at_change->profile.features.alpha, 0.0);
+  EXPECT_NEAR(at_change->profile.features.beta, spi2, 1e-15);
+  EXPECT_NEAR(at_change->profile.alone.l2mpr, mpa2, 1e-12);
+}
+
+TEST(ProfileBuilder, QuarantinedWindowGapsDoNotCorruptThePhaseRestart) {
+  // Regression (ISSUE 3 satellite): when a sanitizer quarantines
+  // windows upstream, the stream indices the builder sees jump — here
+  // by 7 per window, as if 6 of every 7 windows were withheld. A gap
+  // is NOT a phase boundary, and the boundary bookkeeping must use the
+  // builder's own ordinals: with stream indices, the confirmed-change
+  // refit would blend the old phase's windows into the new phase's fit
+  // and betray itself through β.
+  ProfileBuilderOptions options;
+  options.ways = kWays;
+  options.phase.min_phase_windows = 3;
+  options.phase.relative_threshold = 0.25;
+  options.phase.absolute_threshold = 1e-3;
+  options.refit_interval = 0;
+  options.min_fit_windows = 3;
+  ProfileBuilder builder("gappy", options);
+
+  const double mpa1 = 0.1, spi1 = 2.0e-9;
+  std::uint64_t index = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(builder.push(window_at(index, 4.0, mpa1, spi1)), std::nullopt);
+    index += 7;  // quarantined-window gap in the stream numbering
+  }
+  EXPECT_EQ(builder.phase_changes(), 0u);  // a gap is not a boundary
+
+  const double mpa2 = 0.6, spi2 = 6.0e-9;
+  std::optional<ProfileRevision> at_change;
+  for (int i = 0; i < 3; ++i) {
+    auto r = builder.push(window_at(index, 2.0, mpa2, spi2));
+    index += 7;
+    if (r.has_value()) at_change = std::move(r);
+  }
+  EXPECT_EQ(builder.phase_changes(), 1u);
+  ASSERT_TRUE(at_change.has_value());
+  // Fit from the 3 new-phase windows alone: constant MPA degenerates
+  // to α = 0, β = the new phase's mean SPI.
+  EXPECT_DOUBLE_EQ(at_change->profile.features.alpha, 0.0);
+  EXPECT_NEAR(at_change->profile.features.beta, spi2, 1e-15);
+  EXPECT_EQ(at_change->quality.windows, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+#include "repro/online/sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::online {
+namespace {
+
+constexpr std::array<double hpc::Counters::*, 7> kFields = {
+    &hpc::Counters::instructions, &hpc::Counters::cycles,
+    &hpc::Counters::l1_refs,      &hpc::Counters::l2_refs,
+    &hpc::Counters::l2_misses,    &hpc::Counters::branches,
+    &hpc::Counters::fp_ops,
+};
+
+/// A plausible single-process window ending at `t` (MPA 0.5, SPI 2e-9).
+sim::Sample window(double t) {
+  sim::Sample s;
+  s.time = t;
+  s.duration = 0.03;
+  s.core_rates.resize(1);
+  s.occupancy.assign(1, 4.0);
+  s.process_cpu.assign(1, 0.002);
+  s.process_delta.resize(1);
+  hpc::Counters& d = s.process_delta[0];
+  d.instructions = 1.0e6;
+  d.cycles = 2.0e6;
+  d.l1_refs = 3.0e5;
+  d.l2_refs = 2.0e4;
+  d.l2_misses = 1.0e4;
+  d.branches = 1.0e5;
+  d.fp_ops = 5.0e4;
+  return s;
+}
+
+SampleSanitizerOptions with_ways() {
+  SampleSanitizerOptions o;
+  o.ways = 8;
+  return o;
+}
+
+void expect_identical(const sim::Sample& a, const sim::Sample& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.duration, b.duration);
+  ASSERT_EQ(a.process_delta.size(), b.process_delta.size());
+  for (std::size_t p = 0; p < a.process_delta.size(); ++p) {
+    for (auto f : kFields)
+      EXPECT_EQ(a.process_delta[p].*f, b.process_delta[p].*f);
+    EXPECT_EQ(a.process_cpu[p], b.process_cpu[p]);
+    EXPECT_EQ(a.occupancy[p], b.occupancy[p]);
+  }
+}
+
+TEST(SampleSanitizer, CleanWindowsForwardBitIdentical) {
+  SampleSanitizer san(with_ways());
+  for (int i = 0; i < 10; ++i) {
+    const sim::Sample in = window(0.03 * (i + 1));
+    sim::Sample out;
+    ASSERT_TRUE(san.sanitize(in, &out)) << "window " << i;
+    expect_identical(in, out);
+  }
+  EXPECT_EQ(san.stats().windows, 10u);
+  EXPECT_EQ(san.stats().forwarded, 10u);
+  EXPECT_EQ(san.stats().repaired, 0u);
+  EXPECT_EQ(san.stats().quarantined, 0u);
+}
+
+TEST(SampleSanitizer, WrapRepairIsExact) {
+  SampleSanitizer san(with_ways());
+  sim::Sample in = window(0.03);
+  const double original = in.process_delta[0].l2_refs;
+  // What a monitor reads after differencing a wrapped 32-bit counter.
+  in.process_delta[0].l2_refs -= std::ldexp(1.0, 32);
+  ASSERT_LT(in.process_delta[0].l2_refs, 0.0);
+  sim::Sample out;
+  ASSERT_TRUE(san.sanitize(in, &out));
+  EXPECT_EQ(out.process_delta[0].l2_refs, original) << "repair must be exact";
+  EXPECT_EQ(san.stats().repaired, 1u);
+  EXPECT_EQ(san.stats().forwarded, 1u);
+}
+
+TEST(SampleSanitizer, UnrepairableNegativeDeltaIsQuarantined) {
+  SampleSanitizer san(with_ways());
+  sim::Sample in = window(0.03);
+  // No configured width (32 or 48 bits) lifts −2^50 back above zero.
+  in.process_delta[0].cycles -= std::ldexp(1.0, 50);
+  sim::Sample out;
+  EXPECT_FALSE(san.sanitize(in, &out));
+  EXPECT_EQ(san.stats().quarantined_implausible, 1u);
+}
+
+TEST(SampleSanitizer, DuplicateAndOutOfOrderWindowsAreQuarantined) {
+  SampleSanitizer san(with_ways());
+  sim::Sample out;
+  ASSERT_TRUE(san.sanitize(window(0.06), &out));
+  EXPECT_FALSE(san.sanitize(window(0.06), &out)) << "exact duplicate";
+  EXPECT_FALSE(san.sanitize(window(0.03), &out)) << "out of order";
+  EXPECT_EQ(san.stats().quarantined_order, 2u);
+  // The clock gate is against the last *forwarded* window.
+  EXPECT_TRUE(san.sanitize(window(0.09), &out));
+  EXPECT_EQ(san.stats().forwarded, 2u);
+}
+
+TEST(SampleSanitizer, ImplausibleWindowsAreQuarantined) {
+  SampleSanitizer san(with_ways());
+  sim::Sample out;
+  std::uint64_t expected = 0;
+  double t = 0.0;
+  auto reject = [&](sim::Sample s, const char* why) {
+    s.time = (t += 0.03);
+    EXPECT_FALSE(san.sanitize(s, &out)) << why;
+    EXPECT_EQ(san.stats().quarantined_implausible, ++expected) << why;
+  };
+
+  {
+    sim::Sample s = window(0.0);
+    s.process_delta[0].l2_misses = 2.0 * s.process_delta[0].l2_refs;
+    reject(s, "MPA > 1");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_delta[0].l2_refs = 2.0 * s.process_delta[0].instructions;
+    reject(s, "API > 1");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_cpu[0] = std::numeric_limits<double>::quiet_NaN();
+    reject(s, "non-finite CPU time");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_delta[0].cycles = std::numeric_limits<double>::infinity();
+    reject(s, "non-finite counter");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_cpu[0] = 10.0 * s.duration;
+    reject(s, "CPU time beyond the window");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.occupancy[0] = 9.0;  // ways = 8
+    reject(s, "occupancy beyond associativity");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_delta[0] = hpc::Counters{};  // zeroed block, CPU time kept
+    reject(s, "zeroed counters while scheduled");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.duration = 0.0;
+    reject(s, "empty window");
+  }
+  {
+    sim::Sample s = window(0.0);
+    s.process_delta[0].l2_refs = 1e15;  // ~3e16 events/s
+    reject(s, "counter rate beyond physical bounds");
+  }
+  EXPECT_EQ(san.stats().forwarded, 0u);
+}
+
+TEST(SampleSanitizer, SpikeOutlierIsQuarantinedByTheMadFilter) {
+  SampleSanitizer san(with_ways());
+  sim::Sample out;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(san.sanitize(window(t += 0.03), &out));
+
+  // A multiplexing glitch scales every event count down 1000x while the
+  // scheduler still accounts the full CPU slice: per-window SPI jumps
+  // 1000-fold. Each counter stays individually plausible.
+  sim::Sample spike = window(t += 0.03);
+  for (auto f : kFields) spike.process_delta[0].*f /= 1000.0;
+  EXPECT_FALSE(san.sanitize(spike, &out));
+  EXPECT_EQ(san.stats().quarantined_outlier, 1u);
+
+  // The stream recovers immediately.
+  EXPECT_TRUE(san.sanitize(window(t += 0.03), &out));
+  EXPECT_EQ(san.stats().quarantined, 1u);
+}
+
+TEST(SampleSanitizer, SustainedLevelShiftEscapesTheOutlierFilter) {
+  SampleSanitizerOptions opts = with_ways();
+  opts.outlier_escape = 6;
+  SampleSanitizer san(opts);
+  sim::Sample out;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(san.sanitize(window(t += 0.03), &out));
+
+  // The process genuinely slows 1000-fold (a real phase change would be
+  // a few-fold and never even flag; this is the worst case). The filter
+  // may quarantine at most `outlier_escape - 1` windows before the
+  // escape hatch accepts the new regime.
+  auto shifted = [&] {
+    sim::Sample s = window(t += 0.03);
+    for (auto f : kFields) s.process_delta[0].*f /= 1000.0;
+    return s;
+  };
+  int rejected = 0;
+  bool accepted = false;
+  for (int i = 0; i < 10 && !accepted; ++i) {
+    if (san.sanitize(shifted(), &out))
+      accepted = true;
+    else
+      ++rejected;
+  }
+  EXPECT_TRUE(accepted) << "the filter must never starve a new phase";
+  EXPECT_LE(rejected, 5);
+  // Once accepted, the new regime is the baseline: no further flags.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(san.sanitize(shifted(), &out)) << "post-shift window " << i;
+}
+
+TEST(SampleSanitizer, GenuineFewFoldPhaseChangePassesUntouched) {
+  SampleSanitizer san(with_ways());
+  sim::Sample out;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(san.sanitize(window(t += 0.03), &out));
+  // gzip → equake scale: MPA halves, SPI triples. Must pass on the
+  // first window — phase detection downstream needs to see it.
+  for (int i = 0; i < 5; ++i) {
+    sim::Sample s = window(t += 0.03);
+    s.process_delta[0].l2_misses /= 2.0;
+    s.process_cpu[0] *= 3.0;
+    EXPECT_TRUE(san.sanitize(s, &out)) << "phase-change window " << i;
+  }
+  EXPECT_EQ(san.stats().quarantined, 0u);
+}
+
+TEST(SampleSanitizer, IdleWindowsPassThrough) {
+  SampleSanitizer san(with_ways());
+  sim::Sample idle = window(0.03);
+  idle.process_delta[0] = hpc::Counters{};
+  idle.process_cpu[0] = 0.0;  // truly descheduled: no events, no time
+  sim::Sample out;
+  EXPECT_TRUE(san.sanitize(idle, &out));
+  EXPECT_EQ(san.stats().forwarded, 1u);
+}
+
+TEST(SampleSanitizer, RejectsNonsenseOptions) {
+  {
+    SampleSanitizerOptions o;
+    o.wrap_bits = {};
+    EXPECT_THROW(SampleSanitizer{o}, Error);
+  }
+  {
+    SampleSanitizerOptions o;
+    o.wrap_bits = {64};
+    EXPECT_THROW(SampleSanitizer{o}, Error);
+  }
+  {
+    SampleSanitizerOptions o;
+    o.outlier_min_history = 1;
+    EXPECT_THROW(SampleSanitizer{o}, Error);
+  }
+  {
+    SampleSanitizerOptions o;
+    o.outlier_escape = 0;
+    EXPECT_THROW(SampleSanitizer{o}, Error);
+  }
+}
+
+}  // namespace
+}  // namespace repro::online

@@ -1,0 +1,300 @@
+#include "repro/sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::sim {
+namespace {
+
+constexpr std::array<double hpc::Counters::*, 7> kFields = {
+    &hpc::Counters::instructions, &hpc::Counters::cycles,
+    &hpc::Counters::l1_refs,      &hpc::Counters::l2_refs,
+    &hpc::Counters::l2_misses,    &hpc::Counters::branches,
+    &hpc::Counters::fp_ops,
+};
+
+/// A plausible two-process window ending at `t`.
+Sample window(double t) {
+  Sample s;
+  s.time = t;
+  s.duration = 0.03;
+  s.core_rates.resize(2);
+  s.occupancy.assign(2, 4.0);
+  s.process_cpu.assign(2, 0.01);
+  s.process_delta.resize(2);
+  for (std::size_t p = 0; p < 2; ++p) {
+    hpc::Counters& d = s.process_delta[p];
+    d.instructions = 1.0e6 * static_cast<double>(p + 1);
+    d.cycles = 2.0e6;
+    d.l1_refs = 3.0e5;
+    d.l2_refs = 2.0e4;
+    d.l2_misses = 1.0e4;
+    d.branches = 1.0e5;
+    d.fp_ops = 5.0e4;
+  }
+  return s;
+}
+
+bool same_counters(const hpc::Counters& a, const hpc::Counters& b) {
+  for (auto f : kFields)
+    if (a.*f != b.*f) return false;
+  return true;
+}
+
+struct Collector {
+  std::vector<Sample> delivered;
+  System::SampleCallback sink() {
+    return [this](const Sample& s) { delivered.push_back(s); };
+  }
+};
+
+TEST(FaultInjector, CleanConfigurationIsAPerfectPassThrough) {
+  Collector out;
+  FaultInjector inj(out.sink(), FaultInjectorOptions{});
+  for (int i = 0; i < 20; ++i) inj.push(window(0.03 * (i + 1)));
+  inj.flush();
+  ASSERT_EQ(out.delivered.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(out.delivered[i].time, 0.03 * (i + 1));
+    EXPECT_TRUE(same_counters(out.delivered[i].process_delta[0],
+                              window(0.0).process_delta[0]));
+  }
+  EXPECT_EQ(inj.stats().windows_seen, 20u);
+  EXPECT_EQ(inj.stats().windows_delivered, 20u);
+  EXPECT_EQ(inj.stats().dropped + inj.stats().duplicated +
+                inj.stats().reordered + inj.stats().wrapped +
+                inj.stats().scaled + inj.stats().spiked + inj.stats().zeroed,
+            0u);
+}
+
+TEST(FaultInjector, SameSeedSameFaultPatternDifferentSeedDiffers) {
+  FaultInjectorOptions opts;
+  opts.drop = 0.2;
+  opts.duplicate = 0.2;
+  opts.wrap = 0.2;
+  opts.seed = 99;
+
+  auto run = [&](std::uint64_t seed) {
+    FaultInjectorOptions o = opts;
+    o.seed = seed;
+    Collector out;
+    FaultInjector inj(out.sink(), o);
+    for (int i = 0; i < 200; ++i) inj.push(window(0.03 * (i + 1)));
+    inj.flush();
+    std::vector<double> trace;
+    for (const Sample& s : out.delivered) {
+      trace.push_back(s.time);
+      trace.push_back(s.process_delta[0].l2_misses);
+    }
+    return trace;
+  };
+
+  const auto a = run(99);
+  const auto b = run(99);
+  const auto c = run(1234);
+  EXPECT_EQ(a, b) << "the fault pattern must be a pure function of the seed";
+  EXPECT_NE(a, c) << "200 windows at these rates cannot coincide by chance";
+}
+
+TEST(FaultInjector, DropWithholdsEveryWindowAtRateOne) {
+  FaultInjectorOptions opts;
+  opts.drop = 1.0;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  for (int i = 0; i < 10; ++i) inj.push(window(0.03 * (i + 1)));
+  inj.flush();
+  EXPECT_EQ(out.delivered.size(), 0u);
+  EXPECT_EQ(inj.stats().dropped, 10u);
+  EXPECT_EQ(inj.stats().windows_delivered, 0u);
+}
+
+TEST(FaultInjector, DuplicateDeliversEachWindowTwice) {
+  FaultInjectorOptions opts;
+  opts.duplicate = 1.0;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  for (int i = 0; i < 5; ++i) inj.push(window(0.03 * (i + 1)));
+  ASSERT_EQ(out.delivered.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(out.delivered[2 * i].time, 0.03 * (i + 1));
+    EXPECT_DOUBLE_EQ(out.delivered[2 * i + 1].time, 0.03 * (i + 1));
+  }
+  EXPECT_EQ(inj.stats().duplicated, 5u);
+  EXPECT_EQ(inj.stats().windows_delivered, 10u);
+}
+
+TEST(FaultInjector, ReorderSwapsAdjacentWindows) {
+  FaultInjectorOptions opts;
+  opts.reorder = 1.0;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  for (int i = 0; i < 4; ++i) inj.push(window(0.03 * (i + 1)));
+  // Window 0 is held and released after window 1 (which cannot itself
+  // be held while another hold is pending), and so on pairwise.
+  ASSERT_EQ(out.delivered.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.delivered[0].time, 0.06);
+  EXPECT_DOUBLE_EQ(out.delivered[1].time, 0.03);
+  EXPECT_DOUBLE_EQ(out.delivered[2].time, 0.12);
+  EXPECT_DOUBLE_EQ(out.delivered[3].time, 0.09);
+  EXPECT_EQ(inj.stats().reordered, 2u);
+}
+
+TEST(FaultInjector, FlushReleasesAWindowStillHeldAtRunEnd) {
+  FaultInjectorOptions opts;
+  opts.reorder = 1.0;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  inj.push(window(0.03));
+  EXPECT_EQ(out.delivered.size(), 0u);  // held, waiting for a successor
+  inj.flush();
+  ASSERT_EQ(out.delivered.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.delivered[0].time, 0.03);
+  inj.flush();  // idempotent
+  EXPECT_EQ(out.delivered.size(), 1u);
+}
+
+TEST(FaultInjector, WrapSubtractsExactlyTheCounterWidth) {
+  for (int bits : {32, 48}) {
+    FaultInjectorOptions opts;
+    opts.wrap = 1.0;
+    opts.wrap_bits = bits;
+    Collector out;
+    FaultInjector inj(out.sink(), opts);
+    const Sample clean = window(0.03);
+    inj.push(clean);
+    ASSERT_EQ(out.delivered.size(), 1u);
+    // Exactly one field of one process lost exactly 2^bits.
+    double total_loss = 0.0;
+    int touched = 0;
+    for (std::size_t p = 0; p < 2; ++p)
+      for (auto f : kFields) {
+        const double diff =
+            clean.process_delta[p].*f - out.delivered[0].process_delta[p].*f;
+        if (diff != 0.0) {
+          ++touched;
+          total_loss += diff;
+        }
+      }
+    EXPECT_EQ(touched, 1);
+    EXPECT_DOUBLE_EQ(total_loss, std::ldexp(1.0, bits)) << "bits=" << bits;
+    EXPECT_EQ(inj.stats().wrapped, 1u);
+  }
+}
+
+TEST(FaultInjector, SpikeMultipliesExactlyOneField) {
+  FaultInjectorOptions opts;
+  opts.spike = 1.0;
+  opts.spike_factor = 1e4;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  const Sample clean = window(0.03);
+  inj.push(clean);
+  ASSERT_EQ(out.delivered.size(), 1u);
+  int touched = 0;
+  for (std::size_t p = 0; p < 2; ++p)
+    for (auto f : kFields) {
+      const double before = clean.process_delta[p].*f;
+      const double after = out.delivered[0].process_delta[p].*f;
+      if (before != after) {
+        ++touched;
+        EXPECT_DOUBLE_EQ(after, before * 1e4);
+      }
+    }
+  EXPECT_EQ(touched, 1);
+  EXPECT_EQ(inj.stats().spiked, 1u);
+}
+
+TEST(FaultInjector, ZeroClearsOneCounterBlockButKeepsCpuTime) {
+  FaultInjectorOptions opts;
+  opts.zero = 1.0;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  const Sample clean = window(0.03);
+  inj.push(clean);
+  ASSERT_EQ(out.delivered.size(), 1u);
+  const Sample& got = out.delivered[0];
+  int zeroed = 0;
+  for (std::size_t p = 0; p < 2; ++p) {
+    bool all_zero = true;
+    for (auto f : kFields)
+      if (got.process_delta[p].*f != 0.0) all_zero = false;
+    if (all_zero) ++zeroed;
+    EXPECT_DOUBLE_EQ(got.process_cpu[p], clean.process_cpu[p])
+        << "the scheduler's CPU accounting survives a zeroed counter read";
+  }
+  EXPECT_EQ(zeroed, 1);
+  EXPECT_EQ(inj.stats().zeroed, 1u);
+}
+
+TEST(FaultInjector, StatsAccountForEveryWindowUnderAMixedLoad) {
+  FaultInjectorOptions opts;
+  opts.drop = 0.15;
+  opts.duplicate = 0.15;
+  opts.reorder = 0.15;
+  opts.wrap = 0.1;
+  opts.scale_noise = 0.1;
+  opts.spike = 0.1;
+  opts.zero = 0.1;
+  opts.seed = 7;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  const std::uint64_t n = 500;
+  for (std::uint64_t i = 0; i < n; ++i)
+    inj.push(window(0.03 * static_cast<double>(i + 1)));
+  inj.flush();
+  const FaultInjector::Stats& st = inj.stats();
+  EXPECT_EQ(st.windows_seen, n);
+  // Conservation: every window is delivered once, plus once more per
+  // duplication, minus once per drop.
+  EXPECT_EQ(st.windows_delivered, n + st.duplicated - st.dropped);
+  EXPECT_EQ(out.delivered.size(), st.windows_delivered);
+  // At these rates each class fires with overwhelming probability.
+  EXPECT_GT(st.dropped, 0u);
+  EXPECT_GT(st.duplicated, 0u);
+  EXPECT_GT(st.reordered, 0u);
+  EXPECT_GT(st.wrapped, 0u);
+  EXPECT_GT(st.scaled, 0u);
+  EXPECT_GT(st.spiked, 0u);
+  EXPECT_GT(st.zeroed, 0u);
+}
+
+TEST(FaultInjector, ParseFaultClassCoversEveryName) {
+  for (FaultClass c : {FaultClass::kDrop, FaultClass::kDuplicate,
+                       FaultClass::kReorder, FaultClass::kWrap,
+                       FaultClass::kScaleNoise, FaultClass::kSpike,
+                       FaultClass::kZero}) {
+    const auto parsed = parse_fault_class(fault_class_name(c));
+    ASSERT_TRUE(parsed.has_value()) << fault_class_name(c);
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(parse_fault_class("thermal").has_value());
+}
+
+TEST(FaultInjector, RejectsNonsenseOptions) {
+  Collector out;
+  {
+    FaultInjectorOptions opts;
+    opts.wrap_bits = 16;
+    EXPECT_THROW(FaultInjector(out.sink(), opts), Error);
+  }
+  {
+    FaultInjectorOptions opts;
+    opts.scale_lo = 0.0;
+    EXPECT_THROW(FaultInjector(out.sink(), opts), Error);
+  }
+  {
+    FaultInjectorOptions opts;
+    opts.spike_factor = 0.5;
+    EXPECT_THROW(FaultInjector(out.sink(), opts), Error);
+  }
+  EXPECT_THROW(FaultInjector(nullptr, FaultInjectorOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -12,6 +12,8 @@
 //   cmpmodel simulate --machine server --assign "gzip;mcf" [--seconds 0.3]
 //   cmpmodel watch    --machine workstation --assign "gzip>art;mcf"
 //                     [--seconds 1.5] [--store s.txt]
+//                     [--fault-rate 0.05] [--faults drop,wrap,spike]
+//                     [--fault-seed 1] [--sanitize on|off]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
@@ -25,6 +27,12 @@
 // A process name may chain specs with '>' (e.g. "gzip>art") to play
 // phases back to back. With --store, the freshest revisions are saved
 // (and an existing store's power model prices each re-solve).
+// --fault-rate injects faults into the sample stream through the
+// deterministic FaultInjector (per-window probability, applied to each
+// class in --faults: drop,dup,reorder,wrap,scale,spike,zero) so the
+// hardened pipeline's sanitizer and degradation policy can be watched
+// at work; --sanitize off disables the hardening for comparison. The
+// end-of-run summary prints the PipelineHealth counters.
 //
 // predict and estimate run on the ModelEngine facade: predict places
 // the named processes one per core starting at core 0 (so on the
@@ -47,6 +55,7 @@
 #include "repro/core/serialize.hpp"
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/pipeline.hpp"
+#include "repro/sim/fault_injector.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
 #include "repro/workload/phased.hpp"
@@ -358,6 +367,12 @@ int cmd_watch(const Args& args) {
   const std::uint64_t phase_accesses =
       static_cast<std::uint64_t>(std::stod(args.get("phase-accesses", "6e6")));
   const std::string store_path = args.get("store", "");
+  const double fault_rate = std::stod(args.get("fault-rate", "0"));
+  const std::string fault_list =
+      args.get("faults", "drop,dup,reorder,wrap,scale,spike,zero");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(std::stoull(args.get("fault-seed", "1")));
+  const bool sanitize = args.get("sanitize", "on") != "off";
 
   // An existing store contributes its power model (prices re-solves);
   // profiles always come from the stream — that is the point.
@@ -396,6 +411,7 @@ int cmd_watch(const Args& args) {
   pipe_options.builder.phase.min_phase_windows = 5;
   pipe_options.builder.refit_interval = 8;
   pipe_options.builder.min_fit_windows = 4;
+  pipe_options.harden = sanitize;
   online::OnlinePipeline pipe(*eng, pipe_options);
   for (std::size_t idx = 0; idx < names.size(); ++idx)
     pipe.monitor(pids[idx], names[idx]);
@@ -407,9 +423,27 @@ int cmd_watch(const Args& args) {
 
   bool query_set = false;
   auto sink = pipe.sink();
+  std::optional<sim::FaultInjector> chaos;
+  if (fault_rate > 0.0) {
+    sim::FaultInjectorOptions fi;
+    fi.seed = fault_seed;
+    for (const std::string& fault_name : split(fault_list, ',')) {
+      const auto cls = sim::parse_fault_class(fault_name);
+      REPRO_ENSURE(cls.has_value(), "unknown fault class: " + fault_name);
+      fi.rate_of(*cls) = fault_rate;
+    }
+    chaos.emplace(sink, fi);
+    std::printf("injecting faults (%s) at rate %.3f, seed %llu%s\n\n",
+                fault_list.c_str(), fault_rate,
+                static_cast<unsigned long long>(fault_seed),
+                sanitize ? "" : " — SANITIZER OFF");
+  }
   system.run(seconds, [&](const sim::Sample& s) {
     const std::size_t seen = pipe.history().size();
-    sink(s);
+    if (chaos.has_value())
+      chaos->push(s);
+    else
+      sink(s);
     if (!query_set) {
       bool all = true;
       for (ProcessId pid : pids)
@@ -430,13 +464,14 @@ int cmd_watch(const Args& args) {
       if (e.resolved)
         for (const auto& pt : e.prediction.processes)
           if (pt.handle == e.handle) spi = pt.prediction.spi;
-      std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d\n", e.time,
+      std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
                   eng->profile(e.handle).name.c_str(),
                   static_cast<unsigned long long>(e.revision), spi * 1e9,
                   e.resolved ? e.prediction.total_power : 0.0,
-                  e.solver_iterations);
+                  e.solver_iterations, e.degraded ? " degraded" : "");
     }
   });
+  if (chaos.has_value()) chaos->flush();
   pipe.finish();
 
   const online::OnlinePipeline::Stats stats = pipe.stats();
@@ -450,6 +485,29 @@ int cmd_watch(const Args& args) {
                   ? static_cast<double>(stats.solver_iterations) /
                         static_cast<double>(stats.resolves)
                   : 0.0);
+  const online::PipelineHealth& health = stats.health;
+  std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
+              "%llu quarantined), %llu revisions rejected, "
+              "%llu degraded re-solves, %llu history evictions\n",
+              static_cast<unsigned long long>(health.windows_forwarded),
+              static_cast<unsigned long long>(health.windows_seen),
+              static_cast<unsigned long long>(health.windows_repaired),
+              static_cast<unsigned long long>(health.windows_quarantined),
+              static_cast<unsigned long long>(health.revisions_rejected),
+              static_cast<unsigned long long>(health.degraded_resolves),
+              static_cast<unsigned long long>(health.history_evicted));
+  if (chaos.has_value()) {
+    const sim::FaultInjector::Stats& f = chaos->stats();
+    std::printf("faults: %llu dropped, %llu duplicated, %llu reordered, "
+                "%llu wrapped, %llu scaled, %llu spiked, %llu zeroed\n",
+                static_cast<unsigned long long>(f.dropped),
+                static_cast<unsigned long long>(f.duplicated),
+                static_cast<unsigned long long>(f.reordered),
+                static_cast<unsigned long long>(f.wrapped),
+                static_cast<unsigned long long>(f.scaled),
+                static_cast<unsigned long long>(f.spiked),
+                static_cast<unsigned long long>(f.zeroed));
+  }
 
   if (!store_path.empty()) {
     for (std::size_t idx = 0; idx < names.size(); ++idx)
