@@ -1,0 +1,90 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's capability analysis attributes so every piece of
+// shared mutable state in the library can declare, in the type system,
+// which lock protects it. Building with clang and `-Wthread-safety`
+// (wired up by the `static-analysis` CI job and the clang rows of the
+// build matrix) then proves at compile time — on every file, on every
+// PR — that each GUARDED_BY member is only touched with its capability
+// held, that REQUIRES contracts hold at every call site, and that
+// scoped locks release on all paths. GCC and other compilers see empty
+// macros and compile the same code unchanged.
+//
+// Naming follows the Clang documentation's canonical macro set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+// REPRO_ to stay out of other libraries' way.
+#pragma once
+
+#if defined(__clang__)
+#define REPRO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define REPRO_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lock-like capability (e.g. "mutex").
+#define REPRO_CAPABILITY(x) REPRO_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define REPRO_SCOPED_CAPABILITY REPRO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define REPRO_GUARDED_BY(x) REPRO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define REPRO_PT_GUARDED_BY(x) REPRO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define REPRO_ACQUIRED_BEFORE(...) \
+  REPRO_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define REPRO_ACQUIRED_AFTER(...) \
+  REPRO_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the capability held (exclusively /
+/// shared) and does not release it.
+#define REPRO_REQUIRES(...) \
+  REPRO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REPRO_REQUIRES_SHARED(...) \
+  REPRO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared).
+#define REPRO_ACQUIRE(...) \
+  REPRO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define REPRO_ACQUIRE_SHARED(...) \
+  REPRO_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability. RELEASE covers a previously
+/// exclusive hold, RELEASE_SHARED a shared one, RELEASE_GENERIC either.
+#define REPRO_RELEASE(...) \
+  REPRO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define REPRO_RELEASE_SHARED(...) \
+  REPRO_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define REPRO_RELEASE_GENERIC(...) \
+  REPRO_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define REPRO_TRY_ACQUIRE(...) \
+  REPRO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define REPRO_TRY_ACQUIRE_SHARED(...) \
+  REPRO_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (guards
+/// against self-deadlock on non-reentrant locks).
+#define REPRO_EXCLUDES(...) \
+  REPRO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the calling thread holds the capability;
+/// informs the analysis without acquiring anything.
+#define REPRO_ASSERT_CAPABILITY(x) \
+  REPRO_THREAD_ANNOTATION_(assert_capability(x))
+#define REPRO_ASSERT_SHARED_CAPABILITY(x) \
+  REPRO_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define REPRO_RETURN_CAPABILITY(x) REPRO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Every use
+/// must carry a comment explaining why the analysis cannot see the
+/// invariant (repro-lint's review surface for such exemptions).
+#define REPRO_NO_THREAD_SAFETY_ANALYSIS \
+  REPRO_THREAD_ANNOTATION_(no_thread_safety_analysis)

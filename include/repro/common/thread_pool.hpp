@@ -14,15 +14,25 @@
 // only their index, workers never reorder a task's internal work, and
 // parallel_for returns only after every index in [0, n) ran exactly
 // once (rethrowing the first task exception, if any).
+//
+// Concurrency invariants are declared with clang thread-safety
+// annotations (see repro/common/thread_annotations.hpp): each Queue's
+// deque is guarded by that queue's mutex, and the scheduler state
+// (pending_, next_queue_, stopping_) by sleep_mutex_. The two are
+// never held together — every sleep_mutex_ critical section ends
+// before a queue mutex is taken and vice versa — so there is no lock
+// order to maintain.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "repro/common/mutex.hpp"
+#include "repro/common/thread_annotations.hpp"
 
 namespace repro::common {
 
@@ -57,8 +67,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::deque<std::function<void()>> tasks;
-    std::mutex mutex;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks REPRO_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t self);
@@ -66,13 +76,18 @@ class ThreadPool {
   bool pop_own(std::size_t self, std::function<void()>& out);
   bool steal(std::size_t thief, std::function<void()>& out);
 
+  // queues_ and workers_ are sized in the constructor and never
+  // resized afterwards; only the elements behind Queue::mutex mutate.
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
-  std::size_t pending_ = 0;  // tasks submitted but not yet started
-  std::size_t next_queue_ = 0;
-  bool stopping_ = false;
+
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
+  /// Tasks submitted but not yet started.
+  std::size_t pending_ REPRO_GUARDED_BY(sleep_mutex_) = 0;
+  /// Round-robin cursor for external submitters.
+  std::size_t next_queue_ REPRO_GUARDED_BY(sleep_mutex_) = 0;
+  bool stopping_ REPRO_GUARDED_BY(sleep_mutex_) = false;
 };
 
 }  // namespace repro::common

@@ -28,16 +28,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "repro/common/mutex.hpp"
+#include "repro/common/thread_annotations.hpp"
 #include "repro/common/thread_pool.hpp"
 #include "repro/common/units.hpp"
 #include "repro/core/combined.hpp"
@@ -162,12 +164,23 @@ class ModelEngine {
   /// The hardened pipeline's keep-last-good revision sink.
   bool try_update_process(ProcessHandle handle, core::ProcessProfile profile);
 
+  /// Drop every registered process whose handle fails keep(handle),
+  /// freeing its profile and memoized fill-curve artifacts, and return
+  /// how many entries were collected. Kept handles stay valid (slots
+  /// are nulled, never shifted) and their artifacts are untouched; a
+  /// collected handle's slot is recycled by a later register_process of
+  /// a *new* name. The on-line pipeline's GC for handles that are no
+  /// longer monitored by any pipeline or referenced by a live query.
+  std::size_t collect_garbage(
+      const std::function<bool(ProcessHandle)>& keep);
+
   /// Handle of a registered process, if any.
   std::optional<ProcessHandle> find(const std::string& name) const;
 
   /// The registered profile behind a handle.
   core::ProcessProfile profile(ProcessHandle handle) const;
 
+  /// Number of live (non-collected) registrations.
   std::size_t process_count() const;
 
   /// Predict one candidate co-schedule.
@@ -213,7 +226,12 @@ class ModelEngine {
   };
 
   const Artifacts& artifacts_of(const Entry& entry) const;
-  SystemPrediction predict_locked(const CoScheduleQuery& query) const;
+  SystemPrediction predict_locked(const CoScheduleQuery& query) const
+      REPRO_REQUIRES_SHARED(registry_mutex_);
+  const Entry& entry_of(ProcessHandle handle) const
+      REPRO_REQUIRES_SHARED(registry_mutex_);
+  void install(ProcessHandle handle, core::ProcessProfile profile)
+      REPRO_REQUIRES(registry_mutex_);
 
   sim::MachineConfig machine_;
   std::optional<core::PowerModel> power_;
@@ -221,9 +239,15 @@ class ModelEngine {
   core::EquilibriumSolver solver_;
   std::unique_ptr<common::ThreadPool> pool_;  // null when threads == 1
 
-  mutable std::shared_mutex registry_mutex_;
-  std::vector<std::unique_ptr<Entry>> registry_;
-  std::unordered_map<std::string, ProcessHandle> by_name_;
+  /// Guards the registry: slots (null = collected), the name index,
+  /// and the free-slot list. Readers (predictions, lookups) share it;
+  /// registration, revision, and GC take it exclusively.
+  mutable common::SharedMutex registry_mutex_;
+  std::vector<std::unique_ptr<Entry>> registry_
+      REPRO_GUARDED_BY(registry_mutex_);
+  std::unordered_map<std::string, ProcessHandle> by_name_
+      REPRO_GUARDED_BY(registry_mutex_);
+  std::vector<ProcessHandle> free_slots_ REPRO_GUARDED_BY(registry_mutex_);
 
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::atomic<std::uint64_t> cache_misses_{0};

@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     stopping_ = true;
   }
   sleep_cv_.notify_all();
@@ -48,14 +48,14 @@ void ThreadPool::submit(std::function<void()> task) {
   REPRO_ENSURE(static_cast<bool>(task), "empty task");
   std::size_t target;
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     REPRO_ENSURE(!stopping_, "submit on a stopping pool");
     target = (tls_worker.pool == this) ? tls_worker.index
                                        : next_queue_++ % queues_.size();
     ++pending_;
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    MutexLock lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
   sleep_cv_.notify_one();
@@ -63,7 +63,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::pop_own(std::size_t self, std::function<void()>& out) {
   Queue& q = *queues_[self];
-  std::lock_guard<std::mutex> lock(q.mutex);
+  MutexLock lock(q.mutex);
   if (q.tasks.empty()) return false;
   out = std::move(q.tasks.back());  // LIFO: freshest (cache-warm) first
   q.tasks.pop_back();
@@ -74,7 +74,7 @@ bool ThreadPool::steal(std::size_t thief, std::function<void()>& out) {
   const std::size_t n = queues_.size();
   for (std::size_t hop = 1; hop < n; ++hop) {
     Queue& q = *queues_[(thief + hop) % n];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     if (q.tasks.empty()) continue;
     out = std::move(q.tasks.front());  // FIFO: oldest, least contended end
     q.tasks.pop_front();
@@ -87,7 +87,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
   std::function<void()> task;
   if (!pop_own(self, task) && !steal(self, task)) return false;
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     --pending_;
   }
   task();
@@ -98,10 +98,12 @@ void ThreadPool::worker_loop(std::size_t self) {
   tls_worker = {this, self};
   while (true) {
     if (try_run_one(self)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     if (pending_ > 0) continue;  // raced with a submit; go claim it
     if (stopping_) return;       // queues drained, shutting down
-    sleep_cv_.wait(lock, [this] { return pending_ > 0 || stopping_; });
+    sleep_cv_.wait(sleep_mutex_, [this]() REPRO_REQUIRES(sleep_mutex_) {
+      return pending_ > 0 || stopping_;
+    });
   }
 }
 
@@ -114,10 +116,10 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t limit = 0;
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t completed = 0;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done_cv;
+    std::size_t completed REPRO_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error REPRO_GUARDED_BY(mutex);
   };
   auto state = std::make_shared<ForState>();
   state->body = &body;
@@ -138,7 +140,7 @@ void ThreadPool::parallel_for(std::size_t n,
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(s->mutex);
+      MutexLock lock(s->mutex);
       if (error && !s->error) s->error = error;
       if (++s->completed == s->limit) s->done_cv.notify_all();
     }
@@ -149,8 +151,10 @@ void ThreadPool::parallel_for(std::size_t n,
     submit([state, drain] { drain(state); });
   drain(state);
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] { return state->completed == state->limit; });
+  MutexLock lock(state->mutex);
+  state->done_cv.wait(state->mutex, [&]() REPRO_REQUIRES(state->mutex) {
+    return state->completed == state->limit;
+  });
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -39,7 +39,7 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
   // process named, not deep inside a later fill-curve integral.
   profile.features.validate();
 
-  std::unique_lock lock(registry_mutex_);
+  common::ExclusiveLock lock(registry_mutex_);
   const auto it = by_name_.find(profile.name);
   if (it != by_name_.end()) {
     // Replacement: same handle, fresh Entry — the embedded once_flag is
@@ -48,20 +48,24 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  const ProcessHandle handle = static_cast<ProcessHandle>(registry_.size());
+  ProcessHandle handle;
+  if (!free_slots_.empty()) {
+    // Recycle a collected slot so long-lived engines with process
+    // churn keep a dense registry instead of growing without bound.
+    handle = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    handle = static_cast<ProcessHandle>(registry_.size());
+    registry_.emplace_back();
+  }
   by_name_.emplace(profile.name, handle);
-  registry_.push_back(std::make_unique<Entry>(std::move(profile)));
+  registry_[handle] = std::make_unique<Entry>(std::move(profile));
   return handle;
 }
 
-void ModelEngine::update_process(ProcessHandle handle,
-                                 core::ProcessProfile profile) {
-  REPRO_ENSURE(!profile.name.empty(), "process needs a name");
-  if (profile.features.name.empty()) profile.features.name = profile.name;
-  profile.features.validate();
-
-  std::unique_lock lock(registry_mutex_);
-  REPRO_ENSURE(handle < registry_.size(), "unknown process handle");
+void ModelEngine::install(ProcessHandle handle, core::ProcessProfile profile) {
+  REPRO_ENSURE(handle < registry_.size() && registry_[handle] != nullptr,
+               "unknown process handle");
   const std::string old_name = registry_[handle]->profile.name;
   if (profile.name != old_name) {
     const auto it = by_name_.find(profile.name);
@@ -74,6 +78,35 @@ void ModelEngine::update_process(ProcessHandle handle,
   // this handle rebuilds the fill/growth curves from the new revision.
   registry_[handle] = std::make_unique<Entry>(std::move(profile));
   cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ModelEngine::update_process(ProcessHandle handle,
+                                 core::ProcessProfile profile) {
+  REPRO_ENSURE(!profile.name.empty(), "process needs a name");
+  if (profile.features.name.empty()) profile.features.name = profile.name;
+  profile.features.validate();
+
+  common::ExclusiveLock lock(registry_mutex_);
+  install(handle, std::move(profile));
+}
+
+std::size_t ModelEngine::collect_garbage(
+    const std::function<bool(ProcessHandle)>& keep) {
+  REPRO_ENSURE(static_cast<bool>(keep), "empty keep predicate");
+  common::ExclusiveLock lock(registry_mutex_);
+  std::size_t collected = 0;
+  for (ProcessHandle h = 0; h < registry_.size(); ++h) {
+    if (registry_[h] == nullptr) continue;  // already collected
+    // The predicate runs under the registry's writer lock: it must not
+    // call back into this engine (the lock is not reentrant).
+    if (keep(h)) continue;
+    by_name_.erase(registry_[h]->profile.name);
+    registry_[h].reset();  // frees the profile and memoized artifacts
+    free_slots_.push_back(h);
+    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    ++collected;
+  }
+  return collected;
 }
 
 bool ModelEngine::try_update_process(ProcessHandle handle,
@@ -90,21 +123,29 @@ bool ModelEngine::try_update_process(ProcessHandle handle,
 }
 
 std::optional<ProcessHandle> ModelEngine::find(const std::string& name) const {
-  std::shared_lock lock(registry_mutex_);
+  common::SharedLock lock(registry_mutex_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }
 
+const ModelEngine::Entry& ModelEngine::entry_of(ProcessHandle handle) const {
+  REPRO_ENSURE(handle < registry_.size() && registry_[handle] != nullptr,
+               "unknown or collected process handle");
+  return *registry_[handle];
+}
+
 core::ProcessProfile ModelEngine::profile(ProcessHandle handle) const {
-  std::shared_lock lock(registry_mutex_);
-  REPRO_ENSURE(handle < registry_.size(), "unknown process handle");
-  return registry_[handle]->profile;
+  common::SharedLock lock(registry_mutex_);
+  return entry_of(handle).profile;
 }
 
 std::size_t ModelEngine::process_count() const {
-  std::shared_lock lock(registry_mutex_);
-  return registry_.size();
+  common::SharedLock lock(registry_mutex_);
+  std::size_t live = 0;
+  for (const auto& entry : registry_)
+    if (entry != nullptr) ++live;
+  return live;
 }
 
 const ModelEngine::Artifacts& ModelEngine::artifacts_of(
@@ -168,7 +209,7 @@ SystemPrediction ModelEngine::predict_locked(
       const std::size_t q = query.assignment.per_core[c].size();
       for (std::size_t slot = 0; slot < q; ++slot) {
         const std::size_t idx = query.assignment.per_core[c][slot];
-        const Entry& entry = *registry_[idx];
+        const Entry& entry = entry_of(static_cast<ProcessHandle>(idx));
         slots.push_back({static_cast<ProcessHandle>(idx), c});
         features.push_back(entry.profile.features);
         shares.push_back(1.0 / static_cast<double>(q));
@@ -232,7 +273,7 @@ SystemPrediction ModelEngine::predict_locked(
         point.prediction = eq[cursor];
         if (power_.has_value())
           point.dynamic_power = core::process_dynamic_power(
-              *power_, registry_[point.handle]->profile.alone,
+              *power_, entry_of(point.handle).profile.alone,
               eq[cursor].spi, eq[cursor].mpa);
         dyn += point.dynamic_power;
         ips += 1.0 / eq[cursor].spi;
@@ -250,7 +291,7 @@ SystemPrediction ModelEngine::predict_locked(
 }
 
 SystemPrediction ModelEngine::predict(const CoScheduleQuery& query) const {
-  std::shared_lock lock(registry_mutex_);
+  common::SharedLock lock(registry_mutex_);
   return predict_locked(query);
 }
 
@@ -259,14 +300,19 @@ std::vector<SystemPrediction> ModelEngine::predict_batch(
   std::vector<SystemPrediction> out(queries.size());
   // One reader lock for the whole batch: writers (register_process)
   // are excluded while pool workers read the registry lock-free.
-  std::shared_lock lock(registry_mutex_);
+  common::SharedLock lock(registry_mutex_);
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i)
       out[i] = predict_locked(queries[i]);
   } else {
-    pool_->parallel_for(queries.size(), [&](std::size_t i) {
-      out[i] = predict_locked(queries[i]);
-    });
+    // The REQUIRES_SHARED on the task records that the batch thread
+    // holds the reader lock on the workers' behalf for the whole fan-out
+    // (parallel_for returns before the lock is dropped).
+    pool_->parallel_for(
+        queries.size(),
+        [&](std::size_t i) REPRO_REQUIRES_SHARED(registry_mutex_) {
+          out[i] = predict_locked(queries[i]);
+        });
   }
   return out;
 }

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace repro::common {
@@ -70,6 +72,38 @@ TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
     EXPECT_STREQ(e.what(), "boom at 13");
   }
   EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWorkBeforeJoining) {
+  // Shutdown contract: tasks accepted by submit() run even when the
+  // pool is destroyed immediately afterwards — stopping_ only lets a
+  // worker exit once pending_ has reached zero.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+  }  // destructor: flag, wake, drain, join
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAThrowingParallelFor) {
+  // The error slot lives in the per-call ForState, so one poisoned
+  // loop must not leak state into the next one on the same pool.
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64, [](std::size_t) {
+        throw std::runtime_error("poisoned");
+      }),
+      std::runtime_error);
+  std::atomic<int> clean{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(clean.load(), 64);
 }
 
 TEST(ThreadPool, NestedSubmitFromWorkerDoesNotDeadlock) {
