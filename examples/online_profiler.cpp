@@ -95,8 +95,8 @@ int main(int argc, char** argv) {
   // re-price the running co-schedule after every further revision.
   bool query_set = false;
   auto sink = pipe.sink();
+  std::uint64_t next_seq = 0;  // history_since cursor, eviction-proof
   const sim::RunResult run = system.run(1.5, [&](const sim::Sample& s) {
-    const std::size_t seen = pipe.history().size();
     sink(s);
     if (!query_set && pipe.handle_of(app) && pipe.handle_of(batch)) {
       engine::CoScheduleQuery q;
@@ -106,8 +106,8 @@ int main(int argc, char** argv) {
       pipe.set_query(q);
       query_set = true;
     }
-    for (std::size_t i = seen; i < pipe.history().size(); ++i) {
-      const online::RevisionEvent& e = pipe.history()[i];
+    for (const online::RevisionEvent& e : pipe.history_since(next_seq)) {
+      next_seq = e.seq + 1;
       const core::ProcessProfile p = eng.profile(e.handle);
       double app_spi = 0.0;
       double watts = 0.0;
@@ -140,7 +140,8 @@ int main(int argc, char** argv) {
 
   // Check the last prediction against what the simulator measured over
   // the tail windows (the final phase pair).
-  if (pipe.latest().has_value()) {
+  const std::optional<engine::SystemPrediction> latest = pipe.latest();
+  if (latest.has_value()) {
     double measured_spi = 0.0;
     std::size_t tail = 0;
     for (std::size_t i = run.samples.size() >= 10 ? run.samples.size() - 10
@@ -154,7 +155,7 @@ int main(int argc, char** argv) {
     }
     measured_spi /= static_cast<double>(tail);
     double predicted_spi = 0.0;
-    for (const auto& pt : pipe.latest()->processes)
+    for (const auto& pt : latest->processes)
       if (pt.handle == *pipe.handle_of(app)) predicted_spi = pt.prediction.spi;
     std::printf("appserver final phase: predicted SPI %.3e, measured %.3e "
                 "(%.1f%% error)\n",

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "repro/common/mutex.hpp"
+#include "repro/common/thread_annotations.hpp"
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/profile_builder.hpp"
 #include "repro/online/sample_stream.hpp"
@@ -55,6 +57,10 @@ struct OnlinePipelineOptions {
 /// One profile revision as it flowed through the engine, plus the
 /// re-solved operating point (when a query was active).
 struct RevisionEvent {
+  /// Position in the pipeline's whole revision log: monotonic from 0,
+  /// unaffected by history-ring eviction — the cursor for
+  /// history_since() pollers.
+  std::uint64_t seq = 0;
   Seconds time = 0.0;                  // window end that triggered it
   engine::ProcessHandle handle = 0;
   std::uint64_t revision = 0;
@@ -111,13 +117,19 @@ class OnlinePipeline {
   /// Flush every builder's current phase and re-solve once more.
   void finish();
 
-  /// Most recent re-solved prediction, if any.
-  const std::optional<engine::SystemPrediction>& latest() const {
-    return latest_;
-  }
-  /// Revisions that flowed through, in stream order — the most recent
-  /// history_capacity of them (older events are evicted).
-  const std::deque<RevisionEvent>& history() const { return history_; }
+  /// Most recent re-solved prediction, if any. A snapshot copy: safe
+  /// to call from any thread while the ingest thread is in push().
+  std::optional<engine::SystemPrediction> latest() const;
+
+  /// Snapshot of the revisions that flowed through, in stream order —
+  /// the most recent history_capacity of them (older events evicted).
+  std::deque<RevisionEvent> history() const;
+
+  /// Events with seq >= `since` — the eviction-proof incremental
+  /// cursor for live watchers: poll with the last seen seq + 1 (or 0
+  /// to start). Events that aged out of the ring before a poll are
+  /// gone; seqs never renumber, so the cursor stays valid regardless.
+  std::vector<RevisionEvent> history_since(std::uint64_t since) const;
 
   struct Stats {
     std::uint64_t windows = 0;            // sample windows ingested (raw)
@@ -142,24 +154,39 @@ class OnlinePipeline {
     std::unique_ptr<ProfileBuilder> builder;
   };
 
-  void apply_revision(Monitored& m, ProfileRevision revision, Seconds time);
-  void record_event(RevisionEvent event);
-  std::vector<double> warm_seeds() const;
+  void apply_revision(Monitored& m, ProfileRevision revision, Seconds time)
+      REPRO_REQUIRES(mutex_);
+  void record_event(RevisionEvent event) REPRO_REQUIRES(mutex_);
+  std::vector<double> warm_seeds() const REPRO_REQUIRES(mutex_);
 
   engine::ModelEngine& engine_;
   OnlinePipelineOptions options_;
-  SampleStream stream_;
-  std::optional<SampleSanitizer> sanitizer_;  // engaged when harden
-  std::vector<std::unique_ptr<Monitored>> monitored_;
-  std::optional<engine::CoScheduleQuery> query_;
-  std::optional<engine::SystemPrediction> latest_;
-  std::deque<RevisionEvent> history_;
-  std::uint64_t revisions_ = 0;
-  std::uint64_t resolves_ = 0;
-  std::uint64_t solver_iterations_ = 0;
-  std::uint64_t revisions_rejected_ = 0;
-  std::uint64_t degraded_resolves_ = 0;
-  std::uint64_t history_evicted_ = 0;
+
+  /// One lock for the whole pipeline: the ingest thread holds it for
+  /// the duration of each push()/finish() (stream dispatch, builders,
+  /// revision application, re-solve), and every observability accessor
+  /// (stats, history, latest, handle_of) takes it for a snapshot —
+  /// what makes those accessors safe to call from a thread other than
+  /// the one driving sink(). Lock order: mutex_ before the engine's
+  /// registry lock (push → apply_revision → engine update/predict);
+  /// the engine never calls back into the pipeline, so the order is
+  /// acyclic.
+  mutable common::Mutex mutex_;
+  SampleStream stream_ REPRO_GUARDED_BY(mutex_);
+  std::optional<SampleSanitizer> sanitizer_  // engaged when harden
+      REPRO_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Monitored>> monitored_
+      REPRO_GUARDED_BY(mutex_);
+  std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
+  std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
+  std::deque<RevisionEvent> history_ REPRO_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t resolves_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t solver_iterations_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t revisions_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t degraded_resolves_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t history_evicted_ REPRO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace repro::online

@@ -12,6 +12,7 @@ OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
   if (options_.builder.ways == 0) options_.builder.ways = engine_.ways();
   REPRO_ENSURE(options_.builder.ways == engine_.ways(),
                "builder grid must match the engine's cache ways");
+  common::MutexLock lock(mutex_);
   if (options_.harden) {
     if (options_.sanitizer.ways == 0) options_.sanitizer.ways = engine_.ways();
     sanitizer_.emplace(options_.sanitizer);
@@ -20,6 +21,9 @@ OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
 
 void OnlinePipeline::monitor(ProcessId pid,
                              engine::ProcessHandle handle) {
+  // Fetch the baseline before taking the pipeline lock: profile() takes
+  // the engine's registry lock, and holding ours across it here would
+  // widen the mutex_ → registry lock ordering for no benefit.
   const core::ProcessProfile baseline = engine_.profile(handle);
   auto m = std::make_unique<Monitored>();
   m->pid = pid;
@@ -28,12 +32,14 @@ void OnlinePipeline::monitor(ProcessId pid,
   m->builder = std::make_unique<ProfileBuilder>(baseline.name,
                                                 options_.builder);
   m->builder->set_baseline(baseline);
+  common::MutexLock lock(mutex_);
   Monitored* raw = m.get();
   monitored_.push_back(std::move(m));
-  stream_.attach(pid, [this, raw](const WindowObservation& obs) {
-    if (auto revision = raw->builder->push(obs))
-      apply_revision(*raw, std::move(*revision), obs.time);
-  });
+  stream_.attach(
+      pid, [this, raw](const WindowObservation& obs) REPRO_REQUIRES(mutex_) {
+        if (auto revision = raw->builder->push(obs))
+          apply_revision(*raw, std::move(*revision), obs.time);
+      });
 }
 
 void OnlinePipeline::monitor(ProcessId pid, std::string name) {
@@ -42,27 +48,32 @@ void OnlinePipeline::monitor(ProcessId pid, std::string name) {
   m->name = name;
   m->builder = std::make_unique<ProfileBuilder>(std::move(name),
                                                 options_.builder);
+  common::MutexLock lock(mutex_);
   Monitored* raw = m.get();
   monitored_.push_back(std::move(m));
-  stream_.attach(pid, [this, raw](const WindowObservation& obs) {
-    if (auto revision = raw->builder->push(obs))
-      apply_revision(*raw, std::move(*revision), obs.time);
-  });
+  stream_.attach(
+      pid, [this, raw](const WindowObservation& obs) REPRO_REQUIRES(mutex_) {
+        if (auto revision = raw->builder->push(obs))
+          apply_revision(*raw, std::move(*revision), obs.time);
+      });
 }
 
 std::optional<engine::ProcessHandle> OnlinePipeline::handle_of(
     ProcessId pid) const {
+  common::MutexLock lock(mutex_);
   for (const auto& m : monitored_)
     if (m->pid == pid) return m->handle;
   return std::nullopt;
 }
 
 void OnlinePipeline::set_query(engine::CoScheduleQuery query) {
+  common::MutexLock lock(mutex_);
   query_ = std::move(query);
   latest_.reset();  // stale seeds would belong to the previous query
 }
 
 void OnlinePipeline::push(const sim::Sample& sample) {
+  common::MutexLock lock(mutex_);
   if (!sanitizer_.has_value()) {
     stream_.push(sample);
     return;
@@ -72,6 +83,7 @@ void OnlinePipeline::push(const sim::Sample& sample) {
 }
 
 void OnlinePipeline::finish() {
+  common::MutexLock lock(mutex_);
   for (auto& m : monitored_) {
     if (auto revision = m->builder->finish()) {
       // finish() has no window timestamp; reuse the last event's (the
@@ -80,6 +92,32 @@ void OnlinePipeline::finish() {
       apply_revision(*m, std::move(*revision), t);
     }
   }
+}
+
+std::optional<engine::SystemPrediction> OnlinePipeline::latest() const {
+  common::MutexLock lock(mutex_);
+  return latest_;
+}
+
+std::deque<RevisionEvent> OnlinePipeline::history() const {
+  common::MutexLock lock(mutex_);
+  return history_;
+}
+
+std::vector<RevisionEvent> OnlinePipeline::history_since(
+    std::uint64_t since) const {
+  common::MutexLock lock(mutex_);
+  std::vector<RevisionEvent> out;
+  // Ring seqs are contiguous [next_seq_ - size, next_seq_), so the
+  // first event with seq >= since sits at a computable offset.
+  if (history_.empty() || since >= next_seq_) return out;
+  const std::uint64_t front_seq = next_seq_ - history_.size();
+  const std::uint64_t start = since > front_seq ? since - front_seq : 0;
+  out.reserve(history_.size() - static_cast<std::size_t>(start));
+  for (std::size_t i = static_cast<std::size_t>(start); i < history_.size();
+       ++i)
+    out.push_back(history_[i]);
+  return out;
 }
 
 std::vector<double> OnlinePipeline::warm_seeds() const {
@@ -180,6 +218,7 @@ void OnlinePipeline::apply_revision(Monitored& m, ProfileRevision revision,
 }
 
 void OnlinePipeline::record_event(RevisionEvent event) {
+  event.seq = next_seq_++;
   history_.push_back(std::move(event));
   if (options_.history_capacity > 0 &&
       history_.size() > options_.history_capacity) {
@@ -189,8 +228,10 @@ void OnlinePipeline::record_event(RevisionEvent event) {
 }
 
 OnlinePipeline::Stats OnlinePipeline::stats() const {
+  common::MutexLock lock(mutex_);
   Stats s;
-  const SanitizerStats sani = sanitizer_stats();
+  const SanitizerStats sani =
+      sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
   // `windows` counts raw ingested windows whether or not they survived
   // sanitization, so it stays monotonic and comparable across modes.
   s.windows = sanitizer_.has_value() ? sani.windows : stream_.windows();
@@ -210,6 +251,7 @@ OnlinePipeline::Stats OnlinePipeline::stats() const {
 }
 
 SanitizerStats OnlinePipeline::sanitizer_stats() const {
+  common::MutexLock lock(mutex_);
   return sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <utility>
@@ -164,14 +165,17 @@ TEST(OnlinePipeline, RevisionsReSolveTheActiveQueryWarmStarted) {
   ASSERT_EQ(history.size(), stats.revisions);
   std::uint64_t iters = 0;
   for (std::size_t i = 0; i < history.size(); ++i) {
-    if (i > 0) EXPECT_GE(history[i].time, history[i - 1].time);
+    if (i > 0) {
+      EXPECT_GE(history[i].time, history[i - 1].time);
+    }
     EXPECT_EQ(history[i].handle, target_h);
     EXPECT_TRUE(history[i].resolved);
     EXPECT_GE(history[i].solver_iterations, 0);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_LE(history[i].solver_iterations,
                 8 * static_cast<int>(machine.dies))
           << "re-solve " << i << " was not warm";
+    }
     iters += static_cast<std::uint64_t>(history[i].solver_iterations);
   }
   EXPECT_EQ(stats.solver_iterations, iters);
@@ -237,11 +241,13 @@ TEST(OnlinePipeline, CleanStreamParityWithAndWithoutHardening) {
   EXPECT_EQ(on.revisions, off.revisions);
   EXPECT_EQ(on.resolves, off.resolves);
   EXPECT_EQ(on.solver_iterations, off.solver_iterations);
-  ASSERT_EQ(pipe_on->history().size(), pipe_off->history().size());
-  ASSERT_GE(pipe_on->history().size(), 2u);
-  for (std::size_t i = 0; i < pipe_on->history().size(); ++i) {
-    const RevisionEvent& a = pipe_on->history()[i];
-    const RevisionEvent& b = pipe_off->history()[i];
+  const std::deque<RevisionEvent> hist_on = pipe_on->history();
+  const std::deque<RevisionEvent> hist_off = pipe_off->history();
+  ASSERT_EQ(hist_on.size(), hist_off.size());
+  ASSERT_GE(hist_on.size(), 2u);
+  for (std::size_t i = 0; i < hist_on.size(); ++i) {
+    const RevisionEvent& a = hist_on[i];
+    const RevisionEvent& b = hist_off[i];
     EXPECT_EQ(a.time, b.time) << "event " << i;
     EXPECT_EQ(a.revision, b.revision);
     EXPECT_EQ(a.resolved, b.resolved);
@@ -388,6 +394,66 @@ TEST(OnlinePipeline, BoundedHistoryEvictsOldestAndKeepsCountersMonotonic) {
   EXPECT_EQ(pipe.history().back().revision, stats.revisions);
   EXPECT_EQ(pipe.history().front().revision, stats.revisions - 1);
   EXPECT_EQ(eng.profile(handle).revision, stats.revisions);
+}
+
+TEST(OnlinePipeline, HistorySinceCursorSurvivesEviction) {
+  // A consumer polling with history_since(seq) must see every event
+  // exactly once even when the bounded ring evicts between polls —
+  // the seq cursor is monotonic and eviction-proof, unlike indexing
+  // into history() by absolute position.
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  engine::ModelEngine eng(machine);
+  const engine::ProcessHandle handle =
+      eng.register_process(handmade_profile("target", ways));
+
+  OnlinePipelineOptions options = fast_options();
+  options.builder.refit_interval = 2;
+  options.history_capacity = 2;  // evict aggressively
+  OnlinePipeline pipe(eng, options);
+  pipe.monitor(/*pid=*/0, handle);
+
+  std::vector<std::uint64_t> seen;
+  std::uint64_t next_seq = 0;
+  double t = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    pipe.push(synth_sample(t += 0.03, 1.0 + 0.4 * i, 0.4 - 0.015 * i,
+                           2.0e-9 + 1.0e-11 * i));
+    // Poll only every fourth window so several events (more than the
+    // ring holds) can accumulate and the oldest get evicted unseen.
+    if (i % 4 == 3) {
+      for (const RevisionEvent& e : pipe.history_since(next_seq)) {
+        next_seq = e.seq + 1;
+        seen.push_back(e.seq);
+      }
+    }
+  }
+  pipe.finish();
+  for (const RevisionEvent& e : pipe.history_since(next_seq)) {
+    next_seq = e.seq + 1;
+    seen.push_back(e.seq);
+  }
+
+  const OnlinePipeline::Stats stats = pipe.stats();
+  ASSERT_GE(stats.revisions, 4u);
+  EXPECT_GT(stats.health.history_evicted, 0u);
+
+  // Sequence numbers are assigned 0,1,2,... in stream order; the
+  // cursor sees a strictly increasing subsequence with no duplicates,
+  // and nothing after the last poll is missing.
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_GT(seen[i], seen[i - 1]) << "duplicate or reordered event";
+  EXPECT_EQ(seen.back(), stats.revisions - 1)
+      << "final poll missed the newest event";
+  // A cursor past the end yields nothing; a stale cursor pointing at
+  // evicted events returns only what the ring still holds.
+  EXPECT_TRUE(pipe.history_since(next_seq).empty());
+  const std::vector<RevisionEvent> tail = pipe.history_since(0);
+  EXPECT_EQ(tail.size(), pipe.history().size());
+  if (!tail.empty()) {
+    EXPECT_EQ(tail.back().seq, stats.revisions - 1);
+  }
 }
 
 }  // namespace

@@ -11,7 +11,7 @@
 //                     --jobs gzip,mcf,art,equake
 //   cmpmodel simulate --machine server --assign "gzip;mcf" [--seconds 0.3]
 //   cmpmodel watch    --machine workstation --assign "gzip>art;mcf"
-//                     [--seconds 1.5] [--store s.txt]
+//                     [--seconds 1.5] [--store s.txt] [--json on]
 //                     [--fault-rate 0.05] [--faults drop,wrap,spike]
 //                     [--fault-seed 1] [--sanitize on|off]
 //
@@ -32,7 +32,12 @@
 // class in --faults: drop,dup,reorder,wrap,scale,spike,zero) so the
 // hardened pipeline's sanitizer and degradation policy can be watched
 // at work; --sanitize off disables the hardening for comparison. The
-// end-of-run summary prints the PipelineHealth counters.
+// end-of-run summary prints the PipelineHealth counters. With
+// --json on, stdout carries exactly one JSON object per sample window
+// (window index, time, the revision events it produced, and the
+// PipelineHealth counter deltas) followed by one {"summary":...}
+// object — a machine-diffable trace for CI; human chatter moves to
+// stderr.
 //
 // predict and estimate run on the ModelEngine facade: predict places
 // the named processes one per core starting at core 0 (so on the
@@ -357,6 +362,64 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+/// Escape a string for embedding in a JSON string literal (process
+/// names are shell-provided, so quotes/backslashes are possible).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// --json mode: one object per sample window with the revision events
+/// it produced and the PipelineHealth counter deltas, so a watch trace
+/// is line-diffable in CI.
+void print_window_json(std::uint64_t window, const sim::Sample& sample,
+                       const engine::ModelEngine& eng,
+                       const std::vector<online::RevisionEvent>& events,
+                       const online::PipelineHealth& delta) {
+  std::printf("{\"window\":%llu,\"t\":%.6f,\"revisions\":[",
+              static_cast<unsigned long long>(window), sample.time);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const online::RevisionEvent& e = events[i];
+    double spi = 0.0;
+    if (e.resolved)
+      for (const auto& pt : e.prediction.processes)
+        if (pt.handle == e.handle) spi = pt.prediction.spi;
+    std::printf(
+        "%s{\"seq\":%llu,\"process\":\"%s\",\"handle\":%u,"
+        "\"revision\":%llu,\"fit_rms\":%.6g,\"fit_windows\":%zu,"
+        "\"resolved\":%s,\"degraded\":%s,\"solver_iterations\":%d,"
+        "\"spi_ns\":%.6g,\"power_w\":%.6g}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(e.seq),
+        json_escape(eng.profile(e.handle).name).c_str(), e.handle,
+        static_cast<unsigned long long>(e.revision), e.quality.fit_rms,
+        e.quality.windows, e.resolved ? "true" : "false",
+        e.degraded ? "true" : "false", e.solver_iterations, spi * 1e9,
+        e.resolved ? e.prediction.total_power : 0.0);
+  }
+  std::printf(
+      "],\"health_delta\":{\"seen\":%llu,\"forwarded\":%llu,"
+      "\"repaired\":%llu,\"quarantined\":%llu,\"rejected\":%llu,"
+      "\"degraded\":%llu,\"evicted\":%llu}}\n",
+      static_cast<unsigned long long>(delta.windows_seen),
+      static_cast<unsigned long long>(delta.windows_forwarded),
+      static_cast<unsigned long long>(delta.windows_repaired),
+      static_cast<unsigned long long>(delta.windows_quarantined),
+      static_cast<unsigned long long>(delta.revisions_rejected),
+      static_cast<unsigned long long>(delta.degraded_resolves),
+      static_cast<unsigned long long>(delta.history_evicted));
+}
+
 int cmd_watch(const Args& args) {
   const MachineChoice m = machine_by_name(args.require("machine"));
   std::vector<std::string> names;
@@ -373,6 +436,7 @@ int cmd_watch(const Args& args) {
   const auto fault_seed =
       static_cast<std::uint64_t>(std::stoull(args.get("fault-seed", "1")));
   const bool sanitize = args.get("sanitize", "on") != "off";
+  const bool json = args.get("json", "off") != "off";
 
   // An existing store contributes its power model (prices re-solves);
   // profiles always come from the stream — that is the point.
@@ -416,10 +480,12 @@ int cmd_watch(const Args& args) {
   for (std::size_t idx = 0; idx < names.size(); ++idx)
     pipe.monitor(pids[idx], names[idx]);
 
-  std::printf("watching %zu processes for %.2fs of virtual time...\n\n",
-              names.size(), seconds);
-  std::printf("%-8s %-12s %-4s %-9s %-9s %-7s\n", "t [s]", "process", "rev",
-              "SPI (ns)", "P [W]", "iters");
+  if (!json) {
+    std::printf("watching %zu processes for %.2fs of virtual time...\n\n",
+                names.size(), seconds);
+    std::printf("%-8s %-12s %-4s %-9s %-9s %-7s\n", "t [s]", "process", "rev",
+                "SPI (ns)", "P [W]", "iters");
+  }
 
   bool query_set = false;
   auto sink = pipe.sink();
@@ -433,13 +499,37 @@ int cmd_watch(const Args& args) {
       fi.rate_of(*cls) = fault_rate;
     }
     chaos.emplace(sink, fi);
-    std::printf("injecting faults (%s) at rate %.3f, seed %llu%s\n\n",
-                fault_list.c_str(), fault_rate,
-                static_cast<unsigned long long>(fault_seed),
-                sanitize ? "" : " — SANITIZER OFF");
+    if (!json)
+      std::printf("injecting faults (%s) at rate %.3f, seed %llu%s\n\n",
+                  fault_list.c_str(), fault_rate,
+                  static_cast<unsigned long long>(fault_seed),
+                  sanitize ? "" : " — SANITIZER OFF");
   }
+  // Poll history through the eviction-proof seq cursor: absolute ring
+  // indices renumber once the history ring starts evicting, seqs never
+  // do. Health counters are diffed window-over-window for --json.
+  std::uint64_t next_seq = 0;
+  std::uint64_t window_index = 0;
+  online::PipelineHealth last_health;
+  auto health_delta = [&last_health](const online::PipelineHealth& health) {
+    online::PipelineHealth delta;
+    delta.windows_seen = health.windows_seen - last_health.windows_seen;
+    delta.windows_forwarded =
+        health.windows_forwarded - last_health.windows_forwarded;
+    delta.windows_repaired =
+        health.windows_repaired - last_health.windows_repaired;
+    delta.windows_quarantined =
+        health.windows_quarantined - last_health.windows_quarantined;
+    delta.revisions_rejected =
+        health.revisions_rejected - last_health.revisions_rejected;
+    delta.degraded_resolves =
+        health.degraded_resolves - last_health.degraded_resolves;
+    delta.history_evicted =
+        health.history_evicted - last_health.history_evicted;
+    last_health = health;
+    return delta;
+  };
   system.run(seconds, [&](const sim::Sample& s) {
-    const std::size_t seen = pipe.history().size();
     if (chaos.has_value())
       chaos->push(s);
     else
@@ -458,55 +548,110 @@ int cmd_watch(const Args& args) {
         query_set = true;
       }
     }
-    for (std::size_t i = seen; i < pipe.history().size(); ++i) {
-      const online::RevisionEvent& e = pipe.history()[i];
-      double spi = 0.0;
-      if (e.resolved)
-        for (const auto& pt : e.prediction.processes)
-          if (pt.handle == e.handle) spi = pt.prediction.spi;
-      std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
-                  eng->profile(e.handle).name.c_str(),
-                  static_cast<unsigned long long>(e.revision), spi * 1e9,
-                  e.resolved ? e.prediction.total_power : 0.0,
-                  e.solver_iterations, e.degraded ? " degraded" : "");
+    const std::vector<online::RevisionEvent> fresh =
+        pipe.history_since(next_seq);
+    if (!fresh.empty()) next_seq = fresh.back().seq + 1;
+    if (json) {
+      print_window_json(window_index, s, *eng, fresh,
+                        health_delta(pipe.stats().health));
+    } else {
+      for (const online::RevisionEvent& e : fresh) {
+        double spi = 0.0;
+        if (e.resolved)
+          for (const auto& pt : e.prediction.processes)
+            if (pt.handle == e.handle) spi = pt.prediction.spi;
+        std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
+                    eng->profile(e.handle).name.c_str(),
+                    static_cast<unsigned long long>(e.revision), spi * 1e9,
+                    e.resolved ? e.prediction.total_power : 0.0,
+                    e.solver_iterations, e.degraded ? " degraded" : "");
+      }
     }
+    ++window_index;
   });
   if (chaos.has_value()) chaos->flush();
   pipe.finish();
 
+  // finish() force-fits the tail windows, which can emit a last burst
+  // of revisions; drain them so the trace covers the whole stream.
+  const std::vector<online::RevisionEvent> tail = pipe.history_since(next_seq);
+  if (!tail.empty()) {
+    next_seq = tail.back().seq + 1;
+    if (json) {
+      sim::Sample flush_sample;
+      flush_sample.time = seconds;
+      print_window_json(window_index, flush_sample, *eng, tail,
+                        health_delta(pipe.stats().health));
+    } else {
+      for (const online::RevisionEvent& e : tail) {
+        double spi = 0.0;
+        if (e.resolved)
+          for (const auto& pt : e.prediction.processes)
+            if (pt.handle == e.handle) spi = pt.prediction.spi;
+        std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
+                    eng->profile(e.handle).name.c_str(),
+                    static_cast<unsigned long long>(e.revision), spi * 1e9,
+                    e.resolved ? e.prediction.total_power : 0.0,
+                    e.solver_iterations, e.degraded ? " degraded" : "");
+      }
+    }
+  }
+
   const online::OnlinePipeline::Stats stats = pipe.stats();
-  std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
-              "%llu re-solves (mean %.1f solver iterations)\n",
-              static_cast<unsigned long long>(stats.windows),
-              static_cast<unsigned long long>(stats.revisions),
-              static_cast<unsigned long long>(stats.phase_changes),
-              static_cast<unsigned long long>(stats.resolves),
-              stats.resolves > 0
-                  ? static_cast<double>(stats.solver_iterations) /
-                        static_cast<double>(stats.resolves)
-                  : 0.0);
-  const online::PipelineHealth& health = stats.health;
-  std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
-              "%llu quarantined), %llu revisions rejected, "
-              "%llu degraded re-solves, %llu history evictions\n",
-              static_cast<unsigned long long>(health.windows_forwarded),
-              static_cast<unsigned long long>(health.windows_seen),
-              static_cast<unsigned long long>(health.windows_repaired),
-              static_cast<unsigned long long>(health.windows_quarantined),
-              static_cast<unsigned long long>(health.revisions_rejected),
-              static_cast<unsigned long long>(health.degraded_resolves),
-              static_cast<unsigned long long>(health.history_evicted));
-  if (chaos.has_value()) {
-    const sim::FaultInjector::Stats& f = chaos->stats();
-    std::printf("faults: %llu dropped, %llu duplicated, %llu reordered, "
-                "%llu wrapped, %llu scaled, %llu spiked, %llu zeroed\n",
-                static_cast<unsigned long long>(f.dropped),
-                static_cast<unsigned long long>(f.duplicated),
-                static_cast<unsigned long long>(f.reordered),
-                static_cast<unsigned long long>(f.wrapped),
-                static_cast<unsigned long long>(f.scaled),
-                static_cast<unsigned long long>(f.spiked),
-                static_cast<unsigned long long>(f.zeroed));
+  if (json) {
+    const online::PipelineHealth& h = stats.health;
+    std::printf(
+        "{\"summary\":{\"windows\":%llu,\"revisions\":%llu,"
+        "\"phase_changes\":%llu,\"resolves\":%llu,"
+        "\"solver_iterations\":%llu,\"health\":{\"seen\":%llu,"
+        "\"forwarded\":%llu,\"repaired\":%llu,\"quarantined\":%llu,"
+        "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu}}}\n",
+        static_cast<unsigned long long>(stats.windows),
+        static_cast<unsigned long long>(stats.revisions),
+        static_cast<unsigned long long>(stats.phase_changes),
+        static_cast<unsigned long long>(stats.resolves),
+        static_cast<unsigned long long>(stats.solver_iterations),
+        static_cast<unsigned long long>(h.windows_seen),
+        static_cast<unsigned long long>(h.windows_forwarded),
+        static_cast<unsigned long long>(h.windows_repaired),
+        static_cast<unsigned long long>(h.windows_quarantined),
+        static_cast<unsigned long long>(h.revisions_rejected),
+        static_cast<unsigned long long>(h.degraded_resolves),
+        static_cast<unsigned long long>(h.history_evicted));
+  } else {
+    std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
+                "%llu re-solves (mean %.1f solver iterations)\n",
+                static_cast<unsigned long long>(stats.windows),
+                static_cast<unsigned long long>(stats.revisions),
+                static_cast<unsigned long long>(stats.phase_changes),
+                static_cast<unsigned long long>(stats.resolves),
+                stats.resolves > 0
+                    ? static_cast<double>(stats.solver_iterations) /
+                          static_cast<double>(stats.resolves)
+                    : 0.0);
+    const online::PipelineHealth& health = stats.health;
+    std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
+                "%llu quarantined), %llu revisions rejected, "
+                "%llu degraded re-solves, %llu history evictions\n",
+                static_cast<unsigned long long>(health.windows_forwarded),
+                static_cast<unsigned long long>(health.windows_seen),
+                static_cast<unsigned long long>(health.windows_repaired),
+                static_cast<unsigned long long>(health.windows_quarantined),
+                static_cast<unsigned long long>(health.revisions_rejected),
+                static_cast<unsigned long long>(health.degraded_resolves),
+                static_cast<unsigned long long>(health.history_evicted));
+    if (chaos.has_value()) {
+      const sim::FaultInjector::Stats& f = chaos->stats();
+      std::printf("faults: %llu dropped, %llu duplicated, %llu reordered, "
+                  "%llu wrapped, %llu scaled, %llu spiked, %llu zeroed\n",
+                  static_cast<unsigned long long>(f.dropped),
+                  static_cast<unsigned long long>(f.duplicated),
+                  static_cast<unsigned long long>(f.reordered),
+                  static_cast<unsigned long long>(f.wrapped),
+                  static_cast<unsigned long long>(f.scaled),
+                  static_cast<unsigned long long>(f.spiked),
+                  static_cast<unsigned long long>(f.zeroed));
+    }
   }
 
   if (!store_path.empty()) {
@@ -522,7 +667,9 @@ int cmd_watch(const Args& args) {
         if (!replaced) store.profiles.push_back(fresh);
       }
     core::save_store(store_path, store);
-    std::printf("saved streamed revisions to %s\n", store_path.c_str());
+    // stdout stays pure JSON in --json mode; notes go to stderr.
+    std::fprintf(json ? stderr : stdout, "saved streamed revisions to %s\n",
+                 store_path.c_str());
   }
   return 0;
 }
