@@ -1,0 +1,544 @@
+// repro-lint: the repository's own static-analysis gate.
+//
+// Complements the compiler gates (-Wthread-safety, clang-tidy) with
+// repo-specific rules no generic tool enforces:
+//
+//   header/self-contained  every public header under include/ compiles
+//                          standalone (caught: missing includes that
+//                          only work because of lucky include order)
+//   ban/rand               std::rand / rand() — use repro::common::Rng,
+//                          which is seedable and deterministic
+//   ban/wall-clock         std::time / system_clock / gettimeofday —
+//                          wall-clock reads break replayability; use
+//                          steady_clock for durations, sample times
+//                          come from the simulator
+//   ban/throw-in-sink      explicit throw in src/online + src/engine:
+//                          exceptions escaping a sample sink kill the
+//                          monitored run (hardened paths must degrade)
+//   num/float-eq           ==/!= against floating literals in the math
+//                          and core model layers (exact-zero guards are
+//                          suppressed explicitly, not silently)
+//   ensure/message         every REPRO_ENSURE carries a non-empty
+//                          message (the expression alone is not a
+//                          diagnosis)
+//   todo/owner             TODO comments name an owner: TODO(name): ...
+//
+// Output is machine-readable, one finding per line:
+//   <file>:<line>: <rule-id>: <message>
+// Known-intentional sites live in tools/repro_lint.supp as
+// "<rule-id> <path-substring>" lines. Exit status: 0 = clean,
+// 1 = unsuppressed findings, 2 = usage/config error.
+//
+// Usage:
+//   repro_lint --root <repo> [--supp <file>] [--compiler <cc>]
+//              [--no-compile]
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // repo-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string path_substring;
+  mutable bool used = false;
+};
+
+struct Options {
+  fs::path root = ".";
+  fs::path supp;
+  std::string compiler = "g++";
+  bool compile_headers = true;
+};
+
+/// Replaces comments and the *contents* of string/char literals with
+/// spaces (quotes and newlines survive), so textual rules never fire
+/// on prose. Handles //, /* */, "...", '...', and basic R"(...)".
+std::string blank_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          state = State::kRaw;
+          ++i;  // keep R and the opening quote
+        } else if (c == '"') {
+          state = State::kStr;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kStr:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        // Plain R"( ... )" only — the repo does not use custom
+        // delimiters; the contents are blanked like a normal string.
+        if (c == ')' && next == '"') {
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds `needle` at identifier boundaries in `code` (an occurrence
+/// is rejected when an identifier character precedes it or follows
+/// it). `needle` may end in '(' to demand a call.
+void find_identifier(const std::string& code, const std::string& file,
+                     std::string_view needle, std::string_view rule,
+                     std::string_view message, std::vector<Finding>& out) {
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = needle.back() == '(' || end >= code.size() ||
+                          !is_ident_char(code[end]);
+    if (left_ok && right_ok)
+      out.push_back({file, line_of(code, pos), std::string(rule),
+                     std::string(message)});
+    pos = end;
+  }
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_float_literal_at(const std::string& code, std::size_t pos,
+                         bool backwards) {
+  // Forwards: digits '.' digits. Backwards: scan left past the literal.
+  if (backwards) {
+    std::size_t i = pos;  // pos = index just past the literal candidate
+    bool digits = false, dot = false;
+    while (i > 0) {
+      const char c = code[i - 1];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        --i;
+      } else if (c == '.' && !dot) {
+        dot = true;
+        --i;
+      } else {
+        break;
+      }
+    }
+    return digits && dot;
+  }
+  std::size_t i = pos;
+  bool digits = false;
+  while (i < code.size() &&
+         std::isdigit(static_cast<unsigned char>(code[i]))) {
+    digits = true;
+    ++i;
+  }
+  if (i >= code.size() || code[i] != '.') return false;
+  ++i;
+  while (i < code.size() &&
+         std::isdigit(static_cast<unsigned char>(code[i]))) {
+    digits = true;
+    ++i;
+  }
+  return digits;
+}
+
+/// ==/!= where one side is a floating literal (0.0, 1e-9 is not
+/// matched — only dotted literals, the repo's idiom for exact checks).
+void check_float_eq(const std::string& code, const std::string& file,
+                    std::vector<Finding>& out) {
+  for (std::size_t pos = 0; pos + 1 < code.size(); ++pos) {
+    if ((code[pos] != '=' && code[pos] != '!') || code[pos + 1] != '=')
+      continue;
+    if (pos > 0 && (code[pos - 1] == '=' || code[pos - 1] == '!' ||
+                    code[pos - 1] == '<' || code[pos - 1] == '>'))
+      continue;
+    if (pos + 2 < code.size() && code[pos + 2] == '=') continue;
+    // Right side: skip spaces and an optional sign.
+    std::size_t r = pos + 2;
+    while (r < code.size() && code[r] == ' ') ++r;
+    if (r < code.size() && code[r] == '-') ++r;
+    // Left side: skip spaces.
+    std::size_t l = pos;
+    while (l > 0 && code[l - 1] == ' ') --l;
+    if (is_float_literal_at(code, r, /*backwards=*/false) ||
+        is_float_literal_at(code, l, /*backwards=*/true)) {
+      out.push_back(
+          {file, line_of(code, pos), "num/float-eq",
+           "exact floating-point comparison; use a tolerance or add a "
+           "suppression if the exact check is intentional"});
+      ++pos;
+    }
+  }
+}
+
+/// REPRO_ENSURE(cond, "message"): ≥ 2 top-level arguments and the last
+/// one contains a non-empty string literal. Parses balanced parens on
+/// the blanked text (so parens in strings don't confuse it) but reads
+/// the message from the raw text.
+void check_ensure_messages(const std::string& code, const std::string& raw,
+                           const std::string& file,
+                           std::vector<Finding>& out) {
+  static constexpr std::string_view kMacro = "REPRO_ENSURE";
+  std::size_t pos = 0;
+  while ((pos = code.find(kMacro, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += kMacro.size();
+    if (at > 0 && is_ident_char(code[at - 1])) continue;
+    // Skip the macro's own definition (#define REPRO_ENSURE(...)).
+    const std::size_t bol = code.rfind('\n', at) + 1;  // npos+1 == 0
+    if (code.find("#define", bol) < at) continue;
+    std::size_t i = pos;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(
+                                  code[i])))
+      ++i;
+    if (i >= code.size() || code[i] != '(') continue;  // the definition
+    int depth = 0;
+    std::size_t last_comma = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (; i < code.size(); ++i) {
+      if (code[i] == '(')
+        ++depth;
+      else if (code[i] == ')') {
+        if (--depth == 0) {
+          close = i;
+          break;
+        }
+      } else if (code[i] == ',' && depth == 1) {
+        last_comma = i;
+      }
+    }
+    if (close == std::string::npos) continue;  // unbalanced; compiler's job
+    const std::size_t line = line_of(code, at);
+    if (last_comma == std::string::npos) {
+      out.push_back({file, line, "ensure/message",
+                     "REPRO_ENSURE without a message argument"});
+      pos = close;
+      continue;
+    }
+    // The last argument must contain "..." with at least one character
+    // between the quotes (read from the raw text — contents are
+    // blanked in `code`, but offsets line up one to one).
+    bool ok = false;
+    for (std::size_t j = last_comma; j + 2 < close + 1 && j + 1 < raw.size();
+         ++j) {
+      if (raw[j] == '"' && raw[j + 1] != '"') {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok)
+      out.push_back({file, line, "ensure/message",
+                     "REPRO_ENSURE message is empty; say what went wrong "
+                     "and with which value"});
+    pos = close;
+  }
+}
+
+void check_todo_owner(const std::string& raw, const std::string& file,
+                      std::vector<Finding>& out) {
+  std::size_t pos = 0;
+  while ((pos = raw.find("TODO", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 4;
+    if (at > 0 && is_ident_char(raw[at - 1])) continue;
+    if (pos < raw.size() && is_ident_char(raw[pos])) continue;
+    const bool owned = pos < raw.size() && raw[pos] == '(' &&
+                       pos + 1 < raw.size() && raw[pos + 1] != ')';
+    if (!owned)
+      out.push_back({file, line_of(raw, at), "todo/owner",
+                     "TODO without an owner; write TODO(name): ..."});
+  }
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string rel_slash(const fs::path& p, const fs::path& root) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+bool under(const std::string& rel, std::string_view dir) {
+  return starts_with(rel, dir);
+}
+
+void scan_file(const fs::path& path, const std::string& rel,
+               std::vector<Finding>& out) {
+  const auto raw_opt = read_file(path);
+  if (!raw_opt) {
+    out.push_back({rel, 0, "io/unreadable", "cannot read file"});
+    return;
+  }
+  const std::string& raw = *raw_opt;
+  const std::string code = blank_comments_and_strings(raw);
+
+  find_identifier(code, rel, "std::rand", "ban/rand",
+                  "std::rand is banned; use repro::common::Rng", out);
+  find_identifier(code, rel, "srand", "ban/rand",
+                  "srand is banned; use repro::common::Rng", out);
+  find_identifier(code, rel, "std::time", "ban/wall-clock",
+                  "wall-clock reads break replayability; use "
+                  "std::chrono::steady_clock for durations",
+                  out);
+  find_identifier(code, rel, "system_clock", "ban/wall-clock",
+                  "wall-clock reads break replayability; use "
+                  "std::chrono::steady_clock for durations",
+                  out);
+  find_identifier(code, rel, "gettimeofday", "ban/wall-clock",
+                  "wall-clock reads break replayability; use "
+                  "std::chrono::steady_clock for durations",
+                  out);
+
+  if (under(rel, "src/online/") || under(rel, "src/engine/"))
+    find_identifier(code, rel, "throw", "ban/throw-in-sink",
+                    "explicit throw on a sink/callback path; hardened "
+                    "paths must degrade, not unwind the monitored run "
+                    "(REPRO_ENSURE for precondition checks is fine)",
+                    out);
+
+  if (under(rel, "src/math/") || under(rel, "src/core/") ||
+      under(rel, "include/repro/math/") || under(rel, "include/repro/core/"))
+    check_float_eq(code, rel, out);
+
+  check_ensure_messages(code, raw, rel, out);
+  check_todo_owner(raw, rel, out);
+}
+
+void check_header_self_contained(const fs::path& header,
+                                 const std::string& rel, const Options& opt,
+                                 std::vector<Finding>& out) {
+  std::string cmd = opt.compiler;
+  cmd += " -std=c++20 -fsyntax-only -I";
+  cmd += (opt.root / "include").string();
+  cmd += " -x c++ ";
+  cmd += header.string();
+  cmd += " >/dev/null 2>&1";
+  if (std::system(cmd.c_str()) != 0)
+    out.push_back(
+        {rel, 1, "header/self-contained",
+         "header does not compile standalone; add the includes it is "
+         "borrowing from its includers (repro: " +
+             opt.compiler + " -std=c++20 -fsyntax-only -Iinclude " + rel +
+             ")"});
+}
+
+std::vector<Suppression> load_suppressions(const fs::path& file,
+                                           bool& config_error) {
+  std::vector<Suppression> supp;
+  if (file.empty()) return supp;
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "repro-lint: cannot read suppression file %s\n",
+                 file.string().c_str());
+    config_error = true;
+    return supp;
+  }
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string rule, path;
+    if (!(ss >> rule)) continue;  // blank
+    if (!(ss >> path)) {
+      std::fprintf(stderr,
+                   "repro-lint: %s:%zu: suppression needs \"<rule> "
+                   "<path-substring>\"\n",
+                   file.string().c_str(), n);
+      config_error = true;
+      continue;
+    }
+    supp.push_back({rule, path, false});
+  }
+  return supp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "repro-lint: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root")
+      opt.root = value();
+    else if (arg == "--supp")
+      opt.supp = value();
+    else if (arg == "--compiler")
+      opt.compiler = value();
+    else if (arg == "--no-compile")
+      opt.compile_headers = false;
+    else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: repro_lint --root <repo> [--supp <file>] "
+          "[--compiler <cc>] [--no-compile]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "repro-lint: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!fs::is_directory(opt.root)) {
+    std::fprintf(stderr, "repro-lint: --root %s is not a directory\n",
+                 opt.root.string().c_str());
+    return 2;
+  }
+
+  bool config_error = false;
+  const std::vector<Suppression> suppressions =
+      load_suppressions(opt.supp, config_error);
+  if (config_error) return 2;
+
+  static constexpr std::string_view kDirs[] = {
+      "include", "src", "tools", "tests", "bench", "examples"};
+  std::vector<Finding> findings;
+  std::vector<fs::path> headers;
+  for (const std::string_view dir : kDirs) {
+    const fs::path base = opt.root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      const std::string ext = p.extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      const std::string rel = rel_slash(p, opt.root);
+      // The linter names its own banned identifiers; skip it.
+      if (rel.find("repro_lint") != std::string::npos) continue;
+      scan_file(p, rel, findings);
+      if (ext == ".hpp" && under(rel, "include/")) headers.push_back(p);
+    }
+  }
+  if (opt.compile_headers) {
+    std::sort(headers.begin(), headers.end());
+    for (const fs::path& h : headers)
+      check_header_self_contained(h, rel_slash(h, opt.root), opt, findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  std::size_t suppressed = 0;
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    bool skip = false;
+    for (const Suppression& s : suppressions) {
+      if (s.rule == f.rule &&
+          f.file.find(s.path_substring) != std::string::npos) {
+        s.used = true;
+        skip = true;
+      }
+    }
+    if (skip) {
+      ++suppressed;
+      continue;
+    }
+    std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+    ++reported;
+  }
+  for (const Suppression& s : suppressions)
+    if (!s.used)
+      std::fprintf(stderr,
+                   "repro-lint: stale suppression \"%s %s\" matched "
+                   "nothing; delete it\n",
+                   s.rule.c_str(), s.path_substring.c_str());
+  std::fprintf(stderr, "repro-lint: %zu finding%s (%zu suppressed)\n",
+               reported, reported == 1 ? "" : "s", suppressed);
+  return reported == 0 ? 0 : 1;
+}
