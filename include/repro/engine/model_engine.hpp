@@ -164,6 +164,24 @@ class ModelEngine {
   /// The hardened pipeline's keep-last-good revision sink.
   bool try_update_process(ProcessHandle handle, core::ProcessProfile profile);
 
+  /// Install a revised Eq. 9 power model — the on-line refit sink.
+  /// Validates before mutating (core count must match the machine,
+  /// idle power positive and finite, coefficients finite, and the
+  /// engine must have been built with a power model); on success the
+  /// model is swapped under the registry writer lock and
+  /// power_revision() increments. In-flight predictions observe either
+  /// the old or the new model uniformly across their whole batch.
+  void update_power(core::PowerModel power);
+
+  /// Non-throwing update_power: returns false (and leaves the current
+  /// model untouched) when the candidate fails validation, instead of
+  /// propagating repro::Error — the refit loop degrades to last-good
+  /// exactly like try_update_process.
+  bool try_update_power(core::PowerModel power);
+
+  /// Number of successful update_power installs since construction.
+  std::uint64_t power_revision() const;
+
   /// Drop every registered process whose handle fails keep(handle),
   /// freeing its profile and memoized fill-curve artifacts, and return
   /// how many entries were collected. Kept handles stay valid (slots
@@ -207,8 +225,11 @@ class ModelEngine {
 
   const sim::MachineConfig& machine() const { return machine_; }
   std::uint32_t ways() const { return machine_.l2.ways; }
-  bool has_power_model() const { return power_.has_value(); }
-  const core::PowerModel& power_model() const;
+  bool has_power_model() const;
+  /// Snapshot of the current Eq. 9 model (throws when the engine was
+  /// built without one). Returned by value: update_power may replace
+  /// the model concurrently, so references would be unstable.
+  core::PowerModel power_model() const;
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -234,7 +255,12 @@ class ModelEngine {
       REPRO_REQUIRES(registry_mutex_);
 
   sim::MachineConfig machine_;
-  std::optional<core::PowerModel> power_;
+  /// The live Eq. 9 model. Guarded by the registry lock (not a second
+  /// mutex) so a batch's predictions see one consistent (profiles,
+  /// power) pair and the documented pipeline → engine lock order stays
+  /// a two-level hierarchy.
+  std::optional<core::PowerModel> power_ REPRO_GUARDED_BY(registry_mutex_);
+  std::uint64_t power_revision_ REPRO_GUARDED_BY(registry_mutex_) = 0;
   EngineOptions options_;
   core::EquilibriumSolver solver_;
   std::unique_ptr<common::ThreadPool> pool_;  // null when threads == 1

@@ -1,0 +1,81 @@
+// Incremental (windowed) multi-variable linear regression.
+//
+// The on-line power refit path (DESIGN §5.5) needs the paper's Eq. 9
+// MVLR fit continuously revised as sanitized windows stream in, without
+// re-touching every historical observation per refit. This fitter
+// maintains the normal equations Xᵀ X and Xᵀ y under rank-one updates
+// (push) and downdates (window eviction), plus a bounded ring of the
+// retained rows so residual metrics (R², floored accuracy) are exact
+// over the live window rather than approximated.
+//
+// Conditioning: normal equations square the condition number, so
+// try_fit() guards the Cholesky solve with a relative pivot floor and
+// reports rank deficiency through the returned optional instead of
+// handing back garbage coefficients — callers keep their incumbent
+// model and wait for a better-conditioned window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "repro/math/matrix.hpp"
+#include "repro/math/mvlr.hpp"
+
+namespace repro::math {
+
+struct IncrementalMvlrOptions {
+  /// Observations retained; pushes beyond this evict (and downdate) the
+  /// oldest row. 0 means unbounded (pure accumulation).
+  std::size_t window = 0;
+  /// Cholesky pivot floor on the column-equilibrated (unit-diagonal)
+  /// normal matrix, where pivot i measures 1 − R² of column i against
+  /// its predecessors: a pivot at or below this marks the window as
+  /// rank-deficient and try_fit() returns nullopt.
+  double condition_floor = 1e-12;
+};
+
+class IncrementalMvlr {
+ public:
+  struct Row {
+    std::vector<double> x;  // regressors (no intercept entry)
+    double y = 0.0;
+  };
+
+  IncrementalMvlr(std::size_t regressors, IncrementalMvlrOptions options = {});
+
+  /// Absorb one observation; evicts the oldest retained row when the
+  /// window is full. Regressor count must match the constructor's.
+  void push(std::span<const double> regressors, double y);
+
+  /// Solve the current normal equations. Returns nullopt until ready()
+  /// or when the window is (numerically) rank-deficient; otherwise a
+  /// Fit whose R²/accuracy are computed exactly over the retained rows,
+  /// with the same constant-y and floored-accuracy conventions as
+  /// Mvlr::fit.
+  std::optional<Mvlr::Fit> try_fit() const;
+
+  /// Rows currently retained (== pushes until the window saturates).
+  std::size_t size() const { return rows_.size(); }
+  /// Enough observations for a determined system (regressors + 2).
+  bool ready() const { return rows_.size() >= k_ + 2; }
+  /// The retained observations, oldest first. Lets callers score an
+  /// incumbent model over exactly the window a candidate was fit on.
+  const std::deque<Row>& rows() const { return rows_; }
+
+  /// Drop all state; the fitter behaves as freshly constructed.
+  void clear();
+
+ private:
+  std::size_t k_;                  // regressor count (without intercept)
+  IncrementalMvlrOptions options_;
+  Matrix xtx_;                     // (k+1)² normal matrix incl. intercept
+  Vector xty_;                     // (k+1) right-hand side
+  std::deque<Row> rows_;
+
+  void accumulate(const Row& row, double sign);
+};
+
+}  // namespace repro::math

@@ -68,6 +68,30 @@ Vector solve_lu(const Matrix& a, const Vector& b);
 /// are nearly collinear, which happens for correlated HPC event rates.
 Vector solve_least_squares(const Matrix& a, const Vector& b);
 
+/// Conditioning report from solve_least_squares' QR factorization —
+/// the solver-level signal callers use to name a rank-deficient
+/// column instead of consuming garbage coefficients.
+struct LeastSquaresDiag {
+  /// A diagonal of R collapsed: |R(c,c)| fell below
+  /// kRankTolerance · max|R(j,j)| (or to exactly zero), meaning
+  /// column c is (numerically) a linear combination of the columns
+  /// before it.
+  bool rank_deficient = false;
+  std::size_t column = 0;  // first offending column when deficient
+  double min_diag = 0.0;   // smallest |R(c,c)| over all columns
+  double max_diag = 0.0;   // largest |R(c,c)| over all columns
+};
+
+/// Relative pivot threshold below which a design column counts as
+/// linearly dependent in solve_least_squares' rank diagnostics.
+inline constexpr double kRankTolerance = 1e-12;
+
+/// As solve_least_squares, but reports rank deficiency through `diag`
+/// instead of throwing: when diag->rank_deficient comes back true the
+/// returned vector is empty and must not be used.
+Vector solve_least_squares(const Matrix& a, const Vector& b,
+                           LeastSquaresDiag* diag);
+
 /// Euclidean norm and dot product over vectors.
 double norm2(std::span<const double> v);
 double dot(std::span<const double> a, std::span<const double> b);

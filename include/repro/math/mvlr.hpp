@@ -25,6 +25,18 @@ class Mvlr {
   /// Fit y ≈ intercept + X·c by least squares (Householder QR).
   /// `rows(X)` are observations; every observation must have the same
   /// number of regressors; at least regressors+1 observations required.
+  ///
+  /// Degenerate cases:
+  ///  - Rank-deficient design (a constant regressor colliding with the
+  ///    injected intercept column, or collinear regressors) throws
+  ///    repro::Error naming the offending column — garbage coefficients
+  ///    are never returned.
+  ///  - Constant y (ss_tot == 0): R² is undefined; the fit reports 1.0
+  ///    only when residuals are numerically zero (see r_squared),
+  ///    otherwise 0.0.
+  ///  - `accuracy` uses an epsilon-floored relative error
+  ///    (accuracy_pct_floored, floor = 1e-9 · max|y|) so observations
+  ///    at/near zero degrade the score instead of dividing by zero.
   static Fit fit(const Matrix& x, std::span<const double> y);
 
   /// Evaluate a fit on one observation.

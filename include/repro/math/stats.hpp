@@ -45,4 +45,32 @@ LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
 /// percentage error, floored at 0.
 double accuracy_pct(std::span<const double> est, std::span<const double> ref);
 
+/// Coefficient of determination of predictions against observations.
+/// Constant observations (ss_tot == 0) leave R² undefined: report 1.0
+/// only when the residuals are numerically zero at the observations'
+/// scale, otherwise 0.0 — an imperfect fit of a flat series must not
+/// score as perfect.
+double r_squared(std::span<const double> pred, std::span<const double> ref);
+
+/// Relative error with an epsilon-floored denominator:
+/// |est − ref| / max(|ref|, floor). The floored variants exist for
+/// streaming consumers (the on-line power refit, the `watch` error
+/// column) whose reference can legitimately pass through ~0 — an idle
+/// window's measured clamp power, a zeroed counter block — where the
+/// strict helpers above would reject or emit inf/NaN. The result is
+/// finite for every finite input; `floor` must be > 0 and should be
+/// far below the signal's working scale (e.g. 1 mW against tens of
+/// watts) so it only engages where relative error loses meaning.
+double relative_error_floored(double est, double ref, double floor);
+
+/// Mean of relative_error_floored over two equal-length series, in
+/// percent.
+double mean_abs_pct_error_floored(std::span<const double> est,
+                                  std::span<const double> ref, double floor);
+
+/// 100% − mean_abs_pct_error_floored, floored at 0 — accuracy_pct with
+/// the epsilon-floored denominator.
+double accuracy_pct_floored(std::span<const double> est,
+                            std::span<const double> ref, double floor);
+
 }  // namespace repro::math

@@ -17,6 +17,7 @@
 // log is the per-phase SPI/power trace the tools and examples report.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "repro/common/mutex.hpp"
 #include "repro/common/thread_annotations.hpp"
 #include "repro/engine/model_engine.hpp"
+#include "repro/online/power_refitter.hpp"
 #include "repro/online/profile_builder.hpp"
 #include "repro/online/sample_stream.hpp"
 #include "repro/online/sanitizer.hpp"
@@ -51,7 +53,16 @@ struct OnlinePipelineOptions {
   double max_fit_rms = 0.75;
   /// history() ring capacity — the oldest RevisionEvent is evicted
   /// beyond it (stats() counters stay monotonic). 0 = unbounded.
+  /// power_history() shares the same capacity.
   std::size_t history_capacity = 4096;
+
+  /// On-line power refits (ISSUE 5). When enabled AND the engine was
+  /// built with a power model, every sanitized ground-truth window
+  /// also feeds a PowerRefitter; accepted candidates install through
+  /// ModelEngine::try_update_power. Disabled (the default), the
+  /// pipeline's behavior and the engine's power predictions are
+  /// bit-identical to the pre-refit code.
+  PowerRefitOptions power{};
 };
 
 /// One profile revision as it flowed through the engine, plus the
@@ -69,6 +80,28 @@ struct RevisionEvent {
   bool degraded = false;               // ...which fell back to last-good
   int solver_iterations = 0;           // of that re-solve
   engine::SystemPrediction prediction; // valid when resolved
+};
+
+/// One power-model refit attempt as it flowed through the pipeline —
+/// applied revisions and gate rejections both, so watchers can see the
+/// gate working. Sequenced independently of RevisionEvents: poll with
+/// power_history_since() and its own cursor.
+struct PowerRevisionEvent {
+  /// Monotonic from 0, unaffected by ring eviction — the cursor for
+  /// power_history_since() pollers.
+  std::uint64_t seq = 0;
+  Seconds time = 0.0;            // window that triggered the attempt
+  bool applied = false;          // accepted by the gate AND the engine
+  std::string reason;            // rejection cause; empty when applied
+  bool rank_deficient = false;   // conditioning guard fired
+  std::uint64_t revision = 0;    // engine power_revision() after apply
+  double r2 = 0.0;               // candidate fit quality
+  double accuracy = 0.0;
+  double candidate_err_pct = 0.0;  // candidate MAPE over the window
+  double incumbent_err_pct = 0.0;  // incumbent MAPE over the same rows
+  Watts idle = 0.0;                // candidate intercept
+  std::array<double, 5> coefficients{};
+  std::size_t window_samples = 0;
 };
 
 /// Fault-path observability: everything the hardened pipeline dropped,
@@ -131,12 +164,23 @@ class OnlinePipeline {
   /// gone; seqs never renumber, so the cursor stays valid regardless.
   std::vector<RevisionEvent> history_since(std::uint64_t since) const;
 
+  /// Snapshot of the power refit attempts, in stream order — the most
+  /// recent history_capacity of them (older events evicted).
+  std::deque<PowerRevisionEvent> power_history() const;
+
+  /// Power events with seq >= `since` — same eviction-proof cursor
+  /// contract as history_since(), over an independent seq space.
+  std::vector<PowerRevisionEvent> power_history_since(
+      std::uint64_t since) const;
+
   struct Stats {
     std::uint64_t windows = 0;            // sample windows ingested (raw)
     std::uint64_t revisions = 0;          // profile revisions applied
     std::uint64_t resolves = 0;           // successful equilibrium re-solves
     std::uint64_t solver_iterations = 0;  // summed over re-solves
     std::uint64_t phase_changes = 0;      // confirmed across builders
+    std::uint64_t power_revisions = 0;    // power refits applied
+    std::uint64_t power_rejected = 0;     // refit attempts gated/refused
     PipelineHealth health;                // fault-path counters
   };
   Stats stats() const;
@@ -157,6 +201,8 @@ class OnlinePipeline {
   void apply_revision(Monitored& m, ProfileRevision revision, Seconds time)
       REPRO_REQUIRES(mutex_);
   void record_event(RevisionEvent event) REPRO_REQUIRES(mutex_);
+  void refit_power(const sim::Sample& sample) REPRO_REQUIRES(mutex_);
+  void record_power_event(PowerRevisionEvent event) REPRO_REQUIRES(mutex_);
   std::vector<double> warm_seeds() const REPRO_REQUIRES(mutex_);
 
   engine::ModelEngine& engine_;
@@ -175,12 +221,18 @@ class OnlinePipeline {
   SampleStream stream_ REPRO_GUARDED_BY(mutex_);
   std::optional<SampleSanitizer> sanitizer_  // engaged when harden
       REPRO_GUARDED_BY(mutex_);
+  std::optional<PowerRefitter> refitter_  // engaged when power.enabled
+      REPRO_GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<Monitored>> monitored_
       REPRO_GUARDED_BY(mutex_);
   std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
   std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
   std::deque<RevisionEvent> history_ REPRO_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::deque<PowerRevisionEvent> power_history_ REPRO_GUARDED_BY(mutex_);
+  std::uint64_t power_next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t power_revisions_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t power_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t resolves_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t solver_iterations_ REPRO_GUARDED_BY(mutex_) = 0;

@@ -1,5 +1,6 @@
 #include "repro/engine/model_engine.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "repro/common/ensure.hpp"
@@ -22,14 +23,52 @@ ModelEngine::ModelEngine(sim::MachineConfig machine, core::PowerModel power,
     : ModelEngine(std::move(machine), options) {
   REPRO_ENSURE(power.cores() == machine_.cores,
                "power model trained for a different core count");
+  common::ExclusiveLock lock(registry_mutex_);
   power_.emplace(std::move(power));
 }
 
 ModelEngine::~ModelEngine() = default;
 
-const core::PowerModel& ModelEngine::power_model() const {
+bool ModelEngine::has_power_model() const {
+  common::SharedLock lock(registry_mutex_);
+  return power_.has_value();
+}
+
+core::PowerModel ModelEngine::power_model() const {
+  common::SharedLock lock(registry_mutex_);
   REPRO_ENSURE(power_.has_value(), "engine built without a power model");
   return *power_;
+}
+
+std::uint64_t ModelEngine::power_revision() const {
+  common::SharedLock lock(registry_mutex_);
+  return power_revision_;
+}
+
+void ModelEngine::update_power(core::PowerModel power) {
+  // Validate before taking the lock or mutating anything: a throw here
+  // leaves the installed model (and its revision counter) untouched.
+  REPRO_ENSURE(power.cores() == machine_.cores,
+               "power revision trained for a different core count");
+  REPRO_ENSURE(std::isfinite(power.idle_total()) && power.idle_total() > 0.0,
+               "power revision needs a positive finite idle power");
+  for (double c : power.coefficients())
+    REPRO_ENSURE(std::isfinite(c),
+                 "power revision has a non-finite coefficient");
+  common::ExclusiveLock lock(registry_mutex_);
+  REPRO_ENSURE(power_.has_value(),
+               "cannot revise power on an engine built without a power model");
+  power_.emplace(std::move(power));
+  ++power_revision_;
+}
+
+bool ModelEngine::try_update_power(core::PowerModel power) {
+  try {
+    update_power(std::move(power));
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
 }
 
 ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {

@@ -1,0 +1,124 @@
+#include "repro/math/incremental_mvlr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/math/stats.hpp"
+
+namespace repro::math {
+
+IncrementalMvlr::IncrementalMvlr(std::size_t regressors,
+                                 IncrementalMvlrOptions options)
+    : k_(regressors),
+      options_(options),
+      xtx_(regressors + 1, regressors + 1),
+      xty_(regressors + 1, 0.0) {
+  REPRO_ENSURE(k_ > 0, "need at least one regressor");
+  REPRO_ENSURE(options_.condition_floor > 0.0,
+               "condition floor must be positive");
+}
+
+void IncrementalMvlr::accumulate(const Row& row, double sign) {
+  // Augmented observation vector [1, x…] folded into XᵀX and Xᵀy.
+  const auto at = [&](std::size_t i) { return i == 0 ? 1.0 : row.x[i - 1]; };
+  for (std::size_t i = 0; i <= k_; ++i) {
+    const double vi = at(i);
+    xty_[i] += sign * vi * row.y;
+    for (std::size_t j = i; j <= k_; ++j) {
+      const double acc = sign * vi * at(j);
+      xtx_(i, j) += acc;
+      if (j != i) xtx_(j, i) += acc;
+    }
+  }
+}
+
+void IncrementalMvlr::push(std::span<const double> regressors, double y) {
+  REPRO_ENSURE(regressors.size() == k_, "regressor count mismatch");
+  Row row{{regressors.begin(), regressors.end()}, y};
+  accumulate(row, 1.0);
+  rows_.push_back(std::move(row));
+  if (options_.window > 0 && rows_.size() > options_.window) {
+    accumulate(rows_.front(), -1.0);
+    rows_.pop_front();
+  }
+}
+
+std::optional<Mvlr::Fit> IncrementalMvlr::try_fit() const {
+  if (!ready()) return std::nullopt;
+
+  // Column equilibration: regressors can differ by many orders of
+  // magnitude (an injected intercept of 1 against event rates of 1e9),
+  // which would both wreck the Cholesky's accuracy (normal equations
+  // square the condition number) and make any absolute pivot floor
+  // meaningless. Scale each column by the root of its diagonal so the
+  // scaled XᵀX has a unit diagonal; pivots then measure 1 − R² of a
+  // column against its predecessors, a scale-free dependence signal.
+  const std::size_t n = k_ + 1;
+  Vector scale(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xtx_(i, i);
+    if (!(d > 0.0)) return std::nullopt;  // all-zero column
+    scale[i] = std::sqrt(d);
+  }
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = xtx_(i, j) / (scale[i] * scale[j]);
+
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) sum -= l(i, p) * l(j, p);
+      if (i == j) {
+        // Rank-deficient window (constant or collinear column).
+        if (sum <= options_.condition_floor) return std::nullopt;
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  Vector fwd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = xty_[i] / scale[i];
+    for (std::size_t p = 0; p < i; ++p) sum -= l(i, p) * fwd[p];
+    fwd[i] = sum / l(i, i);
+  }
+  Vector beta(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = fwd[ii];
+    for (std::size_t p = ii + 1; p < n; ++p) sum -= l(p, ii) * beta[p];
+    beta[ii] = sum / l(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) beta[i] /= scale[i];
+
+  Mvlr::Fit f;
+  f.intercept = beta[0];
+  f.coefficients.assign(beta.begin() + 1, beta.end());
+
+  // Exact residual metrics over the retained rows, same conventions as
+  // Mvlr::fit (constant-y rule, epsilon-floored accuracy).
+  Vector pred(rows_.size());
+  Vector y(rows_.size());
+  std::size_t idx = 0;
+  double yscale = 0.0;
+  for (const Row& row : rows_) {
+    pred[idx] = Mvlr::predict(f, row.x);
+    y[idx] = row.y;
+    yscale = std::max(yscale, std::fabs(row.y));
+    ++idx;
+  }
+  f.r2 = r_squared(pred, y);
+  f.accuracy =
+      accuracy_pct_floored(pred, y, yscale > 0.0 ? 1e-9 * yscale : 1e-9);
+  return f;
+}
+
+void IncrementalMvlr::clear() {
+  xtx_ = Matrix(k_ + 1, k_ + 1);
+  xty_.assign(k_ + 1, 0.0);
+  rows_.clear();
+}
+
+}  // namespace repro::math

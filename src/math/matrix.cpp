@@ -1,6 +1,8 @@
 #include "repro/math/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace repro::math {
 
@@ -128,9 +130,21 @@ Vector solve_lu(const Matrix& a, const Vector& b) {
 }
 
 Vector solve_least_squares(const Matrix& a, const Vector& b) {
+  LeastSquaresDiag diag;
+  Vector x = solve_least_squares(a, b, &diag);
+  REPRO_ENSURE(!diag.rank_deficient,
+               "rank-deficient design matrix (column " +
+                   std::to_string(diag.column) + " is linearly dependent)");
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b,
+                           LeastSquaresDiag* diag) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   REPRO_ENSURE(m >= n && b.size() == m, "least squares needs rows >= cols");
+  REPRO_ENSURE(diag != nullptr, "diagnostics out-param required");
+  *diag = LeastSquaresDiag{};
 
   // Householder QR applied to [A | b] in place.
   Matrix r = a;
@@ -140,7 +154,6 @@ Vector solve_least_squares(const Matrix& a, const Vector& b) {
     double norm = 0.0;
     for (std::size_t i = col; i < m; ++i) norm += r(i, col) * r(i, col);
     norm = std::sqrt(norm);
-    REPRO_ENSURE(norm > 1e-300, "rank-deficient design matrix");
     if (r(col, col) > 0.0) norm = -norm;
 
     std::vector<double> v(m - col);
@@ -148,6 +161,7 @@ Vector solve_least_squares(const Matrix& a, const Vector& b) {
     for (std::size_t i = col + 1; i < m; ++i) v[i - col] = r(i, col);
     double vtv = 0.0;
     for (double e : v) vtv += e * e;
+    r(col, col) = norm;
     if (vtv <= 0.0) continue;
 
     auto reflect = [&](auto&& get, auto&& set) {
@@ -157,18 +171,35 @@ Vector solve_least_squares(const Matrix& a, const Vector& b) {
       for (std::size_t i = col; i < m; ++i)
         set(i, get(i) - f * v[i - col]);
     };
-    for (std::size_t c = col; c < n; ++c)
+    for (std::size_t c = col + 1; c < n; ++c)
       reflect([&](std::size_t i) { return r(i, c); },
               [&](std::size_t i, double x) { r(i, c) = x; });
     reflect([&](std::size_t i) { return rhs[i]; },
             [&](std::size_t i, double x) { rhs[i] = x; });
   }
 
+  // Rank diagnostics from R's diagonal: a column whose pivot collapsed
+  // relative to the largest pivot (or to zero outright) is numerically
+  // a linear combination of the columns before it.
+  diag->min_diag = std::fabs(r(0, 0));
+  diag->max_diag = diag->min_diag;
+  for (std::size_t c = 1; c < n; ++c) {
+    const double d = std::fabs(r(c, c));
+    diag->min_diag = std::min(diag->min_diag, d);
+    diag->max_diag = std::max(diag->max_diag, d);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (std::fabs(r(c, c)) <= kRankTolerance * diag->max_diag) {
+      diag->rank_deficient = true;
+      diag->column = c;
+      return {};
+    }
+  }
+
   Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double sum = rhs[ii];
     for (std::size_t k = ii + 1; k < n; ++k) sum -= r(ii, k) * x[k];
-    REPRO_ENSURE(std::fabs(r(ii, ii)) > 1e-300, "rank-deficient system");
     x[ii] = sum / r(ii, ii);
   }
   return x;

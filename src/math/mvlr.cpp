@@ -1,5 +1,9 @@
 #include "repro/math/mvlr.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 #include "repro/math/stats.hpp"
 
 namespace repro::math {
@@ -16,22 +20,30 @@ Mvlr::Fit Mvlr::fit(const Matrix& x, std::span<const double> y) {
     design(r, 0) = 1.0;
     for (std::size_t c = 0; c < n; ++c) design(r, c + 1) = x(r, c);
   }
-  const Vector beta = solve_least_squares(design, Vector(y.begin(), y.end()));
+  LeastSquaresDiag diag;
+  const Vector beta =
+      solve_least_squares(design, Vector(y.begin(), y.end()), &diag);
+  REPRO_ENSURE(!diag.rank_deficient,
+               diag.column == 0
+                   ? std::string("rank-deficient design: the injected "
+                                 "intercept column is linearly dependent")
+                   : "rank-deficient design: regressor column " +
+                         std::to_string(diag.column - 1) +
+                         " is linearly dependent (constant or collinear)");
 
   Fit f;
   f.intercept = beta[0];
   f.coefficients.assign(beta.begin() + 1, beta.end());
 
   const Vector pred = predict(f, x);
-  f.accuracy = accuracy_pct(pred, y);
-  double ss_res = 0.0;
-  double ss_tot = 0.0;
   const Summary sy = summarize(y);
-  for (std::size_t i = 0; i < m; ++i) {
-    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
-    ss_tot += (y[i] - sy.mean) * (y[i] - sy.mean);
-  }
-  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  // Relative-error accuracy with an epsilon-floored denominator scaled
+  // to the observations, so a window whose measured values pass through
+  // zero degrades the score instead of dividing by zero.
+  const double yscale = std::max(std::fabs(sy.min), std::fabs(sy.max));
+  f.accuracy =
+      accuracy_pct_floored(pred, y, yscale > 0.0 ? 1e-9 * yscale : 1e-9);
+  f.r2 = r_squared(pred, y);
   return f;
 }
 

@@ -86,19 +86,52 @@ LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
   LineFit f;
   f.slope = sxy / sxx;
   f.intercept = sy.mean - f.slope * sx.mean;
-  double ss_res = 0.0;
-  double ss_tot = 0.0;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double pred = f.slope * xs[i] + f.intercept;
-    ss_res += (ys[i] - pred) * (ys[i] - pred);
-    ss_tot += (ys[i] - sy.mean) * (ys[i] - sy.mean);
-  }
-  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    pred[i] = f.slope * xs[i] + f.intercept;
+  f.r2 = r_squared(pred, ys);
   return f;
 }
 
 double accuracy_pct(std::span<const double> est, std::span<const double> ref) {
   return std::max(0.0, 100.0 - mean_abs_pct_error(est, ref));
+}
+
+double r_squared(std::span<const double> pred, std::span<const double> ref) {
+  REPRO_ENSURE(pred.size() == ref.size() && !pred.empty(), "series mismatch");
+  const Summary s = summarize(ref);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double ss_ref = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ss_res += (ref[i] - pred[i]) * (ref[i] - pred[i]);
+    ss_tot += (ref[i] - s.mean) * (ref[i] - s.mean);
+    ss_ref += ref[i] * ref[i];
+  }
+  if (ss_tot > 0.0) return 1.0 - ss_res / ss_tot;
+  // Constant observations: R² is undefined. 1.0 by convention only when
+  // the residuals are numerically zero relative to the observations'
+  // scale; anything larger used to (wrongly) report a perfect fit.
+  return ss_res <= 1e-18 * std::max(1.0, ss_ref) ? 1.0 : 0.0;
+}
+
+double relative_error_floored(double est, double ref, double floor) {
+  REPRO_ENSURE(floor > 0.0, "relative-error floor must be positive");
+  return std::fabs(est - ref) / std::max(std::fabs(ref), floor);
+}
+
+double mean_abs_pct_error_floored(std::span<const double> est,
+                                  std::span<const double> ref, double floor) {
+  REPRO_ENSURE(est.size() == ref.size() && !est.empty(), "series mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i)
+    sum += relative_error_floored(est[i], ref[i], floor);
+  return 100.0 * sum / static_cast<double>(est.size());
+}
+
+double accuracy_pct_floored(std::span<const double> est,
+                            std::span<const double> ref, double floor) {
+  return std::max(0.0, 100.0 - mean_abs_pct_error_floored(est, ref, floor));
 }
 
 }  // namespace repro::math

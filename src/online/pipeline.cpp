@@ -17,6 +17,8 @@ OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
     if (options_.sanitizer.ways == 0) options_.sanitizer.ways = engine_.ways();
     sanitizer_.emplace(options_.sanitizer);
   }
+  if (options_.power.enabled)
+    refitter_.emplace(engine_.machine().cores, options_.power);
 }
 
 void OnlinePipeline::monitor(ProcessId pid,
@@ -76,10 +78,69 @@ void OnlinePipeline::push(const sim::Sample& sample) {
   common::MutexLock lock(mutex_);
   if (!sanitizer_.has_value()) {
     stream_.push(sample);
+    refit_power(sample);
     return;
   }
+  // Quarantined windows reach neither the performance stream nor the
+  // power refitter — the refit consumes the same hardened window path.
   sim::Sample clean;
-  if (sanitizer_->sanitize(sample, &clean)) stream_.push(clean);
+  if (sanitizer_->sanitize(sample, &clean)) {
+    stream_.push(clean);
+    refit_power(clean);
+  }
+}
+
+void OnlinePipeline::refit_power(const sim::Sample& sample) {
+  if (!refitter_.has_value()) return;
+  // Refits revise an existing calibration; a performance-only engine
+  // has nothing to revise. Engine accessors take the registry lock
+  // inside the pipeline lock — the documented lock order.
+  if (!engine_.has_power_model()) return;
+  const core::PowerModel incumbent = engine_.power_model();
+  std::optional<PowerRefitAttempt> attempt =
+      refitter_->push(sample, incumbent);
+  if (!attempt.has_value()) return;
+
+  PowerRevisionEvent event;
+  event.time = attempt->time;
+  event.reason = attempt->reason;
+  event.rank_deficient = attempt->rank_deficient;
+  event.r2 = attempt->fit.r2;
+  event.accuracy = attempt->fit.accuracy;
+  event.candidate_err_pct = attempt->candidate_err_pct;
+  event.incumbent_err_pct = attempt->incumbent_err_pct;
+  event.window_samples = attempt->window_samples;
+  if (attempt->accepted) {
+    event.idle = attempt->model->idle_total();
+    event.coefficients = attempt->model->coefficients();
+    // Validate-before-mutate: a refusal leaves last-good installed.
+    if (engine_.try_update_power(*attempt->model)) {
+      event.applied = true;
+      event.revision = engine_.power_revision();
+      ++power_revisions_;
+    } else {
+      event.reason = "engine validation refused the revision";
+      ++power_rejected_;
+    }
+  } else {
+    if (!attempt->rank_deficient) {
+      event.idle = attempt->fit.intercept;
+      for (std::size_t i = 0; i < event.coefficients.size(); ++i)
+        event.coefficients[i] = attempt->fit.coefficients[i];
+    }
+    ++power_rejected_;
+  }
+  record_power_event(std::move(event));
+}
+
+void OnlinePipeline::record_power_event(PowerRevisionEvent event) {
+  event.seq = power_next_seq_++;
+  power_history_.push_back(std::move(event));
+  if (options_.history_capacity > 0 &&
+      power_history_.size() > options_.history_capacity) {
+    power_history_.pop_front();
+    ++history_evicted_;
+  }
 }
 
 void OnlinePipeline::finish() {
@@ -117,6 +178,25 @@ std::vector<RevisionEvent> OnlinePipeline::history_since(
   for (std::size_t i = static_cast<std::size_t>(start); i < history_.size();
        ++i)
     out.push_back(history_[i]);
+  return out;
+}
+
+std::deque<PowerRevisionEvent> OnlinePipeline::power_history() const {
+  common::MutexLock lock(mutex_);
+  return power_history_;
+}
+
+std::vector<PowerRevisionEvent> OnlinePipeline::power_history_since(
+    std::uint64_t since) const {
+  common::MutexLock lock(mutex_);
+  std::vector<PowerRevisionEvent> out;
+  if (power_history_.empty() || since >= power_next_seq_) return out;
+  const std::uint64_t front_seq = power_next_seq_ - power_history_.size();
+  const std::uint64_t start = since > front_seq ? since - front_seq : 0;
+  out.reserve(power_history_.size() - static_cast<std::size_t>(start));
+  for (std::size_t i = static_cast<std::size_t>(start);
+       i < power_history_.size(); ++i)
+    out.push_back(power_history_[i]);
   return out;
 }
 
@@ -238,6 +318,8 @@ OnlinePipeline::Stats OnlinePipeline::stats() const {
   s.revisions = revisions_;
   s.resolves = resolves_;
   s.solver_iterations = solver_iterations_;
+  s.power_revisions = power_revisions_;
+  s.power_rejected = power_rejected_;
   for (const auto& m : monitored_) s.phase_changes += m->builder->phase_changes();
   s.health.windows_seen = s.windows;
   s.health.windows_forwarded =

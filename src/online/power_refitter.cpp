@@ -1,0 +1,99 @@
+#include "repro/online/power_refitter.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+#include "repro/math/stats.hpp"
+
+namespace repro::online {
+
+PowerRefitter::PowerRefitter(std::uint32_t cores, PowerRefitOptions options)
+    : cores_(cores),
+      options_(options),
+      fitter_(5, {.window = options.window}) {
+  REPRO_ENSURE(cores_ > 0, "refitter needs at least one core");
+  REPRO_ENSURE(options_.refit_interval > 0, "refit interval must be positive");
+  REPRO_ENSURE(options_.power_floor > 0.0, "power floor must be positive");
+  REPRO_ENSURE(options_.min_fit_windows >= 7,
+               "need at least regressors + 2 windows per fit");
+}
+
+double PowerRefitter::window_error_pct(Watts idle,
+                                       std::span<const double> c) const {
+  // Eq. 9 is linear, so evaluating on rates summed over cores equals
+  // the per-core sum the PowerModel API computes.
+  double sum = 0.0;
+  for (const math::IncrementalMvlr::Row& row : fitter_.rows()) {
+    const double pred = idle + math::dot(c, row.x);
+    sum += math::relative_error_floored(pred, row.y, options_.power_floor);
+  }
+  return 100.0 * sum / static_cast<double>(fitter_.rows().size());
+}
+
+std::optional<PowerRefitAttempt> PowerRefitter::push(
+    const sim::Sample& sample, const core::PowerModel& incumbent) {
+  if (!options_.enabled) return std::nullopt;
+
+  // Ground truth required: the clamp measurement must be a real,
+  // positive wattage and the rates must be finite, or the window is
+  // unusable for fitting (it still flows to the performance path).
+  if (!std::isfinite(sample.measured_power) || sample.measured_power <= 0.0) {
+    ++skipped_;
+    return std::nullopt;
+  }
+  hpc::EventRates total;
+  for (const hpc::EventRates& r : sample.core_rates) total += r;
+  const std::array<double, 5> x = total.regressors();
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      ++skipped_;
+      return std::nullopt;
+    }
+  }
+
+  fitter_.push(x, sample.measured_power);
+  ++since_attempt_;
+  if (fitter_.size() < options_.min_fit_windows ||
+      since_attempt_ < options_.refit_interval)
+    return std::nullopt;
+  since_attempt_ = 0;
+
+  PowerRefitAttempt attempt;
+  attempt.time = sample.time;
+  attempt.window_samples = fitter_.size();
+
+  const std::optional<math::Mvlr::Fit> fit = fitter_.try_fit();
+  if (!fit.has_value()) {
+    attempt.rank_deficient = true;
+    attempt.reason = "rank-deficient window (constant or collinear rates)";
+    return attempt;
+  }
+  attempt.fit = *fit;
+  attempt.candidate_err_pct =
+      window_error_pct(fit->intercept, fit->coefficients);
+  attempt.incumbent_err_pct =
+      window_error_pct(incumbent.idle_total(), incumbent.coefficients());
+
+  if (!(fit->intercept > 0.0)) {
+    attempt.reason = "non-positive fitted idle power";
+    return attempt;
+  }
+  if (fit->r2 < options_.min_r2) {
+    attempt.reason = "fit R2 below the quality gate";
+    return attempt;
+  }
+  if (attempt.candidate_err_pct >
+      options_.max_error_ratio * attempt.incumbent_err_pct) {
+    attempt.reason = "no improvement over the incumbent model";
+    return attempt;
+  }
+
+  std::array<double, 5> c{};
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = fit->coefficients[i];
+  attempt.accepted = true;
+  attempt.model.emplace(fit->intercept, c, cores_);
+  return attempt;
+}
+
+}  // namespace repro::online

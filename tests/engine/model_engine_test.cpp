@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <random>
 #include <thread>
 
@@ -586,6 +587,90 @@ TEST(ModelEngine, PredictBatchPropagatesWorkerExceptions) {
   ASSERT_EQ(clean.size(), queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i)
     expect_bitwise_equal(clean[i], eng.predict(queries[i]));
+}
+
+TEST(ModelEngine, UpdatePowerInstallsRevisionAndRepricesPredictions) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng(machine, model());
+  eng.register_process(suite()[0]);
+  EXPECT_EQ(eng.power_revision(), 0u);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  const SystemPrediction before = eng.predict(q);
+
+  core::PowerModel revised(50.0, {7.0e-9, 2.0e-8, -9.0e-8, 4.0e-9, 5.0e-9},
+                           4);
+  eng.update_power(revised);
+  EXPECT_EQ(eng.power_revision(), 1u);
+  EXPECT_DOUBLE_EQ(eng.power_model().idle_total(), 50.0);
+
+  const SystemPrediction after = eng.predict(q);
+  EXPECT_NE(after.total_power, before.total_power);
+  // Performance side is untouched by a power swap.
+  EXPECT_DOUBLE_EQ(after.throughput_ips, before.throughput_ips);
+}
+
+TEST(ModelEngine, TryUpdatePowerRejectsInvalidAndKeepsLastGood) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng(machine, model());
+
+  // Wrong core count.
+  EXPECT_FALSE(eng.try_update_power(
+      core::PowerModel(45.0, {1e-9, 1e-9, 1e-9, 1e-9, 1e-9}, 2)));
+  // Non-finite coefficient.
+  EXPECT_FALSE(eng.try_update_power(core::PowerModel(
+      45.0, {std::numeric_limits<double>::quiet_NaN(), 0, 0, 0, 0}, 4)));
+  EXPECT_EQ(eng.power_revision(), 0u);
+  // Last-good survives every rejection bit-for-bit.
+  EXPECT_DOUBLE_EQ(eng.power_model().idle_total(), model().idle_total());
+  EXPECT_EQ(eng.power_model().coefficients(), model().coefficients());
+
+  // A performance-only engine refuses power revisions outright.
+  ModelEngine perf_only(machine);
+  EXPECT_FALSE(perf_only.try_update_power(model()));
+}
+
+TEST(ModelEngine, ConcurrentPredictAndPowerUpdatesStayConsistent) {
+  // predict/predict_batch read the power model under the registry
+  // reader lock while try_update_power swaps it exclusively; run under
+  // TSan in CI to certify the locking. Batch answers must be uniform —
+  // never a mix of old- and new-model pricing inside one batch.
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.threads = 2;
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  const core::PowerModel drifted(
+      52.0, {6.5e-9, 2.4e-8, -1.1e-7, 4.2e-9, 5.1e-9}, 4);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  q.assignment.per_core[1].push_back(2);
+  const std::vector<CoScheduleQuery> batch(16, q);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    bool flip = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(eng.try_update_power(flip ? drifted : model()));
+      flip = !flip;
+    }
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<SystemPrediction> out = eng.predict_batch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 1; i < out.size(); ++i)
+      expect_bitwise_equal(out[i], out[0]);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(eng.power_revision(), 0u);
 }
 
 TEST(ModelEngine, RejectsMismatchedPowerModelAndBadQueries) {

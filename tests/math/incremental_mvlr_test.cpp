@@ -1,0 +1,134 @@
+#include "repro/math/incremental_mvlr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/rng.hpp"
+
+namespace repro::math {
+namespace {
+
+Matrix random_design(Rng& rng, std::size_t m, std::size_t n) {
+  Matrix x(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) x(r, c) = rng.uniform(0.0, 10.0);
+  return x;
+}
+
+Vector linear_response(const Matrix& x, double intercept, const Vector& c,
+                       Rng* noise = nullptr, double sigma = 0.0) {
+  Vector y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y[r] = intercept + dot(c, x.row(r));
+    if (noise != nullptr) y[r] += noise->normal(0.0, sigma);
+  }
+  return y;
+}
+
+TEST(IncrementalMvlr, MatchesBatchFitOnSameData) {
+  Rng rng(21);
+  const Matrix x = random_design(rng, 200, 5);
+  const Vector y =
+      linear_response(x, 10.0, {1.0, 2.0, 3.0, -4.0, 0.5}, &rng, 0.3);
+
+  IncrementalMvlr inc(5);
+  for (std::size_t r = 0; r < x.rows(); ++r) inc.push(x.row(r), y[r]);
+  const auto fit = inc.try_fit();
+  ASSERT_TRUE(fit.has_value());
+
+  const Mvlr::Fit batch = Mvlr::fit(x, y);
+  EXPECT_NEAR(fit->intercept, batch.intercept, 1e-6);
+  for (std::size_t c = 0; c < 5; ++c)
+    EXPECT_NEAR(fit->coefficients[c], batch.coefficients[c], 1e-6);
+  EXPECT_NEAR(fit->r2, batch.r2, 1e-9);
+  EXPECT_NEAR(fit->accuracy, batch.accuracy, 1e-6);
+}
+
+TEST(IncrementalMvlr, WindowedEvictionMatchesBatchOnTail) {
+  Rng rng(22);
+  const std::size_t total = 300;
+  const std::size_t window = 64;
+  const Matrix x = random_design(rng, total, 3);
+  const Vector y = linear_response(x, 5.0, {2.0, -1.0, 0.5}, &rng, 0.1);
+
+  IncrementalMvlr inc(3, {.window = window});
+  for (std::size_t r = 0; r < total; ++r) inc.push(x.row(r), y[r]);
+  EXPECT_EQ(inc.size(), window);
+  const auto fit = inc.try_fit();
+  ASSERT_TRUE(fit.has_value());
+
+  Matrix tail(window, 3);
+  Vector tail_y(window);
+  for (std::size_t r = 0; r < window; ++r) {
+    const std::size_t src = total - window + r;
+    for (std::size_t c = 0; c < 3; ++c) tail(r, c) = x(src, c);
+    tail_y[r] = y[src];
+  }
+  const Mvlr::Fit batch = Mvlr::fit(tail, tail_y);
+  EXPECT_NEAR(fit->intercept, batch.intercept, 1e-5);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_NEAR(fit->coefficients[c], batch.coefficients[c], 1e-5);
+}
+
+TEST(IncrementalMvlr, NotReadyUntilEnoughRows) {
+  IncrementalMvlr inc(2);
+  const Vector r{1.0, 2.0};
+  inc.push(r, 1.0);
+  inc.push(r, 1.0);
+  inc.push(r, 1.0);
+  EXPECT_FALSE(inc.ready());
+  EXPECT_FALSE(inc.try_fit().has_value());
+}
+
+TEST(IncrementalMvlr, RankDeficientWindowReportsNullopt) {
+  // A constant regressor collides with the intercept column; try_fit
+  // must refuse rather than hand back garbage coefficients.
+  Rng rng(23);
+  IncrementalMvlr inc(2);
+  for (int i = 0; i < 20; ++i)
+    inc.push(Vector{5.0, rng.uniform(0.0, 10.0)}, rng.uniform(10.0, 20.0));
+  EXPECT_TRUE(inc.ready());
+  EXPECT_FALSE(inc.try_fit().has_value());
+}
+
+TEST(IncrementalMvlr, WindowedFitTracksCoefficientDrift) {
+  // Feed an abrupt coefficient change; the windowed fit must converge
+  // to the new model once the window has fully turned over.
+  Rng rng(24);
+  IncrementalMvlr inc(2, {.window = 50});
+  for (int i = 0; i < 100; ++i) {
+    const Vector r{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    inc.push(r, 10.0 + 2.0 * r[0] + 1.0 * r[1]);
+  }
+  for (int i = 0; i < 60; ++i) {  // > window: old regime fully evicted
+    const Vector r{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    inc.push(r, 14.0 + 3.0 * r[0] - 0.5 * r[1]);
+  }
+  const auto fit = inc.try_fit();
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->intercept, 14.0, 1e-6);
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-7);
+  EXPECT_NEAR(fit->coefficients[1], -0.5, 1e-7);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-9);
+}
+
+TEST(IncrementalMvlr, ClearResetsToFreshState) {
+  Rng rng(25);
+  IncrementalMvlr inc(2);
+  for (int i = 0; i < 10; ++i)
+    inc.push(Vector{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)},
+             rng.uniform(0.0, 5.0));
+  inc.clear();
+  EXPECT_EQ(inc.size(), 0u);
+  EXPECT_FALSE(inc.try_fit().has_value());
+}
+
+TEST(IncrementalMvlr, RejectsMismatchedRegressorCount) {
+  IncrementalMvlr inc(3);
+  EXPECT_THROW(inc.push(Vector{1.0, 2.0}, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace repro::math

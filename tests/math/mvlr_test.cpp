@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "repro/common/ensure.hpp"
 #include "repro/common/rng.hpp"
 
@@ -60,6 +63,60 @@ TEST(Mvlr, PredictRejectsWidthMismatch) {
 TEST(Mvlr, RejectsTooFewObservations) {
   const Matrix x{{1.0, 2.0}, {3.0, 4.0}};
   EXPECT_THROW(Mvlr::fit(x, Vector{1.0, 2.0}), Error);
+}
+
+TEST(Mvlr, ConstantYExactFitReportsPerfectR2) {
+  // With an intercept column, OLS fits a constant response exactly
+  // (intercept = mean, slopes = 0); the degenerate ss_tot == 0 branch
+  // must still call that 1.0 despite floating-point dust in residuals.
+  const Matrix x{{1.0}, {2.0}, {1.0}, {2.0}, {1.5}};
+  const Vector y(5, 4.0);
+  const Mvlr::Fit f = Mvlr::fit(x, y);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-9);
+}
+
+TEST(Mvlr, RankDeficientConstantColumnThrows) {
+  // A constant regressor column collides with the injected intercept
+  // column; the fit must fail naming the column, not return garbage.
+  Matrix x(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    x(r, 0) = 5.0;  // constant → collinear with intercept
+    x(r, 1) = static_cast<double>(r);
+  }
+  Vector y(10);
+  for (std::size_t r = 0; r < 10; ++r) y[r] = 1.0 + 2.0 * x(r, 1);
+  try {
+    Mvlr::fit(x, y);
+    FAIL() << "expected rank-deficiency error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank-deficient"),
+              std::string::npos);
+  }
+}
+
+TEST(Mvlr, RankDeficientCollinearColumnsThrow) {
+  Rng rng(11);
+  Matrix x(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    x(r, 0) = rng.uniform(1.0, 9.0);
+    x(r, 1) = rng.uniform(1.0, 9.0);
+    x(r, 2) = 2.0 * x(r, 0) - x(r, 1);  // exact linear combination
+  }
+  Vector y(20);
+  for (std::size_t r = 0; r < 20; ++r) y[r] = x(r, 0) + x(r, 1);
+  EXPECT_THROW(Mvlr::fit(x, y), Error);
+}
+
+TEST(Mvlr, AccuracyFiniteWhenObservationsNearZero) {
+  // accuracy must never emit inf/NaN even when y passes through zero;
+  // the denominator is epsilon-floored.
+  Matrix x(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) x(r, 0) = static_cast<double>(r);
+  const Vector y{0.0, 1.0, 2.0, 3.0, 4.0, 5.1};
+  const Mvlr::Fit f = Mvlr::fit(x, y);
+  EXPECT_TRUE(std::isfinite(f.accuracy));
+  EXPECT_TRUE(std::isfinite(f.r2));
 }
 
 TEST(Mvlr, NegativeCoefficientRecovered) {

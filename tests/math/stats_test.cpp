@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "repro/common/ensure.hpp"
@@ -96,6 +97,57 @@ TEST(Stats, AccuracyPctComplementOfMape) {
   const std::vector<double> est{104.0};
   const std::vector<double> ref{100.0};
   EXPECT_NEAR(accuracy_pct(est, ref), 96.0, 1e-12);
+}
+
+TEST(Stats, RelativeErrorFlooredMatchesPlainAboveFloor) {
+  EXPECT_NEAR(relative_error_floored(110.0, 100.0, 1e-3), 0.1, 1e-12);
+}
+
+TEST(Stats, RelativeErrorFlooredFiniteAtZeroReference) {
+  // The strict helpers reject ref == 0; the floored variant divides by
+  // the floor instead and stays finite.
+  const double e = relative_error_floored(0.5, 0.0, 1e-3);
+  EXPECT_TRUE(std::isfinite(e));
+  EXPECT_NEAR(e, 500.0, 1e-9);  // 0.5 / 1e-3
+}
+
+TEST(Stats, RelativeErrorFlooredRejectsNonPositiveFloor) {
+  EXPECT_THROW(relative_error_floored(1.0, 1.0, 0.0), Error);
+  EXPECT_THROW(relative_error_floored(1.0, 1.0, -1.0), Error);
+}
+
+TEST(Stats, FlooredMapeAndAccuracyFiniteThroughZero) {
+  const std::vector<double> est{1.0, 104.0};
+  const std::vector<double> ref{0.0, 100.0};
+  const double mape = mean_abs_pct_error_floored(est, ref, 1.0);
+  EXPECT_TRUE(std::isfinite(mape));
+  EXPECT_NEAR(mape, 100.0 * (1.0 + 0.04) / 2.0, 1e-9);
+  EXPECT_NEAR(accuracy_pct_floored(est, ref, 1.0), 48.0, 1e-9);
+  // A wildly wrong estimate floors the accuracy at 0 instead of going
+  // negative.
+  const std::vector<double> wild{1000.0};
+  const std::vector<double> zero{0.0};
+  EXPECT_DOUBLE_EQ(accuracy_pct_floored(wild, zero, 1.0), 0.0);
+}
+
+TEST(Stats, RSquaredNormalCaseMatchesDefinition) {
+  const std::vector<double> ref{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.1, 1.9, 3.2, 3.8};
+  // ss_res = 0.01+0.01+0.04+0.04 = 0.10; ss_tot = 5.0
+  EXPECT_NEAR(r_squared(pred, ref), 1.0 - 0.10 / 5.0, 1e-12);
+}
+
+TEST(Stats, RSquaredConstantRefImperfectPredictionsIsZero) {
+  // Regression for the MVLR r2 bug: ss_tot == 0 used to short-circuit
+  // to a perfect 1.0 even with real residuals.
+  const std::vector<double> ref{4.0, 4.0, 4.0};
+  const std::vector<double> pred{3.5, 4.5, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(pred, ref), 0.0);
+}
+
+TEST(Stats, RSquaredConstantRefExactPredictionsIsOne) {
+  const std::vector<double> ref{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(ref, ref), 1.0);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 //                     [--seconds 1.5] [--store s.txt] [--json on]
 //                     [--fault-rate 0.05] [--faults drop,wrap,spike]
 //                     [--fault-seed 1] [--sanitize on|off]
+//                     [--power-refit on|off]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
@@ -34,16 +35,27 @@
 // at work; --sanitize off disables the hardening for comparison. The
 // end-of-run summary prints the PipelineHealth counters. With
 // --json on, stdout carries exactly one JSON object per sample window
-// (window index, time, the revision events it produced, and the
+// (window index, time, the revision events it produced, the power
+// refit events, the live measured-vs-predicted power error, and the
 // PipelineHealth counter deltas) followed by one {"summary":...}
 // object — a machine-diffable trace for CI; human chatter moves to
 // stderr.
+//
+// When the store supplies a power model, every window that carries
+// ground truth (a finite, positive measured clamp power) also reports
+// the current model's prediction error against it — the error uses an
+// epsilon-floored denominator (1 mW), so the column is always finite —
+// and, unless --power-refit off, the windows stream through the
+// on-line PowerRefitter: accepted candidates revise the engine's Eq. 9
+// model live (quality-gated, validate-before-mutate) and appear in the
+// trace as power refit events keyed by their own eviction-proof seq.
 //
 // predict and estimate run on the ModelEngine facade: predict places
 // the named processes one per core starting at core 0 (so on the
 // 4-core server the first two share die 0's cache), estimate prices a
 // full assignment — per-process operating points, per-core power, and
 // total power in one prediction.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -59,6 +71,7 @@
 #include "repro/core/profiler.hpp"
 #include "repro/core/serialize.hpp"
 #include "repro/engine/model_engine.hpp"
+#include "repro/math/stats.hpp"
 #include "repro/online/pipeline.hpp"
 #include "repro/sim/fault_injector.hpp"
 #include "repro/sim/system.hpp"
@@ -380,12 +393,44 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+/// Live measured-vs-predicted power for one ground-truth window.
+struct WindowPowerError {
+  Watts measured = 0.0;
+  Watts predicted = 0.0;
+  double err_pct = 0.0;  // epsilon-floored relative error, always finite
+};
+
+/// Denominator floor for the watch error column: 1 mW, far below any
+/// real package power, so relative error stays finite even if a
+/// ground-truth window measures ~0 W.
+constexpr Watts kWatchPowerFloor = 1e-3;
+
+void print_power_event_json(const online::PowerRevisionEvent& e, bool first) {
+  std::printf(
+      "%s{\"seq\":%llu,\"applied\":%s,\"revision\":%llu,"
+      "\"rank_deficient\":%s,\"reason\":\"%s\",\"r2\":%.6g,"
+      "\"accuracy\":%.6g,\"candidate_err_pct\":%.6g,"
+      "\"incumbent_err_pct\":%.6g,\"idle_w\":%.6g,"
+      "\"coefficients\":[%.9g,%.9g,%.9g,%.9g,%.9g],\"fit_windows\":%zu}",
+      first ? "" : ",", static_cast<unsigned long long>(e.seq),
+      e.applied ? "true" : "false",
+      static_cast<unsigned long long>(e.revision),
+      e.rank_deficient ? "true" : "false", json_escape(e.reason).c_str(),
+      e.r2, e.accuracy, e.candidate_err_pct, e.incumbent_err_pct, e.idle,
+      e.coefficients[0], e.coefficients[1], e.coefficients[2],
+      e.coefficients[3], e.coefficients[4], e.window_samples);
+}
+
 /// --json mode: one object per sample window with the revision events
-/// it produced and the PipelineHealth counter deltas, so a watch trace
-/// is line-diffable in CI.
+/// it produced, the power refit events, the measured-vs-predicted
+/// power error (when the window has ground truth), and the
+/// PipelineHealth counter deltas, so a watch trace is line-diffable
+/// in CI.
 void print_window_json(std::uint64_t window, const sim::Sample& sample,
                        const engine::ModelEngine& eng,
                        const std::vector<online::RevisionEvent>& events,
+                       const std::vector<online::PowerRevisionEvent>& power,
+                       const std::optional<WindowPowerError>& power_error,
                        const online::PipelineHealth& delta) {
   std::printf("{\"window\":%llu,\"t\":%.6f,\"revisions\":[",
               static_cast<unsigned long long>(window), sample.time);
@@ -407,8 +452,17 @@ void print_window_json(std::uint64_t window, const sim::Sample& sample,
         e.degraded ? "true" : "false", e.solver_iterations, spi * 1e9,
         e.resolved ? e.prediction.total_power : 0.0);
   }
+  std::printf("],\"power_revisions\":[");
+  for (std::size_t i = 0; i < power.size(); ++i)
+    print_power_event_json(power[i], i == 0);
+  std::printf("]");
+  if (power_error.has_value())
+    std::printf(",\"power\":{\"measured_w\":%.6g,\"predicted_w\":%.6g,"
+                "\"err_pct\":%.6g}",
+                power_error->measured, power_error->predicted,
+                power_error->err_pct);
   std::printf(
-      "],\"health_delta\":{\"seen\":%llu,\"forwarded\":%llu,"
+      ",\"health_delta\":{\"seen\":%llu,\"forwarded\":%llu,"
       "\"repaired\":%llu,\"quarantined\":%llu,\"rejected\":%llu,"
       "\"degraded\":%llu,\"evicted\":%llu}}\n",
       static_cast<unsigned long long>(delta.windows_seen),
@@ -437,6 +491,7 @@ int cmd_watch(const Args& args) {
       static_cast<std::uint64_t>(std::stoull(args.get("fault-seed", "1")));
   const bool sanitize = args.get("sanitize", "on") != "off";
   const bool json = args.get("json", "off") != "off";
+  const bool power_refit = args.get("power-refit", "on") != "off";
 
   // An existing store contributes its power model (prices re-solves);
   // profiles always come from the stream — that is the point.
@@ -476,6 +531,14 @@ int cmd_watch(const Args& args) {
   pipe_options.builder.refit_interval = 8;
   pipe_options.builder.min_fit_windows = 4;
   pipe_options.harden = sanitize;
+  // The refit needs an incumbent to revise, so it engages only when the
+  // store supplied a power model. Intervals are tightened from the
+  // production defaults so short watches see the loop at work.
+  if (power_refit && store.power_model.has_value()) {
+    pipe_options.power.enabled = true;
+    pipe_options.power.refit_interval = 16;
+    pipe_options.power.min_fit_windows = 16;
+  }
   online::OnlinePipeline pipe(*eng, pipe_options);
   for (std::size_t idx = 0; idx < names.size(); ++idx)
     pipe.monitor(pids[idx], names[idx]);
@@ -509,7 +572,27 @@ int cmd_watch(const Args& args) {
   // indices renumber once the history ring starts evicting, seqs never
   // do. Health counters are diffed window-over-window for --json.
   std::uint64_t next_seq = 0;
+  std::uint64_t power_next_seq = 0;
   std::uint64_t window_index = 0;
+  double err_pct_sum = 0.0;
+  std::uint64_t err_windows = 0;
+  // The live measured-vs-predicted column: the current engine model
+  // (including any applied refits) against this window's clamp
+  // measurement. Windows without ground truth report nothing.
+  auto power_error_of =
+      [&](const sim::Sample& s) -> std::optional<WindowPowerError> {
+    if (!eng->has_power_model()) return std::nullopt;
+    if (!std::isfinite(s.measured_power) || s.measured_power <= 0.0)
+      return std::nullopt;
+    WindowPowerError w;
+    w.measured = s.measured_power;
+    w.predicted = eng->power_model().predict(s.core_rates);
+    w.err_pct = 100.0 * math::relative_error_floored(w.predicted, w.measured,
+                                                     kWatchPowerFloor);
+    err_pct_sum += w.err_pct;
+    ++err_windows;
+    return w;
+  };
   online::PipelineHealth last_health;
   auto health_delta = [&last_health](const online::PipelineHealth& health) {
     online::PipelineHealth delta;
@@ -551,8 +634,12 @@ int cmd_watch(const Args& args) {
     const std::vector<online::RevisionEvent> fresh =
         pipe.history_since(next_seq);
     if (!fresh.empty()) next_seq = fresh.back().seq + 1;
+    const std::vector<online::PowerRevisionEvent> power_fresh =
+        pipe.power_history_since(power_next_seq);
+    if (!power_fresh.empty()) power_next_seq = power_fresh.back().seq + 1;
+    const std::optional<WindowPowerError> perr = power_error_of(s);
     if (json) {
-      print_window_json(window_index, s, *eng, fresh,
+      print_window_json(window_index, s, *eng, fresh, power_fresh, perr,
                         health_delta(pipe.stats().health));
     } else {
       for (const online::RevisionEvent& e : fresh) {
@@ -566,6 +653,16 @@ int cmd_watch(const Args& args) {
                     e.resolved ? e.prediction.total_power : 0.0,
                     e.solver_iterations, e.degraded ? " degraded" : "");
       }
+      for (const online::PowerRevisionEvent& e : power_fresh) {
+        const std::string verdict =
+            e.applied ? "applied" : "rejected: " + e.reason;
+        std::printf(
+            "%-8.3f %-12s %-4llu idle %.1f W  r2 %.3f  err %.2f%% "
+            "(incumbent %.2f%%)  %s\n",
+            e.time, "[power]", static_cast<unsigned long long>(e.revision),
+            e.idle, e.r2, e.candidate_err_pct, e.incumbent_err_pct,
+            verdict.c_str());
+      }
     }
     ++window_index;
   });
@@ -573,15 +670,19 @@ int cmd_watch(const Args& args) {
   pipe.finish();
 
   // finish() force-fits the tail windows, which can emit a last burst
-  // of revisions; drain them so the trace covers the whole stream.
+  // of revisions; drain them (and any power refit events) so the trace
+  // covers the whole stream.
   const std::vector<online::RevisionEvent> tail = pipe.history_since(next_seq);
-  if (!tail.empty()) {
-    next_seq = tail.back().seq + 1;
+  const std::vector<online::PowerRevisionEvent> power_tail =
+      pipe.power_history_since(power_next_seq);
+  if (!power_tail.empty()) power_next_seq = power_tail.back().seq + 1;
+  if (!tail.empty() || !power_tail.empty()) {
+    if (!tail.empty()) next_seq = tail.back().seq + 1;
     if (json) {
       sim::Sample flush_sample;
       flush_sample.time = seconds;
-      print_window_json(window_index, flush_sample, *eng, tail,
-                        health_delta(pipe.stats().health));
+      print_window_json(window_index, flush_sample, *eng, tail, power_tail,
+                        std::nullopt, health_delta(pipe.stats().health));
     } else {
       for (const online::RevisionEvent& e : tail) {
         double spi = 0.0;
@@ -594,6 +695,16 @@ int cmd_watch(const Args& args) {
                     e.resolved ? e.prediction.total_power : 0.0,
                     e.solver_iterations, e.degraded ? " degraded" : "");
       }
+      for (const online::PowerRevisionEvent& e : power_tail) {
+        const std::string verdict =
+            e.applied ? "applied" : "rejected: " + e.reason;
+        std::printf(
+            "%-8.3f %-12s %-4llu idle %.1f W  r2 %.3f  err %.2f%% "
+            "(incumbent %.2f%%)  %s\n",
+            e.time, "[power]", static_cast<unsigned long long>(e.revision),
+            e.idle, e.r2, e.candidate_err_pct, e.incumbent_err_pct,
+            verdict.c_str());
+      }
     }
   }
 
@@ -603,7 +714,10 @@ int cmd_watch(const Args& args) {
     std::printf(
         "{\"summary\":{\"windows\":%llu,\"revisions\":%llu,"
         "\"phase_changes\":%llu,\"resolves\":%llu,"
-        "\"solver_iterations\":%llu,\"health\":{\"seen\":%llu,"
+        "\"solver_iterations\":%llu,"
+        "\"power\":{\"revisions\":%llu,\"rejected\":%llu,"
+        "\"mean_err_pct\":%.6g,\"err_windows\":%llu},"
+        "\"health\":{\"seen\":%llu,"
         "\"forwarded\":%llu,\"repaired\":%llu,\"quarantined\":%llu,"
         "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu}}}\n",
         static_cast<unsigned long long>(stats.windows),
@@ -611,6 +725,10 @@ int cmd_watch(const Args& args) {
         static_cast<unsigned long long>(stats.phase_changes),
         static_cast<unsigned long long>(stats.resolves),
         static_cast<unsigned long long>(stats.solver_iterations),
+        static_cast<unsigned long long>(stats.power_revisions),
+        static_cast<unsigned long long>(stats.power_rejected),
+        err_windows > 0 ? err_pct_sum / static_cast<double>(err_windows) : 0.0,
+        static_cast<unsigned long long>(err_windows),
         static_cast<unsigned long long>(h.windows_seen),
         static_cast<unsigned long long>(h.windows_forwarded),
         static_cast<unsigned long long>(h.windows_repaired),
@@ -640,6 +758,17 @@ int cmd_watch(const Args& args) {
                 static_cast<unsigned long long>(health.revisions_rejected),
                 static_cast<unsigned long long>(health.degraded_resolves),
                 static_cast<unsigned long long>(health.history_evicted));
+    if (stats.power_revisions > 0 || stats.power_rejected > 0 ||
+        err_windows > 0) {
+      std::printf("power: %llu refits applied, %llu rejected, "
+                  "mean |err| %.2f%% over %llu measured windows\n",
+                  static_cast<unsigned long long>(stats.power_revisions),
+                  static_cast<unsigned long long>(stats.power_rejected),
+                  err_windows > 0
+                      ? err_pct_sum / static_cast<double>(err_windows)
+                      : 0.0,
+                  static_cast<unsigned long long>(err_windows));
+    }
     if (chaos.has_value()) {
       const sim::FaultInjector::Stats& f = chaos->stats();
       std::printf("faults: %llu dropped, %llu duplicated, %llu reordered, "
