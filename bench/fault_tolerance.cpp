@@ -97,8 +97,10 @@ ArmResult run_arm(const sim::MachineConfig& machine,
     pipe.finish();
     // Degradation policy end state: the latest re-solve if one exists,
     // else whatever the registry still holds (last-good profiles).
+    const std::optional<engine::SystemPrediction> latest =
+        pipe.snapshot().latest;
     const engine::SystemPrediction end_state =
-        pipe.latest().has_value() ? *pipe.latest() : eng.predict(query);
+        latest.has_value() ? *latest : eng.predict(query);
     r.spi = end_state.processes[0].prediction.spi;
     r.power = end_state.total_power;
   } catch (const Error& e) {
@@ -108,13 +110,15 @@ ArmResult run_arm(const sim::MachineConfig& machine,
     r.threw = true;
     r.error = e.what();
   }
-  for (const online::RevisionEvent& e : pipe.history())
-    if (e.resolved) {
+  for (const online::PipelineEvent& event : pipe.events())
+    if (event.is_profile() && event.profile().resolved) {
+      const online::RevisionEvent& e = event.profile();
       r.event_spi.push_back(e.prediction.processes[0].prediction.spi);
       r.event_power.push_back(e.prediction.total_power);
     }
-  r.stats = pipe.stats();
-  r.san = pipe.sanitizer_stats();
+  const online::OnlinePipeline::Snapshot snap = pipe.snapshot();
+  r.stats = snap.stats;
+  r.san = snap.sanitizer;
   r.inj = inj.stats();
   return r;
 }

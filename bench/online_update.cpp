@@ -140,7 +140,13 @@ int main() {
   // Timed on-line reaction: swap the revision in (per-entry
   // invalidation) and re-solve from the previous equilibrium's seeds.
   const auto t_react = std::chrono::steady_clock::now();
-  eng.update_process(target_h, fresh->profile);
+  const engine::ApplyResult applied =
+      eng.try_apply(engine::Revision::process(target_h, fresh->profile));
+  if (!applied) {
+    std::fprintf(stderr, "FAIL: revision rejected: %s\n",
+                 applied.reason.c_str());
+    return 1;
+  }
   engine::CoScheduleQuery warm_query = query;
   for (const auto& pt : cold_ref.processes)
     warm_query.warm_start.push_back(pt.prediction.effective_size);

@@ -12,7 +12,7 @@
 //   2. the frozen arm never touches the engine's model (revision 0,
 //      coefficients bit-identical to the calibration);
 //   3. the refit arm applies at least one revision through
-//      try_update_power and its revision counter matches the engine's;
+//      try_apply and its revision counter matches the engine's;
 //   4. once converged (final third of the stream), the refit arm's
 //      live measured-vs-predicted error is a fraction of the frozen
 //      arm's — the refit tracked the drift the frozen model can't;
@@ -86,13 +86,15 @@ ArmResult run_arm(const sim::MachineConfig& machine,
     r.threw = true;
     r.error = e.what();
   }
-  for (const online::PowerRevisionEvent& e : pipe.power_history())
-    if (!e.applied)
+  for (const online::PipelineEvent& event : pipe.events())
+    if (event.is_power() && !event.power().applied) {
+      const online::PowerRevisionEvent& e = event.power();
       std::printf("  rejected @%.2fs: %s (r2 %.4f, cand %.2f%% vs "
                   "incumbent %.2f%%)\n",
                   e.time, e.reason.c_str(), e.r2, e.candidate_err_pct,
                   e.incumbent_err_pct);
-  const online::OnlinePipeline::Stats stats = pipe.stats();
+    }
+  const online::OnlinePipeline::Stats stats = pipe.snapshot().stats;
   r.revisions = stats.power_revisions;
   r.rejected = stats.power_rejected;
   r.engine_revision = eng.power_revision();

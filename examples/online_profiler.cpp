@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   // re-price the running co-schedule after every further revision.
   bool query_set = false;
   auto sink = pipe.sink();
-  std::uint64_t next_seq = 0;  // history_since cursor, eviction-proof
+  online::EventCursor next_seq = 0;  // events_since cursor, eviction-proof
   const sim::RunResult run = system.run(1.5, [&](const sim::Sample& s) {
     sink(s);
     if (!query_set && pipe.handle_of(app) && pipe.handle_of(batch)) {
@@ -106,8 +106,10 @@ int main(int argc, char** argv) {
       pipe.set_query(q);
       query_set = true;
     }
-    for (const online::RevisionEvent& e : pipe.history_since(next_seq)) {
-      next_seq = e.seq + 1;
+    for (const online::PipelineEvent& event : pipe.events_since(next_seq)) {
+      next_seq = event.seq + 1;
+      if (!event.is_profile()) continue;
+      const online::RevisionEvent& e = event.profile();
       const core::ProcessProfile p = eng.profile(e.handle);
       double app_spi = 0.0;
       double watts = 0.0;
@@ -120,13 +122,15 @@ int main(int argc, char** argv) {
       std::printf("%-8.3f %-10s %-4llu %-7llu %-11.3e %-9.2f %-7d\n", e.time,
                   p.name.c_str(),
                   static_cast<unsigned long long>(e.revision),
-                  static_cast<unsigned long long>(pipe.stats().phase_changes),
+                  static_cast<unsigned long long>(
+                      pipe.snapshot().stats.phase_changes),
                   app_spi, watts, e.solver_iterations);
     }
   });
   pipe.finish();
 
-  const online::OnlinePipeline::Stats stats = pipe.stats();
+  const online::OnlinePipeline::Snapshot snap = pipe.snapshot();
+  const online::OnlinePipeline::Stats& stats = snap.stats;
   std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
               "%llu warm re-solves (%.1f Newton iterations each)\n",
               static_cast<unsigned long long>(stats.windows),
@@ -140,7 +144,7 @@ int main(int argc, char** argv) {
 
   // Check the last prediction against what the simulator measured over
   // the tail windows (the final phase pair).
-  const std::optional<engine::SystemPrediction> latest = pipe.latest();
+  const std::optional<engine::SystemPrediction>& latest = snap.latest;
   if (latest.has_value()) {
     double measured_spi = 0.0;
     std::size_t tail = 0;

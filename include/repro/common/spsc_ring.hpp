@@ -1,0 +1,129 @@
+// SpscRing — a bounded, lock-free single-producer/single-consumer
+// queue, the on-line pipeline's ingestion buffer (ISSUE 6).
+//
+// Exactly one thread may push and exactly one thread may pop; under
+// that contract every operation is wait-free and uses only
+// acquire/release ordering:
+//
+//   - `tail_` is written by the producer alone. Its release store in
+//     try_push() is what publishes the just-constructed slot: the
+//     consumer's acquire load of `tail_` in try_pop() synchronizes
+//     with it, so the element write happens-before the consumer's
+//     read. No element is ever read while being written.
+//   - `head_` is written by the consumer alone. Its release store in
+//     try_pop() publishes "this slot is free again": the producer's
+//     acquire load synchronizes with it, so the consumer's move-out
+//     happens-before the producer's next overwrite of that slot.
+//
+// Nothing stronger than acquire/release is needed because each index
+// has a single writer — there is no store/store race to arbitrate, so
+// no seq_cst fence. Indices are free-running 64-bit counters (masked
+// on access), which makes full/empty exact: `tail - head` is the live
+// count and never ambiguates a full ring against an empty one.
+//
+// The producer keeps a private cache of `head_` (and the consumer of
+// `tail_`) so the common case touches only its own cache line; the
+// foreign index is re-read exactly when the cached value says
+// full/empty — the message_buffer idiom. Head and tail live on
+// separate cache lines (alignas below) so the two threads never
+// false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::common {
+
+/// Destructive-interference padding for the ring indices. A fixed 64
+/// (universal for x86-64 and common AArch64 parts) instead of
+/// std::hardware_destructive_interference_size, whose value is not ABI
+/// stable across the gcc/clang matrix this repo builds under.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masked indexing). The
+  /// ring pre-allocates every slot; elements are moved in and out.
+  explicit SpscRing(std::size_t capacity) {
+    REPRO_ENSURE(capacity > 0, "SpscRing needs a non-zero capacity");
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer only. False when the ring is full (the value is left
+  /// untouched in that case so the caller can retry or drop it).
+  bool try_push(T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      // Looks full through the cached view: refresh from the
+      // consumer. The acquire pairs with try_pop's release store so
+      // the slot we are about to overwrite was fully moved out.
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = std::move(value);
+    // Publish: the consumer's acquire load of tail_ sees the element
+    // store above completed.
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer only, rvalue convenience.
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Consumer only. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      // Looks empty through the cached view: refresh from the
+      // producer. The acquire pairs with try_push's release store so
+      // the element read below sees a fully constructed value.
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(head) & mask_]);
+    // Publish: the producer's acquire load of head_ sees the move-out
+    // above completed before it overwrites the slot.
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Live element count. Exact from either endpoint thread; a racing
+  /// third-party reader sees some recent value.
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// The rounded-up slot count.
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+
+  /// Producer-owned line: the producer's index plus its private cache
+  /// of the consumer's index.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+
+  /// Consumer-owned line, symmetric.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace repro::common

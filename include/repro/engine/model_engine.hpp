@@ -10,12 +10,25 @@
 //
 // ModelEngine owns a registry of profiled processes, memoizes each
 // process's derived artifacts (the fill curve G⁻¹, its inverse
-// tabulation G, and the MPA curve) in a thread-safe cache, and exposes
-// a batch API that fans candidate co-schedules out across a small
+// tabulation G, and the MPA curve) per registration, and exposes a
+// batch API that fans candidate co-schedules out across a small
 // work-stealing thread pool. Per-candidate results are bit-identical
 // to the direct single-threaded EquilibriumSolver + PowerModel
 // composition, independent of thread count — candidates are pure
 // functions of the registered profiles.
+//
+// Concurrency model (ISSUE 6): engine state is published as immutable
+// RCU-style *epoch snapshots*. snapshot() hands back a
+// shared_ptr<const EngineSnapshot> holding one consistent (profiles,
+// memoized artifacts, power model) triple; predict()/predict_batch()
+// resolve a snapshot once and run entirely against it, so the read
+// path is wait-free — it never touches a lock, and a revision landing
+// mid-batch cannot tear or stall it. Writers (register_process,
+// try_apply, collect_garbage) serialize on a builder mutex, assemble
+// the next snapshot off to the side, and publish it with a single
+// atomic pointer swap. Validation happens before any builder state is
+// touched: a rejected revision publishes nothing and the last-good
+// snapshot stays current.
 //
 // Contention semantics: one CPU-share-weighted equilibrium per die over
 // all of the die's processes (a time-shared process's lines stay
@@ -126,6 +139,117 @@ struct SystemPrediction {
   }
 };
 
+/// One typed model revision for ModelEngine::try_apply — either a
+/// profile replacement behind an existing handle (the on-line
+/// pipeline's revision sink) or an Eq. 9 power-model refit. Exactly
+/// one payload must be engaged; build with the factories.
+struct Revision {
+  struct ProfilePayload {
+    ProcessHandle handle = 0;
+    core::ProcessProfile profile;
+  };
+
+  std::optional<ProfilePayload> profile;
+  std::optional<core::PowerModel> power;
+
+  static Revision process(ProcessHandle handle, core::ProcessProfile p) {
+    Revision r;
+    r.profile.emplace();
+    r.profile->handle = handle;
+    r.profile->profile = std::move(p);
+    return r;
+  }
+  static Revision power_model(core::PowerModel m) {
+    Revision r;
+    r.power.emplace(std::move(m));
+    return r;
+  }
+};
+
+/// Outcome of ModelEngine::try_apply. Rejections never mutate or
+/// publish anything: the last-good snapshot stays current and `reason`
+/// names the gate that refused the revision.
+struct ApplyResult {
+  bool applied = false;
+  /// Rejection cause; empty when applied.
+  std::string reason;
+  /// Epoch of the snapshot this apply published, or of the still-
+  /// current snapshot when rejected.
+  std::uint64_t epoch = 0;
+
+  explicit operator bool() const { return applied; }
+};
+
+/// One immutable published engine state: the registry (profiles plus
+/// their lazily memoized fill-curve artifacts), the name index, and
+/// the Eq. 9 power model, all from a single epoch. Obtained from
+/// ModelEngine::snapshot(); reference-counted, so a reader may hold it
+/// across arbitrarily many revisions — predictions made against it
+/// stay bit-identical to the moment it was taken, and its memory is
+/// reclaimed when the last holder drops it (no ABA: epochs only move
+/// forward and pointers are never reused while referenced).
+class EngineSnapshot {
+ public:
+  /// Monotonic publish counter: 0 is the engine's initial (empty)
+  /// snapshot, each successful mutation publishes epoch + 1.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Number of live (non-collected) registrations in this snapshot.
+  std::size_t process_count() const { return live_; }
+
+  /// Handle of a registered process, if any.
+  std::optional<ProcessHandle> find(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The registered profile behind a handle. The reference is valid
+  /// for the snapshot's lifetime. Throws on an unknown or collected
+  /// handle.
+  const core::ProcessProfile& profile(ProcessHandle handle) const;
+
+  bool has_power_model() const { return power_.has_value(); }
+
+  /// The snapshot's Eq. 9 model (throws when the engine was built
+  /// without one). Valid for the snapshot's lifetime.
+  const core::PowerModel& power_model() const;
+
+  /// Number of successful power revisions up to this snapshot.
+  std::uint64_t power_revision() const { return power_revision_; }
+
+ private:
+  friend class ModelEngine;
+
+  /// Derived per-process artifacts, built once per registration and
+  /// shared by every prediction thread — and, because entries are
+  /// shared between consecutive snapshots, by every epoch that kept
+  /// the registration unchanged.
+  struct Artifacts {
+    math::PiecewiseLinear fill;    // G⁻¹: occupancy S → accesses n
+    math::PiecewiseLinear growth;  // G: accesses n → occupancy S
+  };
+  struct Entry {
+    explicit Entry(core::ProcessProfile p) : profile(std::move(p)) {}
+    core::ProcessProfile profile;
+    mutable std::once_flag once;
+    mutable Artifacts artifacts;
+  };
+
+  const Entry& entry_of(ProcessHandle handle) const;
+
+  /// Slots are positional (handle == index); null = collected. Entries
+  /// are shared with the builder and with neighbouring snapshots —
+  /// only replaced registrations get a fresh Entry (and with it a
+  /// fresh once_flag, which is what invalidates the memoized curves).
+  std::vector<std::shared_ptr<const Entry>> registry_;
+  std::unordered_map<std::string, ProcessHandle> by_name_;
+  std::optional<core::PowerModel> power_;
+  std::uint64_t power_revision_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::size_t live_ = 0;
+};
+
 class ModelEngine {
  public:
   /// Performance-only engine: predictions carry SPI/MPA/occupancy and
@@ -148,38 +272,21 @@ class ModelEngine {
   /// handle and invalidates the memoized artifacts.
   ProcessHandle register_process(core::ProcessProfile profile);
 
-  /// Replace the profile behind an existing handle — the on-line
-  /// pipeline's revision sink. Validates the new profile, installs it
-  /// atomically under the registry lock, and drops the handle's
-  /// memoized artifacts so the next prediction rebuilds them. If the
-  /// revision renames the process, the name index follows (a rename
-  /// colliding with a different handle's name is an error). In-flight
-  /// predict_batch() calls observe either the old or the new profile
-  /// uniformly across their whole batch, never a mix.
-  void update_process(ProcessHandle handle, core::ProcessProfile profile);
+  /// Apply one typed revision — the single mutation entry point for
+  /// model updates (it replaced update_process / try_update_process /
+  /// update_power / try_update_power). A profile payload swaps the
+  /// profile behind an existing handle (renames move the name index;
+  /// a rename colliding with another handle's name is refused); a
+  /// power payload installs a revised Eq. 9 model and bumps
+  /// power_revision(). Everything is validated before any state is
+  /// touched: on success a new snapshot is published atomically and
+  /// `epoch` reports it, on rejection nothing is published, the
+  /// last-good snapshot stays current, and `reason` says why. Never
+  /// throws for payload defects — only for engine misuse bugs
+  /// (e.g. both payloads engaged is still reported via `reason`).
+  ApplyResult try_apply(Revision revision);
 
-  /// Non-throwing update_process: returns false (and leaves the
-  /// registry, name index, and memoized artifacts untouched) when the
-  /// revision fails validation, instead of propagating repro::Error.
-  /// The hardened pipeline's keep-last-good revision sink.
-  bool try_update_process(ProcessHandle handle, core::ProcessProfile profile);
-
-  /// Install a revised Eq. 9 power model — the on-line refit sink.
-  /// Validates before mutating (core count must match the machine,
-  /// idle power positive and finite, coefficients finite, and the
-  /// engine must have been built with a power model); on success the
-  /// model is swapped under the registry writer lock and
-  /// power_revision() increments. In-flight predictions observe either
-  /// the old or the new model uniformly across their whole batch.
-  void update_power(core::PowerModel power);
-
-  /// Non-throwing update_power: returns false (and leaves the current
-  /// model untouched) when the candidate fails validation, instead of
-  /// propagating repro::Error — the refit loop degrades to last-good
-  /// exactly like try_update_process.
-  bool try_update_power(core::PowerModel power);
-
-  /// Number of successful update_power installs since construction.
+  /// Number of successful power revisions since construction.
   std::uint64_t power_revision() const;
 
   /// Drop every registered process whose handle fails keep(handle),
@@ -189,26 +296,49 @@ class ModelEngine {
   /// collected handle's slot is recycled by a later register_process of
   /// a *new* name. The on-line pipeline's GC for handles that are no
   /// longer monitored by any pipeline or referenced by a live query.
+  /// Snapshots taken before the collection keep their entries alive
+  /// until released. The predicate runs under the builder lock; it may
+  /// read the engine's snapshot accessors (they are lock-free) but
+  /// must not mutate the engine.
   std::size_t collect_garbage(
       const std::function<bool(ProcessHandle)>& keep);
+
+  /// The current published snapshot — wait-free, never null. Hold it
+  /// to pin one consistent (profiles, artifacts, power model) triple
+  /// across any number of concurrent revisions.
+  std::shared_ptr<const EngineSnapshot> snapshot() const;
 
   /// Handle of a registered process, if any.
   std::optional<ProcessHandle> find(const std::string& name) const;
 
-  /// The registered profile behind a handle.
+  /// The registered profile behind a handle (copied out of the current
+  /// snapshot).
   core::ProcessProfile profile(ProcessHandle handle) const;
 
   /// Number of live (non-collected) registrations.
   std::size_t process_count() const;
 
-  /// Predict one candidate co-schedule.
+  /// Predict one candidate co-schedule against the current snapshot.
   SystemPrediction predict(const CoScheduleQuery& query) const;
 
+  /// Predict one candidate against a pinned snapshot — bit-identical
+  /// to predicting on a quiesced engine at that snapshot's epoch, no
+  /// matter how many revisions landed since.
+  SystemPrediction predict(const EngineSnapshot& snapshot,
+                           const CoScheduleQuery& query) const;
+
   /// Predict a batch of candidates, fanned out over the thread pool
-  /// (options.threads != 1). Results are positionally aligned with
-  /// `queries` and bit-identical to issuing the same predict() calls
-  /// serially, regardless of thread count.
+  /// (options.threads != 1). The snapshot is resolved once for the
+  /// whole batch: every candidate prices against the same epoch, and
+  /// results are positionally aligned with `queries` and bit-identical
+  /// to issuing the same predict() calls serially, regardless of
+  /// thread count.
   std::vector<SystemPrediction> predict_batch(
+      std::span<const CoScheduleQuery> queries) const;
+
+  /// Batch prediction against a pinned snapshot.
+  std::vector<SystemPrediction> predict_batch(
+      const EngineSnapshot& snapshot,
       std::span<const CoScheduleQuery> queries) const;
 
   /// Memoization counters for the derived-artifact cache.
@@ -226,54 +356,51 @@ class ModelEngine {
   const sim::MachineConfig& machine() const { return machine_; }
   std::uint32_t ways() const { return machine_.l2.ways; }
   bool has_power_model() const;
-  /// Snapshot of the current Eq. 9 model (throws when the engine was
-  /// built without one). Returned by value: update_power may replace
-  /// the model concurrently, so references would be unstable.
+  /// Copy of the current snapshot's Eq. 9 model (throws when the
+  /// engine was built without one). Returned by value: a concurrent
+  /// try_apply may publish a newer snapshot at any time, so references
+  /// into the current one would be unstable — pin a snapshot() first
+  /// when a stable reference is needed.
   core::PowerModel power_model() const;
   const EngineOptions& options() const { return options_; }
 
  private:
-  /// Derived per-process artifacts, built once per registration and
-  /// shared by every prediction thread.
-  struct Artifacts {
-    math::PiecewiseLinear fill;    // G⁻¹: occupancy S → accesses n
-    math::PiecewiseLinear growth;  // G: accesses n → occupancy S
-  };
-  struct Entry {
-    explicit Entry(core::ProcessProfile p) : profile(std::move(p)) {}
-    core::ProcessProfile profile;
-    mutable std::once_flag once;
-    mutable Artifacts artifacts;
-  };
+  using Entry = EngineSnapshot::Entry;
+  using Artifacts = EngineSnapshot::Artifacts;
 
   const Artifacts& artifacts_of(const Entry& entry) const;
-  SystemPrediction predict_locked(const CoScheduleQuery& query) const
-      REPRO_REQUIRES_SHARED(registry_mutex_);
-  const Entry& entry_of(ProcessHandle handle) const
-      REPRO_REQUIRES_SHARED(registry_mutex_);
+  SystemPrediction predict_on(const EngineSnapshot& snapshot,
+                              const CoScheduleQuery& query) const;
   void install(ProcessHandle handle, core::ProcessProfile profile)
-      REPRO_REQUIRES(registry_mutex_);
+      REPRO_REQUIRES(builder_mutex_);
+  /// Assemble the next snapshot from the builder state and publish it
+  /// with one atomic pointer store (epoch + 1).
+  void publish() REPRO_REQUIRES(builder_mutex_);
 
   sim::MachineConfig machine_;
-  /// The live Eq. 9 model. Guarded by the registry lock (not a second
-  /// mutex) so a batch's predictions see one consistent (profiles,
-  /// power) pair and the documented pipeline → engine lock order stays
-  /// a two-level hierarchy.
-  std::optional<core::PowerModel> power_ REPRO_GUARDED_BY(registry_mutex_);
-  std::uint64_t power_revision_ REPRO_GUARDED_BY(registry_mutex_) = 0;
   EngineOptions options_;
   core::EquilibriumSolver solver_;
   std::unique_ptr<common::ThreadPool> pool_;  // null when threads == 1
 
-  /// Guards the registry: slots (null = collected), the name index,
-  /// and the free-slot list. Readers (predictions, lookups) share it;
-  /// registration, revision, and GC take it exclusively.
-  mutable common::SharedMutex registry_mutex_;
-  std::vector<std::unique_ptr<Entry>> registry_
-      REPRO_GUARDED_BY(registry_mutex_);
+  /// Builder-side lock: serializes writers (registration, try_apply,
+  /// GC) over the mutable copy of the registry that the next snapshot
+  /// is assembled from. Readers never take it — they go through the
+  /// published snapshot — so a GUARDED_BY proof below is a statement
+  /// about the *builder*, not about the read path.
+  mutable common::Mutex builder_mutex_;
+  std::vector<std::shared_ptr<const Entry>> registry_
+      REPRO_GUARDED_BY(builder_mutex_);
   std::unordered_map<std::string, ProcessHandle> by_name_
-      REPRO_GUARDED_BY(registry_mutex_);
-  std::vector<ProcessHandle> free_slots_ REPRO_GUARDED_BY(registry_mutex_);
+      REPRO_GUARDED_BY(builder_mutex_);
+  std::vector<ProcessHandle> free_slots_ REPRO_GUARDED_BY(builder_mutex_);
+  std::optional<core::PowerModel> power_ REPRO_GUARDED_BY(builder_mutex_);
+  std::uint64_t power_revision_ REPRO_GUARDED_BY(builder_mutex_) = 0;
+  std::uint64_t epoch_ REPRO_GUARDED_BY(builder_mutex_) = 0;
+
+  /// The current epoch snapshot. store(release) under builder_mutex_,
+  /// load(acquire) from any thread — the only writer/reader meeting
+  /// point on the predict path.
+  std::atomic<std::shared_ptr<const EngineSnapshot>> published_;
 
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::atomic<std::uint64_t> cache_misses_{0};

@@ -1,10 +1,13 @@
 // OnlinePipeline — the end-to-end streaming loop:
 //
-//   hpc windows ──► SampleStream ──► ProfileBuilder (per process)
+//   hpc windows ──► [SPSC ring ──► worker thread] ──► SampleStream
+//                                        │  per-process windows
+//                                        ▼
+//                              ProfileBuilder (per process)
 //                                        │  versioned ProcessProfile
 //                                        ▼
-//                              ModelEngine::update_process
-//                                        │  per-entry invalidation
+//                        ModelEngine::try_apply(Revision)
+//                                        │  epoch snapshot publish
 //                                        ▼
 //                       warm-started equilibrium re-solve (1–2 Newton
 //                       iterations seeded from the previous S_i)
@@ -13,21 +16,36 @@
 // the running workload: every confirmed phase change or periodic refit
 // flows through as a profile revision, invalidates exactly that
 // process's memoized artifacts, and re-prices the current co-schedule
-// from the previous equilibrium instead of from scratch. The history()
+// from the previous equilibrium instead of from scratch. The events()
 // log is the per-phase SPI/power trace the tools and examples report.
+//
+// Ingestion (ISSUE 6): with inline_ingest (the default) push() runs
+// the whole sanitize → stream → refit chain on the caller's thread,
+// bit-identical to the pre-ring pipeline. With inline_ingest = false,
+// push() enqueues the raw window on a bounded lock-free SPSC ring and
+// returns immediately; a dedicated worker thread drains the ring and
+// runs the identical chain, so System::run never blocks on sanitizer,
+// solver, or refit work. Backpressure when the ring is full is a
+// policy choice (block vs. count-and-drop), surfaced through
+// PipelineHealth::windows_dropped.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "repro/common/mutex.hpp"
+#include "repro/common/spsc_ring.hpp"
 #include "repro/common/thread_annotations.hpp"
 #include "repro/engine/model_engine.hpp"
+#include "repro/online/events.hpp"
 #include "repro/online/power_refitter.hpp"
 #include "repro/online/profile_builder.hpp"
 #include "repro/online/sample_stream.hpp"
@@ -51,80 +69,63 @@ struct OnlinePipelineOptions {
   /// Reject a revision whose Eq. 3 fit has a relative RMS residual
   /// above this and keep the last-good profile; 0 disables the gate.
   double max_fit_rms = 0.75;
-  /// history() ring capacity — the oldest RevisionEvent is evicted
-  /// beyond it (stats() counters stay monotonic). 0 = unbounded.
-  /// power_history() shares the same capacity.
+  /// events() ring capacity — the oldest PipelineEvent is evicted
+  /// beyond it (snapshot() counters stay monotonic). 0 = unbounded.
   std::size_t history_capacity = 4096;
 
   /// On-line power refits (ISSUE 5). When enabled AND the engine was
   /// built with a power model, every sanitized ground-truth window
   /// also feeds a PowerRefitter; accepted candidates install through
-  /// ModelEngine::try_update_power. Disabled (the default), the
-  /// pipeline's behavior and the engine's power predictions are
-  /// bit-identical to the pre-refit code.
+  /// ModelEngine::try_apply. Disabled (the default), the pipeline's
+  /// behavior and the engine's power predictions are bit-identical to
+  /// the pre-refit code.
   PowerRefitOptions power{};
-};
 
-/// One profile revision as it flowed through the engine, plus the
-/// re-solved operating point (when a query was active).
-struct RevisionEvent {
-  /// Position in the pipeline's whole revision log: monotonic from 0,
-  /// unaffected by history-ring eviction — the cursor for
-  /// history_since() pollers.
-  std::uint64_t seq = 0;
-  Seconds time = 0.0;                  // window end that triggered it
-  engine::ProcessHandle handle = 0;
-  std::uint64_t revision = 0;
-  RevisionQuality quality;             // the fit behind this revision
-  bool resolved = false;               // a re-solve followed
-  bool degraded = false;               // ...which fell back to last-good
-  int solver_iterations = 0;           // of that re-solve
-  engine::SystemPrediction prediction; // valid when resolved
-};
-
-/// One power-model refit attempt as it flowed through the pipeline —
-/// applied revisions and gate rejections both, so watchers can see the
-/// gate working. Sequenced independently of RevisionEvents: poll with
-/// power_history_since() and its own cursor.
-struct PowerRevisionEvent {
-  /// Monotonic from 0, unaffected by ring eviction — the cursor for
-  /// power_history_since() pollers.
-  std::uint64_t seq = 0;
-  Seconds time = 0.0;            // window that triggered the attempt
-  bool applied = false;          // accepted by the gate AND the engine
-  std::string reason;            // rejection cause; empty when applied
-  bool rank_deficient = false;   // conditioning guard fired
-  std::uint64_t revision = 0;    // engine power_revision() after apply
-  double r2 = 0.0;               // candidate fit quality
-  double accuracy = 0.0;
-  double candidate_err_pct = 0.0;  // candidate MAPE over the window
-  double incumbent_err_pct = 0.0;  // incumbent MAPE over the same rows
-  Watts idle = 0.0;                // candidate intercept
-  std::array<double, 5> coefficients{};
-  std::size_t window_samples = 0;
+  /// true: push() ingests synchronously on the caller's thread —
+  /// bit-identical to the pre-ring pipeline, and the right choice for
+  /// deterministic replay. false: push() enqueues on the SPSC ring
+  /// and a dedicated worker thread ingests.
+  bool inline_ingest = true;
+  /// Ring capacity in windows (rounded up to a power of two) when
+  /// inline_ingest is false.
+  std::size_t ring_capacity = 1024;
+  /// What push() does when the ring is full.
+  enum class Backpressure {
+    /// Wait until the worker frees a slot: no window is ever lost,
+    /// but a stalled worker back-propagates into System::run.
+    kBlock,
+    /// Drop the incoming window and count it in
+    /// PipelineHealth::windows_dropped: System::run never waits, at
+    /// the cost of holes in the observed stream under overload.
+    kDrop,
+  };
+  Backpressure backpressure = Backpressure::kBlock;
 };
 
 /// Fault-path observability: everything the hardened pipeline dropped,
-/// repaired, or refused, surfaced through OnlinePipeline::stats() and
-/// `cmpmodel watch`. All counters are monotonic over a pipeline's life.
+/// repaired, or refused, surfaced through OnlinePipeline::snapshot()
+/// and `cmpmodel watch`. All counters are monotonic over a pipeline's
+/// life.
 struct PipelineHealth {
-  std::uint64_t windows_seen = 0;         // raw windows offered to push()
+  std::uint64_t windows_seen = 0;         // raw windows that entered ingest
   std::uint64_t windows_forwarded = 0;    // passed sanitization
   std::uint64_t windows_repaired = 0;     // forwarded after a wrap repair
   std::uint64_t windows_quarantined = 0;  // withheld from the stream
+  std::uint64_t windows_dropped = 0;      // lost to ring backpressure (kDrop)
   std::uint64_t revisions_rejected = 0;   // failed validation/quality gate
   std::uint64_t degraded_resolves = 0;    // re-solves served last-good
-  std::uint64_t history_evicted = 0;      // RevisionEvents aged out
+  std::uint64_t history_evicted = 0;      // PipelineEvents aged out
 };
 
 class OnlinePipeline {
  public:
   OnlinePipeline(engine::ModelEngine& engine,
                  OnlinePipelineOptions options = {});
+  ~OnlinePipeline();
 
   /// Monitor a process already registered with the engine: its current
   /// profile seeds the builder's baseline (power_alone, revision
-  /// numbering) and revisions flow to update_process(handle).
+  /// numbering) and revisions flow to try_apply(handle).
   void monitor(ProcessId pid, engine::ProcessHandle handle);
 
   /// Monitor a process the engine has never seen — the cold-start
@@ -139,7 +140,9 @@ class OnlinePipeline {
   /// still update the engine registry but nothing is solved.
   void set_query(engine::CoScheduleQuery query);
 
-  /// Ingest one sample window (System::run callback).
+  /// Ingest one sample window (System::run callback). Synchronous
+  /// with inline_ingest; otherwise an enqueue on the SPSC ring, whose
+  /// full-ring behavior follows options.backpressure.
   void push(const sim::Sample& sample);
 
   /// Convenience adapter for System::run.
@@ -147,31 +150,21 @@ class OnlinePipeline {
     return [this](const sim::Sample& s) { push(s); };
   }
 
-  /// Flush every builder's current phase and re-solve once more.
+  /// Wait (ring mode) until every window pushed so far has been
+  /// ingested by the worker, then flush every builder's current phase
+  /// and re-solve once more.
   void finish();
 
-  /// Most recent re-solved prediction, if any. A snapshot copy: safe
-  /// to call from any thread while the ingest thread is in push().
-  std::optional<engine::SystemPrediction> latest() const;
-
-  /// Snapshot of the revisions that flowed through, in stream order —
-  /// the most recent history_capacity of them (older events evicted).
-  std::deque<RevisionEvent> history() const;
+  /// Unified event log, in global stream order — the most recent
+  /// history_capacity entries (older events evicted).
+  std::deque<PipelineEvent> events() const;
 
   /// Events with seq >= `since` — the eviction-proof incremental
-  /// cursor for live watchers: poll with the last seen seq + 1 (or 0
-  /// to start). Events that aged out of the ring before a poll are
-  /// gone; seqs never renumber, so the cursor stays valid regardless.
-  std::vector<RevisionEvent> history_since(std::uint64_t since) const;
-
-  /// Snapshot of the power refit attempts, in stream order — the most
-  /// recent history_capacity of them (older events evicted).
-  std::deque<PowerRevisionEvent> power_history() const;
-
-  /// Power events with seq >= `since` — same eviction-proof cursor
-  /// contract as history_since(), over an independent seq space.
-  std::vector<PowerRevisionEvent> power_history_since(
-      std::uint64_t since) const;
+  /// cursor for live watchers. Events that aged out of the ring before
+  /// a poll are gone; seqs never renumber, so the cursor stays valid
+  /// regardless. Profile and power events share the one seq space, so
+  /// a single cursor observes both in their true interleaving.
+  std::vector<PipelineEvent> events_since(EventCursor since) const;
 
   struct Stats {
     std::uint64_t windows = 0;            // sample windows ingested (raw)
@@ -183,10 +176,24 @@ class OnlinePipeline {
     std::uint64_t power_rejected = 0;     // refit attempts gated/refused
     PipelineHealth health;                // fault-path counters
   };
-  Stats stats() const;
 
-  /// The sanitizer's own verdict counters; zeros when harden is off.
-  SanitizerStats sanitizer_stats() const;
+  /// One consistent, locked copy of everything an observer needs: the
+  /// counters, the sanitizer's verdicts, the most recent re-solved
+  /// prediction, and the event cursor delimiting what events_since()
+  /// has produced up to this instant. Taken under the pipeline lock in
+  /// one critical section, so the fields can never be torn against
+  /// each other the way separate stats()/latest() calls could.
+  struct Snapshot {
+    Stats stats;
+    /// The sanitizer's own verdict counters; zeros when harden is off.
+    SanitizerStats sanitizer;
+    /// Most recent re-solved prediction, if any.
+    std::optional<engine::SystemPrediction> latest;
+    /// One past the newest event: events_since(next_cursor) returns
+    /// nothing until a newer event lands.
+    EventCursor next_cursor = 0;
+  };
+  Snapshot snapshot() const;
 
   const engine::ModelEngine& engine() const { return engine_; }
 
@@ -198,25 +205,29 @@ class OnlinePipeline {
     std::unique_ptr<ProfileBuilder> builder;
   };
 
+  void ingest(const sim::Sample& sample) REPRO_REQUIRES(mutex_);
+  void enqueue(const sim::Sample& sample);
+  void worker_loop();
+  void drain_ring();
   void apply_revision(Monitored& m, ProfileRevision revision, Seconds time)
       REPRO_REQUIRES(mutex_);
-  void record_event(RevisionEvent event) REPRO_REQUIRES(mutex_);
+  void record_event(PipelineEvent event) REPRO_REQUIRES(mutex_);
   void refit_power(const sim::Sample& sample) REPRO_REQUIRES(mutex_);
-  void record_power_event(PowerRevisionEvent event) REPRO_REQUIRES(mutex_);
+  Stats stats_locked() const REPRO_REQUIRES(mutex_);
   std::vector<double> warm_seeds() const REPRO_REQUIRES(mutex_);
 
   engine::ModelEngine& engine_;
   OnlinePipelineOptions options_;
 
-  /// One lock for the whole pipeline: the ingest thread holds it for
-  /// the duration of each push()/finish() (stream dispatch, builders,
-  /// revision application, re-solve), and every observability accessor
-  /// (stats, history, latest, handle_of) takes it for a snapshot —
-  /// what makes those accessors safe to call from a thread other than
-  /// the one driving sink(). Lock order: mutex_ before the engine's
-  /// registry lock (push → apply_revision → engine update/predict);
-  /// the engine never calls back into the pipeline, so the order is
-  /// acyclic.
+  /// One lock for the whole ingest state: the ingesting thread (the
+  /// push() caller inline, the worker in ring mode) holds it for the
+  /// duration of each window's processing (stream dispatch, builders,
+  /// revision application, re-solve), and snapshot()/events() take it
+  /// for a consistent copy — what makes those accessors safe to call
+  /// from any thread. Lock order: mutex_ before the engine's builder
+  /// lock (ingest → apply_revision → engine try_apply); engine
+  /// *reads* are snapshot-based and lock-free, and the engine never
+  /// calls back into the pipeline, so the order is acyclic.
   mutable common::Mutex mutex_;
   SampleStream stream_ REPRO_GUARDED_BY(mutex_);
   std::optional<SampleSanitizer> sanitizer_  // engaged when harden
@@ -227,10 +238,8 @@ class OnlinePipeline {
       REPRO_GUARDED_BY(mutex_);
   std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
   std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
-  std::deque<RevisionEvent> history_ REPRO_GUARDED_BY(mutex_);
+  std::deque<PipelineEvent> events_ REPRO_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::deque<PowerRevisionEvent> power_history_ REPRO_GUARDED_BY(mutex_);
-  std::uint64_t power_next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t power_revisions_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t power_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
@@ -239,6 +248,29 @@ class OnlinePipeline {
   std::uint64_t revisions_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t degraded_resolves_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t history_evicted_ REPRO_GUARDED_BY(mutex_) = 0;
+
+  /// Ring-mode state (null/never-started under inline_ingest). The
+  /// ring itself is lock-free; ring_mutex_ + the two condvars exist
+  /// only for *parking*: the worker sleeps when the ring is empty, a
+  /// kBlock producer or drain_ring() waiter sleeps when it is full /
+  /// not yet drained. The wakeup handshake is the classic two-fence
+  /// protocol (see DESIGN 5.6): each side publishes its state, issues
+  /// a seq_cst fence, then checks the other's — so at least one of
+  /// "sleeper sees the data" / "poster sees the sleeper" always holds
+  /// and no wakeup is lost. ring_mutex_ is leaf-level: nothing is
+  /// called while holding it, so it never participates in the
+  /// pipeline → engine lock order.
+  std::unique_ptr<common::SpscRing<sim::Sample>> ring_;
+  std::thread worker_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> worker_parked_{false};
+  std::atomic<std::uint64_t> drain_waiters_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable common::Mutex ring_mutex_;
+  common::CondVar ring_cv_;   // worker parks here (ring empty)
+  common::CondVar drain_cv_;  // kBlock producer / drain_ring park here
 };
 
 }  // namespace repro::online

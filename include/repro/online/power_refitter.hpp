@@ -20,8 +20,9 @@
 //
 // The refitter itself is passive and unsynchronized: OnlinePipeline
 // owns one under its pipeline mutex and forwards accepted candidates
-// to ModelEngine::try_update_power (validate-before-mutate, degrades
-// to last-good exactly like the profile path).
+// to ModelEngine::try_apply(Revision::power_model(...))
+// (validate-before-mutate, degrades to last-good exactly like the
+// profile path).
 #pragma once
 
 #include <cstddef>

@@ -9,6 +9,23 @@
 
 namespace repro::engine {
 
+const core::ProcessProfile& EngineSnapshot::profile(
+    ProcessHandle handle) const {
+  return entry_of(handle).profile;
+}
+
+const core::PowerModel& EngineSnapshot::power_model() const {
+  REPRO_ENSURE(power_.has_value(), "engine built without a power model");
+  return *power_;
+}
+
+const EngineSnapshot::Entry& EngineSnapshot::entry_of(
+    ProcessHandle handle) const {
+  REPRO_ENSURE(handle < registry_.size() && registry_[handle] != nullptr,
+               "unknown or collected process handle");
+  return *registry_[handle];
+}
+
 ModelEngine::ModelEngine(sim::MachineConfig machine, EngineOptions options)
     : machine_(std::move(machine)),
       options_(options),
@@ -16,6 +33,11 @@ ModelEngine::ModelEngine(sim::MachineConfig machine, EngineOptions options)
   machine_.validate();
   if (options_.threads != 1)
     pool_ = std::make_unique<common::ThreadPool>(options_.threads);
+  // Publish the initial (empty, epoch 0) snapshot so snapshot() is
+  // never null.
+  common::MutexLock lock(builder_mutex_);
+  auto snap = std::make_shared<EngineSnapshot>();
+  published_.store(std::move(snap), std::memory_order_release);
 }
 
 ModelEngine::ModelEngine(sim::MachineConfig machine, core::PowerModel power,
@@ -23,52 +45,39 @@ ModelEngine::ModelEngine(sim::MachineConfig machine, core::PowerModel power,
     : ModelEngine(std::move(machine), options) {
   REPRO_ENSURE(power.cores() == machine_.cores,
                "power model trained for a different core count");
-  common::ExclusiveLock lock(registry_mutex_);
+  common::MutexLock lock(builder_mutex_);
   power_.emplace(std::move(power));
+  publish();
 }
 
 ModelEngine::~ModelEngine() = default;
 
+std::shared_ptr<const EngineSnapshot> ModelEngine::snapshot() const {
+  return published_.load(std::memory_order_acquire);
+}
+
+void ModelEngine::publish() {
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->registry_ = registry_;  // shared entries: cheap pointer copies
+  snap->by_name_ = by_name_;
+  snap->power_ = power_;
+  snap->power_revision_ = power_revision_;
+  snap->epoch_ = ++epoch_;
+  for (const auto& entry : snap->registry_)
+    if (entry != nullptr) ++snap->live_;
+  published_.store(std::move(snap), std::memory_order_release);
+}
+
 bool ModelEngine::has_power_model() const {
-  common::SharedLock lock(registry_mutex_);
-  return power_.has_value();
+  return snapshot()->has_power_model();
 }
 
 core::PowerModel ModelEngine::power_model() const {
-  common::SharedLock lock(registry_mutex_);
-  REPRO_ENSURE(power_.has_value(), "engine built without a power model");
-  return *power_;
+  return snapshot()->power_model();
 }
 
 std::uint64_t ModelEngine::power_revision() const {
-  common::SharedLock lock(registry_mutex_);
-  return power_revision_;
-}
-
-void ModelEngine::update_power(core::PowerModel power) {
-  // Validate before taking the lock or mutating anything: a throw here
-  // leaves the installed model (and its revision counter) untouched.
-  REPRO_ENSURE(power.cores() == machine_.cores,
-               "power revision trained for a different core count");
-  REPRO_ENSURE(std::isfinite(power.idle_total()) && power.idle_total() > 0.0,
-               "power revision needs a positive finite idle power");
-  for (double c : power.coefficients())
-    REPRO_ENSURE(std::isfinite(c),
-                 "power revision has a non-finite coefficient");
-  common::ExclusiveLock lock(registry_mutex_);
-  REPRO_ENSURE(power_.has_value(),
-               "cannot revise power on an engine built without a power model");
-  power_.emplace(std::move(power));
-  ++power_revision_;
-}
-
-bool ModelEngine::try_update_power(core::PowerModel power) {
-  try {
-    update_power(std::move(power));
-    return true;
-  } catch (const Error&) {
-    return false;
-  }
+  return snapshot()->power_revision();
 }
 
 ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
@@ -78,13 +87,15 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
   // process named, not deep inside a later fill-curve integral.
   profile.features.validate();
 
-  common::ExclusiveLock lock(registry_mutex_);
+  common::MutexLock lock(builder_mutex_);
   const auto it = by_name_.find(profile.name);
   if (it != by_name_.end()) {
     // Replacement: same handle, fresh Entry — the embedded once_flag is
-    // what invalidates the memoized artifacts.
-    registry_[it->second] = std::make_unique<Entry>(std::move(profile));
+    // what invalidates the memoized artifacts. The old Entry stays
+    // alive for as long as some snapshot still references it.
+    registry_[it->second] = std::make_shared<Entry>(std::move(profile));
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    publish();
     return it->second;
   }
   ProcessHandle handle;
@@ -98,7 +109,8 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
     registry_.emplace_back();
   }
   by_name_.emplace(profile.name, handle);
-  registry_[handle] = std::make_unique<Entry>(std::move(profile));
+  registry_[handle] = std::make_shared<Entry>(std::move(profile));
+  publish();
   return handle;
 }
 
@@ -115,76 +127,107 @@ void ModelEngine::install(ProcessHandle handle, core::ProcessProfile profile) {
   }
   // Fresh Entry = fresh once_flag: the next prediction that touches
   // this handle rebuilds the fill/growth curves from the new revision.
-  registry_[handle] = std::make_unique<Entry>(std::move(profile));
+  registry_[handle] = std::make_shared<Entry>(std::move(profile));
   cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ModelEngine::update_process(ProcessHandle handle,
-                                 core::ProcessProfile profile) {
-  REPRO_ENSURE(!profile.name.empty(), "process needs a name");
-  if (profile.features.name.empty()) profile.features.name = profile.name;
-  profile.features.validate();
+ApplyResult ModelEngine::try_apply(Revision revision) {
+  ApplyResult result;
+  const bool has_profile = revision.profile.has_value();
+  const bool has_power = revision.power.has_value();
+  if (has_profile == has_power) {
+    result.reason = has_profile
+                        ? "revision carries both a profile and a power payload"
+                        : "revision carries no payload";
+    result.epoch = snapshot()->epoch();
+    return result;
+  }
 
-  common::ExclusiveLock lock(registry_mutex_);
-  install(handle, std::move(profile));
+  if (has_profile) {
+    core::ProcessProfile profile = std::move(revision.profile->profile);
+    const ProcessHandle handle = revision.profile->handle;
+    // Validate before taking the builder lock or mutating anything: a
+    // refusal leaves the registry, the name index, and every memoized
+    // artifact exactly as they were, and publishes nothing.
+    try {
+      REPRO_ENSURE(!profile.name.empty(), "process needs a name");
+      if (profile.features.name.empty()) profile.features.name = profile.name;
+      profile.features.validate();
+      common::MutexLock lock(builder_mutex_);
+      // install() still validates handle/rename under the lock; those
+      // checks need the builder state but run before any mutation.
+      install(handle, std::move(profile));
+      publish();
+      result.applied = true;
+      result.epoch = epoch_;
+    } catch (const Error& e) {
+      result.reason = e.what();
+      result.epoch = snapshot()->epoch();
+    }
+    return result;
+  }
+
+  core::PowerModel power = std::move(*revision.power);
+  if (power.cores() != machine_.cores) {
+    result.reason = "power revision trained for a different core count";
+  } else if (!(std::isfinite(power.idle_total()) && power.idle_total() > 0.0)) {
+    result.reason = "power revision needs a positive finite idle power";
+  } else {
+    for (double c : power.coefficients())
+      if (!std::isfinite(c)) {
+        result.reason = "power revision has a non-finite coefficient";
+        break;
+      }
+  }
+  if (result.reason.empty()) {
+    common::MutexLock lock(builder_mutex_);
+    if (!power_.has_value()) {
+      result.reason =
+          "cannot revise power on an engine built without a power model";
+      result.epoch = epoch_;
+    } else {
+      power_.emplace(std::move(power));
+      ++power_revision_;
+      publish();
+      result.applied = true;
+      result.epoch = epoch_;
+    }
+    return result;
+  }
+  result.epoch = snapshot()->epoch();
+  return result;
 }
 
 std::size_t ModelEngine::collect_garbage(
     const std::function<bool(ProcessHandle)>& keep) {
   REPRO_ENSURE(static_cast<bool>(keep), "empty keep predicate");
-  common::ExclusiveLock lock(registry_mutex_);
+  common::MutexLock lock(builder_mutex_);
   std::size_t collected = 0;
   for (ProcessHandle h = 0; h < registry_.size(); ++h) {
     if (registry_[h] == nullptr) continue;  // already collected
-    // The predicate runs under the registry's writer lock: it must not
-    // call back into this engine (the lock is not reentrant).
     if (keep(h)) continue;
     by_name_.erase(registry_[h]->profile.name);
-    registry_[h].reset();  // frees the profile and memoized artifacts
+    // Dropping the builder's reference; profiles and memoized
+    // artifacts free once the last snapshot holding them is released.
+    registry_[h].reset();
     free_slots_.push_back(h);
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
     ++collected;
   }
+  if (collected > 0) publish();
   return collected;
 }
 
-bool ModelEngine::try_update_process(ProcessHandle handle,
-                                     core::ProcessProfile profile) {
-  // update_process validates before taking the registry lock or
-  // mutating anything, so a throw here leaves the registry, the name
-  // index, and every memoized artifact exactly as they were.
-  try {
-    update_process(handle, std::move(profile));
-    return true;
-  } catch (const Error&) {
-    return false;
-  }
-}
-
 std::optional<ProcessHandle> ModelEngine::find(const std::string& name) const {
-  common::SharedLock lock(registry_mutex_);
-  const auto it = by_name_.find(name);
-  if (it == by_name_.end()) return std::nullopt;
-  return it->second;
-}
-
-const ModelEngine::Entry& ModelEngine::entry_of(ProcessHandle handle) const {
-  REPRO_ENSURE(handle < registry_.size() && registry_[handle] != nullptr,
-               "unknown or collected process handle");
-  return *registry_[handle];
+  return snapshot()->find(name);
 }
 
 core::ProcessProfile ModelEngine::profile(ProcessHandle handle) const {
-  common::SharedLock lock(registry_mutex_);
-  return entry_of(handle).profile;
+  return snapshot()->profile(handle);
 }
 
 std::size_t ModelEngine::process_count() const {
-  common::SharedLock lock(registry_mutex_);
-  std::size_t live = 0;
-  for (const auto& entry : registry_)
-    if (entry != nullptr) ++live;
-  return live;
+  return snapshot()->process_count();
 }
 
 const ModelEngine::Artifacts& ModelEngine::artifacts_of(
@@ -208,9 +251,9 @@ const ModelEngine::Artifacts& ModelEngine::artifacts_of(
   return entry.artifacts;
 }
 
-SystemPrediction ModelEngine::predict_locked(
-    const CoScheduleQuery& query) const {
-  query.assignment.validate(machine_.cores, registry_.size());
+SystemPrediction ModelEngine::predict_on(const EngineSnapshot& snapshot,
+                                         const CoScheduleQuery& query) const {
+  query.assignment.validate(machine_.cores, snapshot.registry_.size());
   if (!query.partition.empty())
     REPRO_ENSURE(query.partition.size() == machine_.dies,
                  "partition needs one quota list per die");
@@ -225,11 +268,12 @@ SystemPrediction ModelEngine::predict_locked(
   for (CoreId c = 0; c < machine_.cores; ++c)
     slot_offset[c + 1] = slot_offset[c] + query.assignment.per_core[c].size();
 
+  const bool has_power = snapshot.power_.has_value();
   SystemPrediction out;
   out.processes.reserve(query.assignment.process_count());
-  if (power_.has_value()) {
-    out.core_power.assign(machine_.cores, power_->idle_core());
-    out.total_power = power_->idle_total();
+  if (has_power) {
+    out.core_power.assign(machine_.cores, snapshot.power_->idle_core());
+    out.total_power = snapshot.power_->idle_total();
   }
 
   for (DieId die = 0; die < machine_.dies; ++die) {
@@ -248,7 +292,8 @@ SystemPrediction ModelEngine::predict_locked(
       const std::size_t q = query.assignment.per_core[c].size();
       for (std::size_t slot = 0; slot < q; ++slot) {
         const std::size_t idx = query.assignment.per_core[c][slot];
-        const Entry& entry = entry_of(static_cast<ProcessHandle>(idx));
+        const Entry& entry =
+            snapshot.entry_of(static_cast<ProcessHandle>(idx));
         slots.push_back({static_cast<ProcessHandle>(idx), c});
         features.push_back(entry.profile.features);
         shares.push_back(1.0 / static_cast<double>(q));
@@ -310,16 +355,16 @@ SystemPrediction ModelEngine::predict_locked(
         point.core = c;
         point.cpu_share = shares[cursor];
         point.prediction = eq[cursor];
-        if (power_.has_value())
+        if (has_power)
           point.dynamic_power = core::process_dynamic_power(
-              *power_, entry_of(point.handle).profile.alone,
+              *snapshot.power_, snapshot.entry_of(point.handle).profile.alone,
               eq[cursor].spi, eq[cursor].mpa);
         dyn += point.dynamic_power;
         ips += 1.0 / eq[cursor].spi;
         out.processes.push_back(std::move(point));
       }
       const double avg_dyn = dyn / static_cast<double>(q);
-      if (power_.has_value()) {
+      if (has_power) {
         out.core_power[c] += avg_dyn;
         out.total_power += avg_dyn;
       }
@@ -330,28 +375,36 @@ SystemPrediction ModelEngine::predict_locked(
 }
 
 SystemPrediction ModelEngine::predict(const CoScheduleQuery& query) const {
-  common::SharedLock lock(registry_mutex_);
-  return predict_locked(query);
+  // Pin the current epoch for the duration of the solve; concurrent
+  // revisions publish fresh snapshots without touching this one.
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  return predict_on(*snap, query);
+}
+
+SystemPrediction ModelEngine::predict(const EngineSnapshot& snapshot,
+                                      const CoScheduleQuery& query) const {
+  return predict_on(snapshot, query);
 }
 
 std::vector<SystemPrediction> ModelEngine::predict_batch(
     std::span<const CoScheduleQuery> queries) const {
+  // One snapshot resolve for the whole batch: every candidate prices
+  // against the same epoch no matter how many revisions land mid-run.
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  return predict_batch(*snap, queries);
+}
+
+std::vector<SystemPrediction> ModelEngine::predict_batch(
+    const EngineSnapshot& snapshot,
+    std::span<const CoScheduleQuery> queries) const {
   std::vector<SystemPrediction> out(queries.size());
-  // One reader lock for the whole batch: writers (register_process)
-  // are excluded while pool workers read the registry lock-free.
-  common::SharedLock lock(registry_mutex_);
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i)
-      out[i] = predict_locked(queries[i]);
+      out[i] = predict_on(snapshot, queries[i]);
   } else {
-    // The REQUIRES_SHARED on the task records that the batch thread
-    // holds the reader lock on the workers' behalf for the whole fan-out
-    // (parallel_for returns before the lock is dropped).
-    pool_->parallel_for(
-        queries.size(),
-        [&](std::size_t i) REPRO_REQUIRES_SHARED(registry_mutex_) {
-          out[i] = predict_locked(queries[i]);
-        });
+    pool_->parallel_for(queries.size(), [&](std::size_t i) {
+      out[i] = predict_on(snapshot, queries[i]);
+    });
   }
   return out;
 }

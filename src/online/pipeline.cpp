@@ -1,5 +1,6 @@
 #include "repro/online/pipeline.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "repro/common/ensure.hpp"
@@ -12,20 +13,41 @@ OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
   if (options_.builder.ways == 0) options_.builder.ways = engine_.ways();
   REPRO_ENSURE(options_.builder.ways == engine_.ways(),
                "builder grid must match the engine's cache ways");
-  common::MutexLock lock(mutex_);
-  if (options_.harden) {
-    if (options_.sanitizer.ways == 0) options_.sanitizer.ways = engine_.ways();
-    sanitizer_.emplace(options_.sanitizer);
+  {
+    common::MutexLock lock(mutex_);
+    if (options_.harden) {
+      if (options_.sanitizer.ways == 0)
+        options_.sanitizer.ways = engine_.ways();
+      sanitizer_.emplace(options_.sanitizer);
+    }
+    if (options_.power.enabled)
+      refitter_.emplace(engine_.machine().cores, options_.power);
   }
-  if (options_.power.enabled)
-    refitter_.emplace(engine_.machine().cores, options_.power);
+  if (!options_.inline_ingest) {
+    ring_ = std::make_unique<common::SpscRing<sim::Sample>>(
+        options_.ring_capacity);
+    worker_ = std::thread(&OnlinePipeline::worker_loop, this);
+  }
+}
+
+OnlinePipeline::~OnlinePipeline() {
+  if (worker_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    // Same two-fence handshake as enqueue(): either the worker's
+    // park-time re-check sees stop_, or we see it parked and wake it.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    {
+      common::MutexLock lock(ring_mutex_);
+      ring_cv_.notify_one();
+    }
+    worker_.join();  // drains the ring before exiting
+  }
 }
 
 void OnlinePipeline::monitor(ProcessId pid,
                              engine::ProcessHandle handle) {
-  // Fetch the baseline before taking the pipeline lock: profile() takes
-  // the engine's registry lock, and holding ours across it here would
-  // widen the mutex_ → registry lock ordering for no benefit.
+  // The baseline comes from the engine's current snapshot — a
+  // lock-free read, so no lock-order interaction with mutex_.
   const core::ProcessProfile baseline = engine_.profile(handle);
   auto m = std::make_unique<Monitored>();
   m->pid = pid;
@@ -75,7 +97,94 @@ void OnlinePipeline::set_query(engine::CoScheduleQuery query) {
 }
 
 void OnlinePipeline::push(const sim::Sample& sample) {
-  common::MutexLock lock(mutex_);
+  if (ring_ == nullptr) {
+    // inline_ingest: the whole chain runs here, on the caller's
+    // thread — bit-identical to the pre-ring pipeline.
+    common::MutexLock lock(mutex_);
+    ingest(sample);
+    return;
+  }
+  enqueue(sample);
+}
+
+void OnlinePipeline::enqueue(const sim::Sample& sample) {
+  sim::Sample window = sample;
+  if (!ring_->try_push(window)) {
+    if (options_.backpressure ==
+        OnlinePipelineOptions::Backpressure::kDrop) {
+      // Count-and-drop: the producer never waits; the hole is
+      // surfaced through PipelineHealth::windows_dropped.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // kBlock: register as a drain waiter, fence, then re-try — the
+    // worker's symmetric fence-then-check after each pop guarantees
+    // that either our retry sees the freed slot or the worker sees
+    // our registration and notifies (no lost wakeup).
+    common::MutexLock lock(ring_mutex_);
+    drain_waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    while (!ring_->try_push(window)) drain_cv_.wait(ring_mutex_);
+    drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  enqueued_.fetch_add(1, std::memory_order_release);
+  // Wake the worker if it parked on an empty ring: publish (the push
+  // above), fence, check the parked flag. Either the worker's
+  // park-time empty re-check sees our element, or we see its flag —
+  // losing the wakeup would need both to fail.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (worker_parked_.load(std::memory_order_relaxed)) {
+    common::MutexLock lock(ring_mutex_);
+    ring_cv_.notify_one();
+  }
+}
+
+void OnlinePipeline::worker_loop() {
+  for (;;) {
+    sim::Sample window;
+    if (ring_->try_pop(window)) {
+      {
+        common::MutexLock lock(mutex_);
+        ingest(window);
+      }
+      drained_.fetch_add(1, std::memory_order_release);
+      // Wake a kBlock producer waiting for a slot or a drain_ring()
+      // waiter — same fence-then-check as the producer side.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (drain_waiters_.load(std::memory_order_relaxed) > 0) {
+        common::MutexLock lock(ring_mutex_);
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;  // ring drained
+    // Park: publish the flag, fence, re-check the ring and stop_ while
+    // holding ring_mutex_ (the producer notifies under it, so a wakeup
+    // posted after our re-check cannot slip past the wait).
+    common::MutexLock lock(ring_mutex_);
+    worker_parked_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ring_->empty() && !stop_.load(std::memory_order_relaxed))
+      ring_cv_.wait(ring_mutex_);
+    worker_parked_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void OnlinePipeline::drain_ring() {
+  if (ring_ == nullptr) return;
+  // Wait until the worker has ingested everything enqueued before this
+  // call. Windows pushed concurrently with the drain are not covered —
+  // callers (finish, tests) drain after the producer has stopped.
+  const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
+  common::MutexLock lock(ring_mutex_);
+  drain_waiters_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  while (drained_.load(std::memory_order_acquire) < target)
+    drain_cv_.wait(ring_mutex_);
+  drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void OnlinePipeline::ingest(const sim::Sample& sample) {
   if (!sanitizer_.has_value()) {
     stream_.push(sample);
     refit_power(sample);
@@ -93,8 +202,8 @@ void OnlinePipeline::push(const sim::Sample& sample) {
 void OnlinePipeline::refit_power(const sim::Sample& sample) {
   if (!refitter_.has_value()) return;
   // Refits revise an existing calibration; a performance-only engine
-  // has nothing to revise. Engine accessors take the registry lock
-  // inside the pipeline lock — the documented lock order.
+  // has nothing to revise. Both reads resolve against the engine's
+  // current snapshot — lock-free, no lock-order interaction.
   if (!engine_.has_power_model()) return;
   const core::PowerModel incumbent = engine_.power_model();
   std::optional<PowerRefitAttempt> attempt =
@@ -113,13 +222,16 @@ void OnlinePipeline::refit_power(const sim::Sample& sample) {
   if (attempt->accepted) {
     event.idle = attempt->model->idle_total();
     event.coefficients = attempt->model->coefficients();
-    // Validate-before-mutate: a refusal leaves last-good installed.
-    if (engine_.try_update_power(*attempt->model)) {
+    // Validate-before-mutate: a refusal leaves last-good installed
+    // (and published) and carries the engine's reason into the event.
+    const engine::ApplyResult applied =
+        engine_.try_apply(engine::Revision::power_model(*attempt->model));
+    if (applied.applied) {
       event.applied = true;
       event.revision = engine_.power_revision();
       ++power_revisions_;
     } else {
-      event.reason = "engine validation refused the revision";
+      event.reason = applied.reason;
       ++power_rejected_;
     }
   } else {
@@ -130,73 +242,52 @@ void OnlinePipeline::refit_power(const sim::Sample& sample) {
     }
     ++power_rejected_;
   }
-  record_power_event(std::move(event));
+  PipelineEvent wrapped;
+  wrapped.payload = std::move(event);
+  record_event(std::move(wrapped));
 }
 
-void OnlinePipeline::record_power_event(PowerRevisionEvent event) {
-  event.seq = power_next_seq_++;
-  power_history_.push_back(std::move(event));
+void OnlinePipeline::record_event(PipelineEvent event) {
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
   if (options_.history_capacity > 0 &&
-      power_history_.size() > options_.history_capacity) {
-    power_history_.pop_front();
+      events_.size() > options_.history_capacity) {
+    events_.pop_front();
     ++history_evicted_;
   }
 }
 
 void OnlinePipeline::finish() {
+  drain_ring();
   common::MutexLock lock(mutex_);
   for (auto& m : monitored_) {
     if (auto revision = m->builder->finish()) {
       // finish() has no window timestamp; reuse the last event's (the
       // trace stays ordered).
-      const Seconds t = history_.empty() ? 0.0 : history_.back().time;
+      const Seconds t = events_.empty() ? 0.0 : events_.back().time();
       apply_revision(*m, std::move(*revision), t);
     }
   }
 }
 
-std::optional<engine::SystemPrediction> OnlinePipeline::latest() const {
+std::deque<PipelineEvent> OnlinePipeline::events() const {
   common::MutexLock lock(mutex_);
-  return latest_;
+  return events_;
 }
 
-std::deque<RevisionEvent> OnlinePipeline::history() const {
+std::vector<PipelineEvent> OnlinePipeline::events_since(
+    EventCursor since) const {
   common::MutexLock lock(mutex_);
-  return history_;
-}
-
-std::vector<RevisionEvent> OnlinePipeline::history_since(
-    std::uint64_t since) const {
-  common::MutexLock lock(mutex_);
-  std::vector<RevisionEvent> out;
+  std::vector<PipelineEvent> out;
   // Ring seqs are contiguous [next_seq_ - size, next_seq_), so the
   // first event with seq >= since sits at a computable offset.
-  if (history_.empty() || since >= next_seq_) return out;
-  const std::uint64_t front_seq = next_seq_ - history_.size();
+  if (events_.empty() || since >= next_seq_) return out;
+  const std::uint64_t front_seq = next_seq_ - events_.size();
   const std::uint64_t start = since > front_seq ? since - front_seq : 0;
-  out.reserve(history_.size() - static_cast<std::size_t>(start));
-  for (std::size_t i = static_cast<std::size_t>(start); i < history_.size();
+  out.reserve(events_.size() - static_cast<std::size_t>(start));
+  for (std::size_t i = static_cast<std::size_t>(start); i < events_.size();
        ++i)
-    out.push_back(history_[i]);
-  return out;
-}
-
-std::deque<PowerRevisionEvent> OnlinePipeline::power_history() const {
-  common::MutexLock lock(mutex_);
-  return power_history_;
-}
-
-std::vector<PowerRevisionEvent> OnlinePipeline::power_history_since(
-    std::uint64_t since) const {
-  common::MutexLock lock(mutex_);
-  std::vector<PowerRevisionEvent> out;
-  if (power_history_.empty() || since >= power_next_seq_) return out;
-  const std::uint64_t front_seq = power_next_seq_ - power_history_.size();
-  const std::uint64_t start = since > front_seq ? since - front_seq : 0;
-  out.reserve(power_history_.size() - static_cast<std::size_t>(start));
-  for (std::size_t i = static_cast<std::size_t>(start);
-       i < power_history_.size(); ++i)
-    out.push_back(power_history_[i]);
+    out.push_back(events_[i]);
   return out;
 }
 
@@ -229,18 +320,19 @@ void OnlinePipeline::apply_revision(Monitored& m, ProfileRevision revision,
     return;
   }
 
-  // Degradation gate 2: validation. update_process/register_process
+  // Degradation gate 2: validation. try_apply/register_process
   // validate before touching the registry, so a refusal here leaves the
   // engine's registry and memoized artifacts exactly as they were.
   if (m.handle.has_value()) {
-    if (options_.harden) {
-      if (!engine_.try_update_process(*m.handle,
-                                      std::move(revision.profile))) {
-        ++revisions_rejected_;
-        return;
-      }
-    } else {
-      engine_.update_process(*m.handle, std::move(revision.profile));
+    const engine::ApplyResult applied = engine_.try_apply(
+        engine::Revision::process(*m.handle, std::move(revision.profile)));
+    if (!applied.applied) {
+      // The unhardened pipeline (the chaos bench's control arm)
+      // propagates the validation error out of sink(); the hardened
+      // one degrades to last-good and counts the rejection.
+      REPRO_ENSURE(options_.harden, "revision rejected: " + applied.reason);
+      ++revisions_rejected_;
+      return;
     }
   } else if (options_.harden) {
     try {
@@ -294,26 +386,20 @@ void OnlinePipeline::apply_revision(Monitored& m, ProfileRevision revision,
       }
     }
   }
-  record_event(std::move(event));
+  PipelineEvent wrapped;
+  wrapped.payload = std::move(event);
+  record_event(std::move(wrapped));
 }
 
-void OnlinePipeline::record_event(RevisionEvent event) {
-  event.seq = next_seq_++;
-  history_.push_back(std::move(event));
-  if (options_.history_capacity > 0 &&
-      history_.size() > options_.history_capacity) {
-    history_.pop_front();
-    ++history_evicted_;
-  }
-}
-
-OnlinePipeline::Stats OnlinePipeline::stats() const {
-  common::MutexLock lock(mutex_);
+OnlinePipeline::Stats OnlinePipeline::stats_locked() const {
   Stats s;
   const SanitizerStats sani =
       sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
   // `windows` counts raw ingested windows whether or not they survived
   // sanitization, so it stays monotonic and comparable across modes.
+  // In ring mode it counts *ingested* windows: ones dropped by kDrop
+  // backpressure never entered the chain and show up only in
+  // health.windows_dropped.
   s.windows = sanitizer_.has_value() ? sani.windows : stream_.windows();
   s.revisions = revisions_;
   s.resolves = resolves_;
@@ -326,15 +412,21 @@ OnlinePipeline::Stats OnlinePipeline::stats() const {
       sanitizer_.has_value() ? sani.forwarded : stream_.windows();
   s.health.windows_repaired = sani.repaired;
   s.health.windows_quarantined = sani.quarantined;
+  s.health.windows_dropped = dropped_.load(std::memory_order_relaxed);
   s.health.revisions_rejected = revisions_rejected_;
   s.health.degraded_resolves = degraded_resolves_;
   s.health.history_evicted = history_evicted_;
   return s;
 }
 
-SanitizerStats OnlinePipeline::sanitizer_stats() const {
+OnlinePipeline::Snapshot OnlinePipeline::snapshot() const {
   common::MutexLock lock(mutex_);
-  return sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
+  Snapshot s;
+  s.stats = stats_locked();
+  if (sanitizer_.has_value()) s.sanitizer = sanitizer_->stats();
+  s.latest = latest_;
+  s.next_cursor = next_seq_;
+  return s;
 }
 
 }  // namespace repro::online

@@ -1,0 +1,116 @@
+#include "repro/common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::common {
+namespace {
+
+TEST(SpscRing, StartsEmptyWithPowerOfTwoCapacity) {
+  SpscRing<int> ring(5);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+
+  SpscRing<int> exact(16);
+  EXPECT_EQ(exact.capacity(), 16u);
+  EXPECT_THROW(SpscRing<int>(0), Error);
+}
+
+TEST(SpscRing, PushPopRoundTripsInFifoOrder) {
+  SpscRing<int> ring(4);
+  for (int v : {1, 2, 3}) EXPECT_TRUE(ring.try_push(v));
+  EXPECT_EQ(ring.size(), 3u);
+  int out = 0;
+  for (int expected : {1, 2, 3}) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_FALSE(ring.try_pop(out)) << "drained ring must report empty";
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, RejectsPushWhenFullAndRecoversAfterPop) {
+  SpscRing<int> ring(4);
+  for (int v = 0; v < 4; ++v) EXPECT_TRUE(ring.try_push(v));
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow));
+  EXPECT_EQ(ring.size(), 4u);
+
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(overflow)) << "one free slot after one pop";
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRing, IndicesWrapManyTimesWithoutCorruption) {
+  // Free-running 64-bit indices masked into a 4-slot buffer: push/pop
+  // far past the capacity so the masked index wraps repeatedly.
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(ring.try_push(v));
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, v);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayloadsTransferOwnership) {
+  SpscRing<std::unique_ptr<std::string>> ring(2);
+  auto boxed = std::make_unique<std::string>("window");
+  ASSERT_TRUE(ring.try_push(std::move(boxed)));
+  EXPECT_EQ(boxed, nullptr) << "push must move, not copy";
+
+  std::unique_ptr<std::string> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, "window");
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerDeliversEverySlotInOrder) {
+  // One producer spinning on try_push, one consumer spinning on
+  // try_pop: the acquire/release protocol must deliver every value
+  // exactly once, in order, through a deliberately tiny ring so both
+  // full and empty edges are exercised constantly. Run under TSan in
+  // CI, this is the proof the ring needs no locks.
+  // Yield on the full/empty edges: on a single-core host a pure spin
+  // burns the whole timeslice the other side needs to make progress.
+  constexpr std::uint64_t kCount = 20000;
+  SpscRing<std::uint64_t> ring(8);
+
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    std::uint64_t out = 0;
+    while (received.size() < kCount) {
+      if (ring.try_pop(out))
+        received.push_back(out);
+      else
+        std::this_thread::yield();
+    }
+  });
+
+  for (std::uint64_t v = 0; v < kCount; ++v) {
+    while (!ring.try_push(v)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t v = 0; v < kCount; ++v) {
+    ASSERT_EQ(received[v], v) << "value lost, duplicated, or reordered";
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace repro::common

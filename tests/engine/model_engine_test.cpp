@@ -298,7 +298,9 @@ TEST(ModelEngine, UpdateProcessSwapsProfileBehindTheHandle) {
   core::ProcessProfile revised = profiles[0];
   revised.revision = 7;
   revised.features.histogram = core::ReuseHistogram({0.7, 0.2}, 0.1);
-  eng.update_process(worker, revised);
+  const ApplyResult swapped = eng.try_apply(Revision::process(worker, revised));
+  ASSERT_TRUE(swapped.applied) << swapped.reason;
+  EXPECT_TRUE(swapped.reason.empty());
   EXPECT_EQ(eng.cache_stats().invalidations, 1u);
   EXPECT_EQ(eng.profile(worker).revision, 7u);
   EXPECT_EQ(eng.find("worker"), std::optional<ProcessHandle>(worker));
@@ -307,7 +309,7 @@ TEST(ModelEngine, UpdateProcessSwapsProfileBehindTheHandle) {
   const SystemPrediction after = eng.predict(q);
   EXPECT_NE(after.processes[0].prediction.mpa,
             before.processes[0].prediction.mpa)
-      << "stale artifacts survived update_process";
+      << "stale artifacts survived the profile revision";
   ModelEngine fresh(machine, model());
   fresh.register_process(revised);
   fresh.register_process(profiles[1]);
@@ -317,16 +319,44 @@ TEST(ModelEngine, UpdateProcessSwapsProfileBehindTheHandle) {
   core::ProcessProfile renamed = revised;
   renamed.name = "worker-v2";
   renamed.features.name = "worker-v2";
-  eng.update_process(worker, renamed);
+  ASSERT_TRUE(eng.try_apply(Revision::process(worker, renamed)).applied);
   EXPECT_EQ(eng.find("worker"), std::nullopt);
   EXPECT_EQ(eng.find("worker-v2"), std::optional<ProcessHandle>(worker));
 
   // ...but may not steal another process's name, and the handle must
-  // exist.
+  // exist. Rejections carry the gate's reason and publish nothing.
   core::ProcessProfile thief = renamed;
   thief.name = "sprinter";
-  EXPECT_THROW(eng.update_process(worker, thief), Error);
-  EXPECT_THROW(eng.update_process(99, revised), Error);
+  const ApplyResult stolen = eng.try_apply(Revision::process(worker, thief));
+  EXPECT_FALSE(stolen.applied);
+  EXPECT_NE(stolen.reason.find("rename collides"), std::string::npos)
+      << stolen.reason;
+  const ApplyResult unknown = eng.try_apply(Revision::process(99, revised));
+  EXPECT_FALSE(unknown.applied);
+  EXPECT_NE(unknown.reason.find("unknown process handle"), std::string::npos)
+      << unknown.reason;
+  EXPECT_EQ(eng.find("worker-v2"), std::optional<ProcessHandle>(worker));
+  EXPECT_EQ(eng.find("sprinter"), std::optional<ProcessHandle>(1));
+}
+
+TEST(ModelEngine, TryApplyRequiresExactlyOnePayload) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng(machine, model());
+  eng.register_process(suite()[0]);
+  const std::uint64_t epoch = eng.snapshot()->epoch();
+
+  const ApplyResult empty = eng.try_apply(Revision{});
+  EXPECT_FALSE(empty.applied);
+  EXPECT_NE(empty.reason.find("no payload"), std::string::npos)
+      << empty.reason;
+  EXPECT_EQ(empty.epoch, epoch) << "a rejected revision published a snapshot";
+
+  Revision both = Revision::process(0, suite()[0]);
+  both.power.emplace(model());
+  const ApplyResult dual = eng.try_apply(std::move(both));
+  EXPECT_FALSE(dual.applied);
+  EXPECT_NE(dual.reason.find("both"), std::string::npos) << dual.reason;
+  EXPECT_EQ(eng.snapshot()->epoch(), epoch);
 }
 
 TEST(ModelEngine, WarmStartedQueryReachesTheColdFixedPoint) {
@@ -371,10 +401,10 @@ TEST(ModelEngine, WarmStartedQueryReachesTheColdFixedPoint) {
 }
 
 TEST(ModelEngine, ConcurrentUpdatesNeverTearABatch) {
-  // predict_batch takes one reader lock for the whole batch, so a
-  // concurrent update_process must never produce a batch whose
-  // identical queries mix old- and new-profile answers. Run with TSan
-  // in CI to also certify the locking discipline.
+  // predict_batch resolves one epoch snapshot for the whole batch, so
+  // a concurrent try_apply must never produce a batch whose identical
+  // queries mix old- and new-profile answers. Run with TSan in CI to
+  // also certify the publish discipline.
   const sim::MachineConfig machine = sim::four_core_server();
   const auto profiles = suite();
   EngineOptions options;
@@ -396,7 +426,9 @@ TEST(ModelEngine, ConcurrentUpdatesNeverTearABatch) {
   std::thread writer([&] {
     bool flip = false;
     while (!stop.load(std::memory_order_relaxed)) {
-      eng.update_process(0, flip ? variant : profiles[0]);
+      ASSERT_TRUE(
+          eng.try_apply(Revision::process(0, flip ? variant : profiles[0]))
+              .applied);
       flip = !flip;
     }
   });
@@ -589,7 +621,7 @@ TEST(ModelEngine, PredictBatchPropagatesWorkerExceptions) {
     expect_bitwise_equal(clean[i], eng.predict(queries[i]));
 }
 
-TEST(ModelEngine, UpdatePowerInstallsRevisionAndRepricesPredictions) {
+TEST(ModelEngine, PowerRevisionInstallsAndRepricesPredictions) {
   const sim::MachineConfig machine = sim::four_core_server();
   ModelEngine eng(machine, model());
   eng.register_process(suite()[0]);
@@ -602,7 +634,9 @@ TEST(ModelEngine, UpdatePowerInstallsRevisionAndRepricesPredictions) {
 
   core::PowerModel revised(50.0, {7.0e-9, 2.0e-8, -9.0e-8, 4.0e-9, 5.0e-9},
                            4);
-  eng.update_power(revised);
+  const ApplyResult applied = eng.try_apply(Revision::power_model(revised));
+  ASSERT_TRUE(applied.applied) << applied.reason;
+  EXPECT_EQ(applied.epoch, eng.snapshot()->epoch());
   EXPECT_EQ(eng.power_revision(), 1u);
   EXPECT_DOUBLE_EQ(eng.power_model().idle_total(), 50.0);
 
@@ -612,16 +646,21 @@ TEST(ModelEngine, UpdatePowerInstallsRevisionAndRepricesPredictions) {
   EXPECT_DOUBLE_EQ(after.throughput_ips, before.throughput_ips);
 }
 
-TEST(ModelEngine, TryUpdatePowerRejectsInvalidAndKeepsLastGood) {
+TEST(ModelEngine, TryApplyRejectsInvalidPowerAndKeepsLastGood) {
   const sim::MachineConfig machine = sim::four_core_server();
   ModelEngine eng(machine, model());
 
   // Wrong core count.
-  EXPECT_FALSE(eng.try_update_power(
+  const ApplyResult cores = eng.try_apply(Revision::power_model(
       core::PowerModel(45.0, {1e-9, 1e-9, 1e-9, 1e-9, 1e-9}, 2)));
+  EXPECT_FALSE(cores.applied);
+  EXPECT_NE(cores.reason.find("core count"), std::string::npos)
+      << cores.reason;
   // Non-finite coefficient.
-  EXPECT_FALSE(eng.try_update_power(core::PowerModel(
+  const ApplyResult nan = eng.try_apply(Revision::power_model(core::PowerModel(
       45.0, {std::numeric_limits<double>::quiet_NaN(), 0, 0, 0, 0}, 4)));
+  EXPECT_FALSE(nan.applied);
+  EXPECT_NE(nan.reason.find("non-finite"), std::string::npos) << nan.reason;
   EXPECT_EQ(eng.power_revision(), 0u);
   // Last-good survives every rejection bit-for-bit.
   EXPECT_DOUBLE_EQ(eng.power_model().idle_total(), model().idle_total());
@@ -629,14 +668,19 @@ TEST(ModelEngine, TryUpdatePowerRejectsInvalidAndKeepsLastGood) {
 
   // A performance-only engine refuses power revisions outright.
   ModelEngine perf_only(machine);
-  EXPECT_FALSE(perf_only.try_update_power(model()));
+  const ApplyResult refused = perf_only.try_apply(
+      Revision::power_model(model()));
+  EXPECT_FALSE(refused.applied);
+  EXPECT_NE(refused.reason.find("without a power model"), std::string::npos)
+      << refused.reason;
 }
 
 TEST(ModelEngine, ConcurrentPredictAndPowerUpdatesStayConsistent) {
-  // predict/predict_batch read the power model under the registry
-  // reader lock while try_update_power swaps it exclusively; run under
-  // TSan in CI to certify the locking. Batch answers must be uniform —
-  // never a mix of old- and new-model pricing inside one batch.
+  // predict/predict_batch read the power model out of the epoch
+  // snapshot they pinned while try_apply publishes fresh snapshots;
+  // run under TSan in CI to certify the publish path. Batch answers
+  // must be uniform — never a mix of old- and new-model pricing
+  // inside one batch.
   const sim::MachineConfig machine = sim::four_core_server();
   const auto profiles = suite();
   EngineOptions options;
@@ -657,7 +701,9 @@ TEST(ModelEngine, ConcurrentPredictAndPowerUpdatesStayConsistent) {
   std::thread writer([&] {
     bool flip = false;
     while (!stop.load(std::memory_order_relaxed)) {
-      ASSERT_TRUE(eng.try_update_power(flip ? drifted : model()));
+      ASSERT_TRUE(
+          eng.try_apply(Revision::power_model(flip ? drifted : model()))
+              .applied);
       flip = !flip;
     }
   });
@@ -671,6 +717,87 @@ TEST(ModelEngine, ConcurrentPredictAndPowerUpdatesStayConsistent) {
   stop.store(true, std::memory_order_relaxed);
   writer.join();
   EXPECT_GT(eng.power_revision(), 0u);
+}
+
+TEST(ModelEngine, SnapshotStaysStableWhileRevisionsLand) {
+  // The epoch-snapshot contract: a reader holding snapshot() predicts
+  // bit-identically to a quiesced engine at that epoch, no matter how
+  // many revisions land in between — here 100 profile revisions plus
+  // a power swap, all published while the pinned snapshot is in use.
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.threads = 2;
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  const auto queries = random_queries(24, profiles.size(), machine.cores,
+                                      0xD1CE);
+  const std::shared_ptr<const EngineSnapshot> pinned = eng.snapshot();
+  const std::uint64_t pinned_epoch = pinned->epoch();
+  const std::vector<SystemPrediction> quiesced =
+      eng.predict_batch(*pinned, queries);
+
+  core::ProcessProfile variant = profiles[0];
+  variant.features.histogram = core::ReuseHistogram({0.7, 0.2}, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    variant.revision = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(eng.try_apply(Revision::process(0, variant)).applied);
+  }
+  ASSERT_TRUE(eng.try_apply(
+                     Revision::power_model(core::PowerModel(
+                         60.0, {7.0e-9, 2.0e-8, -9.0e-8, 4.0e-9, 5.0e-9}, 4)))
+                  .applied);
+  EXPECT_EQ(eng.snapshot()->epoch(), pinned_epoch + 101);
+
+  // The pinned snapshot still answers from its own epoch...
+  EXPECT_EQ(pinned->profile(0).revision, 0u);
+  EXPECT_EQ(pinned->power_revision(), 0u);
+  const std::vector<SystemPrediction> replayed =
+      eng.predict_batch(*pinned, queries);
+  ASSERT_EQ(replayed.size(), quiesced.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i)
+    expect_bitwise_equal(replayed[i], quiesced[i]);
+  for (const CoScheduleQuery& q : queries)
+    expect_bitwise_equal(eng.predict(*pinned, q),
+                         quiesced[&q - queries.data()]);
+
+  // ...while the live engine answers from the newest one.
+  EXPECT_EQ(eng.profile(0).revision, 100u);
+  EXPECT_EQ(eng.power_revision(), 1u);
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(0);
+  EXPECT_NE(eng.predict(q).total_power, eng.predict(*pinned, q).total_power);
+}
+
+TEST(ModelEngine, SnapshotSharesSurvivorArtifactsAcrossEpochs) {
+  // Publishing a new epoch must not rebuild untouched processes'
+  // memoized fill curves: entries are shared between snapshots, so a
+  // revision of one handle leaves every other handle's artifacts hot.
+  const sim::MachineConfig machine = sim::four_core_server();
+  const auto profiles = suite();
+  EngineOptions options;
+  options.threads = 1;  // deterministic counter accounting
+  ModelEngine eng(machine, model(), options);
+  for (const auto& p : profiles) eng.register_process(p);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(1);
+  q.assignment.per_core[1].push_back(3);
+  eng.predict(q);
+  const auto before = eng.cache_stats();
+  EXPECT_EQ(before.misses, 2u);
+
+  core::ProcessProfile variant = profiles[0];
+  variant.revision = 1;
+  ASSERT_TRUE(eng.try_apply(Revision::process(0, variant)).applied);
+  eng.predict(q);  // handles 1 and 3 untouched by the epoch change
+  const auto after = eng.cache_stats();
+  EXPECT_EQ(after.misses, before.misses)
+      << "an epoch publish rebuilt a survivor's memoized artifacts";
+  EXPECT_GT(after.hits, before.hits);
 }
 
 TEST(ModelEngine, RejectsMismatchedPowerModelAndBadQueries) {

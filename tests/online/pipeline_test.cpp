@@ -97,7 +97,7 @@ TEST(OnlinePipeline, ColdStartRegistersOnTheFirstRevision) {
   EXPECT_EQ(eng.find("gzip"), handle);
   EXPECT_EQ(eng.process_count(), 1u);
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
   EXPECT_GE(stats.windows, 10u);
   EXPECT_GE(stats.revisions, 2u);
   EXPECT_EQ(stats.resolves, 0u) << "no query was set";
@@ -146,37 +146,39 @@ TEST(OnlinePipeline, RevisionsReSolveTheActiveQueryWarmStarted) {
   system.run(0.6, pipe.sink());
   pipe.finish();
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Snapshot snap = pipe.snapshot();
+  const OnlinePipeline::Stats& stats = snap.stats;
   EXPECT_GE(stats.revisions, 2u);
   EXPECT_EQ(stats.resolves, stats.revisions)
       << "every revision re-prices an active query";
   EXPECT_EQ(eng.cache_stats().invalidations, stats.revisions);
-  ASSERT_TRUE(pipe.latest().has_value());
-  ASSERT_EQ(pipe.latest()->processes.size(), 2u);
-  EXPECT_GT(pipe.latest()->processes[0].prediction.spi, 0.0);
-  EXPECT_GT(pipe.latest()->throughput_ips, 0.0);
+  ASSERT_TRUE(snap.latest.has_value());
+  ASSERT_EQ(snap.latest->processes.size(), 2u);
+  EXPECT_GT(snap.latest->processes[0].prediction.spi, 0.0);
+  EXPECT_GT(snap.latest->throughput_ips, 0.0);
 
-  // History is a faithful stream-ordered log, and once a previous
-  // equilibrium exists the re-solves are warm-started: a seeded Newton
-  // solve needs a handful of iterations per die (0 when the revision
-  // barely moved the fixed point) — far below the tens of iterations
-  // of a cold bisection.
-  const auto& history = pipe.history();
-  ASSERT_EQ(history.size(), stats.revisions);
+  // The event log is a faithful stream-ordered record, and once a
+  // previous equilibrium exists the re-solves are warm-started: a
+  // seeded Newton solve needs a handful of iterations per die (0 when
+  // the revision barely moved the fixed point) — far below the tens of
+  // iterations of a cold bisection.
+  const std::deque<PipelineEvent> events = pipe.events();
+  ASSERT_EQ(events.size(), stats.revisions);
   std::uint64_t iters = 0;
-  for (std::size_t i = 0; i < history.size(); ++i) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(events[i].is_profile());
+    const RevisionEvent& e = events[i].profile();
     if (i > 0) {
-      EXPECT_GE(history[i].time, history[i - 1].time);
+      EXPECT_GE(e.time, events[i - 1].profile().time);
     }
-    EXPECT_EQ(history[i].handle, target_h);
-    EXPECT_TRUE(history[i].resolved);
-    EXPECT_GE(history[i].solver_iterations, 0);
+    EXPECT_EQ(e.handle, target_h);
+    EXPECT_TRUE(e.resolved);
+    EXPECT_GE(e.solver_iterations, 0);
     if (i > 0) {
-      EXPECT_LE(history[i].solver_iterations,
-                8 * static_cast<int>(machine.dies))
+      EXPECT_LE(e.solver_iterations, 8 * static_cast<int>(machine.dies))
           << "re-solve " << i << " was not warm";
     }
-    iters += static_cast<std::uint64_t>(history[i].solver_iterations);
+    iters += static_cast<std::uint64_t>(e.solver_iterations);
   }
   EXPECT_EQ(stats.solver_iterations, iters);
 }
@@ -229,25 +231,28 @@ TEST(OnlinePipeline, CleanStreamParityWithAndWithoutHardening) {
   const auto [eng_off, pipe_off] = run_pipeline(false);
 
   // The sanitizer let the entire clean stream through untouched...
-  const SanitizerStats sani = pipe_on->sanitizer_stats();
+  const SanitizerStats sani = pipe_on->snapshot().sanitizer;
   EXPECT_EQ(sani.forwarded, samples.size());
   EXPECT_EQ(sani.quarantined, 0u);
   EXPECT_EQ(sani.repaired, 0u);
 
   // ...so both pipelines computed the exact same thing.
-  const auto on = pipe_on->stats();
-  const auto off = pipe_off->stats();
+  const auto on = pipe_on->snapshot().stats;
+  const auto off = pipe_off->snapshot().stats;
   EXPECT_EQ(on.windows, off.windows);
   EXPECT_EQ(on.revisions, off.revisions);
   EXPECT_EQ(on.resolves, off.resolves);
   EXPECT_EQ(on.solver_iterations, off.solver_iterations);
-  const std::deque<RevisionEvent> hist_on = pipe_on->history();
-  const std::deque<RevisionEvent> hist_off = pipe_off->history();
+  const std::deque<PipelineEvent> hist_on = pipe_on->events();
+  const std::deque<PipelineEvent> hist_off = pipe_off->events();
   ASSERT_EQ(hist_on.size(), hist_off.size());
   ASSERT_GE(hist_on.size(), 2u);
   for (std::size_t i = 0; i < hist_on.size(); ++i) {
-    const RevisionEvent& a = hist_on[i];
-    const RevisionEvent& b = hist_off[i];
+    ASSERT_TRUE(hist_on[i].is_profile());
+    ASSERT_TRUE(hist_off[i].is_profile());
+    EXPECT_EQ(hist_on[i].seq, hist_off[i].seq);
+    const RevisionEvent& a = hist_on[i].profile();
+    const RevisionEvent& b = hist_off[i].profile();
     EXPECT_EQ(a.time, b.time) << "event " << i;
     EXPECT_EQ(a.revision, b.revision);
     EXPECT_EQ(a.resolved, b.resolved);
@@ -263,10 +268,11 @@ TEST(OnlinePipeline, CleanStreamParityWithAndWithoutHardening) {
                 b.prediction.processes[j].prediction.spi);
     }
   }
-  ASSERT_TRUE(pipe_on->latest().has_value());
-  ASSERT_TRUE(pipe_off->latest().has_value());
-  EXPECT_EQ(pipe_on->latest()->throughput_ips,
-            pipe_off->latest()->throughput_ips);
+  const auto latest_on = pipe_on->snapshot().latest;
+  const auto latest_off = pipe_off->snapshot().latest;
+  ASSERT_TRUE(latest_on.has_value());
+  ASSERT_TRUE(latest_off.has_value());
+  EXPECT_EQ(latest_on->throughput_ips, latest_off->throughput_ips);
   EXPECT_EQ(eng_on->profile(0).revision, eng_off->profile(0).revision);
 }
 
@@ -292,10 +298,10 @@ TEST(OnlinePipeline, RejectedRevisionsLeaveTheEngineUntouched) {
   }
   pipe.finish();
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
   EXPECT_GE(stats.health.revisions_rejected, 2u);
   EXPECT_EQ(stats.revisions, 0u);
-  EXPECT_TRUE(pipe.history().empty()) << "rejected revisions leave no event";
+  EXPECT_TRUE(pipe.events().empty()) << "rejected revisions leave no event";
   // The registry entry and its memoized artifacts were never touched.
   EXPECT_EQ(eng.profile(handle).revision, base_revision);
   EXPECT_EQ(eng.cache_stats().invalidations, 0u);
@@ -333,16 +339,17 @@ TEST(OnlinePipeline, FailedReSolvesDegradeInsteadOfThrowingOutOfSink) {
   pipe.set_query(query);
   EXPECT_NO_THROW(feed(pipe));
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
   EXPECT_GE(stats.revisions, 1u);
   EXPECT_EQ(stats.resolves, 0u);
   EXPECT_GE(stats.health.degraded_resolves, 1u);
   EXPECT_EQ(stats.health.degraded_resolves, stats.revisions)
       << "every re-solve attempt degraded";
-  EXPECT_FALSE(pipe.latest().has_value()) << "no last-good exists yet";
-  for (const RevisionEvent& e : pipe.history()) {
-    EXPECT_TRUE(e.degraded);
-    EXPECT_FALSE(e.resolved);
+  EXPECT_FALSE(pipe.snapshot().latest.has_value()) << "no last-good exists yet";
+  for (const PipelineEvent& event : pipe.events()) {
+    ASSERT_TRUE(event.is_profile());
+    EXPECT_TRUE(event.profile().degraded);
+    EXPECT_FALSE(event.profile().resolved);
   }
   // The revisions themselves were applied — only the pricing degraded.
   EXPECT_EQ(eng.profile(target_h).revision, stats.revisions);
@@ -385,22 +392,22 @@ TEST(OnlinePipeline, BoundedHistoryEvictsOldestAndKeepsCountersMonotonic) {
                            2.0e-9 + 1.0e-11 * i));
   pipe.finish();
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
   ASSERT_GE(stats.revisions, 4u);
-  EXPECT_EQ(pipe.history().size(), 2u);
+  EXPECT_EQ(pipe.events().size(), 2u);
   EXPECT_EQ(stats.health.history_evicted, stats.revisions - 2);
   // The ring keeps the most recent events; the stats stay monotonic
   // (revision counts are not rolled back by eviction).
-  EXPECT_EQ(pipe.history().back().revision, stats.revisions);
-  EXPECT_EQ(pipe.history().front().revision, stats.revisions - 1);
+  EXPECT_EQ(pipe.events().back().profile().revision, stats.revisions);
+  EXPECT_EQ(pipe.events().front().profile().revision, stats.revisions - 1);
   EXPECT_EQ(eng.profile(handle).revision, stats.revisions);
 }
 
-TEST(OnlinePipeline, HistorySinceCursorSurvivesEviction) {
-  // A consumer polling with history_since(seq) must see every event
+TEST(OnlinePipeline, EventsSinceCursorSurvivesEviction) {
+  // A consumer polling with events_since(cursor) must see every event
   // exactly once even when the bounded ring evicts between polls —
   // the seq cursor is monotonic and eviction-proof, unlike indexing
-  // into history() by absolute position.
+  // into events() by absolute position.
   const sim::MachineConfig machine = sim::two_core_workstation();
   const std::uint32_t ways = machine.l2.ways;
   engine::ModelEngine eng(machine);
@@ -414,7 +421,7 @@ TEST(OnlinePipeline, HistorySinceCursorSurvivesEviction) {
   pipe.monitor(/*pid=*/0, handle);
 
   std::vector<std::uint64_t> seen;
-  std::uint64_t next_seq = 0;
+  EventCursor next_seq = 0;
   double t = 0.0;
   for (int i = 0; i < 16; ++i) {
     pipe.push(synth_sample(t += 0.03, 1.0 + 0.4 * i, 0.4 - 0.015 * i,
@@ -422,19 +429,19 @@ TEST(OnlinePipeline, HistorySinceCursorSurvivesEviction) {
     // Poll only every fourth window so several events (more than the
     // ring holds) can accumulate and the oldest get evicted unseen.
     if (i % 4 == 3) {
-      for (const RevisionEvent& e : pipe.history_since(next_seq)) {
+      for (const PipelineEvent& e : pipe.events_since(next_seq)) {
         next_seq = e.seq + 1;
         seen.push_back(e.seq);
       }
     }
   }
   pipe.finish();
-  for (const RevisionEvent& e : pipe.history_since(next_seq)) {
+  for (const PipelineEvent& e : pipe.events_since(next_seq)) {
     next_seq = e.seq + 1;
     seen.push_back(e.seq);
   }
 
-  const OnlinePipeline::Stats stats = pipe.stats();
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
   ASSERT_GE(stats.revisions, 4u);
   EXPECT_GT(stats.health.history_evicted, 0u);
 
@@ -448,12 +455,121 @@ TEST(OnlinePipeline, HistorySinceCursorSurvivesEviction) {
       << "final poll missed the newest event";
   // A cursor past the end yields nothing; a stale cursor pointing at
   // evicted events returns only what the ring still holds.
-  EXPECT_TRUE(pipe.history_since(next_seq).empty());
-  const std::vector<RevisionEvent> tail = pipe.history_since(0);
-  EXPECT_EQ(tail.size(), pipe.history().size());
+  EXPECT_TRUE(pipe.events_since(next_seq).empty());
+  EXPECT_EQ(pipe.snapshot().next_cursor, next_seq);
+  const std::vector<PipelineEvent> tail = pipe.events_since(0);
+  EXPECT_EQ(tail.size(), pipe.events().size());
   if (!tail.empty()) {
     EXPECT_EQ(tail.back().seq, stats.revisions - 1);
   }
+}
+
+TEST(OnlinePipeline, RingIngestMatchesInlineIngestBitForBit) {
+  // The SPSC ring only moves *where* ingestion runs (a dedicated
+  // worker thread), never *what* it computes: replaying one recorded
+  // stream through both modes must produce bit-identical event logs.
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+
+  std::vector<sim::Sample> samples;
+  double t = 0.0;
+  for (int i = 0; i < 24; ++i)
+    samples.push_back(synth_sample(t += 0.03, 1.0 + 0.3 * i, 0.4 - 0.01 * i,
+                                   2.0e-9 + 1.0e-11 * i));
+
+  auto run_mode = [&](bool inline_ingest) {
+    auto eng = std::make_unique<engine::ModelEngine>(machine);
+    const engine::ProcessHandle handle =
+        eng->register_process(handmade_profile("target", ways));
+    OnlinePipelineOptions options = fast_options();
+    options.inline_ingest = inline_ingest;
+    options.ring_capacity = 4;  // force wraparound under load
+    auto pipe = std::make_unique<OnlinePipeline>(*eng, options);
+    pipe->monitor(/*pid=*/0, handle);
+    for (const sim::Sample& s : samples) pipe->push(s);
+    pipe->finish();
+    return std::pair{std::move(eng), std::move(pipe)};
+  };
+
+  const auto [eng_inline, pipe_inline] = run_mode(true);
+  const auto [eng_ring, pipe_ring] = run_mode(false);
+
+  const auto stats_inline = pipe_inline->snapshot().stats;
+  const auto stats_ring = pipe_ring->snapshot().stats;
+  EXPECT_EQ(stats_inline.windows, stats_ring.windows);
+  EXPECT_EQ(stats_inline.revisions, stats_ring.revisions);
+  EXPECT_EQ(stats_ring.health.windows_dropped, 0u)
+      << "block policy never drops";
+  ASSERT_GE(stats_inline.revisions, 2u);
+
+  const std::deque<PipelineEvent> a = pipe_inline->events();
+  const std::deque<PipelineEvent> b = pipe_ring->events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    ASSERT_TRUE(a[i].is_profile());
+    ASSERT_TRUE(b[i].is_profile());
+    EXPECT_EQ(a[i].profile().time, b[i].profile().time);
+    EXPECT_EQ(a[i].profile().revision, b[i].profile().revision);
+    EXPECT_EQ(a[i].profile().quality.fit_rms, b[i].profile().quality.fit_rms);
+  }
+  const engine::ProcessHandle h = *eng_inline->find("target");
+  EXPECT_EQ(eng_inline->profile(h).revision, eng_ring->profile(h).revision);
+}
+
+TEST(OnlinePipeline, BlockBackpressureDeliversEveryWindow) {
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  engine::ModelEngine eng(machine);
+  const engine::ProcessHandle handle =
+      eng.register_process(handmade_profile("target", ways));
+
+  OnlinePipelineOptions options = fast_options();
+  options.inline_ingest = false;
+  options.ring_capacity = 2;  // tiny: the producer must block, not lose
+  options.backpressure = OnlinePipelineOptions::Backpressure::kBlock;
+  OnlinePipeline pipe(eng, options);
+  pipe.monitor(/*pid=*/0, handle);
+
+  const std::uint64_t pushed = 64;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < pushed; ++i)
+    pipe.push(synth_sample(t += 0.03, 1.0 + 0.1 * static_cast<double>(i),
+                           0.3, 2.0e-9));
+  pipe.finish();
+
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
+  EXPECT_EQ(stats.windows, pushed);
+  EXPECT_EQ(stats.health.windows_dropped, 0u);
+}
+
+TEST(OnlinePipeline, DropBackpressureCountsEveryLostWindow) {
+  // Under kDrop the pipeline may shed load, but conservation must
+  // hold exactly: every pushed window is either ingested or counted
+  // in windows_dropped — none vanish silently.
+  const sim::MachineConfig machine = sim::two_core_workstation();
+  const std::uint32_t ways = machine.l2.ways;
+  engine::ModelEngine eng(machine);
+  const engine::ProcessHandle handle =
+      eng.register_process(handmade_profile("target", ways));
+
+  OnlinePipelineOptions options = fast_options();
+  options.inline_ingest = false;
+  options.ring_capacity = 2;
+  options.backpressure = OnlinePipelineOptions::Backpressure::kDrop;
+  OnlinePipeline pipe(eng, options);
+  pipe.monitor(/*pid=*/0, handle);
+
+  const std::uint64_t pushed = 256;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < pushed; ++i)
+    pipe.push(synth_sample(t += 0.03, 1.0 + 0.1 * static_cast<double>(i),
+                           0.3, 2.0e-9));
+  pipe.finish();
+
+  const OnlinePipeline::Stats stats = pipe.snapshot().stats;
+  EXPECT_EQ(stats.windows + stats.health.windows_dropped, pushed);
+  EXPECT_LE(stats.health.windows_dropped, pushed);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@
 //                     [--seconds 1.5] [--store s.txt] [--json on]
 //                     [--fault-rate 0.05] [--faults drop,wrap,spike]
 //                     [--fault-seed 1] [--sanitize on|off]
-//                     [--power-refit on|off]
+//                     [--power-refit on|off] [--ingest inline|ring]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
@@ -35,11 +35,13 @@
 // at work; --sanitize off disables the hardening for comparison. The
 // end-of-run summary prints the PipelineHealth counters. With
 // --json on, stdout carries exactly one JSON object per sample window
-// (window index, time, the revision events it produced, the power
-// refit events, the live measured-vs-predicted power error, and the
-// PipelineHealth counter deltas) followed by one {"summary":...}
-// object — a machine-diffable trace for CI; human chatter moves to
-// stderr.
+// (window index, time, a single "events" array of profile and power
+// revisions tagged by "kind" and interleaved in global seq order, the
+// live measured-vs-predicted power error, and the PipelineHealth
+// counter deltas) followed by one {"summary":...} object — a
+// machine-diffable trace for CI; human chatter moves to stderr.
+// --ingest ring routes windows through the pipeline's bounded SPSC
+// ring onto its worker thread instead of processing them inline.
 //
 // When the store supplies a power model, every window that carries
 // ground truth (a finite, positive measured clamp power) also reports
@@ -48,7 +50,8 @@
 // and, unless --power-refit off, the windows stream through the
 // on-line PowerRefitter: accepted candidates revise the engine's Eq. 9
 // model live (quality-gated, validate-before-mutate) and appear in the
-// trace as power refit events keyed by their own eviction-proof seq.
+// trace as "kind":"power" events in the same seq space as profile
+// revisions.
 //
 // predict and estimate run on the ModelEngine facade: predict places
 // the named processes one per core starting at core 0 (so on the
@@ -405,14 +408,15 @@ struct WindowPowerError {
 /// ground-truth window measures ~0 W.
 constexpr Watts kWatchPowerFloor = 1e-3;
 
-void print_power_event_json(const online::PowerRevisionEvent& e, bool first) {
+void print_power_event_json(online::EventCursor seq,
+                            const online::PowerRevisionEvent& e, bool first) {
   std::printf(
-      "%s{\"seq\":%llu,\"applied\":%s,\"revision\":%llu,"
+      "%s{\"seq\":%llu,\"kind\":\"power\",\"applied\":%s,\"revision\":%llu,"
       "\"rank_deficient\":%s,\"reason\":\"%s\",\"r2\":%.6g,"
       "\"accuracy\":%.6g,\"candidate_err_pct\":%.6g,"
       "\"incumbent_err_pct\":%.6g,\"idle_w\":%.6g,"
       "\"coefficients\":[%.9g,%.9g,%.9g,%.9g,%.9g],\"fit_windows\":%zu}",
-      first ? "" : ",", static_cast<unsigned long long>(e.seq),
+      first ? "" : ",", static_cast<unsigned long long>(seq),
       e.applied ? "true" : "false",
       static_cast<unsigned long long>(e.revision),
       e.rank_deficient ? "true" : "false", json_escape(e.reason).c_str(),
@@ -421,40 +425,46 @@ void print_power_event_json(const online::PowerRevisionEvent& e, bool first) {
       e.coefficients[3], e.coefficients[4], e.window_samples);
 }
 
-/// --json mode: one object per sample window with the revision events
-/// it produced, the power refit events, the measured-vs-predicted
-/// power error (when the window has ground truth), and the
-/// PipelineHealth counter deltas, so a watch trace is line-diffable
-/// in CI.
+void print_profile_event_json(online::EventCursor seq,
+                              const online::RevisionEvent& e,
+                              const engine::ModelEngine& eng, bool first) {
+  double spi = 0.0;
+  if (e.resolved)
+    for (const auto& pt : e.prediction.processes)
+      if (pt.handle == e.handle) spi = pt.prediction.spi;
+  std::printf(
+      "%s{\"seq\":%llu,\"kind\":\"profile\",\"process\":\"%s\",\"handle\":%u,"
+      "\"revision\":%llu,\"fit_rms\":%.6g,\"fit_windows\":%zu,"
+      "\"resolved\":%s,\"degraded\":%s,\"solver_iterations\":%d,"
+      "\"spi_ns\":%.6g,\"power_w\":%.6g}",
+      first ? "" : ",", static_cast<unsigned long long>(seq),
+      json_escape(eng.profile(e.handle).name).c_str(), e.handle,
+      static_cast<unsigned long long>(e.revision), e.quality.fit_rms,
+      e.quality.windows, e.resolved ? "true" : "false",
+      e.degraded ? "true" : "false", e.solver_iterations, spi * 1e9,
+      e.resolved ? e.prediction.total_power : 0.0);
+}
+
+/// --json mode: one object per sample window with the single `events`
+/// array it produced — profile and power revisions tagged by "kind"
+/// and interleaved in global cursor (seq) order — plus the
+/// measured-vs-predicted power error (when the window has ground
+/// truth) and the PipelineHealth counter deltas, so a watch trace is
+/// line-diffable in CI.
 void print_window_json(std::uint64_t window, const sim::Sample& sample,
                        const engine::ModelEngine& eng,
-                       const std::vector<online::RevisionEvent>& events,
-                       const std::vector<online::PowerRevisionEvent>& power,
+                       const std::vector<online::PipelineEvent>& events,
                        const std::optional<WindowPowerError>& power_error,
                        const online::PipelineHealth& delta) {
-  std::printf("{\"window\":%llu,\"t\":%.6f,\"revisions\":[",
+  std::printf("{\"window\":%llu,\"t\":%.6f,\"events\":[",
               static_cast<unsigned long long>(window), sample.time);
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const online::RevisionEvent& e = events[i];
-    double spi = 0.0;
-    if (e.resolved)
-      for (const auto& pt : e.prediction.processes)
-        if (pt.handle == e.handle) spi = pt.prediction.spi;
-    std::printf(
-        "%s{\"seq\":%llu,\"process\":\"%s\",\"handle\":%u,"
-        "\"revision\":%llu,\"fit_rms\":%.6g,\"fit_windows\":%zu,"
-        "\"resolved\":%s,\"degraded\":%s,\"solver_iterations\":%d,"
-        "\"spi_ns\":%.6g,\"power_w\":%.6g}",
-        i == 0 ? "" : ",", static_cast<unsigned long long>(e.seq),
-        json_escape(eng.profile(e.handle).name).c_str(), e.handle,
-        static_cast<unsigned long long>(e.revision), e.quality.fit_rms,
-        e.quality.windows, e.resolved ? "true" : "false",
-        e.degraded ? "true" : "false", e.solver_iterations, spi * 1e9,
-        e.resolved ? e.prediction.total_power : 0.0);
+    const online::PipelineEvent& e = events[i];
+    if (e.is_profile())
+      print_profile_event_json(e.seq, e.profile(), eng, i == 0);
+    else
+      print_power_event_json(e.seq, e.power(), i == 0);
   }
-  std::printf("],\"power_revisions\":[");
-  for (std::size_t i = 0; i < power.size(); ++i)
-    print_power_event_json(power[i], i == 0);
   std::printf("]");
   if (power_error.has_value())
     std::printf(",\"power\":{\"measured_w\":%.6g,\"predicted_w\":%.6g,"
@@ -463,15 +473,46 @@ void print_window_json(std::uint64_t window, const sim::Sample& sample,
                 power_error->err_pct);
   std::printf(
       ",\"health_delta\":{\"seen\":%llu,\"forwarded\":%llu,"
-      "\"repaired\":%llu,\"quarantined\":%llu,\"rejected\":%llu,"
-      "\"degraded\":%llu,\"evicted\":%llu}}\n",
+      "\"repaired\":%llu,\"quarantined\":%llu,\"dropped\":%llu,"
+      "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu}}\n",
       static_cast<unsigned long long>(delta.windows_seen),
       static_cast<unsigned long long>(delta.windows_forwarded),
       static_cast<unsigned long long>(delta.windows_repaired),
       static_cast<unsigned long long>(delta.windows_quarantined),
+      static_cast<unsigned long long>(delta.windows_dropped),
       static_cast<unsigned long long>(delta.revisions_rejected),
       static_cast<unsigned long long>(delta.degraded_resolves),
       static_cast<unsigned long long>(delta.history_evicted));
+}
+
+/// Human mode: one line per event, profile and power revisions
+/// interleaved exactly as the unified log ordered them.
+void print_events_human(const std::vector<online::PipelineEvent>& events,
+                        const engine::ModelEngine& eng) {
+  for (const online::PipelineEvent& event : events) {
+    if (event.is_profile()) {
+      const online::RevisionEvent& e = event.profile();
+      double spi = 0.0;
+      if (e.resolved)
+        for (const auto& pt : e.prediction.processes)
+          if (pt.handle == e.handle) spi = pt.prediction.spi;
+      std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
+                  eng.profile(e.handle).name.c_str(),
+                  static_cast<unsigned long long>(e.revision), spi * 1e9,
+                  e.resolved ? e.prediction.total_power : 0.0,
+                  e.solver_iterations, e.degraded ? " degraded" : "");
+    } else {
+      const online::PowerRevisionEvent& e = event.power();
+      const std::string verdict =
+          e.applied ? "applied" : "rejected: " + e.reason;
+      std::printf(
+          "%-8.3f %-12s %-4llu idle %.1f W  r2 %.3f  err %.2f%% "
+          "(incumbent %.2f%%)  %s\n",
+          e.time, "[power]", static_cast<unsigned long long>(e.revision),
+          e.idle, e.r2, e.candidate_err_pct, e.incumbent_err_pct,
+          verdict.c_str());
+    }
+  }
 }
 
 int cmd_watch(const Args& args) {
@@ -492,6 +533,9 @@ int cmd_watch(const Args& args) {
   const bool sanitize = args.get("sanitize", "on") != "off";
   const bool json = args.get("json", "off") != "off";
   const bool power_refit = args.get("power-refit", "on") != "off";
+  const std::string ingest = args.get("ingest", "inline");
+  REPRO_ENSURE(ingest == "inline" || ingest == "ring",
+               "--ingest must be 'inline' or 'ring'");
 
   // An existing store contributes its power model (prices re-solves);
   // profiles always come from the stream — that is the point.
@@ -531,6 +575,10 @@ int cmd_watch(const Args& args) {
   pipe_options.builder.refit_interval = 8;
   pipe_options.builder.min_fit_windows = 4;
   pipe_options.harden = sanitize;
+  // Ring ingestion moves window processing onto the pipeline's worker
+  // thread; the sink returns as soon as the window is enqueued. The
+  // event stream is identical either way, only its timing shifts.
+  pipe_options.inline_ingest = ingest != "ring";
   // The refit needs an incumbent to revise, so it engages only when the
   // store supplied a power model. Intervals are tightened from the
   // production defaults so short watches see the loop at work.
@@ -568,11 +616,12 @@ int cmd_watch(const Args& args) {
                   static_cast<unsigned long long>(fault_seed),
                   sanitize ? "" : " — SANITIZER OFF");
   }
-  // Poll history through the eviction-proof seq cursor: absolute ring
-  // indices renumber once the history ring starts evicting, seqs never
-  // do. Health counters are diffed window-over-window for --json.
-  std::uint64_t next_seq = 0;
-  std::uint64_t power_next_seq = 0;
+  // Poll the unified event log through the eviction-proof seq cursor:
+  // absolute ring indices renumber once the event ring starts
+  // evicting, seqs never do. One cursor covers profile and power
+  // events alike. Health counters are diffed window-over-window for
+  // --json.
+  online::EventCursor next_seq = 0;
   std::uint64_t window_index = 0;
   double err_pct_sum = 0.0;
   std::uint64_t err_windows = 0;
@@ -603,6 +652,7 @@ int cmd_watch(const Args& args) {
         health.windows_repaired - last_health.windows_repaired;
     delta.windows_quarantined =
         health.windows_quarantined - last_health.windows_quarantined;
+    delta.windows_dropped = health.windows_dropped - last_health.windows_dropped;
     delta.revisions_rejected =
         health.revisions_rejected - last_health.revisions_rejected;
     delta.degraded_resolves =
@@ -631,84 +681,38 @@ int cmd_watch(const Args& args) {
         query_set = true;
       }
     }
-    const std::vector<online::RevisionEvent> fresh =
-        pipe.history_since(next_seq);
+    const std::vector<online::PipelineEvent> fresh =
+        pipe.events_since(next_seq);
     if (!fresh.empty()) next_seq = fresh.back().seq + 1;
-    const std::vector<online::PowerRevisionEvent> power_fresh =
-        pipe.power_history_since(power_next_seq);
-    if (!power_fresh.empty()) power_next_seq = power_fresh.back().seq + 1;
     const std::optional<WindowPowerError> perr = power_error_of(s);
     if (json) {
-      print_window_json(window_index, s, *eng, fresh, power_fresh, perr,
-                        health_delta(pipe.stats().health));
+      print_window_json(window_index, s, *eng, fresh, perr,
+                        health_delta(pipe.snapshot().stats.health));
     } else {
-      for (const online::RevisionEvent& e : fresh) {
-        double spi = 0.0;
-        if (e.resolved)
-          for (const auto& pt : e.prediction.processes)
-            if (pt.handle == e.handle) spi = pt.prediction.spi;
-        std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
-                    eng->profile(e.handle).name.c_str(),
-                    static_cast<unsigned long long>(e.revision), spi * 1e9,
-                    e.resolved ? e.prediction.total_power : 0.0,
-                    e.solver_iterations, e.degraded ? " degraded" : "");
-      }
-      for (const online::PowerRevisionEvent& e : power_fresh) {
-        const std::string verdict =
-            e.applied ? "applied" : "rejected: " + e.reason;
-        std::printf(
-            "%-8.3f %-12s %-4llu idle %.1f W  r2 %.3f  err %.2f%% "
-            "(incumbent %.2f%%)  %s\n",
-            e.time, "[power]", static_cast<unsigned long long>(e.revision),
-            e.idle, e.r2, e.candidate_err_pct, e.incumbent_err_pct,
-            verdict.c_str());
-      }
+      print_events_human(fresh, *eng);
     }
     ++window_index;
   });
   if (chaos.has_value()) chaos->flush();
   pipe.finish();
 
-  // finish() force-fits the tail windows, which can emit a last burst
-  // of revisions; drain them (and any power refit events) so the trace
-  // covers the whole stream.
-  const std::vector<online::RevisionEvent> tail = pipe.history_since(next_seq);
-  const std::vector<online::PowerRevisionEvent> power_tail =
-      pipe.power_history_since(power_next_seq);
-  if (!power_tail.empty()) power_next_seq = power_tail.back().seq + 1;
-  if (!tail.empty() || !power_tail.empty()) {
-    if (!tail.empty()) next_seq = tail.back().seq + 1;
+  // finish() force-fits the tail windows (and drains any ring-queued
+  // ones), which can emit a last burst of revisions; drain the event
+  // log so the trace covers the whole stream.
+  const std::vector<online::PipelineEvent> tail = pipe.events_since(next_seq);
+  if (!tail.empty()) {
+    next_seq = tail.back().seq + 1;
     if (json) {
       sim::Sample flush_sample;
       flush_sample.time = seconds;
-      print_window_json(window_index, flush_sample, *eng, tail, power_tail,
-                        std::nullopt, health_delta(pipe.stats().health));
+      print_window_json(window_index, flush_sample, *eng, tail, std::nullopt,
+                        health_delta(pipe.snapshot().stats.health));
     } else {
-      for (const online::RevisionEvent& e : tail) {
-        double spi = 0.0;
-        if (e.resolved)
-          for (const auto& pt : e.prediction.processes)
-            if (pt.handle == e.handle) spi = pt.prediction.spi;
-        std::printf("%-8.3f %-12s %-4llu %-9.3f %-9.2f %-7d%s\n", e.time,
-                    eng->profile(e.handle).name.c_str(),
-                    static_cast<unsigned long long>(e.revision), spi * 1e9,
-                    e.resolved ? e.prediction.total_power : 0.0,
-                    e.solver_iterations, e.degraded ? " degraded" : "");
-      }
-      for (const online::PowerRevisionEvent& e : power_tail) {
-        const std::string verdict =
-            e.applied ? "applied" : "rejected: " + e.reason;
-        std::printf(
-            "%-8.3f %-12s %-4llu idle %.1f W  r2 %.3f  err %.2f%% "
-            "(incumbent %.2f%%)  %s\n",
-            e.time, "[power]", static_cast<unsigned long long>(e.revision),
-            e.idle, e.r2, e.candidate_err_pct, e.incumbent_err_pct,
-            verdict.c_str());
-      }
+      print_events_human(tail, *eng);
     }
   }
 
-  const online::OnlinePipeline::Stats stats = pipe.stats();
+  const online::OnlinePipeline::Stats stats = pipe.snapshot().stats;
   if (json) {
     const online::PipelineHealth& h = stats.health;
     std::printf(
@@ -719,6 +723,7 @@ int cmd_watch(const Args& args) {
         "\"mean_err_pct\":%.6g,\"err_windows\":%llu},"
         "\"health\":{\"seen\":%llu,"
         "\"forwarded\":%llu,\"repaired\":%llu,\"quarantined\":%llu,"
+        "\"dropped\":%llu,"
         "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu}}}\n",
         static_cast<unsigned long long>(stats.windows),
         static_cast<unsigned long long>(stats.revisions),
@@ -733,6 +738,7 @@ int cmd_watch(const Args& args) {
         static_cast<unsigned long long>(h.windows_forwarded),
         static_cast<unsigned long long>(h.windows_repaired),
         static_cast<unsigned long long>(h.windows_quarantined),
+        static_cast<unsigned long long>(h.windows_dropped),
         static_cast<unsigned long long>(h.revisions_rejected),
         static_cast<unsigned long long>(h.degraded_resolves),
         static_cast<unsigned long long>(h.history_evicted));
@@ -749,12 +755,13 @@ int cmd_watch(const Args& args) {
                     : 0.0);
     const online::PipelineHealth& health = stats.health;
     std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
-                "%llu quarantined), %llu revisions rejected, "
+                "%llu quarantined, %llu dropped), %llu revisions rejected, "
                 "%llu degraded re-solves, %llu history evictions\n",
                 static_cast<unsigned long long>(health.windows_forwarded),
                 static_cast<unsigned long long>(health.windows_seen),
                 static_cast<unsigned long long>(health.windows_repaired),
                 static_cast<unsigned long long>(health.windows_quarantined),
+                static_cast<unsigned long long>(health.windows_dropped),
                 static_cast<unsigned long long>(health.revisions_rejected),
                 static_cast<unsigned long long>(health.degraded_resolves),
                 static_cast<unsigned long long>(health.history_evicted));
