@@ -1,15 +1,20 @@
 // On-line profiling, streamed end to end (§1, §3.4 + the streaming
-// pipeline layer).
+// pipeline layer), sharded per die (ISSUE 7).
 //
 // The original deployment story forced a new application onto an idle
 // machine and swept the stressmark against it. This example shows the
-// *streaming* alternative: two never-before-seen processes run under
-// normal multi-programmed contention while their HPC windows flow
-// through SampleStream → ProfileBuilder → ModelEngine. Confirmed phase
-// changes and periodic refits emit versioned profile revisions; each
-// revision invalidates exactly that process's memoized artifacts and
-// re-prices the running co-schedule with a warm-started Newton solve
-// seeded from the previous equilibrium. The example prints the
+// *streaming* alternative on the 4-core/2-die server: four
+// never-before-seen processes run under normal multi-programmed
+// contention while their HPC windows flow through the sharded
+// pipeline — each machine window is split into per-die slices, one
+// producer lane per die, each lane's sanitize/phase-detect/build work
+// owned by its own PipelineShard, and the coordinator merges the
+// shard streams back into one deterministic event log while keeping
+// the single serialized door into ModelEngine::try_apply. Confirmed
+// phase changes and periodic refits emit versioned profile revisions;
+// each revision invalidates exactly that process's memoized artifacts
+// and re-prices the running co-schedule with a warm-started Newton
+// solve seeded from the previous equilibrium. The example prints the
 // revision/phase trace with per-phase SPI and power predictions, then
 // checks the final prediction against the simulator's measurement and
 // saves the latest revisions to a store.
@@ -22,7 +27,7 @@
 #include "repro/core/power_model.hpp"
 #include "repro/core/serialize.hpp"
 #include "repro/engine/model_engine.hpp"
-#include "repro/online/pipeline.hpp"
+#include "repro/online/sharded_pipeline.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/phased.hpp"
 #include "repro/workload/spec.hpp"
@@ -33,8 +38,8 @@ int main(int argc, char** argv) {
   const std::string store_path =
       argc > 1 ? argv[1] : "online_profiler.store";
 
-  const sim::MachineConfig machine = sim::two_core_workstation();
-  const power::OracleConfig oracle = power::oracle_for_two_core_workstation();
+  const sim::MachineConfig machine = sim::four_core_server();
+  const power::OracleConfig oracle = power::oracle_for_four_core_server();
 
   // Train the Eq. 9 power model once (short runs; §4.1).
   std::printf("Training the power model...\n");
@@ -50,11 +55,11 @@ int main(int argc, char** argv) {
   eng_options.threads = 1;
   engine::ModelEngine eng(machine, power_model, eng_options);
 
-  // Two phased processes the engine has never seen, sharing the die's
-  // L2: "appserver" flips from a cache-friendly to a thrashing phase;
-  // "batchjob" steps through three footprints, pushing appserver
-  // through different occupancy points (the on-line stand-in for the
-  // stressmark sweep).
+  // Die 0 carries the phased pair sharing its L2: "appserver" flips
+  // from a cache-friendly to a thrashing phase; "batchjob" steps
+  // through three footprints, pushing appserver through different
+  // occupancy points (the on-line stand-in for the stressmark sweep).
+  // Die 1 carries a steady pair so the second shard has a live lane.
   const std::uint32_t sets = machine.l2.sets;
   sim::SystemConfig cfg;
   cfg.machine = machine;
@@ -77,34 +82,64 @@ int main(int argc, char** argv) {
       "batchjob", 1, batch_phases.front().spec.mix,
       std::make_unique<workload::PhasedGenerator>(batch_phases, sets));
 
-  // The streaming pipeline: cold-start monitoring (no prior profiles).
-  online::OnlinePipelineOptions pipe_options;
+  const workload::WorkloadSpec db_spec = workload::find_spec("mcf");
+  const ProcessId db = system.add_process(
+      "dbscan", 2, db_spec.mix,
+      std::make_unique<workload::PhasedGenerator>(
+          std::vector<workload::PhaseSegment>{{db_spec, 50'000'000}}, sets));
+  const workload::WorkloadSpec cache_spec = workload::find_spec("equake");
+  const ProcessId webcache = system.add_process(
+      "webcache", 3, cache_spec.mix,
+      std::make_unique<workload::PhasedGenerator>(
+          std::vector<workload::PhaseSegment>{{cache_spec, 50'000'000}},
+          sets));
+
+  // The sharded streaming pipeline: one shard per die, cold-start
+  // monitoring (no prior profiles). Each process registers on its
+  // die's producer lane.
+  online::ShardedPipelineOptions pipe_options;
   pipe_options.builder.phase.min_phase_windows = 5;
   pipe_options.builder.refit_interval = 8;
   pipe_options.builder.min_fit_windows = 4;
-  online::OnlinePipeline pipe(eng, pipe_options);
-  pipe.monitor(app, "appserver");
-  pipe.monitor(batch, "batchjob");
+  pipe_options.shards = machine.dies;
+  pipe_options.producers = machine.dies;
+  pipe_options.coalesce_resolves = true;  // one re-solve per merged window
+  online::ShardedPipeline pipe(eng, pipe_options);
+  pipe.monitor(app, machine.core_to_die[0], "appserver");
+  pipe.monitor(batch, machine.core_to_die[1], "batchjob");
+  pipe.monitor(db, machine.core_to_die[2], "dbscan");
+  pipe.monitor(webcache, machine.core_to_die[3], "webcache");
 
-  std::printf("Streaming %u ms HPC windows through the pipeline...\n\n",
-              static_cast<unsigned>(cfg.sample_period * 1000.0));
+  std::printf("Streaming %u ms HPC windows through %zu pipeline shards...\n\n",
+              static_cast<unsigned>(cfg.sample_period * 1000.0),
+              pipe.shard_count());
   std::printf("%-8s %-10s %-4s %-7s %-11s %-9s %-7s\n", "t [s]", "process",
               "rev", "phases", "SPI(app)", "P [W]", "iters");
 
-  // Once both processes have registered themselves (first revisions),
-  // re-price the running co-schedule after every further revision.
+  // Once all four processes have registered themselves (first
+  // revisions), re-price the running co-schedule after every further
+  // revision. Each machine window is split into per-die slices and
+  // pushed lane by lane; the coordinator reunites them on (seq, die).
   bool query_set = false;
-  auto sink = pipe.sink();
   online::EventCursor next_seq = 0;  // events_since cursor, eviction-proof
+  const ProcessId all_pids[] = {app, batch, db, webcache};
   const sim::RunResult run = system.run(1.5, [&](const sim::Sample& s) {
-    sink(s);
-    if (!query_set && pipe.handle_of(app) && pipe.handle_of(batch)) {
-      engine::CoScheduleQuery q;
-      q.assignment = core::Assignment::empty(machine.cores);
-      q.assignment.per_core[0].push_back(*pipe.handle_of(app));
-      q.assignment.per_core[1].push_back(*pipe.handle_of(batch));
-      pipe.set_query(q);
-      query_set = true;
+    for (const sim::Sample& slice : system.split_sample(s))
+      pipe.push(slice);
+    if (!query_set) {
+      bool all = true;
+      for (ProcessId pid : all_pids)
+        if (!pipe.handle_of(pid)) all = false;
+      if (all) {
+        engine::CoScheduleQuery q;
+        q.assignment = core::Assignment::empty(machine.cores);
+        q.assignment.per_core[0].push_back(*pipe.handle_of(app));
+        q.assignment.per_core[1].push_back(*pipe.handle_of(batch));
+        q.assignment.per_core[2].push_back(*pipe.handle_of(db));
+        q.assignment.per_core[3].push_back(*pipe.handle_of(webcache));
+        pipe.set_query(q);
+        query_set = true;
+      }
     }
     for (const online::PipelineEvent& event : pipe.events_since(next_seq)) {
       next_seq = event.seq + 1;
@@ -129,10 +164,11 @@ int main(int argc, char** argv) {
   });
   pipe.finish();
 
-  const online::OnlinePipeline::Snapshot snap = pipe.snapshot();
-  const online::OnlinePipeline::Stats& stats = snap.stats;
+  const online::PipelineSnapshot snap = pipe.snapshot();
+  const online::PipelineStats& stats = snap.stats;
   std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
-              "%llu warm re-solves (%.1f Newton iterations each)\n",
+              "%llu warm re-solves (%.1f Newton iterations each), "
+              "%llu re-solves coalesced\n",
               static_cast<unsigned long long>(stats.windows),
               static_cast<unsigned long long>(stats.revisions),
               static_cast<unsigned long long>(stats.phase_changes),
@@ -140,7 +176,8 @@ int main(int argc, char** argv) {
               stats.resolves > 0
                   ? static_cast<double>(stats.solver_iterations) /
                         static_cast<double>(stats.resolves)
-                  : 0.0);
+                  : 0.0,
+              static_cast<unsigned long long>(stats.coalesced_resolves));
 
   // Check the last prediction against what the simulator measured over
   // the tail windows (the final phase pair).
@@ -169,7 +206,7 @@ int main(int argc, char** argv) {
 
   // Persist the freshest revisions for later sessions.
   core::ModelStore store;
-  for (ProcessId pid : {app, batch})
+  for (ProcessId pid : all_pids)
     if (auto h = pipe.handle_of(pid)) store.profiles.push_back(eng.profile(*h));
   core::save_store(store_path, store);
   std::printf("Saved %zu streamed profile revisions to %s\n",

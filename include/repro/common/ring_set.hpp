@@ -1,0 +1,103 @@
+// RingSet — multi-producer fan-in over N strictly-SPSC rings.
+//
+// The pipeline's ingestion ring (SpscRing) is deliberately
+// single-producer: its whole memory-ordering argument rests on each
+// index having exactly one writer (see spsc_ring.hpp). Sharded
+// ingestion needs *several* producers — one System::run sink per die —
+// feeding one shard worker. Rather than weakening the ring to MPSC
+// (which would need CAS loops on the tail and a new ordering proof),
+// RingSet keeps one private SpscRing per producer and has the single
+// consumer drain them round-robin:
+//
+//   - try_push(i, v) may be called by at most one thread per index i —
+//     each (producer, ring) pair is the unchanged SPSC contract, so
+//     every acquire/release pairing inside SpscRing still holds
+//     verbatim. Distinct producers never touch the same ring, hence
+//     never the same atomic, hence need no ordering between each other.
+//   - try_pop() may be called by exactly one consumer thread. It scans
+//     the rings starting *after* the ring that served the previous pop
+//     (a consumer-private cursor — no atomics needed), so a chatty
+//     producer cannot starve a quiet one: each full scan takes at most
+//     one element per ring.
+//
+// Per-producer FIFO order is preserved (each ring is FIFO); there is
+// deliberately *no* global order across producers — consumers that
+// need one (the sharded pipeline's coordinator) re-establish it from
+// the window sequence numbers carried by the elements themselves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "repro/common/ensure.hpp"
+#include "repro/common/spsc_ring.hpp"
+
+namespace repro::common {
+
+template <typename T>
+class RingSet {
+ public:
+  /// `rings` independent SPSC rings of `capacity_each` slots (each
+  /// rounded up to a power of two by SpscRing).
+  RingSet(std::size_t rings, std::size_t capacity_each) {
+    REPRO_ENSURE(rings > 0, "RingSet needs at least one ring");
+    rings_.reserve(rings);
+    for (std::size_t i = 0; i < rings; ++i)
+      rings_.push_back(std::make_unique<SpscRing<T>>(capacity_each));
+  }
+
+  RingSet(const RingSet&) = delete;
+  RingSet& operator=(const RingSet&) = delete;
+
+  std::size_t ring_count() const { return rings_.size(); }
+
+  /// Producer of ring `i` only (at most one thread per index). False
+  /// when that ring is full; the value is left untouched.
+  bool try_push(std::size_t ring, T& value) {
+    return rings_.at(ring)->try_push(value);
+  }
+  bool try_push(std::size_t ring, T&& value) {
+    return try_push(ring, value);
+  }
+
+  /// Consumer only (a single thread). Scans round-robin from one past
+  /// the last ring served; false when every ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t n = rings_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = (cursor_ + i) % n;
+      if (rings_[idx]->try_pop(out)) {
+        cursor_ = (idx + 1) % n;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when every ring looked empty during one scan. Exact from the
+  /// consumer thread once producers have stopped; a racing reader sees
+  /// some recent value (same caveat as SpscRing::size).
+  bool empty() const {
+    for (const auto& r : rings_)
+      if (!r->empty()) return false;
+    return true;
+  }
+
+  /// Summed live element count (same racing-reader caveat).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& r : rings_) total += r->size();
+    return total;
+  }
+
+  /// Rounded-up slot count of one ring.
+  std::size_t ring_capacity() const { return rings_.front()->capacity(); }
+
+ private:
+  std::vector<std::unique_ptr<SpscRing<T>>> rings_;
+  std::size_t cursor_ = 0;  // consumer-private resume point
+};
+
+}  // namespace repro::common

@@ -1,4 +1,4 @@
-// OnlinePipeline — the end-to-end streaming loop:
+// OnlinePipeline — the single-stream facade over the sharded pipeline:
 //
 //   hpc windows ──► [SPSC ring ──► worker thread] ──► SampleStream
 //                                        │  per-process windows
@@ -19,37 +19,32 @@
 // from the previous equilibrium instead of from scratch. The events()
 // log is the per-phase SPI/power trace the tools and examples report.
 //
-// Ingestion (ISSUE 6): with inline_ingest (the default) push() runs
-// the whole sanitize → stream → refit chain on the caller's thread,
-// bit-identical to the pre-ring pipeline. With inline_ingest = false,
-// push() enqueues the raw window on a bounded lock-free SPSC ring and
-// returns immediately; a dedicated worker thread drains the ring and
-// runs the identical chain, so System::run never blocks on sanitizer,
-// solver, or refit work. Backpressure when the ring is full is a
-// policy choice (block vs. count-and-drop), surfaced through
-// PipelineHealth::windows_dropped.
+// Since ISSUE 7 this class is a thin facade over ShardedPipeline with
+// shards = producers = 1: one lane, one shard, immediate delivery —
+// which the coordinator's single-lane path keeps bit-identical to the
+// historical monolithic pipeline (pipeline_test's parity suites lock
+// that in). Multi-die deployments that want concurrent ingestion use
+// ShardedPipeline directly; this facade is the ergonomic single-stream
+// surface and the stable API the tools and benches were written
+// against. Option semantics — hardening, quality gates, power refits,
+// ring ingestion and backpressure — are unchanged; see
+// sharded_pipeline.hpp for the shared definitions (PipelineHealth,
+// PipelineStats, PipelineSnapshot).
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <optional>
 #include <string>
-#include <thread>
-#include <variant>
+#include <utility>
 #include <vector>
 
-#include "repro/common/mutex.hpp"
-#include "repro/common/spsc_ring.hpp"
-#include "repro/common/thread_annotations.hpp"
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/events.hpp"
 #include "repro/online/power_refitter.hpp"
 #include "repro/online/profile_builder.hpp"
-#include "repro/online/sample_stream.hpp"
 #include "repro/online/sanitizer.hpp"
+#include "repro/online/sharded_pipeline.hpp"
 
 namespace repro::online {
 
@@ -81,6 +76,10 @@ struct OnlinePipelineOptions {
   /// the pre-refit code.
   PowerRefitOptions power{};
 
+  /// Quarantined windows retained for forensics (ISSUE 7); see
+  /// ShardedPipelineOptions::quarantine_capacity.
+  std::size_t quarantine_capacity = 32;
+
   /// true: push() ingests synchronously on the caller's thread —
   /// bit-identical to the pre-ring pipeline, and the right choice for
   /// deterministic replay. false: push() enqueues on the SPSC ring
@@ -89,188 +88,82 @@ struct OnlinePipelineOptions {
   /// Ring capacity in windows (rounded up to a power of two) when
   /// inline_ingest is false.
   std::size_t ring_capacity = 1024;
-  /// What push() does when the ring is full.
-  enum class Backpressure {
-    /// Wait until the worker frees a slot: no window is ever lost,
-    /// but a stalled worker back-propagates into System::run.
-    kBlock,
-    /// Drop the incoming window and count it in
-    /// PipelineHealth::windows_dropped: System::run never waits, at
-    /// the cost of holes in the observed stream under overload.
-    kDrop,
-  };
+  /// What push() does when the ring is full. Alias of the
+  /// namespace-scope Backpressure (kept nested for source
+  /// compatibility with pre-sharding callers).
+  using Backpressure = online::Backpressure;
   Backpressure backpressure = Backpressure::kBlock;
-};
-
-/// Fault-path observability: everything the hardened pipeline dropped,
-/// repaired, or refused, surfaced through OnlinePipeline::snapshot()
-/// and `cmpmodel watch`. All counters are monotonic over a pipeline's
-/// life.
-struct PipelineHealth {
-  std::uint64_t windows_seen = 0;         // raw windows that entered ingest
-  std::uint64_t windows_forwarded = 0;    // passed sanitization
-  std::uint64_t windows_repaired = 0;     // forwarded after a wrap repair
-  std::uint64_t windows_quarantined = 0;  // withheld from the stream
-  std::uint64_t windows_dropped = 0;      // lost to ring backpressure (kDrop)
-  std::uint64_t revisions_rejected = 0;   // failed validation/quality gate
-  std::uint64_t degraded_resolves = 0;    // re-solves served last-good
-  std::uint64_t history_evicted = 0;      // PipelineEvents aged out
 };
 
 class OnlinePipeline {
  public:
-  OnlinePipeline(engine::ModelEngine& engine,
-                 OnlinePipelineOptions options = {});
-  ~OnlinePipeline();
+  using Stats = PipelineStats;
+  using Snapshot = PipelineSnapshot;
+
+  explicit OnlinePipeline(engine::ModelEngine& engine,
+                          OnlinePipelineOptions options = {});
 
   /// Monitor a process already registered with the engine: its current
   /// profile seeds the builder's baseline (power_alone, revision
   /// numbering) and revisions flow to try_apply(handle).
-  void monitor(ProcessId pid, engine::ProcessHandle handle);
+  void monitor(ProcessId pid, engine::ProcessHandle handle) {
+    impl_.monitor(pid, /*die=*/0, handle);
+  }
 
   /// Monitor a process the engine has never seen — the cold-start
   /// path. The first emitted revision registers it; until then it has
   /// no handle and any active query is not re-solved.
-  void monitor(ProcessId pid, std::string name);
+  void monitor(ProcessId pid, std::string name) {
+    impl_.monitor(pid, /*die=*/0, std::move(name));
+  }
 
   /// Handle of a monitored process, once known.
-  std::optional<engine::ProcessHandle> handle_of(ProcessId pid) const;
+  std::optional<engine::ProcessHandle> handle_of(ProcessId pid) const {
+    return impl_.handle_of(pid);
+  }
 
   /// Co-schedule to re-price after every revision. Until set, revisions
   /// still update the engine registry but nothing is solved.
-  void set_query(engine::CoScheduleQuery query);
+  void set_query(engine::CoScheduleQuery query) {
+    impl_.set_query(std::move(query));
+  }
 
   /// Ingest one sample window (System::run callback). Synchronous
   /// with inline_ingest; otherwise an enqueue on the SPSC ring, whose
   /// full-ring behavior follows options.backpressure.
-  void push(const sim::Sample& sample);
+  void push(const sim::Sample& sample) { impl_.push(sample); }
 
   /// Convenience adapter for System::run.
-  sim::System::SampleCallback sink() {
-    return [this](const sim::Sample& s) { push(s); };
-  }
+  sim::System::SampleCallback sink() { return impl_.sink(); }
 
   /// Wait (ring mode) until every window pushed so far has been
   /// ingested by the worker, then flush every builder's current phase
   /// and re-solve once more.
-  void finish();
+  void finish() { impl_.finish(); }
 
   /// Unified event log, in global stream order — the most recent
   /// history_capacity entries (older events evicted).
-  std::deque<PipelineEvent> events() const;
+  std::deque<PipelineEvent> events() const { return impl_.events(); }
 
   /// Events with seq >= `since` — the eviction-proof incremental
-  /// cursor for live watchers. Events that aged out of the ring before
-  /// a poll are gone; seqs never renumber, so the cursor stays valid
-  /// regardless. Profile and power events share the one seq space, so
-  /// a single cursor observes both in their true interleaving.
-  std::vector<PipelineEvent> events_since(EventCursor since) const;
+  /// cursor for live watchers; see ShardedPipeline::events_since.
+  std::vector<PipelineEvent> events_since(EventCursor since) const {
+    return impl_.events_since(since);
+  }
 
-  struct Stats {
-    std::uint64_t windows = 0;            // sample windows ingested (raw)
-    std::uint64_t revisions = 0;          // profile revisions applied
-    std::uint64_t resolves = 0;           // successful equilibrium re-solves
-    std::uint64_t solver_iterations = 0;  // summed over re-solves
-    std::uint64_t phase_changes = 0;      // confirmed across builders
-    std::uint64_t power_revisions = 0;    // power refits applied
-    std::uint64_t power_rejected = 0;     // refit attempts gated/refused
-    PipelineHealth health;                // fault-path counters
-  };
+  /// One consistent, locked copy of everything an observer needs; see
+  /// PipelineSnapshot.
+  Snapshot snapshot() const { return impl_.snapshot(); }
 
-  /// One consistent, locked copy of everything an observer needs: the
-  /// counters, the sanitizer's verdicts, the most recent re-solved
-  /// prediction, and the event cursor delimiting what events_since()
-  /// has produced up to this instant. Taken under the pipeline lock in
-  /// one critical section, so the fields can never be torn against
-  /// each other the way separate stats()/latest() calls could.
-  struct Snapshot {
-    Stats stats;
-    /// The sanitizer's own verdict counters; zeros when harden is off.
-    SanitizerStats sanitizer;
-    /// Most recent re-solved prediction, if any.
-    std::optional<engine::SystemPrediction> latest;
-    /// One past the newest event: events_since(next_cursor) returns
-    /// nothing until a newer event lands.
-    EventCursor next_cursor = 0;
-  };
-  Snapshot snapshot() const;
+  /// Quarantine forensics ring, oldest first (ISSUE 7).
+  std::vector<QuarantineRecord> quarantined() const {
+    return impl_.quarantined();
+  }
 
-  const engine::ModelEngine& engine() const { return engine_; }
+  const engine::ModelEngine& engine() const { return impl_.engine(); }
 
  private:
-  struct Monitored {
-    ProcessId pid = 0;
-    std::string name;
-    std::optional<engine::ProcessHandle> handle;
-    std::unique_ptr<ProfileBuilder> builder;
-  };
-
-  void ingest(const sim::Sample& sample) REPRO_REQUIRES(mutex_);
-  void enqueue(const sim::Sample& sample);
-  void worker_loop();
-  void drain_ring();
-  void apply_revision(Monitored& m, ProfileRevision revision, Seconds time)
-      REPRO_REQUIRES(mutex_);
-  void record_event(PipelineEvent event) REPRO_REQUIRES(mutex_);
-  void refit_power(const sim::Sample& sample) REPRO_REQUIRES(mutex_);
-  Stats stats_locked() const REPRO_REQUIRES(mutex_);
-  std::vector<double> warm_seeds() const REPRO_REQUIRES(mutex_);
-
-  engine::ModelEngine& engine_;
-  OnlinePipelineOptions options_;
-
-  /// One lock for the whole ingest state: the ingesting thread (the
-  /// push() caller inline, the worker in ring mode) holds it for the
-  /// duration of each window's processing (stream dispatch, builders,
-  /// revision application, re-solve), and snapshot()/events() take it
-  /// for a consistent copy — what makes those accessors safe to call
-  /// from any thread. Lock order: mutex_ before the engine's builder
-  /// lock (ingest → apply_revision → engine try_apply); engine
-  /// *reads* are snapshot-based and lock-free, and the engine never
-  /// calls back into the pipeline, so the order is acyclic.
-  mutable common::Mutex mutex_;
-  SampleStream stream_ REPRO_GUARDED_BY(mutex_);
-  std::optional<SampleSanitizer> sanitizer_  // engaged when harden
-      REPRO_GUARDED_BY(mutex_);
-  std::optional<PowerRefitter> refitter_  // engaged when power.enabled
-      REPRO_GUARDED_BY(mutex_);
-  std::vector<std::unique_ptr<Monitored>> monitored_
-      REPRO_GUARDED_BY(mutex_);
-  std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
-  std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
-  std::deque<PipelineEvent> events_ REPRO_GUARDED_BY(mutex_);
-  std::uint64_t next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t power_revisions_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t power_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t resolves_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t solver_iterations_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t revisions_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t degraded_resolves_ REPRO_GUARDED_BY(mutex_) = 0;
-  std::uint64_t history_evicted_ REPRO_GUARDED_BY(mutex_) = 0;
-
-  /// Ring-mode state (null/never-started under inline_ingest). The
-  /// ring itself is lock-free; ring_mutex_ + the two condvars exist
-  /// only for *parking*: the worker sleeps when the ring is empty, a
-  /// kBlock producer or drain_ring() waiter sleeps when it is full /
-  /// not yet drained. The wakeup handshake is the classic two-fence
-  /// protocol (see DESIGN 5.6): each side publishes its state, issues
-  /// a seq_cst fence, then checks the other's — so at least one of
-  /// "sleeper sees the data" / "poster sees the sleeper" always holds
-  /// and no wakeup is lost. ring_mutex_ is leaf-level: nothing is
-  /// called while holding it, so it never participates in the
-  /// pipeline → engine lock order.
-  std::unique_ptr<common::SpscRing<sim::Sample>> ring_;
-  std::thread worker_;
-  std::atomic<bool> stop_{false};
-  std::atomic<bool> worker_parked_{false};
-  std::atomic<std::uint64_t> drain_waiters_{0};
-  std::atomic<std::uint64_t> enqueued_{0};
-  std::atomic<std::uint64_t> drained_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  mutable common::Mutex ring_mutex_;
-  common::CondVar ring_cv_;   // worker parks here (ring empty)
-  common::CondVar drain_cv_;  // kBlock producer / drain_ring park here
+  ShardedPipeline impl_;
 };
 
 }  // namespace repro::online

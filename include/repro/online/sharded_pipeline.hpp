@@ -1,0 +1,338 @@
+// ShardedPipeline — the sharded on-line pipeline (ISSUE 7).
+//
+//   die-tagged windows ──► [RingSet fan-in ──► shard worker]  × S
+//                                      │  per-die sanitize/stream/build
+//                                      ▼  (PipelineShard, own mutex)
+//                        WindowBatch{seq, die, verdict, candidates}
+//                                      │  BatchSink::deliver
+//                                      ▼
+//                     coordinator: watermark merge on (seq, die)
+//                                      │  single engine mutation door
+//                                      ▼
+//             ModelEngine::try_apply → re-solve → unified event log
+//
+// The monolithic OnlinePipeline ran sanitizer, builders, engine
+// mutation, and re-solve under one mutex — one window at a time, no
+// matter how many dies fed it. ShardedPipeline splits the *streaming*
+// half across per-die shards that run concurrently, and keeps the
+// *model* half exactly where it was: one coordinator owning the one
+// serialized path into ModelEngine::try_apply and the one globally
+// ordered event log.
+//
+// Determinism: each shard hands the coordinator WindowBatches in its
+// dies' ingest order; the coordinator buffers them keyed on
+// (seq, die) and releases whole same-seq groups once every producer
+// lane has delivered a window with seq >= that group's (a watermark
+// merge). Within a group, lanes release in ascending die order. The
+// merged event log is therefore a pure function of the per-lane window
+// sequences — independent of the shard count and of thread
+// interleaving. Late or duplicate seqs (fault-injected streams) bypass
+// the merge and process immediately; their per-window effects (the
+// sanitizer quarantines them) don't depend on merge order.
+//
+// Lock order (see DESIGN 5.7): shard mutex → coordinator mutex_ →
+// engine builder lock. deliver() runs with the calling shard's mutex
+// held and takes mutex_; the coordinator never calls into a shard
+// while holding mutex_ (monitor/finish/quarantined talk to shards
+// unlocked), so the order is acyclic. ring_mutex (parking) stays leaf.
+//
+// With shards = producers = 1 the whole construction degenerates to
+// the old pipeline: one lane, one shard, immediate delivery — and the
+// output (events, revisions, health counters) is bit-identical, which
+// is what lets OnlinePipeline be a thin facade over this class.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "repro/common/mutex.hpp"
+#include "repro/common/ring_set.hpp"
+#include "repro/common/thread_annotations.hpp"
+#include "repro/engine/model_engine.hpp"
+#include "repro/online/events.hpp"
+#include "repro/online/power_refitter.hpp"
+#include "repro/online/profile_builder.hpp"
+#include "repro/online/sanitizer.hpp"
+#include "repro/online/shard.hpp"
+
+namespace repro::online {
+
+/// What push() does when an ingestion ring is full.
+enum class Backpressure {
+  /// Wait until the shard worker frees a slot: no window is ever
+  /// lost, but a stalled worker back-propagates into the producer.
+  kBlock,
+  /// Drop the incoming window and count it in
+  /// PipelineHealth::windows_dropped: the producer never waits, at
+  /// the cost of holes in the observed stream under overload.
+  kDrop,
+};
+
+/// Fault-path observability: everything the hardened pipeline dropped,
+/// repaired, or refused, surfaced through snapshot() and
+/// `cmpmodel watch`. All counters are monotonic over a pipeline's life.
+struct PipelineHealth {
+  std::uint64_t windows_seen = 0;         // raw windows that entered ingest
+  std::uint64_t windows_forwarded = 0;    // passed sanitization
+  std::uint64_t windows_repaired = 0;     // forwarded after a wrap repair
+  std::uint64_t windows_quarantined = 0;  // withheld from the stream
+  std::uint64_t windows_dropped = 0;      // lost to ring backpressure (kDrop)
+  std::uint64_t revisions_rejected = 0;   // failed validation/quality gate
+  std::uint64_t degraded_resolves = 0;    // re-solves served last-good
+  std::uint64_t history_evicted = 0;      // PipelineEvents aged out
+};
+
+struct ShardedPipelineOptions {
+  /// Shard count. Lanes are routed die % shards; more shards than
+  /// producer lanes is clamped (an empty shard can do no work).
+  std::size_t shards = 1;
+  /// Producer lanes: how many distinct Sample::die tags feed push().
+  /// 1 (the default) ignores the tag entirely — every window routes to
+  /// lane 0, the single-stream mode bit-identical to OnlinePipeline.
+  std::size_t producers = 1;
+
+  /// Per-process builder configuration; `ways` is filled in from the
+  /// engine's machine when left 0.
+  ProfileBuilderOptions builder{};
+  /// Fault tolerance (ISSUE 3): per-die sanitizers, quality gates,
+  /// degraded re-solves. Off: the pre-hardening control arm.
+  bool harden = true;
+  /// Sanitizer tuning; `ways` is filled in from the engine when 0.
+  SampleSanitizerOptions sanitizer{};
+  /// Reject a revision whose Eq. 3 fit has a relative RMS residual
+  /// above this and keep the last-good profile; 0 disables the gate.
+  double max_fit_rms = 0.75;
+  /// events() ring capacity — the oldest PipelineEvent is evicted
+  /// beyond it (snapshot() counters stay monotonic). 0 = unbounded.
+  std::size_t history_capacity = 4096;
+  /// On-line power refits (ISSUE 5); see OnlinePipelineOptions::power.
+  /// In multi-lane mode the coordinator re-assembles the machine-wide
+  /// window from a complete all-forwarded slice group before feeding
+  /// the refitter (power is measured at the package, not per die).
+  PowerRefitOptions power{};
+
+  /// Phase-coincidence coalescing (ISSUE 7 satellite): when several
+  /// same-seq lanes revise in one merge group, apply every revision
+  /// but re-solve once, on the last. Off (the default) every applied
+  /// revision re-solves — the OnlinePipeline-parity behavior.
+  bool coalesce_resolves = false;
+  /// Quarantined windows retained per shard for forensics
+  /// (`cmpmodel watch --dump-bad`); 0 disables retention.
+  std::size_t quarantine_capacity = 32;
+
+  /// true: push() ingests synchronously on the caller's thread —
+  /// deterministic replay, and with producers = 1 bit-identical to the
+  /// inline OnlinePipeline. false: push() enqueues on the producer
+  /// lane's SPSC ring and the owning shard's worker thread ingests.
+  bool inline_ingest = true;
+  /// Per-lane ring capacity in windows (rounded up to a power of two)
+  /// when inline_ingest is false.
+  std::size_t ring_capacity = 1024;
+  Backpressure backpressure = Backpressure::kBlock;
+};
+
+/// The coordinator's monotonic counters (the old OnlinePipeline::Stats
+/// plus the coalescing counter).
+struct PipelineStats {
+  std::uint64_t windows = 0;            // sample windows ingested (raw)
+  std::uint64_t revisions = 0;          // profile revisions applied
+  std::uint64_t resolves = 0;           // successful equilibrium re-solves
+  std::uint64_t coalesced_resolves = 0;  // re-solves saved by coalescing
+  std::uint64_t solver_iterations = 0;  // summed over re-solves
+  std::uint64_t phase_changes = 0;      // confirmed across builders
+  std::uint64_t power_revisions = 0;    // power refits applied
+  std::uint64_t power_rejected = 0;     // refit attempts gated/refused
+  PipelineHealth health;                // fault-path counters
+};
+
+/// One consistent, locked copy of everything an observer needs; see
+/// OnlinePipeline::snapshot() — same contract, same tear-freedom.
+struct PipelineSnapshot {
+  PipelineStats stats;
+  /// Aggregated verdict counters across every per-die sanitizer;
+  /// zeros when harden is off.
+  SanitizerStats sanitizer;
+  /// Most recent re-solved prediction, if any.
+  std::optional<engine::SystemPrediction> latest;
+  /// One past the newest event: events_since(next_cursor) returns
+  /// nothing until a newer event lands.
+  EventCursor next_cursor = 0;
+};
+
+class ShardedPipeline : private BatchSink {
+ public:
+  ShardedPipeline(engine::ModelEngine& engine,
+                  ShardedPipelineOptions options = {});
+  ~ShardedPipeline() override;
+
+  /// Monitor a process already registered with the engine, on producer
+  /// lane `die` (0 when producers is 1): its current profile seeds the
+  /// builder's baseline and revisions flow to try_apply(handle).
+  void monitor(ProcessId pid, DieId die, engine::ProcessHandle handle);
+
+  /// Monitor a process the engine has never seen — the cold-start
+  /// path. The first emitted revision registers it; until then it has
+  /// no handle and any active query is not re-solved.
+  void monitor(ProcessId pid, DieId die, std::string name);
+
+  /// Handle of a monitored process, once known.
+  std::optional<engine::ProcessHandle> handle_of(ProcessId pid) const;
+
+  /// Co-schedule to re-price after every revision. Until set, revisions
+  /// still update the engine registry but nothing is solved.
+  void set_query(engine::CoScheduleQuery query);
+
+  /// Ingest one window. Its Sample::die tag picks the producer lane
+  /// (ignored when producers is 1); at most one thread may push a
+  /// given lane's windows (the per-lane ring is SPSC).
+  void push(const sim::Sample& sample);
+
+  /// Convenience adapter for System::run.
+  sim::System::SampleCallback sink() {
+    return [this](const sim::Sample& s) { push(s); };
+  }
+
+  /// Wait (ring mode) until every window pushed so far has been
+  /// ingested, flush merge groups still waiting on the watermark
+  /// (an idle lane holds the frontier back), then flush every
+  /// builder's current phase and re-solve once more.
+  void finish();
+
+  /// Unified event log, in global stream order — the most recent
+  /// history_capacity entries (older events evicted).
+  std::deque<PipelineEvent> events() const;
+
+  /// Events with seq >= `since`; see OnlinePipeline::events_since —
+  /// same cursor contract, one seq space across both event kinds.
+  std::vector<PipelineEvent> events_since(EventCursor since) const;
+
+  PipelineSnapshot snapshot() const;
+
+  /// Every shard's quarantine forensics ring, merged and ordered on
+  /// (seq, die) — the `cmpmodel watch --dump-bad` payload.
+  std::vector<QuarantineRecord> quarantined() const;
+
+  const engine::ModelEngine& engine() const { return engine_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  /// One monitored process, indexed by registration order — the slot
+  /// number candidates carry back from the shards.
+  struct Slot {
+    ProcessId pid = 0;
+    DieId lane = 0;
+    std::size_t shard = 0;
+    std::string name;
+    std::optional<engine::ProcessHandle> handle;
+  };
+
+  /// Ring-mode state, one per shard: a RingSet with one SPSC ring per
+  /// producer lane routed to the shard, drained by one worker thread.
+  /// ring_mutex + the condvars exist only for parking (worker on
+  /// empty, kBlock producer / drain waiter on full); the wakeup
+  /// handshake is the two-fence protocol of DESIGN 5.6, unchanged.
+  /// ring_mutex is leaf-level: nothing is called while holding it.
+  struct Ingress {
+    std::unique_ptr<common::RingSet<sim::Sample>> rings;
+    std::thread worker;
+    std::atomic<bool> worker_parked{false};
+    std::atomic<std::uint64_t> drain_waiters{0};
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> drained{0};
+    mutable common::Mutex ring_mutex;
+    common::CondVar ring_cv;   // worker parks here (rings empty)
+    common::CondVar drain_cv;  // kBlock producer / drain waiters park here
+  };
+
+  void monitor_slot(ProcessId pid, DieId die, std::string name,
+                    std::optional<engine::ProcessHandle> handle,
+                    std::unique_ptr<ProfileBuilder> builder);
+  void enqueue(DieId lane, const sim::Sample& sample);
+  void worker_loop(std::size_t shard);
+  void drain_rings();
+
+  /// BatchSink: called by a shard with that shard's mutex held.
+  void deliver(WindowBatch batch) override;
+  void release_ready_locked() REPRO_REQUIRES(mutex_);
+  void process_group_locked(std::vector<WindowBatch> group)
+      REPRO_REQUIRES(mutex_);
+  /// Apply one revision candidate through the engine gates. Returns
+  /// the event to record, or nullopt when the revision was rejected
+  /// (already counted). Solves the active query when `solve`.
+  std::optional<RevisionEvent> apply_candidate_locked(
+      Slot& slot, ProfileRevision revision, Seconds time, bool solve)
+      REPRO_REQUIRES(mutex_);
+  /// Re-solve the active query, updating `event`. Returns whether a
+  /// solve was attempted (query set, every slot registered).
+  bool solve_query_locked(RevisionEvent& event) REPRO_REQUIRES(mutex_);
+  void refit_group_locked(const std::vector<WindowBatch>& group)
+      REPRO_REQUIRES(mutex_);
+  void refit_power_locked(const sim::Sample& sample)
+      REPRO_REQUIRES(mutex_);
+  void record_event_locked(PipelineEvent event) REPRO_REQUIRES(mutex_);
+  PipelineStats stats_locked() const REPRO_REQUIRES(mutex_);
+  std::vector<double> warm_seeds_locked() const REPRO_REQUIRES(mutex_);
+
+  engine::ModelEngine& engine_;
+  ShardedPipelineOptions options_;
+
+  /// Routing tables, immutable after construction: lane → owning
+  /// shard, lane → ring index within that shard's RingSet.
+  std::vector<std::size_t> lane_shard_;
+  std::vector<std::size_t> lane_ring_;
+  std::vector<std::unique_ptr<PipelineShard>> shards_;
+
+  /// The coordinator lock — the model half's single door. Guards the
+  /// merge buffer, the slot table, the event log, every counter, the
+  /// query/prediction state, and (transitively, via the lock order)
+  /// all engine mutation: try_apply is only ever called with mutex_
+  /// held, which is what serializes revisions from concurrent shards.
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_ REPRO_GUARDED_BY(mutex_);
+  std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
+  std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
+  std::optional<PowerRefitter> refitter_ REPRO_GUARDED_BY(mutex_);
+  std::deque<PipelineEvent> events_ REPRO_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ REPRO_GUARDED_BY(mutex_) = 0;
+
+  /// Watermark merge state (producers > 1 only): batches buffered on
+  /// (window seq, lane) and the newest seq each lane has delivered.
+  /// Frontier = min over lanes; groups with seq <= frontier release.
+  std::map<std::pair<std::uint64_t, DieId>, WindowBatch> pending_
+      REPRO_GUARDED_BY(mutex_);
+  std::vector<std::optional<std::uint64_t>> delivered_
+      REPRO_GUARDED_BY(mutex_);
+
+  // Monotonic counters (names match the old pipeline's).
+  std::uint64_t windows_seen_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t windows_forwarded_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t windows_repaired_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t q_order_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t q_implausible_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t q_outlier_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t phase_changes_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t resolves_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t coalesced_resolves_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t solver_iterations_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t revisions_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t degraded_resolves_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t power_revisions_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t power_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t history_evicted_ REPRO_GUARDED_BY(mutex_) = 0;
+
+  /// Ring-mode state (empty under inline_ingest), one entry per shard.
+  std::vector<std::unique_ptr<Ingress>> ingress_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace repro::online

@@ -36,12 +36,24 @@ struct SystemConfig {
   Seconds timeslice = kTimeslice;          // §4.2: 20 ms quantum
   Seconds sample_period = kHpcSamplePeriod;  // §6.1: 30 ms HPC sampling
   std::uint32_t max_processes = 32;
+  /// Stamped onto every emitted Sample as its `die` source tag. A
+  /// fleet of concurrent System producers (one per machine or die)
+  /// gives each its own tag so a sharded pipeline can route their
+  /// windows to distinct shards; a lone producer leaves the default.
+  DieId die_tag = 0;
 };
 
 /// One HPC + power sample (a 30 ms window).
 struct Sample {
   Seconds time = 0.0;      // window end, virtual time
   Seconds duration = 0.0;  // window length (last window may be short)
+  /// Window sequence number: monotonic per System over its lifetime
+  /// (across run() calls). Sharded ingestion merges shard event
+  /// streams deterministically on (seq, die).
+  std::uint64_t seq = 0;
+  /// Source tag for sharded routing: the producing System's
+  /// config().die_tag, or the slice's die after split_sample().
+  DieId die = 0;
   std::vector<hpc::EventRates> core_rates;  // per core; zeros when idle
   Watts true_power = 0.0;      // oracle output (never shown to models)
   Watts measured_power = 0.0;  // via the simulated clamp + DAQ
@@ -119,6 +131,16 @@ class System {
   /// through const methods but must not mutate it.
   RunResult run(Seconds duration, const SampleCallback& on_sample);
 
+  /// Slice one whole-machine window into per-die windows for sharded
+  /// ingestion: slice d carries die d's tag, the core rates of die d's
+  /// cores, and the occupancy/delta/CPU entries of the processes
+  /// assigned to die d's cores (zeros elsewhere, so the slices sum
+  /// back to the original exactly). time/duration/seq and the two
+  /// machine-level power readings are copied onto every slice — power
+  /// is measured at the package, so a consumer coalescing a window
+  /// takes it from any one slice rather than summing.
+  std::vector<Sample> split_sample(const Sample& sample) const;
+
   const SharedCache& l2(DieId die) const;
   const SystemConfig& config() const { return config_; }
   Seconds now() const { return now_; }
@@ -160,6 +182,7 @@ class System {
   std::vector<Core> cores_;
   std::vector<Process> processes_;
   Seconds now_ = 0.0;
+  std::uint64_t sample_seq_ = 0;  // next Sample::seq, lifetime monotonic
 };
 
 }  // namespace repro::sim

@@ -1,432 +1,33 @@
 #include "repro/online/pipeline.hpp"
 
-#include <atomic>
 #include <utility>
-
-#include "repro/common/ensure.hpp"
 
 namespace repro::online {
 
+namespace {
+
+ShardedPipelineOptions to_sharded(OnlinePipelineOptions options) {
+  ShardedPipelineOptions s;
+  s.shards = 1;
+  s.producers = 1;
+  s.builder = std::move(options.builder);
+  s.harden = options.harden;
+  s.sanitizer = std::move(options.sanitizer);
+  s.max_fit_rms = options.max_fit_rms;
+  s.history_capacity = options.history_capacity;
+  s.power = options.power;
+  s.coalesce_resolves = false;  // parity: every applied revision re-solves
+  s.quarantine_capacity = options.quarantine_capacity;
+  s.inline_ingest = options.inline_ingest;
+  s.ring_capacity = options.ring_capacity;
+  s.backpressure = options.backpressure;
+  return s;
+}
+
+}  // namespace
+
 OnlinePipeline::OnlinePipeline(engine::ModelEngine& engine,
                                OnlinePipelineOptions options)
-    : engine_(engine), options_(std::move(options)) {
-  if (options_.builder.ways == 0) options_.builder.ways = engine_.ways();
-  REPRO_ENSURE(options_.builder.ways == engine_.ways(),
-               "builder grid must match the engine's cache ways");
-  {
-    common::MutexLock lock(mutex_);
-    if (options_.harden) {
-      if (options_.sanitizer.ways == 0)
-        options_.sanitizer.ways = engine_.ways();
-      sanitizer_.emplace(options_.sanitizer);
-    }
-    if (options_.power.enabled)
-      refitter_.emplace(engine_.machine().cores, options_.power);
-  }
-  if (!options_.inline_ingest) {
-    ring_ = std::make_unique<common::SpscRing<sim::Sample>>(
-        options_.ring_capacity);
-    worker_ = std::thread(&OnlinePipeline::worker_loop, this);
-  }
-}
-
-OnlinePipeline::~OnlinePipeline() {
-  if (worker_.joinable()) {
-    stop_.store(true, std::memory_order_release);
-    // Same two-fence handshake as enqueue(): either the worker's
-    // park-time re-check sees stop_, or we see it parked and wake it.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    {
-      common::MutexLock lock(ring_mutex_);
-      ring_cv_.notify_one();
-    }
-    worker_.join();  // drains the ring before exiting
-  }
-}
-
-void OnlinePipeline::monitor(ProcessId pid,
-                             engine::ProcessHandle handle) {
-  // The baseline comes from the engine's current snapshot — a
-  // lock-free read, so no lock-order interaction with mutex_.
-  const core::ProcessProfile baseline = engine_.profile(handle);
-  auto m = std::make_unique<Monitored>();
-  m->pid = pid;
-  m->name = baseline.name;
-  m->handle = handle;
-  m->builder = std::make_unique<ProfileBuilder>(baseline.name,
-                                                options_.builder);
-  m->builder->set_baseline(baseline);
-  common::MutexLock lock(mutex_);
-  Monitored* raw = m.get();
-  monitored_.push_back(std::move(m));
-  stream_.attach(
-      pid, [this, raw](const WindowObservation& obs) REPRO_REQUIRES(mutex_) {
-        if (auto revision = raw->builder->push(obs))
-          apply_revision(*raw, std::move(*revision), obs.time);
-      });
-}
-
-void OnlinePipeline::monitor(ProcessId pid, std::string name) {
-  auto m = std::make_unique<Monitored>();
-  m->pid = pid;
-  m->name = name;
-  m->builder = std::make_unique<ProfileBuilder>(std::move(name),
-                                                options_.builder);
-  common::MutexLock lock(mutex_);
-  Monitored* raw = m.get();
-  monitored_.push_back(std::move(m));
-  stream_.attach(
-      pid, [this, raw](const WindowObservation& obs) REPRO_REQUIRES(mutex_) {
-        if (auto revision = raw->builder->push(obs))
-          apply_revision(*raw, std::move(*revision), obs.time);
-      });
-}
-
-std::optional<engine::ProcessHandle> OnlinePipeline::handle_of(
-    ProcessId pid) const {
-  common::MutexLock lock(mutex_);
-  for (const auto& m : monitored_)
-    if (m->pid == pid) return m->handle;
-  return std::nullopt;
-}
-
-void OnlinePipeline::set_query(engine::CoScheduleQuery query) {
-  common::MutexLock lock(mutex_);
-  query_ = std::move(query);
-  latest_.reset();  // stale seeds would belong to the previous query
-}
-
-void OnlinePipeline::push(const sim::Sample& sample) {
-  if (ring_ == nullptr) {
-    // inline_ingest: the whole chain runs here, on the caller's
-    // thread — bit-identical to the pre-ring pipeline.
-    common::MutexLock lock(mutex_);
-    ingest(sample);
-    return;
-  }
-  enqueue(sample);
-}
-
-void OnlinePipeline::enqueue(const sim::Sample& sample) {
-  sim::Sample window = sample;
-  if (!ring_->try_push(window)) {
-    if (options_.backpressure ==
-        OnlinePipelineOptions::Backpressure::kDrop) {
-      // Count-and-drop: the producer never waits; the hole is
-      // surfaced through PipelineHealth::windows_dropped.
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    // kBlock: register as a drain waiter, fence, then re-try — the
-    // worker's symmetric fence-then-check after each pop guarantees
-    // that either our retry sees the freed slot or the worker sees
-    // our registration and notifies (no lost wakeup).
-    common::MutexLock lock(ring_mutex_);
-    drain_waiters_.fetch_add(1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    while (!ring_->try_push(window)) drain_cv_.wait(ring_mutex_);
-    drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
-  }
-  enqueued_.fetch_add(1, std::memory_order_release);
-  // Wake the worker if it parked on an empty ring: publish (the push
-  // above), fence, check the parked flag. Either the worker's
-  // park-time empty re-check sees our element, or we see its flag —
-  // losing the wakeup would need both to fail.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (worker_parked_.load(std::memory_order_relaxed)) {
-    common::MutexLock lock(ring_mutex_);
-    ring_cv_.notify_one();
-  }
-}
-
-void OnlinePipeline::worker_loop() {
-  for (;;) {
-    sim::Sample window;
-    if (ring_->try_pop(window)) {
-      {
-        common::MutexLock lock(mutex_);
-        ingest(window);
-      }
-      drained_.fetch_add(1, std::memory_order_release);
-      // Wake a kBlock producer waiting for a slot or a drain_ring()
-      // waiter — same fence-then-check as the producer side.
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (drain_waiters_.load(std::memory_order_relaxed) > 0) {
-        common::MutexLock lock(ring_mutex_);
-        drain_cv_.notify_all();
-      }
-      continue;
-    }
-    if (stop_.load(std::memory_order_acquire)) return;  // ring drained
-    // Park: publish the flag, fence, re-check the ring and stop_ while
-    // holding ring_mutex_ (the producer notifies under it, so a wakeup
-    // posted after our re-check cannot slip past the wait).
-    common::MutexLock lock(ring_mutex_);
-    worker_parked_.store(true, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (ring_->empty() && !stop_.load(std::memory_order_relaxed))
-      ring_cv_.wait(ring_mutex_);
-    worker_parked_.store(false, std::memory_order_relaxed);
-  }
-}
-
-void OnlinePipeline::drain_ring() {
-  if (ring_ == nullptr) return;
-  // Wait until the worker has ingested everything enqueued before this
-  // call. Windows pushed concurrently with the drain are not covered —
-  // callers (finish, tests) drain after the producer has stopped.
-  const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
-  common::MutexLock lock(ring_mutex_);
-  drain_waiters_.fetch_add(1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  while (drained_.load(std::memory_order_acquire) < target)
-    drain_cv_.wait(ring_mutex_);
-  drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
-}
-
-void OnlinePipeline::ingest(const sim::Sample& sample) {
-  if (!sanitizer_.has_value()) {
-    stream_.push(sample);
-    refit_power(sample);
-    return;
-  }
-  // Quarantined windows reach neither the performance stream nor the
-  // power refitter — the refit consumes the same hardened window path.
-  sim::Sample clean;
-  if (sanitizer_->sanitize(sample, &clean)) {
-    stream_.push(clean);
-    refit_power(clean);
-  }
-}
-
-void OnlinePipeline::refit_power(const sim::Sample& sample) {
-  if (!refitter_.has_value()) return;
-  // Refits revise an existing calibration; a performance-only engine
-  // has nothing to revise. Both reads resolve against the engine's
-  // current snapshot — lock-free, no lock-order interaction.
-  if (!engine_.has_power_model()) return;
-  const core::PowerModel incumbent = engine_.power_model();
-  std::optional<PowerRefitAttempt> attempt =
-      refitter_->push(sample, incumbent);
-  if (!attempt.has_value()) return;
-
-  PowerRevisionEvent event;
-  event.time = attempt->time;
-  event.reason = attempt->reason;
-  event.rank_deficient = attempt->rank_deficient;
-  event.r2 = attempt->fit.r2;
-  event.accuracy = attempt->fit.accuracy;
-  event.candidate_err_pct = attempt->candidate_err_pct;
-  event.incumbent_err_pct = attempt->incumbent_err_pct;
-  event.window_samples = attempt->window_samples;
-  if (attempt->accepted) {
-    event.idle = attempt->model->idle_total();
-    event.coefficients = attempt->model->coefficients();
-    // Validate-before-mutate: a refusal leaves last-good installed
-    // (and published) and carries the engine's reason into the event.
-    const engine::ApplyResult applied =
-        engine_.try_apply(engine::Revision::power_model(*attempt->model));
-    if (applied.applied) {
-      event.applied = true;
-      event.revision = engine_.power_revision();
-      ++power_revisions_;
-    } else {
-      event.reason = applied.reason;
-      ++power_rejected_;
-    }
-  } else {
-    if (!attempt->rank_deficient) {
-      event.idle = attempt->fit.intercept;
-      for (std::size_t i = 0; i < event.coefficients.size(); ++i)
-        event.coefficients[i] = attempt->fit.coefficients[i];
-    }
-    ++power_rejected_;
-  }
-  PipelineEvent wrapped;
-  wrapped.payload = std::move(event);
-  record_event(std::move(wrapped));
-}
-
-void OnlinePipeline::record_event(PipelineEvent event) {
-  event.seq = next_seq_++;
-  events_.push_back(std::move(event));
-  if (options_.history_capacity > 0 &&
-      events_.size() > options_.history_capacity) {
-    events_.pop_front();
-    ++history_evicted_;
-  }
-}
-
-void OnlinePipeline::finish() {
-  drain_ring();
-  common::MutexLock lock(mutex_);
-  for (auto& m : monitored_) {
-    if (auto revision = m->builder->finish()) {
-      // finish() has no window timestamp; reuse the last event's (the
-      // trace stays ordered).
-      const Seconds t = events_.empty() ? 0.0 : events_.back().time();
-      apply_revision(*m, std::move(*revision), t);
-    }
-  }
-}
-
-std::deque<PipelineEvent> OnlinePipeline::events() const {
-  common::MutexLock lock(mutex_);
-  return events_;
-}
-
-std::vector<PipelineEvent> OnlinePipeline::events_since(
-    EventCursor since) const {
-  common::MutexLock lock(mutex_);
-  std::vector<PipelineEvent> out;
-  // Ring seqs are contiguous [next_seq_ - size, next_seq_), so the
-  // first event with seq >= since sits at a computable offset.
-  if (events_.empty() || since >= next_seq_) return out;
-  const std::uint64_t front_seq = next_seq_ - events_.size();
-  const std::uint64_t start = since > front_seq ? since - front_seq : 0;
-  out.reserve(events_.size() - static_cast<std::size_t>(start));
-  for (std::size_t i = static_cast<std::size_t>(start); i < events_.size();
-       ++i)
-    out.push_back(events_[i]);
-  return out;
-}
-
-std::vector<double> OnlinePipeline::warm_seeds() const {
-  if (!latest_.has_value()) return {};
-  // Regroup the previous operating points per core (predict preserves
-  // slot order within a core), then flatten in (core, slot) order —
-  // the CoScheduleQuery::warm_start convention.
-  std::vector<std::vector<double>> per_core(engine_.machine().cores);
-  for (const engine::ProcessOperatingPoint& pt : latest_->processes)
-    per_core[pt.core].push_back(pt.prediction.effective_size);
-  std::vector<double> seeds;
-  for (CoreId c = 0; c < engine_.machine().cores; ++c) {
-    if (per_core[c].size() != query_->assignment.per_core[c].size())
-      return {};  // query changed shape since the last solve: cold
-    for (double s : per_core[c]) seeds.push_back(s);
-  }
-  return seeds;
-}
-
-void OnlinePipeline::apply_revision(Monitored& m, ProfileRevision revision,
-                                    Seconds time) {
-  // Degradation gate 1: a revision whose Eq. 3 fit barely explains its
-  // own windows (mixed phases, residual corruption) must not replace a
-  // working profile. Skipped while the process has no profile at all —
-  // any model beats none for cold start.
-  if (options_.harden && m.handle.has_value() && options_.max_fit_rms > 0.0 &&
-      !(revision.quality.fit_rms <= options_.max_fit_rms)) {
-    ++revisions_rejected_;
-    return;
-  }
-
-  // Degradation gate 2: validation. try_apply/register_process
-  // validate before touching the registry, so a refusal here leaves the
-  // engine's registry and memoized artifacts exactly as they were.
-  if (m.handle.has_value()) {
-    const engine::ApplyResult applied = engine_.try_apply(
-        engine::Revision::process(*m.handle, std::move(revision.profile)));
-    if (!applied.applied) {
-      // The unhardened pipeline (the chaos bench's control arm)
-      // propagates the validation error out of sink(); the hardened
-      // one degrades to last-good and counts the rejection.
-      REPRO_ENSURE(options_.harden, "revision rejected: " + applied.reason);
-      ++revisions_rejected_;
-      return;
-    }
-  } else if (options_.harden) {
-    try {
-      m.handle = engine_.register_process(std::move(revision.profile));
-    } catch (const Error&) {
-      ++revisions_rejected_;
-      return;
-    }
-  } else {
-    m.handle = engine_.register_process(std::move(revision.profile));
-  }
-  ++revisions_;
-
-  RevisionEvent event;
-  event.time = time;
-  event.handle = *m.handle;
-  event.revision = engine_.profile(*m.handle).revision;
-  event.quality = revision.quality;
-
-  if (query_.has_value()) {
-    bool all_registered = true;
-    for (const auto& mon : monitored_)
-      if (!mon->handle.has_value()) all_registered = false;
-    if (all_registered) {
-      engine::CoScheduleQuery q = *query_;
-      q.warm_start = warm_seeds();
-      try {
-        engine::SystemPrediction prediction = engine_.predict(q);
-        ++resolves_;
-        solver_iterations_ +=
-            static_cast<std::uint64_t>(prediction.solver_iterations);
-        event.resolved = true;
-        event.solver_iterations = prediction.solver_iterations;
-        event.prediction = prediction;
-        latest_ = std::move(prediction);
-      } catch (const Error&) {
-        // Degradation gate 3: a failed re-solve (Newton AND its
-        // bisection fallback) must not escape sink(). Re-price from
-        // the last-good equilibrium when there is one.
-        if (!options_.harden) throw;
-        ++degraded_resolves_;
-        event.degraded = true;
-        if (latest_.has_value()) {
-          engine::SystemPrediction carried = *latest_;
-          carried.degraded = true;
-          carried.solver_iterations = 0;
-          event.resolved = true;
-          event.prediction = carried;
-          latest_ = std::move(carried);
-        }
-      }
-    }
-  }
-  PipelineEvent wrapped;
-  wrapped.payload = std::move(event);
-  record_event(std::move(wrapped));
-}
-
-OnlinePipeline::Stats OnlinePipeline::stats_locked() const {
-  Stats s;
-  const SanitizerStats sani =
-      sanitizer_.has_value() ? sanitizer_->stats() : SanitizerStats{};
-  // `windows` counts raw ingested windows whether or not they survived
-  // sanitization, so it stays monotonic and comparable across modes.
-  // In ring mode it counts *ingested* windows: ones dropped by kDrop
-  // backpressure never entered the chain and show up only in
-  // health.windows_dropped.
-  s.windows = sanitizer_.has_value() ? sani.windows : stream_.windows();
-  s.revisions = revisions_;
-  s.resolves = resolves_;
-  s.solver_iterations = solver_iterations_;
-  s.power_revisions = power_revisions_;
-  s.power_rejected = power_rejected_;
-  for (const auto& m : monitored_) s.phase_changes += m->builder->phase_changes();
-  s.health.windows_seen = s.windows;
-  s.health.windows_forwarded =
-      sanitizer_.has_value() ? sani.forwarded : stream_.windows();
-  s.health.windows_repaired = sani.repaired;
-  s.health.windows_quarantined = sani.quarantined;
-  s.health.windows_dropped = dropped_.load(std::memory_order_relaxed);
-  s.health.revisions_rejected = revisions_rejected_;
-  s.health.degraded_resolves = degraded_resolves_;
-  s.health.history_evicted = history_evicted_;
-  return s;
-}
-
-OnlinePipeline::Snapshot OnlinePipeline::snapshot() const {
-  common::MutexLock lock(mutex_);
-  Snapshot s;
-  s.stats = stats_locked();
-  if (sanitizer_.has_value()) s.sanitizer = sanitizer_->stats();
-  s.latest = latest_;
-  s.next_cursor = next_seq_;
-  return s;
-}
+    : impl_(engine, to_sharded(std::move(options))) {}
 
 }  // namespace repro::online

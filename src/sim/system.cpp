@@ -125,6 +125,8 @@ Sample System::take_sample(Seconds window_end, Seconds window_len,
   Sample s;
   s.time = window_end;
   s.duration = window_len;
+  s.seq = sample_seq_++;
+  s.die = config_.die_tag;
   s.core_rates.resize(cores_.size());
   for (std::size_t c = 0; c < cores_.size(); ++c)
     s.core_rates[c] =
@@ -210,6 +212,37 @@ RunResult System::run(Seconds duration, const SampleCallback& on_sample) {
     result.processes.push_back(std::move(r));
   }
   return result;
+}
+
+std::vector<Sample> System::split_sample(const Sample& sample) const {
+  REPRO_ENSURE(sample.core_rates.size() == cores_.size(),
+               "sample shape does not match this System");
+  std::vector<Sample> slices(config_.machine.dies);
+  for (DieId d = 0; d < config_.machine.dies; ++d) {
+    Sample& slice = slices[d];
+    slice.time = sample.time;
+    slice.duration = sample.duration;
+    slice.seq = sample.seq;
+    slice.die = d;
+    slice.true_power = sample.true_power;
+    slice.measured_power = sample.measured_power;
+    slice.core_rates.resize(sample.core_rates.size());
+    slice.occupancy.resize(sample.occupancy.size());
+    slice.process_delta.resize(sample.process_delta.size());
+    slice.process_cpu.resize(sample.process_cpu.size());
+  }
+  for (std::size_t c = 0; c < sample.core_rates.size(); ++c)
+    slices[config_.machine.core_to_die[c]].core_rates[c] =
+        sample.core_rates[c];
+  for (ProcessId pid = 0; pid < sample.process_delta.size() &&
+                          pid < processes_.size();
+       ++pid) {
+    const DieId d = config_.machine.core_to_die[processes_[pid].core];
+    slices[d].occupancy[pid] = sample.occupancy[pid];
+    slices[d].process_delta[pid] = sample.process_delta[pid];
+    slices[d].process_cpu[pid] = sample.process_cpu[pid];
+  }
+  return slices;
 }
 
 const SharedCache& System::l2(DieId die) const {

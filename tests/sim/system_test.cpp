@@ -185,6 +185,60 @@ TEST(System, BusyPowerExceedsIdlePower) {
   EXPECT_GT(p_busy, p_idle + 1.0);
 }
 
+TEST(System, SplitSampleSlicesPartitionTheWindowExactly) {
+  // Sharded ingestion (ISSUE 7) slices each whole-machine window into
+  // per-die windows; the slices must carry the right tags and sum back
+  // to the original exactly — nothing lost, nothing double-counted.
+  SystemConfig cfg;
+  cfg.machine = four_core_server();  // 2 dies x 2 cores
+  System system(cfg, power::oracle_for_four_core_server(), 7);
+  system.add_process("gzip", 0, workload::find_spec("gzip").mix,
+                     gen("gzip", cfg.machine));
+  system.add_process("art", 2, workload::find_spec("art").mix,
+                     gen("art", cfg.machine));
+  system.warm_up(0.05);
+  const RunResult run = system.run(0.12);
+  ASSERT_FALSE(run.samples.empty());
+
+  for (const Sample& whole : run.samples) {
+    const std::vector<Sample> slices = system.split_sample(whole);
+    ASSERT_EQ(slices.size(), cfg.machine.dies);
+    hpc::Counters sum_delta[2];
+    double sum_cpu[2] = {0.0, 0.0};
+    for (DieId die = 0; die < cfg.machine.dies; ++die) {
+      const Sample& s = slices[die];
+      EXPECT_EQ(s.die, die);
+      EXPECT_EQ(s.seq, whole.seq);
+      EXPECT_DOUBLE_EQ(s.time, whole.time);
+      EXPECT_DOUBLE_EQ(s.duration, whole.duration);
+      // Package-level power is copied onto every slice, not split.
+      EXPECT_DOUBLE_EQ(s.measured_power, whole.measured_power);
+      // A process's counters appear only on its die's slice: gzip runs
+      // on core 0 (die 0), art on core 2 (die 1).
+      EXPECT_DOUBLE_EQ(s.process_delta[0].instructions,
+                       die == 0 ? whole.process_delta[0].instructions : 0.0);
+      EXPECT_DOUBLE_EQ(s.process_delta[1].instructions,
+                       die == 1 ? whole.process_delta[1].instructions : 0.0);
+      for (std::size_t pid = 0; pid < 2; ++pid) {
+        sum_delta[pid] += s.process_delta[pid];
+        sum_cpu[pid] += s.process_cpu[pid];
+      }
+      for (CoreId c = 0; c < cfg.machine.cores; ++c) {
+        const bool on_die = cfg.machine.core_to_die[c] == die;
+        EXPECT_DOUBLE_EQ(s.core_rates[c].ips,
+                         on_die ? whole.core_rates[c].ips : 0.0);
+      }
+    }
+    for (std::size_t pid = 0; pid < 2; ++pid) {
+      EXPECT_DOUBLE_EQ(sum_delta[pid].instructions,
+                       whole.process_delta[pid].instructions);
+      EXPECT_DOUBLE_EQ(sum_delta[pid].l2_misses,
+                       whole.process_delta[pid].l2_misses);
+      EXPECT_DOUBLE_EQ(sum_cpu[pid], whole.process_cpu[pid]);
+    }
+  }
+}
+
 TEST(System, RejectsBadConfiguration) {
   const SystemConfig cfg = small_system();
   System system(cfg, power::oracle_for_two_core_workstation(), 11);

@@ -15,6 +15,7 @@
 //                     [--fault-rate 0.05] [--faults drop,wrap,spike]
 //                     [--fault-seed 1] [--sanitize on|off]
 //                     [--power-refit on|off] [--ingest inline|ring]
+//                     [--shards N] [--coalesce on] [--dump-bad on]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
@@ -42,6 +43,16 @@
 // machine-diffable trace for CI; human chatter moves to stderr.
 // --ingest ring routes windows through the pipeline's bounded SPSC
 // ring onto its worker thread instead of processing them inline.
+// --shards N (> 1) runs the sharded pipeline (ISSUE 7): each machine
+// window is split into per-die slices, one producer lane per die, and
+// the lanes route to N PipelineShards whose batches the coordinator
+// merges back into one deterministic event log — with --shards 1 (the
+// default) the single-stream pipeline runs, bit-identical to the
+// pre-sharding watch. --coalesce on collapses the re-solves of a
+// same-window multi-die phase coincidence into one (the summary's
+// "coalesced" count). --dump-bad on dumps the quarantine forensics
+// ring — the last quarantined windows with their sanitizer verdicts —
+// after the run.
 //
 // When the store supplies a power model, every window that carries
 // ground truth (a finite, positive measured clamp power) also reports
@@ -76,6 +87,7 @@
 #include "repro/engine/model_engine.hpp"
 #include "repro/math/stats.hpp"
 #include "repro/online/pipeline.hpp"
+#include "repro/online/sharded_pipeline.hpp"
 #include "repro/sim/fault_injector.hpp"
 #include "repro/sim/system.hpp"
 #include "repro/workload/generator.hpp"
@@ -536,6 +548,12 @@ int cmd_watch(const Args& args) {
   const std::string ingest = args.get("ingest", "inline");
   REPRO_ENSURE(ingest == "inline" || ingest == "ring",
                "--ingest must be 'inline' or 'ring'");
+  const std::size_t shard_count =
+      static_cast<std::size_t>(std::stoull(args.get("shards", "1")));
+  REPRO_ENSURE(shard_count > 0, "--shards must be positive");
+  const bool sharded = shard_count > 1;
+  const bool coalesce = args.get("coalesce", "off") != "off";
+  const bool dump_bad = args.get("dump-bad", "off") != "off";
 
   // An existing store contributes its power model (prices re-solves);
   // profiles always come from the stream — that is the point.
@@ -558,6 +576,7 @@ int cmd_watch(const Args& args) {
   cfg.machine = m.machine;
   sim::System system(cfg, m.oracle, 1);
   std::vector<ProcessId> pids(names.size());
+  std::vector<DieId> dies(names.size(), 0);
   for (CoreId c = 0; c < m.machine.cores; ++c)
     for (std::size_t idx : slots.per_core[c]) {
       std::vector<workload::PhaseSegment> segments;
@@ -568,17 +587,26 @@ int cmd_watch(const Args& args) {
           names[idx], c, mix,
           std::make_unique<workload::PhasedGenerator>(std::move(segments),
                                                       m.machine.l2.sets));
+      dies[idx] = m.machine.core_to_die[c];
     }
 
-  online::OnlinePipelineOptions pipe_options;
+  online::ShardedPipelineOptions pipe_options;
   pipe_options.builder.phase.min_phase_windows = 5;
   pipe_options.builder.refit_interval = 8;
   pipe_options.builder.min_fit_windows = 4;
   pipe_options.harden = sanitize;
   // Ring ingestion moves window processing onto the pipeline's worker
-  // thread; the sink returns as soon as the window is enqueued. The
+  // threads; the sink returns as soon as the window is enqueued. The
   // event stream is identical either way, only its timing shifts.
   pipe_options.inline_ingest = ingest != "ring";
+  // Sharded mode: one producer lane per die (the watch splits each
+  // machine window into per-die slices below); the shard count is
+  // clamped to the lane count by the pipeline. --shards 1 keeps the
+  // whole-window single-lane mode, bit-identical to the pre-sharding
+  // watch.
+  pipe_options.shards = shard_count;
+  pipe_options.producers = sharded ? m.machine.dies : 1;
+  pipe_options.coalesce_resolves = coalesce;
   // The refit needs an incumbent to revise, so it engages only when the
   // store supplied a power model. Intervals are tightened from the
   // production defaults so short watches see the loop at work.
@@ -587,9 +615,9 @@ int cmd_watch(const Args& args) {
     pipe_options.power.refit_interval = 16;
     pipe_options.power.min_fit_windows = 16;
   }
-  online::OnlinePipeline pipe(*eng, pipe_options);
+  online::ShardedPipeline pipe(*eng, pipe_options);
   for (std::size_t idx = 0; idx < names.size(); ++idx)
-    pipe.monitor(pids[idx], names[idx]);
+    pipe.monitor(pids[idx], sharded ? dies[idx] : 0, names[idx]);
 
   if (!json) {
     std::printf("watching %zu processes for %.2fs of virtual time...\n\n",
@@ -599,7 +627,20 @@ int cmd_watch(const Args& args) {
   }
 
   bool query_set = false;
-  auto sink = pipe.sink();
+  // In sharded mode each machine window fans out as per-die slices —
+  // one per producer lane; the coordinator's watermark merge reunites
+  // them. (The fault injector, when active, corrupts the machine
+  // window before the split, so a duplicated or reordered window
+  // perturbs every lane coherently, as a broken daemon would.)
+  sim::System::SampleCallback sink;
+  if (sharded) {
+    sink = [&system, &pipe](const sim::Sample& s) {
+      for (const sim::Sample& slice : system.split_sample(s))
+        pipe.push(slice);
+    };
+  } else {
+    sink = pipe.sink();
+  }
   std::optional<sim::FaultInjector> chaos;
   if (fault_rate > 0.0) {
     sim::FaultInjectorOptions fi;
@@ -712,12 +753,13 @@ int cmd_watch(const Args& args) {
     }
   }
 
-  const online::OnlinePipeline::Stats stats = pipe.snapshot().stats;
+  const online::PipelineStats stats = pipe.snapshot().stats;
   if (json) {
     const online::PipelineHealth& h = stats.health;
     std::printf(
         "{\"summary\":{\"windows\":%llu,\"revisions\":%llu,"
         "\"phase_changes\":%llu,\"resolves\":%llu,"
+        "\"coalesced_resolves\":%llu,"
         "\"solver_iterations\":%llu,"
         "\"power\":{\"revisions\":%llu,\"rejected\":%llu,"
         "\"mean_err_pct\":%.6g,\"err_windows\":%llu},"
@@ -729,6 +771,7 @@ int cmd_watch(const Args& args) {
         static_cast<unsigned long long>(stats.revisions),
         static_cast<unsigned long long>(stats.phase_changes),
         static_cast<unsigned long long>(stats.resolves),
+        static_cast<unsigned long long>(stats.coalesced_resolves),
         static_cast<unsigned long long>(stats.solver_iterations),
         static_cast<unsigned long long>(stats.power_revisions),
         static_cast<unsigned long long>(stats.power_rejected),
@@ -753,6 +796,10 @@ int cmd_watch(const Args& args) {
                     ? static_cast<double>(stats.solver_iterations) /
                           static_cast<double>(stats.resolves)
                     : 0.0);
+    if (stats.coalesced_resolves > 0)
+      std::printf("coalesced %llu re-solve(s) across same-window phase "
+                  "coincidences\n",
+                  static_cast<unsigned long long>(stats.coalesced_resolves));
     const online::PipelineHealth& health = stats.health;
     std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
                 "%llu quarantined, %llu dropped), %llu revisions rejected, "
@@ -787,6 +834,42 @@ int cmd_watch(const Args& args) {
                   static_cast<unsigned long long>(f.scaled),
                   static_cast<unsigned long long>(f.spiked),
                   static_cast<unsigned long long>(f.zeroed));
+    }
+  }
+
+  if (dump_bad) {
+    // Quarantine forensics: the raw rejected windows each shard
+    // retained, merged across shards in (seq, die) order.
+    const std::vector<online::QuarantineRecord> bad = pipe.quarantined();
+    if (json) {
+      std::printf("{\"quarantined\":[");
+      for (std::size_t i = 0; i < bad.size(); ++i) {
+        const online::QuarantineRecord& r = bad[i];
+        double instructions = 0.0;
+        for (const auto& delta : r.window.process_delta)
+          instructions += delta.instructions;
+        std::printf("%s{\"t\":%.6g,\"die\":%u,\"seq\":%llu,"
+                    "\"verdict\":\"%s\",\"measured_power\":%.6g,"
+                    "\"instructions\":%.6g}",
+                    i > 0 ? "," : "", r.time, r.die,
+                    static_cast<unsigned long long>(r.seq),
+                    online::to_string(r.verdict), r.window.measured_power,
+                    instructions);
+      }
+      std::printf("]}\n");
+    } else {
+      std::printf("\nquarantine forensics: %zu window(s) retained\n",
+                  bad.size());
+      for (const online::QuarantineRecord& r : bad) {
+        double instructions = 0.0;
+        for (const auto& delta : r.window.process_delta)
+          instructions += delta.instructions;
+        std::printf("  t=%-8.3f die %-2u seq %-6llu %-12s "
+                    "measured %8.2f W  instr %.3g\n",
+                    r.time, r.die, static_cast<unsigned long long>(r.seq),
+                    online::to_string(r.verdict), r.window.measured_power,
+                    instructions);
+      }
     }
   }
 

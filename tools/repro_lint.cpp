@@ -22,6 +22,14 @@
 //                          message (the expression alone is not a
 //                          diagnosis)
 //   todo/owner             TODO comments name an owner: TODO(name): ...
+//   lock/cross-shard       in the shard layer (online/shard.{cpp,hpp}):
+//                          no ModelEngine mutation (try_apply /
+//                          register_process — revisions flow through
+//                          the coordinator's single door) and no lock
+//                          acquisition that reaches through another
+//                          object (a shard may lock only its own
+//                          mutex_; shard → other-shard locking is the
+//                          deadlock shape DESIGN 5.7 bans)
 //
 // Output is machine-readable, one finding per line:
 //   <file>:<line>: <rule-id>: <message>
@@ -32,6 +40,8 @@
 // Usage:
 //   repro_lint --root <repo> [--supp <file>] [--compiler <cc>]
 //              [--no-compile]
+//   repro_lint --self-test   # prove lock/cross-shard fires on seeded
+//                            # violations and stays quiet on clean code
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -313,6 +323,67 @@ void check_ensure_messages(const std::string& code, const std::string& raw,
   }
 }
 
+/// lock/cross-shard (ISSUE 7): PipelineShard owns the streaming half
+/// only. Engine mutation is the coordinator's single serialized door,
+/// and the documented lock order (shard mutex → coordinator mutex →
+/// engine builder lock) stays acyclic only if a shard never acquires
+/// anything but its own mutex_.
+void check_cross_shard(const std::string& code, const std::string& file,
+                       std::vector<Finding>& out) {
+  find_identifier(code, file, "try_apply", "lock/cross-shard",
+                  "engine mutation from shard code; revisions must flow "
+                  "through the coordinator's single try_apply door",
+                  out);
+  find_identifier(code, file, "register_process", "lock/cross-shard",
+                  "engine mutation from shard code; registration happens "
+                  "in the coordinator's apply path",
+                  out);
+  // A lock whose constructor argument reaches through another object
+  // ('.' or '->') is a foreign-mutex acquisition: a shard may lock
+  // only its own mutex_, named directly.
+  static constexpr std::string_view kLocks[] = {"MutexLock", "lock_guard",
+                                                "unique_lock",
+                                                "shared_lock"};
+  for (const std::string_view needle : kLocks) {
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      // Accept only "<Lock>[<...>] name (" — template args, whitespace,
+      // and one variable name between the class and the open paren.
+      std::size_t i = pos;
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              is_ident_char(code[i]) || code[i] == '<' || code[i] == '>' ||
+              code[i] == ':' || code[i] == ',' || code[i] == '&' ||
+              code[i] == '*'))
+        ++i;
+      if (i >= code.size() || code[i] != '(') continue;
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i; j < code.size(); ++j) {
+        if (code[j] == '(')
+          ++depth;
+        else if (code[j] == ')' && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == std::string::npos) continue;
+      const std::string arg = code.substr(i + 1, close - i - 1);
+      if (arg.find("->") != std::string::npos ||
+          arg.find('.') != std::string::npos)
+        out.push_back(
+            {file, line_of(code, at), "lock/cross-shard",
+             "lock acquired through another object; a shard may lock "
+             "only its own mutex_ (cross-shard locking breaks the "
+             "DESIGN 5.7 lock order)"});
+    }
+  }
+}
+
 void check_todo_owner(const std::string& raw, const std::string& file,
                       std::vector<Finding>& out) {
   std::size_t pos = 0;
@@ -380,6 +451,9 @@ void scan_file(const fs::path& path, const std::string& rel,
                     "(REPRO_ENSURE for precondition checks is fine)",
                     out);
 
+  if (rel.ends_with("online/shard.cpp") || rel.ends_with("online/shard.hpp"))
+    check_cross_shard(code, rel, out);
+
   if (under(rel, "src/math/") || under(rel, "src/core/") ||
       under(rel, "include/repro/math/") || under(rel, "include/repro/core/"))
     check_float_eq(code, rel, out);
@@ -439,6 +513,67 @@ std::vector<Suppression> load_suppressions(const fs::path& file,
   return supp;
 }
 
+/// --self-test: write a seeded shard.cpp carrying every cross-shard
+/// violation shape and a clean counterpart, run the real scan_file
+/// dispatch over both, and demand red (exactly the seeded findings)
+/// then green. Proves the rule cannot rot silently.
+int run_self_test() {
+  const fs::path dir =
+      fs::temp_directory_path() / "repro_lint_selftest" / "src" / "online";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "repro-lint: self-test: cannot create %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  const fs::path file = dir / "shard.cpp";
+
+  // Three seeded violations: a foreign-mutex lock, an engine mutation,
+  // and an engine registration — one finding each.
+  static constexpr const char* kSeeded =
+      "#include \"repro/online/shard.hpp\"\n"
+      "namespace repro::online {\n"
+      "void PipelineShard::rogue(engine::ModelEngine& engine,\n"
+      "                          PipelineShard& peer) {\n"
+      "  common::MutexLock lock(peer.mutex_);\n"
+      "  engine.try_apply(engine::Revision::process(0, {}));\n"
+      "  engine.register_process({});\n"
+      "}\n"
+      "}  // namespace repro::online\n";
+  static constexpr const char* kClean =
+      "#include \"repro/online/shard.hpp\"\n"
+      "namespace repro::online {\n"
+      "void PipelineShard::fine() {\n"
+      "  common::MutexLock lock(mutex_);\n"
+      "  sink_.deliver(WindowBatch{});\n"
+      "}\n"
+      "}  // namespace repro::online\n";
+
+  auto cross_shard_findings = [&](const char* content) -> long {
+    std::ofstream(file, std::ios::binary) << content;
+    std::vector<Finding> all;
+    scan_file(file, "src/online/shard.cpp", all);
+    return std::count_if(all.begin(), all.end(), [](const Finding& f) {
+      return f.rule == "lock/cross-shard";
+    });
+  };
+  const long red = cross_shard_findings(kSeeded);
+  const long green = cross_shard_findings(kClean);
+  fs::remove_all(fs::temp_directory_path() / "repro_lint_selftest", ec);
+
+  std::fprintf(stderr,
+               "repro-lint: self-test: seeded shard.cpp -> %ld "
+               "lock/cross-shard findings (want 3), clean -> %ld (want 0)\n",
+               red, green);
+  if (red != 3 || green != 0) {
+    std::fprintf(stderr, "repro-lint: self-test FAILED\n");
+    return 1;
+  }
+  std::fprintf(stderr, "repro-lint: self-test passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -460,10 +595,12 @@ int main(int argc, char** argv) {
       opt.compiler = value();
     else if (arg == "--no-compile")
       opt.compile_headers = false;
+    else if (arg == "--self-test")
+      return run_self_test();
     else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: repro_lint --root <repo> [--supp <file>] "
-          "[--compiler <cc>] [--no-compile]\n");
+          "[--compiler <cc>] [--no-compile] | repro_lint --self-test\n");
       return 0;
     } else {
       std::fprintf(stderr, "repro-lint: unknown option %s\n", argv[i]);
