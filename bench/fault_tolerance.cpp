@@ -323,10 +323,47 @@ int main() {
          "final power error above 2x the clean-run error");
   }
 
-  // --- Mixed-fault arm: every class at once, hardened vs unhardened
-  // on the identical stream. ---
+  // --- Correlated burst arm (ISSUE 8): the wedged-daemon failure
+  // mode — losses arrive in multi-window runs a two-state Markov
+  // chain produces, not as independent coin flips. ---
+  sim::FaultInjectorOptions burst_opt;
+  burst_opt.seed = 0xc0ffeeULL;
+  burst_opt.burst_enter = 0.08;
+  burst_opt.burst_exit = 0.35;
+  burst_opt.burst_drop = 1.0;
+  const ArmResult burst = arm(burst_opt, /*harden=*/true);
+  const double burst_err = burst.threw
+                               ? std::numeric_limits<double>::infinity()
+                               : rel_err(burst.spi);
+  const double burst_perr = burst.threw
+                                ? std::numeric_limits<double>::infinity()
+                                : rel_perr(burst.power);
+  std::printf("burst  : %llu bursts swallowed %llu windows | forwarded "
+              "%3llu quarantined %llu | err SPI %5.1f%% power %5.1f%%\n",
+              static_cast<unsigned long long>(burst.inj.bursts),
+              static_cast<unsigned long long>(burst.inj.burst_dropped),
+              static_cast<unsigned long long>(burst.san.forwarded),
+              static_cast<unsigned long long>(burst.san.quarantined),
+              100.0 * burst_err, 100.0 * burst_perr);
+  gate(!burst.threw, "burst", "exception escaped the hardened pipeline");
+  if (!burst.threw) {
+    gate(burst.inj.bursts > 0 && burst.inj.burst_dropped > 0, "burst",
+         "the chain never burst — the arm proves nothing");
+    gate(burst.stats.health.windows_seen ==
+             burst.inj.windows_seen - burst.inj.burst_dropped,
+         "burst", "burst-dropped windows not reflected in windows_seen");
+    gate(burst_err <= 2.0 * err_floor, "burst",
+         "final SPI error above 2x the clean-run error");
+    gate(burst_perr <= 2.0 * perr_floor, "burst",
+         "final power error above 2x the clean-run error");
+  }
+
+  // --- Mixed-fault arm: every class at once (correlated bursts
+  // included), hardened vs unhardened on the identical stream. ---
   sim::FaultInjectorOptions chaos;
   chaos.seed = 0xc0ffeeULL;
+  chaos.burst_enter = 0.05;
+  chaos.burst_exit = 0.35;
   chaos.drop = 0.08;
   chaos.duplicate = 0.10;
   chaos.reorder = 0.08;

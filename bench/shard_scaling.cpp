@@ -95,7 +95,7 @@ sim::MachineConfig eight_core_machine() {
 /// fires. `seq` jitters the magnitudes so consecutive windows are not
 /// byte-identical.
 sim::Sample make_window(const sim::MachineConfig& machine, DieId lane,
-                        std::uint64_t seq) {
+                        std::uint64_t seq, bool sweep = false) {
   constexpr std::size_t kTotal = kLanes * kProcsPerLane;
   sim::Sample s;
   s.duration = 0.03;
@@ -122,6 +122,17 @@ sim::Sample make_window(const sim::MachineConfig& machine, DieId lane,
         s.duration * 2.0 / static_cast<double>(kProcsPerLane);
     s.occupancy[pid] =
         static_cast<double>(machine.l2.ways) / static_cast<double>(kProcsPerLane);
+    if (sweep) {
+      // The journal arms open the mutation door, so the windows must
+      // actually fit: occupancy sweeps a few points and MPA/SPI follow
+      // exact linear relations (the same recipe the pipeline tests
+      // use), making every refit a clean Eq. 3 fit.
+      const double occ = 2.0 + 2.0 * static_cast<double>((seq + pid) % 6);
+      const double mpa = 0.25 - 0.015 * occ;
+      d.l2_misses = mpa * d.l2_refs;
+      s.process_cpu[pid] = d.instructions * (2.0e-9 + 4.0e-9 * mpa);
+      s.occupancy[pid] = occ;
+    }
   }
   return s;
 }
@@ -140,7 +151,16 @@ struct ArmResult {
 /// Stream `windows_per_lane` windows down each of the four lanes from
 /// four producer threads and time push-to-drain (finish() included, so
 /// both arms pay the same flush).
-ArmResult run_arm(std::size_t shards, std::uint64_t windows_per_lane) {
+struct ArmConfig {
+  std::size_t shards = 1;
+  /// Open the engine-mutation door (occupancy-sweeping windows, real
+  /// refits) instead of timing the streaming half alone.
+  bool fit = false;
+  /// Journal applied revisions here (empty = durability off).
+  std::string journal_path;
+};
+
+ArmResult run_arm(const ArmConfig& config, std::uint64_t windows_per_lane) {
   const sim::MachineConfig machine = eight_core_machine();
   const core::PowerModel power = power_model();
   engine::EngineOptions eng_options;
@@ -148,11 +168,20 @@ ArmResult run_arm(std::size_t shards, std::uint64_t windows_per_lane) {
   engine::ModelEngine eng(machine, power, eng_options);
 
   online::ShardedPipelineOptions options;
-  options.shards = shards;
+  options.shards = config.shards;
   options.producers = kLanes;
-  // No revision may ever fit: the arms time the streaming half alone.
-  options.builder.refit_interval = 0;
-  options.builder.min_fit_windows = std::numeric_limits<std::size_t>::max();
+  if (config.fit) {
+    options.builder.refit_interval = 6;
+    options.builder.min_fit_windows = 4;
+  } else {
+    // No revision may ever fit: the arms time the streaming half alone.
+    options.builder.refit_interval = 0;
+    options.builder.min_fit_windows = std::numeric_limits<std::size_t>::max();
+  }
+  if (!config.journal_path.empty()) {
+    options.durability.journal_path = config.journal_path;
+    options.durability.recover = false;  // fresh arm, fresh journal
+  }
   options.inline_ingest = false;
   options.ring_capacity = 256;
   options.backpressure = online::Backpressure::kBlock;
@@ -174,7 +203,7 @@ ArmResult run_arm(std::size_t shards, std::uint64_t windows_per_lane) {
     producers.emplace_back([&, lane] {
       const sim::MachineConfig m = eight_core_machine();
       for (std::uint64_t seq = 0; seq < windows_per_lane; ++seq)
-        pipe.push(make_window(m, static_cast<DieId>(lane), seq));
+        pipe.push(make_window(m, static_cast<DieId>(lane), seq, config.fit));
     });
   for (std::thread& t : producers) t.join();
   pipe.finish();
@@ -196,8 +225,8 @@ int run(bool quick) {
               static_cast<unsigned long long>(windows_per_lane),
               kProcsPerLane, hw);
 
-  const ArmResult one = run_arm(1, windows_per_lane);
-  const ArmResult four = run_arm(4, windows_per_lane);
+  const ArmResult one = run_arm({.shards = 1}, windows_per_lane);
+  const ArmResult four = run_arm({.shards = 4}, windows_per_lane);
 
   const double one_wps = static_cast<double>(total) / one.seconds;
   const double four_wps = static_cast<double>(total) / four.seconds;
@@ -236,12 +265,60 @@ int run(bool quick) {
   std::printf("  parity   : both arms forwarded all %llu windows\n",
               static_cast<unsigned long long>(total));
 
+  // --- Journal overhead arms (ISSUE 8): the mutation door open, real
+  // refits journaled at the default fsync policy, vs the identical
+  // stream with durability off. ---
+  const std::string journal_path = "bench_shard_scaling.journal.tmp";
+  std::remove(journal_path.c_str());
+  const ArmResult plain = run_arm({.shards = 4, .fit = true},
+                                  windows_per_lane);
+  const ArmResult journaled = run_arm(
+      {.shards = 4, .fit = true, .journal_path = journal_path},
+      windows_per_lane);
+  std::remove(journal_path.c_str());
+
+  const double plain_wps = static_cast<double>(total) / plain.seconds;
+  const double journal_wps = static_cast<double>(total) / journaled.seconds;
+  const double overhead = journal_wps / plain_wps;
+  std::printf("  fit      : %9.0f windows/s  (%.3f s, %llu revisions)\n",
+              plain_wps, plain.seconds,
+              static_cast<unsigned long long>(plain.stats.revisions));
+  std::printf("  fit+jrnl : %9.0f windows/s  (%.3f s, %llu events "
+              "journaled, %.0f%% of no-journal)\n",
+              journal_wps, journaled.seconds,
+              static_cast<unsigned long long>(
+                  journaled.stats.journaled_events),
+              100.0 * overhead);
+  if (journaled.stats.journaled_events == 0 ||
+      journaled.stats.health.journal_write_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: journal arm journaled %llu events with %llu write "
+                 "failures — the overhead comparison is vacuous\n",
+                 static_cast<unsigned long long>(
+                     journaled.stats.journaled_events),
+                 static_cast<unsigned long long>(
+                     journaled.stats.health.journal_write_failures));
+    return 1;
+  }
+  if (plain.stats.revisions != journaled.stats.revisions ||
+      plain.stats.windows != journaled.stats.windows) {
+    std::fprintf(stderr,
+                 "FAIL: journal arm diverged (%llu vs %llu revisions, "
+                 "%llu vs %llu windows) — durability must not change "
+                 "what the pipeline computes\n",
+                 static_cast<unsigned long long>(plain.stats.revisions),
+                 static_cast<unsigned long long>(journaled.stats.revisions),
+                 static_cast<unsigned long long>(plain.stats.windows),
+                 static_cast<unsigned long long>(journaled.stats.windows));
+    return 1;
+  }
+
   if (quick) {
-    std::printf("  (perf gate skipped: --quick)\n");
+    std::printf("  (perf gates skipped: --quick)\n");
     return 0;
   }
   if (hw < 4) {
-    std::printf("  (perf gate skipped: fewer than 4 hardware threads)\n");
+    std::printf("  (perf gates skipped: fewer than 4 hardware threads)\n");
     return 0;
   }
   // ISSUE 7 acceptance: >= 2x aggregate ingest throughput at 4 shards.
@@ -249,6 +326,15 @@ int run(bool quick) {
     std::fprintf(stderr,
                  "FAIL: 4-shard speedup %.2fx < 2x with %u hw threads\n",
                  speedup, hw);
+    return 1;
+  }
+  // ISSUE 8 acceptance: journaling at the default fsync policy costs
+  // at most 10% of ingest throughput.
+  if (overhead < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: journal arm at %.0f%% of no-journal throughput "
+                 "(floor 90%%)\n",
+                 100.0 * overhead);
     return 1;
   }
   return 0;

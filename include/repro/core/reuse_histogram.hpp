@@ -27,6 +27,16 @@ class ReuseHistogram {
   /// renormalized exactly.
   ReuseHistogram(std::vector<double> pmf, double tail_mass);
 
+  /// Build from probabilities that were themselves produced by this
+  /// class (store/journal deserialization). Validates the same sum
+  /// invariant but keeps the values bit-exact instead of renormalizing:
+  /// a written histogram's bins sum to 1 only up to double rounding, so
+  /// re-dividing by that near-1 total on every read would perturb each
+  /// bin by an ULP and break write→read→write byte-identity — the
+  /// property crash recovery's replay-equivalence proof rests on.
+  static ReuseHistogram from_serialized(std::vector<double> pmf,
+                                        double tail_mass);
+
   /// Build from an MPA curve sampled at integer effective sizes:
   /// mpa_at_ways[s-1] = MPA(S = s) for s = 1..A. Requires a weakly
   /// decreasing curve in [0, 1] (enforced by clamping measurement
@@ -52,6 +62,8 @@ class ReuseHistogram {
   const math::PiecewiseLinear& mpa_curve() const { return mpa_curve_; }
 
  private:
+  ReuseHistogram() = default;  // from_serialized fills the fields itself
+
   void build_curve();
 
   std::vector<double> pmf_;

@@ -1,0 +1,62 @@
+// Engine checkpoints — atomic, checksummed snapshots of ModelEngine
+// state (ISSUE 8).
+//
+// A checkpoint is an EngineSnapshot rendered in the store format
+// (profiles in ascending-handle order + the Eq. 9 power model),
+// bracketed by a `checkpoint v1` meta line carrying the epoch, the
+// power-revision counter, and `journal_next` — the first journal event
+// seq NOT folded in — and sealed with a CRC-32C footer. Publication is
+// atomic (temp file + fsync + rename via common::atomic_write_file):
+// a crash mid-checkpoint leaves the previous checkpoint intact, never
+// a torn file. Recovery loads the newest valid checkpoint, restores a
+// fresh engine from it, and replays the journal from `journal_next`
+// (see repro/online/journal.hpp for the replay side).
+//
+// engine_state_text() is the canonical serialization over which the
+// durability tests define "byte-identical recovered state": profiles
+// in live-handle order at max_digits10 (doubles round-trip exactly)
+// plus the power model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "repro/core/serialize.hpp"
+#include "repro/engine/model_engine.hpp"
+
+namespace repro::engine {
+
+/// The snapshot's model state as a store: profiles in ascending-handle
+/// order plus the power model, if any.
+core::ModelStore store_of(const EngineSnapshot& snapshot);
+
+/// Canonical serialization of the snapshot's model state — the
+/// byte-identity yardstick of the recovery tests.
+std::string engine_state_text(const EngineSnapshot& snapshot);
+
+/// Render a checkpoint of `snapshot` with `journal_next` as the replay
+/// resume point.
+std::string checkpoint_text(const EngineSnapshot& snapshot,
+                            std::uint64_t journal_next);
+
+/// Atomically publish a checkpoint of `snapshot` to `path`. Throws
+/// repro::Error on I/O failure; on success the file is durable and
+/// was never observable in a partially-written state.
+void save_checkpoint(const std::string& path, const EngineSnapshot& snapshot,
+                     std::uint64_t journal_next);
+
+/// Load + verify a checkpoint. std::nullopt when the file does not
+/// exist; throws repro::Error (with a "checkpoint ..." message) on a
+/// torn, corrupt, or malformed file.
+std::optional<core::Checkpoint> load_checkpoint(const std::string& path);
+
+/// Restore a freshly-constructed engine from a parsed checkpoint:
+/// profiles under dense handles in stored order, the power model if
+/// present, and the power-revision + epoch counters from the meta
+/// line. Throws on a non-fresh engine or an engine/checkpoint shape
+/// mismatch.
+void restore_checkpoint(ModelEngine& engine,
+                        const core::Checkpoint& checkpoint);
+
+}  // namespace repro::engine

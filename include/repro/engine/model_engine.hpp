@@ -218,6 +218,12 @@ class EngineSnapshot {
   /// Number of successful power revisions up to this snapshot.
   std::uint64_t power_revision() const { return power_revision_; }
 
+  /// Handles of every live registration, ascending. Checkpoints
+  /// serialize profiles in this order, which makes the serialization a
+  /// pure function of the snapshot — the basis of the byte-identity
+  /// recovery proof (ISSUE 8).
+  std::vector<ProcessHandle> live_handles() const;
+
  private:
   friend class ModelEngine;
 
@@ -302,6 +308,20 @@ class ModelEngine {
   /// must not mutate the engine.
   std::size_t collect_garbage(
       const std::function<bool(ProcessHandle)>& keep);
+
+  /// Rebuild a freshly-constructed engine from checkpointed state
+  /// (ISSUE 8): install `profiles` under dense handles 0..n-1 in
+  /// order, replace the power model if the checkpoint carried one (the
+  /// engine must have been built with one), seed the power-revision
+  /// counter, and publish exactly one snapshot whose epoch is at least
+  /// `epoch` (monotonic across a crash: consumers never see the epoch
+  /// counter move backwards after a restart). Throws on a non-fresh
+  /// engine, an invalid profile, a duplicate name, or a core-count
+  /// mismatch — a checkpoint that fails here is treated as absent by
+  /// recovery, never partially applied.
+  void restore(std::vector<core::ProcessProfile> profiles,
+               std::optional<core::PowerModel> power,
+               std::uint64_t power_revision, std::uint64_t epoch);
 
   /// The current published snapshot — wait-free, never null. Hold it
   /// to pin one consistent (profiles, artifacts, power model) triple

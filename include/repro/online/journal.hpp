@@ -1,0 +1,180 @@
+// The checksummed append-only event journal + replay recovery
+// (ISSUE 8 tentpole).
+//
+// Every PipelineEvent that survives the coordinator's try_apply door
+// is durable: the coordinator appends one framed record per applied
+// revision, and on restart recovery rebuilds the engine to a state
+// byte-identical to the uncrashed run at the last durable event.
+//
+// File layout:
+//   repro-journal v1\n                     (17-byte text header)
+//   {u32 length, u32 CRC32C, payload} ...  (binary frames, little-endian)
+//
+// Each payload is a line-oriented text record — a one-line header
+// followed by a store-format body, so the doubles round-trip exactly
+// (max_digits10) and a frame is independently human-inspectable:
+//   profile <seq> <time> <handle> <revision>\n  + profile v1 … end
+//   power <seq> <time> <revision>\n             + power_model v1 …
+// `revision` is the engine counter after the apply; replay verifies it
+// to prove the recovered engine walked the same state sequence.
+//
+// Recovery (scan_journal) walks frames from the front and stops at the
+// FIRST bad one — torn header, torn payload, implausible length, CRC
+// mismatch, or unparseable record — reporting "journal frame N: <why>"
+// and the exact byte prefix that remains valid. A torn tail (the crash
+// case) is truncated, never fatal; everything after the first bad
+// frame is untrusted even if later frames look intact, because order
+// is part of the contract.
+//
+// JournalWriter never throws: it appends from the coordinator's sink
+// path (ban/throw-in-sink), so failures latch into last_error() and
+// the pipeline degrades to counting journal_write_failures instead of
+// unwinding the monitored run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "repro/common/durable_file.hpp"
+#include "repro/core/power_model.hpp"
+#include "repro/core/profiler.hpp"
+#include "repro/engine/model_engine.hpp"
+#include "repro/online/events.hpp"
+
+namespace repro::online {
+
+inline constexpr std::string_view kJournalHeader = "repro-journal v1\n";
+
+/// Upper bound on one frame's payload. A length field above this is
+/// corruption, not a big record — it stops the scan instead of
+/// attempting a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// When the journal reaches stable storage.
+///   kEveryN      fsync every `fsync_every` appends (default): bounded
+///                loss window at near-zero steady-state cost.
+///   kOnRevision  fsync after every record: zero loss, one fsync per
+///                applied revision.
+///   kOff         never fsync: the OS page cache decides; a power loss
+///                may drop everything since the last writeback (a
+///                process crash alone loses nothing).
+enum class JournalFsync { kOff, kEveryN, kOnRevision };
+
+struct JournalOptions {
+  JournalFsync fsync = JournalFsync::kEveryN;
+  std::size_t fsync_every = 32;
+};
+
+/// One durable event: exactly one of `profile` / `power` is engaged.
+struct JournalRecord {
+  EventCursor seq = 0;
+  Seconds time = 0.0;
+  /// Engine counter after the apply — the profile's revision number or
+  /// the engine power_revision(). Replay verifies it.
+  std::uint64_t revision = 0;
+
+  engine::ProcessHandle handle = 0;  // profile records only
+  std::optional<core::ProcessProfile> profile;
+  std::optional<core::PowerModel> power;
+
+  bool is_profile() const { return profile.has_value(); }
+};
+
+/// Render a record's payload text (header line + store body).
+std::string encode_record(const JournalRecord& record);
+
+/// Payload text → framed bytes: {u32 length, u32 CRC32C, payload}.
+std::string frame_payload(std::string_view payload);
+
+/// Parse a payload. On failure returns std::nullopt with the reason in
+/// *error (never throws — scan_journal runs on untrusted bytes).
+std::optional<JournalRecord> decode_record(std::string_view payload,
+                                           std::string* error);
+
+/// Append-only journal writer. Error-latching: the first failed
+/// write/fsync disables the writer, ok() turns false, and last_error()
+/// keeps the original cause. Single-threaded use (the coordinator
+/// appends under its own mutex).
+class JournalWriter {
+ public:
+  /// Open `path` for appending. keep_bytes is the valid prefix from
+  /// recovery: the file is truncated there before the first append
+  /// (dropping any torn tail). keep_bytes == 0 starts a fresh journal
+  /// (truncate + rewrite the header). Returns ok().
+  bool open(const std::string& path, const JournalOptions& options,
+            std::uint64_t keep_bytes);
+
+  /// Frame + append one record and apply the fsync policy.
+  bool append(const JournalRecord& record);
+
+  /// Force an fsync now (the pipeline calls this from finish()).
+  bool sync();
+
+  bool ok() const { return error_.empty() && file_.ok(); }
+  const std::string& last_error() const { return error_; }
+  std::uint64_t appended() const { return appended_; }
+
+  void close() { file_.close(); }
+
+ private:
+  common::DurableFile file_;
+  JournalOptions options_;
+  std::size_t unsynced_ = 0;
+  std::uint64_t appended_ = 0;
+  std::string error_;
+};
+
+/// What a journal scan found. `records` is the valid prefix in frame
+/// order; a bad frame stops the scan with its 1-based number in
+/// `error` ("journal frame N: <why>") and truncated_frames = 1.
+struct JournalRecovery {
+  bool found = false;  // the file existed
+  std::vector<JournalRecord> records;
+  /// Byte offset just past each record's frame, aligned with
+  /// `records` — lets a caller truncate to any record boundary.
+  std::vector<std::uint64_t> frame_ends;
+  std::uint64_t valid_bytes = 0;    // prefix to keep, incl. the header
+  std::uint64_t dropped_bytes = 0;  // bytes past the valid prefix
+  std::size_t truncated_frames = 0;
+  std::string error;  // empty when the whole file scanned clean
+};
+
+/// Scan a journal file front-to-back. Never throws on corrupt or torn
+/// content — that is its job to detect; only an unreadable *existing*
+/// file propagates an I/O error.
+JournalRecovery scan_journal(const std::string& path);
+
+/// Outcome of full recovery (checkpoint + replay).
+struct RecoveryReport {
+  bool checkpoint_found = false;    // a valid checkpoint was restored
+  std::string checkpoint_error;     // why a present one was refused
+  std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t journal_next = 0;   // replay started at this seq
+  std::size_t replayed = 0;         // records applied through the door
+  std::size_t skipped = 0;          // records the checkpoint already held
+  std::string replay_error;         // first replay divergence, if any
+  JournalRecovery journal;
+  /// The pipeline resumes event numbering here.
+  std::uint64_t next_seq = 0;
+  /// Journal byte prefix actually folded into the recovered state
+  /// (header + every replayed or skipped frame) — what the writer
+  /// should keep when it reopens the file. 0 when no journal existed.
+  std::uint64_t durable_bytes = 0;
+};
+
+/// Rebuild a freshly-constructed engine: load the newest valid
+/// checkpoint (a corrupt one is reported and treated as absent — the
+/// journal still replays from seq 0), then replay journal records with
+/// seq >= the checkpoint's journal_next through the engine's one
+/// try_apply door, verifying handles and revision counters along the
+/// way. Either path may be empty to skip that source. Never throws:
+/// every failure mode degrades to a report field.
+RecoveryReport recover_engine(engine::ModelEngine& engine,
+                              const std::string& checkpoint_path,
+                              const std::string& journal_path);
+
+}  // namespace repro::online

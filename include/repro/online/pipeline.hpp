@@ -93,6 +93,12 @@ struct OnlinePipelineOptions {
   /// compatibility with pre-sharding callers).
   using Backpressure = online::Backpressure;
   Backpressure backpressure = Backpressure::kBlock;
+
+  /// Crash-safe durability (ISSUE 8): journal path, fsync policy,
+  /// checkpoint path/cadence, and startup recovery — identical
+  /// semantics to ShardedPipelineOptions::durability (the facade
+  /// forwards it verbatim). Defaults leave durability off.
+  DurabilityOptions durability{};
 };
 
 class OnlinePipeline {
@@ -159,6 +165,10 @@ class OnlinePipeline {
   std::vector<QuarantineRecord> quarantined() const {
     return impl_.quarantined();
   }
+
+  /// What startup recovery found and replayed (ISSUE 8); all-default
+  /// when options.durability left recovery off.
+  const RecoveryReport& recovery() const { return impl_.recovery(); }
 
   const engine::ModelEngine& engine() const { return impl_.engine(); }
 

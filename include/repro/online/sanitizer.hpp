@@ -65,6 +65,25 @@ struct SampleSanitizerOptions {
   /// After this many consecutive outlier verdicts the shift is accepted
   /// as genuine and the history resets (phase-change escape hatch).
   std::size_t outlier_escape = 6;
+
+  // --- Auto-tuned plausibility bounds (ISSUE 8 satellite). ---
+  /// Learn a per-process event-rate ceiling from the clean forwarded
+  /// prefix and tighten the plausibility gate with it: the static
+  /// max_events_per_second default is deliberately loose (it must
+  /// admit any machine), so a corrupted reading can sit far above a
+  /// process's real rate yet still pass. Off by default — the static
+  /// bounds alone apply, preserving the clean-stream parity guarantee
+  /// for existing configurations.
+  bool auto_tune = false;
+  /// Clean active windows observed per process before its learned
+  /// ceiling engages; until then the static bounds alone apply.
+  std::size_t tune_prefix = 24;
+  /// Learned ceiling: median + max(tune_k · 1.4826 · MAD,
+  /// (tune_floor_ratio − 1) · median) over the prefix rates — robust
+  /// to prefix noise, and never tighter than tune_floor_ratio × the
+  /// typical rate, so a genuine phase change stays admissible.
+  double tune_k = 12.0;
+  double tune_floor_ratio = 4.0;
 };
 
 struct SanitizerStats {
@@ -75,6 +94,10 @@ struct SanitizerStats {
   std::uint64_t quarantined_order = 0;        // duplicate / out-of-order
   std::uint64_t quarantined_implausible = 0;  // bound violations
   std::uint64_t quarantined_outlier = 0;      // MAD filter
+  /// Subset of quarantined_implausible caught only by a learned
+  /// (auto-tuned) per-process bound, not a static one.
+  std::uint64_t quarantined_learned = 0;
+  std::uint64_t learned_bounds = 0;  // per-process ceilings engaged
 };
 
 class SampleSanitizer {
@@ -97,15 +120,24 @@ class SampleSanitizer {
     std::size_t consecutive_outliers = 0;
   };
 
+  /// Per-process auto-tune state: prefix rates, then the ceiling.
+  struct Tuner {
+    std::vector<double> rates;  // clean active-window event rates
+    double bound = 0.0;         // learned ceiling; 0 = not yet engaged
+  };
+
   bool repair_wraps(sim::Sample& s, bool* repaired) const;
   bool plausible(const sim::Sample& s) const;
   bool outlier(const sim::Sample& s);
+  bool learned_violation(const sim::Sample& s) const;
+  void learn(const sim::Sample& s);
 
   SampleSanitizerOptions options_;
   SanitizerStats stats_;
   double last_time_ = -1.0;
   bool any_seen_ = false;
   std::vector<History> history_;  // indexed by pid
+  std::vector<Tuner> tuners_;     // indexed by pid (auto_tune only)
 };
 
 }  // namespace repro::online

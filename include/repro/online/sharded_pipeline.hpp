@@ -43,8 +43,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -58,6 +60,7 @@
 #include "repro/common/thread_annotations.hpp"
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/events.hpp"
+#include "repro/online/journal.hpp"
 #include "repro/online/power_refitter.hpp"
 #include "repro/online/profile_builder.hpp"
 #include "repro/online/sanitizer.hpp"
@@ -88,6 +91,63 @@ struct PipelineHealth {
   std::uint64_t revisions_rejected = 0;   // failed validation/quality gate
   std::uint64_t degraded_resolves = 0;    // re-solves served last-good
   std::uint64_t history_evicted = 0;      // PipelineEvents aged out
+
+  // Durability + supervision (ISSUE 8).
+  std::uint64_t stalls_detected = 0;   // no-progress episodes flagged
+  std::uint64_t shard_restarts = 0;    // workers restarted by the supervisor
+  std::uint64_t shards_failed = 0;     // shards past max_restarts, abandoned
+  std::uint64_t recovery_truncated_frames = 0;  // torn/corrupt tail dropped
+  std::uint64_t journal_write_failures = 0;  // journal/checkpoint I/O errors
+};
+
+/// Crash-safety knobs (ISSUE 8): where durable state lives and how
+/// eagerly it reaches stable storage. Empty paths disable the
+/// corresponding mechanism. When `recover` is set the constructor runs
+/// full recovery — newest valid checkpoint, then journal replay
+/// through the one try_apply door — against the engine BEFORE any
+/// worker starts; the engine must be freshly constructed (no
+/// registrations) for the recovered state to be exact.
+struct DurabilityOptions {
+  /// Append-only event journal; every applied revision is framed,
+  /// checksummed, and appended here.
+  std::string journal_path;
+  JournalOptions journal{};
+  /// Atomic engine checkpoints (temp-file + rename).
+  std::string checkpoint_path;
+  /// Take a checkpoint every N journaled events; 0 = only on demand
+  /// (ShardedPipeline::checkpoint()).
+  std::size_t checkpoint_every = 0;
+  /// Run recovery in the constructor. Off: start fresh — an existing
+  /// journal is truncated, not replayed.
+  bool recover = true;
+};
+
+/// Shard supervision (ISSUE 8): heartbeats, stall detection, bounded
+/// restart-with-backoff. Ring mode only (inline ingest has no workers
+/// to supervise).
+struct SupervisorOptions {
+  bool enabled = false;
+  /// Supervisor wake interval — every check below is in tick units.
+  std::chrono::milliseconds tick{20};
+  /// A shard counts as stalled after this many consecutive ticks with
+  /// windows waiting (enqueued > drained) and no drain progress. The
+  /// first response is a condvar nudge (heals a lost wakeup); a shard
+  /// still frozen after another stall_ticks with its heartbeat dead
+  /// and the worker not parked is preempt-restarted.
+  std::size_t stall_ticks = 5;
+  /// Restarts per shard before the supervisor gives up and marks the
+  /// shard failed (its windows count as dropped; producers unblock).
+  std::size_t max_restarts = 3;
+  /// After the k-th restart of a shard, wait k * backoff_ticks ticks
+  /// before watching it again — the restart-with-backoff bound.
+  std::size_t backoff_ticks = 2;
+  /// Test seam: runs on the worker thread for every popped window,
+  /// BEFORE shard ingest and outside every lock. A hook that throws
+  /// kills the worker (crash injection); one that blocks wedges it
+  /// (stall injection). Hooks must be released by the test before the
+  /// pipeline is destroyed.
+  std::function<void(std::size_t shard, const sim::Sample& window)>
+      fault_hook;
 };
 
 struct ShardedPipelineOptions {
@@ -137,6 +197,11 @@ struct ShardedPipelineOptions {
   /// when inline_ingest is false.
   std::size_t ring_capacity = 1024;
   Backpressure backpressure = Backpressure::kBlock;
+
+  /// Crash-safe durability: journal + checkpoints + replay recovery.
+  DurabilityOptions durability{};
+  /// Shard worker supervision (ring mode only).
+  SupervisorOptions supervisor{};
 };
 
 /// The coordinator's monotonic counters (the old OnlinePipeline::Stats
@@ -150,6 +215,8 @@ struct PipelineStats {
   std::uint64_t phase_changes = 0;      // confirmed across builders
   std::uint64_t power_revisions = 0;    // power refits applied
   std::uint64_t power_rejected = 0;     // refit attempts gated/refused
+  std::uint64_t journaled_events = 0;   // events durably appended
+  std::uint64_t checkpoints = 0;        // checkpoints published
   PipelineHealth health;                // fault-path counters
 };
 
@@ -220,6 +287,16 @@ class ShardedPipeline : private BatchSink {
   /// (seq, die) — the `cmpmodel watch --dump-bad` payload.
   std::vector<QuarantineRecord> quarantined() const;
 
+  /// Publish an engine checkpoint now (durability.checkpoint_path must
+  /// be set). Returns false — with the failure counted in
+  /// PipelineHealth::journal_write_failures — when the write fails;
+  /// the previous checkpoint, if any, is left intact either way.
+  bool checkpoint();
+
+  /// What construction-time recovery found (default-initialized when
+  /// durability was off or recover was false).
+  const RecoveryReport& recovery() const { return recovery_; }
+
   const engine::ModelEngine& engine() const { return engine_; }
   std::size_t shard_count() const { return shards_.size(); }
 
@@ -250,14 +327,33 @@ class ShardedPipeline : private BatchSink {
     mutable common::Mutex ring_mutex;
     common::CondVar ring_cv;   // worker parks here (rings empty)
     common::CondVar drain_cv;  // kBlock producer / drain waiters park here
+
+    // Supervision state (ISSUE 8). `generation` retires workers: a
+    // worker whose spawn-time generation no longer matches exits at
+    // its next check, which is how a wedged worker is preempted
+    // without touching its stack. `heartbeat` ticks once per worker
+    // loop iteration — frozen heartbeat + no drain progress = wedged,
+    // not merely slow.
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<bool> worker_dead{false};  // exited via exception
+    std::atomic<bool> failed{false};       // supervisor gave up
+    std::string last_error REPRO_GUARDED_BY(ring_mutex);
   };
 
   void monitor_slot(ProcessId pid, DieId die, std::string name,
                     std::optional<engine::ProcessHandle> handle,
                     std::unique_ptr<ProfileBuilder> builder);
   void enqueue(DieId lane, const sim::Sample& sample);
-  void worker_loop(std::size_t shard);
+  void worker_loop(std::size_t shard, std::uint64_t my_generation);
   void drain_rings();
+  void supervisor_loop();
+  /// Retire + respawn a shard's worker (join when dead, detach when
+  /// wedged), or mark the shard failed once max_restarts is spent.
+  /// Returns the ticks to cool down before watching the shard again.
+  std::size_t restart_or_fail_shard(std::size_t shard,
+                                    std::size_t* restarts_used);
+  void fail_shard(std::size_t shard);
 
   /// BatchSink: called by a shard with that shard's mutex held.
   void deliver(WindowBatch batch) override;
@@ -278,6 +374,19 @@ class ShardedPipeline : private BatchSink {
   void refit_power_locked(const sim::Sample& sample)
       REPRO_REQUIRES(mutex_);
   void record_event_locked(PipelineEvent event) REPRO_REQUIRES(mutex_);
+  /// Append one just-recorded event to the journal (profile events
+  /// always; power events only when applied — rejections change no
+  /// state). A write failure latches: it is counted, journaling
+  /// disables, and the pipeline runs on.
+  void journal_event_locked(const PipelineEvent& event)
+      REPRO_REQUIRES(mutex_);
+  /// Dedicated journal-writer thread body (async policies): pops
+  /// records in seq order, encodes, frames, appends, applies the
+  /// fsync cadence — all off the coordinator lock.
+  void journal_loop();
+  /// Wait until the writer has drained its queue, then fsync the tail.
+  void flush_journal();
+  bool checkpoint_locked() REPRO_REQUIRES(mutex_);
   PipelineStats stats_locked() const REPRO_REQUIRES(mutex_);
   std::vector<double> warm_seeds_locked() const REPRO_REQUIRES(mutex_);
 
@@ -329,10 +438,48 @@ class ShardedPipeline : private BatchSink {
   std::uint64_t power_rejected_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t history_evicted_ REPRO_GUARDED_BY(mutex_) = 0;
 
+  /// Durability state (ISSUE 8). record_event_locked is the one
+  /// journaling point, so frame order IS event-log order:
+  /// journaled_events_ counts synchronously (under mutex_) as each
+  /// event is handed to the journal, while the encode + append + fsync
+  /// work runs on journal_thread_ for the every_n/off fsync policies
+  /// (~25 us/event of formatting that would otherwise serialize every
+  /// shard behind the coordinator lock). kOnRevision appends inline
+  /// under mutex_ — its zero-loss contract needs the record durable
+  /// before the apply returns. recovery_ is written in the constructor
+  /// and immutable after.
+  RecoveryReport recovery_;
+  /// Sync mode: accessed under mutex_. Async mode: owned by
+  /// journal_loop after construction; flush_journal touches it only
+  /// once the writer is provably idle (handoff via journal_mutex_).
+  JournalWriter journal_;
+  std::atomic<bool> journal_enabled_{false};
+  std::atomic<std::uint64_t> journal_write_failures_{0};
+  std::uint64_t journaled_events_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t checkpoints_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t events_since_checkpoint_ REPRO_GUARDED_BY(mutex_) = 0;
+  bool journal_async_ = false;  // set in the constructor, then immutable
+  std::thread journal_thread_;
+  mutable common::Mutex journal_mutex_;
+  common::CondVar journal_cv_;
+  std::deque<JournalRecord> journal_queue_ REPRO_GUARDED_BY(journal_mutex_);
+  bool journal_busy_ REPRO_GUARDED_BY(journal_mutex_) = false;
+  bool journal_stop_ REPRO_GUARDED_BY(journal_mutex_) = false;
+
   /// Ring-mode state (empty under inline_ingest), one entry per shard.
   std::vector<std::unique_ptr<Ingress>> ingress_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> dropped_{0};
+
+  /// Supervisor (ISSUE 8): its own thread, parked on supervisor_cv_
+  /// between ticks; escalation counters are atomics so stats_locked
+  /// can read them without touching supervisor state.
+  std::thread supervisor_;
+  mutable common::Mutex supervisor_mutex_;
+  common::CondVar supervisor_cv_;
+  std::atomic<std::uint64_t> stalls_detected_{0};
+  std::atomic<std::uint64_t> shard_restarts_{0};
+  std::atomic<std::uint64_t> shards_failed_{0};
 };
 
 }  // namespace repro::online

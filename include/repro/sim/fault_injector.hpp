@@ -60,6 +60,21 @@ struct FaultInjectorOptions {
   /// kSpike multiplies one counter field of one process by this.
   double spike_factor = 1e4;
 
+  /// Correlated fault bursts (ISSUE 8 satellite): a seeded two-state
+  /// Markov chain layered over the independent per-class draws —
+  /// the "sampling daemon wedged for a stretch" failure mode that
+  /// independent Bernoulli draws cannot produce. Each window a quiet
+  /// stream enters a burst with probability `burst_enter`; a bursting
+  /// one exits with `burst_exit` (expected burst length is
+  /// 1/burst_exit windows). While bursting, each window additionally
+  /// drops with probability `burst_drop`. burst_enter == 0 (the
+  /// default) disables the layer and consumes no RNG draws, so the
+  /// fault pattern of every existing (seed, options) pair is
+  /// bit-identical to the pre-burst injector.
+  double burst_enter = 0.0;
+  double burst_exit = 0.35;
+  double burst_drop = 1.0;
+
   std::uint64_t seed = 0x5eedULL;
 
   /// The injection probability of `c` (for table-driven configuration).
@@ -96,6 +111,8 @@ class FaultInjector {
     std::uint64_t scaled = 0;
     std::uint64_t spiked = 0;
     std::uint64_t zeroed = 0;
+    std::uint64_t bursts = 0;         // burst episodes entered
+    std::uint64_t burst_dropped = 0;  // windows lost inside bursts
   };
   const Stats& stats() const { return stats_; }
 
@@ -110,6 +127,7 @@ class FaultInjector {
   FaultInjectorOptions options_;
   Rng rng_;
   std::optional<Sample> held_;  // pending reorder
+  bool in_burst_ = false;       // Markov burst state
   Stats stats_;
 };
 

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# crash_kill.sh — the ISSUE 8 crash-kill gate.
+#
+# SIGKILLs `cmpmodel watch --journal` at randomized points mid-run and
+# asserts the durability layer keeps every promise it makes:
+#
+#   1. a killed watch resumes cleanly (--recover on, exit 0) — torn
+#      journal tails are cut, never fatal;
+#   2. offline compaction (`cmpmodel checkpoint`) succeeds on whatever
+#      state the kill left behind;
+#   3. compaction is idempotent: compacting the already-compacted state
+#      reproduces the checkpoint byte for byte (the recover → replay →
+#      re-serialize loop is deterministic).
+#
+# The kill points are drawn from a seeded LCG so a CI failure is
+# replayable: rerun with the CRASH_KILL_SEED the log prints. Kills that
+# land before the first frame, mid-frame, or after the run finished are
+# all valid draws — recovery has to be clean from any of them.
+#
+# Usage:  scripts/crash_kill.sh [path/to/cmpmodel]
+# Env:    CRASH_KILL_ROUNDS (default 6), CRASH_KILL_SEED (default $$)
+set -u
+
+CMPMODEL="${1:-build/tools/cmpmodel}"
+ROUNDS="${CRASH_KILL_ROUNDS:-6}"
+SEED="${CRASH_KILL_SEED:-$$}"
+SEED0="$SEED"
+
+if [ ! -x "$CMPMODEL" ]; then
+  echo "crash_kill: $CMPMODEL is not executable (build the cmpmodel target first)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "crash_kill: seed=$SEED0 rounds=$ROUNDS binary=$CMPMODEL"
+
+# Deterministic pseudo-random draw in [0, $1), left in $DRAW. A
+# function (not a $(...) substitution) so the seed advances in this
+# shell — a subshell would redraw the same number every round.
+rand_below() {
+  SEED=$(((SEED * 1103515245 + 12345) % 2147483648))
+  DRAW=$((SEED % $1))
+}
+
+# Durability flags shared by every watch invocation. Aggressive
+# cadences (checkpoint every 4 events, fsync every 2 frames) so short
+# runs still exercise the checkpoint + journal-truncation machinery.
+WATCH_ARGS=(watch --machine server --assign "gzip>art;mcf>gzip"
+  --fault-rate 0.05 --fault-seed 7
+  --checkpoint-every 4 --fsync every_n --fsync-every 2)
+
+fail=0
+for round in $(seq 1 "$ROUNDS"); do
+  dir="$WORK/round$round"
+  mkdir -p "$dir"
+  journal="$dir/j.log"
+  checkpoint="$dir/c.txt"
+
+  # Victim run: long enough that a kill almost always lands mid-run.
+  "$CMPMODEL" "${WATCH_ARGS[@]}" --seconds 4 \
+    --journal "$journal" --checkpoint "$checkpoint" \
+    >/dev/null 2>&1 &
+  pid=$!
+
+  rand_below 1800
+  delay_ms=$((50 + DRAW))
+  sleep "$(awk "BEGIN { printf \"%.3f\", $delay_ms / 1000 }")"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  victim=$?
+
+  jbytes=0
+  [ -f "$journal" ] && jbytes=$(wc -c <"$journal")
+  echo "crash_kill: round $round: killed at ${delay_ms}ms (exit $victim), journal ${jbytes}B"
+
+  # Assertion 1: the survivor resumes cleanly from whatever was left.
+  if ! "$CMPMODEL" "${WATCH_ARGS[@]}" --seconds 0.3 \
+    --journal "$journal" --checkpoint "$checkpoint" \
+    >"$dir/survivor.log" 2>&1; then
+    echo "crash_kill: round $round: FAIL — resumed watch did not exit cleanly" >&2
+    tail -n 20 "$dir/survivor.log" | sed 's/^/crash_kill:   /' >&2
+    fail=1
+    continue
+  fi
+  grep '^recovered:' "$dir/survivor.log" | sed "s/^/crash_kill: round $round: /"
+
+  # Assertion 2: offline compaction succeeds on the post-crash state.
+  if ! "$CMPMODEL" checkpoint --machine server \
+    --checkpoint "$checkpoint" --journal "$journal" >/dev/null 2>&1; then
+    echo "crash_kill: round $round: FAIL — cmpmodel checkpoint rejected the recovered state" >&2
+    fail=1
+    continue
+  fi
+  cp "$checkpoint" "$dir/c.first"
+
+  # Assertion 3: compacting again changes nothing — recovery is
+  # deterministic, so checkpoint bytes must be stable under a no-op
+  # recover/replay/rewrite cycle.
+  if ! "$CMPMODEL" checkpoint --machine server \
+    --checkpoint "$checkpoint" --journal "$journal" >/dev/null 2>&1; then
+    echo "crash_kill: round $round: FAIL — second compaction errored" >&2
+    fail=1
+    continue
+  fi
+  if ! cmp -s "$dir/c.first" "$checkpoint"; then
+    echo "crash_kill: round $round: FAIL — compaction is not idempotent (checkpoint bytes drifted)" >&2
+    fail=1
+    continue
+  fi
+  echo "crash_kill: round $round: ok (recovered, compacted, idempotent)"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "crash_kill: FAILED — rerun with CRASH_KILL_SEED=$SEED0" >&2
+  exit 1
+fi
+echo "crash_kill: all $ROUNDS rounds recovered cleanly"

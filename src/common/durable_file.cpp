@@ -1,0 +1,201 @@
+#include "repro/common/durable_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "repro/common/ensure.hpp"
+
+namespace repro::common {
+
+namespace {
+
+std::string errno_text(const char* op, const std::string& path) {
+  std::ostringstream out;
+  out << op << " " << path << ": " << std::strerror(errno);
+  return out.str();
+}
+
+/// Parent directory of `path` ("." for a bare filename) — the thing
+/// whose fsync makes a rename durable.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// write(2) until every byte is out, retrying EINTR; false on error or
+/// a zero-byte write (a wedged descriptor would loop forever).
+bool write_fully(int fd, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, bytes, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      errno = EIO;
+      return false;
+    }
+    bytes += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool fdatasync_retry(int fd) {
+  while (::fdatasync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DurableFile::~DurableFile() { close(); }
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      error_(std::move(other.error_)) {}
+
+DurableFile& DurableFile::operator=(DurableFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+DurableFile DurableFile::open_append(const std::string& path) {
+  DurableFile file;
+  file.path_ = path;
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    file.error_ = errno_text("open", path);
+    return file;
+  }
+  file.fd_ = fd;
+  return file;
+}
+
+bool DurableFile::write_all(const void* data, std::size_t size) {
+  if (!ok()) return false;
+  if (!write_fully(fd_, data, size)) {
+    error_ = errno_text("write", path_);
+    return false;
+  }
+  return true;
+}
+
+bool DurableFile::sync() {
+  if (!ok()) return false;
+  if (!fsync_retry(fd_)) {
+    error_ = errno_text("fsync", path_);
+    return false;
+  }
+  return true;
+}
+
+bool DurableFile::sync_data() {
+  if (!ok()) return false;
+  if (!fdatasync_retry(fd_)) {
+    error_ = errno_text("fdatasync", path_);
+    return false;
+  }
+  return true;
+}
+
+bool DurableFile::truncate(std::uint64_t size) {
+  if (!ok()) return false;
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    error_ = errno_text("ftruncate", path_);
+    return false;
+  }
+  // O_APPEND ignores the file offset for writes, but keep it coherent
+  // for size() readers anyway.
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    error_ = errno_text("lseek", path_);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> DurableFile::size() const {
+  if (fd_ < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void DurableFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = -1;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  REPRO_ENSURE(fd >= 0, errno_text("open", tmp));
+  bool wrote = write_fully(fd, contents.data(), contents.size());
+  const int write_errno = errno;
+  bool synced = wrote && fsync_retry(fd);
+  const int sync_errno = errno;
+  ::close(fd);
+  if (!wrote || !synced) ::unlink(tmp.c_str());
+  errno = write_errno;
+  REPRO_ENSURE(wrote, errno_text("write", tmp));
+  errno = sync_errno;
+  REPRO_ENSURE(synced, errno_text("fsync", tmp));
+  REPRO_ENSURE(::rename(tmp.c_str(), path.c_str()) == 0,
+               errno_text("rename", tmp));
+  // Make the rename itself durable: fsync the containing directory.
+  // Failure to *open* the directory (exotic filesystems) is tolerated;
+  // a failed fsync on an open directory is not.
+  const std::string dir = parent_dir(path);
+  int dfd = -1;
+  do {
+    dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dfd < 0 && errno == EINTR);
+  if (dfd >= 0) {
+    const bool dir_synced = fsync_retry(dfd);
+    ::close(dfd);
+    REPRO_ENSURE(dir_synced, errno_text("fsync", dir));
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  REPRO_ENSURE(!in.bad(), "read " + path + " failed");
+  return std::move(buffer).str();
+}
+
+}  // namespace repro::common

@@ -23,6 +23,25 @@ ReuseHistogram::ReuseHistogram(std::vector<double> pmf, double tail_mass)
   build_curve();
 }
 
+ReuseHistogram ReuseHistogram::from_serialized(std::vector<double> pmf,
+                                               double tail_mass) {
+  // Same validation as the normalizing constructor, but the stored
+  // values are trusted verbatim so deserialization is a fixed point.
+  REPRO_ENSURE(tail_mass >= 0.0, "negative tail mass");
+  double total = tail_mass;
+  for (double p : pmf) {
+    REPRO_ENSURE(p >= 0.0, "negative probability");
+    total += p;
+  }
+  REPRO_ENSURE(std::fabs(total - 1.0) < 1e-6,
+               "histogram must sum to 1 (got " + std::to_string(total) + ")");
+  ReuseHistogram h;
+  h.pmf_ = std::move(pmf);
+  h.tail_mass_ = tail_mass;
+  h.build_curve();
+  return h;
+}
+
 ReuseHistogram ReuseHistogram::from_mpa_curve(
     std::span<const double> mpa_at_ways) {
   REPRO_ENSURE(!mpa_at_ways.empty(), "need at least one MPA point");

@@ -1,22 +1,48 @@
 #include "repro/core/serialize.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
+#include "repro/common/crc32c.hpp"
+#include "repro/common/durable_file.hpp"
 #include "repro/common/ensure.hpp"
 
 namespace repro::core {
 
 namespace {
 
-void write_doubles(std::ostream& os, const char* key,
-                   std::span<const double> values) {
-  os << key;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  for (double v : values) os << ' ' << v;
-  os << '\n';
+// Shortest round-trip rendering (std::to_chars): the value parses back
+// bit-exactly, like the old max_digits10 iostream path, but an order
+// of magnitude cheaper. Records build into a plain string and hit the
+// stream once — this is the journal writer's per-event hot loop, where
+// every profile revision renders three double vectors, and per-value
+// ostream insertions (sentry + virtual streambuf each) would dominate
+// the encode.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  REPRO_ENSURE(res.ec == std::errc(), "double rendering failed");
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_doubles(std::string& out, const char* key,
+                    std::span<const double> values) {
+  out += key;
+  for (double v : values) {
+    out += ' ';
+    append_double(out, v);
+  }
+  out += '\n';
 }
 
 std::vector<double> parse_doubles(std::istringstream& is,
@@ -31,27 +57,49 @@ std::vector<double> parse_doubles(std::istringstream& is,
 }  // namespace
 
 void write_profile(std::ostream& os, const ProcessProfile& p) {
+  std::string out;
+  append_profile(out, p);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+void append_profile(std::string& out, const ProcessProfile& p) {
   REPRO_ENSURE(p.name.find_first_of(" \n") == std::string::npos,
                "profile names must not contain whitespace");
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << "profile v1 " << p.name << '\n';
+  out.reserve(out.size() + 512 +
+              24 * (p.features.histogram.max_depth() + p.mpa_at_ways.size() +
+                    p.spi_at_ways.size()));
+  out += "profile v1 ";
+  out += p.name;
+  out += '\n';
   // Revision 0 (batch profiles) is the default, so seed-era stores
   // stay byte-identical and older readers never see the key.
-  if (p.revision != 0) os << "revision " << p.revision << '\n';
-  os << "api " << p.features.api << '\n';
-  os << "alpha " << p.features.alpha << '\n';
-  os << "beta " << p.features.beta << '\n';
-  os << "power_alone " << p.power_alone << '\n';
-  os << "alone " << p.alone.l1rpi << ' ' << p.alone.l2rpi << ' '
-     << p.alone.brpi << ' ' << p.alone.fppi << ' ' << p.alone.l2mpr << ' '
-     << p.alone.spi << '\n';
+  if (p.revision != 0) {
+    out += "revision ";
+    append_u64(out, p.revision);
+    out += '\n';
+  }
+  out += "api ";
+  append_double(out, p.features.api);
+  out += "\nalpha ";
+  append_double(out, p.features.alpha);
+  out += "\nbeta ";
+  append_double(out, p.features.beta);
+  out += "\npower_alone ";
+  append_double(out, p.power_alone);
+  out += "\nalone";
+  for (double v : {p.alone.l1rpi, p.alone.l2rpi, p.alone.brpi, p.alone.fppi,
+                   p.alone.l2mpr, p.alone.spi}) {
+    out += ' ';
+    append_double(out, v);
+  }
+  out += '\n';
   std::vector<double> hist{p.features.histogram.tail_mass()};
   for (std::uint32_t d = 1; d <= p.features.histogram.max_depth(); ++d)
     hist.push_back(p.features.histogram.probability(d));
-  write_doubles(os, "hist", hist);
-  write_doubles(os, "mpa_curve", p.mpa_at_ways);
-  write_doubles(os, "spi_curve", p.spi_at_ways);
-  os << "end\n";
+  append_doubles(out, "hist", hist);
+  append_doubles(out, "mpa_curve", p.mpa_at_ways);
+  append_doubles(out, "spi_curve", p.spi_at_ways);
+  out += "end\n";
 }
 
 void write_profiles(std::ostream& os,
@@ -60,10 +108,22 @@ void write_profiles(std::ostream& os,
 }
 
 void write_power_model(std::ostream& os, const PowerModel& model) {
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << "power_model v1 " << model.cores() << ' ' << model.idle_total();
-  for (double c : model.coefficients()) os << ' ' << c;
-  os << '\n';
+  std::string out;
+  append_power_model(out, model);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+void append_power_model(std::string& out, const PowerModel& model) {
+  out.reserve(out.size() + 64 + 24 * model.coefficients().size());
+  out += "power_model v1 ";
+  append_u64(out, model.cores());
+  out += ' ';
+  append_double(out, model.idle_total());
+  for (double c : model.coefficients()) {
+    out += ' ';
+    append_double(out, c);
+  }
+  out += '\n';
 }
 
 const ProcessProfile* ModelStore::find(const std::string& name) const {
@@ -167,7 +227,11 @@ ModelStore read_store(std::istream& is) {
       const double tail = v.front();
       v.erase(v.begin());
       try {
-        current->features.histogram = ReuseHistogram(std::move(v), tail);
+        // from_serialized keeps the stored bins bit-exact (no
+        // renormalization), so read_store ∘ write_store is the identity
+        // crash recovery's replay-equivalence guarantee needs.
+        current->features.histogram =
+            ReuseHistogram::from_serialized(std::move(v), tail);
       } catch (const Error& e) {
         fail(std::string("bad histogram: ") + e.what());
       }
@@ -228,6 +292,97 @@ std::optional<ModelStore> load_store(const std::string& path) {
   std::ifstream is(path);
   if (!is.good()) return std::nullopt;
   return read_store(is);
+}
+
+std::string write_store_text(const ModelStore& store) {
+  std::ostringstream os;
+  os << "# cmp_models store — profiles and power model\n";
+  write_profiles(os, store.profiles);
+  if (store.power_model) write_power_model(os, *store.power_model);
+  return std::move(os).str();
+}
+
+void save_store_atomic(const std::string& path, const ModelStore& store) {
+  common::atomic_write_file(path, write_store_text(store));
+}
+
+std::string write_checkpoint_text(const CheckpointMeta& meta,
+                                  const ModelStore& store) {
+  std::ostringstream os;
+  os << "# cmp_models checkpoint\n";
+  os << "checkpoint v1 epoch " << meta.epoch << " power_revision "
+     << meta.power_revision << " journal_next " << meta.journal_next << '\n';
+  write_profiles(os, store.profiles);
+  if (store.power_model) write_power_model(os, *store.power_model);
+  std::string body = std::move(os).str();
+  std::ostringstream footer;
+  footer << "checksum crc32c " << std::hex << std::setw(8)
+         << std::setfill('0') << common::crc32c(body) << '\n';
+  return body + std::move(footer).str();
+}
+
+Checkpoint read_checkpoint(std::string_view text) {
+  // Footer first: until the whole-file checksum verifies, no byte of
+  // the checkpoint is trusted — not even the meta line.
+  REPRO_ENSURE(!text.empty() && text.back() == '\n',
+               "checkpoint is empty or missing final newline");
+  const auto footer_start = text.find_last_of('\n', text.size() - 2);
+  const std::string_view footer =
+      footer_start == std::string_view::npos
+          ? text
+          : text.substr(footer_start + 1);
+  const std::string_view body =
+      footer_start == std::string_view::npos
+          ? std::string_view{}
+          : text.substr(0, footer_start + 1);
+  std::istringstream fs{std::string(footer)};
+  std::string key, algo, hex;
+  fs >> key >> algo >> hex;
+  REPRO_ENSURE(key == "checksum" && algo == "crc32c" && hex.size() == 8,
+               "checkpoint missing checksum footer");
+  std::uint32_t stored = 0;
+  {
+    std::istringstream hs(hex);
+    hs >> std::hex >> stored;
+    REPRO_ENSURE(!hs.fail(), "checkpoint checksum footer is not hex");
+  }
+  const std::uint32_t computed = common::crc32c(body);
+  if (computed != stored) {
+    std::ostringstream why;
+    why << "checkpoint checksum mismatch: stored " << std::hex
+        << std::setw(8) << std::setfill('0') << stored << ", computed "
+        << std::setw(8) << std::setfill('0') << computed;
+    throw Error(std::move(why).str());
+  }
+
+  // Meta line: the first non-comment, non-blank line of the body.
+  Checkpoint checkpoint;
+  std::istringstream bs{std::string(body)};
+  std::string line;
+  bool have_meta = false;
+  std::ostringstream rest;
+  while (std::getline(bs, line)) {
+    if (!have_meta) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string head, version, k_epoch, k_power, k_journal;
+      CheckpointMeta meta;
+      ls >> head >> version >> k_epoch >> meta.epoch >> k_power >>
+          meta.power_revision >> k_journal >> meta.journal_next;
+      REPRO_ENSURE(!ls.fail() && head == "checkpoint" && version == "v1" &&
+                       k_epoch == "epoch" && k_power == "power_revision" &&
+                       k_journal == "journal_next",
+                   "checkpoint bad meta line: " + line);
+      checkpoint.meta = meta;
+      have_meta = true;
+    } else {
+      rest << line << '\n';
+    }
+  }
+  REPRO_ENSURE(have_meta, "checkpoint missing meta line");
+  std::istringstream store_stream{std::move(rest).str()};
+  checkpoint.store = read_store(store_stream);
+  return checkpoint;
 }
 
 }  // namespace repro::core

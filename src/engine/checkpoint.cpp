@@ -1,0 +1,48 @@
+#include "repro/engine/checkpoint.hpp"
+
+#include <utility>
+
+#include "repro/common/durable_file.hpp"
+
+namespace repro::engine {
+
+core::ModelStore store_of(const EngineSnapshot& snapshot) {
+  core::ModelStore store;
+  const std::vector<ProcessHandle> handles = snapshot.live_handles();
+  store.profiles.reserve(handles.size());
+  for (ProcessHandle h : handles) store.profiles.push_back(snapshot.profile(h));
+  if (snapshot.has_power_model()) store.power_model = snapshot.power_model();
+  return store;
+}
+
+std::string engine_state_text(const EngineSnapshot& snapshot) {
+  return core::write_store_text(store_of(snapshot));
+}
+
+std::string checkpoint_text(const EngineSnapshot& snapshot,
+                            std::uint64_t journal_next) {
+  core::CheckpointMeta meta;
+  meta.epoch = snapshot.epoch();
+  meta.power_revision = snapshot.power_revision();
+  meta.journal_next = journal_next;
+  return core::write_checkpoint_text(meta, store_of(snapshot));
+}
+
+void save_checkpoint(const std::string& path, const EngineSnapshot& snapshot,
+                     std::uint64_t journal_next) {
+  common::atomic_write_file(path, checkpoint_text(snapshot, journal_next));
+}
+
+std::optional<core::Checkpoint> load_checkpoint(const std::string& path) {
+  const std::optional<std::string> text = common::read_file(path);
+  if (!text.has_value()) return std::nullopt;
+  return core::read_checkpoint(*text);
+}
+
+void restore_checkpoint(ModelEngine& engine,
+                        const core::Checkpoint& checkpoint) {
+  engine.restore(checkpoint.store.profiles, checkpoint.store.power_model,
+                 checkpoint.meta.power_revision, checkpoint.meta.epoch);
+}
+
+}  // namespace repro::engine

@@ -26,6 +26,14 @@ const EngineSnapshot::Entry& EngineSnapshot::entry_of(
   return *registry_[handle];
 }
 
+std::vector<ProcessHandle> EngineSnapshot::live_handles() const {
+  std::vector<ProcessHandle> handles;
+  handles.reserve(live_);
+  for (ProcessHandle h = 0; h < registry_.size(); ++h)
+    if (registry_[h] != nullptr) handles.push_back(h);
+  return handles;
+}
+
 ModelEngine::ModelEngine(sim::MachineConfig machine, EngineOptions options)
     : machine_(std::move(machine)),
       options_(options),
@@ -196,6 +204,43 @@ ApplyResult ModelEngine::try_apply(Revision revision) {
   }
   result.epoch = snapshot()->epoch();
   return result;
+}
+
+void ModelEngine::restore(std::vector<core::ProcessProfile> profiles,
+                          std::optional<core::PowerModel> power,
+                          std::uint64_t power_revision, std::uint64_t epoch) {
+  // Validate everything before taking the lock: a refused restore must
+  // leave the fresh engine exactly as constructed.
+  for (core::ProcessProfile& p : profiles) {
+    REPRO_ENSURE(!p.name.empty(), "process needs a name");
+    if (p.features.name.empty()) p.features.name = p.name;
+    p.features.validate();
+  }
+  if (power.has_value())
+    REPRO_ENSURE(power->cores() == machine_.cores,
+                 "checkpoint power model trained for a different core count");
+
+  common::MutexLock lock(builder_mutex_);
+  REPRO_ENSURE(registry_.empty() && power_revision_ == 0,
+               "restore requires a freshly-constructed engine");
+  if (power.has_value()) {
+    REPRO_ENSURE(
+        power_.has_value(),
+        "checkpoint carries a power model but the engine was built "
+        "without one");
+    power_.emplace(std::move(*power));
+  }
+  for (core::ProcessProfile& p : profiles) {
+    const auto handle = static_cast<ProcessHandle>(registry_.size());
+    REPRO_ENSURE(by_name_.emplace(p.name, handle).second,
+                 "checkpoint registers a duplicate name: " + p.name);
+    registry_.push_back(std::make_shared<Entry>(std::move(p)));
+  }
+  power_revision_ = power_revision;
+  // publish() bumps epoch_ by one; land at `epoch` or later so the
+  // counter never moves backwards across a crash.
+  if (epoch > 0 && epoch - 1 > epoch_) epoch_ = epoch - 1;
+  publish();
 }
 
 std::size_t ModelEngine::collect_garbage(

@@ -21,6 +21,7 @@ ShardedPipelineOptions to_sharded(OnlinePipelineOptions options) {
   s.inline_ingest = options.inline_ingest;
   s.ring_capacity = options.ring_capacity;
   s.backpressure = options.backpressure;
+  s.durability = std::move(options.durability);
   return s;
 }
 

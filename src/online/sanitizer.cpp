@@ -44,6 +44,14 @@ void push_rolling(std::vector<double>& v, double x, std::size_t capacity) {
   v.push_back(x);
 }
 
+/// Total event rate across every counter field — the signal the
+/// auto-tuner learns a per-process ceiling for.
+double event_rate(const hpc::Counters& d, double duration) {
+  double total = 0.0;
+  for (auto field : kCounterFields) total += d.*field;
+  return total / duration;
+}
+
 }  // namespace
 
 SampleSanitizer::SampleSanitizer(SampleSanitizerOptions options)
@@ -55,6 +63,49 @@ SampleSanitizer::SampleSanitizer(SampleSanitizerOptions options)
                    options_.outlier_min_history >= 2,
                "outlier filter needs a sane history window");
   REPRO_ENSURE(options_.outlier_escape >= 1, "outlier escape must be >= 1");
+  if (options_.auto_tune) {
+    REPRO_ENSURE(options_.tune_prefix >= 4,
+                 "auto-tune needs a prefix of at least 4 windows");
+    REPRO_ENSURE(options_.tune_k > 0.0 && options_.tune_floor_ratio >= 1.0,
+                 "auto-tune needs tune_k > 0 and tune_floor_ratio >= 1");
+  }
+}
+
+bool SampleSanitizer::learned_violation(const sim::Sample& s) const {
+  for (std::size_t pid = 0;
+       pid < s.process_delta.size() && pid < tuners_.size(); ++pid) {
+    const Tuner& tuner = tuners_[pid];
+    if (tuner.bound <= 0.0) continue;  // ceiling not engaged yet
+    const hpc::Counters& d = s.process_delta[pid];
+    if (d.instructions <= 0.0) continue;  // idle windows carry no rate
+    if (event_rate(d, s.duration) > tuner.bound) return true;
+  }
+  return false;
+}
+
+void SampleSanitizer::learn(const sim::Sample& s) {
+  if (tuners_.size() < s.process_delta.size())
+    tuners_.resize(s.process_delta.size());
+  for (std::size_t pid = 0; pid < s.process_delta.size(); ++pid) {
+    Tuner& tuner = tuners_[pid];
+    if (tuner.bound > 0.0) continue;  // already engaged
+    const hpc::Counters& d = s.process_delta[pid];
+    if (d.instructions <= 0.0) continue;  // learn from active windows only
+    tuner.rates.push_back(event_rate(d, s.duration));
+    if (tuner.rates.size() < options_.tune_prefix) continue;
+    const double med = median_of(tuner.rates);
+    const double mad = mad_of(tuner.rates, med);
+    // Robust center + the wider of two margins: k·σ̂ absorbs prefix
+    // noise, the floor ratio guarantees genuine few-fold phase swings
+    // stay admissible even when the prefix was eerily steady. Never
+    // looser than the static bound it refines.
+    const double margin = std::max(options_.tune_k * 1.4826 * mad,
+                                   (options_.tune_floor_ratio - 1.0) * med);
+    tuner.bound = std::min(med + margin, options_.max_events_per_second);
+    tuner.rates.clear();
+    tuner.rates.shrink_to_fit();
+    ++stats_.learned_bounds;
+  }
 }
 
 bool SampleSanitizer::repair_wraps(sim::Sample& s, bool* repaired) const {
@@ -216,6 +267,16 @@ bool SampleSanitizer::sanitize(const sim::Sample& sample, sim::Sample* out) {
     ++stats_.quarantined_implausible;
     return false;
   }
+  // The learned ceiling is a plausibility refinement: it runs after the
+  // static bounds (so quarantined_learned counts what ONLY tuning
+  // caught) and before the outlier filter (so a rejected window never
+  // pollutes the MAD history).
+  if (options_.auto_tune && learned_violation(*candidate)) {
+    ++stats_.quarantined;
+    ++stats_.quarantined_implausible;
+    ++stats_.quarantined_learned;
+    return false;
+  }
   if (outlier(*candidate)) {
     ++stats_.quarantined;
     ++stats_.quarantined_outlier;
@@ -226,6 +287,7 @@ bool SampleSanitizer::sanitize(const sim::Sample& sample, sim::Sample* out) {
   last_time_ = sample.time;
   ++stats_.forwarded;
   if (repaired) ++stats_.repaired;
+  if (options_.auto_tune) learn(*candidate);
   *out = *candidate;
   return true;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "repro/common/ensure.hpp"
+#include "repro/engine/checkpoint.hpp"
 
 namespace repro::online {
 
@@ -53,6 +54,43 @@ ShardedPipeline::ShardedPipeline(engine::ModelEngine& engine,
       refitter_.emplace(engine_.machine().cores, options_.power);
   }
 
+  // Durability (ISSUE 8): recover BEFORE any worker can push an event,
+  // so the recovered engine state and the resumed seq space are in
+  // place when the first new revision lands.
+  const DurabilityOptions& durability = options_.durability;
+  if (durability.recover && (!durability.checkpoint_path.empty() ||
+                             !durability.journal_path.empty()))
+    recovery_ = recover_engine(engine_, durability.checkpoint_path,
+                               durability.journal_path);
+  if (!durability.checkpoint_path.empty() ||
+      !durability.journal_path.empty()) {
+    common::MutexLock lock(mutex_);
+    next_seq_ = recovery_.next_seq;
+    if (!durability.journal_path.empty()) {
+      // Keep exactly the prefix recovery folded into the engine; a
+      // torn/corrupt tail (and, after a replay divergence, everything
+      // past the last replayed frame) is cut before the first append.
+      const std::uint64_t keep =
+          durability.recover ? recovery_.durable_bytes : 0;
+      const bool opened =
+          journal_.open(durability.journal_path, durability.journal, keep);
+      journal_enabled_.store(opened, std::memory_order_release);
+      if (!opened) {
+        journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // kOnRevision promises the record is durable before the apply
+        // returns, so it must append inline; the relaxed policies move
+        // encode + append + fsync onto a dedicated writer so shards
+        // never wait on file I/O behind the coordinator lock.
+        journal_async_ =
+            durability.journal.fsync != JournalFsync::kOnRevision;
+        if (journal_async_)
+          journal_thread_ =
+              std::thread(&ShardedPipeline::journal_loop, this);
+      }
+    }
+  }
+
   if (!options_.inline_ingest) {
     ingress_.reserve(options_.shards);
     for (std::size_t s = 0; s < options_.shards; ++s) {
@@ -63,22 +101,48 @@ ShardedPipeline::ShardedPipeline(engine::ModelEngine& engine,
     }
     for (std::size_t s = 0; s < options_.shards; ++s)
       ingress_[s]->worker =
-          std::thread(&ShardedPipeline::worker_loop, this, s);
+          std::thread(&ShardedPipeline::worker_loop, this, s, 0);
+    if (options_.supervisor.enabled)
+      supervisor_ = std::thread(&ShardedPipeline::supervisor_loop, this);
   }
 }
 
 ShardedPipeline::~ShardedPipeline() {
-  if (ingress_.empty()) return;
-  stop_.store(true, std::memory_order_release);
-  // Same two-fence handshake as enqueue(): either a worker's park-time
-  // re-check sees stop_, or we see it parked and wake it.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  for (auto& in : ingress_) {
-    common::MutexLock lock(in->ring_mutex);
-    in->ring_cv.notify_one();
+  if (!ingress_.empty()) {
+    stop_.store(true, std::memory_order_release);
+    // The supervisor goes first so it cannot restart a worker we are
+    // about to join.
+    if (supervisor_.joinable()) {
+      {
+        common::MutexLock lock(supervisor_mutex_);
+        supervisor_cv_.notify_all();
+      }
+      supervisor_.join();
+    }
+    // Same two-fence handshake as enqueue(): either a worker's
+    // park-time re-check sees stop_, or we see it parked and wake it.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (auto& in : ingress_) {
+      common::MutexLock lock(in->ring_mutex);
+      in->ring_cv.notify_one();
+    }
+    // A worker the supervisor detached (wedged in a fault hook) is no
+    // longer joinable; tests must release such hooks before
+    // destruction.
+    for (auto& in : ingress_)
+      if (in->worker.joinable()) in->worker.join();  // drains its rings
   }
-  for (auto& in : ingress_)
-    if (in->worker.joinable()) in->worker.join();  // drains its rings
+  // The journal writer outlives the workers: events they delivered are
+  // still draining onto disk. journal_loop empties its queue before
+  // honoring the stop flag.
+  if (journal_thread_.joinable()) {
+    {
+      common::MutexLock lock(journal_mutex_);
+      journal_stop_ = true;
+      journal_cv_.notify_all();
+    }
+    journal_thread_.join();
+  }
 }
 
 void ShardedPipeline::monitor(ProcessId pid, DieId die,
@@ -151,6 +215,12 @@ void ShardedPipeline::push(const sim::Sample& sample) {
 
 void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
   Ingress& in = *ingress_[lane_shard_[lane]];
+  // A failed shard (supervisor out of restarts) accepts nothing: its
+  // windows count as dropped and producers never block on it.
+  if (in.failed.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t ring = lane_ring_[lane];
   sim::Sample window = sample;
   if (!in.rings->try_push(ring, window)) {
@@ -167,8 +237,16 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
     common::MutexLock lock(in.ring_mutex);
     in.drain_waiters.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    while (!in.rings->try_push(ring, window)) in.drain_cv.wait(in.ring_mutex);
+    bool pushed;
+    while (!(pushed = in.rings->try_push(ring, window)) &&
+           !in.failed.load(std::memory_order_acquire))
+      in.drain_cv.wait(in.ring_mutex);
     in.drain_waiters.fetch_sub(1, std::memory_order_relaxed);
+    if (!pushed) {
+      // The shard failed while we were parked: the window is lost.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   in.enqueued.fetch_add(1, std::memory_order_release);
   // Wake the shard worker if it parked on empty rings: publish (the
@@ -182,20 +260,60 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
   }
 }
 
-void ShardedPipeline::worker_loop(std::size_t shard) {
+void ShardedPipeline::worker_loop(std::size_t shard,
+                                  std::uint64_t my_generation) {
   Ingress& in = *ingress_[shard];
+  const auto notify_drain = [&] {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (in.drain_waiters.load(std::memory_order_relaxed) > 0) {
+      common::MutexLock lock(in.ring_mutex);
+      in.drain_cv.notify_all();
+    }
+  };
   for (;;) {
+    // A retired worker (the supervisor bumped the generation to
+    // preempt or replace it) exits without touching shard state.
+    if (in.generation.load(std::memory_order_acquire) != my_generation)
+      return;
+    in.heartbeat.fetch_add(1, std::memory_order_relaxed);
     sim::Sample window;
     if (in.rings->try_pop(window)) {
       const DieId lane = options_.producers > 1 ? window.die : 0;
-      shards_[shard]->ingest(lane, window);
+      bool alive = true;
+      try {
+        // Fault seam first, outside every lock: a throwing hook kills
+        // this worker (the supervisor restarts it); a blocking hook
+        // wedges it (the supervisor preempts via the generation).
+        if (options_.supervisor.fault_hook)
+          options_.supervisor.fault_hook(shard, window);
+        if (in.generation.load(std::memory_order_acquire) !=
+            my_generation) {
+          // Preempted while wedged in the hook: the popped window is
+          // lost — account for it, close the drain count, and leave.
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          in.drained.fetch_add(1, std::memory_order_release);
+          notify_drain();
+          return;
+        }
+        shards_[shard]->ingest(lane, window);
+      } catch (const std::exception& e) {
+        // The window dies with the worker; everything the shard and
+        // coordinator committed before the throw stands (their locks
+        // released on unwind). Publish the cause, then report dead.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        {
+          common::MutexLock lock(in.ring_mutex);
+          in.last_error = e.what();
+        }
+        alive = false;
+      }
       in.drained.fetch_add(1, std::memory_order_release);
       // Wake a kBlock producer waiting for a slot or a drain waiter —
       // same fence-then-check as the producer side.
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (in.drain_waiters.load(std::memory_order_relaxed) > 0) {
-        common::MutexLock lock(in.ring_mutex);
-        in.drain_cv.notify_all();
+      notify_drain();
+      if (!alive) {
+        in.worker_dead.store(true, std::memory_order_release);
+        return;
       }
       continue;
     }
@@ -206,7 +324,8 @@ void ShardedPipeline::worker_loop(std::size_t shard) {
     common::MutexLock lock(in.ring_mutex);
     in.worker_parked.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (in.rings->empty() && !stop_.load(std::memory_order_relaxed))
+    if (in.rings->empty() && !stop_.load(std::memory_order_relaxed) &&
+        in.generation.load(std::memory_order_relaxed) == my_generation)
       in.ring_cv.wait(in.ring_mutex);
     in.worker_parked.store(false, std::memory_order_relaxed);
   }
@@ -222,9 +341,141 @@ void ShardedPipeline::drain_rings() {
     common::MutexLock lock(in.ring_mutex);
     in.drain_waiters.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    while (in.drained.load(std::memory_order_acquire) < target)
+    // A failed shard will never drain again — fail_shard counted its
+    // backlog as dropped and notifies, so waiters fall through here.
+    while (in.drained.load(std::memory_order_acquire) < target &&
+           !in.failed.load(std::memory_order_acquire))
       in.drain_cv.wait(in.ring_mutex);
     in.drain_waiters.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedPipeline::supervisor_loop() {
+  const std::size_t n = ingress_.size();
+  // All supervision state lives on the supervisor's own stack — no
+  // shared mutable supervisor state, so no lock interactions beyond
+  // the leaf-level ring_mutex it takes to nudge condvars.
+  std::vector<std::uint64_t> last_drained(n, 0);
+  std::vector<std::uint64_t> last_heartbeat(n, 0);
+  std::vector<std::size_t> no_progress(n, 0);
+  std::vector<std::size_t> cooldown(n, 0);
+  std::vector<std::size_t> restarts(n, 0);
+  for (;;) {
+    {
+      common::MutexLock lock(supervisor_mutex_);
+      if (stop_.load(std::memory_order_acquire)) return;
+      supervisor_cv_.wait_for(supervisor_mutex_, options_.supervisor.tick);
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      Ingress& in = *ingress_[s];
+      if (in.failed.load(std::memory_order_acquire)) continue;
+      if (cooldown[s] > 0) {
+        // Backoff window after a restart: give the fresh worker
+        // cooldown ticks of grace before judging its progress.
+        --cooldown[s];
+        no_progress[s] = 0;
+        last_drained[s] = in.drained.load(std::memory_order_acquire);
+        last_heartbeat[s] = in.heartbeat.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (in.worker_dead.load(std::memory_order_acquire)) {
+        // The worker exited via an exception: joinable, state known.
+        cooldown[s] = restart_or_fail_shard(s, &restarts[s]);
+        no_progress[s] = 0;
+        continue;
+      }
+      const std::uint64_t drained = in.drained.load(std::memory_order_acquire);
+      const std::uint64_t heartbeat =
+          in.heartbeat.load(std::memory_order_relaxed);
+      const bool behind = drained < in.enqueued.load(std::memory_order_acquire);
+      if (behind && drained == last_drained[s]) {
+        ++no_progress[s];
+        if (no_progress[s] == options_.supervisor.stall_ticks) {
+          // First escalation: flag the stall and nudge the condvars —
+          // this alone heals a lost wakeup without losing any state.
+          stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+          common::MutexLock lock(in.ring_mutex);
+          in.ring_cv.notify_all();
+        } else if (no_progress[s] >= 2 * options_.supervisor.stall_ticks &&
+                   heartbeat == last_heartbeat[s] &&
+                   !in.worker_parked.load(std::memory_order_acquire)) {
+          // Still frozen after the nudge, heartbeat dead, and not
+          // parked: the worker is wedged mid-iteration (a stuck fault
+          // hook, a livelocked dependency). Preempt-restart.
+          cooldown[s] = restart_or_fail_shard(s, &restarts[s]);
+          no_progress[s] = 0;
+        }
+      } else {
+        no_progress[s] = 0;
+      }
+      last_drained[s] = drained;
+      last_heartbeat[s] = heartbeat;
+    }
+  }
+}
+
+std::size_t ShardedPipeline::restart_or_fail_shard(
+    std::size_t shard, std::size_t* restarts_used) {
+  Ingress& in = *ingress_[shard];
+  if (*restarts_used >= options_.supervisor.max_restarts) {
+    fail_shard(shard);
+    return 0;
+  }
+  ++*restarts_used;
+  const bool was_dead = in.worker_dead.load(std::memory_order_acquire);
+  // Retire the incumbent: bump the generation, then wake it in case it
+  // is parked (a parked worker re-checks the generation before waiting
+  // again and exits).
+  in.generation.fetch_add(1, std::memory_order_release);
+  {
+    common::MutexLock lock(in.ring_mutex);
+    in.ring_cv.notify_all();
+  }
+  if (in.worker.joinable()) {
+    if (was_dead) {
+      in.worker.join();
+    } else {
+      // Wedged, not dead: it may never return, and joining would wedge
+      // the supervisor too. Detach — the stale generation makes it
+      // exit without touching shard state if it ever resumes.
+      in.worker.detach();
+    }
+  }
+  in.worker_dead.store(false, std::memory_order_release);
+  // Only a *joined* worker is provably gone; then the shard's streaming
+  // state can be rebuilt from last-good. A detached wedged worker may
+  // still be inside ingest() holding the shard mutex — leave its state
+  // alone and let the fresh worker share it.
+  if (was_dead) shards_[shard]->reset_streams();
+  in.worker = std::thread(&ShardedPipeline::worker_loop, this, shard,
+                          in.generation.load(std::memory_order_acquire));
+  shard_restarts_.fetch_add(1, std::memory_order_relaxed);
+  return options_.supervisor.backoff_ticks * *restarts_used;
+}
+
+void ShardedPipeline::fail_shard(std::size_t shard) {
+  Ingress& in = *ingress_[shard];
+  in.generation.fetch_add(1, std::memory_order_release);  // retire worker
+  const std::uint64_t enqueued = in.enqueued.load(std::memory_order_acquire);
+  const std::uint64_t drained = in.drained.load(std::memory_order_acquire);
+  // The undrained backlog is lost: count it so windows_dropped stays an
+  // honest account. (If a detached wedged worker later drains a few of
+  // these, they double-count — acceptable for a shard being abandoned.)
+  if (enqueued > drained)
+    dropped_.fetch_add(enqueued - drained, std::memory_order_relaxed);
+  in.failed.store(true, std::memory_order_release);
+  shards_failed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    common::MutexLock lock(in.ring_mutex);
+    in.ring_cv.notify_all();   // unpark + retire the worker
+    in.drain_cv.notify_all();  // release kBlock producers/drain waiters
+  }
+  if (in.worker.joinable()) {
+    if (in.worker_dead.load(std::memory_order_acquire))
+      in.worker.join();
+    else
+      in.worker.detach();
   }
 }
 
@@ -527,12 +778,144 @@ void ShardedPipeline::refit_power_locked(const sim::Sample& sample) {
 
 void ShardedPipeline::record_event_locked(PipelineEvent event) {
   event.seq = next_seq_++;
+  journal_event_locked(event);
   events_.push_back(std::move(event));
   if (options_.history_capacity > 0 &&
       events_.size() > options_.history_capacity) {
     events_.pop_front();
     ++history_evicted_;
   }
+  if (options_.durability.checkpoint_every > 0 &&
+      !options_.durability.checkpoint_path.empty() &&
+      events_since_checkpoint_ >= options_.durability.checkpoint_every)
+    checkpoint_locked();
+}
+
+void ShardedPipeline::journal_event_locked(const PipelineEvent& event) {
+  if (!journal_enabled_.load(std::memory_order_acquire)) return;
+  // A rejected power refit changed no engine state — nothing to make
+  // durable. (Rejected profile revisions never reach the log at all.)
+  if (event.is_power() && !event.power().applied) return;
+  JournalRecord record;
+  record.seq = event.seq;
+  record.time = event.time();
+  if (event.is_profile()) {
+    const RevisionEvent& rev = event.profile();
+    record.handle = rev.handle;
+    record.revision = rev.revision;
+    // The snapshot read is exact: we hold mutex_, every apply happens
+    // under mutex_, and try_apply published before returning — so this
+    // IS the profile the event's apply installed.
+    record.profile = engine_.profile(rev.handle);
+  } else {
+    record.revision = event.power().revision;
+    record.power = engine_.power_model();
+  }
+  if (journal_async_) {
+    // Hand the record (a self-contained copy of the applied state) to
+    // the writer. Enqueue happens under mutex_, so queue order is seq
+    // order is file frame order. The event counts as journaled NOW —
+    // the count tracks the event log handed to the journal, and
+    // flush_journal()/~ShardedPipeline guarantee every handed record
+    // reaches the file (or latches a write failure).
+    {
+      common::MutexLock jlock(journal_mutex_);
+      // The writer only parks when the queue is empty — so a push onto
+      // a non-empty queue never needs a wake (the writer will re-check
+      // before waiting). Skipping the notify keeps the hot path from
+      // paying a futex wake per event.
+      const bool was_empty = journal_queue_.empty();
+      journal_queue_.push_back(std::move(record));
+      if (was_empty) journal_cv_.notify_all();
+    }
+    ++journaled_events_;
+    ++events_since_checkpoint_;
+    return;
+  }
+  if (!journal_.append(record)) {
+    // Latch: count the failure once, stop journaling, keep modeling.
+    journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    journal_enabled_.store(false, std::memory_order_release);
+    return;
+  }
+  ++journaled_events_;
+  ++events_since_checkpoint_;
+}
+
+void ShardedPipeline::journal_loop() {
+  std::deque<JournalRecord> batch;
+  for (;;) {
+    {
+      common::MutexLock lock(journal_mutex_);
+      journal_busy_ = false;
+      journal_cv_.notify_all();  // flush_journal waits on empty && !busy
+      journal_cv_.wait(journal_mutex_, [this]()
+                                           REPRO_REQUIRES(journal_mutex_) {
+                                             return !journal_queue_.empty() ||
+                                                    journal_stop_;
+                                           });
+      if (journal_queue_.empty()) return;  // stop requested, fully drained
+      // Swap out everything queued since the last wake: one park/wake
+      // cycle amortizes over the whole burst instead of costing a
+      // context switch per event.
+      batch.swap(journal_queue_);
+      journal_busy_ = true;
+    }
+    // File I/O runs with no lock held: shards keep applying revisions
+    // while these encodes + appends (and any fsync the cadence
+    // schedules) are in flight. This thread never takes mutex_, so the
+    // lock order stays mutex_ -> journal_mutex_, acyclic.
+    for (const JournalRecord& record : batch) {
+      if (!journal_enabled_.load(std::memory_order_acquire)) break;
+      if (!journal_.append(record)) {
+        journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
+        journal_enabled_.store(false, std::memory_order_release);
+      }
+    }
+    batch.clear();
+  }
+}
+
+void ShardedPipeline::flush_journal() {
+  {
+    common::MutexLock lock(journal_mutex_);
+    journal_cv_.wait(journal_mutex_, [this]()
+                                         REPRO_REQUIRES(journal_mutex_) {
+                                           return journal_queue_.empty() &&
+                                                  !journal_busy_;
+                                         });
+  }
+  // The writer is parked inside its wait (queue empty, not busy), and
+  // releasing journal_mutex_ after its last append gives us a
+  // happens-before edge on the file state — safe to touch journal_
+  // from this thread.
+  if (journal_enabled_.load(std::memory_order_acquire) &&
+      !journal_.sync()) {
+    journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    journal_enabled_.store(false, std::memory_order_release);
+  }
+}
+
+bool ShardedPipeline::checkpoint_locked() {
+  try {
+    engine::save_checkpoint(options_.durability.checkpoint_path,
+                            *engine_.snapshot(), next_seq_);
+  } catch (const Error&) {
+    // atomic_write_file failed before the rename: the previous
+    // checkpoint file is intact. Counted with the journal failures —
+    // one counter covers every durability write path.
+    ++journal_write_failures_;
+    return false;
+  }
+  ++checkpoints_;
+  events_since_checkpoint_ = 0;
+  return true;
+}
+
+bool ShardedPipeline::checkpoint() {
+  if (options_.durability.checkpoint_path.empty()) return false;
+  common::MutexLock lock(mutex_);
+  return checkpoint_locked();
 }
 
 void ShardedPipeline::finish() {
@@ -578,6 +961,18 @@ void ShardedPipeline::finish() {
       wrapped.payload = std::move(*event);
       record_event_locked(std::move(wrapped));
     }
+  }
+  // Make the run's tail durable regardless of the fsync cadence: after
+  // finish() returns, everything the log holds survives a power cut.
+  if (journal_async_) {
+    flush_journal();
+    return;
+  }
+  common::MutexLock lock(mutex_);
+  if (journal_enabled_.load(std::memory_order_acquire) &&
+      !journal_.sync()) {
+    journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    journal_enabled_.store(false, std::memory_order_release);
   }
 }
 
@@ -625,6 +1020,14 @@ PipelineStats ShardedPipeline::stats_locked() const {
   s.health.revisions_rejected = revisions_rejected_;
   s.health.degraded_resolves = degraded_resolves_;
   s.health.history_evicted = history_evicted_;
+  s.journaled_events = journaled_events_;
+  s.checkpoints = checkpoints_;
+  s.health.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
+  s.health.shard_restarts = shard_restarts_.load(std::memory_order_relaxed);
+  s.health.shards_failed = shards_failed_.load(std::memory_order_relaxed);
+  s.health.recovery_truncated_frames = recovery_.journal.truncated_frames;
+  s.health.journal_write_failures =
+      journal_write_failures_.load(std::memory_order_relaxed);
   return s;
 }
 

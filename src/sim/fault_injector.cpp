@@ -67,6 +67,12 @@ FaultInjector::FaultInjector(System::SampleCallback downstream,
                    options_.scale_hi >= options_.scale_lo,
                "bad scale-noise range");
   REPRO_ENSURE(options_.spike_factor > 1.0, "spike factor must exceed 1");
+  REPRO_ENSURE(options_.burst_enter >= 0.0 && options_.burst_enter <= 1.0 &&
+                   options_.burst_drop >= 0.0 && options_.burst_drop <= 1.0,
+               "burst probabilities must be in [0, 1]");
+  REPRO_ENSURE(options_.burst_enter == 0.0 ||
+                   (options_.burst_exit > 0.0 && options_.burst_exit <= 1.0),
+               "burst_exit must be in (0, 1] when bursts are enabled");
 }
 
 void FaultInjector::deliver(const Sample& s) {
@@ -116,6 +122,25 @@ void FaultInjector::corrupt_zero(Sample& s) {
 void FaultInjector::push(const Sample& sample) {
   ++stats_.windows_seen;
 
+  // Correlated burst layer, drawn BEFORE the per-class draws. Gated on
+  // burst_enter so a disabled layer consumes no RNG state and existing
+  // (seed, options) fault patterns stay bit-identical.
+  bool burst_dropped = false;
+  if (options_.burst_enter > 0.0) {
+    if (!in_burst_) {
+      if (rng_.bernoulli(options_.burst_enter)) {
+        in_burst_ = true;
+        ++stats_.bursts;
+      }
+    } else if (rng_.bernoulli(options_.burst_exit)) {
+      in_burst_ = false;
+    }
+    if (in_burst_ && rng_.bernoulli(options_.burst_drop)) {
+      burst_dropped = true;
+      ++stats_.burst_dropped;
+    }
+  }
+
   // Draw every class in a fixed order so the fault pattern depends only
   // on (seed, window ordinal), not on which faults happened to fire.
   const bool do_drop = rng_.bernoulli(options_.drop);
@@ -132,8 +157,8 @@ void FaultInjector::push(const Sample& sample) {
   if (do_spike) corrupt_spike(s);
   if (do_zero) corrupt_zero(s);
 
-  if (do_drop) {
-    ++stats_.dropped;
+  if (do_drop || burst_dropped) {
+    if (do_drop) ++stats_.dropped;
   } else if (do_reorder && !held_.has_value()) {
     // Hold this window; it is released right after its successor, so
     // the downstream sees the two swapped.

@@ -189,6 +189,81 @@ std::string corrupt(std::size_t lineno, const std::string& replacement) {
   return out.str();
 }
 
+TEST(Serialize, CheckpointRoundTripsExactly) {
+  ModelStore store;
+  store.profiles = {sample_profile("gzip"), sample_profile("mcf")};
+  store.power_model.emplace(
+      45.0, std::array<double, 5>{6e-9, 2e-8, -3e-7, 4e-9, 5e-9}, 4);
+  CheckpointMeta meta;
+  meta.epoch = 17;
+  meta.power_revision = 3;
+  meta.journal_next = 42;
+
+  const std::string text = write_checkpoint_text(meta, store);
+  const Checkpoint parsed = read_checkpoint(text);
+  EXPECT_EQ(parsed.meta.epoch, 17u);
+  EXPECT_EQ(parsed.meta.power_revision, 3u);
+  EXPECT_EQ(parsed.meta.journal_next, 42u);
+  ASSERT_EQ(parsed.store.profiles.size(), 2u);
+  EXPECT_EQ(parsed.store.profiles[0].name, "gzip");
+  EXPECT_EQ(parsed.store.profiles[1].name, "mcf");
+  ASSERT_TRUE(parsed.store.power_model.has_value());
+  EXPECT_DOUBLE_EQ(parsed.store.power_model->idle_core(), 45.0 / 4.0);
+
+  // Serialization is a fixed point: re-rendering the parsed checkpoint
+  // reproduces the original bytes (the recovery byte-identity lever).
+  EXPECT_EQ(write_checkpoint_text(parsed.meta, parsed.store), text);
+}
+
+TEST(Serialize, CheckpointChecksumMismatchIsRejected) {
+  ModelStore store;
+  store.profiles = {sample_profile("vpr")};
+  CheckpointMeta meta;
+  meta.epoch = 2;
+  std::string text = write_checkpoint_text(meta, store);
+
+  // Flip one body byte; the footer must catch it before read_store
+  // sees a single field.
+  std::string corrupt = text;
+  corrupt[text.size() / 2] ^= 0x01;
+  try {
+    read_checkpoint(corrupt);
+    FAIL() << "corrupt checkpoint parsed";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, CheckpointMalformedFramingIsRejected) {
+  ModelStore store;
+  store.profiles = {sample_profile("vpr")};
+  CheckpointMeta meta;
+  const std::string text = write_checkpoint_text(meta, store);
+
+  const auto expect_rejected = [](const std::string& bad,
+                                  const std::string& needle) {
+    try {
+      read_checkpoint(bad);
+      FAIL() << "malformed checkpoint parsed (wanted: " << needle << ")";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  // Truncation mid-footer, a missing footer line, a meta line with the
+  // wrong shape, and no meta line at all.
+  expect_rejected(text.substr(0, text.size() - 4), "checkpoint");
+  expect_rejected("# cmp_models checkpoint\nprofile p\nend\n",
+                  "checkpoint missing checksum footer");
+  expect_rejected("", "checkpoint is empty");
+  const std::size_t meta_pos = text.find("checkpoint v1");
+  std::string bad_meta = text;
+  bad_meta.replace(meta_pos, 13, "checkpoint v9");
+  expect_rejected(bad_meta, "checkpoint");
+}
+
 TEST(Serialize, CorpusBaselineParses) {
   std::istringstream ss(valid_store_text());
   const ModelStore store = read_store(ss);

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "repro/core/partitioning.hpp"
+#include "repro/engine/checkpoint.hpp"
 #include "repro/sim/machine.hpp"
 
 namespace repro::engine {
@@ -204,6 +205,55 @@ TEST(ModelEngine, RegistrationValidatesAndNamesTheProcess) {
   anonymous.name.clear();
   EXPECT_THROW(eng.register_process(anonymous), Error);
   EXPECT_EQ(eng.process_count(), 0u);
+}
+
+TEST(ModelEngine, RestoreRebuildsFreshEngineWithDenseHandles) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  std::vector<core::ProcessProfile> profiles = suite();
+  profiles.resize(3);
+
+  // The reference arm: the same state reached through registrations.
+  ModelEngine reference(machine, model());
+  for (const core::ProcessProfile& p : profiles) reference.register_process(p);
+
+  ModelEngine restored(machine, model());
+  restored.restore(profiles, model(), /*power_revision=*/5, /*epoch=*/9);
+
+  EXPECT_EQ(restored.process_count(), 3u);
+  EXPECT_EQ(restored.find("worker"), std::optional<ProcessHandle>(0));
+  EXPECT_EQ(restored.find("streamer"), std::optional<ProcessHandle>(2));
+  EXPECT_EQ(restored.power_revision(), 5u);
+  const auto snap = restored.snapshot();
+  EXPECT_GE(snap->epoch(), 9u) << "epoch must never move backwards";
+  EXPECT_EQ(snap->live_handles(), (std::vector<ProcessHandle>{0, 1, 2}));
+  EXPECT_EQ(engine_state_text(*snap),
+            engine_state_text(*reference.snapshot()));
+}
+
+TEST(ModelEngine, RestoreRefusesNonFreshEngineUntouched) {
+  ModelEngine eng(sim::four_core_server());
+  eng.register_process(suite()[0]);
+  EXPECT_THROW(eng.restore({suite()[1]}, std::nullopt, 0, 1), Error);
+  // The refusal must leave the engine exactly as it was.
+  EXPECT_EQ(eng.process_count(), 1u);
+  EXPECT_EQ(eng.find("worker"), std::optional<ProcessHandle>(0));
+  EXPECT_EQ(eng.find("sprinter"), std::nullopt);
+
+  // A power-model checkpoint cannot restore into a power-less engine.
+  ModelEngine no_power(sim::four_core_server());
+  EXPECT_THROW(no_power.restore({suite()[0]}, model(), 1, 1), Error);
+  EXPECT_EQ(no_power.process_count(), 0u);
+}
+
+TEST(ModelEngine, LiveHandlesAreDenseInHandleOrderAndSkipCollected) {
+  ModelEngine eng(sim::four_core_server());
+  const auto profiles = suite();
+  for (std::size_t i = 0; i < 3; ++i) eng.register_process(profiles[i]);
+  EXPECT_EQ(eng.snapshot()->live_handles(),
+            (std::vector<ProcessHandle>{0, 1, 2}));
+  eng.collect_garbage([](ProcessHandle h) { return h != 1; });
+  EXPECT_EQ(eng.snapshot()->live_handles(),
+            (std::vector<ProcessHandle>{0, 2}));
 }
 
 TEST(ModelEngine, MatchesDirectCompositionBitForBit) {

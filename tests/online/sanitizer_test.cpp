@@ -246,6 +246,68 @@ TEST(SampleSanitizer, IdleWindowsPassThrough) {
   EXPECT_EQ(san.stats().forwarded, 1u);
 }
 
+sim::Sample scaled_window(double t, double factor) {
+  sim::Sample s = window(t);
+  for (auto f : kFields) s.process_delta[0].*f *= factor;
+  return s;
+}
+
+TEST(SampleSanitizer, AutoTuneCatchesSpikesTheStaticBoundsAdmit) {
+  SampleSanitizerOptions o = with_ways();
+  o.auto_tune = true;
+  o.tune_prefix = 8;
+  SampleSanitizer san(o);
+  sim::Sample out;
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(san.sanitize(window(0.03 * (i + 1)), &out));
+  EXPECT_EQ(san.stats().learned_bounds, 1u);
+
+  // 1000x every counter: far beyond this process's real rate yet far
+  // below the static 1e12/s ceiling — only the learned bound sees it.
+  EXPECT_FALSE(san.sanitize(scaled_window(0.03 * 9, 1000.0), &out));
+  EXPECT_EQ(san.stats().quarantined_learned, 1u);
+  EXPECT_EQ(san.stats().quarantined_implausible, 1u);
+
+  // A genuine few-fold phase swing stays admissible (floor ratio 4).
+  EXPECT_TRUE(san.sanitize(scaled_window(0.03 * 10, 2.0), &out));
+  EXPECT_EQ(san.stats().forwarded, 9u);
+}
+
+TEST(SampleSanitizer, AutoTuneOffKeepsStaticParityAndCleanStreamsUntouched) {
+  // Off: the same spike sails through the static bounds (that gap is
+  // exactly what the learned ceiling exists to close).
+  SampleSanitizer off(with_ways());
+  sim::Sample out;
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(off.sanitize(window(0.03 * (i + 1)), &out));
+  EXPECT_TRUE(off.sanitize(scaled_window(0.03 * 9, 1000.0), &out));
+  EXPECT_EQ(off.stats().quarantined_learned, 0u);
+
+  // On, clean stream: parity — every window forwards bit-identical.
+  SampleSanitizerOptions o = with_ways();
+  o.auto_tune = true;
+  o.tune_prefix = 8;
+  SampleSanitizer on(o);
+  for (int i = 0; i < 20; ++i) {
+    const sim::Sample in = window(0.03 * (i + 1));
+    ASSERT_TRUE(on.sanitize(in, &out)) << "window " << i;
+    expect_identical(in, out);
+  }
+  EXPECT_EQ(on.stats().quarantined, 0u);
+  EXPECT_EQ(on.stats().learned_bounds, 1u);
+}
+
+TEST(SampleSanitizer, AutoTuneRejectsNonsenseKnobs) {
+  SampleSanitizerOptions shallow;
+  shallow.auto_tune = true;
+  shallow.tune_prefix = 2;
+  EXPECT_THROW(SampleSanitizer{shallow}, Error);
+  SampleSanitizerOptions loose;
+  loose.auto_tune = true;
+  loose.tune_floor_ratio = 0.5;
+  EXPECT_THROW(SampleSanitizer{loose}, Error);
+}
+
 TEST(SampleSanitizer, RejectsNonsenseOptions) {
   {
     SampleSanitizerOptions o;

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -398,6 +401,112 @@ TEST(ShardedPipeline, RingModeMultiProducerMatchesInlineIngest) {
     EXPECT_EQ(a[i], b[i]) << "event " << i;
   expect_stats_equal(inline_rig.pipe.snapshot().stats,
                      ring_rig.pipe.snapshot().stats);
+}
+
+/// Ring mode with a fast supervisor tick, sized for fault injection.
+ShardedPipelineOptions supervised_options(std::size_t shards) {
+  ShardedPipelineOptions o = lane_options(shards);
+  o.inline_ingest = false;
+  o.ring_capacity = 64;
+  o.backpressure = Backpressure::kBlock;
+  o.supervisor.enabled = true;
+  o.supervisor.tick = std::chrono::milliseconds(2);
+  o.supervisor.stall_ticks = 3;
+  o.supervisor.max_restarts = 2;
+  o.supervisor.backoff_ticks = 1;
+  return o;
+}
+
+TEST(ShardedPipeline, SupervisorRestartsCrashedWorker) {
+  ShardedPipelineOptions o = supervised_options(4);
+  std::atomic<bool> crashed{false};
+  o.supervisor.fault_hook = [&](std::size_t shard, const sim::Sample&) {
+    if (shard == 0 && !crashed.exchange(true))
+      throw std::runtime_error("injected worker crash");
+  };
+  Rig rig(std::move(o));
+  for (std::uint64_t seq = 0; seq < 24; ++seq)
+    for (DieId lane = 0; lane < kLanes; ++lane)
+      rig.pipe.push(make_window(lane, seq, rig.machine.cores));
+  // finish() can only drain shard 0 once the supervisor has noticed
+  // the dead worker and respawned it.
+  rig.pipe.finish();
+
+  const PipelineStats s = rig.pipe.snapshot().stats;
+  EXPECT_TRUE(crashed.load());
+  EXPECT_EQ(s.health.shard_restarts, 1u);
+  EXPECT_EQ(s.health.shards_failed, 0u);
+  // Exactly the window the crashing worker held is lost; everything
+  // behind it drains through the replacement.
+  EXPECT_EQ(s.health.windows_dropped, 1u);
+  EXPECT_GT(s.revisions, 0u);
+}
+
+TEST(ShardedPipeline, SupervisorPreemptsWedgedWorkerAfterStall) {
+  ShardedPipelineOptions o = supervised_options(4);
+  std::atomic<bool> wedge{true};
+  std::atomic<bool> wedged_once{false};
+  o.supervisor.fault_hook = [&](std::size_t shard, const sim::Sample&) {
+    if (shard == 0 && !wedged_once.exchange(true))
+      while (wedge.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  Rig rig(std::move(o));
+  for (std::uint64_t seq = 0; seq < 12; ++seq)
+    for (DieId lane = 0; lane < kLanes; ++lane)
+      rig.pipe.push(make_window(lane, seq, rig.machine.cores));
+
+  // The wedged worker freezes shard 0 with a backlog: the supervisor
+  // must flag the stall (condvar nudge first), find the heartbeat
+  // dead, and preempt-restart.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (rig.pipe.snapshot().stats.health.shard_restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const PipelineStats mid = rig.pipe.snapshot().stats;
+  EXPECT_GE(mid.health.stalls_detected, 1u);
+  EXPECT_EQ(mid.health.shard_restarts, 1u);
+
+  // Release the wedged thread; its retired generation makes it mark
+  // its window dropped and exit, which is what lets finish() drain.
+  wedge.store(false);
+  rig.pipe.finish();
+  const PipelineStats fin = rig.pipe.snapshot().stats;
+  EXPECT_EQ(fin.health.shards_failed, 0u);
+  EXPECT_EQ(fin.health.windows_dropped, 1u);
+  EXPECT_GT(fin.revisions, 0u);
+  // The preempted worker was detached, not joined: give its last few
+  // instructions (past the final counter update) time to clear before
+  // the pipeline is destroyed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+TEST(ShardedPipeline, SupervisorFailsShardAfterMaxRestarts) {
+  ShardedPipelineOptions o = supervised_options(4);
+  std::atomic<int> crashes{0};
+  o.supervisor.fault_hook = [&](std::size_t shard, const sim::Sample&) {
+    if (shard == 0) {
+      crashes.fetch_add(1);
+      throw std::runtime_error("injected crash loop");
+    }
+  };
+  Rig rig(std::move(o));
+  for (std::uint64_t seq = 0; seq < 12; ++seq)
+    for (DieId lane = 0; lane < kLanes; ++lane)
+      rig.pipe.push(make_window(lane, seq, rig.machine.cores));
+  // Shard 0 can never drain; finish() returns because fail_shard
+  // releases the drain waiters.
+  rig.pipe.finish();
+
+  const PipelineStats s = rig.pipe.snapshot().stats;
+  EXPECT_EQ(crashes.load(), 3) << "initial worker + max_restarts spawns";
+  EXPECT_EQ(s.health.shard_restarts, 2u);
+  EXPECT_EQ(s.health.shards_failed, 1u);
+  // Every shard-0 window is accounted dropped: one per crash, the
+  // rest abandoned by fail_shard.
+  EXPECT_EQ(s.health.windows_dropped, 12u);
+  EXPECT_GT(s.revisions, 0u) << "the other shards must keep working";
 }
 
 TEST(ShardedPipeline, ShardCountClampsToProducerLanes) {

@@ -264,6 +264,89 @@ TEST(FaultInjector, StatsAccountForEveryWindowUnderAMixedLoad) {
   EXPECT_GT(st.zeroed, 0u);
 }
 
+TEST(FaultInjector, BurstsDropCorrelatedRunsAndAreAccounted) {
+  FaultInjectorOptions opts;
+  opts.burst_enter = 0.15;
+  opts.burst_exit = 0.3;
+  opts.burst_drop = 1.0;
+  opts.seed = 7;
+  Collector out;
+  FaultInjector inj(out.sink(), opts);
+  constexpr int kWindows = 300;
+  for (int i = 0; i < kWindows; ++i) inj.push(window(0.03 * (i + 1)));
+  inj.flush();
+
+  const FaultInjector::Stats& s = inj.stats();
+  EXPECT_GE(s.bursts, 2u) << "300 windows at enter=0.15 must burst";
+  EXPECT_GT(s.burst_dropped, 0u);
+  EXPECT_EQ(s.dropped, 0u) << "no independent drops configured";
+  EXPECT_EQ(out.delivered.size(),
+            static_cast<std::size_t>(kWindows) - s.burst_dropped);
+
+  // The layer's whole point: losses arrive in runs, not as isolated
+  // windows. Find at least one gap of >= 2 consecutive missing times.
+  std::size_t longest_gap = 0, gap = 0;
+  double expect_t = 0.03;
+  for (const Sample& d : out.delivered) {
+    gap = 0;
+    while (d.time > expect_t + 0.015) {
+      ++gap;
+      expect_t += 0.03;
+    }
+    longest_gap = std::max(longest_gap, gap);
+    expect_t += 0.03;
+  }
+  EXPECT_GE(longest_gap, 2u)
+      << "expected burst length 1/0.3 must produce a multi-window gap";
+}
+
+TEST(FaultInjector, BurstPatternIsAPureFunctionOfTheSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultInjectorOptions o;
+    o.burst_enter = 0.1;
+    o.burst_exit = 0.25;
+    o.drop = 0.05;  // layered over an independent class
+    o.seed = seed;
+    Collector out;
+    FaultInjector inj(out.sink(), o);
+    for (int i = 0; i < 200; ++i) inj.push(window(0.03 * (i + 1)));
+    inj.flush();
+    std::vector<double> times;
+    for (const Sample& s : out.delivered) times.push_back(s.time);
+    return times;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(1234));
+}
+
+TEST(FaultInjector, DisabledBurstLayerConsumesNoRandomness) {
+  // burst_enter == 0 must leave the (seed, options) fault pattern
+  // bit-identical no matter what the other burst knobs say — the
+  // layer may not draw from the RNG at all.
+  auto run = [](double burst_exit, double burst_drop) {
+    FaultInjectorOptions o;
+    o.drop = 0.2;
+    o.duplicate = 0.2;
+    o.spike = 0.1;
+    o.seed = 42;
+    o.burst_enter = 0.0;
+    o.burst_exit = burst_exit;
+    o.burst_drop = burst_drop;
+    Collector out;
+    FaultInjector inj(out.sink(), o);
+    for (int i = 0; i < 200; ++i) inj.push(window(0.03 * (i + 1)));
+    inj.flush();
+    std::vector<double> trace;
+    for (const Sample& s : out.delivered) {
+      trace.push_back(s.time);
+      trace.push_back(s.process_delta[0].l2_misses);
+      trace.push_back(s.process_delta[1].instructions);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(0.35, 1.0), run(0.9, 0.5));
+}
+
 TEST(FaultInjector, ParseFaultClassCoversEveryName) {
   for (FaultClass c : {FaultClass::kDrop, FaultClass::kDuplicate,
                        FaultClass::kReorder, FaultClass::kWrap,

@@ -16,6 +16,12 @@
 //                     [--fault-seed 1] [--sanitize on|off]
 //                     [--power-refit on|off] [--ingest inline|ring]
 //                     [--shards N] [--coalesce on] [--dump-bad on]
+//                     [--journal j.log] [--checkpoint c.txt]
+//                     [--fsync every_n|on_revision|off] [--fsync-every 32]
+//                     [--checkpoint-every 64] [--recover on|off]
+//                     [--supervise on]
+//   cmpmodel checkpoint --machine server --checkpoint c.txt
+//                       [--journal j.log] [--json on]
 //
 // Machines: server (4-core/2-die), workstation (2-core), laptop
 // (2-core 12-way). --assign lists per-core run queues separated by
@@ -54,6 +60,19 @@
 // ring — the last quarantined windows with their sanitizer verdicts —
 // after the run.
 //
+// --journal arms the crash-safe event journal (every applied revision
+// framed + CRC-32C checksummed, fsync per --fsync/--fsync-every);
+// --checkpoint adds atomic engine checkpoints every --checkpoint-every
+// journaled events. A watch killed mid-run — even SIGKILL mid-write —
+// restarts with --recover on (default) from the newest valid
+// checkpoint plus a journal replay, torn tails cut; the summary's
+// durability line (and the JSON summary's "durability" object)
+// reports the counters. --supervise on (ring mode) arms the shard
+// supervisor: stalled or crashed shard workers restart with bounded
+// backoff, and the health counters record it. The standalone
+// `cmpmodel checkpoint` compacts durable state offline: recover,
+// write a fresh checkpoint, truncate the journal.
+//
 // When the store supplies a power model, every window that carries
 // ground truth (a finite, positive measured clamp power) also reports
 // the current model's prediction error against it — the error uses an
@@ -84,6 +103,7 @@
 #include "repro/core/power_model.hpp"
 #include "repro/core/profiler.hpp"
 #include "repro/core/serialize.hpp"
+#include "repro/engine/checkpoint.hpp"
 #include "repro/engine/model_engine.hpp"
 #include "repro/math/stats.hpp"
 #include "repro/online/pipeline.hpp"
@@ -615,7 +635,56 @@ int cmd_watch(const Args& args) {
     pipe_options.power.refit_interval = 16;
     pipe_options.power.min_fit_windows = 16;
   }
+  // Durability (ISSUE 8): --journal arms the checksummed event
+  // journal, --checkpoint the atomic engine checkpoints. With
+  // --recover on (the default) the watch resumes from whatever a
+  // previous — possibly SIGKILLed — run left behind.
+  const std::string journal_path = args.get("journal", "");
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  pipe_options.durability.journal_path = journal_path;
+  pipe_options.durability.checkpoint_path = checkpoint_path;
+  pipe_options.durability.checkpoint_every = static_cast<std::size_t>(
+      std::stoull(args.get("checkpoint-every", "64")));
+  pipe_options.durability.recover = args.get("recover", "on") != "off";
+  const std::string fsync_mode = args.get("fsync", "every_n");
+  if (fsync_mode == "off")
+    pipe_options.durability.journal.fsync = online::JournalFsync::kOff;
+  else if (fsync_mode == "on_revision")
+    pipe_options.durability.journal.fsync = online::JournalFsync::kOnRevision;
+  else
+    REPRO_ENSURE(fsync_mode == "every_n",
+                 "--fsync must be every_n, on_revision, or off");
+  pipe_options.durability.journal.fsync_every =
+      static_cast<std::size_t>(std::stoull(args.get("fsync-every", "32")));
+  // Shard supervision rides on ring ingestion (inline ingest has no
+  // workers to supervise).
+  const bool supervise = args.get("supervise", "off") != "off";
+  if (supervise) {
+    REPRO_ENSURE(!pipe_options.inline_ingest,
+                 "--supervise needs --ingest ring");
+    pipe_options.supervisor.enabled = true;
+  }
   online::ShardedPipeline pipe(*eng, pipe_options);
+  const online::RecoveryReport& recovered = pipe.recovery();
+  if (!json && pipe_options.durability.recover &&
+      (!journal_path.empty() || !checkpoint_path.empty()) &&
+      (recovered.checkpoint_found || recovered.replayed > 0 ||
+       recovered.journal.found)) {
+    std::printf("recovered: %s, %zu event(s) replayed from the journal"
+                "%s%s; event log resumes at seq %llu\n\n",
+                recovered.checkpoint_found
+                    ? ("checkpoint at epoch " +
+                       std::to_string(recovered.checkpoint_epoch))
+                          .c_str()
+                    : "no checkpoint",
+                recovered.replayed,
+                recovered.journal.truncated_frames > 0 ? ", torn tail cut"
+                                                       : "",
+                recovered.checkpoint_error.empty() ? ""
+                                                   : " (stale checkpoint "
+                                                     "refused)",
+                static_cast<unsigned long long>(recovered.next_seq));
+  }
   for (std::size_t idx = 0; idx < names.size(); ++idx)
     pipe.monitor(pids[idx], sharded ? dies[idx] : 0, names[idx]);
 
@@ -766,7 +835,12 @@ int cmd_watch(const Args& args) {
         "\"health\":{\"seen\":%llu,"
         "\"forwarded\":%llu,\"repaired\":%llu,\"quarantined\":%llu,"
         "\"dropped\":%llu,"
-        "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu}}}\n",
+        "\"rejected\":%llu,\"degraded\":%llu,\"evicted\":%llu},"
+        "\"durability\":{\"journaled\":%llu,\"checkpoints\":%llu,"
+        "\"replayed\":%llu,\"truncated_frames\":%llu,"
+        "\"write_failures\":%llu},"
+        "\"supervisor\":{\"stalls\":%llu,\"restarts\":%llu,"
+        "\"shards_failed\":%llu}}}\n",
         static_cast<unsigned long long>(stats.windows),
         static_cast<unsigned long long>(stats.revisions),
         static_cast<unsigned long long>(stats.phase_changes),
@@ -784,7 +858,15 @@ int cmd_watch(const Args& args) {
         static_cast<unsigned long long>(h.windows_dropped),
         static_cast<unsigned long long>(h.revisions_rejected),
         static_cast<unsigned long long>(h.degraded_resolves),
-        static_cast<unsigned long long>(h.history_evicted));
+        static_cast<unsigned long long>(h.history_evicted),
+        static_cast<unsigned long long>(stats.journaled_events),
+        static_cast<unsigned long long>(stats.checkpoints),
+        static_cast<unsigned long long>(recovered.replayed),
+        static_cast<unsigned long long>(h.recovery_truncated_frames),
+        static_cast<unsigned long long>(h.journal_write_failures),
+        static_cast<unsigned long long>(h.stalls_detected),
+        static_cast<unsigned long long>(h.shard_restarts),
+        static_cast<unsigned long long>(h.shards_failed));
   } else {
     std::printf("\n%llu windows -> %llu revisions, %llu phase changes, "
                 "%llu re-solves (mean %.1f solver iterations)\n",
@@ -812,6 +894,23 @@ int cmd_watch(const Args& args) {
                 static_cast<unsigned long long>(health.revisions_rejected),
                 static_cast<unsigned long long>(health.degraded_resolves),
                 static_cast<unsigned long long>(health.history_evicted));
+    if (!journal_path.empty() || !checkpoint_path.empty())
+      std::printf("durability: %llu events journaled, %llu checkpoints, "
+                  "%zu replayed at start, %llu torn frames cut, "
+                  "%llu write failures\n",
+                  static_cast<unsigned long long>(stats.journaled_events),
+                  static_cast<unsigned long long>(stats.checkpoints),
+                  recovered.replayed,
+                  static_cast<unsigned long long>(
+                      health.recovery_truncated_frames),
+                  static_cast<unsigned long long>(
+                      health.journal_write_failures));
+    if (supervise)
+      std::printf("supervisor: %llu stalls detected, %llu shard restarts, "
+                  "%llu shards failed\n",
+                  static_cast<unsigned long long>(health.stalls_detected),
+                  static_cast<unsigned long long>(health.shard_restarts),
+                  static_cast<unsigned long long>(health.shards_failed));
     if (stats.power_revisions > 0 || stats.power_rejected > 0 ||
         err_windows > 0) {
       std::printf("power: %llu refits applied, %llu rejected, "
@@ -893,10 +992,90 @@ int cmd_watch(const Args& args) {
   return 0;
 }
 
+/// checkpoint — compact durable state offline: recover (newest valid
+/// checkpoint + journal replay), publish a fresh atomic checkpoint
+/// holding the merged state, then truncate the journal to its header.
+/// A crash at any point leaves a recoverable pair: the rename is
+/// atomic and the journal is only cut after the checkpoint is durable.
+int cmd_checkpoint(const Args& args) {
+  const MachineChoice m = machine_by_name(args.require("machine"));
+  const std::string checkpoint_path = args.require("checkpoint");
+  const std::string journal_path = args.get("journal", "");
+  const bool json = args.get("json", "off") != "off";
+
+  // restore() only accepts a power model into an engine built with
+  // one, so peek at the durable state to construct the right shape.
+  std::optional<core::PowerModel> incumbent;
+  try {
+    if (auto cp = engine::load_checkpoint(checkpoint_path))
+      if (cp->store.power_model.has_value())
+        incumbent = cp->store.power_model;
+  } catch (const Error&) {
+    // Corrupt checkpoint: recover_engine will refuse it with the same
+    // message and fall back to replaying the journal from scratch.
+  }
+  if (!incumbent.has_value() && !journal_path.empty()) {
+    const online::JournalRecovery scan = online::scan_journal(journal_path);
+    for (const online::JournalRecord& r : scan.records)
+      if (r.power.has_value()) {
+        incumbent = r.power;
+        break;
+      }
+  }
+
+  engine::EngineOptions eng_options;
+  eng_options.threads = 1;
+  auto eng = incumbent.has_value()
+                 ? std::make_unique<engine::ModelEngine>(m.machine, *incumbent,
+                                                         eng_options)
+                 : std::make_unique<engine::ModelEngine>(m.machine,
+                                                         eng_options);
+  const online::RecoveryReport report =
+      online::recover_engine(*eng, checkpoint_path, journal_path);
+
+  engine::save_checkpoint(checkpoint_path, *eng->snapshot(),
+                          report.next_seq);
+  bool journal_truncated = false;
+  if (!journal_path.empty() && report.journal.found) {
+    // The fresh checkpoint now holds every replayed frame; restart the
+    // journal empty so the next watch appends after a short file.
+    online::JournalWriter writer;
+    REPRO_ENSURE(writer.open(journal_path, online::JournalOptions{}, 0),
+                 "journal truncate failed: " + writer.last_error());
+    journal_truncated = true;
+  }
+
+  const std::size_t profiles = eng->snapshot()->process_count();
+  if (json) {
+    std::printf(
+        "{\"checkpoint\":{\"path\":\"%s\",\"epoch\":%llu,"
+        "\"profiles\":%zu,\"power_model\":%s,\"next_seq\":%llu,"
+        "\"replayed\":%zu,\"skipped\":%zu,\"truncated_frames\":%zu,"
+        "\"journal_truncated\":%s}}\n",
+        checkpoint_path.c_str(),
+        static_cast<unsigned long long>(eng->snapshot()->epoch()), profiles,
+        eng->has_power_model() ? "true" : "false",
+        static_cast<unsigned long long>(report.next_seq), report.replayed,
+        report.skipped, report.journal.truncated_frames,
+        journal_truncated ? "true" : "false");
+  } else {
+    std::printf("recovered %zu profile(s)%s: %zu journal event(s) replayed, "
+                "%zu already in the checkpoint, %zu torn frame(s) cut\n",
+                profiles, eng->has_power_model() ? " + power model" : "",
+                report.replayed, report.skipped,
+                report.journal.truncated_frames);
+    std::printf("checkpoint written to %s (event log resumes at seq %llu)%s\n",
+                checkpoint_path.c_str(),
+                static_cast<unsigned long long>(report.next_seq),
+                journal_truncated ? "; journal compacted" : "");
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: cmpmodel <profile|train|predict|estimate|assign|"
-               "simulate|watch> [--key value]...\n"
+               "simulate|watch|checkpoint> [--key value]...\n"
                "see the header comment of tools/cmpmodel.cpp for examples\n");
   return 2;
 }
@@ -914,6 +1093,7 @@ int main(int argc, char** argv) {
     if (args.command == "assign") return cmd_assign(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "watch") return cmd_watch(args);
+    if (args.command == "checkpoint") return cmd_checkpoint(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

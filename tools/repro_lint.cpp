@@ -30,6 +30,12 @@
 //                          object (a shard may lock only its own
 //                          mutex_; shard → other-shard locking is the
 //                          deadlock shape DESIGN 5.7 bans)
+//   io/unchecked-write     in the durability layer (journal, checkpoint,
+//                          durable_file, sharded_pipeline): the bool
+//                          result of write_all/sync/sync_data/truncate
+//                          must be consumed — a discarded short write or
+//                          failed fsync silently voids the crash-safety
+//                          contract (ISSUE 8)
 //
 // Output is machine-readable, one finding per line:
 //   <file>:<line>: <rule-id>: <message>
@@ -384,6 +390,53 @@ void check_cross_shard(const std::string& code, const std::string& file,
   }
 }
 
+/// io/unchecked-write (ISSUE 8): in durability code every write/sync
+/// primitive returns bool instead of throwing, so the *caller* owns
+/// error propagation. A call whose result is discarded — the call is
+/// its own statement, or hangs off a bare `if (...)` body — is a
+/// short-write/failed-fsync swallowed right where crash safety is
+/// decided.
+void check_unchecked_write(const std::string& code, const std::string& file,
+                           std::vector<Finding>& out) {
+  static constexpr std::string_view kCalls[] = {
+      "write_all(", "sync(",  "sync_data(", "truncate(",
+      "fsync(",     "fdatasync(", "fwrite("};
+  for (const std::string_view needle : kCalls) {
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      // Walk left over the receiver chain (obj.call, ptr->call,
+      // ns::call) to the start of the whole call expression.
+      std::size_t i = at;
+      while (i > 0) {
+        const char c = code[i - 1];
+        if (is_ident_char(c) || c == '.' || c == ':') {
+          --i;
+        } else if (c == '>' && i >= 2 && code[i - 2] == '-') {
+          i -= 2;
+        } else {
+          break;
+        }
+      }
+      while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+      // What precedes the expression decides whether the result is
+      // consumed: an operator/assignment/open-paren/keyword feeds it
+      // somewhere; a statement or block boundary (or a closed `if (...)`
+      // condition) means it was dropped on the floor.
+      const char before = i > 0 ? code[i - 1] : ';';
+      if (before == ';' || before == '{' || before == '}' || before == ')')
+        out.push_back(
+            {file, line_of(code, at), "io/unchecked-write",
+             "durability write/sync result discarded; check it and "
+             "propagate the failure (a lost short write or failed fsync "
+             "here silently voids crash recovery)"});
+    }
+  }
+}
+
 void check_todo_owner(const std::string& raw, const std::string& file,
                       std::vector<Finding>& out) {
   std::size_t pos = 0;
@@ -454,6 +507,13 @@ void scan_file(const fs::path& path, const std::string& rel,
   if (rel.ends_with("online/shard.cpp") || rel.ends_with("online/shard.hpp"))
     check_cross_shard(code, rel, out);
 
+  if ((under(rel, "src/") || under(rel, "include/")) &&
+      (rel.find("journal") != std::string::npos ||
+       rel.find("checkpoint") != std::string::npos ||
+       rel.find("durable_file") != std::string::npos ||
+       rel.find("sharded_pipeline") != std::string::npos))
+    check_unchecked_write(code, rel, out);
+
   if (under(rel, "src/math/") || under(rel, "src/core/") ||
       under(rel, "include/repro/math/") || under(rel, "include/repro/core/"))
     check_float_eq(code, rel, out);
@@ -513,10 +573,10 @@ std::vector<Suppression> load_suppressions(const fs::path& file,
   return supp;
 }
 
-/// --self-test: write a seeded shard.cpp carrying every cross-shard
-/// violation shape and a clean counterpart, run the real scan_file
-/// dispatch over both, and demand red (exactly the seeded findings)
-/// then green. Proves the rule cannot rot silently.
+/// --self-test: write seeded sources carrying every cross-shard and
+/// unchecked-write violation shape plus clean counterparts, run the
+/// real scan_file dispatch over both, and demand red (exactly the
+/// seeded findings) then green. Proves the rules cannot rot silently.
 int run_self_test() {
   const fs::path dir =
       fs::temp_directory_path() / "repro_lint_selftest" / "src" / "online";
@@ -550,23 +610,59 @@ int run_self_test() {
       "}\n"
       "}  // namespace repro::online\n";
 
-  auto cross_shard_findings = [&](const char* content) -> long {
-    std::ofstream(file, std::ios::binary) << content;
+  // Three seeded unchecked writes in a durability file: a bare
+  // statement call, a bare statement through a member, and a call
+  // discarded as the body of an `if (...)`. The clean twin consumes
+  // every result.
+  const fs::path journal_file = dir / "journal.cpp";
+  static constexpr const char* kSeededJournal =
+      "#include \"repro/online/journal.hpp\"\n"
+      "namespace repro::online {\n"
+      "void JournalWriter::rogue(const std::string& framed) {\n"
+      "  file_.write_all(framed.data(), framed.size());\n"
+      "  file_.sync_data();\n"
+      "  if (framed.empty()) file_.truncate(0);\n"
+      "}\n"
+      "}  // namespace repro::online\n";
+  static constexpr const char* kCleanJournal =
+      "#include \"repro/online/journal.hpp\"\n"
+      "namespace repro::online {\n"
+      "bool JournalWriter::fine(const std::string& framed) {\n"
+      "  if (!file_.write_all(framed.data(), framed.size())) return false;\n"
+      "  const bool cut = framed.empty() ? file_.truncate(0) : true;\n"
+      "  return cut && file_.sync_data();\n"
+      "}\n"
+      "}  // namespace repro::online\n";
+
+  auto count_rule = [](const fs::path& path, const char* rel,
+                       const char* content, const char* rule) -> long {
+    std::ofstream(path, std::ios::binary) << content;
     std::vector<Finding> all;
-    scan_file(file, "src/online/shard.cpp", all);
-    return std::count_if(all.begin(), all.end(), [](const Finding& f) {
-      return f.rule == "lock/cross-shard";
+    scan_file(path, rel, all);
+    return std::count_if(all.begin(), all.end(), [&](const Finding& f) {
+      return f.rule == rule;
     });
   };
-  const long red = cross_shard_findings(kSeeded);
-  const long green = cross_shard_findings(kClean);
+  const long red = count_rule(file, "src/online/shard.cpp", kSeeded,
+                              "lock/cross-shard");
+  const long green = count_rule(file, "src/online/shard.cpp", kClean,
+                                "lock/cross-shard");
+  const long io_red = count_rule(journal_file, "src/online/journal.cpp",
+                                 kSeededJournal, "io/unchecked-write");
+  const long io_green = count_rule(journal_file, "src/online/journal.cpp",
+                                   kCleanJournal, "io/unchecked-write");
   fs::remove_all(fs::temp_directory_path() / "repro_lint_selftest", ec);
 
   std::fprintf(stderr,
                "repro-lint: self-test: seeded shard.cpp -> %ld "
                "lock/cross-shard findings (want 3), clean -> %ld (want 0)\n",
                red, green);
-  if (red != 3 || green != 0) {
+  std::fprintf(stderr,
+               "repro-lint: self-test: seeded journal.cpp -> %ld "
+               "io/unchecked-write findings (want 3), clean -> %ld "
+               "(want 0)\n",
+               io_red, io_green);
+  if (red != 3 || green != 0 || io_red != 3 || io_green != 0) {
     std::fprintf(stderr, "repro-lint: self-test FAILED\n");
     return 1;
   }
