@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -41,11 +42,19 @@ class RingSet {
  public:
   /// `rings` independent SPSC rings of `capacity_each` slots (each
   /// rounded up to a power of two by SpscRing).
-  RingSet(std::size_t rings, std::size_t capacity_each) {
+  RingSet(std::size_t rings, std::size_t capacity_each)
+      : RingSet(rings, capacity_each, 0) {}
+
+  /// Test-only seam, forwarded to SpscRing: start every ring's
+  /// free-running indices at `start_index` so wraparound tests can
+  /// cross the 64-bit boundary quickly.
+  RingSet(std::size_t rings, std::size_t capacity_each,
+          std::uint64_t start_index) {
     REPRO_ENSURE(rings > 0, "RingSet needs at least one ring");
     rings_.reserve(rings);
     for (std::size_t i = 0; i < rings; ++i)
-      rings_.push_back(std::make_unique<SpscRing<T>>(capacity_each));
+      rings_.push_back(
+          std::make_unique<SpscRing<T>>(capacity_each, start_index));
   }
 
   RingSet(const RingSet&) = delete;

@@ -50,7 +50,19 @@ class SpscRing {
  public:
   /// Capacity is rounded up to a power of two (masked indexing). The
   /// ring pre-allocates every slot; elements are moved in and out.
-  explicit SpscRing(std::size_t capacity) {
+  explicit SpscRing(std::size_t capacity) : SpscRing(capacity, 0) {}
+
+  /// Test-only seam: start both free-running indices at `start_index`
+  /// (e.g. UINT64_MAX - k) so the wraparound tests can cross the
+  /// 64-bit boundary in a handful of pushes. The masked slot math and
+  /// the `tail - head` count are wrap-safe because the power-of-two
+  /// capacity divides 2^64 exactly; this constructor exists to prove
+  /// it rather than trust it.
+  SpscRing(std::size_t capacity, std::uint64_t start_index)
+      : tail_{start_index},
+        cached_head_{start_index},
+        head_{start_index},
+        cached_tail_{start_index} {
     REPRO_ENSURE(capacity > 0, "SpscRing needs a non-zero capacity");
     std::size_t pow2 = 1;
     while (pow2 < capacity) pow2 <<= 1;
@@ -64,6 +76,8 @@ class SpscRing {
   /// Producer only. False when the ring is full (the value is left
   /// untouched in that case so the caller can retry or drop it).
   bool try_push(T& value) {
+    // relaxed: tail_ is written by this (producer) thread alone, so
+    // reading our own latest store needs no ordering.
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ == slots_.size()) {
       // Looks full through the cached view: refresh from the
@@ -84,6 +98,8 @@ class SpscRing {
 
   /// Consumer only. False when the ring is empty.
   bool try_pop(T& out) {
+    // relaxed: head_ is written by this (consumer) thread alone, so
+    // reading our own latest store needs no ordering.
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       // Looks empty through the cached view: refresh from the

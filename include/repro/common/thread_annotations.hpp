@@ -88,3 +88,15 @@
 /// invariant (repro-lint's review surface for such exemptions).
 #define REPRO_NO_THREAD_SAFETY_ANALYSIS \
   REPRO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentation-only annotations read by repro-lint's coverage pass
+/// (ISSUE 9). Neither expands to a compiler attribute — they record
+/// the synchronization story of fields no lock guards:
+///
+/// CONST_AFTER_INIT: written during construction (or a single-threaded
+/// setup phase that ends before any concurrent access) and immutable
+/// afterwards, so unsynchronized reads are safe.
+#define REPRO_CONST_AFTER_INIT
+/// THREAD_CONFINED("owner"): only ever touched by the named thread
+/// (e.g. the journal writer), so it needs no lock at all.
+#define REPRO_THREAD_CONFINED(owner)

@@ -78,7 +78,7 @@ class ThreadPool {
 
   // queues_ and workers_ are sized in the constructor and never
   // resized afterwards; only the elements behind Queue::mutex mutate.
-  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<Queue>> queues_ REPRO_CONST_AFTER_INIT;
   std::vector<std::thread> workers_;
 
   Mutex sleep_mutex_;

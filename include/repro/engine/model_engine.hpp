@@ -397,10 +397,12 @@ class ModelEngine {
   /// with one atomic pointer store (epoch + 1).
   void publish() REPRO_REQUIRES(builder_mutex_);
 
-  sim::MachineConfig machine_;
-  EngineOptions options_;
-  core::EquilibriumSolver solver_;
-  std::unique_ptr<common::ThreadPool> pool_;  // null when threads == 1
+  sim::MachineConfig machine_ REPRO_CONST_AFTER_INIT;
+  EngineOptions options_ REPRO_CONST_AFTER_INIT;
+  core::EquilibriumSolver solver_ REPRO_CONST_AFTER_INIT;
+  /// Null when threads == 1; the pointer is fixed at construction and
+  /// the pool synchronizes itself.
+  std::unique_ptr<common::ThreadPool> pool_ REPRO_CONST_AFTER_INIT;
 
   /// Builder-side lock: serializes writers (registration, try_apply,
   /// GC) over the mutable copy of the registry that the next snapshot

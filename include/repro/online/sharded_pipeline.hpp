@@ -318,7 +318,8 @@ class ShardedPipeline : private BatchSink {
   /// handshake is the two-fence protocol of DESIGN 5.6, unchanged.
   /// ring_mutex is leaf-level: nothing is called while holding it.
   struct Ingress {
-    std::unique_ptr<common::RingSet<sim::Sample>> rings;
+    std::unique_ptr<common::RingSet<sim::Sample>> rings
+        REPRO_CONST_AFTER_INIT;
     std::thread worker;
     std::atomic<bool> worker_parked{false};
     std::atomic<std::uint64_t> drain_waiters{0};
@@ -391,20 +392,23 @@ class ShardedPipeline : private BatchSink {
   std::vector<double> warm_seeds_locked() const REPRO_REQUIRES(mutex_);
 
   engine::ModelEngine& engine_;
-  ShardedPipelineOptions options_;
+  ShardedPipelineOptions options_ REPRO_CONST_AFTER_INIT;
 
   /// Routing tables, immutable after construction: lane → owning
-  /// shard, lane → ring index within that shard's RingSet.
-  std::vector<std::size_t> lane_shard_;
-  std::vector<std::size_t> lane_ring_;
-  std::vector<std::unique_ptr<PipelineShard>> shards_;
+  /// shard, lane → ring index within that shard's RingSet. shards_'s
+  /// pointers are likewise fixed; each shard locks itself.
+  std::vector<std::size_t> lane_shard_ REPRO_CONST_AFTER_INIT;
+  std::vector<std::size_t> lane_ring_ REPRO_CONST_AFTER_INIT;
+  std::vector<std::unique_ptr<PipelineShard>> shards_ REPRO_CONST_AFTER_INIT;
 
   /// The coordinator lock — the model half's single door. Guards the
   /// merge buffer, the slot table, the event log, every counter, the
   /// query/prediction state, and (transitively, via the lock order)
   /// all engine mutation: try_apply is only ever called with mutex_
   /// held, which is what serializes revisions from concurrent shards.
-  mutable common::Mutex mutex_;
+  /// Ordering (tools/lock_order.txt): the coordinator lock is taken
+  /// before the journal lock, never the other way around.
+  mutable common::Mutex mutex_ REPRO_ACQUIRED_BEFORE(journal_mutex_);
   std::vector<std::unique_ptr<Slot>> slots_ REPRO_GUARDED_BY(mutex_);
   std::optional<engine::CoScheduleQuery> query_ REPRO_GUARDED_BY(mutex_);
   std::optional<engine::SystemPrediction> latest_ REPRO_GUARDED_BY(mutex_);
@@ -448,26 +452,28 @@ class ShardedPipeline : private BatchSink {
   /// under mutex_ — its zero-loss contract needs the record durable
   /// before the apply returns. recovery_ is written in the constructor
   /// and immutable after.
-  RecoveryReport recovery_;
+  RecoveryReport recovery_ REPRO_CONST_AFTER_INIT;
   /// Sync mode: accessed under mutex_. Async mode: owned by
   /// journal_loop after construction; flush_journal touches it only
   /// once the writer is provably idle (handoff via journal_mutex_).
-  JournalWriter journal_;
+  JournalWriter journal_ REPRO_THREAD_CONFINED("journal writer");
   std::atomic<bool> journal_enabled_{false};
   std::atomic<std::uint64_t> journal_write_failures_{0};
   std::uint64_t journaled_events_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t checkpoints_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t events_since_checkpoint_ REPRO_GUARDED_BY(mutex_) = 0;
-  bool journal_async_ = false;  // set in the constructor, then immutable
+  // Set in the constructor, then immutable.
+  bool journal_async_ REPRO_CONST_AFTER_INIT = false;
   std::thread journal_thread_;
-  mutable common::Mutex journal_mutex_;
+  mutable common::Mutex journal_mutex_ REPRO_ACQUIRED_AFTER(mutex_);
   common::CondVar journal_cv_;
   std::deque<JournalRecord> journal_queue_ REPRO_GUARDED_BY(journal_mutex_);
   bool journal_busy_ REPRO_GUARDED_BY(journal_mutex_) = false;
   bool journal_stop_ REPRO_GUARDED_BY(journal_mutex_) = false;
 
-  /// Ring-mode state (empty under inline_ingest), one entry per shard.
-  std::vector<std::unique_ptr<Ingress>> ingress_;
+  /// Ring-mode state (empty under inline_ingest), one entry per shard;
+  /// the vector itself is fixed at construction.
+  std::vector<std::unique_ptr<Ingress>> ingress_ REPRO_CONST_AFTER_INIT;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> dropped_{0};
 

@@ -114,12 +114,14 @@ void ThreadPool::parallel_for(std::size_t n,
 
   struct ForState {
     const std::function<void(std::size_t)>* body = nullptr;
-    std::size_t limit = 0;
+    std::size_t limit REPRO_CONST_AFTER_INIT = 0;
     std::atomic<std::size_t> next{0};
-    Mutex mutex;
+    // Named distinctly from ThreadPool::Queue::mutex so every lock
+    // site resolves unambiguously in the lock/order pass.
+    Mutex done_mutex;
     CondVar done_cv;
-    std::size_t completed REPRO_GUARDED_BY(mutex) = 0;
-    std::exception_ptr error REPRO_GUARDED_BY(mutex);
+    std::size_t completed REPRO_GUARDED_BY(done_mutex) = 0;
+    std::exception_ptr error REPRO_GUARDED_BY(done_mutex);
   };
   auto state = std::make_shared<ForState>();
   state->body = &body;
@@ -132,6 +134,8 @@ void ThreadPool::parallel_for(std::size_t n,
   // by this frame) safe even while helper closures are still unwinding.
   auto drain = [](const std::shared_ptr<ForState>& s) {
     while (true) {
+      // relaxed: each index is claimed exactly once by atomicity
+      // alone; the done_mutex lock below orders the results.
       const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= s->limit) return;
       std::exception_ptr error;
@@ -140,7 +144,7 @@ void ThreadPool::parallel_for(std::size_t n,
       } catch (...) {
         error = std::current_exception();
       }
-      MutexLock lock(s->mutex);
+      MutexLock lock(s->done_mutex);
       if (error && !s->error) s->error = error;
       if (++s->completed == s->limit) s->done_cv.notify_all();
     }
@@ -151,10 +155,11 @@ void ThreadPool::parallel_for(std::size_t n,
     submit([state, drain] { drain(state); });
   drain(state);
 
-  MutexLock lock(state->mutex);
-  state->done_cv.wait(state->mutex, [&]() REPRO_REQUIRES(state->mutex) {
-    return state->completed == state->limit;
-  });
+  MutexLock lock(state->done_mutex);
+  state->done_cv.wait(state->done_mutex,
+                      [&]() REPRO_REQUIRES(state->done_mutex) {
+                        return state->completed == state->limit;
+                      });
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -102,6 +102,7 @@ ProcessHandle ModelEngine::register_process(core::ProcessProfile profile) {
     // what invalidates the memoized artifacts. The old Entry stays
     // alive for as long as some snapshot still references it.
     registry_[it->second] = std::make_shared<Entry>(std::move(profile));
+    // relaxed: monitoring counter; no reader orders state off it.
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
     publish();
     return it->second;
@@ -136,6 +137,7 @@ void ModelEngine::install(ProcessHandle handle, core::ProcessProfile profile) {
   // Fresh Entry = fresh once_flag: the next prediction that touches
   // this handle rebuilds the fill/growth curves from the new revision.
   registry_[handle] = std::make_shared<Entry>(std::move(profile));
+  // relaxed: monitoring counter; no reader orders state off it.
   cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -256,6 +258,7 @@ std::size_t ModelEngine::collect_garbage(
     // artifacts free once the last snapshot holding them is released.
     registry_[h].reset();
     free_slots_.push_back(h);
+    // relaxed: monitoring counter; no reader orders state off it.
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
     ++collected;
   }
@@ -291,8 +294,10 @@ const ModelEngine::Artifacts& ModelEngine::artifacts_of(
     entry.artifacts = std::move(a);
     built_now = true;
   });
+  // The artifact itself is published by the call_once above, not by
+  // this counter.
   (built_now ? cache_misses_ : cache_hits_)
-      .fetch_add(1, std::memory_order_relaxed);
+      .fetch_add(1, std::memory_order_relaxed);  // relaxed: tally only
   return entry.artifacts;
 }
 
@@ -456,9 +461,12 @@ std::vector<SystemPrediction> ModelEngine::predict_batch(
 
 ModelEngine::CacheStats ModelEngine::cache_stats() const {
   CacheStats s;
+  // relaxed: statistics snapshot; the three counters need not be
+  // mutually consistent and order nothing.
   s.hits = cache_hits_.load(std::memory_order_relaxed);
-  s.misses = cache_misses_.load(std::memory_order_relaxed);
-  s.invalidations = cache_invalidations_.load(std::memory_order_relaxed);
+  s.misses = cache_misses_.load(std::memory_order_relaxed);  // relaxed: ditto
+  s.invalidations =
+      cache_invalidations_.load(std::memory_order_relaxed);  // relaxed: ditto
   return s;
 }
 

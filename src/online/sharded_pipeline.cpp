@@ -76,6 +76,7 @@ ShardedPipeline::ShardedPipeline(engine::ModelEngine& engine,
           journal_.open(durability.journal_path, durability.journal, keep);
       journal_enabled_.store(opened, std::memory_order_release);
       if (!opened) {
+        // relaxed: statistics counter; surfaced via stats() only.
         journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
       } else {
         // kOnRevision promises the record is durable before the apply
@@ -218,6 +219,7 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
   // A failed shard (supervisor out of restarts) accepts nothing: its
   // windows count as dropped and producers never block on it.
   if (in.failed.load(std::memory_order_acquire)) {
+    // relaxed: statistics counter; no reader orders state off it.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -227,6 +229,7 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
     if (options_.backpressure == Backpressure::kDrop) {
       // Count-and-drop: the producer never waits; the hole is
       // surfaced through PipelineHealth::windows_dropped.
+      // relaxed: statistics counter; orders nothing.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -235,15 +238,19 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
     // that either our retry sees the freed slot or the worker sees
     // our registration and notifies (no lost wakeup).
     common::MutexLock lock(in.ring_mutex);
+    // relaxed: the seq_cst fence below orders the count against the
+    // worker's symmetric fence-then-check; ring_mutex covers the cv.
     in.drain_waiters.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     bool pushed;
     while (!(pushed = in.rings->try_push(ring, window)) &&
            !in.failed.load(std::memory_order_acquire))
       in.drain_cv.wait(in.ring_mutex);
+    // relaxed: waiter bookkeeping only; still under ring_mutex.
     in.drain_waiters.fetch_sub(1, std::memory_order_relaxed);
     if (!pushed) {
       // The shard failed while we were parked: the window is lost.
+      // relaxed: statistics counter; orders nothing.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -254,6 +261,7 @@ void ShardedPipeline::enqueue(DieId lane, const sim::Sample& sample) {
   // park-time empty re-check sees our element, or we see its flag —
   // losing the wakeup would need both to fail.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // relaxed: the seq_cst fence above supplies the flag's ordering.
   if (in.worker_parked.load(std::memory_order_relaxed)) {
     common::MutexLock lock(in.ring_mutex);
     in.ring_cv.notify_one();
@@ -265,6 +273,7 @@ void ShardedPipeline::worker_loop(std::size_t shard,
   Ingress& in = *ingress_[shard];
   const auto notify_drain = [&] {
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // relaxed: the seq_cst fence above supplies the ordering.
     if (in.drain_waiters.load(std::memory_order_relaxed) > 0) {
       common::MutexLock lock(in.ring_mutex);
       in.drain_cv.notify_all();
@@ -275,6 +284,8 @@ void ShardedPipeline::worker_loop(std::size_t shard,
     // preempt or replace it) exits without touching shard state.
     if (in.generation.load(std::memory_order_acquire) != my_generation)
       return;
+    // relaxed: liveness tick; the supervisor only compares successive
+    // values of this counter, no payload rides on it.
     in.heartbeat.fetch_add(1, std::memory_order_relaxed);
     sim::Sample window;
     if (in.rings->try_pop(window)) {
@@ -290,6 +301,7 @@ void ShardedPipeline::worker_loop(std::size_t shard,
             my_generation) {
           // Preempted while wedged in the hook: the popped window is
           // lost — account for it, close the drain count, and leave.
+          // relaxed: statistics counter; orders nothing.
           dropped_.fetch_add(1, std::memory_order_relaxed);
           in.drained.fetch_add(1, std::memory_order_release);
           notify_drain();
@@ -300,6 +312,7 @@ void ShardedPipeline::worker_loop(std::size_t shard,
         // The window dies with the worker; everything the shard and
         // coordinator committed before the throw stands (their locks
         // released on unwind). Publish the cause, then report dead.
+        // relaxed: statistics counter; orders nothing.
         dropped_.fetch_add(1, std::memory_order_relaxed);
         {
           common::MutexLock lock(in.ring_mutex);
@@ -322,11 +335,16 @@ void ShardedPipeline::worker_loop(std::size_t shard,
     // while holding ring_mutex (producers notify under it, so a wakeup
     // posted after our re-check cannot slip past the wait).
     common::MutexLock lock(in.ring_mutex);
+    // relaxed: the seq_cst fence below (paired with the producer's)
+    // orders the flag against the ring contents.
     in.worker_parked.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (in.rings->empty() && !stop_.load(std::memory_order_relaxed) &&
-        in.generation.load(std::memory_order_relaxed) == my_generation)
+    if (in.rings->empty() &&
+        !stop_.load(std::memory_order_relaxed) &&  // relaxed: fence above
+        in.generation.load(std::memory_order_relaxed) ==  // relaxed: ditto
+            my_generation)
       in.ring_cv.wait(in.ring_mutex);
+    // relaxed: cleared under the same mutex; no payload rides on it.
     in.worker_parked.store(false, std::memory_order_relaxed);
   }
 }
@@ -339,6 +357,8 @@ void ShardedPipeline::drain_rings() {
     Ingress& in = *entry;
     const std::uint64_t target = in.enqueued.load(std::memory_order_acquire);
     common::MutexLock lock(in.ring_mutex);
+    // relaxed: the seq_cst fence below orders the count against the
+    // worker's symmetric fence-then-check; ring_mutex covers the cv.
     in.drain_waiters.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     // A failed shard will never drain again — fail_shard counted its
@@ -346,6 +366,7 @@ void ShardedPipeline::drain_rings() {
     while (in.drained.load(std::memory_order_acquire) < target &&
            !in.failed.load(std::memory_order_acquire))
       in.drain_cv.wait(in.ring_mutex);
+    // relaxed: waiter bookkeeping only; still under ring_mutex.
     in.drain_waiters.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -376,6 +397,7 @@ void ShardedPipeline::supervisor_loop() {
         --cooldown[s];
         no_progress[s] = 0;
         last_drained[s] = in.drained.load(std::memory_order_acquire);
+        // relaxed: progress tick, only compared to its own past value.
         last_heartbeat[s] = in.heartbeat.load(std::memory_order_relaxed);
         continue;
       }
@@ -386,14 +408,16 @@ void ShardedPipeline::supervisor_loop() {
         continue;
       }
       const std::uint64_t drained = in.drained.load(std::memory_order_acquire);
+      // relaxed: progress tick, only compared to its own past value.
       const std::uint64_t heartbeat =
-          in.heartbeat.load(std::memory_order_relaxed);
+          in.heartbeat.load(std::memory_order_relaxed);  // relaxed: ditto
       const bool behind = drained < in.enqueued.load(std::memory_order_acquire);
       if (behind && drained == last_drained[s]) {
         ++no_progress[s];
         if (no_progress[s] == options_.supervisor.stall_ticks) {
           // First escalation: flag the stall and nudge the condvars —
           // this alone heals a lost wakeup without losing any state.
+          // relaxed: statistics counter; orders nothing.
           stalls_detected_.fetch_add(1, std::memory_order_relaxed);
           common::MutexLock lock(in.ring_mutex);
           in.ring_cv.notify_all();
@@ -450,6 +474,7 @@ std::size_t ShardedPipeline::restart_or_fail_shard(
   if (was_dead) shards_[shard]->reset_streams();
   in.worker = std::thread(&ShardedPipeline::worker_loop, this, shard,
                           in.generation.load(std::memory_order_acquire));
+  // relaxed: statistics counter; surfaced via stats() only.
   shard_restarts_.fetch_add(1, std::memory_order_relaxed);
   return options_.supervisor.backoff_ticks * *restarts_used;
 }
@@ -462,9 +487,12 @@ void ShardedPipeline::fail_shard(std::size_t shard) {
   // The undrained backlog is lost: count it so windows_dropped stays an
   // honest account. (If a detached wedged worker later drains a few of
   // these, they double-count — acceptable for a shard being abandoned.)
-  if (enqueued > drained)
+  if (enqueued > drained) {
+    // relaxed: statistics counter; orders nothing.
     dropped_.fetch_add(enqueued - drained, std::memory_order_relaxed);
+  }
   in.failed.store(true, std::memory_order_release);
+  // relaxed: statistics counter; surfaced via stats() only.
   shards_failed_.fetch_add(1, std::memory_order_relaxed);
   {
     common::MutexLock lock(in.ring_mutex);
@@ -834,6 +862,8 @@ void ShardedPipeline::journal_event_locked(const PipelineEvent& event) {
   }
   if (!journal_.append(record)) {
     // Latch: count the failure once, stop journaling, keep modeling.
+    // relaxed: statistics counter; the enabled flag below carries the
+    // release ordering readers rely on.
     journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
     journal_enabled_.store(false, std::memory_order_release);
     return;
@@ -868,6 +898,7 @@ void ShardedPipeline::journal_loop() {
     for (const JournalRecord& record : batch) {
       if (!journal_enabled_.load(std::memory_order_acquire)) break;
       if (!journal_.append(record)) {
+        // relaxed: statistics counter; surfaced via stats() only.
         journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
         journal_enabled_.store(false, std::memory_order_release);
       }
@@ -891,6 +922,7 @@ void ShardedPipeline::flush_journal() {
   // from this thread.
   if (journal_enabled_.load(std::memory_order_acquire) &&
       !journal_.sync()) {
+    // relaxed: statistics counter; surfaced via stats() only.
     journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
     journal_enabled_.store(false, std::memory_order_release);
   }
@@ -971,6 +1003,7 @@ void ShardedPipeline::finish() {
   common::MutexLock lock(mutex_);
   if (journal_enabled_.load(std::memory_order_acquire) &&
       !journal_.sync()) {
+    // relaxed: statistics counter; surfaced via stats() only.
     journal_write_failures_.fetch_add(1, std::memory_order_relaxed);
     journal_enabled_.store(false, std::memory_order_release);
   }
@@ -1016,18 +1049,24 @@ PipelineStats ShardedPipeline::stats_locked() const {
   s.health.windows_forwarded = windows_forwarded_;
   s.health.windows_repaired = windows_repaired_;
   s.health.windows_quarantined = q_order_ + q_implausible_ + q_outlier_;
+  // relaxed: statistics snapshot; the counters below need not be
+  // mutually consistent and order nothing.
   s.health.windows_dropped = dropped_.load(std::memory_order_relaxed);
   s.health.revisions_rejected = revisions_rejected_;
   s.health.degraded_resolves = degraded_resolves_;
   s.health.history_evicted = history_evicted_;
   s.journaled_events = journaled_events_;
   s.checkpoints = checkpoints_;
-  s.health.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
-  s.health.shard_restarts = shard_restarts_.load(std::memory_order_relaxed);
-  s.health.shards_failed = shards_failed_.load(std::memory_order_relaxed);
+  s.health.stalls_detected =
+      stalls_detected_.load(std::memory_order_relaxed);  // relaxed: ditto
+  s.health.shard_restarts =
+      shard_restarts_.load(std::memory_order_relaxed);  // relaxed: ditto
+  s.health.shards_failed =
+      shards_failed_.load(std::memory_order_relaxed);  // relaxed: ditto
   s.health.recovery_truncated_frames = recovery_.journal.truncated_frames;
   s.health.journal_write_failures =
-      journal_write_failures_.load(std::memory_order_relaxed);
+      journal_write_failures_.load(
+          std::memory_order_relaxed);  // relaxed: ditto
   return s;
 }
 

@@ -95,5 +95,45 @@ TEST(RingSet, MultiProducerFanInPreservesPerProducerOrder) {
     EXPECT_EQ(next[p], kPerProducer);
 }
 
+TEST(RingSet, IndexWraparoundPreservesPerRingFifoAndCounts) {
+  // The seam forwards start_index to every underlying SpscRing, so a
+  // capacity-4 two-ring set whose indices begin at UINT64_MAX - 3
+  // crosses the 2^64 boundary within the first handful of pushes.
+  // Per-ring FIFO, the summed size, and full/empty edges must all
+  // survive the wrap.
+  RingSet<std::uint64_t> set(2, 4, UINT64_MAX - 3);
+  EXPECT_EQ(set.ring_capacity(), 4u);
+  EXPECT_TRUE(set.empty());
+
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(set.try_push(0, (0ull << 32) | v));
+    EXPECT_TRUE(set.try_push(1, (1ull << 32) | v));
+  }
+  EXPECT_EQ(set.size(), 8u);
+  std::uint64_t overflow = 99;
+  EXPECT_FALSE(set.try_push(0, overflow)) << "full ring accepted a 9th";
+  EXPECT_FALSE(set.try_push(1, overflow));
+
+  // Drain past the wrap: each producer's stream must stay in order.
+  std::uint64_t next[2] = {0, 0};
+  std::uint64_t out = 0;
+  while (set.try_pop(out)) {
+    const std::size_t ring = static_cast<std::size_t>(out >> 32);
+    ASSERT_LT(ring, 2u);
+    EXPECT_EQ(out & 0xffffffffull, next[ring])
+        << "ring " << ring << " stream reordered across the wrap";
+    ++next[ring];
+  }
+  EXPECT_EQ(next[0], 4u);
+  EXPECT_EQ(next[1], 4u);
+  EXPECT_TRUE(set.empty());
+
+  // The rings stay usable after the boundary.
+  EXPECT_TRUE(set.try_push(0, 7ull));
+  ASSERT_TRUE(set.try_pop(out));
+  EXPECT_EQ(out, 7ull);
+  EXPECT_TRUE(set.empty());
+}
+
 }  // namespace
 }  // namespace repro::common

@@ -112,5 +112,75 @@ TEST(SpscRing, ConcurrentProducerConsumerDeliversEverySlotInOrder) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRing, IndexWraparoundPreservesFifoAndCounts) {
+  // The free-running 64-bit indices are masked on access; because the
+  // power-of-two capacity divides 2^64 exactly, pushing across the
+  // UINT64_MAX boundary must be indistinguishable from any other
+  // position. Start three elements shy of the boundary and stream
+  // enough values through a capacity-4 ring to cross it mid-sequence.
+  SpscRing<std::uint64_t> ring(4, UINT64_MAX - 3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.empty());
+
+  // Fill to capacity straddling the boundary: indices UINT64_MAX-3,
+  // -2, -1, UINT64_MAX. The next push must report full, not wrap into
+  // a bogus empty state.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(ring.try_push(v)) << "push " << v;
+    EXPECT_EQ(ring.size(), v + 1);
+  }
+  std::uint64_t overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow)) << "full ring accepted a 5th";
+  EXPECT_EQ(ring.size(), 4u);
+
+  // Drain two (tail now past the 2^64 wrap), refill two, then drain
+  // everything: FIFO order and exact counts throughout.
+  std::uint64_t out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0u);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.try_push(4));
+  EXPECT_TRUE(ring.try_push(5));
+  EXPECT_EQ(ring.size(), 4u);
+  for (std::uint64_t want = 2; want <= 5; ++want) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, ConcurrentStreamAcrossIndexWraparound) {
+  // Same producer/consumer proof as above, but with the indices
+  // starting just below UINT64_MAX so the acquire/release pairing is
+  // exercised across the wrap itself.
+  constexpr std::uint64_t kCount = 4096;
+  SpscRing<std::uint64_t> ring(8, UINT64_MAX - kCount / 2);
+
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    std::uint64_t out = 0;
+    while (received.size() < kCount) {
+      if (ring.try_pop(out))
+        received.push_back(out);
+      else
+        std::this_thread::yield();
+    }
+  });
+  for (std::uint64_t v = 0; v < kCount; ++v) {
+    while (!ring.try_push(v)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t v = 0; v < kCount; ++v) {
+    ASSERT_EQ(received[v], v) << "value lost, duplicated, or reordered";
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
 }  // namespace
 }  // namespace repro::common

@@ -36,25 +36,65 @@
 //                          must be consumed — a discarded short write or
 //                          failed fsync silently voids the crash-safety
 //                          contract (ISSUE 8)
+//   atomic/explicit-order  every atomic load/store/exchange/fetch_*/
+//                          compare_exchange_* in src/ + include/ passes
+//                          an explicit std::memory_order — seq_cst by
+//                          default hides the author's intent and costs
+//                          a fence on the ring/snapshot hot paths
+//   atomic/relaxed-justified
+//                          every memory_order_relaxed use carries an
+//                          adjacent "// relaxed: ..." comment (same
+//                          line or the comment block directly above)
+//                          saying why relaxed is sufficient
+//   lock/order             (needs --manifest tools/lock_order.txt) the
+//                          acquired-while-holding graph extracted from
+//                          scoped MutexLock/ExclusiveLock/SharedLock
+//                          nesting, REPRO_REQUIRES call edges, and
+//                          one-level same-file call propagation must
+//                          agree with the checked-in partial order:
+//                          no contradicting edge, no cycle, no mutex
+//                          missing from the manifest. Soundness limit:
+//                          same-TU nesting only (DESIGN 5.9).
+//
+// Modes beyond the scan:
+//   --coverage             annotation-coverage ratchet: counts mutable
+//                          fields of concurrent classes (any class
+//                          declaring a Mutex/SharedMutex member) that
+//                          lack REPRO_GUARDED_BY / REPRO_PT_GUARDED_BY /
+//                          REPRO_CONST_AFTER_INIT / REPRO_THREAD_CONFINED,
+//                          plus mutexes absent from the lock-order
+//                          manifest, and compares against a checked-in
+//                          baseline CI only lets decrease.
 //
 // Output is machine-readable, one finding per line:
 //   <file>:<line>: <rule-id>: <message>
+// or, with --format=json, one JSON object per line:
+//   {"file":"...","line":N,"rule":"...","message":"..."}
 // Known-intentional sites live in tools/repro_lint.supp as
-// "<rule-id> <path-substring>" lines. Exit status: 0 = clean,
-// 1 = unsuppressed findings, 2 = usage/config error.
+// "<rule-id> <path-substring>" lines (paths are normalized: leading
+// "./" and an absolute --root prefix are stripped before matching, so
+// the same file works from the repo root and the build tree).
+// Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage error.
 //
 // Usage:
 //   repro_lint --root <repo> [--supp <file>] [--compiler <cc>]
-//              [--no-compile]
-//   repro_lint --self-test   # prove lock/cross-shard fires on seeded
-//                            # violations and stays quiet on clean code
+//              [--no-compile] [--manifest <lock_order.txt>]
+//              [--format=text|json]
+//   repro_lint --root <repo> --coverage --manifest <lock_order.txt>
+//              [--baseline <coverage_baseline.txt>] [--format=...]
+//   repro_lint --self-test   # red-then-green for every rule: seeded
+//                            # violations detected, clean twins quiet
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -80,8 +120,12 @@ struct Suppression {
 struct Options {
   fs::path root = ".";
   fs::path supp;
+  fs::path manifest;
+  fs::path baseline;
   std::string compiler = "g++";
   bool compile_headers = true;
+  bool coverage = false;
+  bool json = false;
 };
 
 /// Replaces comments and the *contents* of string/char literals with
@@ -177,6 +221,10 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
 /// Finds `needle` at identifier boundaries in `code` (an occurrence
 /// is rejected when an identifier character precedes it or follows
 /// it). `needle` may end in '(' to demand a call.
@@ -198,6 +246,19 @@ void find_identifier(const std::string& code, const std::string& file,
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+/// `token` present in `s` at identifier boundaries (exact case).
+bool has_token(const std::string& s, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
 }
 
 bool is_float_literal_at(const std::string& code, std::size_t pos,
@@ -283,9 +344,7 @@ void check_ensure_messages(const std::string& code, const std::string& raw,
     const std::size_t bol = code.rfind('\n', at) + 1;  // npos+1 == 0
     if (code.find("#define", bol) < at) continue;
     std::size_t i = pos;
-    while (i < code.size() && std::isspace(static_cast<unsigned char>(
-                                  code[i])))
-      ++i;
+    while (i < code.size() && is_space(code[i])) ++i;
     if (i >= code.size() || code[i] != '(') continue;  // the definition
     int depth = 0;
     std::size_t last_comma = std::string::npos;
@@ -361,10 +420,9 @@ void check_cross_shard(const std::string& code, const std::string& file,
       // and one variable name between the class and the open paren.
       std::size_t i = pos;
       while (i < code.size() &&
-             (std::isspace(static_cast<unsigned char>(code[i])) ||
-              is_ident_char(code[i]) || code[i] == '<' || code[i] == '>' ||
-              code[i] == ':' || code[i] == ',' || code[i] == '&' ||
-              code[i] == '*'))
+             (is_space(code[i]) || is_ident_char(code[i]) ||
+              code[i] == '<' || code[i] == '>' || code[i] == ':' ||
+              code[i] == ',' || code[i] == '&' || code[i] == '*'))
         ++i;
       if (i >= code.size() || code[i] != '(') continue;
       int depth = 0;
@@ -420,8 +478,7 @@ void check_unchecked_write(const std::string& code, const std::string& file,
           break;
         }
       }
-      while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
+      while (i > 0 && is_space(code[i - 1])) --i;
       // What precedes the expression decides whether the result is
       // consumed: an operator/assignment/open-paren/keyword feeds it
       // somewhere; a statement or block boundary (or a closed `if (...)`
@@ -450,6 +507,135 @@ void check_todo_owner(const std::string& raw, const std::string& file,
     if (!owned)
       out.push_back({file, line_of(raw, at), "todo/owner",
                      "TODO without an owner; write TODO(name): ..."});
+  }
+}
+
+/// atomic/explicit-order + atomic/relaxed-justified (ISSUE 9).
+///
+/// The ring/snapshot hot paths carry ~96 hand-written memory_order
+/// arguments; these two rules keep them reviewable. explicit-order:
+/// every atomic member-function call (.load / ->store / .fetch_add /
+/// .compare_exchange_* / .exchange) must name a std::memory_order —
+/// the seq_cst default both hides intent and pays an unneeded fence.
+/// relaxed-justified: each memory_order_relaxed use carries an
+/// adjacent "// relaxed: ..." comment (same line or the contiguous
+/// comment block directly above) explaining why no ordering is needed.
+///
+/// To keep `.load(` on non-atomic types (e.g. a profile store) out of
+/// the blast radius, the explicit-order rule only runs in files that
+/// mention atomic<...> at all, and only on calls reached via '.' or
+/// '->'.
+void check_atomic_orders(const std::string& code, const std::string& raw,
+                         const std::string& file,
+                         std::vector<Finding>& out) {
+  static constexpr std::string_view kOps[] = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  if (code.find("atomic<") != std::string::npos ||
+      code.find("atomic_") != std::string::npos) {
+    for (const std::string_view op : kOps) {
+      std::size_t pos = 0;
+      while ((pos = code.find(op, pos)) != std::string::npos) {
+        const std::size_t at = pos;
+        pos += op.size();
+        if (at > 0 && is_ident_char(code[at - 1])) continue;
+        if (pos < code.size() && is_ident_char(code[pos])) continue;
+        // Member call only: preceded by '.' or '->' (std::exchange and
+        // free functions are not atomics).
+        const bool member =
+            (at >= 1 && code[at - 1] == '.') ||
+            (at >= 2 && code[at - 2] == '-' && code[at - 1] == '>');
+        if (!member) continue;
+        std::size_t i = pos;
+        while (i < code.size() && is_space(code[i])) ++i;
+        if (i >= code.size() || code[i] != '(') continue;
+        int depth = 0;
+        std::size_t close = std::string::npos;
+        for (std::size_t j = i; j < code.size(); ++j) {
+          if (code[j] == '(')
+            ++depth;
+          else if (code[j] == ')' && --depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (close == std::string::npos) continue;
+        const std::string args = code.substr(i + 1, close - i - 1);
+        std::size_t orders = 0;
+        std::size_t opos = 0;
+        while ((opos = args.find("memory_order", opos)) !=
+               std::string::npos) {
+          if ((opos == 0 || !is_ident_char(args[opos - 1]))) ++orders;
+          opos += 12;
+        }
+        const bool cmpxchg = starts_with(op, "compare_exchange");
+        if (orders == 0)
+          out.push_back(
+              {file, line_of(code, at), "atomic/explicit-order",
+               "atomic " + std::string(op) +
+                   " without an explicit std::memory_order; the seq_cst "
+                   "default hides intent (and costs a fence on hot "
+                   "paths) — spell the order out"});
+        else if (cmpxchg && orders < 2)
+          out.push_back(
+              {file, line_of(code, at), "atomic/explicit-order",
+               "compare_exchange with only one memory_order; pass both "
+               "the success and failure orders explicitly"});
+      }
+    }
+  }
+  // relaxed-justified runs regardless of the atomic<-gate: the token
+  // itself is the evidence.
+  std::size_t pos = 0;
+  std::set<std::size_t> justified_lines;
+  while ((pos = code.find("memory_order_relaxed", pos)) !=
+         std::string::npos) {
+    const std::size_t at = pos;
+    pos += 20;
+    if (at > 0 && is_ident_char(code[at - 1])) continue;
+    if (pos < code.size() && is_ident_char(code[pos])) continue;
+    const std::size_t line = line_of(code, at);
+    if (justified_lines.count(line)) continue;
+    // Look for "relaxed:" inside a // comment on this raw line or the
+    // one above.
+    auto line_text = [&](std::size_t n) -> std::string {
+      std::size_t start = 0;
+      for (std::size_t l = 1; l < n && start != std::string::npos; ++l)
+        start = raw.find('\n', start) == std::string::npos
+                    ? std::string::npos
+                    : raw.find('\n', start) + 1;
+      if (start == std::string::npos) return {};
+      const std::size_t end = raw.find('\n', start);
+      return raw.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+    };
+    // Accept "relaxed:" in a // comment on the op's own line or
+    // anywhere in the contiguous comment block directly above it.
+    bool ok = false;
+    for (std::size_t n = line; n >= 1 && !ok; --n) {
+      const std::string text = line_text(n);
+      std::size_t first = 0;
+      while (first < text.size() && is_space(text[first])) ++first;
+      const bool comment_line = text.compare(first, 2, "//") == 0;
+      if (n != line && !comment_line) break;
+      const std::size_t slashes = text.find("//");
+      if (slashes != std::string::npos &&
+          text.find("relaxed:", slashes) != std::string::npos)
+        ok = true;
+      if (n == 1) break;
+    }
+    if (ok) {
+      justified_lines.insert(line);
+    } else {
+      out.push_back(
+          {file, line, "atomic/relaxed-justified",
+           "memory_order_relaxed without an adjacent \"// relaxed: "
+           "...\" justification; say why unordered access is safe "
+           "here (same line or the comment block directly above)"});
+    }
   }
 }
 
@@ -518,29 +704,1114 @@ void scan_file(const fs::path& path, const std::string& rel,
       under(rel, "include/repro/math/") || under(rel, "include/repro/core/"))
     check_float_eq(code, rel, out);
 
+  if (under(rel, "src/") || under(rel, "include/"))
+    check_atomic_orders(code, raw, rel, out);
+
   check_ensure_messages(code, raw, rel, out);
   check_todo_owner(raw, rel, out);
 }
 
-void check_header_self_contained(const fs::path& header,
-                                 const std::string& rel, const Options& opt,
-                                 std::vector<Finding>& out) {
-  std::string cmd = opt.compiler;
-  cmd += " -std=c++20 -fsyntax-only -I";
-  cmd += (opt.root / "include").string();
-  cmd += " -x c++ ";
-  cmd += header.string();
-  cmd += " >/dev/null 2>&1";
-  if (std::system(cmd.c_str()) != 0)
-    out.push_back(
-        {rel, 1, "header/self-contained",
-         "header does not compile standalone; add the includes it is "
-         "borrowing from its includers (repro: " +
-             opt.compiler + " -std=c++20 -fsyntax-only -Iinclude " + rel +
-             ")"});
+// ---------------------------------------------------------------------------
+// Concurrency model (ISSUE 9): a whole-tree scan over src/ + include/
+// that discovers mutex declarations, function bodies, scoped lock
+// acquisitions, and REPRO_REQUIRES annotations — the raw material for
+// the lock/order pass and the --coverage ratchet. This is a textual
+// scanner, not a parser: it understands braces, class/namespace
+// scopes, and the repo's own idioms (common::Mutex members, scoped
+// MutexLock/ExclusiveLock/SharedLock RAII, annotations trailing the
+// declaration). Soundness limits are documented in DESIGN 5.9.
+// ---------------------------------------------------------------------------
+
+struct MutexDecl {
+  std::string qual;    // class-qualified, namespaces stripped: "Cls::member"
+  std::string member;  // trailing member name
+  std::string cls;     // enclosing class path ("ShardedPipeline::Ingress")
+  std::string file;
+  std::size_t line = 0;
+  // Raw REPRO_ACQUIRED_BEFORE/AFTER argument lists on the declaration,
+  // resolved against the manifest later.
+  std::vector<std::string> before_raw;
+  std::vector<std::string> after_raw;
+};
+
+struct FuncDef {
+  std::string name;  // last component
+  std::string key2;  // innermost-class-qualified: "Cls::name" or "name"
+  std::string file;
+  std::size_t line = 0;
+  std::size_t body_open = 0;   // offset of '{' in code
+  std::size_t body_close = 0;  // offset of matching '}'
+  std::vector<std::string> class_ctx;  // enclosing class names, inner last
+};
+
+struct Acquisition {
+  std::string arg;  // lock constructor argument, verbatim (blanked text)
+  std::string file;
+  std::size_t pos = 0;        // offset of the lock keyword
+  std::size_t line = 0;
+  std::size_t scope_end = 0;  // close of the innermost enclosing scope
+  int func = -1;              // index into FileModel::funcs, -1 = none
+};
+
+struct ClassRegion {
+  std::string qual;  // class path, namespaces stripped
+  std::string file;
+  std::size_t open = 0;   // offset of '{'
+  std::size_t close = 0;  // offset of matching '}'
+  std::size_t line = 0;
+};
+
+struct RequiresEntry {
+  std::string arg;                     // one REPRO_REQUIRES argument
+  std::vector<std::string> class_ctx;  // where the annotation appeared
+};
+
+struct FileModel {
+  std::string rel;
+  std::string code;  // blanked
+  std::vector<FuncDef> funcs;
+  std::vector<Acquisition> acqs;
+};
+
+struct ConcurrencyModel {
+  std::vector<MutexDecl> mutexes;
+  std::vector<FileModel> files;
+  // key2 ("Cls::name" / "name") -> REQUIRES arguments from any file
+  // (headers carry the annotation; out-of-line definitions may repeat
+  // it — duplicates are harmless because edges are deduplicated).
+  std::map<std::string, std::vector<RequiresEntry>> requires_map;
+  std::vector<ClassRegion> classes;
+};
+
+/// Matching ')'→'(' (or '}'→'{') scanning left on blanked text.
+std::size_t match_open(const std::string& code, std::size_t close_pos,
+                       char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t i = close_pos + 1; i-- > 0;) {
+    if (code[i] == close_c)
+      ++depth;
+    else if (code[i] == open_c && --depth == 0)
+      return i;
+  }
+  return std::string::npos;
+}
+
+bool is_control_word(const std::string& w) {
+  static const std::set<std::string> kControl = {
+      "if",     "while",  "for",    "switch", "catch",  "return",
+      "do",     "else",   "new",    "delete", "sizeof", "alignof",
+      "alignas", "decltype", "static_assert", "assert", "defined"};
+  return kControl.count(w) != 0;
+}
+
+/// Given '{' at `brace` (blanked text), decide whether it opens a
+/// function body, and if so return the (possibly Cls::-qualified)
+/// function name. Walks left over noexcept/REPRO_* qualifier groups
+/// and constructor member-init lists. Lambdas return nullopt (their
+/// bodies become plain block scopes attributed to the enclosing
+/// function — REQUIRES on lambdas is not modeled; DESIGN 5.9).
+std::optional<std::string> match_function_def(const std::string& code,
+                                              std::size_t brace) {
+  std::size_t j = brace;
+  for (int guard = 0; guard < 64; ++guard) {
+    while (j > 0 && is_space(code[j - 1])) --j;
+    if (j == 0) return std::nullopt;
+    const char c = code[j - 1];
+    if (is_ident_char(c)) {
+      // Trailing qualifier words on a definition: "...) const {",
+      // "...) noexcept override {". Anything else identifier-like
+      // (a brace initializer "x_{0}", "try", "do") is not a function.
+      std::size_t k = j;
+      while (k > 0 && is_ident_char(code[k - 1])) --k;
+      const std::string w = code.substr(k, j - k);
+      if (w == "const" || w == "noexcept" || w == "override" ||
+          w == "final") {
+        j = k;
+        continue;
+      }
+      return std::nullopt;
+    }
+    if (c != ')' && c != '}') return std::nullopt;
+    const std::size_t open = c == ')' ? match_open(code, j - 1, '(', ')')
+                                      : match_open(code, j - 1, '{', '}');
+    if (open == std::string::npos) return std::nullopt;
+    std::size_t k = open;
+    while (k > 0 && is_space(code[k - 1])) --k;
+    const std::size_t word_end = k;
+    while (k > 0 && is_ident_char(code[k - 1])) --k;
+    std::string w = code.substr(k, word_end - k);
+    if (w.empty()) return std::nullopt;  // lambda / cast / expression
+    if (c == ')' && (w == "noexcept" || starts_with(w, "REPRO_"))) {
+      j = k;  // qualifier group between the params and the body
+      continue;
+    }
+    if (is_control_word(w)) return std::nullopt;
+    // Candidate name; extend left over ~ and :: qualifications.
+    std::size_t nstart = k;
+    if (nstart > 0 && code[nstart - 1] == '~') --nstart;
+    while (nstart >= 2 && code[nstart - 1] == ':' &&
+           code[nstart - 2] == ':') {
+      std::size_t m = nstart - 2;
+      const std::size_t me = m;
+      while (m > 0 && is_ident_char(code[m - 1])) --m;
+      if (m == me) break;  // leading ::name
+      nstart = m;
+      if (nstart > 0 && code[nstart - 1] == '~') --nstart;
+    }
+    std::string qual = code.substr(nstart, word_end - nstart);
+    // A ',' or lone ':' before the name means this was a member-init
+    // group (x_(v) / x_{v}); keep walking left to the real signature.
+    std::size_t p = nstart;
+    while (p > 0 && is_space(code[p - 1])) --p;
+    if (p > 0 && code[p - 1] == ',') {
+      j = p - 1;
+      continue;
+    }
+    if (p > 0 && code[p - 1] == ':' && (p < 2 || code[p - 2] != ':')) {
+      j = p - 1;
+      continue;
+    }
+    if (c == '}') return std::nullopt;  // name{...} not in an init list
+    if (p > 0 && (code[p - 1] == '.' ||
+                  (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>')))
+      return std::nullopt;
+    return qual;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  for (std::string& a : out) {
+    while (!a.empty() && is_space(a.front())) a.erase(a.begin());
+    while (!a.empty() && is_space(a.back())) a.pop_back();
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const std::string& a) { return a.empty(); }),
+            out.end());
+  return out;
+}
+
+/// Balanced-paren argument text right after `pos` (which points just
+/// past a macro/function name); returns nullopt if no '(' follows.
+std::optional<std::string> paren_args_at(const std::string& code,
+                                         std::size_t pos,
+                                         std::size_t* close_out = nullptr) {
+  std::size_t i = pos;
+  while (i < code.size() && is_space(code[i])) ++i;
+  if (i >= code.size() || code[i] != '(') return std::nullopt;
+  int depth = 0;
+  for (std::size_t j = i; j < code.size(); ++j) {
+    if (code[j] == '(')
+      ++depth;
+    else if (code[j] == ')' && --depth == 0) {
+      if (close_out) *close_out = j;
+      return code.substr(i + 1, j - i - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string join_path(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (p.empty()) continue;
+    if (!out.empty()) out += "::";
+    out += p;
+  }
+  return out;
+}
+
+/// One file's contribution to the concurrency model. `rel` is used in
+/// findings; `code` must be blanked.
+void scan_model_file(const std::string& rel, const std::string& code,
+                     ConcurrencyModel& model) {
+  model.files.push_back({rel, code, {}, {}});
+  FileModel& fm = model.files.back();
+
+  // Forward brace matching.
+  std::vector<std::size_t> close_of(code.size(), std::string::npos);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '{') stack.push_back(i);
+      else if (code[i] == '}' && !stack.empty()) {
+        close_of[stack.back()] = i;
+        stack.pop_back();
+      }
+    }
+  }
+
+  struct Scope {
+    char kind;  // 'n'amespace, 'c'lass, 'f'unction, 'b'lock
+    std::string name;
+    std::size_t close = 0;
+    int func = -1;  // for 'f': index into fm.funcs
+  };
+  std::vector<Scope> scopes;
+  bool pending_class = false, pending_ns = false, pending_enum = false;
+  std::string pending_name;
+  int paren_depth = 0;
+  std::string last_word;
+
+  auto class_path = [&]() {
+    std::vector<std::string> parts;
+    for (const Scope& s : scopes)
+      if (s.kind == 'c') parts.push_back(s.name);
+    return parts;
+  };
+  auto current_func = [&]() -> int {
+    for (std::size_t i = scopes.size(); i-- > 0;)
+      if (scopes[i].kind == 'f') return scopes[i].func;
+    return -1;
+  };
+  auto innermost_scope_end = [&](std::size_t fallback) -> std::size_t {
+    return scopes.empty() ? fallback : scopes.back().close;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    // Pop finished scopes before processing the char at their close.
+    while (!scopes.empty() && i == scopes.back().close) scopes.pop_back();
+    if (c == '(') { ++paren_depth; continue; }
+    if (c == ')') { if (paren_depth > 0) --paren_depth; continue; }
+    if (c == ';') {
+      pending_class = pending_ns = pending_enum = false;
+      continue;
+    }
+    if (c == '}') { last_word.clear(); continue; }
+    if (c == '{') {
+      const std::size_t close =
+          close_of[i] == std::string::npos ? code.size() : close_of[i];
+      if (pending_ns) {
+        scopes.push_back({'n', pending_name, close, -1});
+      } else if (pending_class) {
+        scopes.push_back({'c', pending_name, close, -1});
+        std::vector<std::string> path = class_path();
+        model.classes.push_back({join_path(path), rel, i, close,
+                                 line_of(code, i)});
+      } else if (pending_enum) {
+        scopes.push_back({'b', "", close, -1});
+      } else if (auto qual = match_function_def(code, i)) {
+        // Split "A::B::f" into class components + name.
+        std::vector<std::string> comps;
+        std::size_t start = 0, sep;
+        while ((sep = qual->find("::", start)) != std::string::npos) {
+          comps.push_back(qual->substr(start, sep - start));
+          start = sep + 2;
+        }
+        comps.push_back(qual->substr(start));
+        std::vector<std::string> ctx = class_path();
+        for (std::size_t k = 0; k + 1 < comps.size(); ++k)
+          ctx.push_back(comps[k]);
+        FuncDef f;
+        f.name = comps.back();
+        f.key2 = ctx.empty() ? f.name : ctx.back() + "::" + f.name;
+        f.file = rel;
+        f.line = line_of(code, i);
+        f.body_open = i;
+        f.body_close = close;
+        f.class_ctx = ctx;
+        fm.funcs.push_back(f);
+        scopes.push_back({'f', f.name, close,
+                          static_cast<int>(fm.funcs.size() - 1)});
+      } else {
+        scopes.push_back({'b', "", close, -1});
+      }
+      pending_class = pending_ns = pending_enum = false;
+      last_word.clear();
+      continue;
+    }
+    if (!is_ident_char(c)) continue;
+    if (i > 0 && is_ident_char(code[i - 1])) continue;  // mid-identifier
+    std::size_t e = i;
+    while (e < code.size() && is_ident_char(code[e])) ++e;
+    const std::string word = code.substr(i, e - i);
+    // Previous non-space char, for template-parameter "class" detection.
+    std::size_t pv = i;
+    while (pv > 0 && is_space(code[pv - 1])) --pv;
+    const char prev_c = pv > 0 ? code[pv - 1] : '\0';
+
+    if (word == "namespace") {
+      pending_ns = true;
+      pending_name.clear();
+      pending_class = pending_enum = false;
+    } else if (word == "enum") {
+      pending_enum = true;
+    } else if ((word == "class" || word == "struct") &&
+               prev_c != '<' && prev_c != ',' && last_word != "enum") {
+      std::size_t k = e;
+      while (k < code.size() && is_space(code[k])) ++k;
+      std::size_t ne = k;
+      while (ne < code.size() && is_ident_char(code[ne])) ++ne;
+      pending_class = true;
+      pending_name = code.substr(k, ne - k);
+      pending_ns = false;
+    } else if ((word == "Mutex" || word == "SharedMutex") &&
+               paren_depth == 0 && prev_c != '<') {
+      // A declaration "common::Mutex name_ <annotations>;" — at class
+      // or namespace scope, or a function-local struct (ForState).
+      std::size_t k = e;
+      while (k < code.size() && is_space(code[k])) ++k;
+      std::size_t ne = k;
+      while (ne < code.size() && is_ident_char(code[ne])) ++ne;
+      if (ne > k && !(scopes.empty() && pending_class)) {
+        const std::string member = code.substr(k, ne - k);
+        if (member != "const" && member != "mutable") {
+          MutexDecl d;
+          d.member = member;
+          std::vector<std::string> path = class_path();
+          d.cls = join_path(path);
+          d.qual = d.cls.empty() ? d.member : d.cls + "::" + d.member;
+          d.file = rel;
+          d.line = line_of(code, i);
+          // Trailing annotations up to the ';'.
+          const std::size_t semi = code.find(';', ne);
+          if (semi != std::string::npos) {
+            const std::string tail = code.substr(ne, semi - ne);
+            for (const char* macro :
+                 {"REPRO_ACQUIRED_BEFORE", "REPRO_ACQUIRED_AFTER"}) {
+              std::size_t mp = tail.find(macro);
+              if (mp == std::string::npos) continue;
+              if (auto args =
+                      paren_args_at(tail, mp + std::strlen(macro))) {
+                auto& dst = std::string_view(macro).ends_with("BEFORE")
+                                ? d.before_raw
+                                : d.after_raw;
+                for (const std::string& a : split_args(*args))
+                  dst.push_back(a);
+              }
+            }
+          }
+          model.mutexes.push_back(d);
+        }
+      }
+    } else if (word == "REPRO_REQUIRES" && paren_depth == 0) {
+      // "ret name(params) [const|noexcept|REPRO_*(...)] REPRO_REQUIRES(m)"
+      std::size_t close = 0;
+      const auto args = paren_args_at(code, e, &close);
+      if (args) {
+        // Backtrack to the function name this annotates.
+        std::size_t j = i;
+        std::string fname;
+        for (int guard = 0; guard < 16 && fname.empty(); ++guard) {
+          while (j > 0 && is_space(code[j - 1])) --j;
+          if (j == 0) break;
+          if (code[j - 1] == ')') {
+            const std::size_t open = match_open(code, j - 1, '(', ')');
+            if (open == std::string::npos) break;
+            std::size_t k = open;
+            while (k > 0 && is_space(code[k - 1])) --k;
+            const std::size_t we = k;
+            while (k > 0 && is_ident_char(code[k - 1])) --k;
+            const std::string w = code.substr(k, we - k);
+            if (w.empty()) break;  // lambda — not modeled
+            if (w == "noexcept" || starts_with(w, "REPRO_")) {
+              j = k;
+              continue;
+            }
+            if (!is_control_word(w)) fname = w;
+            break;
+          }
+          // const / noexcept / override / final words between.
+          const std::size_t we = j;
+          std::size_t k = j;
+          while (k > 0 && is_ident_char(code[k - 1])) --k;
+          const std::string w = code.substr(k, we - k);
+          if (w == "const" || w == "noexcept" || w == "override" ||
+              w == "final") {
+            j = k;
+            continue;
+          }
+          break;
+        }
+        if (!fname.empty()) {
+          std::vector<std::string> ctx = class_path();
+          const std::string key =
+              ctx.empty() ? fname : ctx.back() + "::" + fname;
+          for (const std::string& a : split_args(*args))
+            model.requires_map[key].push_back({a, ctx});
+        }
+      }
+    } else if ((word == "MutexLock" || word == "ExclusiveLock" ||
+                word == "SharedLock") &&
+               paren_depth == 0) {
+      // "common::MutexLock name(arg);" — scoped RAII acquisition.
+      std::size_t k = e;
+      while (k < code.size() && is_space(code[k])) ++k;
+      std::size_t ne = k;
+      while (ne < code.size() && is_ident_char(code[ne])) ++ne;
+      if (ne > k) {
+        if (auto arg = paren_args_at(code, ne)) {
+          Acquisition a;
+          a.arg = *arg;
+          a.file = rel;
+          a.pos = i;
+          a.line = line_of(code, i);
+          a.scope_end = innermost_scope_end(code.size());
+          a.func = current_func();
+          fm.acqs.push_back(a);
+        }
+      }
+    }
+    last_word = word;
+    i = e - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order manifest + graph checks.
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+  std::string file = "tools/lock_order.txt";
+  std::vector<std::pair<std::string, std::size_t>> mutexes;  // name, line
+  struct Edge {
+    std::string from, to;
+    std::size_t line = 0;
+  };
+  std::vector<Edge> edges;
+  std::set<std::string> names;
+  std::map<std::string, std::vector<std::string>> adj;
+
+  bool has(const std::string& m) const { return names.count(m) != 0; }
+
+  /// Transitive reachability from -> to over declared before-edges.
+  bool reach(const std::string& from, const std::string& to) const {
+    if (from == to) return false;
+    std::vector<std::string> stack = {from};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (!seen.insert(cur).second) continue;
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& nxt : it->second) {
+        if (nxt == to) return true;
+        stack.push_back(nxt);
+      }
+    }
+    return false;
+  }
+
+  /// Returns a node on a cycle, or empty if the declared order is a DAG.
+  std::string find_cycle() const {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::string hit;
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& n) -> bool {
+      color[n] = 1;
+      const auto it = adj.find(n);
+      if (it != adj.end())
+        for (const std::string& nxt : it->second) {
+          if (color[nxt] == 1) {
+            hit = nxt;
+            return true;
+          }
+          if (color[nxt] == 0 && dfs(nxt)) return true;
+        }
+      color[n] = 2;
+      return false;
+    };
+    for (const auto& [name, line] : mutexes)
+      if (color[name] == 0 && dfs(name)) return hit;
+    return {};
+  }
+};
+
+bool parse_manifest(std::istream& in, const std::string& display_name,
+                    Manifest& m, std::string& error) {
+  m.file = display_name;
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string kind;
+    if (!(ss >> kind)) continue;
+    if (kind == "mutex") {
+      std::string name;
+      if (!(ss >> name)) {
+        error = display_name + ":" + std::to_string(n) +
+                ": mutex line needs a name";
+        return false;
+      }
+      m.mutexes.emplace_back(name, n);
+      m.names.insert(name);
+    } else if (kind == "before") {
+      std::string a, b;
+      if (!(ss >> a >> b)) {
+        error = display_name + ":" + std::to_string(n) +
+                ": before line needs two mutex names";
+        return false;
+      }
+      m.edges.push_back({a, b, n});
+      m.adj[a].push_back(b);
+    } else {
+      error = display_name + ":" + std::to_string(n) +
+              ": unknown directive \"" + kind + "\" (mutex|before)";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves a lock-constructor / REQUIRES argument to a declared
+/// mutex's qualified name. Plain identifiers prefer the enclosing
+/// class context; object-qualified references (x.m / p->m / a[i]->m)
+/// resolve by globally-unique member name. Empty return = unresolved
+/// (a lock/order finding was appended).
+std::string resolve_mutex(const ConcurrencyModel& model,
+                          const std::string& raw_arg,
+                          const std::vector<std::string>& class_ctx,
+                          const std::string& file, std::size_t line,
+                          std::vector<Finding>* out) {
+  std::string arg = raw_arg;
+  while (!arg.empty() && is_space(arg.back())) arg.pop_back();
+  while (!arg.empty() && (is_space(arg.front()) || arg.front() == '*' ||
+                          arg.front() == '&'))
+    arg.erase(arg.begin());
+  std::size_t e = arg.size();
+  std::size_t s = e;
+  while (s > 0 && is_ident_char(arg[s - 1])) --s;
+  const std::string member = arg.substr(s, e - s);
+  auto fail = [&](const std::string& why) -> std::string {
+    if (out)
+      out->push_back({file, line, "lock/order",
+                      "cannot resolve lock argument \"" + raw_arg +
+                          "\" to a declared mutex (" + why +
+                          "); name the mutex so the checker can see it"});
+    return {};
+  };
+  if (member.empty()) return fail("no trailing identifier");
+  std::vector<const MutexDecl*> candidates;
+  for (const MutexDecl& d : model.mutexes)
+    if (d.member == member) candidates.push_back(&d);
+  if (candidates.empty()) return fail("no mutex member named " + member);
+  if (candidates.size() == 1) return candidates[0]->qual;
+  // Ambiguous member name: prefer a declaration whose class is in the
+  // enclosing class context (innermost last — walk outward).
+  for (std::size_t i = class_ctx.size(); i-- > 0;) {
+    std::vector<const MutexDecl*> narrowed;
+    for (const MutexDecl* d : candidates) {
+      const std::size_t sep = d->cls.rfind("::");
+      const std::string last =
+          sep == std::string::npos ? d->cls : d->cls.substr(sep + 2);
+      if (last == class_ctx[i]) narrowed.push_back(d);
+    }
+    if (narrowed.size() == 1) return narrowed[0]->qual;
+  }
+  return fail("member name is ambiguous across classes and the enclosing "
+              "class context does not disambiguate");
+}
+
+struct LockEdge {
+  std::string from, to;
+  std::string file;
+  std::size_t line = 0;  // acquisition site of `to`
+  std::string via;       // how the edge was extracted, for the message
+};
+
+/// The acquired-while-holding graph. Three extraction rules (DESIGN
+/// 5.9): (A) scoped-lock nesting inside one function body, position-
+/// aware (B is under A only while A's scope is still open); (B) a
+/// function annotated REPRO_REQUIRES(H) acquires M in its body; (C)
+/// one level of same-file call propagation — while holding H, a plain
+/// call to a unique same-file function G adds H -> each lock G takes.
+std::vector<LockEdge> extract_edges(const ConcurrencyModel& model,
+                                    std::vector<Finding>& out) {
+  std::vector<LockEdge> edges;
+  std::set<std::string> seen;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, std::size_t line,
+                      const std::string& via) {
+    if (from.empty() || to.empty()) return;
+    const std::string key =
+        from + "|" + to + "|" + file + "|" + std::to_string(line);
+    if (seen.insert(key).second) edges.push_back({from, to, file, line, via});
+  };
+  static const std::set<std::string> kNotCalls = {
+      "MutexLock", "ExclusiveLock", "SharedLock", "CondVar"};
+
+  for (const FileModel& fm : model.files) {
+    // Per-function acquisition lists + class contexts.
+    auto ctx_of = [&](const Acquisition& a) -> std::vector<std::string> {
+      if (a.func >= 0) return fm.funcs[a.func].class_ctx;
+      return {};
+    };
+    std::vector<std::string> resolved(fm.acqs.size());
+    for (std::size_t i = 0; i < fm.acqs.size(); ++i)
+      resolved[i] = resolve_mutex(model, fm.acqs[i].arg, ctx_of(fm.acqs[i]),
+                                  fm.rel, fm.acqs[i].line, &out);
+
+    // Rule A: same-function scoped nesting, position-aware liveness.
+    for (std::size_t i = 0; i < fm.acqs.size(); ++i) {
+      const Acquisition& a = fm.acqs[i];
+      for (std::size_t j = 0; j < fm.acqs.size(); ++j) {
+        if (i == j) continue;
+        const Acquisition& b = fm.acqs[j];
+        if (a.func != b.func) continue;
+        if (a.pos < b.pos && b.pos <= a.scope_end)
+          add_edge(resolved[i], resolved[j], fm.rel, b.line,
+                   "scoped nesting");
+      }
+    }
+
+    // Rule B: REQUIRES(H) on the function; every acquisition in the
+    // body runs while H is held by contract.
+    for (std::size_t fi = 0; fi < fm.funcs.size(); ++fi) {
+      const FuncDef& f = fm.funcs[fi];
+      auto it = model.requires_map.find(f.key2);
+      if (it == model.requires_map.end())
+        it = model.requires_map.find(f.name);
+      if (it == model.requires_map.end()) continue;
+      for (const RequiresEntry& req : it->second) {
+        const std::string held = resolve_mutex(
+            model, req.arg,
+            req.class_ctx.empty() ? f.class_ctx : req.class_ctx, f.file,
+            f.line, &out);
+        for (std::size_t ai = 0; ai < fm.acqs.size(); ++ai)
+          if (fm.acqs[ai].func == static_cast<int>(fi))
+            add_edge(held, resolved[ai], fm.rel, fm.acqs[ai].line,
+                     "REPRO_REQUIRES(" + req.arg + ") on " + f.key2);
+      }
+    }
+
+    // Rule C: one-level same-file call propagation. A call is a plain
+    // identifier followed by '(' — receiver-qualified (./->/::) calls
+    // are skipped, and only a name matching exactly one function
+    // definition in this file propagates.
+    std::map<std::string, std::vector<int>> funcs_by_name;
+    for (std::size_t fi = 0; fi < fm.funcs.size(); ++fi)
+      funcs_by_name[fm.funcs[fi].name].push_back(static_cast<int>(fi));
+    for (std::size_t i = 0; i < fm.acqs.size(); ++i) {
+      if (resolved[i].empty()) continue;
+      const Acquisition& a = fm.acqs[i];
+      const std::size_t end = std::min(a.scope_end, fm.code.size());
+      for (std::size_t p = a.pos; p < end; ++p) {
+        if (!is_ident_char(fm.code[p])) continue;
+        if (p > 0 && is_ident_char(fm.code[p - 1])) continue;
+        std::size_t we = p;
+        while (we < end && is_ident_char(fm.code[we])) ++we;
+        const std::string w = fm.code.substr(p, we - p);
+        std::size_t q = we;
+        while (q < fm.code.size() && is_space(fm.code[q])) ++q;
+        const bool call = q < fm.code.size() && fm.code[q] == '(';
+        const bool plain =
+            p == 0 || (fm.code[p - 1] != '.' && fm.code[p - 1] != ':' &&
+                       !(p >= 2 && fm.code[p - 2] == '-' &&
+                         fm.code[p - 1] == '>'));
+        p = we - 1;
+        if (!call || !plain || is_control_word(w) ||
+            starts_with(w, "REPRO_") || kNotCalls.count(w))
+          continue;
+        const auto fit = funcs_by_name.find(w);
+        if (fit == funcs_by_name.end() || fit->second.size() != 1)
+          continue;
+        const int callee = fit->second[0];
+        if (callee == a.func) continue;
+        for (std::size_t ai = 0; ai < fm.acqs.size(); ++ai)
+          if (fm.acqs[ai].func == callee)
+            add_edge(resolved[i], resolved[ai], fm.rel, fm.acqs[ai].line,
+                     "call to " + w + "() while holding");
+      }
+    }
+  }
+  return edges;
+}
+
+/// The lock/order pass: manifest coverage both ways, acyclicity, the
+/// extracted graph against the declared partial order, and the
+/// REPRO_ACQUIRED_BEFORE/AFTER declaration annotations.
+void check_lock_order(const ConcurrencyModel& model, const Manifest& man,
+                      std::vector<Finding>& out) {
+  std::set<std::string> declared;
+  for (const MutexDecl& d : model.mutexes) declared.insert(d.qual);
+
+  for (const auto& [name, line] : man.mutexes)
+    if (!declared.count(name))
+      out.push_back({man.file, line, "lock/order",
+                     "manifest mutex \"" + name +
+                         "\" does not match any Mutex/SharedMutex "
+                         "declaration in the tree; fix or delete it"});
+  for (const auto& e : man.edges) {
+    if (!man.has(e.from))
+      out.push_back({man.file, e.line, "lock/order",
+                     "before-edge references undeclared mutex \"" + e.from +
+                         "\"; add a mutex line first"});
+    if (!man.has(e.to))
+      out.push_back({man.file, e.line, "lock/order",
+                     "before-edge references undeclared mutex \"" + e.to +
+                         "\"; add a mutex line first"});
+  }
+  for (const MutexDecl& d : model.mutexes)
+    if (!man.has(d.qual))
+      out.push_back({d.file, d.line, "lock/order",
+                     "mutex " + d.qual + " is missing from " + man.file +
+                         "; every mutex must have a place in the "
+                         "canonical order (DESIGN 5.9)"});
+
+  const std::string cyc = man.find_cycle();
+  if (!cyc.empty()) {
+    out.push_back({man.file, 1, "lock/order",
+                   "the declared before-order contains a cycle through " +
+                       cyc + "; a lock order must be a partial order"});
+    return;  // edge checks against a cyclic "order" would be noise
+  }
+
+  // Declaration annotations must agree with the manifest.
+  for (const MutexDecl& d : model.mutexes) {
+    std::vector<std::string> ctx;
+    {
+      std::size_t start = 0, sep;
+      while ((sep = d.cls.find("::", start)) != std::string::npos) {
+        ctx.push_back(d.cls.substr(start, sep - start));
+        start = sep + 2;
+      }
+      if (start < d.cls.size()) ctx.push_back(d.cls.substr(start));
+    }
+    for (const std::string& arg : d.before_raw) {
+      const std::string other =
+          resolve_mutex(model, arg, ctx, d.file, d.line, &out);
+      if (!other.empty() && man.has(d.qual) && man.has(other) &&
+          !man.reach(d.qual, other))
+        out.push_back({d.file, d.line, "lock/order",
+                       "REPRO_ACQUIRED_BEFORE(" + arg + ") on " + d.qual +
+                           " is not implied by " + man.file +
+                           "; add \"before " + d.qual + " " + other +
+                           "\" or fix the annotation"});
+    }
+    for (const std::string& arg : d.after_raw) {
+      const std::string other =
+          resolve_mutex(model, arg, ctx, d.file, d.line, &out);
+      if (!other.empty() && man.has(d.qual) && man.has(other) &&
+          !man.reach(other, d.qual))
+        out.push_back({d.file, d.line, "lock/order",
+                       "REPRO_ACQUIRED_AFTER(" + arg + ") on " + d.qual +
+                           " is not implied by " + man.file +
+                           "; add \"before " + other + " " + d.qual +
+                           "\" or fix the annotation"});
+    }
+  }
+
+  for (const LockEdge& e : extract_edges(model, out)) {
+    if (e.from == e.to) {
+      out.push_back({e.file, e.line, "lock/order",
+                     e.from + " acquired while already held (" + e.via +
+                         "); common::Mutex is not recursive"});
+      continue;
+    }
+    if (!man.has(e.from) || !man.has(e.to)) continue;  // reported above
+    if (man.reach(e.to, e.from))
+      out.push_back({e.file, e.line, "lock/order",
+                     e.from + " held while acquiring " + e.to + " (" +
+                         e.via + ") contradicts " + man.file +
+                         ", which orders " + e.to + " before " + e.from});
+    else if (!man.reach(e.from, e.to))
+      out.push_back({e.file, e.line, "lock/order",
+                     e.from + " held while acquiring " + e.to + " (" +
+                         e.via + ") is not declared in " + man.file +
+                         "; add \"before " + e.from + " " + e.to +
+                         "\" if this nesting is intended"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Annotation-coverage ratchet (--coverage).
+// ---------------------------------------------------------------------------
+
+struct CoverageReport {
+  std::size_t unguarded_fields = 0;
+  std::size_t unlisted_mutexes = 0;
+  std::vector<Finding> details;
+};
+
+std::string trim_copy(std::string s) {
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+std::string first_token(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && is_space(s[i])) ++i;
+  std::size_t e = i;
+  while (e < s.size() && is_ident_char(s[e])) ++e;
+  return s.substr(i, e - i);
+}
+
+/// Classifies one class-body statement (text up to the ';' or the
+/// opening '{' of an inline body / brace initializer) and, when it is
+/// a mutable unannotated field of a concurrent class, records an
+/// unguarded-field coverage gap.
+void classify_member(const std::string& code, const std::string& stmt_raw,
+                     std::size_t stmt_start, const ClassRegion& cr,
+                     const std::string& rel, CoverageReport& rep) {
+  std::string t = trim_copy(stmt_raw);
+  // Strip leading access labels ("public:" etc, possibly stacked).
+  for (bool stripped = true; stripped;) {
+    stripped = false;
+    for (const char* label : {"public", "private", "protected"}) {
+      const std::size_t n = std::strlen(label);
+      if (starts_with(t, label) &&
+          (t.size() == n || !is_ident_char(t[n]))) {
+        std::size_t i = n;
+        while (i < t.size() && is_space(t[i])) ++i;
+        if (i < t.size() && t[i] == ':' &&
+            (i + 1 >= t.size() || t[i + 1] != ':')) {
+          t = trim_copy(t.substr(i + 1));
+          stripped = true;
+        }
+      }
+    }
+  }
+  if (t.empty()) return;
+  static const std::set<std::string> kSkipFirst = {
+      "using",   "typedef",  "friend",   "static", "template",
+      "enum",    "class",    "struct",   "public", "private",
+      "protected", "explicit", "virtual", "operator", "inline",
+      "constexpr"};
+  if (kSkipFirst.count(first_token(t))) return;
+  // Truncate at a top-level '=' (default member init); "operator=" and
+  // comparison spellings are not assignments.
+  {
+    int pd = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const char c = t[i];
+      if (c == '(') ++pd;
+      else if (c == ')') --pd;
+      else if (c == '=' && pd == 0) {
+        const char prev = i > 0 ? t[i - 1] : '\0';
+        const char next = i + 1 < t.size() ? t[i + 1] : '\0';
+        if (prev == '=' || prev == '!' || prev == '<' || prev == '>' ||
+            next == '=')
+          continue;
+        if (i >= 8 && t.compare(i - 8, 8, "operator") == 0) continue;
+        t = trim_copy(t.substr(0, i));
+        break;
+      }
+    }
+  }
+  // Strip trailing annotations and function qualifiers, remembering
+  // which REPRO_* annotations were present.
+  std::set<std::string> ann;
+  for (bool again = true; again;) {
+    again = false;
+    t = trim_copy(t);
+    if (t.empty()) return;
+    if (t.back() == ')') {
+      const std::size_t open = match_open(t, t.size() - 1, '(', ')');
+      if (open == std::string::npos) return;
+      std::size_t k = open;
+      while (k > 0 && is_space(t[k - 1])) --k;
+      const std::size_t we = k;
+      while (k > 0 && is_ident_char(t[k - 1])) --k;
+      const std::string w = t.substr(k, we - k);
+      if (starts_with(w, "REPRO_")) {
+        ann.insert(w);
+        t = t.substr(0, k);
+        again = true;
+      }
+      continue;
+    }
+    if (is_ident_char(t.back())) {
+      std::size_t k = t.size();
+      while (k > 0 && is_ident_char(t[k - 1])) --k;
+      const std::string w = t.substr(k);
+      if (starts_with(w, "REPRO_")) {
+        ann.insert(w);
+        t = t.substr(0, k);
+        again = true;
+      } else if (w == "override" || w == "final" || w == "noexcept" ||
+                 w == "const") {
+        t = t.substr(0, k);
+        again = true;
+      }
+    }
+  }
+  // Arrays: strip [N] groups so the name is the trailing identifier.
+  while (!t.empty() && t.back() == ']') {
+    const std::size_t open = match_open(t, t.size() - 1, '[', ']');
+    if (open == std::string::npos) return;
+    t = trim_copy(t.substr(0, open));
+  }
+  if (t.empty() || t.back() == ')' || !is_ident_char(t.back()))
+    return;  // function declaration / inline body / noise
+  std::size_t k = t.size();
+  while (k > 0 && is_ident_char(t[k - 1])) --k;
+  const std::string name = t.substr(k);
+  const std::string type_part = trim_copy(t.substr(0, k));
+  if (type_part.empty()) return;  // a lone identifier is not a field
+  if (first_token(type_part) == "const") return;
+  if (type_part.find('&') != std::string::npos) return;  // reference
+  static constexpr std::string_view kSelfSync[] = {
+      "Mutex",  "SharedMutex",        "CondVar", "once_flag",
+      "atomic", "condition_variable", "thread"};
+  for (const std::string_view tok : kSelfSync)
+    if (has_token(type_part, tok)) return;
+  const bool guarded = ann.count("REPRO_GUARDED_BY") ||
+                       ann.count("REPRO_PT_GUARDED_BY") ||
+                       ann.count("REPRO_CONST_AFTER_INIT") ||
+                       ann.count("REPRO_THREAD_CONFINED");
+  if (guarded) return;
+  std::size_t lead = 0;
+  while (lead < stmt_raw.size() && is_space(stmt_raw[lead])) ++lead;
+  ++rep.unguarded_fields;
+  rep.details.push_back(
+      {rel, line_of(code, stmt_start + lead), "coverage/unguarded-field",
+       cr.qual + "::" + name +
+           " is a mutable field of a concurrent class with no "
+           "REPRO_GUARDED_BY / REPRO_CONST_AFTER_INIT / "
+           "REPRO_THREAD_CONFINED annotation"});
+}
+
+/// Counts mutable fields of concurrent classes (any class declaring a
+/// Mutex/SharedMutex member) that carry none of REPRO_GUARDED_BY /
+/// REPRO_PT_GUARDED_BY / REPRO_CONST_AFTER_INIT / REPRO_THREAD_CONFINED,
+/// plus mutexes missing from the manifest. Fields whose type is itself
+/// a synchronization or self-synchronizing primitive (Mutex, CondVar,
+/// std::atomic, std::thread, once_flag) are exempt, as are const and
+/// reference members.
+CoverageReport collect_coverage(const ConcurrencyModel& model,
+                                const Manifest& man) {
+  CoverageReport rep;
+  std::set<std::string> concurrent;  // class quals with a mutex member
+  for (const MutexDecl& d : model.mutexes)
+    if (!d.cls.empty()) concurrent.insert(d.cls);
+
+  for (const MutexDecl& d : model.mutexes)
+    if (!man.has(d.qual)) {
+      ++rep.unlisted_mutexes;
+      rep.details.push_back({d.file, d.line, "coverage/unlisted-mutex",
+                             d.qual + " is not in " + man.file});
+    }
+
+  for (const FileModel& fm : model.files) {
+    for (const ClassRegion& cr : model.classes) {
+      if (cr.file != fm.rel || !concurrent.count(cr.qual)) continue;
+      const std::string& code = fm.code;
+      // Walk the class body at depth 0, splitting member statements at
+      // ';' and at the close of depth-0 brace groups (inline bodies,
+      // brace initializers, nested classes).
+      std::size_t stmt_start = cr.open + 1;
+      std::size_t i = cr.open + 1;
+      // Paren depth: braces and semicolons inside parameter lists
+      // (e.g. `EngineOptions options = {}` default arguments) must not
+      // terminate the member statement.
+      int pd = 0;
+      while (i < cr.close && i < code.size()) {
+        const char c = code[i];
+        if (c == '(') {
+          ++pd;
+        } else if (c == ')') {
+          if (pd > 0) --pd;
+        } else if (c == '{' && pd == 0) {
+          // Find the matching close within the region.
+          int depth = 0;
+          std::size_t j = i;
+          for (; j < cr.close; ++j) {
+            if (code[j] == '{') ++depth;
+            else if (code[j] == '}' && --depth == 0) break;
+          }
+          const std::string head = code.substr(stmt_start, i - stmt_start);
+          classify_member(code, head, stmt_start, cr, fm.rel, rep);
+          i = j + 1;
+          while (i < cr.close && (is_space(code[i]) || code[i] == ';')) ++i;
+          stmt_start = i;
+          continue;
+        } else if (c == ';' && pd == 0) {
+          const std::string stmt = code.substr(stmt_start, i - stmt_start);
+          classify_member(code, stmt, stmt_start, cr, fm.rel, rep);
+          stmt_start = i + 1;
+        }
+        ++i;
+      }
+    }
+  }
+  return rep;
+}
+
+bool model_file_eligible(const std::string& rel) {
+  if (!(under(rel, "src/") || under(rel, "include/"))) return false;
+  // The wrappers define the vocabulary; they are not users of it.
+  if (rel.ends_with("common/mutex.hpp")) return false;
+  if (rel.ends_with("common/thread_annotations.hpp")) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Output, suppressions, baseline.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_finding(const Finding& f, bool json) {
+  if (json)
+    std::printf("{\"file\":\"%s\",\"line\":%zu,\"rule\":\"%s\","
+                "\"message\":\"%s\"}\n",
+                json_escape(f.file).c_str(), f.line,
+                json_escape(f.rule).c_str(),
+                json_escape(f.message).c_str());
+  else
+    std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+}
+
+/// Normalizes a suppression path substring (or an invocation path) so
+/// the same tools/repro_lint.supp works from the repo root and the
+/// build tree: leading "./" segments are stripped, and an absolute
+/// path under --root is rewritten repo-relative.
+std::string normalize_supp_path(std::string s, const fs::path& root) {
+  while (starts_with(s, "./")) s.erase(0, 2);
+  if (!s.empty() && s.front() == '/') {
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(root, ec);
+    std::string prefix = ec ? root.generic_string() : canon.generic_string();
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    if (starts_with(s, prefix)) s.erase(0, prefix.size());
+  }
+  return s;
 }
 
 std::vector<Suppression> load_suppressions(const fs::path& file,
+                                           const fs::path& root,
                                            bool& config_error) {
   std::vector<Suppression> supp;
   if (file.empty()) return supp;
@@ -568,106 +1839,354 @@ std::vector<Suppression> load_suppressions(const fs::path& file,
       config_error = true;
       continue;
     }
-    supp.push_back({rule, path, false});
+    supp.push_back({rule, normalize_supp_path(path, root), false});
   }
   return supp;
 }
 
-/// --self-test: write seeded sources carrying every cross-shard and
-/// unchecked-write violation shape plus clean counterparts, run the
-/// real scan_file dispatch over both, and demand red (exactly the
-/// seeded findings) then green. Proves the rules cannot rot silently.
-int run_self_test() {
-  const fs::path dir =
-      fs::temp_directory_path() / "repro_lint_selftest" / "src" / "online";
+bool load_baseline(const fs::path& file, std::size_t& unguarded,
+                   std::size_t& unlisted) {
+  std::ifstream in(file);
+  if (!in) return false;
+  std::string line;
+  bool got_u = false, got_m = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    std::size_t value = 0;
+    if (!(ls >> key) || key.empty() || key[0] == '#') continue;
+    if (!(ls >> value)) continue;
+    if (key == "unguarded_fields") {
+      unguarded = value;
+      got_u = true;
+    } else if (key == "unlisted_mutexes") {
+      unlisted = value;
+      got_m = true;
+    }
+  }
+  return got_u && got_m;
+}
+
+// ---------------------------------------------------------------------------
+// --self-test: every rule red-then-green, one table row per rule.
+// ---------------------------------------------------------------------------
+
+struct SelfTestRow {
+  const char* label;   // printed
+  const char* rel;     // repo-relative path the rule's gate expects
+  const char* seeded;  // source carrying want_red violations
+  const char* clean;   // twin that must scan clean
+  const char* rule;    // rule id counted
+  long want_red;
+};
+
+/// Per-file rules: write the seeded source under a fake repo layout in
+/// the temp dir, run the real scan_file dispatch, count the rule.
+long run_row(const fs::path& tmp_root, const SelfTestRow& row,
+             const char* content) {
+  const fs::path path = tmp_root / row.rel;
   std::error_code ec;
-  fs::create_directories(dir, ec);
+  fs::create_directories(path.parent_path(), ec);
+  std::ofstream(path, std::ios::binary) << content;
+  std::vector<Finding> all;
+  scan_file(path, row.rel, all);
+  return std::count_if(all.begin(), all.end(), [&](const Finding& f) {
+    return f.rule == row.rule;
+  });
+}
+
+const SelfTestRow kSelfTestRows[] = {
+    {"lock/cross-shard", "src/online/shard.cpp",
+     "#include \"repro/online/shard.hpp\"\n"
+     "namespace repro::online {\n"
+     "void PipelineShard::rogue(engine::ModelEngine& engine,\n"
+     "                          PipelineShard& peer) {\n"
+     "  common::MutexLock lock(peer.mutex_);\n"
+     "  engine.try_apply(engine::Revision::process(0, {}));\n"
+     "  engine.register_process({});\n"
+     "}\n"
+     "}  // namespace repro::online\n",
+     "#include \"repro/online/shard.hpp\"\n"
+     "namespace repro::online {\n"
+     "void PipelineShard::fine() {\n"
+     "  common::MutexLock lock(mutex_);\n"
+     "  sink_.deliver(WindowBatch{});\n"
+     "}\n"
+     "}  // namespace repro::online\n",
+     "lock/cross-shard", 3},
+    {"io/unchecked-write", "src/online/journal.cpp",
+     "#include \"repro/online/journal.hpp\"\n"
+     "namespace repro::online {\n"
+     "void JournalWriter::rogue(const std::string& framed) {\n"
+     "  file_.write_all(framed.data(), framed.size());\n"
+     "  file_.sync_data();\n"
+     "  if (framed.empty()) file_.truncate(0);\n"
+     "}\n"
+     "}  // namespace repro::online\n",
+     "#include \"repro/online/journal.hpp\"\n"
+     "namespace repro::online {\n"
+     "bool JournalWriter::fine(const std::string& framed) {\n"
+     "  if (!file_.write_all(framed.data(), framed.size())) return false;\n"
+     "  const bool cut = framed.empty() ? file_.truncate(0) : true;\n"
+     "  return cut && file_.sync_data();\n"
+     "}\n"
+     "}  // namespace repro::online\n",
+     "io/unchecked-write", 3},
+    {"atomic/explicit-order", "src/common/counter.cpp",
+     "#include <atomic>\n"
+     "namespace repro::common {\n"
+     "std::atomic<int> pending{0};\n"
+     "void bump() {\n"
+     "  pending.store(1);\n"
+     "  pending.fetch_add(2);\n"
+     "}\n"
+     "int read_pending() { return pending.load(); }\n"
+     "}  // namespace repro::common\n",
+     "#include <atomic>\n"
+     "namespace repro::common {\n"
+     "std::atomic<int> pending{0};\n"
+     "void bump() {\n"
+     "  pending.store(1, std::memory_order_release);\n"
+     "  pending.fetch_add(2, std::memory_order_acq_rel);\n"
+     "}\n"
+     "int read_pending() {\n"
+     "  return pending.load(std::memory_order_acquire);\n"
+     "}\n"
+     "}  // namespace repro::common\n",
+     "atomic/explicit-order", 3},
+    {"atomic/relaxed-justified", "src/common/flag.cpp",
+     "#include <atomic>\n"
+     "namespace repro::common {\n"
+     "std::atomic<bool> stop{false};\n"
+     "bool poll() {\n"
+     "  stop.store(true, std::memory_order_relaxed);\n"
+     "  return stop.load(std::memory_order_relaxed);\n"
+     "}\n"
+     "}  // namespace repro::common\n",
+     "#include <atomic>\n"
+     "namespace repro::common {\n"
+     "std::atomic<bool> stop{false};\n"
+     "bool poll() {\n"
+     "  // relaxed: monotonic flag, readers tolerate stale false\n"
+     "  stop.store(true, std::memory_order_relaxed);\n"
+     "  return stop.load(std::memory_order_relaxed);  // relaxed: ditto\n"
+     "}\n"
+     "}  // namespace repro::common\n",
+     "atomic/relaxed-justified", 2},
+    {"num/float-eq", "src/math/eq.cpp",
+     "namespace repro::math {\n"
+     "bool close(double a, double b) { return a == 0.25 || b != 1.5; }\n"
+     "}  // namespace repro::math\n",
+     "namespace repro::math {\n"
+     "bool close(double a, double b) { return a > 0.25 && b < 1.5; }\n"
+     "}  // namespace repro::math\n",
+     "num/float-eq", 2},
+    {"ensure/message", "src/core/checks.cpp",
+     "void f(int n) {\n"
+     "  REPRO_ENSURE(n > 0);\n"
+     "  REPRO_ENSURE(n < 10, \"\");\n"
+     "}\n",
+     "void f(int n) {\n"
+     "  REPRO_ENSURE(n > 0, \"n must be positive, got negative\");\n"
+     "  REPRO_ENSURE(n < 10, \"n out of range\");\n"
+     "}\n",
+     "ensure/message", 2},
+    {"todo/owner", "src/core/notes.cpp",
+     "// TODO: tighten this bound\n",
+     "// TODO(alice): tighten this bound\n",
+     "todo/owner", 1},
+};
+
+// Gadget fixture for the lock/order arms: a header declaring two
+// mutexes and a REQUIRES-annotated method, and a TU that nests them
+// (Rule A in lift(), Rule B in drop()).
+constexpr const char* kGadgetHpp =
+    "#pragma once\n"
+    "#include \"repro/common/mutex.hpp\"\n"
+    "namespace demo {\n"
+    "class Gadget {\n"
+    " public:\n"
+    "  void lift();\n"
+    "  void drop() REPRO_REQUIRES(a_mutex_);\n"
+    " private:\n"
+    "  common::Mutex a_mutex_;\n"
+    "  common::Mutex b_mutex_;\n"
+    "  int count_ REPRO_GUARDED_BY(a_mutex_) = 0;\n"
+    "};\n"
+    "}  // namespace demo\n";
+constexpr const char* kGadgetCpp =
+    "#include \"demo/gadget.hpp\"\n"
+    "namespace demo {\n"
+    "void Gadget::lift() {\n"
+    "  common::MutexLock a(a_mutex_);\n"
+    "  common::MutexLock b(b_mutex_);\n"
+    "  ++count_;\n"
+    "}\n"
+    "void Gadget::drop() {\n"
+    "  common::MutexLock b(b_mutex_);\n"
+    "}\n"
+    "}  // namespace demo\n";
+
+struct LockOrderScenario {
+  const char* label;
+  const char* manifest;
+  long want;
+};
+
+const LockOrderScenario kLockOrderScenarios[] = {
+    {"conforming manifest",
+     "mutex Gadget::a_mutex_\n"
+     "mutex Gadget::b_mutex_\n"
+     "before Gadget::a_mutex_ Gadget::b_mutex_\n",
+     0},
+    {"undeclared edges",
+     "mutex Gadget::a_mutex_\n"
+     "mutex Gadget::b_mutex_\n",
+     2},
+    {"contradicted order",
+     "mutex Gadget::a_mutex_\n"
+     "mutex Gadget::b_mutex_\n"
+     "before Gadget::b_mutex_ Gadget::a_mutex_\n",
+     2},
+    {"cyclic order",
+     "mutex Gadget::a_mutex_\n"
+     "mutex Gadget::b_mutex_\n"
+     "before Gadget::a_mutex_ Gadget::b_mutex_\n"
+     "before Gadget::b_mutex_ Gadget::a_mutex_\n",
+     1},
+    {"mutex missing from manifest",
+     "mutex Gadget::a_mutex_\n"
+     "before Gadget::a_mutex_ Gadget::b_mutex_\n",
+     2},  // missing decl + before-edge referencing an undeclared name
+};
+
+long count_rule_in(const std::vector<Finding>& all, const char* rule) {
+  return std::count_if(all.begin(), all.end(), [&](const Finding& f) {
+    return f.rule == rule;
+  });
+}
+
+int run_self_test() {
+  const fs::path tmp_root =
+      fs::temp_directory_path() / "repro_lint_selftest";
+  std::error_code ec;
+  fs::remove_all(tmp_root, ec);
+  fs::create_directories(tmp_root, ec);
   if (ec) {
     std::fprintf(stderr, "repro-lint: self-test: cannot create %s\n",
-                 dir.string().c_str());
+                 tmp_root.string().c_str());
     return 2;
   }
-  const fs::path file = dir / "shard.cpp";
+  bool failed = false;
 
-  // Three seeded violations: a foreign-mutex lock, an engine mutation,
-  // and an engine registration — one finding each.
-  static constexpr const char* kSeeded =
-      "#include \"repro/online/shard.hpp\"\n"
-      "namespace repro::online {\n"
-      "void PipelineShard::rogue(engine::ModelEngine& engine,\n"
-      "                          PipelineShard& peer) {\n"
-      "  common::MutexLock lock(peer.mutex_);\n"
-      "  engine.try_apply(engine::Revision::process(0, {}));\n"
-      "  engine.register_process({});\n"
-      "}\n"
-      "}  // namespace repro::online\n";
-  static constexpr const char* kClean =
-      "#include \"repro/online/shard.hpp\"\n"
-      "namespace repro::online {\n"
-      "void PipelineShard::fine() {\n"
-      "  common::MutexLock lock(mutex_);\n"
-      "  sink_.deliver(WindowBatch{});\n"
-      "}\n"
-      "}  // namespace repro::online\n";
-
-  // Three seeded unchecked writes in a durability file: a bare
-  // statement call, a bare statement through a member, and a call
-  // discarded as the body of an `if (...)`. The clean twin consumes
-  // every result.
-  const fs::path journal_file = dir / "journal.cpp";
-  static constexpr const char* kSeededJournal =
-      "#include \"repro/online/journal.hpp\"\n"
-      "namespace repro::online {\n"
-      "void JournalWriter::rogue(const std::string& framed) {\n"
-      "  file_.write_all(framed.data(), framed.size());\n"
-      "  file_.sync_data();\n"
-      "  if (framed.empty()) file_.truncate(0);\n"
-      "}\n"
-      "}  // namespace repro::online\n";
-  static constexpr const char* kCleanJournal =
-      "#include \"repro/online/journal.hpp\"\n"
-      "namespace repro::online {\n"
-      "bool JournalWriter::fine(const std::string& framed) {\n"
-      "  if (!file_.write_all(framed.data(), framed.size())) return false;\n"
-      "  const bool cut = framed.empty() ? file_.truncate(0) : true;\n"
-      "  return cut && file_.sync_data();\n"
-      "}\n"
-      "}  // namespace repro::online\n";
-
-  auto count_rule = [](const fs::path& path, const char* rel,
-                       const char* content, const char* rule) -> long {
-    std::ofstream(path, std::ios::binary) << content;
-    std::vector<Finding> all;
-    scan_file(path, rel, all);
-    return std::count_if(all.begin(), all.end(), [&](const Finding& f) {
-      return f.rule == rule;
-    });
-  };
-  const long red = count_rule(file, "src/online/shard.cpp", kSeeded,
-                              "lock/cross-shard");
-  const long green = count_rule(file, "src/online/shard.cpp", kClean,
-                                "lock/cross-shard");
-  const long io_red = count_rule(journal_file, "src/online/journal.cpp",
-                                 kSeededJournal, "io/unchecked-write");
-  const long io_green = count_rule(journal_file, "src/online/journal.cpp",
-                                   kCleanJournal, "io/unchecked-write");
-  fs::remove_all(fs::temp_directory_path() / "repro_lint_selftest", ec);
-
-  std::fprintf(stderr,
-               "repro-lint: self-test: seeded shard.cpp -> %ld "
-               "lock/cross-shard findings (want 3), clean -> %ld (want 0)\n",
-               red, green);
-  std::fprintf(stderr,
-               "repro-lint: self-test: seeded journal.cpp -> %ld "
-               "io/unchecked-write findings (want 3), clean -> %ld "
-               "(want 0)\n",
-               io_red, io_green);
-  if (red != 3 || green != 0 || io_red != 3 || io_green != 0) {
-    std::fprintf(stderr, "repro-lint: self-test FAILED\n");
-    return 1;
+  for (const SelfTestRow& row : kSelfTestRows) {
+    const long red = run_row(tmp_root, row, row.seeded);
+    const long green = run_row(tmp_root, row, row.clean);
+    std::fprintf(stderr,
+                 "repro-lint: self-test: %-24s seeded -> %ld (want %ld), "
+                 "clean -> %ld (want 0)\n",
+                 row.label, red, row.want_red, green);
+    if (red != row.want_red || green != 0) failed = true;
   }
-  std::fprintf(stderr, "repro-lint: self-test passed\n");
-  return 0;
+
+  // lock/order: one model of the gadget fixture, five manifests.
+  ConcurrencyModel model;
+  scan_model_file("include/demo/gadget.hpp",
+                  blank_comments_and_strings(kGadgetHpp), model);
+  scan_model_file("src/demo/gadget.cpp",
+                  blank_comments_and_strings(kGadgetCpp), model);
+  for (const LockOrderScenario& sc : kLockOrderScenarios) {
+    Manifest man;
+    std::istringstream in(sc.manifest);
+    std::string error;
+    if (!parse_manifest(in, "lock_order.txt", man, error)) {
+      std::fprintf(stderr, "repro-lint: self-test: manifest parse: %s\n",
+                   error.c_str());
+      failed = true;
+      continue;
+    }
+    std::vector<Finding> all;
+    check_lock_order(model, man, all);
+    const long got = count_rule_in(all, "lock/order");
+    std::fprintf(stderr,
+                 "repro-lint: self-test: lock/order %-28s -> %ld "
+                 "(want %ld)\n",
+                 sc.label, got, sc.want);
+    if (got != sc.want) failed = true;
+  }
+
+  // --coverage: an unguarded field is counted, its annotated twin is
+  // not, and a mutex outside the manifest is an unlisted gap.
+  {
+    static constexpr const char* kSeededCov =
+        "namespace demo {\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump();\n"
+        " private:\n"
+        "  common::Mutex mu_;\n"
+        "  long total_;\n"
+        "};\n"
+        "}  // namespace demo\n";
+    static constexpr const char* kCleanCov =
+        "namespace demo {\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump();\n"
+        " private:\n"
+        "  common::Mutex mu_;\n"
+        "  long total_ REPRO_GUARDED_BY(mu_);\n"
+        "};\n"
+        "}  // namespace demo\n";
+    Manifest listed;
+    {
+      std::istringstream in("mutex Counter::mu_\n");
+      std::string error;
+      parse_manifest(in, "lock_order.txt", listed, error);
+    }
+    Manifest empty_man;
+    auto coverage_of = [&](const char* src, const Manifest& man) {
+      ConcurrencyModel m;
+      scan_model_file("include/demo/counter.hpp",
+                      blank_comments_and_strings(src), m);
+      return collect_coverage(m, man);
+    };
+    const CoverageReport red = coverage_of(kSeededCov, listed);
+    const CoverageReport green = coverage_of(kCleanCov, listed);
+    const CoverageReport unlisted = coverage_of(kCleanCov, empty_man);
+    std::fprintf(stderr,
+                 "repro-lint: self-test: coverage seeded -> %zu unguarded "
+                 "(want 1), clean -> %zu (want 0), empty manifest -> %zu "
+                 "unlisted (want 1)\n",
+                 red.unguarded_fields, green.unguarded_fields,
+                 unlisted.unlisted_mutexes);
+    if (red.unguarded_fields != 1 || green.unguarded_fields != 0 ||
+        unlisted.unlisted_mutexes != 1)
+      failed = true;
+  }
+
+  fs::remove_all(tmp_root, ec);
+  std::fprintf(stderr, "repro-lint: self-test %s\n",
+               failed ? "FAILED" : "passed");
+  return failed ? 1 : 0;
+}
+
+void check_header_self_contained(const fs::path& header,
+                                 const std::string& rel, const Options& opt,
+                                 std::vector<Finding>& out) {
+  std::string cmd = opt.compiler;
+  cmd += " -std=c++20 -fsyntax-only -I";
+  cmd += (opt.root / "include").string();
+  cmd += " -x c++ ";
+  cmd += header.string();
+  cmd += " >/dev/null 2>&1";
+  if (std::system(cmd.c_str()) != 0)
+    out.push_back(
+        {rel, 1, "header/self-contained",
+         "header does not compile standalone; add the includes it is "
+         "borrowing from its includers (repro: " +
+             opt.compiler + " -std=c++20 -fsyntax-only -Iinclude " + rel +
+             ")"});
 }
 
 }  // namespace
@@ -691,12 +2210,37 @@ int main(int argc, char** argv) {
       opt.compiler = value();
     else if (arg == "--no-compile")
       opt.compile_headers = false;
-    else if (arg == "--self-test")
+    else if (arg == "--manifest")
+      opt.manifest = value();
+    else if (arg == "--coverage")
+      opt.coverage = true;
+    else if (arg == "--baseline")
+      opt.baseline = value();
+    else if (arg == "--format=json")
+      opt.json = true;
+    else if (arg == "--format=text")
+      opt.json = false;
+    else if (arg == "--format") {
+      const std::string_view v = value();
+      if (v == "json")
+        opt.json = true;
+      else if (v == "text")
+        opt.json = false;
+      else {
+        std::fprintf(stderr, "repro-lint: unknown format %s\n",
+                     std::string(v).c_str());
+        return 2;
+      }
+    } else if (arg == "--self-test")
       return run_self_test();
     else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: repro_lint --root <repo> [--supp <file>] "
-          "[--compiler <cc>] [--no-compile] | repro_lint --self-test\n");
+          "[--compiler <cc>] [--no-compile] [--manifest <file>] "
+          "[--format=text|json]\n"
+          "       repro_lint --root <repo> --coverage --manifest <file> "
+          "[--baseline <file>] [--format=text|json]\n"
+          "       repro_lint --self-test\n");
       return 0;
     } else {
       std::fprintf(stderr, "repro-lint: unknown option %s\n", argv[i]);
@@ -708,16 +2252,38 @@ int main(int argc, char** argv) {
                  opt.root.string().c_str());
     return 2;
   }
+  if (opt.coverage && opt.manifest.empty()) {
+    std::fprintf(stderr,
+                 "repro-lint: --coverage needs --manifest (unlisted "
+                 "mutexes are half the count)\n");
+    return 2;
+  }
 
-  bool config_error = false;
-  const std::vector<Suppression> suppressions =
-      load_suppressions(opt.supp, config_error);
-  if (config_error) return 2;
+  Manifest manifest;
+  if (!opt.manifest.empty()) {
+    std::ifstream in(opt.manifest);
+    if (!in) {
+      std::fprintf(stderr, "repro-lint: cannot read manifest %s\n",
+                   opt.manifest.string().c_str());
+      return 2;
+    }
+    std::string error;
+    if (!parse_manifest(in, normalize_supp_path(
+                                opt.manifest.generic_string(), opt.root),
+                        manifest, error)) {
+      std::fprintf(stderr, "repro-lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
 
+  // Walk the tree once; per-file rules and the concurrency model feed
+  // off the same listing.
   static constexpr std::string_view kDirs[] = {
       "include", "src", "tools", "tests", "bench", "examples"};
   std::vector<Finding> findings;
   std::vector<fs::path> headers;
+  ConcurrencyModel model;
+  const bool need_model = opt.coverage || !opt.manifest.empty();
   for (const std::string_view dir : kDirs) {
     const fs::path base = opt.root / dir;
     if (!fs::is_directory(base)) continue;
@@ -729,10 +2295,74 @@ int main(int argc, char** argv) {
       const std::string rel = rel_slash(p, opt.root);
       // The linter names its own banned identifiers; skip it.
       if (rel.find("repro_lint") != std::string::npos) continue;
-      scan_file(p, rel, findings);
-      if (ext == ".hpp" && under(rel, "include/")) headers.push_back(p);
+      if (!opt.coverage) {
+        scan_file(p, rel, findings);
+        if (ext == ".hpp" && under(rel, "include/")) headers.push_back(p);
+      }
+      if (need_model && model_file_eligible(rel)) {
+        if (const auto raw = read_file(p))
+          scan_model_file(rel, blank_comments_and_strings(*raw), model);
+      }
     }
   }
+
+  if (opt.coverage) {
+    const CoverageReport rep = collect_coverage(model, manifest);
+    std::vector<Finding> details = rep.details;
+    std::sort(details.begin(), details.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                return a.line < b.line;
+              });
+    for (const Finding& f : details) print_finding(f, opt.json);
+    std::size_t base_unguarded = 0, base_unlisted = 0;
+    bool have_baseline = false;
+    if (!opt.baseline.empty()) {
+      if (!load_baseline(opt.baseline, base_unguarded, base_unlisted)) {
+        std::fprintf(stderr,
+                     "repro-lint: cannot read baseline %s (want "
+                     "\"unguarded_fields N\" and \"unlisted_mutexes N\" "
+                     "lines)\n",
+                     opt.baseline.string().c_str());
+        return 2;
+      }
+      have_baseline = true;
+    }
+    std::fprintf(stderr,
+                 "repro-lint: coverage: unguarded_fields %zu, "
+                 "unlisted_mutexes %zu\n",
+                 rep.unguarded_fields, rep.unlisted_mutexes);
+    if (!have_baseline) return 0;
+    if (rep.unguarded_fields > base_unguarded ||
+        rep.unlisted_mutexes > base_unlisted) {
+      std::fprintf(stderr,
+                   "repro-lint: coverage ratchet FAILED: baseline allows "
+                   "unguarded_fields %zu, unlisted_mutexes %zu — annotate "
+                   "the new fields (REPRO_GUARDED_BY / "
+                   "REPRO_CONST_AFTER_INIT / REPRO_THREAD_CONFINED) or "
+                   "add the mutex to the manifest; never raise the "
+                   "baseline\n",
+                   base_unguarded, base_unlisted);
+      return 1;
+    }
+    if (rep.unguarded_fields < base_unguarded ||
+        rep.unlisted_mutexes < base_unlisted)
+      std::fprintf(stderr,
+                   "repro-lint: coverage improved past the baseline; "
+                   "ratchet %s down to unguarded_fields %zu / "
+                   "unlisted_mutexes %zu\n",
+                   opt.baseline.string().c_str(), rep.unguarded_fields,
+                   rep.unlisted_mutexes);
+    return 0;
+  }
+
+  bool config_error = false;
+  const std::vector<Suppression> suppressions =
+      load_suppressions(opt.supp, opt.root, config_error);
+  if (config_error) return 2;
+
+  if (!opt.manifest.empty()) check_lock_order(model, manifest, findings);
+
   if (opt.compile_headers) {
     std::sort(headers.begin(), headers.end());
     for (const fs::path& h : headers)
@@ -761,8 +2391,7 @@ int main(int argc, char** argv) {
       ++suppressed;
       continue;
     }
-    std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+    print_finding(f, opt.json);
     ++reported;
   }
   for (const Suppression& s : suppressions)
