@@ -1,0 +1,307 @@
+// bench_governor — closed-loop gate for the DVFS power-capping
+// governor (ISSUE 10): the paper's what-if pricing driving a real
+// actuator, with the simulator as ground truth.
+//
+// Leg 1 (plan + verify): profile the suite workloads, train Eq. 9,
+// price the full-speed balanced co-schedule, and set a package cap
+// below it. The Governor then searches the joint (assignment,
+// per-core DVFS level) space. Gates (nonzero exit on violation):
+//   1. the search is exhaustive at this scale and returns a feasible
+//      point, with predicted power under the planning cap;
+//   2. an independent serial sweep of the same candidate space finds
+//      no feasible point with more than 1/0.9 of the governor's
+//      predicted throughput (the >= 90%-of-oracle gate);
+//   3. replaying the chosen operating point on the simulator — the
+//      cores actually clocked at the decision's frequencies — keeps
+//      the *measured* package power at or under the cap in EVERY
+//      sample window, not just on average.
+//
+// Leg 2 (stream honesty): a DVFS schedule steps a core's clock while
+// the on-line pipeline builds profiles from the live stream, with the
+// stepped process alone on its die so the MPA signal is untouched.
+// Gates:
+//   4. the builders absorb every step by rescaling (frequency_steps
+//      counts them) and book ZERO phase changes — a frequency step
+//      must not masquerade as a phase change;
+//   5. revisions still flow, and each emitted revision records the
+//      fit frequency the engine needs for rescaling.
+//
+// --quick shrinks leg 1 to the 2-core workstation (k = 2) for the
+// sanitizer jobs; the full run uses the 4-core server at k = 4.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "repro/common/ensure.hpp"
+#include "repro/engine/governor.hpp"
+#include "repro/engine/model_engine.hpp"
+#include "repro/online/sharded_pipeline.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+#include "repro/workload/spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+bool g_ok = true;
+
+void gate(bool cond, const char* who, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "FAIL [%s]: %s\n", who, what);
+    g_ok = false;
+  }
+}
+
+/// Serial sweep of the same (assignment, per-core level) space the
+/// governor enumerates, using only the engine's predict primitives —
+/// the oracle the governor's pick is measured against.
+double oracle_best_ips(const engine::ModelEngine& eng,
+                       const std::vector<engine::ProcessHandle>& handles,
+                       const std::vector<Hertz>& levels, Watts planning_cap,
+                       std::size_t* evaluated) {
+  const std::uint32_t cores = eng.machine().cores;
+  double best = 0.0;
+  std::vector<CoreId> place(handles.size(), 0);
+  while (true) {
+    core::Assignment a = core::Assignment::empty(cores);
+    for (std::size_t p = 0; p < handles.size(); ++p)
+      a.per_core[place[p]].push_back(handles[p]);
+    std::vector<CoreId> busy;
+    for (CoreId c = 0; c < cores; ++c)
+      if (!a.per_core[c].empty()) busy.push_back(c);
+
+    std::vector<engine::CoScheduleQuery> queries;
+    std::vector<std::size_t> digit(busy.size(), 0);
+    while (true) {
+      engine::CoScheduleQuery q;
+      q.assignment = a;
+      q.core_frequency.assign(cores, levels.front());
+      for (std::size_t b = 0; b < busy.size(); ++b)
+        q.core_frequency[busy[b]] = levels[digit[b]];
+      queries.push_back(std::move(q));
+      std::size_t b = busy.size();
+      while (b > 0 && ++digit[b - 1] == levels.size()) digit[--b] = 0;
+      if (b == 0) break;
+    }
+    const std::vector<engine::SystemPrediction> priced =
+        eng.predict_batch(queries);
+    *evaluated += priced.size();
+    for (const engine::SystemPrediction& pred : priced)
+      if (pred.total_power <= planning_cap && pred.throughput_ips > best)
+        best = pred.throughput_ips;
+
+    std::size_t p = handles.size();
+    while (p > 0 && ++place[p - 1] == cores) place[--p] = 0;
+    if (p == 0) break;
+  }
+  return best;
+}
+
+void run_plan_leg(bool quick) {
+  const bench::Platform platform =
+      quick ? bench::workstation_platform() : bench::server_platform();
+  const std::vector<std::string> names =
+      quick ? std::vector<std::string>{"gzip", "mcf"}
+            : std::vector<std::string>{"gzip", "mcf", "art", "equake"};
+  std::vector<core::ProcessProfile> profiles =
+      bench::get_profiles(platform, names);
+  // A cache written before fit frequencies existed loads them as 0;
+  // the batch profiler fits at the machine's default clock, so that
+  // is the honest value to restore.
+  for (core::ProcessProfile& p : profiles)
+    if (p.features.fit_frequency <= 0.0)
+      p.features.fit_frequency = platform.machine.frequency;
+
+  engine::ModelEngine eng(platform.machine,
+                          bench::get_power_model(platform));
+  std::vector<engine::ProcessHandle> handles;
+  for (const core::ProcessProfile& p : profiles)
+    handles.push_back(eng.register_process(p));
+
+  // Price the naive point: every process on its own core (round
+  // robin), every core at its default clock.
+  engine::CoScheduleQuery naive;
+  naive.assignment = core::Assignment::empty(platform.machine.cores);
+  for (std::size_t p = 0; p < handles.size(); ++p)
+    naive.assignment.per_core[p % platform.machine.cores].push_back(
+        handles[p]);
+  const engine::SystemPrediction full = eng.predict(naive);
+
+  // Anchor the cap inside the achievable dynamic range [slowest, full]
+  // rather than as a flat fraction of full power: on machines where
+  // idle power dominates (the 2-core workstation), 10% below full
+  // speed is below even the all-min-clock point and every gate would
+  // be vacuously infeasible. cap = slowest + 0.8·range always bites
+  // (< full) and always leaves a feasible point (planning cap ≥
+  // slowest for any margin ≤ 0.8·range/cap).
+  engine::CoScheduleQuery slow = naive;
+  REPRO_ENSURE(!platform.machine.dvfs_levels.empty(),
+               "plan leg needs DVFS levels to search");
+  slow.core_frequency.assign(platform.machine.cores,
+                             platform.machine.dvfs_levels.front());
+  const engine::SystemPrediction slowest = eng.predict(slow);
+  const Watts range = full.total_power - slowest.total_power;
+
+  engine::GovernorOptions gov_options;
+  gov_options.power_cap = slowest.total_power + 0.8 * range;
+  gov_options.margin = 0.05;
+  const engine::Governor governor(eng, gov_options);
+  const engine::GovernorDecision decision = governor.plan(handles);
+  const Watts planning_cap =
+      gov_options.power_cap * (1.0 - gov_options.margin);
+
+  std::printf("full speed: %.2f W, %.3g ips; slowest %.2f W -> cap "
+              "%.2f W (planning %.2f W)\n",
+              full.total_power, full.throughput_ips, slowest.total_power,
+              gov_options.power_cap, planning_cap);
+  std::printf("governor:   %.2f W, %.3g ips over %zu candidates "
+              "(%s, %s); clocks",
+              decision.prediction.total_power,
+              decision.prediction.throughput_ips, decision.evaluated,
+              decision.exhaustive ? "exhaustive" : "degraded",
+              decision.feasible ? "feasible" : "INFEASIBLE");
+  for (Hertz hz : decision.core_frequency)
+    std::printf(" %.2f", hz / 1e9);
+  std::printf(" GHz\n");
+
+  gate(full.total_power > gov_options.power_cap, "plan",
+       "the cap does not exclude the full-speed point; the search is "
+       "unconstrained and the gates below prove nothing");
+  gate(decision.exhaustive, "plan",
+       "candidate space was expected to fit the exhaustive budget");
+  gate(decision.feasible, "plan", "no feasible operating point found");
+  gate(decision.prediction.total_power <= planning_cap, "plan",
+       "chosen point's predicted power exceeds the planning cap");
+
+  std::size_t oracle_evaluated = 0;
+  const double best = oracle_best_ips(eng, handles, governor.levels(),
+                                      planning_cap, &oracle_evaluated);
+  std::printf("oracle:     %.3g ips best over %zu candidates "
+              "(governor at %.1f%%)\n",
+              best, oracle_evaluated,
+              best > 0.0
+                  ? 100.0 * decision.prediction.throughput_ips / best
+                  : 0.0);
+  gate(best > 0.0, "oracle", "independent sweep found no feasible point");
+  gate(decision.prediction.throughput_ips >= 0.9 * best, "oracle",
+       "governor throughput below 90% of the exhaustive oracle");
+
+  // Replay the decision on the simulator: clock the cores as chosen
+  // and demand the measured package power honors the cap in every
+  // window.
+  bench::Platform governed = platform;
+  governed.machine.core_frequency = decision.core_frequency;
+  const sim::RunResult run = bench::simulate_assignment(
+      governed, decision.assignment, profiles, /*warmup=*/0.2,
+      /*measure=*/quick ? 0.6 : 1.0, /*seed=*/0x60feeULL);
+  // Per-window contract, split by what the governor can control. True
+  // package power is the physical budget: strict, every window. The
+  // *measured* readings ride a 3%-σ multiplicative sensor wander
+  // (power::CurrentClamp), so per-window they get a 3σ tolerance —
+  // no planner can bound a drifting sensor — while their mean (the
+  // wander is zero-centered) must still honor the cap outright.
+  const double sensor_tolerance = 0.09;
+  Watts worst_true = 0.0, worst_meas = 0.0;
+  std::size_t over_true = 0, over_meas = 0;
+  for (const sim::Sample& s : run.samples) {
+    if (s.true_power > worst_true) worst_true = s.true_power;
+    if (s.measured_power > worst_meas) worst_meas = s.measured_power;
+    if (s.true_power > gov_options.power_cap) ++over_true;
+    if (s.measured_power > gov_options.power_cap * (1.0 + sensor_tolerance))
+      ++over_meas;
+  }
+  std::printf("simulated:  %zu windows, worst true %.2f W, measured "
+              "mean %.2f / worst %.2f W (cap %.2f W)\n",
+              run.samples.size(), worst_true, run.mean_measured_power(),
+              worst_meas, gov_options.power_cap);
+  gate(!run.samples.empty(), "simulate", "no sample windows recorded");
+  gate(over_true == 0, "simulate",
+       "true package power exceeded the cap in at least one window");
+  gate(over_meas == 0, "simulate",
+       "measured power exceeded the cap beyond sensor tolerance");
+  gate(run.mean_measured_power() <= gov_options.power_cap, "simulate",
+       "mean measured power exceeded the cap");
+}
+
+void run_stream_leg() {
+  // Server machine: gzip on core 0 (die 0) with mcf on core 2 (die 1),
+  // so stepping core 0's clock cannot shift anyone's cache equilibrium
+  // — the MPA signal is identical with and without DVFS and any phase
+  // change the detector books is by construction spurious.
+  const bench::Platform platform = bench::server_platform();
+  engine::ModelEngine eng(platform.machine);
+
+  sim::SystemConfig cfg;
+  cfg.machine = platform.machine;
+  sim::System system(cfg, platform.oracle, /*seed=*/0xd5f5ULL);
+  const std::uint32_t sets = platform.machine.l2.sets;
+  const workload::WorkloadSpec gzip = workload::find_spec("gzip");
+  const workload::WorkloadSpec mcf = workload::find_spec("mcf");
+  const ProcessId gzip_pid = system.add_process(
+      "gzip", 0, gzip.mix,
+      std::make_unique<workload::StackDistanceGenerator>(gzip, sets));
+  const ProcessId mcf_pid = system.add_process(
+      "mcf", 2, mcf.mix,
+      std::make_unique<workload::StackDistanceGenerator>(mcf, sets));
+
+  const std::vector<Hertz>& levels = platform.machine.dvfs_levels;
+  REPRO_ENSURE(levels.size() >= 2, "stream leg needs two DVFS levels");
+  sim::DvfsSchedule schedule;
+  schedule.steps.push_back({0.3, 0, levels.front()});
+  schedule.steps.push_back({0.6, 0, levels.back()});
+  system.set_dvfs_schedule(schedule);
+
+  online::ShardedPipelineOptions popt;
+  popt.builder.phase.min_phase_windows = 5;
+  popt.builder.refit_interval = 8;
+  popt.builder.min_fit_windows = 4;
+  online::ShardedPipeline pipe(eng, popt);
+  pipe.monitor(gzip_pid, 0, "gzip");
+  pipe.monitor(mcf_pid, 0, "mcf");
+
+  system.run(1.0, pipe.sink());
+  pipe.finish();
+
+  const online::PipelineStats stats = pipe.snapshot().stats;
+  std::printf("stream:     %llu windows, %llu revisions, %llu phase "
+              "changes, %llu frequency steps\n",
+              static_cast<unsigned long long>(stats.windows),
+              static_cast<unsigned long long>(stats.revisions),
+              static_cast<unsigned long long>(stats.phase_changes),
+              static_cast<unsigned long long>(stats.frequency_steps));
+  gate(stats.revisions > 0, "stream", "no profile revisions flowed");
+  gate(stats.frequency_steps == 2, "stream",
+       "expected exactly the two scheduled DVFS steps to be absorbed");
+  gate(stats.phase_changes == 0, "stream",
+       "a frequency step was booked as a phase change (spurious "
+       "re-solve)");
+
+  // The revisions the engine holds must carry the clock they were
+  // fitted at — without it the rescaling path is dead on arrival.
+  const auto handle = eng.find("gzip");
+  gate(handle.has_value(), "stream", "gzip was never registered");
+  if (handle.has_value()) {
+    const core::ProcessProfile p = eng.profile(*handle);
+    gate(p.features.fit_frequency > 0.0, "stream",
+         "emitted revision lost its fit frequency");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  try {
+    run_plan_leg(quick);
+    run_stream_leg();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL [exception]: %s\n", e.what());
+    return 1;
+  }
+  if (g_ok) std::printf("all gates passed\n");
+  return g_ok ? 0 : 1;
+}

@@ -18,7 +18,24 @@
 
 namespace repro::core {
 
+/// Features at an explicit clock: the 1/f factor in α/β uses
+/// `frequency`, and the result records it as the fit frequency.
+FeatureVector analytic_features(const workload::WorkloadSpec& spec,
+                                const sim::MachineConfig& machine,
+                                Hertz frequency);
+
+/// Features for the machine-wide default clock. On a machine with
+/// per-core overrides this is only right for cores left at the
+/// default — use analytic_features_for_core for the rest. (Historic
+/// builds always divided by the uniform `machine.frequency`, which
+/// silently mis-timed every overridden core.)
 FeatureVector analytic_features(const workload::WorkloadSpec& spec,
                                 const sim::MachineConfig& machine);
+
+/// Features for the clock of the core the process will run on —
+/// the frequency-honest form for heterogeneous machines.
+FeatureVector analytic_features_for_core(const workload::WorkloadSpec& spec,
+                                         const sim::MachineConfig& machine,
+                                         CoreId core);
 
 }  // namespace repro::core

@@ -28,14 +28,39 @@
 namespace repro::core {
 
 /// The §3.4 feature vector, extracted by the stressmark profiler.
+///
+/// Frequency honesty (Eq. 3): α and β carry a 1/f factor —
+/// α = API·(mem_cycles − l2_cycles)/f, β = (base_cpi +
+/// API·l2_hit_cycles)/f — so a feature vector is only valid at the
+/// clock it was fitted at. `fit_frequency` records that clock; the
+/// frequency-normalized (cycles-per-access) form is exposed through
+/// alpha_cycles()/beta_cycles(), and at_frequency()/spi_at(mpa, hz)
+/// rescale exactly (memory latency is fixed in core cycles in this
+/// simulator, so SPI ∝ 1/f holds to the bit, not approximately).
+/// fit_frequency == 0 marks a legacy vector of unknown clock: it
+/// predicts as before but refuses explicit rescaling.
 struct FeatureVector {
   std::string name;
   ReuseHistogram histogram{std::vector<double>{1.0}, 0.0};
   double api = 0.0;    // L2 accesses per instruction
-  double alpha = 0.0;  // SPI = alpha·MPA + beta (Eq. 3)
+  double alpha = 0.0;  // SPI = alpha·MPA + beta (Eq. 3), seconds form
   double beta = 0.0;
+  Hertz fit_frequency = 0.0;  // clock α/β were fitted at; 0 = unknown
 
   Spi spi_at(Mpa mpa) const { return alpha * mpa + beta; }
+  /// Eq. 3 evaluated at another clock: SPI(mpa, hz) =
+  /// SPI(mpa)·fit_frequency/hz. Requires a recorded fit frequency.
+  Spi spi_at(Mpa mpa, Hertz hz) const;
+  /// Frequency-normalized α/β: cycles per access / cycles per
+  /// instruction, the frequency-independent form. Require a recorded
+  /// fit frequency.
+  double alpha_cycles() const;
+  double beta_cycles() const;
+  /// This vector rescaled to clock `hz` (α/β scale by
+  /// fit_frequency/hz; the histogram and API are frequency-free).
+  /// Exact no-op when hz equals the fit frequency, so rescaling a
+  /// profile to its own clock is bit-identical to not touching it.
+  FeatureVector at_frequency(Hertz hz) const;
   void validate() const;
 };
 

@@ -101,6 +101,15 @@ struct CoScheduleQuery {
   /// With Method::kNewton a close seed converges in 1–2 iterations.
   /// Empty = cold solve (bit-identical to the pre-warm-start engine).
   std::vector<double> warm_start;
+
+  /// Optional what-if clock per core: the (assignment, frequency)
+  /// joint knob. Empty = the machine's configured frequencies;
+  /// otherwise one positive Hertz per core, and every profile with a
+  /// recorded fit frequency is rescaled to its core's clock before the
+  /// equilibrium solve (Eq. 3's 1/f factor). Profiles with
+  /// fit_frequency 0 (legacy) are used as-is, reproducing the
+  /// pre-frequency-aware behaviour bit-identically.
+  std::vector<Hertz> core_frequency;
 };
 
 /// One process's predicted steady state inside a SystemPrediction.

@@ -23,6 +23,14 @@
 // to ModelEngine::try_apply(Revision::power_model(...))
 // (validate-before-mutate, degrades to last-good exactly like the
 // profile path).
+//
+// Frequency transparency (ISSUE 10): Eq. 9 regresses measured power on
+// per-second event *rates*, and a DVFS step changes power and rates
+// together — the regressors already carry the clock. Unlike the Eq. 3
+// performance fit, nothing here needs rescaling or a recorded fit
+// frequency: windows from different DVFS levels are just more
+// operating points on the same plane (they *improve* conditioning),
+// and a frequency step must not, and does not, trigger a model reset.
 #pragma once
 
 #include <cstddef>

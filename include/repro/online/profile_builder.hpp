@@ -19,6 +19,19 @@
 // cannot be measured on-line on a busy machine (package power is not
 // attributable per process), so it is inherited from an optional
 // baseline profile (set_baseline) and otherwise stays 0.
+//
+// Frequency honesty (ISSUE 10): Eq. 3's α and β carry a 1/f factor, so
+// windows observed at different DVFS levels do not lie on one line.
+// MPA, however, is frequency-free — a frequency step therefore must
+// NOT look like a phase change (the detector watches MPA and stays
+// quiet), and the builder instead *rescales*: the first usable window
+// of each phase pins the phase's reference clock f_ref, every later
+// window's SPI (and CPU time) is normalized to f_ref by the exact
+// in-model factor f/f_ref before it feeds the least squares, and the
+// emitted feature vector records fit_frequency = f_ref. Streams
+// without frequency telemetry (frequency 0) skip all of this and
+// reproduce the pre-DVFS fit bit-identically, emitting legacy
+// fit_frequency 0.
 #pragma once
 
 #include <cstdint>
@@ -91,6 +104,11 @@ class ProfileBuilder {
   std::uint64_t windows() const { return windows_; }
   /// Phase changes confirmed so far.
   std::size_t phase_changes() const { return phases_.confirmed_phases(); }
+  /// Usable windows whose clock differed from the previous usable
+  /// window's — DVFS steps the builder absorbed by rescaling instead
+  /// of refitting. The bench gate pairs this with phase_changes() to
+  /// prove a step was not mistaken for a phase change.
+  std::uint64_t frequency_steps() const { return frequency_steps_; }
   const StreamingPhaseDetector& phase_detector() const { return phases_; }
 
  private:
@@ -103,13 +121,15 @@ class ProfileBuilder {
     std::uint64_t ordinal = 0;
     double s = 0.0;  // occupancy at window end
     double mpa = 0.0;
-    double spi = 0.0;
+    double spi = 0.0;    // raw, at the window's own clock
     hpc::Counters delta;
-    Seconds cpu = 0.0;
+    Seconds cpu = 0.0;   // raw, at the window's own clock
+    Hertz f = 0.0;       // window clock; 0 = no telemetry
   };
 
   void restart_phase(std::size_t boundary_ordinal);
   std::optional<ProfileRevision> fit();
+  void accumulate(const Rec& r);
 
   std::string name_;
   ProfileBuilderOptions options_;
@@ -122,6 +142,13 @@ class ProfileBuilder {
   // additionally funds the fit's residual (RevisionQuality::fit_rms).
   double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0;
   double sum_yy_ = 0.0;
+
+  /// The phase's reference clock: the first usable window's frequency.
+  /// Every accumulated SPI / CPU second is expressed at f_ref_, and the
+  /// emitted revision records fit_frequency = f_ref_. 0 = no telemetry.
+  Hertz f_ref_ = 0.0;
+  Hertz last_f_ = 0.0;  // previous usable window's clock
+  std::uint64_t frequency_steps_ = 0;
 
   std::uint64_t windows_ = 0;
   std::uint64_t since_emit_ = 0;

@@ -32,6 +32,10 @@ struct WindowObservation {
   hpc::Counters delta;         // this process's counters over the window
   Seconds cpu_time = 0.0;      // scheduled time inside the window
   Ways occupancy = 0.0;        // L2 ways held at window end
+  /// Clock of the core this process ran on during the window; 0 when
+  /// the stream carries no frequency telemetry (legacy samples). DVFS
+  /// steps land on window boundaries, so a window is frequency-pure.
+  Hertz frequency = 0.0;
 
   /// Window miss ratio — the phase-detection signal.
   double mpa() const { return delta.mpa(); }
@@ -64,6 +68,8 @@ class SampleStream {
       obs.delta = sample.process_delta[pid];
       obs.cpu_time = sample.process_cpu[pid];
       obs.occupancy = sample.occupancy[pid];
+      if (pid < sample.process_frequency.size())
+        obs.frequency = sample.process_frequency[pid];
       sink(obs);
     }
     ++windows_;

@@ -80,6 +80,9 @@ struct WindowBatch {
   Seconds time = 0.0;       // window end
   WindowVerdict verdict = WindowVerdict::kForwarded;
   std::uint64_t phase_changes = 0;  // confirmed by builders, this window
+  /// DVFS steps the builders absorbed by rescaling this window — the
+  /// counter-signal proving a clock change was not booked as a phase.
+  std::uint64_t frequency_steps = 0;
   std::vector<ShardCandidate> candidates;
   /// The sanitized window, engaged when the shard was told to capture
   /// forwarded windows (the coordinator's power refitter consumes
@@ -174,6 +177,8 @@ class PipelineShard {
 
   DieState& state_of(DieId die) REPRO_REQUIRES(mutex_);
   std::uint64_t phase_total(const DieState& state) const
+      REPRO_REQUIRES(mutex_);
+  std::uint64_t frequency_step_total(const DieState& state) const
       REPRO_REQUIRES(mutex_);
   /// Wire one builder slot as a stream sink (attach + reset_streams).
   void attach_to_stream(DieState& state, BuilderSlot* raw)

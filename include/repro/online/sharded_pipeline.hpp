@@ -213,6 +213,7 @@ struct PipelineStats {
   std::uint64_t coalesced_resolves = 0;  // re-solves saved by coalescing
   std::uint64_t solver_iterations = 0;  // summed over re-solves
   std::uint64_t phase_changes = 0;      // confirmed across builders
+  std::uint64_t frequency_steps = 0;    // DVFS steps absorbed by rescaling
   std::uint64_t power_revisions = 0;    // power refits applied
   std::uint64_t power_rejected = 0;     // refit attempts gated/refused
   std::uint64_t journaled_events = 0;   // events durably appended
@@ -432,6 +433,7 @@ class ShardedPipeline : private BatchSink {
   std::uint64_t q_implausible_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t q_outlier_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t phase_changes_ REPRO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t frequency_steps_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t revisions_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t resolves_ REPRO_GUARDED_BY(mutex_) = 0;
   std::uint64_t coalesced_resolves_ REPRO_GUARDED_BY(mutex_) = 0;

@@ -32,6 +32,12 @@ struct MachineConfig {
   /// (§1: the models "accommodate heterogeneous tasks and
   /// processors"). Empty = every core runs at `frequency`.
   std::vector<Hertz> core_frequency;
+  /// Advertised DVFS operating points (P-states), ascending. The
+  /// power-capping Governor enumerates these, and the ModelEngine's
+  /// fit-frequency gate accepts profiles fitted at any of them. Empty
+  /// = the machine runs only at `frequency`/`core_frequency` (no
+  /// scaling advertised).
+  std::vector<Hertz> dvfs_levels;
   double l2_hit_cycles = 14.0;      // L2 access latency on an L1 miss
   double memory_cycles = 220.0;     // main-memory latency on an L2 miss
   bool prefetch_enabled = false;    // §3.1: the models assume it off
@@ -39,6 +45,11 @@ struct MachineConfig {
   Hertz frequency_of(CoreId core) const {
     return core_frequency.empty() ? frequency : core_frequency.at(core);
   }
+  /// Whether `hz` is an operating point of this machine: the default
+  /// frequency, any per-core override, or an advertised DVFS level
+  /// (compared with a small relative tolerance — frequencies travel
+  /// through serialization).
+  bool can_run_at(Hertz hz) const;
   std::vector<CoreId> cores_on_die(DieId die) const;
   /// Cores sharing the last-level cache with `core`, excluding it —
   /// the paper's partner set PS_C.

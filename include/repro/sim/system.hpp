@@ -55,6 +55,16 @@ struct Sample {
   /// config().die_tag, or the slice's die after split_sample().
   DieId die = 0;
   std::vector<hpc::EventRates> core_rates;  // per core; zeros when idle
+  /// Per-core clock during this window. DVFS steps land at window
+  /// boundaries (see set_dvfs_schedule), so a window is always
+  /// frequency-pure. Copied whole onto every split_sample slice, like
+  /// the package power readings.
+  std::vector<Hertz> core_frequency;
+  /// Per-process view of the same vector: entry pid is the clock of
+  /// the core that process is pinned to. This is what a per-task
+  /// counter virtualization would report alongside the HPC deltas,
+  /// and what the on-line ProfileBuilder normalizes SPI with.
+  std::vector<Hertz> process_frequency;
   Watts true_power = 0.0;      // oracle output (never shown to models)
   Watts measured_power = 0.0;  // via the simulated clamp + DAQ
   std::vector<Ways> occupancy;  // per process, ways/set at window end
@@ -88,6 +98,24 @@ struct ProcessReport {
   }
 };
 
+/// One scripted frequency step: at virtual time `at`, core `core`
+/// switches to `hz`. Steps are applied at the first sample-window
+/// boundary at or after `at`, so every emitted Sample window is
+/// frequency-pure (one clock per core per window).
+struct DvfsStep {
+  Seconds at = 0.0;
+  CoreId core = 0;
+  Hertz hz = 0.0;
+};
+
+/// A deterministic DVFS script: the same schedule against the same
+/// seed replays bit-identically, which is what makes frequency-step
+/// experiments diffable in CI.
+struct DvfsSchedule {
+  std::vector<DvfsStep> steps;  // must be sorted by `at`, ascending
+  void validate(std::uint32_t cores) const;
+};
+
 struct RunResult {
   Seconds duration = 0.0;
   std::vector<Sample> samples;
@@ -111,6 +139,21 @@ class System {
   /// Way-partition a die's L2 among the processes (quotas indexed by
   /// pid; see SharedCache::set_partition).
   void set_partition(DieId die, std::vector<std::uint32_t> quotas);
+
+  /// On-line frequency step: core `core` runs at `hz` from the current
+  /// virtual time on — every subsequent access on it is retimed at the
+  /// new clock. Call from the simulation thread only (e.g. inside the
+  /// run() sample callback, where it takes effect at the next window);
+  /// the System is not internally synchronized. Consumers on other
+  /// threads are unaffected: they only ever see copied Samples.
+  void set_core_frequency(CoreId core, Hertz hz);
+
+  /// Script frequency steps ahead of time. Steps fire at sample-window
+  /// boundaries — the first window starting at or after `step.at` runs
+  /// at the new clock — so windows stay frequency-pure. Replaces any
+  /// previously installed schedule; steps at or before the current
+  /// virtual time are applied immediately.
+  void set_dvfs_schedule(DvfsSchedule schedule);
 
   /// Advance without recording (cache warm-up before measurement).
   void warm_up(Seconds duration);
@@ -169,6 +212,8 @@ class System {
 
   void advance_one_access(Core& core);
   void advance_to(Seconds target);  // event loop until all clocks >= target
+  /// Fire every scheduled DVFS step with at <= now (window starts).
+  void apply_due_dvfs_steps(Seconds now);
   Sample take_sample(Seconds window_end, Seconds window_len,
                      const std::vector<hpc::Counters>& core_start,
                      const std::vector<hpc::Counters>& proc_start,
@@ -183,6 +228,8 @@ class System {
   std::vector<Process> processes_;
   Seconds now_ = 0.0;
   std::uint64_t sample_seq_ = 0;  // next Sample::seq, lifetime monotonic
+  DvfsSchedule dvfs_;
+  std::size_t dvfs_next_ = 0;  // first unapplied step in dvfs_.steps
 };
 
 }  // namespace repro::sim

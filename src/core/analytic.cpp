@@ -5,9 +5,11 @@
 namespace repro::core {
 
 FeatureVector analytic_features(const workload::WorkloadSpec& spec,
-                                const sim::MachineConfig& machine) {
+                                const sim::MachineConfig& machine,
+                                Hertz frequency) {
   spec.validate();
   machine.validate();
+  REPRO_ENSURE(frequency > 0.0, "analytic features need a positive clock");
 
   double total = spec.new_line_weight + spec.stream_weight;
   for (double w : spec.reuse_weights) total += w;
@@ -20,13 +22,28 @@ FeatureVector analytic_features(const workload::WorkloadSpec& spec,
   fv.name = spec.name;
   fv.histogram = ReuseHistogram(std::move(pmf), tail);
   fv.api = spec.mix.l2_api;
+  // Eq. 3 with the 1/f factor made explicit: latencies are fixed in
+  // cycles, so the *requested* clock — not the machine-wide default —
+  // is the only frequency in the law.
   fv.beta = (spec.mix.base_cpi + spec.mix.l2_api * machine.l2_hit_cycles) /
-            machine.frequency;
+            frequency;
   fv.alpha = spec.mix.l2_api *
-             (machine.memory_cycles - machine.l2_hit_cycles) /
-             machine.frequency;
+             (machine.memory_cycles - machine.l2_hit_cycles) / frequency;
+  fv.fit_frequency = frequency;
   fv.validate();
   return fv;
+}
+
+FeatureVector analytic_features(const workload::WorkloadSpec& spec,
+                                const sim::MachineConfig& machine) {
+  return analytic_features(spec, machine, machine.frequency);
+}
+
+FeatureVector analytic_features_for_core(const workload::WorkloadSpec& spec,
+                                         const sim::MachineConfig& machine,
+                                         CoreId core) {
+  REPRO_ENSURE(core < machine.cores, "core out of range");
+  return analytic_features(spec, machine, machine.frequency_of(core));
 }
 
 }  // namespace repro::core

@@ -19,6 +19,40 @@ void FeatureVector::validate() const {
   REPRO_ENSURE(api > 0.0, who + ": API must be positive");
   REPRO_ENSURE(beta > 0.0, who + ": beta (zero-miss SPI) must be positive");
   REPRO_ENSURE(alpha > -beta, who + ": SPI law must stay positive on [0, 1]");
+  REPRO_ENSURE(std::isfinite(fit_frequency) && fit_frequency >= 0.0,
+               who + ": fit frequency must be finite and nonnegative");
+}
+
+Spi FeatureVector::spi_at(Mpa mpa, Hertz hz) const {
+  REPRO_ENSURE(fit_frequency > 0.0,
+               "spi_at(mpa, hz) needs a recorded fit frequency");
+  REPRO_ENSURE(hz > 0.0, "target frequency must be positive");
+  return spi_at(mpa) * (fit_frequency / hz);
+}
+
+double FeatureVector::alpha_cycles() const {
+  REPRO_ENSURE(fit_frequency > 0.0,
+               "alpha_cycles needs a recorded fit frequency");
+  return alpha * fit_frequency;
+}
+
+double FeatureVector::beta_cycles() const {
+  REPRO_ENSURE(fit_frequency > 0.0,
+               "beta_cycles needs a recorded fit frequency");
+  return beta * fit_frequency;
+}
+
+FeatureVector FeatureVector::at_frequency(Hertz hz) const {
+  REPRO_ENSURE(hz > 0.0, "target frequency must be positive");
+  if (hz == fit_frequency) return *this;  // exact: no scale, no drift
+  REPRO_ENSURE(fit_frequency > 0.0,
+               "cannot rescale a feature vector of unknown fit frequency");
+  FeatureVector out = *this;
+  const double scale = fit_frequency / hz;
+  out.alpha = alpha * scale;
+  out.beta = beta * scale;
+  out.fit_frequency = hz;
+  return out;
 }
 
 EquilibriumSolver::EquilibriumSolver(std::uint32_t ways,

@@ -115,6 +115,11 @@ ProcessProfile StressmarkProfiler::profile(
     profile.features.alpha = 0.0;
     profile.features.beta = profile.alone.spi;
   }
+  // α/β were measured on the target core at its configured clock; a
+  // consumer on a different clock must rescale (FeatureVector::
+  // at_frequency), and the engine's apply gate refuses profiles whose
+  // clock the machine cannot run at.
+  profile.features.fit_frequency = machine_.frequency_of(options_.target_core);
   profile.features.validate();
   return profile;
 }

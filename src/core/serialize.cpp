@@ -78,6 +78,14 @@ void append_profile(std::string& out, const ProcessProfile& p) {
     append_u64(out, p.revision);
     out += '\n';
   }
+  // Optional like `revision`: the 0 sentinel (legacy profile, clock
+  // unknown) is never written, so seed-era stores stay byte-identical
+  // and legacy stores read back with fit_frequency 0.
+  if (p.features.fit_frequency > 0.0) {
+    out += "fit_frequency ";
+    append_double(out, p.features.fit_frequency);
+    out += '\n';
+  }
   out += "api ";
   append_double(out, p.features.api);
   out += "\nalpha ";
@@ -186,6 +194,13 @@ ModelStore read_store(std::istream& is) {
       std::uint64_t v = 0;
       require(static_cast<bool>(ls >> v), "bad value for revision");
       current->revision = v;
+    } else if (key == "fit_frequency") {
+      require_open(key);
+      double v = 0.0;
+      require(static_cast<bool>(ls >> v), "bad value for fit_frequency");
+      require(std::isfinite(v) && v > 0.0,
+              "fit_frequency must be positive and finite");
+      current->features.fit_frequency = v;
     } else if (key == "api" || key == "alpha" || key == "beta" ||
                key == "power_alone") {
       require_open(key);

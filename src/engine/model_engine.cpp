@@ -163,6 +163,16 @@ ApplyResult ModelEngine::try_apply(Revision revision) {
       REPRO_ENSURE(!profile.name.empty(), "process needs a name");
       if (profile.features.name.empty()) profile.features.name = profile.name;
       profile.features.validate();
+      // Fit-frequency gate: Eq. 3 only holds at the clock the profile
+      // was fitted at, so a revision fitted at a clock this machine
+      // cannot run at would silently mis-predict every query. Legacy
+      // profiles (fit_frequency 0) predate the gate and pass.
+      const Hertz fit = profile.features.fit_frequency;
+      REPRO_ENSURE(fit <= 0.0 || machine_.can_run_at(fit),
+                   "fit-frequency mismatch: profile '" + profile.name +
+                       "' fitted at " + std::to_string(fit) +
+                       " Hz, which is not an operating point of machine '" +
+                       machine_.name + "'");
       common::MutexLock lock(builder_mutex_);
       // install() still validates handle/rename under the lock; those
       // checks need the builder state but run before any mutation.
@@ -310,6 +320,18 @@ SystemPrediction ModelEngine::predict_on(const EngineSnapshot& snapshot,
   if (!query.warm_start.empty())
     REPRO_ENSURE(query.warm_start.size() == query.assignment.process_count(),
                  "warm start needs one seed per scheduled process");
+  if (!query.core_frequency.empty()) {
+    REPRO_ENSURE(query.core_frequency.size() == machine_.cores,
+                 "core_frequency needs one clock per core");
+    for (Hertz hz : query.core_frequency)
+      REPRO_ENSURE(hz > 0.0, "query clocks must be positive");
+  }
+  // The clock each core is priced at: the query's what-if override, or
+  // the machine's configured (possibly heterogeneous) frequencies.
+  const auto clock_of = [&](CoreId c) -> Hertz {
+    return query.core_frequency.empty() ? machine_.frequency_of(c)
+                                        : query.core_frequency[c];
+  };
 
   // Global (core, slot) position of each core's first process, so a
   // die's warm-start seeds can be sliced out of the flat vector even
@@ -345,7 +367,16 @@ SystemPrediction ModelEngine::predict_on(const EngineSnapshot& snapshot,
         const Entry& entry =
             snapshot.entry_of(static_cast<ProcessHandle>(idx));
         slots.push_back({static_cast<ProcessHandle>(idx), c});
-        features.push_back(entry.profile.features);
+        // Rescale Eq. 3 to the core's clock on the per-query copy; the
+        // memoized fill/growth artifacts stay valid because they are
+        // functions of the histogram only, which is frequency-free.
+        // at_frequency is an exact no-op at the profile's own clock,
+        // and a legacy profile (fit_frequency 0) is used as-is — both
+        // keep the pre-frequency-aware results bit-identical.
+        const core::FeatureVector& fv = entry.profile.features;
+        const Hertz clock = clock_of(c);
+        features.push_back(fv.fit_frequency > 0.0 ? fv.at_frequency(clock)
+                                                  : fv);
         shares.push_back(1.0 / static_cast<double>(q));
         fill.push_back(&artifacts_of(entry).fill);
         if (!query.warm_start.empty())

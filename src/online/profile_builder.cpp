@@ -22,6 +22,24 @@ void ProfileBuilder::set_baseline(const core::ProcessProfile& baseline) {
   base_revision_ = baseline.revision;
 }
 
+void ProfileBuilder::accumulate(const Rec& r) {
+  // Express the window at the phase's reference clock: SPI and CPU
+  // seconds scale by exactly f/f_ref (Eq. 3's 1/f factor — latencies
+  // are fixed in cycles, so this is exact, not an approximation); the
+  // event counts and MPA are frequency-free and go in untouched. The
+  // equality test keeps the common single-clock stream bit-identical.
+  const double scale =
+      (f_ref_ > 0.0 && r.f > 0.0 && r.f != f_ref_) ? r.f / f_ref_ : 1.0;
+  const double spi = r.spi * scale;
+  totals_ += r.delta;
+  cpu_total_ += r.cpu * scale;
+  sum_x_ += r.mpa;
+  sum_y_ += spi;
+  sum_xx_ += r.mpa * r.mpa;
+  sum_xy_ += r.mpa * spi;
+  sum_yy_ += spi * spi;
+}
+
 void ProfileBuilder::restart_phase(std::size_t boundary_ordinal) {
   // Windows at or past the boundary belong to the new phase: they were
   // the candidate that just got confirmed. Rebuild the accumulators
@@ -35,15 +53,10 @@ void ProfileBuilder::restart_phase(std::size_t boundary_ordinal) {
   totals_ = hpc::Counters{};
   cpu_total_ = 0.0;
   sum_x_ = sum_y_ = sum_xx_ = sum_xy_ = sum_yy_ = 0.0;
-  for (const Rec& r : recs_) {
-    totals_ += r.delta;
-    cpu_total_ += r.cpu;
-    sum_x_ += r.mpa;
-    sum_y_ += r.spi;
-    sum_xx_ += r.mpa * r.mpa;
-    sum_xy_ += r.mpa * r.spi;
-    sum_yy_ += r.spi * r.spi;
-  }
+  // The new phase pins its own reference clock; the kept windows are
+  // re-expressed against it.
+  f_ref_ = recs_.empty() ? 0.0 : recs_.front().f;
+  for (const Rec& r : recs_) accumulate(r);
   since_emit_ = 0;
 }
 
@@ -67,14 +80,12 @@ std::optional<ProfileRevision> ProfileBuilder::push(
     r.spi = obs.spi();
     r.delta = obs.delta;
     r.cpu = obs.cpu_time;
+    r.f = obs.frequency;
+    if (recs_.empty()) f_ref_ = r.f;  // first usable window pins the clock
+    if (last_f_ > 0.0 && r.f > 0.0 && r.f != last_f_) ++frequency_steps_;
+    last_f_ = r.f;
     recs_.push_back(r);
-    totals_ += obs.delta;
-    cpu_total_ += obs.cpu_time;
-    sum_x_ += r.mpa;
-    sum_y_ += r.spi;
-    sum_xx_ += r.mpa * r.mpa;
-    sum_xy_ += r.mpa * r.spi;
-    sum_yy_ += r.spi * r.spi;
+    accumulate(r);
   }
 
   if (ended.has_value()) {
@@ -138,6 +149,11 @@ std::optional<ProfileRevision> ProfileBuilder::fit() {
   p.features.api = totals_.l2_refs / totals_.instructions;
   p.features.alpha = alpha;
   p.features.beta = beta;
+  // α and β above are expressed at the phase's reference clock (every
+  // window was normalized to it); record that clock so the engine can
+  // rescale the revision to any what-if frequency. 0 = the stream had
+  // no frequency telemetry, and the profile is legacy-shaped.
+  p.features.fit_frequency = f_ref_;
   p.features.validate();
 
   p.spi_at_ways.resize(options_.ways);

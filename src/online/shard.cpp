@@ -56,6 +56,14 @@ std::uint64_t PipelineShard::phase_total(const DieState& state) const {
   return total;
 }
 
+std::uint64_t PipelineShard::frequency_step_total(
+    const DieState& state) const {
+  std::uint64_t total = 0;
+  for (const auto& b : state.builders)
+    total += b->builder->frequency_steps();
+  return total;
+}
+
 void PipelineShard::attach_to_stream(DieState& state, BuilderSlot* raw) {
   state.stream.attach(
       raw->pid,
@@ -92,6 +100,7 @@ void PipelineShard::ingest(DieId die, const sim::Sample& sample) {
   batch.seq = sample.seq;
   batch.time = sample.time;
   const std::uint64_t phases_before = phase_total(state);
+  const std::uint64_t freq_steps_before = frequency_step_total(state);
 
   if (!state.sanitizer.has_value()) {
     current_ = &batch;
@@ -122,6 +131,7 @@ void PipelineShard::ingest(DieId die, const sim::Sample& sample) {
   }
 
   batch.phase_changes = phase_total(state) - phases_before;
+  batch.frequency_steps = frequency_step_total(state) - freq_steps_before;
   // Handoff under the shard mutex: batches leave in this die's ingest
   // order, which is what the coordinator's merge relies on.
   sink_.deliver(std::move(batch));

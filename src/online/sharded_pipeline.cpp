@@ -529,6 +529,7 @@ void ShardedPipeline::deliver(WindowBatch batch) {
       break;
   }
   phase_changes_ += batch.phase_changes;
+  frequency_steps_ += batch.frequency_steps;
 
   if (options_.producers <= 1) {
     // Single-lane mode: no merge, every window processes immediately —
@@ -1043,6 +1044,7 @@ PipelineStats ShardedPipeline::stats_locked() const {
   s.coalesced_resolves = coalesced_resolves_;
   s.solver_iterations = solver_iterations_;
   s.phase_changes = phase_changes_;
+  s.frequency_steps = frequency_steps_;
   s.power_revisions = power_revisions_;
   s.power_rejected = power_rejected_;
   s.health.windows_seen = windows_seen_;

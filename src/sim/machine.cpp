@@ -1,5 +1,7 @@
 #include "repro/sim/machine.hpp"
 
+#include <cmath>
+
 #include "repro/common/ensure.hpp"
 
 namespace repro::sim {
@@ -19,6 +21,22 @@ std::vector<CoreId> MachineConfig::partner_set(CoreId core) const {
   return out;
 }
 
+bool MachineConfig::can_run_at(Hertz hz) const {
+  if (!(hz > 0.0)) return false;
+  // Relative tolerance: a frequency that round-tripped through the
+  // profile store (shortest-round-trip doubles) is bit-exact, but a
+  // hand-written store may carry a few fewer digits.
+  const auto matches = [hz](Hertz level) {
+    return std::abs(hz - level) <= 1e-9 * level;
+  };
+  if (matches(frequency)) return true;
+  for (Hertz f : core_frequency)
+    if (matches(f)) return true;
+  for (Hertz f : dvfs_levels)
+    if (matches(f)) return true;
+  return false;
+}
+
 void MachineConfig::validate() const {
   REPRO_ENSURE(cores > 0, "machine needs cores");
   REPRO_ENSURE(core_to_die.size() == cores, "core_to_die size mismatch");
@@ -30,6 +48,11 @@ void MachineConfig::validate() const {
                  "core_frequency size mismatch");
     for (Hertz f : core_frequency)
       REPRO_ENSURE(f > 0.0, "bad per-core frequency");
+  }
+  for (std::size_t i = 0; i < dvfs_levels.size(); ++i) {
+    REPRO_ENSURE(dvfs_levels[i] > 0.0, "bad DVFS level");
+    REPRO_ENSURE(i == 0 || dvfs_levels[i - 1] < dvfs_levels[i],
+                 "DVFS levels must be strictly ascending");
   }
   REPRO_ENSURE(l2_hit_cycles > 0.0 && memory_cycles > l2_hit_cycles,
                "memory must be slower than L2");
@@ -43,6 +66,7 @@ MachineConfig four_core_server() {
   m.core_to_die = {0, 0, 1, 1};
   m.l2 = CacheGeometry{512, 16, 64};
   m.frequency = 2.4e9;
+  m.dvfs_levels = {1.2e9, 1.6e9, 2.0e9, 2.4e9};
   m.l2_hit_cycles = 14.0;
   m.memory_cycles = 220.0;
   m.validate();
@@ -57,6 +81,7 @@ MachineConfig two_core_workstation() {
   m.core_to_die = {0, 0};
   m.l2 = CacheGeometry{512, 8, 64};
   m.frequency = 2.4e9;
+  m.dvfs_levels = {1.2e9, 1.8e9, 2.4e9};
   m.l2_hit_cycles = 12.0;
   m.memory_cycles = 210.0;
   m.validate();
@@ -71,6 +96,7 @@ MachineConfig core2_duo_laptop() {
   m.core_to_die = {0, 0};
   m.l2 = CacheGeometry{512, 12, 64};
   m.frequency = 2.13e9;
+  m.dvfs_levels = {1.06e9, 1.6e9, 2.13e9};
   m.l2_hit_cycles = 14.0;
   m.memory_cycles = 240.0;
   m.validate();

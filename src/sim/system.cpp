@@ -18,6 +18,17 @@ Watts RunResult::mean_measured_power() const {
   return sum / static_cast<double>(samples.size());
 }
 
+void DvfsSchedule::validate(std::uint32_t cores) const {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const DvfsStep& s = steps[i];
+    REPRO_ENSURE(s.at >= 0.0, "DVFS step at negative time");
+    REPRO_ENSURE(s.core < cores, "DVFS step targets an unknown core");
+    REPRO_ENSURE(s.hz > 0.0, "DVFS step needs a positive frequency");
+    REPRO_ENSURE(i == 0 || steps[i - 1].at <= s.at,
+                 "DVFS steps must be sorted by time");
+  }
+}
+
 const ProcessReport& RunResult::process(ProcessId pid) const {
   for (const ProcessReport& p : processes)
     if (p.pid == pid) return p;
@@ -128,15 +139,22 @@ Sample System::take_sample(Seconds window_end, Seconds window_len,
   s.seq = sample_seq_++;
   s.die = config_.die_tag;
   s.core_rates.resize(cores_.size());
-  for (std::size_t c = 0; c < cores_.size(); ++c)
+  s.core_frequency.resize(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
     s.core_rates[c] =
         hpc::EventRates::from(cores_[c].totals - core_start[c], window_len);
+    s.core_frequency[c] =
+        config_.machine.frequency_of(static_cast<CoreId>(c));
+  }
   s.true_power = oracle_.true_power(s.core_rates);
   s.measured_power = clamp_.measure(s.true_power, window_len);
   s.occupancy.resize(processes_.size());
   s.process_delta.resize(processes_.size());
   s.process_cpu.resize(processes_.size());
+  s.process_frequency.resize(processes_.size());
   for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    s.process_frequency[pid] =
+        config_.machine.frequency_of(processes_[pid].core);
     s.occupancy[pid] =
         l2_[config_.machine.core_to_die[processes_[pid].core]]
             ->occupancy_ways(pid);
@@ -144,6 +162,34 @@ Sample System::take_sample(Seconds window_end, Seconds window_len,
     s.process_cpu[pid] = processes_[pid].cpu_time - cpu_start[pid];
   }
   return s;
+}
+
+void System::set_core_frequency(CoreId core, Hertz hz) {
+  REPRO_ENSURE(core < config_.machine.cores, "core out of range");
+  REPRO_ENSURE(hz > 0.0, "frequency must be positive");
+  MachineConfig& m = config_.machine;
+  // Materialize the per-core vector on the first override; from here
+  // on frequency_of() reads it and every subsequent access on the
+  // core is timed at the new clock.
+  if (m.core_frequency.empty())
+    m.core_frequency.assign(m.cores, m.frequency);
+  m.core_frequency[core] = hz;
+}
+
+void System::set_dvfs_schedule(DvfsSchedule schedule) {
+  schedule.validate(config_.machine.cores);
+  dvfs_ = std::move(schedule);
+  dvfs_next_ = 0;
+  apply_due_dvfs_steps(now_);
+}
+
+void System::apply_due_dvfs_steps(Seconds now) {
+  while (dvfs_next_ < dvfs_.steps.size() &&
+         dvfs_.steps[dvfs_next_].at <= now + 1e-12) {
+    const DvfsStep& step = dvfs_.steps[dvfs_next_];
+    set_core_frequency(step.core, step.hz);
+    ++dvfs_next_;
+  }
 }
 
 void System::set_partition(DieId die, std::vector<std::uint32_t> quotas) {
@@ -177,6 +223,9 @@ RunResult System::run(Seconds duration, const SampleCallback& on_sample) {
   Seconds t = start;
   const Seconds end = start + duration;
   while (t < end - 1e-12) {
+    // Scripted DVFS steps land here, at the window start, so the
+    // window about to be advanced runs under a single per-core clock.
+    apply_due_dvfs_steps(t);
     const Seconds window_end = std::min(end, t + config_.sample_period);
     std::vector<hpc::Counters> core_start(cores_.size());
     for (std::size_t c = 0; c < cores_.size(); ++c)
@@ -226,6 +275,10 @@ std::vector<Sample> System::split_sample(const Sample& sample) const {
     slice.die = d;
     slice.true_power = sample.true_power;
     slice.measured_power = sample.measured_power;
+    // Frequency vectors are window metadata like the power readings:
+    // copied whole onto every slice, not sliced.
+    slice.core_frequency = sample.core_frequency;
+    slice.process_frequency = sample.process_frequency;
     slice.core_rates.resize(sample.core_rates.size());
     slice.occupancy.resize(sample.occupancy.size());
     slice.process_delta.resize(sample.process_delta.size());

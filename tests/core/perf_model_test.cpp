@@ -54,6 +54,47 @@ TEST(FeatureVector, SpiLawIsLinear) {
   EXPECT_DOUBLE_EQ(fv.spi_at(0.5), fv.alpha * 0.5 + fv.beta);
 }
 
+TEST(FeatureVector, RescalesSpiExactlyAcrossClocks) {
+  FeatureVector fv = light_process();
+  fv.fit_frequency = 2e9;
+  // Eq. 3's 1/f factor: halving the clock exactly doubles SPI at any
+  // MPA, and the cycles form is the frequency-free invariant.
+  EXPECT_DOUBLE_EQ(fv.spi_at(0.3, 1e9), 2.0 * fv.spi_at(0.3));
+  EXPECT_DOUBLE_EQ(fv.spi_at(0.3, fv.fit_frequency), fv.spi_at(0.3));
+  EXPECT_DOUBLE_EQ(fv.alpha_cycles(), fv.alpha * 2e9);
+  EXPECT_DOUBLE_EQ(fv.beta_cycles(), fv.beta * 2e9);
+
+  const FeatureVector slow = fv.at_frequency(1e9);
+  EXPECT_DOUBLE_EQ(slow.alpha, 2.0 * fv.alpha);
+  EXPECT_DOUBLE_EQ(slow.beta, 2.0 * fv.beta);
+  EXPECT_DOUBLE_EQ(slow.fit_frequency, 1e9);
+  // Frequency-free parts are untouched; a round trip is exact.
+  EXPECT_DOUBLE_EQ(slow.api, fv.api);
+  const FeatureVector back = slow.at_frequency(2e9);
+  EXPECT_DOUBLE_EQ(back.alpha_cycles(), fv.alpha_cycles());
+  EXPECT_DOUBLE_EQ(back.beta_cycles(), fv.beta_cycles());
+}
+
+TEST(FeatureVector, OwnClockRescaleIsBitIdentical) {
+  FeatureVector fv = heavy_process();
+  fv.fit_frequency = 24e8;
+  const FeatureVector same = fv.at_frequency(fv.fit_frequency);
+  EXPECT_EQ(same.alpha, fv.alpha);
+  EXPECT_EQ(same.beta, fv.beta);
+  EXPECT_EQ(same.fit_frequency, fv.fit_frequency);
+}
+
+TEST(FeatureVector, LegacyVectorRefusesExplicitRescaling) {
+  // fit_frequency == 0 marks a pre-DVFS store: it must keep answering
+  // plain spi_at() but refuse any operation that needs the clock.
+  const FeatureVector fv = light_process();
+  EXPECT_DOUBLE_EQ(fv.spi_at(0.2), fv.alpha * 0.2 + fv.beta);
+  EXPECT_THROW(fv.spi_at(0.2, 1e9), Error);
+  EXPECT_THROW(fv.alpha_cycles(), Error);
+  EXPECT_THROW(fv.at_frequency(1e9), Error);
+  EXPECT_THROW(fv.beta_cycles(), Error);
+}
+
 TEST(EquilibriumSolver, SingleProcessGetsWholeCache) {
   const EquilibriumSolver solver(16);
   const auto pred = solver.solve({heavy_process()});
@@ -148,6 +189,51 @@ TEST(EquilibriumSolver, RejectsDegenerateInputs) {
   const EquilibriumSolver solver(16);
   EXPECT_THROW(solver.solve({}), Error);
   EXPECT_THROW(EquilibriumSolver(0), Error);
+}
+
+TEST(AnalyticFeatures, UsesPerCoreClockNotMachineDefault) {
+  // Regression for the uniform-frequency Eq. 3 bug: analytic α/β used
+  // to divide by the machine-wide default clock even when the target
+  // core ran at another frequency. On a half-speed core the law has
+  // half the frequency in the denominator, so α and β must double —
+  // the uniform-frequency code returns identical vectors for both
+  // cores and fails these assertions.
+  sim::MachineConfig machine = sim::two_core_workstation();
+  machine.core_frequency = {machine.frequency, machine.frequency / 2};
+  machine.validate();
+  const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+  const FeatureVector fast = analytic_features_for_core(spec, machine, 0);
+  const FeatureVector slow = analytic_features_for_core(spec, machine, 1);
+  EXPECT_DOUBLE_EQ(slow.alpha, 2.0 * fast.alpha);
+  EXPECT_DOUBLE_EQ(slow.beta, 2.0 * fast.beta);
+  EXPECT_DOUBLE_EQ(fast.fit_frequency, machine.frequency);
+  EXPECT_DOUBLE_EQ(slow.fit_frequency, machine.frequency / 2);
+  // The frequency-free invariant is shared; the seconds form is not.
+  EXPECT_DOUBLE_EQ(slow.alpha_cycles(), fast.alpha_cycles());
+  EXPECT_DOUBLE_EQ(slow.beta_cycles(), fast.beta_cycles());
+}
+
+TEST(AnalyticFeatures, HeterogeneousPredictionMatchesSimulation) {
+  // End-to-end form of the same regression: alone on a half-speed
+  // core, measured SPI doubles. Features fitted at the core's clock
+  // track it; the old uniform-frequency features would sit at ~50% of
+  // the measured value and miss the 12% band by a factor of two.
+  sim::MachineConfig machine = sim::two_core_workstation();
+  machine.core_frequency = {machine.frequency, machine.frequency / 2};
+  const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+  const EquilibriumSolver solver(machine.l2.ways);
+  const auto pred =
+      solver.solve({analytic_features_for_core(spec, machine, 1)});
+
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, power::oracle_for_two_core_workstation(), 78);
+  system.add_process(spec.name, 1, spec.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         spec, machine.l2.sets));
+  system.warm_up(0.05);
+  const sim::RunResult run = system.run(0.1);
+  EXPECT_NEAR(pred[0].spi / run.process(0).spi(), 1.0, 0.12);
 }
 
 // --- Integration: predictions vs. simulated ground truth. -------------

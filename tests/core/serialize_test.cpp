@@ -53,6 +53,41 @@ TEST(Serialize, ProfileRoundTripsExactly) {
   EXPECT_DOUBLE_EQ(p.spi_at_ways[3], 6.3e-10);
 }
 
+TEST(Serialize, FitFrequencyRoundTripsExactly) {
+  ProcessProfile original = sample_profile("art");
+  const double fit = 24e8;
+  original.features.fit_frequency = fit;
+  std::stringstream ss;
+  write_profile(ss, original);
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.profiles[0].features.fit_frequency, fit);
+}
+
+TEST(Serialize, LegacyStoreWithoutFitFrequencyStillLoads) {
+  // A pre-DVFS store has no fit_frequency lines at all: it must load
+  // cleanly and come back with the 0 "clock unknown" sentinel — and a
+  // legacy profile must serialize byte-identically to the seed era
+  // (no fit_frequency line emitted for the sentinel).
+  ProcessProfile legacy = sample_profile("vpr");
+  std::stringstream ss;
+  write_profile(ss, legacy);
+  EXPECT_EQ(ss.str().find("fit_frequency"), std::string::npos);
+  const ModelStore store = read_store(ss);
+  ASSERT_EQ(store.profiles.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.profiles[0].features.fit_frequency, 0.0);
+}
+
+TEST(Serialize, RejectsNonPositiveFitFrequency) {
+  ProcessProfile p = sample_profile("gzip");
+  std::stringstream good;
+  write_profile(good, p);
+  std::string text = good.str();
+  text.insert(text.find("api "), "fit_frequency -2e9\n");
+  std::stringstream bad(text);
+  EXPECT_THROW(read_store(bad), Error);
+}
+
 TEST(Serialize, MultipleProfilesAndModelRoundTrip) {
   ModelStore original;
   original.profiles = {sample_profile("gzip"), sample_profile("mcf")};

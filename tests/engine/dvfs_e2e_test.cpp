@@ -1,0 +1,81 @@
+// End-to-end frequency honesty (ISSUE 10): profile once at the
+// machine's default clock, then predict a heterogeneous two-domain
+// co-schedule — one die at full speed, the other at half — and check
+// the engine's rescaled predictions against simulated ground truth.
+// The uniform-frequency model this PR fixes gets the slow domain's
+// SPI wrong by the frequency ratio; the rescaled one tracks it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "repro/core/profiler.hpp"
+#include "repro/engine/model_engine.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
+
+namespace repro::engine {
+namespace {
+
+TEST(DvfsEndToEnd, TwoFrequencyDomainPredictionsMatchSimulation) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  const power::OracleConfig oracle = power::oracle_for_four_core_server();
+  const Hertz full = machine.frequency;
+
+  // Batch profiling at the default clock records fit_frequency, the
+  // anchor every rescaled prediction hangs off.
+  const core::StressmarkProfiler profiler(machine, oracle);
+  const workload::WorkloadSpec& gz = workload::find_spec("gzip");
+  const workload::WorkloadSpec& mc = workload::find_spec("mcf");
+  const core::ProcessProfile gzip = profiler.profile(gz);
+  const core::ProcessProfile mcf = profiler.profile(mc);
+  ASSERT_DOUBLE_EQ(gzip.features.fit_frequency, full);
+
+  ModelEngine eng(machine);
+  const ProcessHandle hg = eng.register_process(gzip);
+  const ProcessHandle hm = eng.register_process(mcf);
+
+  // gzip on die 0 at full clock, mcf on die 1 at half clock: two
+  // frequency domains, no cross-die cache contention.
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(hg);
+  q.assignment.per_core[2].push_back(hm);
+  q.core_frequency = {full, full, full / 2, full / 2};
+  const SystemPrediction pred = eng.predict(q);
+  ASSERT_EQ(pred.processes.size(), 2u);
+
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  cfg.machine.core_frequency = {full, full, full / 2, full / 2};
+  sim::System system(cfg, oracle, 83);
+  system.add_process("gzip", 0, gz.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         gz, machine.l2.sets));
+  system.add_process("mcf", 2, mc.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         mc, machine.l2.sets));
+  system.warm_up(0.05);
+  const sim::RunResult run = system.run(0.3);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ProcessReport& report = run.process(static_cast<ProcessId>(i));
+    EXPECT_NEAR(pred.processes[i].prediction.spi / report.spi(), 1.0, 0.12)
+        << report.name << " SPI at its domain clock";
+    EXPECT_NEAR(pred.processes[i].prediction.mpa, report.mpa(), 0.06)
+        << report.name << " MPA";
+  }
+
+  // The regression this PR fixes: pricing the same co-schedule with
+  // the machine-wide default clock (the old uniform-frequency path)
+  // misses the slow domain's measured SPI by ~2x.
+  CoScheduleQuery uniform = q;
+  uniform.core_frequency.clear();
+  const SystemPrediction stale = eng.predict(uniform);
+  const double ratio =
+      stale.processes[1].prediction.spi / run.process(1).spi();
+  EXPECT_LT(ratio, 0.65) << "uniform-frequency SPI should underpredict "
+                            "the half-clock domain by ~2x, got " << ratio;
+}
+
+}  // namespace
+}  // namespace repro::engine

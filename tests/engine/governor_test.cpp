@@ -1,0 +1,188 @@
+// Tests for the power-capping Governor: feasibility against the
+// planning cap, optimality at exhaustive scale, determinism, and the
+// degraded (over-budget) search mode.
+#include "repro/engine/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "repro/sim/machine.hpp"
+
+namespace repro::engine {
+namespace {
+
+core::ProcessProfile profile_of(std::string name, core::ReuseHistogram hist,
+                                double api, double alpha, double beta,
+                                Hertz fit) {
+  core::ProcessProfile p;
+  p.name = name;
+  p.features.name = std::move(name);
+  p.features.histogram = std::move(hist);
+  p.features.api = api;
+  p.features.alpha = alpha;
+  p.features.beta = beta;
+  p.features.fit_frequency = fit;
+  p.alone.l1rpi = 0.33;
+  p.alone.l2rpi = api;
+  p.alone.brpi = 0.15;
+  p.alone.fppi = 0.05;
+  p.alone.l2mpr = p.features.histogram.mpa(16.0);
+  p.alone.spi = p.features.spi_at(p.alone.l2mpr);
+  p.power_alone = 55.0;
+  return p;
+}
+
+core::PowerModel model() {
+  return core::PowerModel(45.0, {6e-9, 2e-8, -3e-7, 4e-9, 5e-9}, 4);
+}
+
+struct Rig {
+  sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng{machine, model()};
+  std::vector<ProcessHandle> handles;
+
+  Rig() {
+    const Hertz f = machine.frequency;
+    handles.push_back(eng.register_process(profile_of(
+        "hog", core::ReuseHistogram(std::vector<double>(12, 0.07), 0.16),
+        0.04, 4e-9, 6e-10, f)));
+    handles.push_back(eng.register_process(profile_of(
+        "sprinter", core::ReuseHistogram({0.6, 0.25, 0.1}, 0.05), 0.01,
+        8e-10, 4e-10, f)));
+    handles.push_back(eng.register_process(profile_of(
+        "streamer", core::ReuseHistogram({0.1, 0.1, 0.1}, 0.7), 0.08,
+        2e-9, 5e-10, f)));
+  }
+
+  /// Predicted (power, throughput) of the one-per-core full-speed plan.
+  SystemPrediction full_speed() const {
+    CoScheduleQuery q;
+    q.assignment = core::Assignment::empty(machine.cores);
+    for (std::size_t p = 0; p < handles.size(); ++p)
+      q.assignment.per_core[p].push_back(handles[p]);
+    return eng.predict(q);
+  }
+
+  /// Same plan with every core at the lowest DVFS level.
+  SystemPrediction slowest() const {
+    CoScheduleQuery q;
+    q.assignment = core::Assignment::empty(machine.cores);
+    for (std::size_t p = 0; p < handles.size(); ++p)
+      q.assignment.per_core[p].push_back(handles[p]);
+    q.core_frequency.assign(machine.cores, machine.dvfs_levels.front());
+    return eng.predict(q);
+  }
+};
+
+TEST(Governor, ValidatesItsPreconditions) {
+  Rig rig;
+  GovernorOptions opt;
+  opt.power_cap = 0.0;  // a cap is required
+  EXPECT_THROW(Governor(rig.eng, opt), Error);
+  opt.power_cap = 60.0;
+  opt.margin = 1.0;  // margin must leave a positive planning cap
+  EXPECT_THROW(Governor(rig.eng, opt), Error);
+  opt.margin = 0.02;
+  opt.max_candidates = 0;
+  EXPECT_THROW(Governor(rig.eng, opt), Error);
+
+  ModelEngine perf_only(rig.machine);  // no power model, no cap search
+  GovernorOptions ok;
+  ok.power_cap = 60.0;
+  EXPECT_THROW(Governor(perf_only, ok), Error);
+}
+
+TEST(Governor, FeasibleDecisionHonorsPlanningCap) {
+  Rig rig;
+  const SystemPrediction full = rig.full_speed();
+  const SystemPrediction slow = rig.slowest();
+  GovernorOptions opt;
+  opt.power_cap =
+      slow.total_power + 0.7 * (full.total_power - slow.total_power);
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision d = gov.plan(rig.handles);
+
+  EXPECT_TRUE(d.feasible);
+  EXPECT_TRUE(d.exhaustive);
+  EXPECT_GT(d.evaluated, 0u);
+  EXPECT_LE(d.prediction.total_power,
+            opt.power_cap * (1.0 - opt.margin) + 1e-9);
+  ASSERT_EQ(d.core_frequency.size(), rig.machine.cores);
+  for (Hertz hz : d.core_frequency) EXPECT_GT(hz, 0.0);
+  EXPECT_EQ(d.assignment.process_count(), rig.handles.size());
+  // The cap bites (full speed is over it), so something was slowed or
+  // packed and throughput cannot exceed the unconstrained plan's.
+  EXPECT_GT(full.total_power, opt.power_cap);
+  EXPECT_LE(d.prediction.throughput_ips, full.throughput_ips);
+}
+
+TEST(Governor, GenerousCapRecoversFullThroughput) {
+  Rig rig;
+  const SystemPrediction full = rig.full_speed();
+  GovernorOptions opt;
+  opt.power_cap = 10.0 * full.total_power;
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision d = gov.plan(rig.handles);
+  EXPECT_TRUE(d.feasible);
+  // With everything feasible the governor maximizes throughput over a
+  // space that includes the full-speed balanced plan.
+  EXPECT_GE(d.prediction.throughput_ips, full.throughput_ips * (1 - 1e-12));
+}
+
+TEST(Governor, UnreachableCapReturnsBestEffortMinPower) {
+  Rig rig;
+  GovernorOptions opt;
+  opt.power_cap = 1.0;  // below idle: nothing can satisfy it
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision d = gov.plan(rig.handles);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.assignment.process_count(), rig.handles.size());
+  // Best effort = power-minimal candidate: it cannot beat the all-min
+  // clock plan's power by more than rounding, and must not exceed the
+  // slowest balanced plan we can price directly.
+  EXPECT_LE(d.prediction.total_power, rig.slowest().total_power + 1e-9);
+}
+
+TEST(Governor, PlansAreDeterministic) {
+  Rig rig;
+  const SystemPrediction full = rig.full_speed();
+  GovernorOptions opt;
+  opt.power_cap = 0.95 * full.total_power;
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision a = gov.plan(rig.handles);
+  const GovernorDecision b = gov.plan(rig.handles);
+  EXPECT_EQ(a.assignment.per_core, b.assignment.per_core);
+  EXPECT_EQ(a.core_frequency, b.core_frequency);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.prediction.total_power, b.prediction.total_power);
+}
+
+TEST(Governor, FrequencyOnlyPlanKeepsTheAssignment) {
+  Rig rig;
+  core::Assignment fixed = core::Assignment::empty(rig.machine.cores);
+  fixed.per_core[0] = {rig.handles[0], rig.handles[1]};
+  fixed.per_core[2] = {rig.handles[2]};
+  const SystemPrediction full = rig.full_speed();
+  GovernorOptions opt;
+  opt.power_cap = 0.97 * full.total_power;
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision d = gov.plan(fixed);
+  EXPECT_EQ(d.assignment.per_core, fixed.per_core);
+  EXPECT_TRUE(d.exhaustive);
+}
+
+TEST(Governor, OverBudgetSearchDegradesButStaysFeasible) {
+  Rig rig;
+  const SystemPrediction full = rig.full_speed();
+  GovernorOptions opt;
+  opt.power_cap = 2.0 * full.total_power;  // everything is feasible
+  opt.max_candidates = 4;  // force the degraded path
+  const Governor gov(rig.eng, opt);
+  const GovernorDecision d = gov.plan(rig.handles);
+  EXPECT_FALSE(d.exhaustive);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GT(d.evaluated, 0u);
+  EXPECT_EQ(d.assignment.process_count(), rig.handles.size());
+}
+
+}  // namespace
+}  // namespace repro::engine

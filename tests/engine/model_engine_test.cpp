@@ -850,6 +850,99 @@ TEST(ModelEngine, SnapshotSharesSurvivorArtifactsAcrossEpochs) {
   EXPECT_GT(after.hits, before.hits);
 }
 
+TEST(ModelEngine, QueryClockRescalesPredictionsExactly) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ModelEngine eng(machine, model());
+  core::ProcessProfile p = suite()[0];
+  p.features.fit_frequency = machine.frequency;
+  const ProcessHandle h = eng.register_process(p);
+
+  CoScheduleQuery q;
+  q.assignment = core::Assignment::empty(machine.cores);
+  q.assignment.per_core[0].push_back(h);
+  const SystemPrediction at_default = eng.predict(q);
+
+  // Alone on the die the cache share is clock-free, so Eq. 3's 1/f
+  // factor is the whole story: halving every clock exactly doubles
+  // SPI, leaves MPA untouched, and halves throughput.
+  CoScheduleQuery half = q;
+  half.core_frequency.assign(machine.cores, machine.frequency / 2);
+  const SystemPrediction slowed = eng.predict(half);
+  ASSERT_EQ(slowed.processes.size(), 1u);
+  EXPECT_DOUBLE_EQ(slowed.processes[0].prediction.spi,
+                   2.0 * at_default.processes[0].prediction.spi);
+  EXPECT_DOUBLE_EQ(slowed.processes[0].prediction.mpa,
+                   at_default.processes[0].prediction.mpa);
+  EXPECT_DOUBLE_EQ(slowed.throughput_ips, at_default.throughput_ips / 2.0);
+  // Slower clock → lower event rates → less dynamic power.
+  EXPECT_LT(slowed.total_power, at_default.total_power);
+
+  // Querying the machine's own clock explicitly is bit-identical to
+  // no override (at_frequency is an exact no-op at the fit clock).
+  CoScheduleQuery same = q;
+  same.core_frequency.assign(machine.cores, machine.frequency);
+  expect_bitwise_equal(eng.predict(same), at_default);
+
+  // A legacy profile (no recorded fit clock) ignores the override and
+  // predicts exactly as before — the backward-compatibility contract.
+  const ProcessHandle legacy = eng.register_process(suite()[1]);
+  CoScheduleQuery lq;
+  lq.assignment = core::Assignment::empty(machine.cores);
+  lq.assignment.per_core[0].push_back(legacy);
+  const SystemPrediction plain = eng.predict(lq);
+  CoScheduleQuery lhalf = lq;
+  lhalf.core_frequency.assign(machine.cores, machine.frequency / 2);
+  expect_bitwise_equal(eng.predict(lhalf), plain);
+
+  EXPECT_THROW(
+      {
+        CoScheduleQuery bad = q;
+        bad.core_frequency = {1e9};  // wrong length
+        eng.predict(bad);
+      },
+      Error);
+  EXPECT_THROW(
+      {
+        CoScheduleQuery bad = q;
+        bad.core_frequency.assign(machine.cores, -1e9);
+        eng.predict(bad);
+      },
+      Error);
+}
+
+TEST(ModelEngine, TryApplyRejectsFitFrequencyMismatch) {
+  const sim::MachineConfig machine = sim::four_core_server();
+  ASSERT_FALSE(machine.dvfs_levels.empty());
+  ModelEngine eng(machine, model());
+  core::ProcessProfile original = suite()[0];
+  original.features.fit_frequency = machine.frequency;
+  const ProcessHandle h = eng.register_process(original);
+  const std::uint64_t epoch = eng.snapshot()->epoch();
+
+  // A revision fitted at a clock this machine cannot run at would
+  // silently mis-predict every query: validate-before-mutate rejects
+  // it with a named reason and the last-good profile survives.
+  core::ProcessProfile alien = original;
+  alien.features.fit_frequency = 123.0;
+  const ApplyResult rejected = eng.try_apply(Revision::process(h, alien));
+  EXPECT_FALSE(rejected.applied);
+  EXPECT_NE(rejected.reason.find("fit-frequency mismatch"),
+            std::string::npos)
+      << rejected.reason;
+  EXPECT_EQ(rejected.epoch, epoch) << "rejection published a snapshot";
+  EXPECT_DOUBLE_EQ(eng.profile(h).features.fit_frequency,
+                   machine.frequency);
+
+  // Any advertised DVFS level is a valid fit clock, and a legacy
+  // revision (fit_frequency 0) predates the gate and passes.
+  core::ProcessProfile leveled = original;
+  leveled.features.fit_frequency = machine.dvfs_levels.front();
+  EXPECT_TRUE(eng.try_apply(Revision::process(h, leveled)).applied);
+  core::ProcessProfile legacy = original;
+  legacy.features.fit_frequency = 0.0;
+  EXPECT_TRUE(eng.try_apply(Revision::process(h, legacy)).applied);
+}
+
 TEST(ModelEngine, RejectsMismatchedPowerModelAndBadQueries) {
   EXPECT_THROW(ModelEngine(sim::two_core_workstation(), model()), Error);
 

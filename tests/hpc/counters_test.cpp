@@ -8,7 +8,7 @@ namespace {
 Counters sample_counters() {
   Counters c;
   c.instructions = 1e9;
-  c.cycles = 1.2e9;
+  c.cycles = 12e8;
   c.l1_refs = 3.5e8;
   c.l2_refs = 1e7;
   c.l2_misses = 2e6;

@@ -221,5 +221,94 @@ TEST(ProfileBuilder, QuarantinedWindowGapsDoNotCorruptThePhaseRestart) {
   EXPECT_EQ(at_change->quality.windows, 3u);
 }
 
+TEST(ProfileBuilder, FrequencyStepRescalesToTheFitClock) {
+  // Two clocks, one workload: the second half of the stream runs at
+  // half speed, so its raw SPI doubles while MPA is untouched. The
+  // builder must normalize every window to the phase's reference
+  // clock (the first window's) and recover the base-clock law exactly,
+  // stamping the profile with that reference.
+  const Hertz f0 = 2e9;
+  ProfileBuilder builder("dvfs", quiet_options());
+  std::uint64_t index = 0;
+  for (std::uint32_t s = 1; s <= kWays; ++s) {
+    WindowObservation obs = window_at(index++, s);
+    obs.frequency = f0;
+    EXPECT_EQ(builder.push(obs), std::nullopt);
+  }
+  for (std::uint32_t s = 1; s <= kWays; ++s) {
+    const double mpa = mpa_of(s);
+    WindowObservation obs =
+        window_at(index++, s, mpa, 2.0 * (kAlpha * mpa + kBeta));
+    obs.frequency = f0 / 2;
+    EXPECT_EQ(builder.push(obs), std::nullopt);
+  }
+  EXPECT_EQ(builder.frequency_steps(), 1u);
+  const std::optional<ProfileRevision> rev = builder.finish();
+  ASSERT_TRUE(rev.has_value());
+  EXPECT_NEAR(rev->profile.features.alpha, kAlpha, 1e-12);
+  EXPECT_NEAR(rev->profile.features.beta, kBeta, 1e-15);
+  EXPECT_DOUBLE_EQ(rev->profile.features.fit_frequency, f0);
+  EXPECT_LT(rev->quality.fit_rms, 1e-6);
+}
+
+TEST(ProfileBuilder, FrequencyStepIsNotAPhaseChange) {
+  // Sensitive phase thresholds, constant cache behaviour, one clock
+  // step: MPA is the phase signal and it never moves, so the step must
+  // be booked as a frequency step and nothing else.
+  ProfileBuilderOptions options;
+  options.ways = kWays;
+  options.phase.min_phase_windows = 3;
+  options.phase.relative_threshold = 0.25;
+  options.phase.absolute_threshold = 1e-3;
+  options.refit_interval = 0;
+  options.min_fit_windows = 3;
+  ProfileBuilder builder("stepper", options);
+
+  const Hertz f0 = 2e9;
+  const double mpa = 0.2, spi = 2.0e-9;
+  std::uint64_t index = 0;
+  for (int i = 0; i < 8; ++i) {
+    WindowObservation obs = window_at(index++, 4.0, mpa, spi);
+    obs.frequency = f0;
+    builder.push(obs);
+  }
+  for (int i = 0; i < 8; ++i) {
+    WindowObservation obs = window_at(index++, 4.0, mpa, 2.0 * spi);
+    obs.frequency = f0 / 2;
+    builder.push(obs);
+  }
+  EXPECT_EQ(builder.frequency_steps(), 1u);
+  EXPECT_EQ(builder.phase_changes(), 0u);
+}
+
+TEST(ProfileBuilder, SingleClockStreamMatchesLegacyBitForBit) {
+  // The frequency plumbing must be invisible when the clock never
+  // changes: a stream tagged with one clock fits bit-identically to
+  // the same stream with no clock at all (the pre-DVFS path) — only
+  // the recorded fit frequency differs.
+  const Hertz f0 = 2e9;
+  ProfileBuilder tagged("tagged", quiet_options());
+  ProfileBuilder legacy("legacy", quiet_options());
+  std::uint64_t index = 0;
+  for (int round = 0; round < 2; ++round)
+    for (std::uint32_t s = 1; s <= kWays; ++s) {
+      WindowObservation obs = window_at(index++, s);
+      legacy.push(obs);
+      obs.frequency = f0;
+      tagged.push(obs);
+    }
+  const std::optional<ProfileRevision> a = tagged.finish();
+  const std::optional<ProfileRevision> b = legacy.finish();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->profile.features.alpha, b->profile.features.alpha);
+  EXPECT_EQ(a->profile.features.beta, b->profile.features.beta);
+  EXPECT_EQ(a->profile.features.api, b->profile.features.api);
+  EXPECT_EQ(a->quality.fit_rms, b->quality.fit_rms);
+  EXPECT_DOUBLE_EQ(a->profile.features.fit_frequency, f0);
+  EXPECT_DOUBLE_EQ(b->profile.features.fit_frequency, 0.0);
+  EXPECT_EQ(tagged.frequency_steps(), 0u);
+}
+
 }  // namespace
 }  // namespace repro::online

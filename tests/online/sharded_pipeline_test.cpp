@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -20,6 +21,8 @@
 #include "repro/engine/model_engine.hpp"
 #include "repro/online/pipeline.hpp"
 #include "repro/sim/machine.hpp"
+#include "repro/sim/system.hpp"
+#include "repro/workload/generator.hpp"
 
 namespace repro::online {
 namespace {
@@ -198,6 +201,7 @@ void expect_stats_equal(const PipelineStats& a, const PipelineStats& b) {
   EXPECT_EQ(a.health.windows_dropped, b.health.windows_dropped);
   EXPECT_EQ(a.health.revisions_rejected, b.health.revisions_rejected);
   EXPECT_EQ(a.health.degraded_resolves, b.health.degraded_resolves);
+  EXPECT_EQ(a.frequency_steps, b.frequency_steps);
 }
 
 TEST(ShardedPipeline, MergedEventLogIdenticalAcrossShardCounts) {
@@ -507,6 +511,98 @@ TEST(ShardedPipeline, SupervisorFailsShardAfterMaxRestarts) {
   // rest abandoned by fail_shard.
   EXPECT_EQ(s.health.windows_dropped, 12u);
   EXPECT_GT(s.revisions, 0u) << "the other shards must keep working";
+}
+
+/// make_window with every process's clock tagged: `clock_scale` < 1
+/// slows the cores, which stretches CPU time by 1/scale while cache
+/// behaviour (and hence MPA, the phase signal) is untouched.
+sim::Sample dvfs_window(DieId lane, std::uint64_t seq,
+                        const sim::MachineConfig& m, double clock_scale) {
+  sim::Sample s = make_window(lane, seq, m.cores);
+  s.process_frequency.assign(kTotalProcs, m.frequency * clock_scale);
+  s.core_frequency.assign(m.cores, m.frequency * clock_scale);
+  for (double& cpu : s.process_cpu) cpu /= clock_scale;
+  return s;
+}
+
+TEST(ShardedPipeline, FrequencyStepsAreCountedAndNeverBookPhases) {
+  // A fleet-wide DVFS step mid-stream: every builder must count one
+  // frequency step, book zero phase changes (MPA never moved), keep
+  // emitting revisions, and the counters must not depend on how lanes
+  // map onto shards.
+  constexpr std::uint64_t kSeqs = 32;
+  std::vector<PipelineStats> stats;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    Rig rig(lane_options(shards));
+    for (std::uint64_t seq = 0; seq < kSeqs; ++seq) {
+      const double scale = seq < kSeqs / 2 ? 1.0 : 0.5;
+      for (DieId lane = 0; lane < kLanes; ++lane)
+        rig.pipe.push(dvfs_window(lane, seq, rig.machine, scale));
+    }
+    rig.pipe.finish();
+    stats.push_back(rig.pipe.snapshot().stats);
+    EXPECT_EQ(stats.back().frequency_steps, kTotalProcs)
+        << shards << " shards";
+    EXPECT_EQ(stats.back().phase_changes, 0u) << shards << " shards";
+    EXPECT_GT(stats.back().revisions, 0u) << shards << " shards";
+  }
+  expect_stats_equal(stats[0], stats[1]);
+}
+
+TEST(ShardedPipeline, DvfsStepsRaceRingIngestion) {
+  // The full closed loop under TSan: a real simulator thread applies
+  // scheduled DVFS steps and an on-line set_core_frequency while the
+  // ring-mode shard workers ingest concurrently. The sim thread owns
+  // the machine config and each Sample is copied into the ring, so
+  // the workers never observe the mutation mid-window — this test is
+  // the data-race witness for that contract, plus the end-to-end
+  // frequency-honesty counters.
+  const sim::MachineConfig machine = sim::four_core_server();
+  ASSERT_GE(machine.dvfs_levels.size(), 2u);
+  engine::ModelEngine eng(machine);
+  ShardedPipelineOptions o;
+  o.builder.phase.min_phase_windows = 5;
+  o.builder.refit_interval = 8;
+  o.builder.min_fit_windows = 4;
+  o.inline_ingest = false;
+  o.ring_capacity = 16;
+  o.backpressure = Backpressure::kBlock;
+  ShardedPipeline pipe(eng, std::move(o));
+
+  sim::SystemConfig cfg;
+  cfg.machine = machine;
+  sim::System system(cfg, power::oracle_for_four_core_server(), 91);
+  const workload::WorkloadSpec& gz = workload::find_spec("gzip");
+  const workload::WorkloadSpec& mc = workload::find_spec("mcf");
+  // Separate dies: stepping core 0 cannot shift anyone's cache
+  // equilibrium, so any phase change would be spurious by construction.
+  system.add_process("gzip", 0, gz.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         gz, machine.l2.sets));
+  system.add_process("mcf", 2, mc.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         mc, machine.l2.sets));
+  pipe.monitor(0, 0, std::string("gzip"));
+  pipe.monitor(1, 0, std::string("mcf"));
+
+  sim::DvfsSchedule schedule;
+  schedule.steps.push_back({0.15, 0, machine.dvfs_levels.front()});
+  schedule.steps.push_back({0.30, 0, machine.dvfs_levels.back()});
+  system.set_dvfs_schedule(schedule);
+  system.run(0.45, pipe.sink());
+  // On-line override between runs, racing the workers still draining
+  // the ring.
+  system.set_core_frequency(0, machine.dvfs_levels.front());
+  system.run(0.15, pipe.sink());
+  pipe.finish();
+
+  const PipelineStats stats = pipe.snapshot().stats;
+  EXPECT_EQ(stats.frequency_steps, 3u);  // two scheduled + one manual
+  EXPECT_EQ(stats.phase_changes, 0u);
+  EXPECT_GT(stats.revisions, 0u);
+  const auto handle = eng.find("gzip");
+  ASSERT_TRUE(handle.has_value());
+  EXPECT_GT(eng.profile(*handle).features.fit_frequency, 0.0);
 }
 
 TEST(ShardedPipeline, ShardCountClampsToProducerLanes) {

@@ -47,17 +47,17 @@ TEST(MachineConfig, ValidateCatchesInconsistencies) {
   EXPECT_THROW(m.validate(), Error);
 
   m = two_core_workstation();
-  m.core_frequency = {2.4e9};  // wrong length
+  m.core_frequency = {m.frequency};  // wrong length
   EXPECT_THROW(m.validate(), Error);
 }
 
 TEST(MachineConfig, HeterogeneousFrequencyLookup) {
   MachineConfig m = two_core_workstation();
   EXPECT_DOUBLE_EQ(m.frequency_of(0), m.frequency);
-  m.core_frequency = {3.0e9, 1.5e9};
+  m.core_frequency = {3e9, 15e8};
   m.validate();
-  EXPECT_DOUBLE_EQ(m.frequency_of(0), 3.0e9);
-  EXPECT_DOUBLE_EQ(m.frequency_of(1), 1.5e9);
+  EXPECT_DOUBLE_EQ(m.frequency_of(0), 3e9);
+  EXPECT_DOUBLE_EQ(m.frequency_of(1), 15e8);
 }
 
 TEST(HeterogeneousMachine, SlowCoreScalesSpiProportionally) {
@@ -76,8 +76,9 @@ TEST(HeterogeneousMachine, SlowCoreScalesSpiProportionally) {
     system.warm_up(0.05);
     return system.run(0.2).process(0);
   };
-  const ProcessReport fast = run_alone(0, 2.4e9, 1.2e9);
-  const ProcessReport slow = run_alone(1, 2.4e9, 1.2e9);
+  const Hertz full = two_core_workstation().frequency;
+  const ProcessReport fast = run_alone(0, full, full / 2);
+  const ProcessReport slow = run_alone(1, full, full / 2);
   EXPECT_NEAR(slow.spi() / fast.spi(), 2.0, 0.02);
   EXPECT_NEAR(slow.mpa(), fast.mpa(), 0.01);
 }

@@ -239,6 +239,90 @@ TEST(System, SplitSampleSlicesPartitionTheWindowExactly) {
   }
 }
 
+TEST(System, SetCoreFrequencyRetimesSubsequentWindows) {
+  const SystemConfig cfg = small_system();
+  const Hertz full = cfg.machine.frequency;
+  System system(cfg, power::oracle_for_two_core_workstation(), 41);
+  const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+  system.add_process(spec.name, 0, spec.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         spec, cfg.machine.l2.sets));
+  system.warm_up(0.05);
+  const ProcessReport fast = system.run(0.15).process(0);
+  system.set_core_frequency(0, full / 2);
+  const RunResult slowed = system.run(0.15);
+  const ProcessReport slow = slowed.process(0);
+  // Latencies are fixed in cycles, so halving the clock exactly
+  // doubles time-per-instruction while the cache behaviour (MPA) is
+  // untouched — the in-sim form of Eq. 3's 1/f factor.
+  EXPECT_NEAR(slow.spi() / fast.spi(), 2.0, 0.03);
+  EXPECT_NEAR(slow.mpa(), fast.mpa(), 0.01);
+  // Every window is tagged with the clocks it ran under.
+  for (const Sample& s : slowed.samples) {
+    ASSERT_EQ(s.core_frequency.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.core_frequency[0], full / 2);
+    EXPECT_DOUBLE_EQ(s.core_frequency[1], full);
+    ASSERT_EQ(s.process_frequency.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.process_frequency[0], full / 2);
+  }
+}
+
+TEST(System, DvfsScheduleFiresAtWindowBoundaries) {
+  const SystemConfig cfg = small_system();
+  const Hertz full = cfg.machine.frequency;
+  System system(cfg, power::oracle_for_two_core_workstation(), 42);
+  const workload::WorkloadSpec& spec = workload::find_spec("gzip");
+  system.add_process(spec.name, 0, spec.mix,
+                     std::make_unique<workload::StackDistanceGenerator>(
+                         spec, cfg.machine.l2.sets));
+  DvfsSchedule schedule;
+  // 0.1 s is not a window boundary multiple beyond 0.09/0.12 — the
+  // step must defer to the next window start so windows stay
+  // frequency-pure.
+  schedule.steps.push_back({0.1, 0, full / 2});
+  system.set_dvfs_schedule(schedule);
+  const RunResult run = system.run(0.3);  // 10 windows of 30 ms
+  ASSERT_EQ(run.samples.size(), 10u);
+  for (const Sample& s : run.samples) {
+    const bool after = s.time - s.duration >= 0.1 - 1e-9;
+    EXPECT_DOUBLE_EQ(s.core_frequency[0], after ? full / 2 : full)
+        << "window ending at " << s.time;
+  }
+  // Exactly the windows starting at 0.12 s onward run at half clock.
+  EXPECT_DOUBLE_EQ(run.samples[3].core_frequency[0], full);
+  EXPECT_DOUBLE_EQ(run.samples[4].core_frequency[0], full / 2);
+}
+
+TEST(System, DvfsScheduleAppliesPastStepsImmediately) {
+  const SystemConfig cfg = small_system();
+  const Hertz full = cfg.machine.frequency;
+  System system(cfg, power::oracle_for_two_core_workstation(), 43);
+  system.warm_up(0.2);
+  DvfsSchedule schedule;
+  schedule.steps.push_back({0.0, 1, full / 2});
+  system.set_dvfs_schedule(schedule);
+  const RunResult run = system.run(0.03);
+  ASSERT_EQ(run.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.samples[0].core_frequency[1], full / 2);
+}
+
+TEST(System, RejectsBadDvfsInput) {
+  const SystemConfig cfg = small_system();
+  System system(cfg, power::oracle_for_two_core_workstation(), 44);
+  EXPECT_THROW(system.set_core_frequency(9, 1e9), Error);
+  EXPECT_THROW(system.set_core_frequency(0, 0.0), Error);
+  DvfsSchedule bad;
+  bad.steps.push_back({0.2, 0, 1e9});
+  bad.steps.push_back({0.1, 0, 2e9});  // out of order
+  EXPECT_THROW(system.set_dvfs_schedule(bad), Error);
+  bad.steps = {{-0.1, 0, 1e9}};
+  EXPECT_THROW(system.set_dvfs_schedule(bad), Error);
+  bad.steps = {{0.1, 7, 1e9}};  // unknown core
+  EXPECT_THROW(system.set_dvfs_schedule(bad), Error);
+  bad.steps = {{0.1, 0, -1e9}};
+  EXPECT_THROW(system.set_dvfs_schedule(bad), Error);
+}
+
 TEST(System, RejectsBadConfiguration) {
   const SystemConfig cfg = small_system();
   System system(cfg, power::oracle_for_two_core_workstation(), 11);

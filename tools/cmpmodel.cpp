@@ -19,7 +19,7 @@
 //                     [--journal j.log] [--checkpoint c.txt]
 //                     [--fsync every_n|on_revision|off] [--fsync-every 32]
 //                     [--checkpoint-every 64] [--recover on|off]
-//                     [--supervise on]
+//                     [--supervise on] [--dvfs "0.5:0:1.2e9;1.0:0:2.4e9"]
 //   cmpmodel checkpoint --machine server --checkpoint c.txt
 //                       [--journal j.log] [--json on]
 //
@@ -59,6 +59,14 @@
 // "coalesced" count). --dump-bad on dumps the quarantine forensics
 // ring — the last quarantined windows with their sanitizer verdicts —
 // after the run.
+//
+// --dvfs plays a deterministic DVFS schedule while the watch runs:
+// ';'-separated "t:core:hz" steps retime the named core from virtual
+// time t on (steps land on window boundaries, so windows stay
+// frequency-pure). The builders absorb each step by rescaling (the
+// summary's "frequency steps" count) instead of booking a phase
+// change, and with --json every window object carries the per-core
+// "core_frequency" vector it was sampled under.
 //
 // --journal arms the crash-safe event journal (every applied revision
 // framed + CRC-32C checksummed, fsync per --fsync/--fsync-every);
@@ -488,8 +496,15 @@ void print_window_json(std::uint64_t window, const sim::Sample& sample,
                        const std::vector<online::PipelineEvent>& events,
                        const std::optional<WindowPowerError>& power_error,
                        const online::PipelineHealth& delta) {
-  std::printf("{\"window\":%llu,\"t\":%.6f,\"events\":[",
+  std::printf("{\"window\":%llu,\"t\":%.6f,",
               static_cast<unsigned long long>(window), sample.time);
+  if (!sample.core_frequency.empty()) {
+    std::printf("\"core_frequency\":[");
+    for (std::size_t c = 0; c < sample.core_frequency.size(); ++c)
+      std::printf("%s%.9g", c == 0 ? "" : ",", sample.core_frequency[c]);
+    std::printf("],");
+  }
+  std::printf("\"events\":[");
   for (std::size_t i = 0; i < events.size(); ++i) {
     const online::PipelineEvent& e = events[i];
     if (e.is_profile())
@@ -545,6 +560,23 @@ void print_events_human(const std::vector<online::PipelineEvent>& events,
           verdict.c_str());
     }
   }
+}
+
+/// --dvfs "t:core:hz;t:core:hz" → a deterministic DvfsSchedule.
+sim::DvfsSchedule parse_dvfs(const std::string& spec) {
+  sim::DvfsSchedule schedule;
+  for (const std::string& step_text : split(spec, ';')) {
+    if (step_text.empty()) continue;
+    const std::vector<std::string> parts = split(step_text, ':');
+    REPRO_ENSURE(parts.size() == 3,
+                 "--dvfs step must be t:core:hz, got '" + step_text + "'");
+    sim::DvfsStep step;
+    step.at = std::stod(parts[0]);
+    step.core = static_cast<CoreId>(std::stoul(parts[1]));
+    step.hz = std::stod(parts[2]);
+    schedule.steps.push_back(step);
+  }
+  return schedule;
 }
 
 int cmd_watch(const Args& args) {
@@ -609,6 +641,9 @@ int cmd_watch(const Args& args) {
                                                       m.machine.l2.sets));
       dies[idx] = m.machine.core_to_die[c];
     }
+
+  const std::string dvfs_spec = args.get("dvfs", "");
+  if (!dvfs_spec.empty()) system.set_dvfs_schedule(parse_dvfs(dvfs_spec));
 
   online::ShardedPipelineOptions pipe_options;
   pipe_options.builder.phase.min_phase_windows = 5;
@@ -827,7 +862,8 @@ int cmd_watch(const Args& args) {
     const online::PipelineHealth& h = stats.health;
     std::printf(
         "{\"summary\":{\"windows\":%llu,\"revisions\":%llu,"
-        "\"phase_changes\":%llu,\"resolves\":%llu,"
+        "\"phase_changes\":%llu,\"frequency_steps\":%llu,"
+        "\"resolves\":%llu,"
         "\"coalesced_resolves\":%llu,"
         "\"solver_iterations\":%llu,"
         "\"power\":{\"revisions\":%llu,\"rejected\":%llu,"
@@ -844,6 +880,7 @@ int cmd_watch(const Args& args) {
         static_cast<unsigned long long>(stats.windows),
         static_cast<unsigned long long>(stats.revisions),
         static_cast<unsigned long long>(stats.phase_changes),
+        static_cast<unsigned long long>(stats.frequency_steps),
         static_cast<unsigned long long>(stats.resolves),
         static_cast<unsigned long long>(stats.coalesced_resolves),
         static_cast<unsigned long long>(stats.solver_iterations),
@@ -882,6 +919,10 @@ int cmd_watch(const Args& args) {
       std::printf("coalesced %llu re-solve(s) across same-window phase "
                   "coincidences\n",
                   static_cast<unsigned long long>(stats.coalesced_resolves));
+    if (stats.frequency_steps > 0)
+      std::printf("dvfs: %llu frequency step(s) absorbed by rescaling "
+                  "(no phase change booked)\n",
+                  static_cast<unsigned long long>(stats.frequency_steps));
     const online::PipelineHealth& health = stats.health;
     std::printf("health: %llu/%llu windows forwarded (%llu repaired, "
                 "%llu quarantined, %llu dropped), %llu revisions rejected, "

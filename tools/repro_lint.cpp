@@ -327,6 +327,55 @@ void check_float_eq(const std::string& code, const std::string& file,
   }
 }
 
+/// Hard-coded clock literals — a dotted-mantissa gigahertz constant
+/// like 2.4e9 (ISSUE 10). Clocks must be derived from MachineConfig
+/// (frequency_of, dvfs_levels) so heterogeneous and DVFS-stepped
+/// setups can't silently inherit a stale uniform frequency; the
+/// machine presets and the hardware oracle's calibration constants
+/// are the declared homes of such numbers and are exempted in the
+/// dispatch. Only dotted mantissas are matched: 2e9 and 1e9 style
+/// round counts (bytes, rates, instruction budgets) stay legal.
+void check_frequency_literal(const std::string& code, const std::string& file,
+                             std::vector<Finding>& out) {
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(code[pos])) ||
+        (pos > 0 &&
+         (is_ident_char(code[pos - 1]) || code[pos - 1] == '.'))) {
+      ++pos;
+      continue;
+    }
+    const std::size_t start = pos;
+    std::size_t i = pos;
+    while (i < code.size() &&
+           std::isdigit(static_cast<unsigned char>(code[i])))
+      ++i;
+    pos = i + 1;
+    if (i >= code.size() || code[i] != '.') continue;
+    ++i;
+    bool frac = false;
+    while (i < code.size() &&
+           std::isdigit(static_cast<unsigned char>(code[i]))) {
+      frac = true;
+      ++i;
+    }
+    if (!frac || i >= code.size() || (code[i] != 'e' && code[i] != 'E'))
+      continue;
+    ++i;
+    if (i < code.size() && code[i] == '+') ++i;
+    if (i >= code.size() || code[i] != '9') continue;
+    ++i;
+    // Token boundary: 2.4e95 or a literal suffix is not a gigahertz.
+    if (i < code.size() && (is_ident_char(code[i]) || code[i] == '.'))
+      continue;
+    out.push_back({file, line_of(code, start), "num/frequency-literal",
+                   "hard-coded clock literal; derive the frequency from "
+                   "MachineConfig (frequency_of, dvfs_levels) or a preset "
+                   "instead of spelling a gigahertz constant"});
+    pos = i;
+  }
+}
+
 /// REPRO_ENSURE(cond, "message"): ≥ 2 top-level arguments and the last
 /// one contains a non-empty string literal. Parses balanced parens on
 /// the blanked text (so parens in strings don't confuse it) but reads
@@ -703,6 +752,13 @@ void scan_file(const fs::path& path, const std::string& rel,
   if (under(rel, "src/math/") || under(rel, "src/core/") ||
       under(rel, "include/repro/math/") || under(rel, "include/repro/core/"))
     check_float_eq(code, rel, out);
+
+  // Exempt homes of legitimate gigahertz-scale constants: the machine
+  // presets (the single source of clock truth) and the hardware power
+  // oracle (per-second rate saturations, calibration data not clocks).
+  if (rel != "src/sim/machine.cpp" && rel != "include/repro/sim/machine.hpp" &&
+      rel != "src/power/oracle.cpp")
+    check_frequency_literal(code, rel, out);
 
   if (under(rel, "src/") || under(rel, "include/"))
     check_atomic_orders(code, raw, rel, out);
@@ -1981,6 +2037,21 @@ const SelfTestRow kSelfTestRows[] = {
      "bool close(double a, double b) { return a > 0.25 && b < 1.5; }\n"
      "}  // namespace repro::math\n",
      "num/float-eq", 2},
+    {"num/frequency-literal", "src/core/freq.cpp",
+     "namespace repro::core {\n"
+     "double plan() {\n"
+     "  const double turbo = 3.2e9;\n"
+     "  const double nominal = 2.4e9;\n"
+     "  return turbo - nominal + 1.2e9;\n"
+     "}\n"
+     "}  // namespace repro::core\n",
+     "namespace repro::core {\n"
+     "double plan(const sim::MachineConfig& m) {\n"
+     "  const double budget = 2e9;  // instructions, not a clock\n"
+     "  return m.frequency_of(0) + m.dvfs_levels.back() - budget;\n"
+     "}\n"
+     "}  // namespace repro::core\n",
+     "num/frequency-literal", 3},
     {"ensure/message", "src/core/checks.cpp",
      "void f(int n) {\n"
      "  REPRO_ENSURE(n > 0);\n"
